@@ -1,0 +1,241 @@
+(* Benchmark harness.
+
+   Two parts, both printed by `dune exec bench/main.exe`:
+
+   1. Bechamel micro-benchmarks (B1..B8) — one Test.make per core
+      operation, timing the building blocks whose complexity the paper's
+      Section V argument relies on (SCC, skeleton intersection, graph
+      merging, a full Algorithm 1 round, the Psrcs decision procedure, a
+      full run end to end, the wire codec, a timing-layer run).
+
+   2. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
+      paper (see DESIGN.md's index and EXPERIMENTS.md for discussion).
+
+   Scale: set SSG_BENCH_SCALE=quick|standard|full (default standard).
+   Set SSG_BENCH_CSV_DIR=<dir> to additionally write each experiment's
+   table as <dir>/<id>.csv for external plotting. *)
+
+open Bechamel
+open Toolkit
+open Ssg_util
+open Ssg_graph
+open Ssg_rounds
+open Ssg_adversary
+open Ssg_core
+open Ssg_sim
+
+let scale () =
+  match Sys.getenv_opt "SSG_BENCH_SCALE" with
+  | Some "quick" -> `Quick
+  | Some "full" -> `Full
+  | _ -> `Standard
+
+(* ---------------- micro-benchmark subjects ---------------- *)
+
+(* B1: Tarjan SCC. *)
+let bench_scc n =
+  let g = Gen.gnp (Rng.of_int (100 + n)) n 0.1 in
+  Test.make
+    ~name:(Printf.sprintf "B1-scc/n=%d" n)
+    (Staged.stage (fun () -> ignore (Scc.compute g)))
+
+(* B2: one skeleton intersection step. *)
+let bench_skeleton_step n =
+  let g = Gen.gnp (Rng.of_int (200 + n)) n 0.3 in
+  let acc = Digraph.complete ~self_loops:true n in
+  Test.make
+    ~name:(Printf.sprintf "B2-skel-step/n=%d" n)
+    (Staged.stage (fun () -> Digraph.inter_into ~into:acc g))
+
+(* B3: merging a received approximation graph (Lines 19-23). *)
+let bench_merge n =
+  let rng = Rng.of_int (300 + n) in
+  let mk () =
+    let g = Lgraph.create n ~self:0 in
+    for _ = 1 to n * 2 do
+      Lgraph.set_edge g (Rng.int rng n) (Rng.int rng n)
+        ~label:(1 + Rng.int rng 9)
+    done;
+    g
+  in
+  let src = mk () and dst = mk () in
+  Test.make
+    ~name:(Printf.sprintf "B3-merge/n=%d" n)
+    (Staged.stage (fun () -> Lgraph.merge_max_into ~into:dst src))
+
+(* B4: one full Algorithm 1 round for the whole system. *)
+let bench_round n =
+  let adv =
+    Build.block_sources (Rng.of_int (400 + n)) ~n ~k:(max 1 (n / 4)) ()
+  in
+  let graph = Adversary.graph adv 1 in
+  Test.make
+    ~name:(Printf.sprintf "B4-round/n=%d" n)
+    (Staged.stage (fun () ->
+         let states = Array.init n (fun self -> Approx.create ~n ~self ()) in
+         let payloads = Array.map Approx.message states in
+         Array.iteri
+           (fun q s ->
+             Approx.step s ~round:1 ~received:(fun p ->
+                 if Digraph.mem_edge graph p q then Some payloads.(p)
+                 else None))
+           states))
+
+(* B5: the Psrcs(k) decision procedure (MIS on the sharing graph). *)
+let bench_psrcs n =
+  let adv =
+    Build.block_sources (Rng.of_int (500 + n)) ~n ~k:(max 1 (n / 4)) ()
+  in
+  let pts = Adversary.pts adv in
+  Test.make
+    ~name:(Printf.sprintf "B5-psrcs/n=%d" n)
+    (Staged.stage (fun () ->
+         ignore (Ssg_predicates.Predicate.psrcs pts ~k:(max 1 (n / 4)))))
+
+(* B6: a full run end to end (build + execute to termination). *)
+let bench_run n =
+  Test.make
+    ~name:(Printf.sprintf "B6-run/n=%d" n)
+    (Staged.stage (fun () ->
+         let rng = Rng.of_int (600 + n) in
+         let adv = Build.block_sources rng ~n ~k:(max 1 (n / 4)) () in
+         ignore (Runner.run_kset adv)))
+
+(* B7: wire codec encode+decode roundtrip of a dense approximation graph. *)
+let bench_codec n =
+  let rng = Rng.of_int (700 + n) in
+  let g = Lgraph.create n ~self:0 in
+  for _ = 1 to n * n / 3 do
+    Lgraph.set_edge g (Rng.int rng n) (Rng.int rng n) ~label:(1 + Rng.int rng 30)
+  done;
+  Test.make
+    ~name:(Printf.sprintf "B7-codec/n=%d" n)
+    (Staged.stage (fun () ->
+         let bytes = Codec.encode g ~label_bits:6 in
+         ignore (Codec.decode bytes ~n ~self:0 ~label_bits:6)))
+
+(* B8: a full timing-layer run (event queue + latency model + Algorithm 1). *)
+let bench_timing n =
+  Test.make
+    ~name:(Printf.sprintf "B8-timing-run/n=%d" n)
+    (Staged.stage (fun () ->
+         ignore
+           (Ssg_timing.Round_sync.run_kset
+              ~inputs:(Array.init n (fun i -> i))
+              ~latency:(Ssg_timing.Latency.uniform ~seed:n ~lo:0.1 ~hi:1.5)
+              ~max_rounds:(2 * n) ())))
+
+(* B9: intra-round parallelism — one big Algorithm 1 round, sequential vs
+   all cores (transitions are independent per process). *)
+let bench_parallel_round ~domains n =
+  let module E = Executor.Make (Kset_agreement.Alg) in
+  let adv =
+    Build.block_sources (Rng.of_int (900 + n)) ~n ~k:(max 1 (n / 4)) ~intra:0.3 ()
+  in
+  let label = if domains = 0 then "seq" else Printf.sprintf "%dd" domains in
+  Test.make
+    ~name:(Printf.sprintf "B9-par-round/%s/n=%d" label n)
+    (Staged.stage (fun () ->
+         let cfg =
+           E.config ~domains ~stop_when_all_decided:false
+             ~inputs:(Array.init n (fun i -> i))
+             ~graphs:(Adversary.graph adv) ~max_rounds:3 ()
+         in
+         ignore (E.run cfg)))
+
+let micro_tests scale =
+  let sizes_small, sizes_mid =
+    match scale with
+    | `Quick -> ([ 16; 64 ], [ 8; 16 ])
+    | `Standard -> ([ 16; 64; 256 ], [ 8; 16; 32 ])
+    | `Full -> ([ 16; 64; 256; 1024 ], [ 8; 16; 32; 64 ])
+  in
+  List.concat
+    [
+      List.map bench_scc sizes_small;
+      List.map bench_skeleton_step sizes_small;
+      List.map bench_merge sizes_mid;
+      List.map bench_round sizes_mid;
+      List.map bench_psrcs sizes_small;
+      List.map bench_run sizes_mid;
+      List.map bench_codec sizes_mid;
+      List.map bench_timing (List.filter (fun n -> n <= 16) sizes_mid);
+      (let biggest = List.fold_left max 0 sizes_mid in
+       (* On a 1-core host the parallel row honestly reports the domain
+          overhead; with more cores it reports the speedup. *)
+       let workers = max 2 (Parallel.default_domains ()) in
+       [
+         bench_parallel_round ~domains:0 (4 * biggest);
+         bench_parallel_round ~domains:workers (4 * biggest);
+       ]);
+    ]
+
+let human_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let run_micro scale =
+  let tests = micro_tests scale in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (match scale with `Quick -> 0.1 | _ -> 0.5))
+      ~kde:None ()
+  in
+  let instance = Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let table = Table.create [ "benchmark"; "time/run" ] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> x
+            | _ -> nan
+          in
+          Table.add_row table [ name; human_ns ns ])
+        results)
+    tests;
+  print_endline "== B1..B9: micro-benchmarks (Bechamel, monotonic clock) ==";
+  print_newline ();
+  Table.print table;
+  print_newline ()
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let scale = scale () in
+  let scale_name =
+    match scale with
+    | `Quick -> "quick"
+    | `Standard -> "standard"
+    | `Full -> "full"
+  in
+  Printf.printf
+    "Stable Skeleton Graphs — benchmark & reproduction harness (scale: %s)\n\n"
+    scale_name;
+  run_micro scale;
+  let csv_dir = Sys.getenv_opt "SSG_BENCH_CSV_DIR" in
+  (match csv_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  List.iter
+    (fun e ->
+      let result = e.Experiment.run scale in
+      print_string (Experiment.render e result);
+      (match csv_dir with
+      | Some dir ->
+          let path = Filename.concat dir (e.Experiment.id ^ ".csv") in
+          let oc = open_out path in
+          output_string oc (Experiment.csv result);
+          close_out oc;
+          Printf.printf "  [csv written to %s]\n" path
+      | None -> ());
+      print_newline ())
+    Experiment.all

@@ -1,0 +1,478 @@
+(* ssg — command-line front end.
+
+   Subcommands:
+     run         simulate Algorithm 1 (or a baseline) on a generated run
+     figure1     reproduce the paper's Figure 1
+     experiment  run one experiment (F1, E1..E8, A1) or all of them
+     check       build a run description and report its predicate profile
+     dot         export a run's stable skeleton as Graphviz *)
+
+open Cmdliner
+open Ssg_util
+open Ssg_graph
+open Ssg_rounds
+open Ssg_skeleton
+open Ssg_adversary
+open Ssg_sim
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let verbose_arg =
+  let doc = "Log per-round execution details to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let seed_arg =
+  let doc = "Random seed (experiments are deterministic per seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let n_arg =
+  let doc = "Number of processes." in
+  Arg.(value & opt int 8 & info [ "n"; "processes" ] ~docv:"N" ~doc)
+
+let k_arg =
+  let doc = "Agreement parameter k." in
+  Arg.(value & opt int 2 & info [ "k"; "agreement" ] ~docv:"K" ~doc)
+
+let family_arg =
+  let doc =
+    "Adversary family: block-sources | partitioned | single-root | \
+     lower-bound | synchronous | arbitrary | figure1."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("block-sources", `Block);
+             ("partitioned", `Partitioned);
+             ("single-root", `Single);
+             ("lower-bound", `Lower);
+             ("synchronous", `Sync);
+             ("arbitrary", `Arbitrary);
+             ("figure1", `Figure1);
+           ])
+        `Block
+    & info [ "family"; "f" ] ~docv:"FAMILY" ~doc)
+
+let prefix_arg =
+  let doc = "Length of the noisy pre-stabilization prefix." in
+  Arg.(value & opt int 0 & info [ "prefix" ] ~docv:"ROUNDS" ~doc)
+
+let load_arg =
+  let doc = "Load the run description from FILE instead of generating one." in
+  Arg.(value & opt (some file) None & info [ "load" ] ~docv:"FILE" ~doc)
+
+let build_adversary ?load family ~n ~k ~prefix ~seed =
+  match load with
+  | Some path -> Run_format.load path
+  | None ->
+  let rng = Rng.of_int seed in
+  match family with
+  | `Block -> Build.block_sources rng ~n ~k ~prefix_len:prefix ()
+  | `Partitioned -> Build.partitioned rng ~n ~blocks:k ~prefix_len:prefix ()
+  | `Single -> Build.single_root rng ~n ~prefix_len:prefix ()
+  | `Lower -> Build.lower_bound ~n ~k
+  | `Sync -> Build.synchronous ~n
+  | `Arbitrary -> Build.arbitrary rng ~n ~density:0.25 ~prefix_len:prefix ()
+  | `Figure1 -> Build.figure1 ()
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let print_report (r : Runner.report) =
+  Printf.printf "adversary   : %s\n" r.Runner.adversary;
+  Printf.printf "algorithm   : %s\n" r.Runner.algorithm;
+  Printf.printf "n           : %d\n" r.Runner.n;
+  Printf.printf "min_k       : %d   (least k with Psrcs(k))\n" r.Runner.min_k;
+  Printf.printf "roots       : %d\n" (Analysis.root_count r.Runner.analysis);
+  List.iteri
+    (fun i root ->
+      Printf.printf "  root %d    : %s\n" (i + 1) (Bitset.to_string root))
+    (Analysis.roots r.Runner.analysis);
+  let o = r.Runner.outcome in
+  Printf.printf "rounds run  : %d\n" o.Executor.rounds_run;
+  Printf.printf "decisions   : %s (%d distinct)\n"
+    (String.concat ", " (List.map string_of_int (Executor.decision_values o)))
+    (Metrics.distinct_decisions o);
+  Array.iteri
+    (fun p d ->
+      match d with
+      | Some { Executor.round; value } ->
+          Printf.printf "  p%-3d      : decides %d at round %d\n" (p + 1) value round
+      | None -> Printf.printf "  p%-3d      : UNDECIDED\n" (p + 1))
+    o.Executor.decisions;
+  Printf.printf "messages    : %d sent, %d delivered\n" o.Executor.messages_sent
+    o.Executor.messages_delivered;
+  Printf.printf "bits        : %d total, largest message %d bits\n"
+    o.Executor.bits_sent o.Executor.max_message_bits;
+  let v = Metrics.verdict ~k:r.Runner.min_k r in
+  Printf.printf "verdict     : agreement=%b validity=%b termination=%b\n"
+    v.Metrics.agreement v.Metrics.validity v.Metrics.termination;
+  if r.Runner.violations <> [] then begin
+    Printf.printf "MONITOR VIOLATIONS (%d):\n" (List.length r.Runner.violations);
+    List.iter (fun s -> Printf.printf "  %s\n" s) r.Runner.violations
+  end
+  else Printf.printf "monitors    : clean\n"
+
+let run_cmd =
+  let monitor_arg =
+    let doc = "Shadow the run with the lemma monitors (Lemmas 3-7, Thm 8)." in
+    Arg.(value & flag & info [ "monitor"; "m" ] ~doc)
+  in
+  let baseline_arg =
+    let doc = "Run a baseline instead: floodmin | flood-consensus | naive." in
+    Arg.(
+      value
+      & opt
+          (some (enum [ ("floodmin", `Floodmin); ("flood-consensus", `Cons); ("naive", `Naive) ]))
+          None
+      & info [ "baseline" ] ~docv:"ALG" ~doc)
+  in
+  let timeline_arg =
+    let doc = "Render a per-round timeline of the run instead of details." in
+    Arg.(value & flag & info [ "timeline"; "t" ] ~doc)
+  in
+  let series_arg =
+    let doc = "Print per-round series sparklines (add --csv for raw data)." in
+    Arg.(value & flag & info [ "series" ] ~doc)
+  in
+  let series_csv_arg =
+    let doc = "With --series: emit CSV instead of sparklines." in
+    Arg.(value & flag & info [ "csv" ] ~doc)
+  in
+  let action verbose family n k prefix seed load monitor baseline timeline
+      series series_csv =
+    setup_logs verbose;
+    let adv = build_adversary ?load family ~n ~k ~prefix ~seed in
+    if series then begin
+      let samples = Series.collect adv in
+      if series_csv then print_string (Series.to_csv samples)
+      else begin
+        print_endline (Series.summary samples);
+        Printf.printf "(%d rounds; --csv for raw data)\n" (List.length samples)
+      end
+    end
+    else if timeline then begin
+      print_string
+        (Render.timeline adv ~rounds:(Adversary.decision_horizon adv));
+      print_newline ();
+      print_endline "stable skeleton:";
+      print_string (Render.matrix (Adversary.stable_skeleton adv))
+    end
+    else
+    let report =
+      match baseline with
+      | None -> Runner.run_kset ~monitor adv
+      | Some `Floodmin ->
+          let rounds = Ssg_baselines.Floodmin.rounds_for ~f:(n / 2) ~k in
+          Runner.run_packed (Ssg_baselines.Floodmin.make ~rounds) adv
+      | Some `Cons ->
+          Runner.run_packed (Ssg_baselines.Flood_consensus.make ~f:(n / 2)) adv
+      | Some `Naive ->
+          Runner.run_packed (Ssg_baselines.Naive_min.make ~horizon:n) adv
+    in
+    print_report report
+  in
+  let doc = "Simulate one run and print decisions, metrics and verdicts." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const action $ verbose_arg $ family_arg $ n_arg $ k_arg $ prefix_arg
+      $ seed_arg $ load_arg $ monitor_arg $ baseline_arg $ timeline_arg
+      $ series_arg $ series_csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* figure1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let figure1_cmd =
+  let action () =
+    match Experiment.find "F1" with
+    | Some e -> print_string (Experiment.run_and_render e `Standard)
+    | None -> prerr_endline "internal error: F1 not registered"
+  in
+  let doc = "Reproduce Figure 1 (the 6-process worked example)." in
+  Cmd.v (Cmd.info "figure1" ~doc) Term.(const action $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Experiment id (F1, E1..E8, A1) or 'all'." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
+  in
+  let scale_arg =
+    let doc = "Scale: quick | standard | full." in
+    Arg.(
+      value
+      & opt (enum [ ("quick", `Quick); ("standard", `Standard); ("full", `Full) ]) `Standard
+      & info [ "scale" ] ~docv:"SCALE" ~doc)
+  in
+  let csv_arg =
+    let doc = "Emit the table as CSV (notes omitted)." in
+    Arg.(value & flag & info [ "csv" ] ~doc)
+  in
+  let action id scale csv =
+    let render e =
+      if csv then Experiment.run_to_csv e scale
+      else Experiment.run_and_render e scale
+    in
+    if String.lowercase_ascii id = "all" then begin
+      List.iter
+        (fun e ->
+          print_string (render e);
+          print_newline ())
+        Experiment.all;
+      `Ok ()
+    end
+    else
+      match Experiment.find id with
+      | Some e ->
+          print_string (render e);
+          `Ok ()
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown experiment %S; known: %s, all" id
+                (String.concat ", " (List.map (fun e -> e.Experiment.id) Experiment.all)) )
+  in
+  let doc = "Regenerate an experiment table (or all of them)." in
+  Cmd.v
+    (Cmd.info "experiment" ~doc)
+    Term.(ret (const action $ id_arg $ scale_arg $ csv_arg))
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let save_arg =
+    let doc = "Also save the run description to FILE (ssg-run v1 format)." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let action family n k prefix seed load save =
+    let adv = build_adversary ?load family ~n ~k ~prefix ~seed in
+    (match save with
+    | Some path ->
+        Run_format.save adv path;
+        Printf.printf "saved run description to %s\n" path
+    | None -> ());
+    let skel = Adversary.stable_skeleton adv in
+    let a = Analysis.analyze skel in
+    Printf.printf "adversary      : %s\n" (Adversary.name adv);
+    Printf.printf "n              : %d\n" (Adversary.n adv);
+    Printf.printf "prefix length  : %d\n" (Adversary.prefix_length adv);
+    Printf.printf "skeleton edges : %d (self-loops included)\n"
+      (Digraph.edge_count skel);
+    Printf.printf "components     : %d\n" (Analysis.partition a).Scc.count;
+    Printf.printf "root components: %d\n" (Analysis.root_count a);
+    List.iteri
+      (fun i root ->
+        Printf.printf "  root %d       : %s\n" (i + 1) (Bitset.to_string root))
+      (Analysis.roots a);
+    let mk = Adversary.min_k adv in
+    Printf.printf "min_k          : %d (Psrcs(k) holds iff k >= %d)\n" mk mk;
+    let pts = Adversary.pts adv in
+    (match Ssg_predicates.Predicate.psrcs_violation pts ~k:(max 1 (mk - 1)) with
+    | Some s when mk > 1 ->
+        Printf.printf "witness        : %s is pairwise source-disjoint (defeats k=%d)\n"
+          (Bitset.to_string s) (mk - 1)
+    | _ -> ());
+    Printf.printf "decision bound : all processes decide by round %d (Lemma 11)\n"
+      (Adversary.decision_horizon adv)
+  in
+  let doc = "Analyze a run description: skeleton, roots, predicate profile." in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const action $ family_arg $ n_arg $ k_arg $ prefix_arg $ seed_arg
+      $ load_arg $ save_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let dot_cmd =
+  let what_arg =
+    let doc = "What to export: skeleton | round1 | roots." in
+    Arg.(
+      value
+      & opt (enum [ ("skeleton", `Skeleton); ("round1", `Round1); ("roots", `Roots) ]) `Skeleton
+      & info [ "what" ] ~docv:"WHAT" ~doc)
+  in
+  let action family n k prefix seed load what =
+    let adv = build_adversary ?load family ~n ~k ~prefix ~seed in
+    let out =
+      match what with
+      | `Skeleton ->
+          Dot.of_digraph ~name:"stable_skeleton" (Adversary.stable_skeleton adv)
+      | `Round1 -> Dot.of_digraph ~name:"round1" (Adversary.graph adv 1)
+      | `Roots ->
+          let skel = Adversary.stable_skeleton adv in
+          Dot.of_digraph_with_components ~name:"roots" skel
+            (Analysis.roots (Analysis.analyze skel))
+    in
+    print_string out
+  in
+  let doc = "Export a run's graphs as Graphviz DOT on stdout." in
+  Cmd.v
+    (Cmd.info "dot" ~doc)
+    Term.(
+      const action $ family_arg $ n_arg $ k_arg $ prefix_arg $ seed_arg
+      $ load_arg $ what_arg)
+
+(* ------------------------------------------------------------------ *)
+(* shrink                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let shrink_cmd =
+  let out_arg =
+    let doc = "Write the shrunk run description to FILE." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let hunt_arg =
+    let doc =
+      "Instead of loading a run, hunt for a Theorem 16 violation (paper        decision rule deciding more than min_k values) and shrink it."
+    in
+    Arg.(value & flag & info [ "hunt" ] ~doc)
+  in
+  let violates adv =
+    let r = Runner.run_kset adv in
+    Metrics.distinct_decisions r.Runner.outcome > r.Runner.min_k
+  in
+  let action load hunt out =
+    let candidate =
+      if hunt then begin
+        let found = ref None in
+        let i = ref 0 in
+        while !found = None && !i < 5000 do
+          let rng = Rng.of_int (424242 + !i) in
+          let n = 6 + Rng.int rng 4 in
+          let adv =
+            Build.block_sources rng ~n ~k:(1 + Rng.int rng 2)
+              ~prefix_len:(2 + Rng.int rng 3) ~noise:0.5 ()
+          in
+          if violates adv then found := Some adv;
+          incr i
+        done;
+        !found
+      end
+      else Option.map Run_format.load load
+    in
+    match candidate with
+    | None ->
+        `Error
+          (false, "nothing to shrink: pass --load FILE or --hunt")
+    | Some adv ->
+        if not (violates adv) then
+          `Error (false, "the loaded run does not violate Theorem 16 at min_k")
+        else begin
+          Printf.printf "input : n=%d prefix=%d (size %d)\n" (Adversary.n adv)
+            (Adversary.prefix_length adv) (Shrink.size adv);
+          let shrunk, checks = Shrink.minimize violates adv in
+          Printf.printf "shrunk: n=%d prefix=%d (size %d) after %d checks\n\n"
+            (Adversary.n shrunk)
+            (Adversary.prefix_length shrunk)
+            (Shrink.size shrunk) checks;
+          print_string (Run_format.to_string shrunk);
+          (match out with
+          | Some path ->
+              Run_format.save shrunk path;
+              Printf.printf "\nwritten to %s\n" path
+          | None -> ());
+          `Ok ()
+        end
+  in
+  let doc =
+    "Minimize a Theorem 16 counterexample (QuickCheck-style shrinking over      run descriptions)."
+  in
+  Cmd.v
+    (Cmd.info "shrink" ~doc)
+    Term.(ret (const action $ load_arg $ hunt_arg $ out_arg))
+
+(* ------------------------------------------------------------------ *)
+(* timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let timing_cmd =
+  let clusters_arg =
+    let doc = "Number of latency clusters (fast links inside, slow across)." in
+    Arg.(value & opt int 3 & info [ "clusters" ] ~docv:"C" ~doc)
+  in
+  let tau_arg =
+    let doc = "Round timeout (same for every process)." in
+    Arg.(value & opt float 1.0 & info [ "tau" ] ~docv:"T" ~doc)
+  in
+  let action n clusters tau seed =
+    let assign = Array.init n (fun p -> p mod clusters) in
+    let latency =
+      Ssg_timing.Latency.clustered ~assign
+        ~intra:(Ssg_timing.Latency.uniform ~seed ~lo:0.1 ~hi:0.5)
+        ~inter:(Ssg_timing.Latency.uniform ~seed:(seed + 1) ~lo:0.5 ~hi:3.0)
+    in
+    let r =
+      Ssg_timing.Round_sync.run_kset
+        ~timeouts:(Array.make n tau)
+        ~inputs:(Array.init n (fun p -> p))
+        ~latency ~max_rounds:(3 * n) ()
+    in
+    let skel = Skeleton.final r.Ssg_timing.Round_sync.trace in
+    let a = Analysis.analyze skel in
+    Printf.printf
+      "n=%d clusters=%d tau=%.2f: %d rounds simulated, final time %.2f
+" n
+      clusters tau r.Ssg_timing.Round_sync.rounds
+      r.Ssg_timing.Round_sync.final_time;
+    Printf.printf "induced skeleton: %d edges, %d root component(s), min_k=%d
+"
+      (Digraph.edge_count skel) (Analysis.root_count a)
+      (Ssg_predicates.Predicate.min_k (Ssg_predicates.Predicate.of_skeleton skel));
+    Printf.printf "messages: %d sent, %d consumed, %d late-dropped
+"
+      r.Ssg_timing.Round_sync.messages_sent
+      r.Ssg_timing.Round_sync.messages_delivered
+      r.Ssg_timing.Round_sync.messages_late;
+    Array.iteri
+      (fun p d ->
+        match d with
+        | Some { Ssg_timing.Round_sync.round; value } ->
+            Printf.printf "  p%-3d decides %d at local round %d
+" (p + 1)
+              value round
+        | None -> Printf.printf "  p%-3d undecided
+" (p + 1))
+      r.Ssg_timing.Round_sync.decisions;
+    print_newline ();
+    print_endline "induced stable skeleton:";
+    print_string (Render.matrix skel)
+  in
+  let doc =
+    "Run Algorithm 1 on the discrete-event timing substrate (latency      clusters; predicates are emergent)."
+  in
+  Cmd.v
+    (Cmd.info "timing" ~doc)
+    Term.(const action $ n_arg $ clusters_arg $ tau_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "Stable skeleton graphs and k-set agreement (Biely, Robinson, Schmid 2011)"
+  in
+  let info = Cmd.info "ssg" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd; figure1_cmd; experiment_cmd; check_cmd; dot_cmd;
+            timing_cmd; shrink_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/audited_agreement.ml: Adversary Array Bitset Build Certificate Digraph Executor Kset_agreement Lgraph List Printf Rng Ssg_adversary Ssg_core Ssg_graph Ssg_rounds Ssg_util

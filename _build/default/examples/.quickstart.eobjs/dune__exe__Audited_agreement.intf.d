@@ -1,0 +1,1 @@
+examples/audited_agreement.mli:

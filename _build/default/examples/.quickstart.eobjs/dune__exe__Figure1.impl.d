@@ -1,0 +1,1 @@
+examples/figure1.ml: Adversary Analysis Build Dot Experiment Printf Skeleton Ssg_adversary Ssg_graph Ssg_sim Ssg_skeleton

@@ -1,0 +1,1 @@
+examples/partial_synchrony.ml: Analysis Array Digraph Latency List Option Predicate Printf Round_sync Skeleton Ssg_graph Ssg_predicates Ssg_skeleton Ssg_timing String

@@ -1,0 +1,1 @@
+examples/partial_synchrony.mli:

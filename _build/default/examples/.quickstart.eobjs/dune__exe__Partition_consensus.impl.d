@@ -1,0 +1,1 @@
+examples/partition_consensus.ml: Adversary Analysis Array Bitset Build Digraph Executor List Metrics Printf Rng Runner Ssg_adversary Ssg_graph Ssg_rounds Ssg_sim Ssg_skeleton Ssg_util String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adversary Array Build Executor List Metrics Printf Rng Runner Ssg_adversary Ssg_rounds Ssg_sim Ssg_util String

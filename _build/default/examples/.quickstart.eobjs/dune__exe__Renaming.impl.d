@@ -1,0 +1,1 @@
+examples/renaming.ml: Array Build Executor List Printf Rng Runner Ssg_adversary Ssg_rounds Ssg_sim Ssg_util String

@@ -1,0 +1,1 @@
+examples/replicated_log.ml: Adversary Analysis Array Bitset Build Digraph Leader List Printf Repeated Rng Ssg_adversary Ssg_apps Ssg_graph Ssg_skeleton Ssg_util String

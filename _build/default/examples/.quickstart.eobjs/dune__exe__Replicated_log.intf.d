@@ -1,0 +1,1 @@
+examples/replicated_log.mli:

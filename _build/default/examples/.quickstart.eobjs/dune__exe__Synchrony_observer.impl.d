@@ -1,0 +1,1 @@
+examples/synchrony_observer.ml: Adversary Approx Array Bitset Build Digraph Lgraph Printf Rng Scc Ssg_adversary Ssg_core Ssg_graph Ssg_util

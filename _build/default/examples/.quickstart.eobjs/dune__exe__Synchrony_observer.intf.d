@@ -1,0 +1,1 @@
+examples/synchrony_observer.mli:

@@ -1,0 +1,36 @@
+(* Reproduce the paper's Figure 1 and export the graphs as DOT.
+
+     dune exec examples/figure1.exe
+
+   Prints the round-by-round evolution of p6's approximation of the
+   stable skeleton (figures 1c-1h), and writes figure1_*.dot files that
+   render figures 1a/1b with Graphviz:
+
+     dot -Tpng figure1_skeleton.dot -o figure1b.png *)
+
+open Ssg_graph
+open Ssg_skeleton
+open Ssg_adversary
+open Ssg_sim
+
+let () =
+  (match Experiment.find "F1" with
+  | Some e -> print_string (Experiment.run_and_render e `Standard)
+  | None -> assert false);
+
+  let adv = Build.figure1 () in
+  let trace = Adversary.trace adv ~rounds:6 in
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  print_newline ();
+  write "figure1_round2_skeleton.dot"
+    (Dot.of_digraph ~name:"G_cap_2" (Skeleton.at trace 2));
+  let skel = Adversary.stable_skeleton adv in
+  write "figure1_skeleton.dot" (Dot.of_digraph ~name:"G_cap_inf" skel);
+  write "figure1_roots.dot"
+    (Dot.of_digraph_with_components ~name:"roots" skel
+       (Analysis.roots (Analysis.analyze skel)))

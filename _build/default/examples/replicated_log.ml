@@ -1,0 +1,60 @@
+(* A replicated log per partition — repeated k-set agreement.
+
+     dune exec examples/replicated_log.exe
+
+   The paper motivates k > 1 by partitionable systems; a real system
+   agrees not once but per log entry.  Here a 9-process system splits
+   into 3 partitions and appends 4 entries.  Within each partition every
+   replica ends with an identical, fully-decided log (a state machine per
+   partition), and the partition's leader — elected from the skeleton
+   approximation alone — is the natural coordinator to propose entries. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_skeleton
+open Ssg_adversary
+open Ssg_apps
+
+let () =
+  let rng = Rng.of_int 2024 in
+  let n = 9 and blocks = 3 in
+  let adv = Build.partitioned rng ~n ~blocks () in
+  let analysis = Analysis.analyze (Adversary.stable_skeleton adv) in
+
+  (* Leaders per partition, from the approximation alone. *)
+  let leaders = Array.init n (fun self -> Leader.create ~n ~self) in
+  for round = 1 to 2 * n do
+    let graph = Adversary.graph adv round in
+    let payloads = Array.map Leader.message leaders in
+    Array.iteri
+      (fun q o ->
+        Leader.step o ~round ~received:(fun p ->
+            if Digraph.mem_edge graph p q then Some payloads.(p) else None))
+      leaders
+  done;
+
+  (* Four log entries: instance i proposes "i0 + own id". *)
+  let instances = 4 in
+  let proposals i = Array.init n (fun p -> (10 * (i + 1)) + p) in
+  let results =
+    Repeated.run adv ~proposals ~instances ~window:(Repeated.default_window adv)
+  in
+
+  List.iteri
+    (fun idx island ->
+      let leader = Leader.leader leaders.(Bitset.min_elt island) in
+      Printf.printf "partition %d  members %s  leader p%d\n" (idx + 1)
+        (Bitset.to_string island) (leader + 1);
+      assert (Repeated.logs_agree results ~members:island);
+      let log = Repeated.log_of results (Bitset.min_elt island) in
+      Printf.printf "  log: %s\n"
+        (String.concat " -> "
+           (List.map
+              (function Some v -> string_of_int v | None -> "?")
+              log)))
+    (Analysis.roots analysis);
+
+  Printf.printf
+    "\nevery replica inside a partition holds the same %d-entry log;\n\
+     partitions diverge only because they are partitions.\n"
+    instances

@@ -1,0 +1,1 @@
+lib/adversary/adversary.ml: Array Digraph Predicate Ssg_graph Ssg_predicates Ssg_rounds Trace

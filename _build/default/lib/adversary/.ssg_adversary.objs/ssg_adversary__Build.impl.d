@@ -1,0 +1,1 @@
+lib/adversary/build.ml: Adversary Array Bitset Digraph Gen Int64 List Printf Rng Ssg_graph Ssg_util

@@ -1,0 +1,1 @@
+lib/adversary/build.mli: Adversary Digraph Rng Ssg_graph Ssg_util

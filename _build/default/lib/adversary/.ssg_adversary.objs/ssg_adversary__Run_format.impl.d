@@ -1,0 +1,1 @@
+lib/adversary/run_format.ml: Adversary Array Buffer Digraph Fun In_channel List Printf Ssg_graph String

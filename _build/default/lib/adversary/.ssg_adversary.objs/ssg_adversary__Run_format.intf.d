@@ -1,0 +1,1 @@
+lib/adversary/run_format.mli: Adversary

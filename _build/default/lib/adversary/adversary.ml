@@ -1,0 +1,69 @@
+open Ssg_graph
+open Ssg_rounds
+open Ssg_predicates
+
+type t = {
+  name : string;
+  order : int;
+  prefix : Digraph.t array;
+  stable : Digraph.t;
+  recurrent : (int -> Digraph.t) option;
+}
+
+let make_opt ~recurrent ~name ~prefix ~stable =
+  let order = Digraph.order stable in
+  if order = 0 then invalid_arg "Adversary.make: empty system";
+  let check g =
+    if Digraph.order g <> order then
+      invalid_arg "Adversary.make: graph order mismatch";
+    if not (Digraph.has_all_self_loops g) then
+      invalid_arg
+        "Adversary.make: a communication graph is missing a self-loop"
+  in
+  check stable;
+  Array.iter check prefix;
+  {
+    name;
+    order;
+    prefix = Array.map Digraph.copy prefix;
+    stable = Digraph.copy stable;
+    recurrent;
+  }
+
+let make ~name ~prefix ~stable = make_opt ~recurrent:None ~name ~prefix ~stable
+
+let make_recurrent ~name ~prefix ~stable ~recurrent =
+  make_opt ~recurrent:(Some recurrent) ~name ~prefix ~stable
+
+let name adv = adv.name
+let n adv = adv.order
+
+let graph adv r =
+  if r < 1 then invalid_arg "Adversary.graph: rounds start at 1";
+  if r <= Array.length adv.prefix then Digraph.copy adv.prefix.(r - 1)
+  else
+    match adv.recurrent with
+    | None -> Digraph.copy adv.stable
+    | Some f ->
+        let g = f r in
+        if Digraph.order g <> adv.order then
+          invalid_arg "Adversary.graph: recurrent graph order mismatch";
+        g
+
+let prefix_length adv = Array.length adv.prefix
+let is_recurrent adv = adv.recurrent <> None
+
+let stable_skeleton adv =
+  let skel = Digraph.copy adv.stable in
+  Array.iter (fun g -> Digraph.inter_into ~into:skel g) adv.prefix;
+  skel
+
+let pts adv = Predicate.of_skeleton (stable_skeleton adv)
+let psrcs adv ~k = Predicate.psrcs (pts adv) ~k
+let min_k adv = Predicate.min_k (pts adv)
+
+let trace adv ~rounds = Trace.record ~n:adv.order ~rounds (graph adv)
+
+(* +2 rather than +1: with recurrent noise the cumulative skeleton may
+   stabilize one round after the prefix ends (the first noise-free round). *)
+let decision_horizon adv = prefix_length adv + 2 + (2 * adv.order)

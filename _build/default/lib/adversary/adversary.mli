@@ -1,0 +1,82 @@
+(** Run descriptions: finitely-represented infinite runs.
+
+    The paper's definitions ([G^∩∞], [PT(p)], [Psrcs(k)]) quantify over
+    infinitely many rounds, but every skeleton stabilizes after finitely
+    many rounds (the chain (1) is antitone over a finite lattice).  An
+    {e adversary} here is therefore a finite prefix of communication
+    graphs followed by a single graph repeated forever.  This represents
+    the run exactly: [G^∩∞ = (∩ prefix) ∩ stable], every predicate of the
+    paper is decidable on it, and execution for any number of rounds is
+    well defined.
+
+    Model invariant: every communication graph contains all self-loops
+    (a process always receives its own broadcast); [make] enforces it. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_rounds
+
+type t
+
+(** [make ~name ~prefix ~stable] builds a run description whose rounds
+    after the prefix all use [stable].
+    @raise Invalid_argument if graph orders differ or any graph misses a
+    self-loop. *)
+val make : name:string -> prefix:Digraph.t array -> stable:Digraph.t -> t
+
+(** [make_recurrent ~name ~prefix ~stable ~recurrent] — like [make], but
+    round [r > prefix length] uses [recurrent r] instead of [stable]: runs
+    whose communication graphs keep varying {e forever} while the skeleton
+    is stable (perfectly admissible in the paper's model, and the only
+    regime in which some ablated algorithm variants fail).  The caller
+    must guarantee two properties that cannot be checked on an infinite
+    object: every [recurrent r] is a supergraph of [stable], and every
+    non-[stable] edge is absent from infinitely many rounds (the {!Build}
+    generator places transient edges on even rounds only).  Under that
+    contract [stable_skeleton] remains exact. *)
+val make_recurrent :
+  name:string ->
+  prefix:Digraph.t array ->
+  stable:Digraph.t ->
+  recurrent:(int -> Digraph.t) ->
+  t
+
+val name : t -> string
+
+(** [n adv] is the number of processes. *)
+val n : t -> int
+
+(** [graph adv r] is the communication graph of round [r >= 1]. *)
+val graph : t -> int -> Digraph.t
+
+(** [prefix_length adv] — rounds before the description becomes constant.
+    The run's stabilization round [r_ST] is at most [prefix_length + 1]. *)
+val prefix_length : t -> int
+
+(** [is_recurrent adv] — the run was built with [make_recurrent] (its
+    post-prefix rounds come from a function and cannot be enumerated or
+    serialized). *)
+val is_recurrent : t -> bool
+
+(** [stable_skeleton adv] is the exact [G^∩∞] of the run. *)
+val stable_skeleton : t -> Digraph.t
+
+(** [pts adv] is [[| PT(0); ...; PT(n-1) |]] — the limits of the timely
+    neighbourhoods. *)
+val pts : t -> Bitset.t array
+
+(** [psrcs adv ~k] decides whether the run satisfies [Psrcs(k)]. *)
+val psrcs : t -> k:int -> bool
+
+(** [min_k adv] is the least [k] with [Psrcs(k)] — the independence number
+    of the run's source-sharing graph. *)
+val min_k : t -> int
+
+(** [trace adv ~rounds] materializes the first [rounds] rounds. *)
+val trace : t -> rounds:int -> Trace.t
+
+(** [decision_horizon adv] is a round count by which Algorithm 1 is
+    guaranteed to have terminated on this run: [r_ST + 2n] (Lemma 11 gives
+    [r + 2n − 1] for the first [r] with [G^∩r] stable for [n−1] rounds;
+    with our descriptions [r <= prefix_length + 1]). *)
+val decision_horizon : t -> int

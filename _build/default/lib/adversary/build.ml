@@ -1,0 +1,282 @@
+open Ssg_util
+open Ssg_graph
+
+let noisy_prefix rng stable ~len ~noise =
+  Array.init len (fun _ -> Gen.sprinkle rng stable noise)
+
+let synchronous ~n =
+  Adversary.make ~name:(Printf.sprintf "synchronous(n=%d)" n) ~prefix:[||]
+    ~stable:(Digraph.complete ~self_loops:true n)
+
+let lower_bound ~n ~k =
+  if k < 1 || k >= n then
+    invalid_arg "Build.lower_bound: need 1 <= k < n";
+  let g = Digraph.create n in
+  Digraph.add_self_loops g;
+  (* Processes 0 .. k-2 form the lonely set L; process k-1 is the 2-source
+     s; everyone outside L additionally hears s. *)
+  let s = k - 1 in
+  for q = s to n - 1 do
+    Digraph.add_edge g s q
+  done;
+  Adversary.make
+    ~name:(Printf.sprintf "lower_bound(n=%d,k=%d)" n k)
+    ~prefix:[||] ~stable:g
+
+let figure1 () =
+  let n = 6 in
+  let stable = Digraph.create n in
+  Digraph.add_self_loops stable;
+  (* Root component {p1, p2}: a 2-cycle. *)
+  Digraph.add_edge stable 0 1;
+  Digraph.add_edge stable 1 0;
+  (* Root component {p3, p4, p5}: a 3-cycle. *)
+  Digraph.add_edge stable 2 3;
+  Digraph.add_edge stable 3 4;
+  Digraph.add_edge stable 4 2;
+  (* p6 perpetually hears p5 (and only p5, besides itself): Psrcs(3) is
+     tight for this run (min_k = 3, witness {p1, p4, p6}). *)
+  Digraph.add_edge stable 4 5;
+  (* Two pre-stabilization rounds with transient extra edges (present in
+     G^∩2, gone from G^∩∞): p6 briefly hears the other root component,
+     and two transient cross edges die out.  None leaves p6, so p6's
+     approximation never becomes strongly connected — matching fig. 1h. *)
+  let early = Digraph.copy stable in
+  Digraph.add_edge early 1 5;
+  Digraph.add_edge early 0 2;
+  Digraph.add_edge early 3 1;
+  Adversary.make ~name:"figure1" ~prefix:[| early; Digraph.copy early |]
+    ~stable
+
+(* Random partition of 0..n-1 into exactly [blocks] nonempty parts. *)
+let random_partition rng ~n ~blocks =
+  if blocks < 1 || blocks > n then
+    invalid_arg "Build: blocks must be in 1..n";
+  let perm = Rng.permutation rng n in
+  (* Choose blocks-1 cut points among the n-1 gaps. *)
+  let cuts = Rng.sample rng (n - 1) (blocks - 1) in
+  let parts = ref [] in
+  let start = ref 0 in
+  Array.iter
+    (fun c ->
+      parts := Array.sub perm !start (c + 1 - !start) :: !parts;
+      start := c + 1)
+    cuts;
+  parts := Array.sub perm !start (n - !start) :: !parts;
+  List.rev !parts
+
+let block_sources rng ~n ~k ?blocks ?(intra = 0.15) ?(cross = 0.0)
+    ?(prefix_len = 0) ?(noise = 0.2) () =
+  let blocks = match blocks with Some b -> b | None -> min k n in
+  if blocks > k then invalid_arg "Build.block_sources: blocks must be <= k";
+  let parts = random_partition rng ~n ~blocks in
+  let stable = Digraph.create n in
+  Digraph.add_self_loops stable;
+  List.iter
+    (fun members ->
+      let src = Rng.pick rng members in
+      Array.iter
+        (fun q ->
+          Digraph.add_edge stable src q;
+          Array.iter
+            (fun q' ->
+              if q <> q' && Rng.chance rng intra then
+                Digraph.add_edge stable q q')
+            members)
+        members)
+    parts;
+  if cross > 0.0 then
+    for a = 0 to n - 1 do
+      for b = 0 to n - 1 do
+        if a <> b && Rng.chance rng cross then Digraph.add_edge stable a b
+      done
+    done;
+  Adversary.make
+    ~name:(Printf.sprintf "block_sources(n=%d,k=%d,blocks=%d)" n k blocks)
+    ~prefix:(noisy_prefix rng stable ~len:prefix_len ~noise)
+    ~stable
+
+let partitioned rng ~n ~blocks ?(extra = 0.3) ?(prefix_len = 0) ?(noise = 0.2)
+    () =
+  let parts = random_partition rng ~n ~blocks in
+  let stable = Digraph.create n in
+  Digraph.add_self_loops stable;
+  List.iter
+    (fun members ->
+      let set = Bitset.of_list n (Array.to_list members) in
+      let island = Gen.strongly_connected_on rng n set ~extra in
+      Digraph.union_into ~into:stable island)
+    parts;
+  Adversary.make
+    ~name:(Printf.sprintf "partitioned(n=%d,blocks=%d)" n blocks)
+    ~prefix:(noisy_prefix rng stable ~len:prefix_len ~noise)
+    ~stable
+
+let single_root rng ~n ?root_size ?(extra = 0.1) ?(prefix_len = 0)
+    ?(noise = 0.2) () =
+  let root_size =
+    match root_size with Some s -> s | None -> max 1 (n / 4)
+  in
+  if root_size < 1 || root_size > n then
+    invalid_arg "Build.single_root: root_size out of range";
+  let perm = Rng.permutation rng n in
+  let root = Array.sub perm 0 root_size in
+  let stable =
+    Gen.strongly_connected_on rng n
+      (Bitset.of_list n (Array.to_list root))
+      ~extra
+  in
+  Digraph.add_self_loops stable;
+  (* Attach every remaining process below an already-attached one; the
+     attachment order guarantees a unique root component (see tests). *)
+  for i = root_size to n - 1 do
+    let parent = perm.(Rng.int rng i) in
+    Digraph.add_edge stable parent perm.(i)
+  done;
+  (* Extra downward/random edges cannot create a second root component:
+     any SCC not containing the root block keeps the incoming attachment
+     edge of its earliest-attached member. *)
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b && Rng.chance rng extra then Digraph.add_edge stable a b
+    done
+  done;
+  Adversary.make
+    ~name:(Printf.sprintf "single_root(n=%d,root=%d)" n root_size)
+    ~prefix:(noisy_prefix rng stable ~len:prefix_len ~noise)
+    ~stable
+
+let isolated_prefix adv ~rounds =
+  if rounds < 0 then invalid_arg "Build.isolated_prefix: negative rounds";
+  let n = Adversary.n adv in
+  let isolation = Array.init rounds (fun _ -> Gen.self_loops_only n) in
+  let old_prefix =
+    Array.init (Adversary.prefix_length adv) (fun i -> Adversary.graph adv (i + 1))
+  in
+  Adversary.make
+    ~name:(Printf.sprintf "isolated(%d)+%s" rounds (Adversary.name adv))
+    ~prefix:(Array.append isolation old_prefix)
+    ~stable:(Adversary.graph adv (Adversary.prefix_length adv + 1))
+
+let delayed_stability rng ~n ~k ~rst =
+  if rst < 1 then invalid_arg "Build.delayed_stability: rst must be >= 1";
+  let base = block_sources rng ~n ~k () in
+  let stable = Adversary.graph base 1 in
+  (* Persistent transient edges: in every round 1 .. rst-1, gone after.
+     Force at least one so the skeleton really shrinks at round rst. *)
+  let extra = Gen.sprinkle rng stable 0.3 in
+  (if rst > 1 && Digraph.equal extra stable then
+     let exception Done in
+     try
+       for a = 0 to n - 1 do
+         for b = 0 to n - 1 do
+           if a <> b && not (Digraph.mem_edge extra a b) then begin
+             Digraph.add_edge extra a b;
+             raise Done
+           end
+         done
+       done
+     with Done -> ());
+  let prefix = Array.init (rst - 1) (fun _ -> Digraph.copy extra) in
+  Adversary.make
+    ~name:(Printf.sprintf "delayed_stability(n=%d,k=%d,rst=%d)" n k rst)
+    ~prefix ~stable
+
+let with_recurrent_noise rng adv ~noise =
+  let seed = Rng.next rng in
+  let plen = Adversary.prefix_length adv in
+  let stable = Adversary.graph adv (plen + 1) in
+  let prefix = Array.init plen (fun i -> Adversary.graph adv (i + 1)) in
+  let recurrent r =
+    if r mod 2 = 0 then begin
+      (* Deterministic per-round generator: same run every time. *)
+      let mix = Int64.mul (Int64.of_int r) 0x9E3779B97F4A7C15L in
+      Gen.sprinkle (Rng.make (Int64.logxor seed mix)) stable noise
+    end
+    else Digraph.copy stable
+  in
+  Adversary.make_recurrent
+    ~name:(Adversary.name adv ^ Printf.sprintf "+recnoise(%.2f)" noise)
+    ~prefix ~stable ~recurrent
+
+let crash_synchronous rng ~n ~crashes =
+  List.iter
+    (fun (p, r) ->
+      if p < 0 || p >= n then invalid_arg "Build.crash_synchronous: bad pid";
+      if r < 1 then invalid_arg "Build.crash_synchronous: rounds start at 1")
+    crashes;
+  let pids = List.map fst crashes in
+  if List.length (List.sort_uniq compare pids) <> List.length pids then
+    invalid_arg "Build.crash_synchronous: duplicate crash for a process";
+  (* For each crasher, fix (once) the random subset reached in its crash
+     round. *)
+  let reached =
+    List.map
+      (fun (p, r) ->
+        let subset = Bitset.create n in
+        for q = 0 to n - 1 do
+          if q = p || Rng.bool rng then Bitset.add subset q
+        done;
+        (p, r, subset))
+      crashes
+  in
+  let graph_at round =
+    let g = Digraph.complete ~self_loops:true n in
+    List.iter
+      (fun (p, r, subset) ->
+        if round = r then
+          for q = 0 to n - 1 do
+            if q <> p && not (Bitset.mem subset q) then Digraph.remove_edge g p q
+          done
+        else if round > r then
+          for q = 0 to n - 1 do
+            if q <> p then Digraph.remove_edge g p q
+          done)
+      reached;
+    g
+  in
+  let horizon =
+    List.fold_left (fun acc (_, r) -> max acc r) 0 crashes
+  in
+  Adversary.make
+    ~name:(Printf.sprintf "crash_sync(n=%d,f=%d)" n (List.length crashes))
+    ~prefix:(Array.init horizon (fun i -> graph_at (i + 1)))
+    ~stable:(graph_at (horizon + 1))
+
+let rotating_kernel rng ~n ~extra =
+  let seed = Rng.next rng in
+  let recurrent r =
+    let center = (r - 1) mod n in
+    let star = Gen.star n ~center in
+    (* Extra transient edges on even rounds only, so every non-loop edge
+       is structurally guaranteed to miss infinitely many (odd) rounds —
+       the stable skeleton is exactly the self-loops. *)
+    if r mod 2 = 0 then
+      let mix = Int64.mul (Int64.of_int r) 0x9E3779B97F4A7C15L in
+      Gen.sprinkle (Rng.make (Int64.logxor seed mix)) star extra
+    else star
+  in
+  Adversary.make_recurrent
+    ~name:(Printf.sprintf "rotating_kernel(n=%d,extra=%.2f)" n extra)
+    ~prefix:[| recurrent 1 |]
+    ~stable:(Gen.self_loops_only n) ~recurrent
+
+let epochs ~name parts ~final =
+  List.iter
+    (fun (_, len) ->
+      if len < 1 then invalid_arg "Build.epochs: epoch length must be >= 1")
+    parts;
+  let prefix =
+    Array.concat
+      (List.map
+         (fun (g, len) -> Array.init len (fun _ -> Digraph.copy g))
+         parts)
+  in
+  Adversary.make ~name ~prefix ~stable:final
+
+let arbitrary rng ~n ~density ?(prefix_len = 0) ?(noise = 0.2) () =
+  let stable = Gen.gnp rng n density in
+  Adversary.make
+    ~name:(Printf.sprintf "arbitrary(n=%d,d=%.2f)" n density)
+    ~prefix:(noisy_prefix rng stable ~len:prefix_len ~noise)
+    ~stable

@@ -1,0 +1,151 @@
+(** Generators of run descriptions — the workload side of every experiment.
+
+    Each generator documents which predicate its runs satisfy {e by
+    construction}; the test suite re-checks those claims with the exact
+    decision procedure of {!Ssg_predicates.Predicate}.
+
+    Common optional parameters:
+    - [prefix_len] (default 0): number of pre-stabilization rounds; each
+      prefix round is the stable graph plus independent random extra edges
+      (transient timeliness that dies out), so the stable skeleton is
+      unchanged and the stabilization round is at most [prefix_len + 1].
+    - [noise] (default 0.2): the per-edge probability of that transient
+      extra timeliness. *)
+
+open Ssg_util
+open Ssg_graph
+
+(** [synchronous ~n] — the complete graph every round: a fault-free
+    synchronous system.  Satisfies [Psrcs(1)]. *)
+val synchronous : n:int -> Adversary.t
+
+(** [lower_bound ~n ~k] — the Theorem 2 run: a set [L] of [k−1] processes
+    hear only themselves forever; one process [s] hears only itself; every
+    other process hears exactly [{itself, s}].  Satisfies [Psrcs(k)] with
+    [min_k] exactly [k], yet forces [k] distinct decision values on any
+    algorithm (the members of [L ∪ {s}] never learn any other input).
+    @raise Invalid_argument unless [1 <= k < n]. *)
+val lower_bound : n:int -> k:int -> Adversary.t
+
+(** [figure1 ()] — the 6-process run of the paper's Figure 1: stable root
+    components [{p1, p2}] (a 2-cycle) and [{p3, p4, p5}] (a 3-cycle), [p6]
+    hearing both sides, and two pre-stabilization rounds carrying extra
+    transient edges (the exact transient arrows of the arXiv figure are
+    not recoverable from the text; ours are chosen to match the described
+    [G^∩2 ⊋ G^∩∞] shape).  Satisfies [Psrcs(3)]. *)
+val figure1 : unit -> Adversary.t
+
+(** [block_sources rng ~n ~k ...] — the pigeonhole family: the processes
+    are partitioned into [blocks <= k] nonempty blocks (default [k]), each
+    with a designated source heard by the whole block in every round.  Any
+    [k+1] processes contain two in one block sharing that source, so
+    [Psrcs(k)] holds {e by construction} — and stays true under the
+    optional extra edges ([intra]-block and [cross]-block densities),
+    since adding timely edges only densifies the source-sharing graph. *)
+val block_sources :
+  Rng.t ->
+  n:int ->
+  k:int ->
+  ?blocks:int ->
+  ?intra:float ->
+  ?cross:float ->
+  ?prefix_len:int ->
+  ?noise:float ->
+  unit ->
+  Adversary.t
+
+(** [partitioned rng ~n ~blocks ...] — [blocks] disjoint strongly
+    connected components with no stable cross edges: exactly [blocks] root
+    components, one agreement "island" each.  The run's [min_k] is at
+    least [blocks] but can exceed it (sparse islands need not share
+    sources internally); use {!Adversary.min_k} for the exact value. *)
+val partitioned :
+  Rng.t ->
+  n:int ->
+  blocks:int ->
+  ?extra:float ->
+  ?prefix_len:int ->
+  ?noise:float ->
+  unit ->
+  Adversary.t
+
+(** [single_root rng ~n ...] — one strongly connected root component of
+    [root_size] processes (default [max 1 (n/4)]); every other process is
+    attached below it, so the stable skeleton has exactly one root
+    component and Algorithm 1 solves consensus on such runs. *)
+val single_root :
+  Rng.t ->
+  n:int ->
+  ?root_size:int ->
+  ?extra:float ->
+  ?prefix_len:int ->
+  ?noise:float ->
+  unit ->
+  Adversary.t
+
+(** [isolated_prefix adv ~rounds] — prepends [rounds] rounds in which
+    every process hears {e only itself}, modelling the [♦Psrcs(k)]
+    discussion of Section III: even one such round erases all perpetual
+    timeliness (the stable skeleton collapses to self-loops), so the
+    perpetual predicate fails although the suffix behaves perfectly. *)
+val isolated_prefix : Adversary.t -> rounds:int -> Adversary.t
+
+(** [delayed_stability rng ~n ~k ~rst] — a [block_sources]-style run whose
+    skeleton stabilizes {e exactly} at round [rst]: a batch of extra edges
+    is present in {e every} round up to [rst - 1] and then vanishes
+    forever, so [G^∩r] strictly shrinks at round [rst].  (A merely-random
+    noisy prefix does not achieve this: per-round noise intersects away
+    within a couple of rounds.)  Used to measure decision latency as a
+    function of [r_ST] (Lemma 11).  @raise Invalid_argument if [rst < 1]. *)
+val delayed_stability : Rng.t -> n:int -> k:int -> rst:int -> Adversary.t
+
+(** [with_recurrent_noise rng adv ~noise] — layers {e perpetual} transient
+    timeliness over [adv]: every even round beyond the prefix carries
+    independent extra edges (probability [noise] each) on top of the
+    stable graph; odd rounds are exactly the stable graph.  The skeleton
+    and all predicates are unchanged (every transient edge misses every
+    odd round), but the round graphs now vary forever — the adversarial
+    regime in which Line 27's restriction to timely senders is
+    load-bearing (ablation experiment). *)
+val with_recurrent_noise : Rng.t -> Adversary.t -> noise:float -> Adversary.t
+
+(** [crash_synchronous rng ~n ~crashes] — the classical synchronous
+    crash-fault model as a run description: all graphs are complete except
+    that a process crashing in round [r] reaches only a random subset of
+    the others in round [r] and nobody (besides itself) afterwards.
+    [crashes] lists [(process, round)] pairs, one per process, rounds
+    [>= 1].  This is FloodMin's home model. *)
+val crash_synchronous : Rng.t -> n:int -> crashes:(int * int) list -> Adversary.t
+
+(** [rotating_kernel rng ~n ~extra] — a run in which {e every} round has a
+    nonempty kernel (one process heard by everyone — the round's star
+    centre, which rotates each round) plus random extra edges: all
+    per-round HO predicates of the no-split family hold forever, while the
+    {e perpetual} skeleton collapses to self-loops (no edge survives the
+    rotation).  The home ground of UniformVoting, and a sharp separation
+    between per-round and perpetual predicates. *)
+val rotating_kernel : Rng.t -> n:int -> extra:float -> Adversary.t
+
+(** [epochs ~name parts ~final] — a {e dynamic-network} run: the topology
+    moves through a schedule of epochs, each a graph repeated for a given
+    number of rounds, and settles on [final] forever.  Partitions can
+    split and heal mid-run.  The cumulative skeleton of such a run is the
+    intersection of everything (usually near-empty); the meaningful
+    analysis is per-window ({!Ssg_skeleton.Windowed}) or per agreement
+    instance ({!Ssg_apps.Repeated}).
+    @raise Invalid_argument on an empty schedule entry or order
+    mismatch. *)
+val epochs : name:string -> (Digraph.t * int) list -> final:Digraph.t -> Adversary.t
+
+(** [arbitrary rng ~n ~density ...] — an unconstrained random stable
+    skeleton ([G(n, density)] plus self-loops) with a noisy prefix: no
+    predicate is guaranteed; used to exercise the claim that the skeleton
+    approximation is correct under {e any} communication predicate. *)
+val arbitrary :
+  Rng.t ->
+  n:int ->
+  density:float ->
+  ?prefix_len:int ->
+  ?noise:float ->
+  unit ->
+  Adversary.t

@@ -1,0 +1,34 @@
+(** A plain-text file format for run descriptions.
+
+    Lets counterexamples, regression runs and hand-crafted scenarios be
+    saved, diffed, mailed around and re-loaded — the unit of exchange for
+    this library's experiments (the CLI's [--save]/[--load] and the
+    [ssg shrink] workflow).
+
+    Format (line oriented; [#] starts a comment; blank lines ignored):
+
+    {v
+    ssg-run v1
+    n 3
+    # one line per prefix round, then the stable graph
+    round 1: 1>0 0>2 1>2 2>1
+    stable: 1>0 0>2 1>2
+    v}
+
+    Edges are [src>dst] with 0-based process ids; self-loops are implied
+    (every graph gets all of them — the model invariant) and not written.
+    Runs with a recurrent-noise component cannot be serialized (they
+    contain a function); [to_string] raises [Invalid_argument] on them. *)
+
+(** [to_string adv] serializes.  @raise Invalid_argument for recurrent
+    runs. *)
+val to_string : Adversary.t -> string
+
+(** [of_string text] parses.  @raise Failure with a line-numbered message
+    on malformed input. *)
+val of_string : string -> Adversary.t
+
+(** [save adv path] / [load path] — file variants. *)
+val save : Adversary.t -> string -> unit
+
+val load : string -> Adversary.t

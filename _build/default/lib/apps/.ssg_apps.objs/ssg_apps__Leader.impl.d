@@ -1,0 +1,1 @@
+lib/apps/leader.ml: Approx Bitset Lgraph List Scc Ssg_core Ssg_graph Ssg_util

@@ -1,0 +1,1 @@
+lib/apps/leader.mli: Lgraph Ssg_core Ssg_graph

@@ -1,0 +1,1 @@
+lib/apps/renaming.ml: Adversary Array Executor List Runner Ssg_adversary Ssg_rounds Ssg_sim

@@ -1,0 +1,1 @@
+lib/apps/renaming.mli: Adversary Executor Ssg_adversary Ssg_rounds

@@ -1,0 +1,1 @@
+lib/apps/repeated.ml: Adversary Array Bitset Executor Kset_agreement List Option Ssg_adversary Ssg_core Ssg_rounds Ssg_util

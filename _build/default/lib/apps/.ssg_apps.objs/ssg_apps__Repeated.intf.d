@@ -1,0 +1,1 @@
+lib/apps/repeated.mli: Adversary Ssg_adversary Ssg_util

@@ -1,0 +1,32 @@
+open Ssg_util
+open Ssg_graph
+open Ssg_core
+
+type t = { approx : Approx.t; mutable current : int }
+
+let create ~n ~self = { approx = Approx.create ~n ~self (); current = self }
+let message t = Approx.message t.approx
+
+(* Leader = the smallest process in any root component of the (unlabelled)
+   approximation graph: the sources of everything p still considers
+   perpetually timely. *)
+let recompute t =
+  let g = Approx.graph_view t.approx in
+  let nodes = Lgraph.nodes g in
+  let roots = Scc.root_components ~nodes (Lgraph.to_digraph g) in
+  let best =
+    List.fold_left
+      (fun acc root ->
+        let m = Bitset.min_elt root in
+        match acc with Some b when b <= m -> acc | _ -> Some m)
+      None roots
+  in
+  t.current <-
+    (match best with Some b -> b | None -> Approx.self t.approx)
+
+let step t ~round ~received =
+  Approx.step t.approx ~round ~received;
+  recompute t
+
+let leader t = t.current
+let approx t = t.approx

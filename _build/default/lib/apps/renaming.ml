@@ -1,0 +1,42 @@
+open Ssg_rounds
+open Ssg_adversary
+open Ssg_sim
+
+type t = { anchors : int list; new_names : int array }
+
+let assign ~n decisions =
+  if n <= 0 || Array.length decisions <> n then
+    invalid_arg "Renaming.assign: bad system size";
+  let anchors = List.sort_uniq compare (Array.to_list decisions) in
+  let rank v =
+    let rec go i = function
+      | [] -> invalid_arg "Renaming.assign: value not an anchor"
+      | a :: rest -> if a = v then i else go (i + 1) rest
+    in
+    go 0 anchors
+  in
+  let counters = Array.make (List.length anchors) 0 in
+  let new_names =
+    Array.map
+      (fun v ->
+        let r = rank v in
+        let offset = counters.(r) in
+        counters.(r) <- offset + 1;
+        (r * n) + offset)
+      decisions
+  in
+  { anchors; new_names }
+
+let bound t ~n = List.length t.anchors * n
+
+let run adv ~names =
+  let report = Runner.run_kset ~inputs:names adv in
+  let outcome = report.Runner.outcome in
+  let decisions =
+    Array.map
+      (function
+        | Some d -> d.Executor.value
+        | None -> failwith "Renaming.run: a process did not decide")
+      outcome.Executor.decisions
+  in
+  (assign ~n:(Adversary.n adv) decisions, outcome)

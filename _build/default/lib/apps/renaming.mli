@@ -1,0 +1,36 @@
+(** Name-space reduction (renaming) on top of k-set agreement.
+
+    The paper's introduction cites renaming as a consumer of k-set
+    agreement.  The construction here: every process proposes its original
+    identifier; k-set agreement yields at most [k] decided identifiers
+    ({e anchors}); a process's new name is the pair (rank of its decided
+    anchor, its own rank among same-anchor processes), flattened into
+    [anchor_rank * n + offset].  This maps an arbitrary identifier space
+    into [0 .. k*n - 1] with no global coordination beyond the agreement
+    itself. *)
+
+open Ssg_rounds
+open Ssg_adversary
+
+(** The result of a renaming round. *)
+type t = {
+  anchors : int list;  (** distinct decided identifiers, ascending *)
+  new_names : int array;
+      (** per process: [anchor_rank * n + offset]; injective *)
+}
+
+(** [assign ~n decisions] computes names from per-process decided values
+    (process [p]'s decided value is [decisions.(p)]).  Offsets are
+    assigned by ascending process id within each anchor group, which every
+    participant can compute locally once all decisions are known.
+    @raise Invalid_argument on an empty system. *)
+val assign : n:int -> int array -> t
+
+(** [bound t ~n] — the size of the target namespace: [#anchors * n]. *)
+val bound : t -> n:int -> int
+
+(** [run adv ~names] — run Algorithm 1 on [adv] with proposal [names]
+    and assign new names from the outcome.
+    @raise Failure if some process did not decide within the default
+    horizon (cannot happen for well-formed run descriptions). *)
+val run : Adversary.t -> names:int array -> t * Executor.outcome

@@ -1,0 +1,50 @@
+open Ssg_util
+open Ssg_rounds
+open Ssg_adversary
+open Ssg_core
+
+type instance_result = {
+  index : int;
+  first_round : int;
+  decisions : int option array;
+  distinct : int;
+}
+
+let run adv ~proposals ~instances ~window =
+  if window < 1 then invalid_arg "Repeated.run: window must be positive";
+  if instances < 1 then invalid_arg "Repeated.run: need at least one instance";
+  let module E = Executor.Make (Kset_agreement.Alg) in
+  List.init instances (fun i ->
+      let offset = i * window in
+      let cfg =
+        E.config ~stop_when_all_decided:false
+          ~inputs:(proposals i)
+          ~graphs:(fun r -> Adversary.graph adv (offset + r))
+          ~max_rounds:window ()
+      in
+      let outcome, _ = E.run cfg in
+      let decisions =
+        Array.map
+          (Option.map (fun d -> d.Executor.value))
+          outcome.Executor.decisions
+      in
+      {
+        index = i;
+        first_round = offset + 1;
+        decisions;
+        distinct = List.length (Executor.decision_values outcome);
+      })
+
+let default_window = Adversary.decision_horizon
+
+let log_of results p = List.map (fun r -> r.decisions.(p)) results
+
+let logs_agree results ~members =
+  match Bitset.min_elt_opt members with
+  | None -> true
+  | Some first ->
+      let reference = log_of results first in
+      List.for_all (fun v -> v <> None) reference
+      && Bitset.for_all
+           (fun p -> log_of results p = reference)
+           members

@@ -1,0 +1,48 @@
+(** Repeated k-set agreement — a log of agreement instances over one
+    evolving communication system.
+
+    The paper's practical motivation is "partitionable systems that need
+    to reach consensus in every partition"; a system needs that not once
+    but per entry of a replicated log.  This module time-multiplexes
+    Algorithm 1: instance [i] occupies rounds
+    [(i·window, (i+1)·window]] of the underlying run description, with
+    fresh proposals per instance and fresh algorithm state, while the
+    communication system keeps evolving underneath.
+
+    If [window >= 2n + prefix slack], Lemma 11 guarantees every instance
+    completes within its window; in runs whose skeleton is stable, every
+    instance then yields one value per root component, so the per-member
+    logs of a component are identical — replicated state machines, one
+    per partition. *)
+
+open Ssg_adversary
+
+type instance_result = {
+  index : int;  (** instance number, from 0 *)
+  first_round : int;  (** global round where the instance started *)
+  decisions : int option array;  (** per process *)
+  distinct : int;  (** distinct decided values *)
+}
+
+(** [run adv ~proposals ~instances ~window] executes [instances]
+    back-to-back windows.  [proposals i] gives the per-process proposals
+    of instance [i].
+    @raise Invalid_argument if [window < 1] or [instances < 1]. *)
+val run :
+  Adversary.t ->
+  proposals:(int -> int array) ->
+  instances:int ->
+  window:int ->
+  instance_result list
+
+(** [default_window adv] — a window size sufficient for every instance to
+    complete on [adv] ({!Adversary.decision_horizon}). *)
+val default_window : Adversary.t -> int
+
+(** [log_of results p] — process [p]'s log: its decided value per
+    instance ([None] if it failed to decide within the window). *)
+val log_of : instance_result list -> int -> int option list
+
+(** [logs_agree results ~members] — all processes in [members] have
+    identical, fully-decided logs. *)
+val logs_agree : instance_result list -> members:Ssg_util.Bitset.t -> bool

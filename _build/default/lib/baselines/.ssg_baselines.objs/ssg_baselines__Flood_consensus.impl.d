@@ -1,0 +1,1 @@
+lib/baselines/flood_consensus.ml: Floodmin

@@ -1,0 +1,1 @@
+lib/baselines/flood_consensus.mli: Round_model Ssg_rounds

@@ -1,0 +1,1 @@
+lib/baselines/floodmin.ml: Array Printf Round_model Ssg_rounds

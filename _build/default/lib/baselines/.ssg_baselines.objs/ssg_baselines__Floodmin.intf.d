@@ -1,0 +1,1 @@
+lib/baselines/floodmin.mli: Round_model Ssg_rounds

@@ -1,0 +1,1 @@
+lib/baselines/naive_min.ml: Floodmin Printf Round_model Ssg_rounds

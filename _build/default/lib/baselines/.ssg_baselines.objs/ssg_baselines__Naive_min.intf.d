@@ -1,0 +1,1 @@
+lib/baselines/naive_min.mli: Round_model Ssg_rounds

@@ -1,0 +1,1 @@
+lib/baselines/one_third_rule.ml: Array Hashtbl Option Round_model Ssg_rounds

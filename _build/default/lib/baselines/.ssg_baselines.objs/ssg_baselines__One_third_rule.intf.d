@@ -1,0 +1,1 @@
+lib/baselines/one_third_rule.mli: Round_model Ssg_rounds

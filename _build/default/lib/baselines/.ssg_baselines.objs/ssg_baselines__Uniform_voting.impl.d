@@ -1,0 +1,1 @@
+lib/baselines/uniform_voting.ml: Array Fun List Round_model Ssg_rounds

@@ -1,0 +1,1 @@
+lib/baselines/uniform_voting.mli: Round_model Ssg_rounds

@@ -1,0 +1,1 @@
+let make ~f = Floodmin.make ~rounds:(Floodmin.rounds_for ~f ~k:1)

@@ -1,0 +1,10 @@
+(** Flooding consensus — FloodMin at [k = 1].
+
+    The textbook [f + 1]-round synchronous consensus: flood minima and
+    decide after [f + 1] rounds.  Used as the [k = 1] anchor of the
+    baseline comparison (E6). *)
+
+open Ssg_rounds
+
+(** [make ~f] — decide after [f + 1] rounds. *)
+val make : f:int -> Round_model.packed

@@ -1,0 +1,32 @@
+open Ssg_rounds
+
+type state = { deadline : int; mutable best : int; mutable dec : int option }
+
+let value_bits = 32
+
+let make ~rounds =
+  if rounds < 1 then invalid_arg "Floodmin.make: need at least one round";
+  let module A = struct
+    type nonrec state = state
+    type message = int
+
+    let name = Printf.sprintf "floodmin(R=%d)" rounds
+    let init ~n:_ ~self:_ ~input = { deadline = rounds; best = input; dec = None }
+    let send ~round:_ s = s.best
+
+    let transition ~round s inbox =
+      Array.iter
+        (function Some v when v < s.best -> s.best <- v | _ -> ())
+        inbox;
+      if round >= s.deadline && s.dec = None then s.dec <- Some s.best;
+      s
+
+    let decision s = s.dec
+    let message_bits ~n:_ ~round:_ _ = value_bits
+  end in
+  Round_model.Packed (module A)
+
+let rounds_for ~f ~k =
+  if k < 1 then invalid_arg "Floodmin.rounds_for: k must be >= 1";
+  if f < 0 then invalid_arg "Floodmin.rounds_for: negative f";
+  (f / k) + 1

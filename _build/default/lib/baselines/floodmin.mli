@@ -1,0 +1,25 @@
+(** FloodMin — the classical synchronous k-set agreement baseline
+    (Chaudhuri's algorithm, cf. the paper's reference [5]).
+
+    Every process floods the smallest proposal value it has seen and
+    decides on it after a fixed number of rounds.  With at most [f]
+    crash failures in the {e synchronous crash model},
+    [⌊f/k⌋ + 1] rounds guarantee at most [k] distinct decisions — the
+    round budget is the only knob.
+
+    This baseline is {b sound only in its own model}: on general
+    [Psrcs(k)] runs, where whole components never hear each other, a
+    fixed horizon proves nothing (experiment E6 quantifies the failure).
+    It is included to give the benchmarks the paper's classical point of
+    comparison: few rounds and O(log n)-bit messages, versus Algorithm 1's
+    model-independence at Θ(n) rounds and polynomial-size messages. *)
+
+open Ssg_rounds
+
+(** [make ~rounds] — flood for [rounds] rounds, then decide.  For the
+    synchronous crash model with [f] crashes and target [k], pass
+    [rounds = f / k + 1].  @raise Invalid_argument if [rounds < 1]. *)
+val make : rounds:int -> Round_model.packed
+
+(** [rounds_for ~f ~k] is the canonical round budget [⌊f/k⌋ + 1]. *)
+val rounds_for : f:int -> k:int -> int

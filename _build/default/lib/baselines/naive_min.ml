@@ -1,0 +1,11 @@
+open Ssg_rounds
+
+let make ~horizon =
+  match Floodmin.make ~rounds:horizon with
+  | Round_model.Packed (module A) ->
+      let module N = struct
+        include A
+
+        let name = Printf.sprintf "naive-min(H=%d)" horizon
+      end in
+      Round_model.Packed (module N)

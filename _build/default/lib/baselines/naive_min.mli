@@ -1,0 +1,16 @@
+(** The naive strawman: decide the flooded minimum after a fixed horizon,
+    in {e any} model.
+
+    This is what one might try before reading Section IV: ignore graph
+    structure entirely, flood minima for [horizon] rounds, decide.  It is
+    exactly FloodMin run outside its model, packaged separately so the
+    experiments can speak of "the naive rule": under [♦Psrcs(k)] an
+    isolation prefix longer than the horizon forces up to [n] distinct
+    decisions (the Section III indistinguishability argument made
+    executable — experiment E7), while Algorithm 1's graph-theoretic
+    decision rule waits out any finite disruption. *)
+
+open Ssg_rounds
+
+(** [make ~horizon] — flood minima, decide at round [horizon]. *)
+val make : horizon:int -> Round_model.packed

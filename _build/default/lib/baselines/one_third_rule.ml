@@ -1,0 +1,54 @@
+open Ssg_rounds
+
+type state = { n : int; mutable x : int; mutable dec : int option }
+
+let value_bits = 32
+
+module Alg = struct
+  type nonrec state = state
+  type message = int
+
+  let name = "one-third-rule"
+  let init ~n ~self:_ ~input = { n; x = input; dec = None }
+  let send ~round:_ s = s.x
+
+  (* Values received this round, with multiplicities. *)
+  let tally inbox =
+    let counts = Hashtbl.create 8 in
+    let total = ref 0 in
+    Array.iter
+      (function
+        | Some v ->
+            incr total;
+            Hashtbl.replace counts v
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+        | None -> ())
+      inbox;
+    (counts, !total)
+
+  let transition ~round:_ s inbox =
+    let counts, received = tally inbox in
+    if 3 * received > 2 * s.n then begin
+      (* adopt the smallest most-frequent value *)
+      let best = ref None in
+      Hashtbl.iter
+        (fun v c ->
+          match !best with
+          | Some (bv, bc) when c < bc || (c = bc && v >= bv) -> ()
+          | _ -> best := Some (v, c))
+        counts;
+      (match !best with Some (v, _) -> s.x <- v | None -> ());
+      (* decide on a value carried by > 2n/3 received messages *)
+      if s.dec = None then
+        Hashtbl.iter
+          (fun v c -> if 3 * c > 2 * s.n then s.dec <- Some v)
+          counts
+    end;
+    s
+
+  let decision s = s.dec
+  let message_bits ~n:_ ~round:_ _ = value_bits
+end
+
+let packed = Round_model.Packed (module Alg)
+let make () = packed

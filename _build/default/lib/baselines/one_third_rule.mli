@@ -1,0 +1,28 @@
+(** The One-Third-Rule consensus algorithm (Charron-Bost & Schiper's HO
+    model — the paper's reference [4]).
+
+    Every round, broadcast the current estimate; if more than [2n/3]
+    messages arrive, adopt the smallest most-frequent received value, and
+    decide on a value carried by more than [2n/3] of the {e received}
+    messages.
+
+    Its profile is the mirror image of FloodMin's, which makes it the
+    interesting third corner for the baseline comparison (E6):
+
+    - {b Safety unconditionally}: agreement and validity hold under every
+      communication pattern — rounds with too few arrivals simply change
+      nothing.  On a partitioned run OTR never decides in a minority
+      island rather than deciding wrongly.
+    - {b Liveness only under strong rounds}: it needs rounds where
+      everyone hears the same > 2n/3 processes to converge and decide
+      (e.g. synchronous rounds).  [Psrcs(k)] alone gives it nothing.
+
+    Algorithm 1 sits between the two: it terminates in {e every} run and
+    bounds disagreement by the run's own [min_k]. *)
+
+open Ssg_rounds
+
+(** The algorithm (one instance fits every n; no parameters). *)
+val packed : Round_model.packed
+
+val make : unit -> Round_model.packed

@@ -1,0 +1,70 @@
+open Ssg_rounds
+
+type state = {
+  n : int;
+  mutable x : int;
+  mutable vote : int option;
+  mutable dec : int option;
+}
+
+type msg = Estimate of int | Vote of int option
+
+let value_bits = 32
+
+module Alg = struct
+  type nonrec state = state
+  type message = msg
+
+  let name = "uniform-voting"
+  let init ~n ~self:_ ~input = { n; x = input; vote = None; dec = None }
+
+  let send ~round s =
+    if round mod 2 = 1 then Estimate s.x else Vote s.vote
+
+  let received inbox =
+    Array.to_list inbox |> List.filter_map Fun.id
+
+  let transition ~round s inbox =
+    let msgs = received inbox in
+    if round mod 2 = 1 then begin
+      (* odd round: estimates *)
+      let estimates =
+        List.filter_map (function Estimate v -> Some v | Vote _ -> None) msgs
+      in
+      (match estimates with
+      | v :: rest ->
+          if List.for_all (fun u -> u = v) rest then s.vote <- Some v
+          else s.vote <- None;
+          s.x <- List.fold_left min v rest
+      | [] -> s.vote <- None)
+    end
+    else begin
+      (* even round: votes *)
+      let votes =
+        List.filter_map (function Vote v -> v | Estimate _ -> None) msgs
+      in
+      (match votes with
+      | v :: rest -> s.x <- List.fold_left min v rest
+      | [] -> ());
+      (* decide iff every received message carries the same real vote *)
+      let all_votes =
+        List.map (function Vote v -> v | Estimate _ -> None) msgs
+      in
+      (match all_votes with
+      | Some v :: rest when List.for_all (fun u -> u = Some v) rest ->
+          if s.dec = None then s.dec <- Some v
+      | _ -> ());
+      s.vote <- None
+    end;
+    s
+
+  let decision s = s.dec
+
+  let message_bits ~n:_ ~round:_ = function
+    | Estimate _ -> 1 + value_bits
+    | Vote None -> 2
+    | Vote (Some _) -> 2 + value_bits
+end
+
+let packed = Round_model.Packed (module Alg)
+let make () = packed

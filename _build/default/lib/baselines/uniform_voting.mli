@@ -1,0 +1,29 @@
+(** UniformVoting — the two-round-phase consensus of the HO model
+    (Charron-Bost & Schiper, the paper's reference [4]).
+
+    Phase [φ] = rounds [2φ−1, 2φ]:
+    - odd round: broadcast the estimate; if {e all} received estimates
+      carry one value [v̄], vote [v̄], else vote [?]; adopt the minimum
+      received estimate.
+    - even round: broadcast the vote; adopt any non-[?] vote received
+      (smallest); decide when {e all} received votes are one non-[?]
+      value.
+
+    Its contract completes the baseline triangle of E6:
+    - safety needs {b no-split} odd rounds (any two heard-of sets
+      intersect — e.g. every round has a kernel process heard by all):
+      then at most one value can ever be voted per phase.  Under split
+      rounds (true partitions) each island can decide its own value.
+    - liveness needs a {b space-uniform} phase (everyone hears the same
+      set): then everyone votes the same value and decides.
+
+    Compare: FloodMin (needs the crash model, fast), One-Third-Rule
+    (safe everywhere, needs > 2n/3 arrivals to move), Algorithm 1
+    (terminates everywhere, disagreement bounded by the run's own
+    min_k). *)
+
+open Ssg_rounds
+
+val packed : Round_model.packed
+
+val make : unit -> Round_model.packed

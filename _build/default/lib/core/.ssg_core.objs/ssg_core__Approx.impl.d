@@ -1,0 +1,1 @@
+lib/core/approx.ml: Array Bitset Lgraph Printf Ssg_graph Ssg_util

@@ -1,0 +1,1 @@
+lib/core/approx.mli: Bitset Lgraph Ssg_graph Ssg_util

@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Array Bitset Digraph Kset_agreement Lgraph List Printf Scc Skeleton Ssg_graph Ssg_rounds Ssg_skeleton Ssg_util Trace

@@ -1,0 +1,1 @@
+lib/core/certificate.mli: Kset_agreement Ssg_graph Ssg_rounds Trace

@@ -1,0 +1,1 @@
+lib/core/kset_agreement.ml: Approx Array Codec Lgraph Option Printf Round_model Ssg_graph Ssg_rounds

@@ -1,0 +1,1 @@
+lib/core/kset_agreement.mli: Bitset Lgraph Round_model Ssg_graph Ssg_rounds Ssg_util

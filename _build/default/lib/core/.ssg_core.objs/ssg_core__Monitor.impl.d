@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Array Bitset Digraph Kset_agreement Lgraph List Printf Scc Ssg_graph Ssg_skeleton Ssg_util

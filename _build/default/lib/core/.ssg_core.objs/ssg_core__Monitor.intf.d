@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Bitset Digraph Kset_agreement Lgraph Ssg_graph Ssg_util

@@ -1,0 +1,75 @@
+open Ssg_util
+open Ssg_graph
+open Ssg_rounds
+open Ssg_skeleton
+
+type t = {
+  owner : int;
+  round : int;
+  value : int;
+  graph : Lgraph.t;
+}
+
+let capture states ~round =
+  Array.to_list states
+  |> List.filter_map (fun s ->
+         match
+           ( Kset_agreement.decided s,
+             Kset_agreement.decided_via s,
+             Kset_agreement.decision_round s )
+         with
+         | Some value, Some `Certificate, Some r when r = round ->
+             Some
+               {
+                 owner = Kset_agreement.self_of s;
+                 round;
+                 value;
+                 graph = Kset_agreement.approx_of s;
+               }
+         | _ -> None)
+
+type verdict = [ `Valid | `Valid_but_dissolved | `Invalid of string ]
+
+let verify cert ~trace ~inputs =
+  let n = Trace.n trace in
+  let fail fmt = Printf.ksprintf (fun m -> `Invalid m) fmt in
+  if cert.owner < 0 || cert.owner >= n then fail "owner out of range"
+  else if cert.round < n then
+    fail "decision round %d violates the r >= n guard" cert.round
+  else if cert.round > Trace.rounds trace then
+    fail "trace does not cover round %d" cert.round
+  else if Lgraph.capacity cert.graph <> n then fail "graph capacity mismatch"
+  else if not (Lgraph.mem_node cert.graph cert.owner) then
+    fail "owner missing from its own certificate"
+  else if not (Lgraph.is_strongly_connected cert.graph) then
+    fail "certificate graph is not strongly connected"
+  else if not (Array.exists (fun v -> v = cert.value) inputs) then
+    fail "decided value %d was never proposed" cert.value
+  else begin
+    (* Observation 1 freshness and Lemma 6 soundness, edge by edge.  All
+       round skeletons are materialized once (O(R·n²/w)) rather than per
+       edge. *)
+    let skeletons = Skeleton.all trace in
+    let problem = ref None in
+    Lgraph.iter_edges cert.graph (fun q' q s ->
+        if !problem = None then
+          if s <= cert.round - n || s < 1 || s > cert.round then
+            problem :=
+              Some (Printf.sprintf "stale or out-of-range label %d on %d->%d" s q' q)
+          else if not (Digraph.mem_edge skeletons.(s - 1) q' q) then
+            problem :=
+              Some
+                (Printf.sprintf "edge %d->%d was not timely through round %d"
+                   q' q s));
+    match !problem with
+    | Some m -> `Invalid m
+    | None ->
+        (* The honest-but-misleading case (E9): does the certified
+           component still exist in the final skeleton? *)
+        let nodes = Lgraph.nodes cert.graph in
+        if
+          Bitset.cardinal nodes <= 1
+          || Scc.is_strongly_connected ~nodes (Skeleton.final trace)
+        then `Valid
+        else `Valid_but_dissolved
+  end

@@ -1,0 +1,49 @@
+(** Verifiable decision certificates.
+
+    Lemma 6 says every edge of an approximation graph records {e true}
+    past timeliness: [(q' --s--> q) ∈ G_p] implies [q' ∈ PT(q, s)].  That
+    makes a Line 28/29 decision auditable: the decider can publish its
+    strongly connected [G_p] (plus round and value) as a certificate, and
+    any party holding the communication trace can re-check, without
+    trusting the decider, that
+
+    - the decision round respected the [>= n] guard,
+    - the published graph is strongly connected and contains the decider,
+    - no label is stale ([label > round - n], Observation 1),
+    - every edge was genuinely timely at its label round (Lemma 6), and
+    - (given the proposals) the decided value was actually proposed.
+
+    A forged certificate — a fabricated edge, a stale label, a value from
+    nowhere — is rejected with a reason.  The stale-certificate runs of
+    experiment E9 are precisely runs where an {e honest} certificate is
+    misleading: it passes all of the above yet its component has already
+    dissolved; [verify] therefore also reports whether the certified
+    component still exists in the final skeleton ([`Valid] vs
+    [`Valid_but_dissolved]), which is the external view of the Theorem 16
+    gap. *)
+
+open Ssg_rounds
+
+type t = {
+  owner : int;
+  round : int;  (** the round the decision was taken in *)
+  value : int;
+  graph : Ssg_graph.Lgraph.t;  (** the certifying approximation graph *)
+}
+
+(** [capture states ~round] — certificates for every process that decided
+    {e via Line 29} in exactly [round] (pair with an executor [on_round]
+    hook).  Processes that adopted a decision message (Line 12) publish no
+    certificate — their guarantee is inherited. *)
+val capture : Kset_agreement.state array -> round:int -> t list
+
+type verdict =
+  [ `Valid  (** all checks pass and the component survives in G^∩∞ *)
+  | `Valid_but_dissolved
+    (** all checks pass, but the certified component is not strongly
+        connected in the trace's final skeleton — the E9 regime *)
+  | `Invalid of string ]
+
+(** [verify cert ~trace ~inputs] audits a certificate against the ground
+    truth.  [trace] must cover the decision round. *)
+val verify : t -> trace:Trace.t -> inputs:int array -> verdict

@@ -1,0 +1,74 @@
+(** Algorithm 1 — solving k-set agreement with stable skeleton graphs.
+
+    The algorithm is anonymous in [k]: it never mentions the parameter.
+    Its guarantee is relative to the run — in every run satisfying
+    [Psrcs(k)] the processes decide on at most [k] distinct values
+    (Theorem 16), and in every run whatsoever it terminates (by
+    [r_ST + 2n − 1]) with validity.  The decision rule is purely
+    graph-theoretic: once the local approximation [G_p] is strongly
+    connected at a round [>= n], the estimate is decided; decisions also
+    propagate through [(decide, x, G)] messages from timely senders.
+
+    Implements {!Ssg_rounds.Round_model.ALGORITHM}, so it runs on the
+    generic executor.  [make] exposes the ablation switches of
+    {!Approx} plus [estimate_from_all] (Line 27 taken over {e all}
+    received values instead of only timely senders — breaks k-agreement;
+    used by the ablation benches). *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_rounds
+
+type state
+
+(** Views into the state, for monitors, traces and the Figure 1
+    reproduction. *)
+
+val self_of : state -> int
+val estimate : state -> int  (** the current [x_p] *)
+
+val decided : state -> int option
+
+(** How the decision was taken: [`Certificate] = Line 29 (own strongly
+    connected approximation), [`Adopted] = Line 12 (a decide message from
+    a timely sender). *)
+val decided_via : state -> [ `Certificate | `Adopted ] option
+
+(** The round the decision was taken in. *)
+val decision_round : state -> int option
+
+val pt_of : state -> Bitset.t  (** current [PT_p] (copy) *)
+
+val approx_of : state -> Lgraph.t  (** current [G_p] (copy) *)
+
+(** The algorithm with the paper's exact semantics. *)
+module Alg : Round_model.ALGORITHM with type state = state
+
+(** [packed] is [Alg] ready for the generic harness. *)
+val packed : Round_model.packed
+
+(** [make ()] builds a (possibly ablated) variant.  All switches default
+    to the paper's algorithm; [name] defaults to a string describing the
+    switches. *)
+val make :
+  ?enable_purge:bool ->
+  ?enable_prune:bool ->
+  ?estimate_from_all:bool ->
+  ?decide_early:bool ->
+  ?strict_guard:bool ->
+  ?confirm_rounds:int ->
+  ?name:string ->
+  unit ->
+  Round_model.packed
+
+(** [make_alg] is [make] returning the typed module (state observable). *)
+val make_alg :
+  ?enable_purge:bool ->
+  ?enable_prune:bool ->
+  ?estimate_from_all:bool ->
+  ?decide_early:bool ->
+  ?strict_guard:bool ->
+  ?confirm_rounds:int ->
+  ?name:string ->
+  unit ->
+  (module Round_model.ALGORITHM with type state = state)

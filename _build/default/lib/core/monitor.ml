@@ -1,0 +1,206 @@
+open Ssg_util
+open Ssg_graph
+
+type view = { pt : Bitset.t; approx : Lgraph.t }
+
+let view_of_kset s =
+  { pt = Kset_agreement.pt_of s; approx = Kset_agreement.approx_of s }
+
+type snapshot = {
+  owner : int;
+  at_round : int;
+  nodes : Bitset.t;
+  edges : Digraph.t;
+}
+
+type t = {
+  order : int;
+  skel : Ssg_skeleton.Skeleton.t;
+  mutable skeletons : Digraph.t list; (* newest first; skeleton of round r at position (round - r) *)
+  mutable round : int;
+  mutable faults : string list; (* newest first *)
+  mutable fault_count : int;
+  mutable snapshots : snapshot list;
+  mutable snapshotted : Bitset.t; (* processes with a recorded snapshot *)
+}
+
+let max_recorded_faults = 200
+
+let create ~n =
+  {
+    order = n;
+    skel = Ssg_skeleton.Skeleton.start ~n;
+    skeletons = [];
+    round = 0;
+    faults = [];
+    fault_count = 0;
+    snapshots = [];
+    snapshotted = Bitset.create n;
+  }
+
+let report t fmt =
+  Printf.ksprintf
+    (fun msg ->
+      t.fault_count <- t.fault_count + 1;
+      if t.fault_count <= max_recorded_faults then t.faults <- msg :: t.faults)
+    fmt
+
+let skeleton_at t r =
+  (* skeletons is newest-first: G^∩round at head. *)
+  List.nth t.skeletons (t.round - r)
+
+(* Subgraph check: every node and labelled edge of [g] appears in the node
+   set [c] with its edge present in [skel]. *)
+let lgraph_inside t ~what ~round ~owner g c skel =
+  Bitset.iter
+    (fun v ->
+      if not (Bitset.mem c v) then
+        report t "round %d p%d: %s: node %d outside component %s" round
+          (owner + 1) what v (Bitset.to_string c))
+    (Lgraph.nodes g);
+  Lgraph.iter_edges g (fun q' q _ ->
+      if not (Digraph.mem_edge skel q' q) then
+        report t "round %d p%d: %s: edge %d->%d not in skeleton" round
+          (owner + 1) what q' q)
+
+(* Component (nodes and skeleton edges) contained in the approximation. *)
+let component_inside t ~what ~round ~owner comp skel g =
+  let nodes = Lgraph.nodes g in
+  Bitset.iter
+    (fun v ->
+      if not (Bitset.mem nodes v) then
+        report t "round %d p%d: %s: component node %d missing from G_p" round
+          (owner + 1) what v)
+    comp;
+  Bitset.iter
+    (fun q ->
+      Digraph.iter_preds skel q (fun q' ->
+          if Bitset.mem comp q' && not (Lgraph.mem_edge g q' q) then
+            report t "round %d p%d: %s: component edge %d->%d missing from G_p"
+              round (owner + 1) what q' q))
+    comp
+
+let observe t ~round ~graph views =
+  if round <> t.round + 1 then
+    invalid_arg
+      (Printf.sprintf "Monitor.observe: expected round %d, got %d"
+         (t.round + 1) round);
+  if Array.length views <> t.order then
+    invalid_arg "Monitor.observe: wrong number of views";
+  ignore (Ssg_skeleton.Skeleton.absorb t.skel graph);
+  t.round <- round;
+  let skel_now = Ssg_skeleton.Skeleton.current t.skel in
+  t.skeletons <- skel_now :: t.skeletons;
+  let n = t.order in
+  Array.iteri
+    (fun p view ->
+      let g = view.approx in
+      (* Observation 1: p ∈ G^r_p, labels > r - n. *)
+      if not (Lgraph.mem_node g p) then
+        report t "round %d p%d: Obs1: owner not in its own graph" round (p + 1);
+      Lgraph.iter_edges g (fun q' q l ->
+          if l <= round - n then
+            report t "round %d p%d: Obs1: stale label %d on %d->%d" round
+              (p + 1) l q' q);
+      (* Lemma 3: PT_p = PT(p, r); fresh labels match timeliness. *)
+      let pt_true = Digraph.preds skel_now p in
+      if not (Bitset.equal view.pt pt_true) then
+        report t "round %d p%d: Lemma3: PT_p = %s but PT(p,r) = %s" round
+          (p + 1)
+          (Bitset.to_string view.pt)
+          (Bitset.to_string pt_true);
+      for q = 0 to n - 1 do
+        let fresh = Lgraph.label g q p = round in
+        let timely = Bitset.mem pt_true q in
+        if fresh && not timely then
+          report t "round %d p%d: Lemma3: fresh edge from untimely %d" round
+            (p + 1) q;
+        if timely && not fresh then
+          report t "round %d p%d: Lemma3: timely %d lacks fresh edge" round
+            (p + 1) q
+      done;
+      (* Lemma 6: every labelled edge was a timely edge at its label
+         round. *)
+      Lgraph.iter_edges g (fun q' q s ->
+          if s >= 1 && s <= round then begin
+            let skel_s = skeleton_at t s in
+            if not (Digraph.mem_edge skel_s q' q) then
+              report t
+                "round %d p%d: Lemma6: edge %d-[%d]->%d not timely at its \
+                 label round"
+                round (p + 1) q' s q
+          end
+          else
+            report t "round %d p%d: Lemma6: label %d out of range" round
+              (p + 1) s);
+      (* Lemma 5: from round n on, G_p contains C^r_p. *)
+      if round >= n then begin
+        let comp = Scc.component_containing skel_now p in
+        component_inside t ~what:"Lemma5" ~round ~owner:p comp skel_now g
+      end;
+      (* Lemma 7 and Theorem 8 snapshots: strongly connected graphs. *)
+      if Lgraph.is_strongly_connected g then begin
+        let base = round - n + 1 in
+        if base >= 1 then begin
+          let skel_base = skeleton_at t base in
+          let comp = Scc.component_containing skel_base p in
+          lgraph_inside t ~what:"Lemma7" ~round ~owner:p g comp skel_base
+        end;
+        if round >= n then begin
+          let keep_all = n <= 16 in
+          if keep_all || not (Bitset.mem t.snapshotted p) then begin
+            Bitset.add t.snapshotted p;
+            t.snapshots <-
+              {
+                owner = p;
+                at_round = round;
+                nodes = Lgraph.nodes g;
+                edges = Lgraph.to_digraph g;
+              }
+              :: t.snapshots
+          end
+        end
+      end)
+    views
+
+let violations t = List.rev t.faults
+let ok t = t.faults = []
+
+let finalize ?(final_skeleton_exact = true) t =
+  if final_skeleton_exact && t.round > 0 then begin
+    (* Theorem 8: a strongly connected G^R_p (R >= n) is closed under
+       stable-skeleton components: C^∞_q ⊆ G^R_p for all q ∈ G^R_p. *)
+    let final_skel = Ssg_skeleton.Skeleton.current t.skel in
+    List.iter
+      (fun snap ->
+        Bitset.iter
+          (fun q ->
+            let comp = Scc.component_containing final_skel q in
+            Bitset.iter
+              (fun v ->
+                if not (Bitset.mem snap.nodes v) then
+                  report t
+                    "round %d p%d: Thm8: node %d of C∞(%d) missing from \
+                     snapshot"
+                    snap.at_round (snap.owner + 1) v q)
+              comp;
+            Bitset.iter
+              (fun v ->
+                Digraph.iter_preds final_skel v (fun u ->
+                    if
+                      Bitset.mem comp u
+                      && not (Digraph.mem_edge snap.edges u v)
+                    then
+                      report t
+                        "round %d p%d: Thm8: edge %d->%d of C∞(%d) missing"
+                        snap.at_round (snap.owner + 1) u v q))
+              comp)
+          snap.nodes)
+      t.snapshots
+  end;
+  if t.fault_count > max_recorded_faults then
+    t.faults <-
+      Printf.sprintf "(%d further violations suppressed)"
+        (t.fault_count - max_recorded_faults)
+      :: t.faults;
+  violations t

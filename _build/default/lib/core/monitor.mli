@@ -1,0 +1,53 @@
+(** Executable correctness lemmas — runtime checkers for the
+    approximation theory of Section IV-A.
+
+    A monitor shadows an executing system: after each round it receives
+    the round's communication graph and a view of every process's state,
+    recomputes the ground truth (round skeletons [G^∩r], timely
+    neighbourhoods, SCCs) and checks:
+
+    - {b Observation 1}: [p ∈ G^r_p]; no edge label [<= r − n].
+    - {b Lemma 3}: [PT_p] equals [PT(p, r)], and the label of [(q -> p)]
+      in [G^r_p] is exactly [r] iff [q ∈ PT(p, r)].
+    - {b Lemma 5}: for [r >= n], [G^r_p ⊇ C^r_p] (nodes and edges).
+    - {b Lemma 6}: every edge [(q' --s--> q)] of [G^r_p] satisfies
+      [q' ∈ PT(q, s)].
+    - {b Lemma 7}: if [G^r_p] is strongly connected and [r − n + 1 >= 1],
+      then [G^r_p ⊆ C^(r−n+1)_p].
+    - {b Theorem 8} (at [finalize], when the final skeleton is exact):
+      whenever [G^R_p] was strongly connected with [R >= n], it contains
+      [C^∞_q] — nodes and edges — for every [q ∈ G^R_p].
+
+    Violations are collected, not thrown, so failure-injection tests can
+    assert that an ablated algorithm is {e detected}. *)
+
+open Ssg_util
+open Ssg_graph
+
+(** What the monitor needs to see of a process each round. *)
+type view = { pt : Bitset.t; approx : Lgraph.t }
+
+(** [view_of_kset s] adapts an Algorithm 1 state. *)
+val view_of_kset : Kset_agreement.state -> view
+
+type t
+
+(** [create ~n] — a monitor for an [n]-process run. *)
+val create : n:int -> t
+
+(** [observe t ~round ~graph views] — feed one completed round.  Rounds
+    must be consecutive from 1. *)
+val observe : t -> round:int -> graph:Digraph.t -> view array -> unit
+
+(** [finalize ?final_skeleton_exact t] runs the end-of-run checks
+    (Theorem 8 requires knowing [G^∩∞]; pass [final_skeleton_exact:true]
+    — the default — only when the observed rounds extend past the run's
+    stabilization) and returns all recorded violations, oldest first.
+    Empty means every check passed. *)
+val finalize : ?final_skeleton_exact:bool -> t -> string list
+
+(** [violations t] — what has been recorded so far. *)
+val violations : t -> string list
+
+(** [ok t] is [violations t = []]. *)
+val ok : t -> bool

@@ -1,0 +1,1 @@
+lib/graph/codec.ml: Bitio Bitset Lgraph Ssg_util

@@ -1,0 +1,1 @@
+lib/graph/codec.mli: Bitio Bytes Lgraph Ssg_util

@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: Array Bitset Format List Printf Ssg_util

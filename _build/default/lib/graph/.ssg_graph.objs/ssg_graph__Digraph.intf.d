@@ -1,0 +1,1 @@
+lib/graph/digraph.mli: Bitset Format Ssg_util

@@ -1,0 +1,1 @@
+lib/graph/dot.ml: Bitset Buffer Digraph Lgraph List Printf Ssg_util

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Bitset Digraph Rng Ssg_util

@@ -1,0 +1,1 @@
+lib/graph/gen.mli: Bitset Digraph Rng Ssg_util

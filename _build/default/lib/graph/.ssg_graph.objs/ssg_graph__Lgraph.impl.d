@@ -1,0 +1,1 @@
+lib/graph/lgraph.ml: Array Bitset Digraph Format List Printf Scc Ssg_util

@@ -1,0 +1,1 @@
+lib/graph/lgraph.mli: Bitset Digraph Format Ssg_util

@@ -1,0 +1,1 @@
+lib/graph/reach.ml: Array Bitset Digraph Ssg_util

@@ -1,0 +1,1 @@
+lib/graph/reach.mli: Bitset Digraph Ssg_util

@@ -1,0 +1,1 @@
+lib/graph/scc.ml: Array Bitset Digraph Reach Ssg_util

@@ -1,0 +1,172 @@
+open Ssg_util
+
+(* Invariant: succ.(p) contains q  <=>  pred.(q) contains p.  Both are kept
+   in sync by every mutation; the redundancy buys O(n/w) predecessor
+   queries, which dominate the skeleton computations. *)
+type t = { n : int; succ : Bitset.t array; pred : Bitset.t array }
+
+let create n =
+  {
+    n;
+    succ = Array.init n (fun _ -> Bitset.create n);
+    pred = Array.init n (fun _ -> Bitset.create n);
+  }
+
+let complete ?(self_loops = true) n =
+  let g =
+    {
+      n;
+      succ = Array.init n (fun _ -> Bitset.full n);
+      pred = Array.init n (fun _ -> Bitset.full n);
+    }
+  in
+  if not self_loops then
+    for p = 0 to n - 1 do
+      Bitset.remove g.succ.(p) p;
+      Bitset.remove g.pred.(p) p
+    done;
+  g
+
+let order g = g.n
+
+let copy g =
+  {
+    n = g.n;
+    succ = Array.map Bitset.copy g.succ;
+    pred = Array.map Bitset.copy g.pred;
+  }
+
+let equal a b =
+  a.n = b.n && Array.for_all2 Bitset.equal a.succ b.succ
+
+let check_node g i =
+  if i < 0 || i >= g.n then
+    invalid_arg (Printf.sprintf "Digraph: node %d out of range [0, %d)" i g.n)
+
+let add_edge g p q =
+  check_node g p;
+  check_node g q;
+  Bitset.add g.succ.(p) q;
+  Bitset.add g.pred.(q) p
+
+let remove_edge g p q =
+  check_node g p;
+  check_node g q;
+  Bitset.remove g.succ.(p) q;
+  Bitset.remove g.pred.(q) p
+
+let mem_edge g p q =
+  check_node g p;
+  check_node g q;
+  Bitset.mem g.succ.(p) q
+
+let add_self_loops g =
+  for p = 0 to g.n - 1 do
+    add_edge g p p
+  done
+
+let has_all_self_loops g =
+  let rec go p = p >= g.n || (Bitset.mem g.succ.(p) p && go (p + 1)) in
+  go 0
+
+let edge_count g =
+  Array.fold_left (fun acc row -> acc + Bitset.cardinal row) 0 g.succ
+
+let succs g p =
+  check_node g p;
+  Bitset.copy g.succ.(p)
+
+let preds g q =
+  check_node g q;
+  Bitset.copy g.pred.(q)
+
+let inter_preds_into g q ~into =
+  check_node g q;
+  Bitset.inter_into ~into g.pred.(q)
+
+let iter_succs g p f =
+  check_node g p;
+  Bitset.iter f g.succ.(p)
+
+let iter_preds g q f =
+  check_node g q;
+  Bitset.iter f g.pred.(q)
+
+let out_degree g p =
+  check_node g p;
+  Bitset.cardinal g.succ.(p)
+
+let in_degree g q =
+  check_node g q;
+  Bitset.cardinal g.pred.(q)
+
+let iter_edges g f =
+  for p = 0 to g.n - 1 do
+    Bitset.iter (fun q -> f p q) g.succ.(p)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun p q -> acc := (p, q) :: !acc);
+  List.rev !acc
+
+let of_edges n es =
+  let g = create n in
+  List.iter (fun (p, q) -> add_edge g p q) es;
+  g
+
+let check_same a b =
+  if a.n <> b.n then
+    invalid_arg
+      (Printf.sprintf "Digraph: order mismatch (%d vs %d)" a.n b.n)
+
+let inter_into ~into g =
+  check_same into g;
+  for p = 0 to g.n - 1 do
+    Bitset.inter_into ~into:into.succ.(p) g.succ.(p);
+    Bitset.inter_into ~into:into.pred.(p) g.pred.(p)
+  done
+
+let inter a b =
+  let r = copy a in
+  inter_into ~into:r b;
+  r
+
+let union_into ~into g =
+  check_same into g;
+  for p = 0 to g.n - 1 do
+    Bitset.union_into ~into:into.succ.(p) g.succ.(p);
+    Bitset.union_into ~into:into.pred.(p) g.pred.(p)
+  done
+
+let union a b =
+  let r = copy a in
+  union_into ~into:r b;
+  r
+
+let subgraph_of a b =
+  check_same a b;
+  let rec go p = p >= a.n || (Bitset.subset a.succ.(p) b.succ.(p) && go (p + 1)) in
+  go 0
+
+let induced g nodes =
+  if Bitset.capacity nodes <> g.n then
+    invalid_arg "Digraph.induced: node set capacity mismatch";
+  let r = create g.n in
+  Bitset.iter
+    (fun p ->
+      Bitset.blit ~src:g.succ.(p) ~dst:r.succ.(p);
+      Bitset.inter_into ~into:r.succ.(p) nodes)
+    nodes;
+  (* Rebuild predecessor rows from the filtered successor rows. *)
+  for p = 0 to g.n - 1 do
+    Bitset.iter (fun q -> Bitset.add r.pred.(q) p) r.succ.(p)
+  done;
+  r
+
+let transpose g = { n = g.n; succ = Array.map Bitset.copy g.pred; pred = Array.map Bitset.copy g.succ }
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>digraph on %d nodes:@," g.n;
+  iter_edges g (fun p q -> Format.fprintf fmt "  %d -> %d@," p q);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,101 @@
+(** Dense mutable directed graphs over a fixed universe of nodes.
+
+    Nodes are the integers [0 .. n-1] — in this library, process
+    identifiers.  Both successor and predecessor adjacency are maintained as
+    bitset rows, so edge insertion/deletion is O(1) and row-wise set algebra
+    (the heart of skeleton intersection and timely-neighbourhood updates) is
+    O(n / word_size).
+
+    The communication graph [G^r] of a round (an edge [p -> q] means "q
+    received p's round-r message") and the round skeletons [G^∩r] are both
+    values of this type. *)
+
+open Ssg_util
+
+type t
+
+(** [create n] is the edgeless graph on [n] nodes. *)
+val create : int -> t
+
+(** [complete ?self_loops n] has every edge between distinct nodes, plus
+    all self-loops when [self_loops] (default [true]). *)
+val complete : ?self_loops:bool -> int -> t
+
+(** [order g] is the number [n] of nodes. *)
+val order : t -> int
+
+val copy : t -> t
+
+(** [equal a b] — same node count and same edge set. *)
+val equal : t -> t -> bool
+
+(** [add_edge g p q] inserts the edge [p -> q].  Idempotent. *)
+val add_edge : t -> int -> int -> unit
+
+(** [remove_edge g p q] deletes the edge [p -> q].  Idempotent. *)
+val remove_edge : t -> int -> int -> unit
+
+(** [mem_edge g p q] tests for the edge [p -> q]. *)
+val mem_edge : t -> int -> int -> bool
+
+(** [add_self_loops g] inserts [p -> p] for every node. *)
+val add_self_loops : t -> unit
+
+(** [has_all_self_loops g] checks [∀p. (p -> p) ∈ g]. *)
+val has_all_self_loops : t -> bool
+
+(** [edge_count g] is the number of edges, self-loops included.  O(n²/w). *)
+val edge_count : t -> int
+
+(** [succs g p] is a fresh bitset of successors of [p] ([q] with
+    [p -> q]). *)
+val succs : t -> int -> Bitset.t
+
+(** [preds g q] is a fresh bitset of predecessors of [q] ([p] with
+    [p -> q]).  In round-model terms: the set of processes [q] heard of. *)
+val preds : t -> int -> Bitset.t
+
+(** [inter_preds_into g q ~into] computes [into ← into ∩ preds g q] without
+    allocating — the timely-neighbourhood update [PT_p ← PT_p ∩ HO(p, r)]. *)
+val inter_preds_into : t -> int -> into:Bitset.t -> unit
+
+val iter_succs : t -> int -> (int -> unit) -> unit
+val iter_preds : t -> int -> (int -> unit) -> unit
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+(** [iter_edges g f] calls [f p q] for every edge [p -> q], in lexicographic
+    order. *)
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+(** [edges g] lists all edges in lexicographic order. *)
+val edges : t -> (int * int) list
+
+(** [of_edges n es] builds a graph on [n] nodes from an edge list. *)
+val of_edges : int -> (int * int) list -> t
+
+(** [inter_into ~into g] intersects edge sets: [into ← into ∩ g] — one step
+    of the skeleton computation [E^∩r = E^∩(r-1) ∩ E^r].
+    @raise Invalid_argument on order mismatch. *)
+val inter_into : into:t -> t -> unit
+
+(** [inter a b] is the edge intersection as a fresh graph. *)
+val inter : t -> t -> t
+
+(** [union_into ~into g] unions edge sets. *)
+val union_into : into:t -> t -> unit
+
+val union : t -> t -> t
+
+(** [subgraph_of a b] is [true] iff [a]'s edges are a subset of [b]'s. *)
+val subgraph_of : t -> t -> bool
+
+(** [induced g nodes] keeps only edges with both endpoints in [nodes].
+    The node universe stays [0..n-1]; nodes outside [nodes] become
+    isolated. *)
+val induced : t -> Bitset.t -> t
+
+(** [transpose g] reverses every edge. *)
+val transpose : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+open Ssg_util
+
+let node_name i = Printf.sprintf "p%d" (i + 1)
+
+let of_digraph ?(name = "G") ?(self_loops = false) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" name);
+  for i = 0 to Digraph.order g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %s;\n" (node_name i))
+  done;
+  Digraph.iter_edges g (fun p q ->
+      if self_loops || p <> q then
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s;\n" (node_name p) (node_name q)));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_lgraph ?(name = "G") ?(self_loops = false) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" name);
+  Bitset.iter
+    (fun i -> Buffer.add_string buf (Printf.sprintf "  %s;\n" (node_name i)))
+    (Lgraph.nodes g);
+  Lgraph.iter_edges g (fun q p l ->
+      if self_loops || q <> p then
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s [label=\"%d\"];\n" (node_name q)
+             (node_name p) l));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_digraph_with_components ?(name = "G") g comps =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" name);
+  List.iteri
+    (fun i set ->
+      Buffer.add_string buf (Printf.sprintf "  subgraph cluster_%d {\n" i);
+      Buffer.add_string buf "    style=filled; color=lightgrey;\n";
+      Bitset.iter
+        (fun v ->
+          Buffer.add_string buf (Printf.sprintf "    %s;\n" (node_name v)))
+        set;
+      Buffer.add_string buf "  }\n")
+    comps;
+  Digraph.iter_edges g (fun p q ->
+      if p <> q then
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s;\n" (node_name p) (node_name q)));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Graphviz export, for inspecting skeletons and approximation graphs.
+
+    Node names default to [p1 .. pn] (matching the paper's figures); the
+    process with id [i] is printed as [p(i+1)]. *)
+
+open Ssg_util
+
+(** [of_digraph ?name ?self_loops g] renders [g] in DOT syntax.
+    [self_loops] (default [false]) controls whether self-loop edges are
+    emitted — the paper's figures omit them. *)
+val of_digraph : ?name:string -> ?self_loops:bool -> Digraph.t -> string
+
+(** [of_lgraph ?name ?self_loops g] renders a labelled graph; edge labels
+    are the round numbers, only nodes in [Lgraph.nodes g] appear. *)
+val of_lgraph : ?name:string -> ?self_loops:bool -> Lgraph.t -> string
+
+(** [of_digraph_with_components ?name g comps] renders [g] with each node
+    set of [comps] as a filled cluster — used to visualize root
+    components. *)
+val of_digraph_with_components :
+  ?name:string -> Digraph.t -> Bitset.t list -> string

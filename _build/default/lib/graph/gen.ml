@@ -1,0 +1,59 @@
+open Ssg_util
+
+let gnp rng n p =
+  let g = Digraph.create n in
+  for a = 0 to n - 1 do
+    Digraph.add_edge g a a;
+    for b = 0 to n - 1 do
+      if a <> b && Rng.chance rng p then Digraph.add_edge g a b
+    done
+  done;
+  g
+
+let cycle_on n order =
+  let g = Digraph.create n in
+  let len = Array.length order in
+  Array.iteri
+    (fun i v ->
+      Digraph.add_edge g v v;
+      if len > 1 then Digraph.add_edge g v order.((i + 1) mod len))
+    order;
+  g
+
+let strongly_connected_on rng n nodes ~extra =
+  let members = Array.of_list (Bitset.elements nodes) in
+  if Array.length members = 0 then
+    invalid_arg "Gen.strongly_connected_on: empty node set";
+  Rng.shuffle rng members;
+  let g = cycle_on n members in
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b -> if a <> b && Rng.chance rng extra then Digraph.add_edge g a b)
+        members)
+    members;
+  g
+
+let star n ~center =
+  let g = Digraph.create n in
+  for q = 0 to n - 1 do
+    Digraph.add_edge g q q;
+    Digraph.add_edge g center q
+  done;
+  g
+
+let self_loops_only n =
+  let g = Digraph.create n in
+  Digraph.add_self_loops g;
+  g
+
+let sprinkle rng g p =
+  let n = Digraph.order g in
+  let r = Digraph.copy g in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b && (not (Digraph.mem_edge r a b)) && Rng.chance rng p then
+        Digraph.add_edge r a b
+    done
+  done;
+  r

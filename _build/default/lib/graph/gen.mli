@@ -1,0 +1,37 @@
+(** Random and structured digraph generators.
+
+    These are the primitives the adversary layer composes into run
+    descriptions.  All generators that involve randomness take an explicit
+    {!Ssg_util.Rng.t}.  Communication graphs in this library always contain
+    all self-loops (a process receives its own broadcast); generators
+    advertise whether they guarantee that. *)
+
+open Ssg_util
+
+(** [gnp rng n p] is an Erdős–Rényi digraph: each ordered pair of distinct
+    nodes is an edge independently with probability [p].  All self-loops
+    are included. *)
+val gnp : Rng.t -> int -> float -> Digraph.t
+
+(** [cycle_on n order] has edges [order.(i) -> order.(i+1 mod len)] plus
+    self-loops on those nodes, over universe [n].  A singleton [order]
+    yields just the self-loop. *)
+val cycle_on : int -> int array -> Digraph.t
+
+(** [strongly_connected_on rng n nodes ~extra] is a random strongly
+    connected graph on the node set [nodes] (a random Hamiltonian cycle
+    plus each further internal edge with probability [extra]), self-loops
+    included, universe [n].  @raise Invalid_argument on empty [nodes]. *)
+val strongly_connected_on : Rng.t -> int -> Bitset.t -> extra:float -> Digraph.t
+
+(** [star n ~center] has edges [center -> q] for all [q], plus all
+    self-loops: every process hears the centre and itself. *)
+val star : int -> center:int -> Digraph.t
+
+(** [self_loops_only n] — every process hears only itself. *)
+val self_loops_only : int -> Digraph.t
+
+(** [sprinkle rng g p] returns a copy of [g] with each absent non-loop edge
+    added independently with probability [p] — transient "extra timeliness"
+    noise layered over a skeleton. *)
+val sprinkle : Rng.t -> Digraph.t -> float -> Digraph.t

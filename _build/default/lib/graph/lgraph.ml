@@ -1,0 +1,181 @@
+open Ssg_util
+
+(* Dense n×n label matrix; labels.(q*n + p) is the label of edge q -> p,
+   0 when absent.  The node set is tracked separately because Algorithm 1
+   distinguishes isolated nodes (members of V_p without edges) from absent
+   ones. *)
+type t = { n : int; mutable nodes : Bitset.t; mutable labels : int array }
+
+let check_node g i =
+  if i < 0 || i >= g.n then
+    invalid_arg (Printf.sprintf "Lgraph: node %d out of range [0, %d)" i g.n)
+
+let create n ~self =
+  if n <= 0 then invalid_arg "Lgraph.create: empty universe";
+  let g = { n; nodes = Bitset.create n; labels = Array.make (n * n) 0 } in
+  check_node g self;
+  Bitset.add g.nodes self;
+  g
+
+let capacity g = g.n
+
+let reset g ~self =
+  check_node g self;
+  Bitset.clear g.nodes;
+  Bitset.add g.nodes self;
+  Array.fill g.labels 0 (Array.length g.labels) 0
+
+let copy g =
+  { n = g.n; nodes = Bitset.copy g.nodes; labels = Array.copy g.labels }
+
+let equal a b =
+  a.n = b.n && Bitset.equal a.nodes b.nodes && a.labels = b.labels
+
+let mem_node g p =
+  check_node g p;
+  Bitset.mem g.nodes p
+
+let add_node g p =
+  check_node g p;
+  Bitset.add g.nodes p
+
+let nodes g = Bitset.copy g.nodes
+let node_count g = Bitset.cardinal g.nodes
+
+let label g q p =
+  check_node g q;
+  check_node g p;
+  g.labels.((q * g.n) + p)
+
+let mem_edge g q p = label g q p > 0
+
+let set_edge g q p ~label =
+  check_node g q;
+  check_node g p;
+  if label <= 0 then invalid_arg "Lgraph.set_edge: label must be positive";
+  Bitset.add g.nodes q;
+  Bitset.add g.nodes p;
+  g.labels.((q * g.n) + p) <- label
+
+let remove_edge g q p =
+  check_node g q;
+  check_node g p;
+  g.labels.((q * g.n) + p) <- 0
+
+let iter_edges g f =
+  for q = 0 to g.n - 1 do
+    let base = q * g.n in
+    for p = 0 to g.n - 1 do
+      let l = g.labels.(base + p) in
+      if l > 0 then f q p l
+    done
+  done
+
+let edge_count g =
+  let c = ref 0 in
+  iter_edges g (fun _ _ _ -> incr c);
+  !c
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun q p l -> acc := (q, p, l) :: !acc);
+  List.rev !acc
+
+let check_same a b =
+  if a.n <> b.n then
+    invalid_arg (Printf.sprintf "Lgraph: universe mismatch (%d vs %d)" a.n b.n)
+
+let union_nodes_into ~into src =
+  check_same into src;
+  Bitset.union_into ~into:into.nodes src.nodes
+
+let merge_max_into ~into src =
+  check_same into src;
+  Bitset.union_into ~into:into.nodes src.nodes;
+  for i = 0 to Array.length src.labels - 1 do
+    if src.labels.(i) > into.labels.(i) then into.labels.(i) <- src.labels.(i)
+  done
+
+let purge g ~upto =
+  for i = 0 to Array.length g.labels - 1 do
+    if g.labels.(i) > 0 && g.labels.(i) <= upto then g.labels.(i) <- 0
+  done
+
+(* Backward BFS from [self] along labelled edges: a node survives iff it
+   can reach [self].  Frontier expansion scans the label matrix rows of
+   candidate predecessors — O(n²) per call, dominated elsewhere. *)
+let prune_unreachable g ~self =
+  check_node g self;
+  let keep = Bitset.create g.n in
+  Bitset.add keep self;
+  let frontier = ref [ self ] in
+  while !frontier <> [] do
+    let current = !frontier in
+    frontier := [];
+    List.iter
+      (fun p ->
+        for q = 0 to g.n - 1 do
+          if
+            (not (Bitset.mem keep q))
+            && Bitset.mem g.nodes q
+            && g.labels.((q * g.n) + p) > 0
+          then begin
+            Bitset.add keep q;
+            frontier := q :: !frontier
+          end
+        done)
+      current
+  done;
+  (* Drop nodes not kept, and all their incident edges. *)
+  Bitset.iter
+    (fun v ->
+      if not (Bitset.mem keep v) then begin
+        for p = 0 to g.n - 1 do
+          g.labels.((v * g.n) + p) <- 0;
+          g.labels.((p * g.n) + v) <- 0
+        done
+      end)
+    g.nodes;
+  Bitset.inter_into ~into:g.nodes keep
+
+let swap a b =
+  check_same a b;
+  let nodes = a.nodes and labels = a.labels in
+  a.nodes <- b.nodes;
+  a.labels <- b.labels;
+  b.nodes <- nodes;
+  b.labels <- labels
+
+let to_digraph g =
+  let d = Digraph.create g.n in
+  iter_edges g (fun q p _ -> Digraph.add_edge d q p);
+  d
+
+let is_strongly_connected g =
+  if Bitset.cardinal g.nodes <= 1 then true
+  else Scc.is_strongly_connected ~nodes:g.nodes (to_digraph g)
+
+let fold_labels f g init =
+  let acc = ref init in
+  iter_edges g (fun _ _ l -> acc := f !acc l);
+  !acc
+
+let min_label g =
+  fold_labels (fun acc l -> match acc with None -> Some l | Some m -> Some (min m l)) g None
+
+let max_label g =
+  fold_labels (fun acc l -> match acc with None -> Some l | Some m -> Some (max m l)) g None
+
+let bits_for n =
+  let rec go b v = if v >= n then b else go (b + 1) (v * 2) in
+  go 1 2
+
+let encoded_bits g ~label_bits =
+  if label_bits < 0 then invalid_arg "Lgraph.encoded_bits: negative label_bits";
+  let id_bits = bits_for g.n in
+  (node_count g * id_bits) + (edge_count g * ((2 * id_bits) + label_bits))
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>nodes %a@," Bitset.pp g.nodes;
+  iter_edges g (fun q p l -> Format.fprintf fmt "  %d -[%d]-> %d@," q l p);
+  Format.fprintf fmt "@]"

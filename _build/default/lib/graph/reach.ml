@@ -1,0 +1,57 @@
+open Ssg_util
+
+(* Frontier BFS over bitset rows: the next frontier is the union of the
+   successor rows of the current frontier, minus visited nodes.  Each level
+   costs O(|frontier| · n / w). *)
+let bfs ~row ?nodes g start =
+  let n = Digraph.order g in
+  let in_scope i = match nodes with None -> true | Some s -> Bitset.mem s i in
+  let visited = Bitset.create n in
+  let dist = Array.make n (-1) in
+  if in_scope start then begin
+    Bitset.add visited start;
+    dist.(start) <- 0;
+    let frontier = ref (Bitset.singleton n start) in
+    let d = ref 0 in
+    while not (Bitset.is_empty !frontier) do
+      incr d;
+      let next = Bitset.create n in
+      Bitset.iter (fun p -> Bitset.union_into ~into:next (row g p)) !frontier;
+      (match nodes with Some s -> Bitset.inter_into ~into:next s | None -> ());
+      Bitset.diff_into ~into:next visited;
+      Bitset.iter (fun q -> dist.(q) <- !d) next;
+      Bitset.union_into ~into:visited next;
+      frontier := next
+    done
+  end;
+  (visited, dist)
+
+let reachable_from ?nodes g p = fst (bfs ~row:Digraph.succs ?nodes g p)
+let reaches ?nodes g q = fst (bfs ~row:Digraph.preds ?nodes g q)
+let distances_from ?nodes g p = snd (bfs ~row:Digraph.succs ?nodes g p)
+
+let distance g p q =
+  let d = (distances_from g p).(q) in
+  if d < 0 then None else Some d
+
+let exists_path g p q = distance g p q <> None
+
+let shortest_path g p q =
+  match distance g p q with
+  | None -> None
+  | Some _ ->
+      (* Walk backward from [q], at each step choosing a predecessor whose
+         distance from [p] is exactly one less. *)
+      let dist = distances_from g p in
+      let rec back node acc =
+        if node = p && dist.(node) = 0 then Some (p :: acc)
+        else begin
+          let prev = ref None in
+          Digraph.iter_preds g node (fun u ->
+              if !prev = None && dist.(u) = dist.(node) - 1 then prev := Some u);
+          match !prev with
+          | None -> None (* unreachable: cannot happen given distance check *)
+          | Some u -> back u (node :: acc)
+        end
+      in
+      back q []

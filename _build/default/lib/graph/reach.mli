@@ -1,0 +1,32 @@
+(** Reachability and shortest paths on {!Digraph}.
+
+    All functions take an optional [?nodes] restriction: the search is
+    confined to the induced subgraph on that set (the start/target must be
+    members, or the result is the empty relation).  Paths in the paper are
+    simple and have length at most [n - 1]; [distances_from] makes such
+    bounds checkable. *)
+
+open Ssg_util
+
+(** [reachable_from ?nodes g p] is the set of nodes reachable from [p] by
+    directed paths (including [p] itself, when in [nodes]). *)
+val reachable_from : ?nodes:Bitset.t -> Digraph.t -> int -> Bitset.t
+
+(** [reaches ?nodes g q] is the set of nodes from which [q] is reachable
+    (including [q]).  This is the backward closure used by Line 25 of
+    Algorithm 1: nodes outside [reaches g p] cannot influence [p]. *)
+val reaches : ?nodes:Bitset.t -> Digraph.t -> int -> Bitset.t
+
+(** [distances_from ?nodes g p] maps each node to its BFS distance from
+    [p], or [-1] if unreachable. *)
+val distances_from : ?nodes:Bitset.t -> Digraph.t -> int -> int array
+
+(** [distance g p q] is the length of a shortest path from [p] to [q]. *)
+val distance : Digraph.t -> int -> int -> int option
+
+(** [exists_path g p q] tests reachability (true when [p = q]). *)
+val exists_path : Digraph.t -> int -> int -> bool
+
+(** [shortest_path g p q] is the node sequence of a shortest path
+    [p; ...; q], or [None].  [shortest_path g p p = Some [p]]. *)
+val shortest_path : Digraph.t -> int -> int -> int list option

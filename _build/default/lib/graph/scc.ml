@@ -1,0 +1,129 @@
+open Ssg_util
+
+type partition = { comp : int array; count : int }
+
+(* Iterative Tarjan.  Frames carry the node and its remaining successor
+   list; low-link propagation to the parent happens when a frame is
+   popped.  Components are numbered in completion order, which for Tarjan
+   is reverse topological order of the condensation. *)
+let compute ?nodes g =
+  let n = Digraph.order g in
+  (match nodes with
+  | Some s when Bitset.capacity s <> n ->
+      invalid_arg "Scc.compute: node set capacity mismatch"
+  | _ -> ());
+  let in_scope i = match nodes with None -> true | Some s -> Bitset.mem s i in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = Array.make n 0 in
+  let sp = ref 0 in
+  let next_index = ref 0 in
+  let count = ref 0 in
+  let scoped_succs v =
+    let acc = ref [] in
+    Digraph.iter_succs g v (fun u -> if in_scope u then acc := u :: !acc);
+    !acc
+  in
+  let visit root =
+    let frames = ref [] in
+    let enter v =
+      index.(v) <- !next_index;
+      low.(v) <- !next_index;
+      incr next_index;
+      stack.(!sp) <- v;
+      incr sp;
+      on_stack.(v) <- true;
+      frames := (v, ref (scoped_succs v)) :: !frames
+    in
+    enter root;
+    let continue = ref true in
+    while !continue do
+      match !frames with
+      | [] -> continue := false
+      | (v, rest) :: tail -> (
+          match !rest with
+          | u :: more ->
+              rest := more;
+              if index.(u) = -1 then enter u
+              else if on_stack.(u) then low.(v) <- min low.(v) index.(u)
+          | [] ->
+              frames := tail;
+              (match tail with
+              | (parent, _) :: _ -> low.(parent) <- min low.(parent) low.(v)
+              | [] -> ());
+              if low.(v) = index.(v) then begin
+                (* [v] is the root of a completed SCC: pop it. *)
+                let c = !count in
+                incr count;
+                let again = ref true in
+                while !again do
+                  decr sp;
+                  let w = stack.(!sp) in
+                  on_stack.(w) <- false;
+                  comp.(w) <- c;
+                  if w = v then again := false
+                done
+              end)
+    done
+  in
+  for v = 0 to n - 1 do
+    if in_scope v && index.(v) = -1 then visit v
+  done;
+  { comp; count = !count }
+
+let component_sets g part =
+  let n = Digraph.order g in
+  let sets = Array.init part.count (fun _ -> Bitset.create n) in
+  Array.iteri (fun v c -> if c >= 0 then Bitset.add sets.(c) v) part.comp;
+  sets
+
+let same_component part p q =
+  part.comp.(p) >= 0 && part.comp.(p) = part.comp.(q)
+
+let component_containing ?nodes g p =
+  let fwd = Reach.reachable_from ?nodes g p in
+  let bwd = Reach.reaches ?nodes g p in
+  Bitset.inter fwd bwd
+
+let condensation g part =
+  let dag = Digraph.create part.count in
+  Digraph.iter_edges g (fun p q ->
+      let cp = part.comp.(p) and cq = part.comp.(q) in
+      if cp >= 0 && cq >= 0 && cp <> cq then Digraph.add_edge dag cp cq);
+  dag
+
+let root_components ?nodes g =
+  let part = compute ?nodes g in
+  let dag = condensation g part in
+  let sets = component_sets g part in
+  let roots = ref [] in
+  for c = part.count - 1 downto 0 do
+    if Digraph.in_degree dag c = 0 then roots := sets.(c) :: !roots
+  done;
+  !roots
+
+let is_strongly_connected ?nodes g =
+  let n = Digraph.order g in
+  let scope = match nodes with None -> Bitset.full n | Some s -> s in
+  match Bitset.min_elt_opt scope with
+  | None -> false
+  | Some p ->
+      Bitset.subset scope (Reach.reachable_from ~nodes:scope g p)
+      && Bitset.subset scope (Reach.reaches ~nodes:scope g p)
+
+let is_root_component ?nodes g c =
+  let n = Digraph.order g in
+  let scope = match nodes with None -> Bitset.full n | Some s -> s in
+  if not (Bitset.subset c scope) then false
+  else if not (is_strongly_connected ~nodes:c g) then false
+  else begin
+    let outside = Bitset.diff scope c in
+    let no_incoming q =
+      let from = Digraph.preds g q in
+      Bitset.inter_into ~into:from outside;
+      Bitset.is_empty from
+    in
+    Bitset.for_all no_incoming c
+  end

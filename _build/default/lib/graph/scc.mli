@@ -1,0 +1,53 @@
+(** Strongly connected components, condensation, and root components.
+
+    The paper's analysis revolves around the SCC structure of the round
+    skeletons [G^∩r]: the strongly connected component [C^r_p] containing a
+    process [p], and the {e root components} — SCCs without incoming edges
+    from outside — of which any [Psrcs(k)]-admissible run has at most [k]
+    (Theorem 1). *)
+
+open Ssg_util
+
+(** A partition of (a subset of) the nodes into SCCs.  [comp.(p)] is the
+    component index of node [p], or [-1] if [p] was outside the [?nodes]
+    restriction.  Component indices are [0 .. count-1] and are in {e
+    reverse topological order}: every edge between distinct components goes
+    from a higher index to a lower one. *)
+type partition = { comp : int array; count : int }
+
+(** [compute ?nodes g] runs Tarjan's algorithm (iteratively — no stack
+    overflow on long paths) on the subgraph induced by [nodes] (default:
+    all nodes). *)
+val compute : ?nodes:Bitset.t -> Digraph.t -> partition
+
+(** [component_sets g part] materializes each component as a node set,
+    indexed by component id. *)
+val component_sets : Digraph.t -> partition -> Bitset.t array
+
+(** [same_component part p q] — both in scope and in the same SCC. *)
+val same_component : partition -> int -> int -> bool
+
+(** [component_containing ?nodes g p] is the node set of [C_p], the SCC of
+    [p] in (the [nodes]-induced subgraph of) [g]: computed directly as
+    [reachable_from p ∩ reaches p] without a full SCC pass. *)
+val component_containing : ?nodes:Bitset.t -> Digraph.t -> int -> Bitset.t
+
+(** [condensation g part] is the DAG on [part.count] nodes with an edge
+    [c -> c'] whenever some edge of [g] crosses from component [c] to
+    [c']. Self-loops are omitted. *)
+val condensation : Digraph.t -> partition -> Digraph.t
+
+(** [root_components ?nodes g] lists the node sets of all root components:
+    SCCs with no incoming edge from any in-scope node outside the
+    component.  The list is nonempty for any nonempty scope (the
+    condensation of a finite digraph always has a source). *)
+val root_components : ?nodes:Bitset.t -> Digraph.t -> Bitset.t list
+
+(** [is_root_component ?nodes g c] checks the root-component condition for
+    the node set [c]: [c] is strongly connected, and no in-scope node
+    outside [c] has an edge into [c]. *)
+val is_root_component : ?nodes:Bitset.t -> Digraph.t -> Bitset.t -> bool
+
+(** [is_strongly_connected ?nodes g] — the in-scope subgraph is one SCC
+    (vacuously false for an empty scope; true for a singleton). *)
+val is_strongly_connected : ?nodes:Bitset.t -> Digraph.t -> bool

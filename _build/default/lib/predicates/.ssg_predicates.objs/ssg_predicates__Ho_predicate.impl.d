@@ -1,0 +1,1 @@
+lib/predicates/ho_predicate.ml: Bitset Digraph Ssg_graph Ssg_rounds Ssg_util Trace

@@ -1,0 +1,1 @@
+lib/predicates/ho_predicate.mli: Digraph Ssg_graph Ssg_rounds Trace

@@ -1,0 +1,1 @@
+lib/predicates/mis.ml: Array Bitset Ssg_util

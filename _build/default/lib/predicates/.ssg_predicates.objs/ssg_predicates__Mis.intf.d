@@ -1,0 +1,1 @@
+lib/predicates/mis.mli: Bitset Ssg_util

@@ -1,0 +1,1 @@
+lib/predicates/predicate.ml: Array Bitset Mis Skeleton Ssg_skeleton Ssg_util Timely

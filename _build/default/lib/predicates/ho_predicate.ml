@@ -1,0 +1,56 @@
+open Ssg_util
+open Ssg_graph
+open Ssg_rounds
+
+let for_all_processes g f =
+  let n = Digraph.order g in
+  let rec go p = p >= n || (f p && go (p + 1)) in
+  go 0
+
+let for_all_pairs g f =
+  let n = Digraph.order g in
+  let rec go p q =
+    if p >= n then true
+    else if q >= n then go (p + 1) (p + 2)
+    else f p q && go p (q + 1)
+  in
+  go 0 1
+
+let no_split g =
+  for_all_pairs g (fun p q ->
+      not (Bitset.disjoint (Digraph.preds g p) (Digraph.preds g q)))
+
+let uniform g =
+  for_all_pairs g (fun p q ->
+      Bitset.equal (Digraph.preds g p) (Digraph.preds g q))
+
+let heard_more_than g frac_num frac_den =
+  for_all_processes g (fun p -> frac_den * Digraph.in_degree g p > frac_num * Digraph.order g)
+
+let majority g = heard_more_than g 1 2
+let two_thirds g = heard_more_than g 2 3
+
+let nonempty_kernel g =
+  let n = Digraph.order g in
+  let kernel = Bitset.full n in
+  for p = 0 to n - 1 do
+    Digraph.inter_preds_into g p ~into:kernel
+  done;
+  not (Bitset.is_empty kernel)
+
+let space_uniform g =
+  let n = Digraph.order g in
+  let full = Bitset.full n in
+  for_all_processes g (fun p -> Bitset.equal (Digraph.preds g p) full)
+
+let count trace pred =
+  let c = ref 0 in
+  Trace.iter (fun _ g -> if pred g then incr c) trace;
+  !c
+
+let eventually_forever trace pred =
+  (* the longest satisfying suffix is nonempty *)
+  let rounds = Trace.rounds trace in
+  let rec suffix_ok r = r > rounds || (pred (Trace.graph trace r) && suffix_ok (r + 1)) in
+  let rec find r = r <= rounds && (suffix_ok r || find (r + 1)) in
+  find 1 && pred (Trace.graph trace rounds)

@@ -1,0 +1,42 @@
+(** Per-round Heard-Of predicates from the HO-model literature.
+
+    [Psrcs(k)] is a {e perpetual} predicate over the whole run; the HO
+    model (the paper's ref. [4]) also works with {e per-round} conditions
+    on the heard-of sets.  These are used to classify the rounds of a
+    trace — e.g. One-Third-Rule consensus is safe always and live once a
+    few [two_thirds]+[uniform]-ish rounds occur.
+
+    All predicates below take a round's communication graph and judge its
+    HO sets ([HO(p, r)] = predecessors of [p]). *)
+
+open Ssg_graph
+open Ssg_rounds
+
+(** [no_split g] — any two heard-of sets intersect
+    ([∀p q. HO(p) ∩ HO(q) ≠ ∅]). *)
+val no_split : Digraph.t -> bool
+
+(** [uniform g] — all processes hear exactly the same set. *)
+val uniform : Digraph.t -> bool
+
+(** [majority g] — every process hears more than [n/2] processes. *)
+val majority : Digraph.t -> bool
+
+(** [two_thirds g] — every process hears more than [2n/3] processes. *)
+val two_thirds : Digraph.t -> bool
+
+(** [nonempty_kernel g] — some process is heard by everyone
+    ([∩p HO(p) ≠ ∅]). *)
+val nonempty_kernel : Digraph.t -> bool
+
+(** [space_uniform g] — [uniform g] and the common set is everyone
+    (a perfectly synchronous round). *)
+val space_uniform : Digraph.t -> bool
+
+(** [count trace pred] — how many rounds of the trace satisfy [pred]. *)
+val count : Trace.t -> (Digraph.t -> bool) -> int
+
+(** [eventually_forever trace pred] — the last round of the trace and all
+    rounds from some point on satisfy [pred] (the usual ◇□ shape judged
+    on a finite prefix: a suffix of the trace satisfies it). *)
+val eventually_forever : Trace.t -> (Digraph.t -> bool) -> bool

@@ -1,0 +1,117 @@
+open Ssg_util
+
+(* Normalize: symmetric adjacency without self-loops, over capacity n. *)
+let normalize adj =
+  let n = Array.length adj in
+  let sym = Array.init n (fun v -> Bitset.copy adj.(v)) in
+  Array.iteri
+    (fun v row -> Bitset.iter (fun u -> Bitset.add sym.(u) v) row)
+    adj;
+  Array.iteri (fun v row -> Bitset.remove row v) sym;
+  sym
+
+let is_independent adj s =
+  let sym = normalize adj in
+  Bitset.for_all (fun v -> Bitset.disjoint sym.(v) s) s
+
+(* Greedy clique cover of the candidate set: an independent set contains
+   at most one vertex per clique, so |cover| is an upper bound on the
+   independent set inside [candidates].  This is what makes the search
+   fast on source-sharing graphs, which are unions of near-cliques (one
+   per 2-source block): the cover is near-exact there. *)
+let clique_cover_bound sym candidates =
+  let rest = Bitset.copy candidates in
+  let cliques = ref 0 in
+  while not (Bitset.is_empty rest) do
+    incr cliques;
+    let v = Bitset.min_elt rest in
+    Bitset.remove rest v;
+    (* grow a clique: keep a set of common neighbours, absorb greedily *)
+    let common = Bitset.inter sym.(v) rest in
+    while not (Bitset.is_empty common) do
+      let u = Bitset.min_elt common in
+      Bitset.remove rest u;
+      Bitset.remove common u;
+      Bitset.inter_into ~into:common sym.(u)
+    done
+  done;
+  !cliques
+
+(* Branch and bound.  State: [chosen] (members so far), [candidates]
+   (vertices still allowed).  Bound: |chosen| + clique-cover(candidates)
+   must beat the incumbent.  Branch on a max-degree candidate v (degree
+   within the candidate set): either v joins (drop v and its neighbours)
+   or v is excluded.  [target]: stop as soon as an IS of that size is
+   found. *)
+let search sym ~target =
+  let n = Array.length sym in
+  let best = ref (Bitset.create n) in
+  let best_size = ref 0 in
+  let done_ = ref false in
+  let rec go chosen chosen_size candidates =
+    if not !done_ then begin
+      if chosen_size > !best_size then begin
+        best := Bitset.copy chosen;
+        best_size := chosen_size;
+        match target with
+        | Some t when !best_size >= t -> done_ := true
+        | _ -> ()
+      end;
+      if not !done_ then begin
+        let upper = chosen_size + clique_cover_bound sym candidates in
+        let beats_target =
+          match target with Some t -> upper >= t | None -> true
+        in
+        if upper > !best_size && beats_target then begin
+          (* Pick the candidate with the highest degree inside candidates. *)
+          match Bitset.min_elt_opt candidates with
+          | None -> ()
+          | Some first ->
+              let pivot = ref first in
+              let pivot_deg = ref (-1) in
+              Bitset.iter
+                (fun v ->
+                  let d = Bitset.cardinal (Bitset.inter sym.(v) candidates) in
+                  if d > !pivot_deg then begin
+                    pivot := v;
+                    pivot_deg := d
+                  end)
+                candidates;
+              let v = !pivot in
+              (* Branch 1: v in the set. *)
+              let with_v = Bitset.copy candidates in
+              Bitset.remove with_v v;
+              Bitset.diff_into ~into:with_v sym.(v);
+              Bitset.add chosen v;
+              go chosen (chosen_size + 1) with_v;
+              Bitset.remove chosen v;
+              (* Branch 2: v excluded. *)
+              if not !done_ then begin
+                let without_v = Bitset.copy candidates in
+                Bitset.remove without_v v;
+                go chosen chosen_size without_v
+              end
+        end
+      end
+    end
+  in
+  go (Bitset.create n) 0 (Bitset.full n);
+  (!best, !best_size)
+
+let independence_number adj =
+  if Array.length adj = 0 then 0
+  else snd (search (normalize adj) ~target:None)
+
+let max_independent_set adj =
+  if Array.length adj = 0 then Bitset.create 0
+  else fst (search (normalize adj) ~target:None)
+
+let find_independent_set adj ~size =
+  if size < 0 then invalid_arg "Mis.find_independent_set: negative size";
+  let n = Array.length adj in
+  if size = 0 then Some (Bitset.create n)
+  else if size > n then None
+  else begin
+    let witness, found = search (normalize adj) ~target:(Some size) in
+    if found >= size then Some witness else None
+  end

@@ -1,0 +1,30 @@
+(** Exact maximum independent sets on small undirected graphs.
+
+    Deciding [Psrcs(k)] reduces to bounding the independence number of the
+    {e source-sharing graph} (see {!Predicate}), so we need an exact MIS
+    procedure.  This is a bitset branch-and-bound: worst case exponential,
+    but the instances here are dense and small (n ≤ 128 in practice), where
+    it answers in microseconds.
+
+    A graph on [n] vertices is given as an adjacency array [adj] with
+    [adj.(v)] the neighbour set of [v].  The relation is symmetrized
+    defensively; self-loops are ignored (a vertex is never its own
+    neighbour for independence purposes). *)
+
+open Ssg_util
+
+(** [independence_number adj] is α(G), the size of a maximum independent
+    set.  α of the empty graph (n = 0) is 0. *)
+val independence_number : Bitset.t array -> int
+
+(** [max_independent_set adj] is a witness of size [α(G)]. *)
+val max_independent_set : Bitset.t array -> Bitset.t
+
+(** [find_independent_set adj ~size] searches for an independent set of
+    exactly [size] vertices, stopping as soon as one is found — the
+    early-exit used by predicate checking ([Psrcs(k)] fails iff an
+    independent set of size [k+1] exists).  Returns a witness or [None]. *)
+val find_independent_set : Bitset.t array -> size:int -> Bitset.t option
+
+(** [is_independent adj s] — no two members of [s] are adjacent. *)
+val is_independent : Bitset.t array -> Bitset.t -> bool

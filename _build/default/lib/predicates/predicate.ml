@@ -1,0 +1,81 @@
+open Ssg_util
+open Ssg_skeleton
+
+let two_source pts s =
+  let result = ref None in
+  Bitset.iter
+    (fun q ->
+      if !result = None then
+        Bitset.iter
+          (fun q' ->
+            if !result = None && q < q' then
+              let common = Bitset.inter pts.(q) pts.(q') in
+              match Bitset.min_elt_opt common with
+              | Some p -> result := Some (p, q, q')
+              | None -> ())
+          s)
+    s;
+  !result
+
+let psrc pts p s =
+  let receivers = ref 0 in
+  Bitset.iter (fun q -> if Bitset.mem pts.(q) p then incr receivers) s;
+  !receivers >= 2
+
+let sharing_graph pts =
+  let n = Array.length pts in
+  let adj = Array.init n (fun _ -> Bitset.create n) in
+  for q = 0 to n - 1 do
+    for q' = q + 1 to n - 1 do
+      if not (Bitset.disjoint pts.(q) pts.(q')) then begin
+        Bitset.add adj.(q) q';
+        Bitset.add adj.(q') q
+      end
+    done
+  done;
+  adj
+
+let check_k k = if k < 1 then invalid_arg "Predicate: k must be >= 1"
+
+let psrcs_violation pts ~k =
+  check_k k;
+  if k + 1 > Array.length pts then None
+  else Mis.find_independent_set (sharing_graph pts) ~size:(k + 1)
+
+let psrcs pts ~k = psrcs_violation pts ~k = None
+
+(* Enumerate all (k+1)-subsets of 0..n-1 and test each for a 2-source. *)
+let psrcs_naive pts ~k =
+  check_k k;
+  let n = Array.length pts in
+  let size = k + 1 in
+  if size > n then true
+  else begin
+    let members = Array.make size 0 in
+    let ok = ref true in
+    let rec subsets idx lo =
+      if !ok then
+        if idx = size then begin
+          let s = Bitset.create n in
+          Array.iter (Bitset.add s) members;
+          if two_source pts s = None then ok := false
+        end
+        else
+          for v = lo to n - 1 do
+            members.(idx) <- v;
+            subsets (idx + 1) (v + 1)
+          done
+    in
+    subsets 0 0;
+    !ok
+  end
+
+let min_k pts =
+  let alpha = Mis.independence_number (sharing_graph pts) in
+  max alpha 1
+
+let of_skeleton = Timely.sources_of
+
+let psrcs_on_trace trace ~k = psrcs (of_skeleton (Skeleton.final trace)) ~k
+
+let ptrue _ = true

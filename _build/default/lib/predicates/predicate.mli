@@ -1,0 +1,65 @@
+(** Communication predicates — [Psrc], [Psrcs(k)] and friends (Section III).
+
+    For a run with timely-neighbourhood limits [PT(·)]:
+
+    - [Psrc(p, S)] holds iff two distinct processes [q, q' ∈ S] both have
+      [p] in their timely neighbourhood — [p] is a {e 2-source} for [S];
+    - [Psrcs(k)] holds iff every set [S] of [k+1] processes has a 2-source.
+
+    {b Decision procedure.}  Define the {e source-sharing graph} [H] on the
+    processes with an (undirected) edge between distinct [q, q'] iff
+    [PT(q) ∩ PT(q') ≠ ∅].  A set [S] has a 2-source iff some pair of [S] is
+    adjacent in [H]; hence [Psrcs(k)] fails iff [H] has an independent set
+    of size [k+1], i.e. {e [Psrcs(k)] ⇔ α(H) ≤ k}.  We check this with the
+    exact MIS search of {!Mis} instead of enumerating all [C(n, k+1)]
+    subsets.  The equivalence itself is property-tested against the naive
+    enumeration in the test suite.
+
+    All functions here take the per-process timely neighbourhoods [pts]
+    ([pts.(q) = PT(q)]), obtainable from a stable skeleton via
+    {!Ssg_skeleton.Timely.sources_of}. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_rounds
+
+(** [two_source pts s] finds a 2-source for the process set [s]: a triple
+    [(p, q, q')] with [q ≠ q'] both in [s] and [p ∈ PT(q) ∩ PT(q')].
+    Pairs are scanned in lexicographic order. *)
+val two_source : Bitset.t array -> Bitset.t -> (int * int * int) option
+
+(** [psrc pts p s] — [Psrc(p, S)]: [p] is a 2-source for [s]. *)
+val psrc : Bitset.t array -> int -> Bitset.t -> bool
+
+(** [sharing_graph pts] is the source-sharing graph [H] as symmetric
+    adjacency rows (no self-loops). *)
+val sharing_graph : Bitset.t array -> Bitset.t array
+
+(** [psrcs pts ~k] decides [Psrcs(k)] via α(H) ≤ k.
+    @raise Invalid_argument if [k < 1]. *)
+val psrcs : Bitset.t array -> k:int -> bool
+
+(** [psrcs_violation pts ~k] is a witnessing set of [k+1] pairwise
+    source-disjoint processes when [Psrcs(k)] fails, [None] when it
+    holds. *)
+val psrcs_violation : Bitset.t array -> k:int -> Bitset.t option
+
+(** [psrcs_naive pts ~k] decides [Psrcs(k)] by enumerating every
+    [(k+1)]-subset — exponential; for cross-checking only. *)
+val psrcs_naive : Bitset.t array -> k:int -> bool
+
+(** [min_k pts] is the least [k] for which [Psrcs(k)] holds — exactly
+    α(H).  Always in [1 .. n] for a nonempty system with self-timely
+    processes. *)
+val min_k : Bitset.t array -> int
+
+(** [of_skeleton skel] extracts [pts] from a stable skeleton graph. *)
+val of_skeleton : Digraph.t -> Bitset.t array
+
+(** [psrcs_on_trace trace ~k] checks [Psrcs(k)] against the skeleton of a
+    finite trace (exact when the trace extends past stabilization). *)
+val psrcs_on_trace : Trace.t -> k:int -> bool
+
+(** [ptrue] — the trivial predicate [TRUE] (system [Ptrue]); provided for
+    symmetry with the paper's discussion of unconstrained runs. *)
+val ptrue : Bitset.t array -> bool

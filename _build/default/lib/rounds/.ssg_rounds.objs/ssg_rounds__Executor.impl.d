@@ -1,0 +1,1 @@
+lib/rounds/executor.ml: Array Digraph List Logs Option Printf Round_model Ssg_graph Ssg_util Stdlib

@@ -1,0 +1,1 @@
+lib/rounds/executor.mli: Digraph Round_model Ssg_graph

@@ -1,0 +1,1 @@
+lib/rounds/ho.ml: Bitset Digraph List Ssg_graph Ssg_util

@@ -1,0 +1,1 @@
+lib/rounds/ho.mli: Bitset Digraph Ssg_graph Ssg_util

@@ -1,0 +1,1 @@
+lib/rounds/round_model.mli:

@@ -1,0 +1,1 @@
+lib/rounds/trace.ml: Array Digraph Printf Ssg_graph

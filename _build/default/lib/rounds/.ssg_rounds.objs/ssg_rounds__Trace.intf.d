@@ -1,0 +1,1 @@
+lib/rounds/trace.mli: Digraph Ssg_graph

@@ -1,0 +1,19 @@
+open Ssg_util
+open Ssg_graph
+
+let ho graph p = Digraph.preds graph p
+
+let rrfd graph p =
+  let d = Bitset.full (Digraph.order graph) in
+  Bitset.diff_into ~into:d (Digraph.preds graph p);
+  d
+
+let pt_of_hos n hos =
+  let pt = Bitset.full n in
+  List.iter (fun h -> Bitset.inter_into ~into:pt h) hos;
+  pt
+
+let pt_of_rrfds n ds =
+  let pt = Bitset.full n in
+  List.iter (fun d -> Bitset.diff_into ~into:pt d) ds;
+  pt

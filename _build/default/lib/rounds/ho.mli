@@ -1,0 +1,26 @@
+(** The Heard-Of / Round-by-Round-Fault-Detector correspondence (eqs. (6)
+    and (7) of the paper).
+
+    Our primitive notion is the round communication graph [G^r]; the HO
+    model's heard-of set and Gafni's RRFD output are derived views of it:
+
+    - [HO(p, r)] = the predecessors of [p] in [G^r] — who [p] heard of;
+    - [D(p, r)]  = [Π \ HO(p, r)] — whom [p]'s fault detector suspects;
+    - [PT(p, r)] = [∩_{r' <= r} HO(p, r')] = [Π \ ∪_{r' <= r} D(p, r')]. *)
+
+open Ssg_util
+open Ssg_graph
+
+(** [ho graph p] is [HO(p, r)] for the round whose graph is [graph]. *)
+val ho : Digraph.t -> int -> Bitset.t
+
+(** [rrfd graph p] is [D(p, r) = Π \ HO(p, r)]. *)
+val rrfd : Digraph.t -> int -> Bitset.t
+
+(** [pt_of_hos n hos] is the timely neighbourhood obtained by intersecting
+    heard-of sets — the left equality of eq. (7).  An empty list yields
+    [Π]. *)
+val pt_of_hos : int -> Bitset.t list -> Bitset.t
+
+(** [pt_of_rrfds n ds] is [Π \ ∪ ds] — the right equality of eq. (7). *)
+val pt_of_rrfds : int -> Bitset.t list -> Bitset.t

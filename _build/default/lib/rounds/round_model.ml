@@ -1,0 +1,18 @@
+module type ALGORITHM = sig
+  type state
+  type message
+
+  val name : string
+  val init : n:int -> self:int -> input:int -> state
+  val send : round:int -> state -> message
+  val transition : round:int -> state -> message option array -> state
+  val decision : state -> int option
+  val message_bits : n:int -> round:int -> message -> int
+end
+
+type packed =
+  | Packed :
+      (module ALGORITHM with type state = 's and type message = 'm)
+      -> packed
+
+let name_of (Packed (module A)) = A.name

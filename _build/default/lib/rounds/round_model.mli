@@ -1,0 +1,51 @@
+(** The communication-closed round model of Section II.
+
+    An algorithm is a pair of functions per round: a {e sending function}
+    mapping the state at the beginning of round [r] to the message
+    broadcast in [r], and a {e transition function} mapping the state and
+    the vector of received round-[r] messages to the next state.  A run is
+    completely determined by the initial states and the sequence of
+    communication graphs — there is no other source of nondeterminism.
+
+    Processes are the integers [0 .. n-1]; proposal and decision values are
+    integers.  Decisions are exposed through [decision] and must be
+    irrevocable: once [decision s = Some v], every subsequent state must
+    report the same [v] (the executor enforces this). *)
+
+module type ALGORITHM = sig
+  type state
+  type message
+
+  val name : string
+
+  (** [init ~n ~self ~input] is the state of process [self] before
+      round 1. *)
+  val init : n:int -> self:int -> input:int -> state
+
+  (** [send ~round s] is the message broadcast in [round] (the model is
+      broadcast-based: the same message goes to everyone; who receives it
+      is decided solely by the round's communication graph). *)
+  val send : round:int -> state -> message
+
+  (** [transition ~round s inbox] is the state after [round].
+      [inbox.(q) = Some m] iff the edge [q -> self] is in the round's
+      communication graph, i.e. [self] heard of [q]. *)
+  val transition : round:int -> state -> message option array -> state
+
+  (** [decision s] is the decided value, if the process has decided. *)
+  val decision : state -> int option
+
+  (** [message_bits ~n ~round m] is the wire size of [m] in bits, for the
+      message-complexity accounting.  [round] bounds the label magnitude
+      for encodings that include round numbers. *)
+  val message_bits : n:int -> round:int -> message -> int
+end
+
+(** An algorithm packed with its state/message types hidden — what the
+    simulation harness passes around. *)
+type packed =
+  | Packed :
+      (module ALGORITHM with type state = 's and type message = 'm)
+      -> packed
+
+val name_of : packed -> string

@@ -1,0 +1,34 @@
+open Ssg_graph
+
+type t = { order : int; graphs : Digraph.t array }
+
+let make graphs =
+  if Array.length graphs = 0 then invalid_arg "Trace.make: no rounds";
+  let order = Digraph.order graphs.(0) in
+  Array.iter
+    (fun g ->
+      if Digraph.order g <> order then
+        invalid_arg "Trace.make: inconsistent graph orders")
+    graphs;
+  { order; graphs }
+
+let record ~n ~rounds f =
+  if rounds <= 0 then invalid_arg "Trace.record: need at least one round";
+  let graphs =
+    Array.init rounds (fun i ->
+        let g = f (i + 1) in
+        if Digraph.order g <> n then
+          invalid_arg "Trace.record: graph order mismatch";
+        g)
+  in
+  make graphs
+
+let n t = t.order
+let rounds t = Array.length t.graphs
+
+let graph t r =
+  if r < 1 || r > Array.length t.graphs then
+    invalid_arg (Printf.sprintf "Trace.graph: round %d out of range" r);
+  t.graphs.(r - 1)
+
+let iter f t = Array.iteri (fun i g -> f (i + 1) g) t.graphs

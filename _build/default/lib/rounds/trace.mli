@@ -1,0 +1,30 @@
+(** Finite communication patterns: the per-round graphs of a (prefix of a)
+    run, materialized for offline analysis.
+
+    Rounds are 1-based, matching the paper.  A trace fixes everything the
+    skeleton/predicate machinery needs to know about a run prefix. *)
+
+open Ssg_graph
+
+type t
+
+(** [make graphs] wraps the rounds [1 .. Array.length graphs]; all graphs
+    must share one order, and there must be at least one round.
+    @raise Invalid_argument otherwise. *)
+val make : Digraph.t array -> t
+
+(** [record ~n ~rounds f] materializes [f 1 .. f rounds]. *)
+val record : n:int -> rounds:int -> (int -> Digraph.t) -> t
+
+(** [n t] is the number of processes. *)
+val n : t -> int
+
+(** [rounds t] is the number of recorded rounds. *)
+val rounds : t -> int
+
+(** [graph t r] is [G^r] for [1 <= r <= rounds t].
+    @raise Invalid_argument out of range. *)
+val graph : t -> int -> Digraph.t
+
+(** [iter f t] calls [f r g] for each recorded round in order. *)
+val iter : (int -> Digraph.t -> unit) -> t -> unit

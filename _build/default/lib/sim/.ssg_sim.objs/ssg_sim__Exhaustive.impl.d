@@ -1,0 +1,1 @@
+lib/sim/exhaustive.ml: Adversary Analysis Array Digraph Format Gen Kset_agreement List Metrics Parallel Runner Ssg_adversary Ssg_core Ssg_graph Ssg_skeleton Ssg_util

@@ -1,0 +1,1 @@
+lib/sim/exhaustive.mli: Adversary Digraph Format Ssg_adversary Ssg_graph

@@ -1,0 +1,1 @@
+lib/sim/experiment.mli: Ssg_util Table

@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Analysis Array Executor List Runner Ssg_rounds Ssg_skeleton

@@ -1,0 +1,1 @@
+lib/sim/metrics.mli: Executor Runner Ssg_rounds

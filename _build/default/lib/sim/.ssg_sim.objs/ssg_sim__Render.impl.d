@@ -1,0 +1,1 @@
+lib/sim/render.ml: Adversary Array Buffer Digraph Executor Kset_agreement Lgraph Printf Ssg_adversary Ssg_core Ssg_graph Ssg_rounds String

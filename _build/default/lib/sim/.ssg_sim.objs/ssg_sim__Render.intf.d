@@ -1,0 +1,1 @@
+lib/sim/render.mli: Adversary Digraph Executor Ssg_adversary Ssg_graph Ssg_rounds

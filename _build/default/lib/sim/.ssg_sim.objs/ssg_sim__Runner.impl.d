@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Adversary Analysis Array Digraph Executor Kset_agreement Monitor Option Rng Round_model Ssg_adversary Ssg_core Ssg_graph Ssg_rounds Ssg_skeleton Ssg_util

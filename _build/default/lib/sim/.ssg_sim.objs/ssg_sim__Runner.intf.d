@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Adversary Analysis Digraph Executor Round_model Ssg_adversary Ssg_core Ssg_graph Ssg_rounds Ssg_skeleton Ssg_util

@@ -1,0 +1,1 @@
+lib/sim/series.ml: Adversary Analysis Array Buffer Digraph Executor Kset_agreement Lgraph List Printf Scc Skeleton Ssg_adversary Ssg_core Ssg_graph Ssg_rounds Ssg_skeleton Ssg_util String

@@ -1,0 +1,1 @@
+lib/sim/series.mli: Adversary Ssg_adversary

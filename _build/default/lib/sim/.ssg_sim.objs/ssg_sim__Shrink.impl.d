@@ -1,0 +1,1 @@
+lib/sim/shrink.ml: Adversary Array Digraph List Ssg_adversary Ssg_graph

@@ -1,0 +1,1 @@
+lib/sim/shrink.mli: Adversary Ssg_adversary

@@ -1,0 +1,48 @@
+(** The experiment registry — one entry per figure/claim of the paper.
+
+    Each experiment regenerates a table (and explanatory notes) from
+    scratch; the benchmark executable prints all of them, the CLI can run
+    any one by id.  See DESIGN.md's experiment index and EXPERIMENTS.md
+    for the paper-vs-measured discussion.
+
+    Experiments are deterministic: a fixed master seed is split per run.
+    [scale] trades coverage for time: [`Quick] for CI smoke, [`Standard]
+    for the bench executable, [`Full] for overnight sweeps. *)
+
+open Ssg_util
+
+type scale = [ `Quick | `Standard | `Full ]
+
+type result = {
+  id : string;
+  title : string;
+  table : Table.t;
+  notes : string list;  (** observations to print under the table *)
+}
+
+type t = {
+  id : string;  (** e.g. "F1", "E3", "A1" *)
+  title : string;
+  paper_artifact : string;  (** what in the paper this regenerates *)
+  run : scale -> result;
+}
+
+(** All experiments, in presentation order: F1, E1..E8, A1. *)
+val all : t list
+
+(** [find id] looks an experiment up by case-insensitive id. *)
+val find : string -> t option
+
+(** [render exp result] renders an already-computed result as a printable
+    block (header, table, notes). *)
+val render : t -> result -> string
+
+(** [csv result] renders an already-computed result's table as CSV (notes
+    omitted) — for piping into plotting tools. *)
+val csv : result -> string
+
+(** [run_and_render exp scale] executes and renders in one step. *)
+val run_and_render : t -> scale -> string
+
+(** [run_to_csv exp scale] executes and renders CSV in one step. *)
+val run_to_csv : t -> scale -> string

@@ -1,0 +1,55 @@
+open Ssg_rounds
+open Ssg_skeleton
+
+let distinct_decisions o = List.length (Executor.decision_values o)
+
+let first_decision_round (o : Executor.outcome) =
+  Array.fold_left
+    (fun acc d ->
+      match (acc, d) with
+      | None, Some (d : Executor.decision) -> Some d.round
+      | Some r, Some d -> Some (min r d.round)
+      | acc, None -> acc)
+    None o.decisions
+
+let last_decision_round = Executor.last_decision_round
+
+let k_agreement ~k o = distinct_decisions o <= k
+
+let validity ~inputs o =
+  let proposed = Array.to_list inputs in
+  List.for_all (fun v -> List.mem v proposed) (Executor.decision_values o)
+
+let termination = Executor.all_decided
+
+let decisions_per_root (r : Runner.report) =
+  (distinct_decisions r.outcome, Analysis.root_count r.analysis)
+
+type verdict = {
+  agreement : bool;
+  validity : bool;
+  termination : bool;
+  monitors_clean : bool;
+}
+
+let verdict ~k (r : Runner.report) =
+  {
+    agreement = k_agreement ~k r.outcome;
+    validity = validity ~inputs:r.inputs r.outcome;
+    termination = termination r.outcome;
+    monitors_clean = r.violations = [];
+  }
+
+let all_ok v = v.agreement && v.validity && v.termination && v.monitors_clean
+
+let count_if f rs = List.length (List.filter f rs)
+
+let max_over f = function
+  | [] -> invalid_arg "Metrics.max_over: empty batch"
+  | r :: rs -> List.fold_left (fun acc r -> max acc (f r)) (f r) rs
+
+let mean_over f = function
+  | [] -> invalid_arg "Metrics.mean_over: empty batch"
+  | rs ->
+      let total = List.fold_left (fun acc r -> acc + f r) 0 rs in
+      float_of_int total /. float_of_int (List.length rs)

@@ -1,0 +1,54 @@
+(** Derived measurements and correctness verdicts over run reports.
+
+    The three k-set agreement properties become boolean verdicts here;
+    batch helpers aggregate whole sweeps for the experiment tables. *)
+
+open Ssg_rounds
+
+(** [distinct_decisions o] — how many different values were decided. *)
+val distinct_decisions : Executor.outcome -> int
+
+(** [first_decision_round o] / [last_decision_round o]. *)
+val first_decision_round : Executor.outcome -> int option
+
+val last_decision_round : Executor.outcome -> int option
+
+(** [k_agreement ~k o] — at most [k] distinct decision values among
+    deciders (vacuously true when nobody decided). *)
+val k_agreement : k:int -> Executor.outcome -> bool
+
+(** [validity ~inputs o] — every decided value was proposed. *)
+val validity : inputs:int array -> Executor.outcome -> bool
+
+(** [termination o] — every process decided. *)
+val termination : Executor.outcome -> bool
+
+(** [decisions_per_root r] — for Algorithm 1's theory: the number of
+    distinct decision values never exceeds the number of root components
+    of the stable skeleton (the paper's one-to-one correspondence).
+    Returns [(distinct, roots)]. *)
+val decisions_per_root : Runner.report -> int * int
+
+(** [verdict ~k r] — all three properties at level [k], as a compact
+    record. *)
+type verdict = {
+  agreement : bool;
+  validity : bool;
+  termination : bool;
+  monitors_clean : bool;
+}
+
+val verdict : k:int -> Runner.report -> verdict
+
+val all_ok : verdict -> bool
+
+(** Batch aggregation. *)
+
+(** [count_if f rs] — how many reports satisfy [f]. *)
+val count_if : (Runner.report -> bool) -> Runner.report list -> int
+
+(** [max_over f rs] / [mean_over f rs] over integer projections.
+    @raise Invalid_argument on empty batches. *)
+val max_over : (Runner.report -> int) -> Runner.report list -> int
+
+val mean_over : (Runner.report -> int) -> Runner.report list -> float

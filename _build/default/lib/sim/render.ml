@@ -1,0 +1,82 @@
+open Ssg_graph
+open Ssg_rounds
+open Ssg_adversary
+open Ssg_core
+
+let matrix g =
+  let n = Digraph.order g in
+  let buf = Buffer.create ((n + 2) * (n + 4)) in
+  Buffer.add_string buf "    ";
+  for q = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d" ((q + 1) mod 10))
+  done;
+  Buffer.add_string buf "  (column = receiver)\n";
+  for p = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "p%-2d " (p + 1));
+    for q = 0 to n - 1 do
+      Buffer.add_char buf (if Digraph.mem_edge g p q then '#' else '.')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let timeline adv ~rounds =
+  let n = Adversary.n adv in
+  let module E = Executor.Make (Kset_agreement.Alg) in
+  let cells = Array.make_matrix n rounds '.' in
+  let first_decided = Array.make n None in
+  let capture ~round ~graph:_ states =
+    Array.iteri
+      (fun p s ->
+        let c =
+          match Kset_agreement.decided s with
+          | Some _ -> (
+              match first_decided.(p) with
+              | None ->
+                  first_decided.(p) <- Some round;
+                  'D'
+              | Some _ -> '=')
+          | None ->
+              if Lgraph.is_strongly_connected (Kset_agreement.approx_of s)
+              then 'o'
+              else '.'
+        in
+        cells.(p).(round - 1) <- c)
+      states
+  in
+  let cfg =
+    E.config ~on_round:capture ~stop_when_all_decided:false
+      ~inputs:(Array.init n (fun i -> i))
+      ~graphs:(Adversary.graph adv) ~max_rounds:rounds ()
+  in
+  let outcome, _ = E.run cfg in
+  let buf = Buffer.create (n * (rounds + 8)) in
+  Buffer.add_string buf "     ";
+  for r = 1 to rounds do
+    Buffer.add_string buf (string_of_int (r mod 10))
+  done;
+  Buffer.add_string buf "  (round)\n";
+  for p = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "p%-3d " (p + 1));
+    Array.iter (Buffer.add_char buf) cells.(p);
+    (match outcome.Executor.decisions.(p) with
+    | Some { Executor.round; value } ->
+        Buffer.add_string buf (Printf.sprintf "  decides %d @r%d" value round)
+    | None -> Buffer.add_string buf "  undecided");
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf
+    "legend: . searching   o certificate open   D decision   = decided\n";
+  Buffer.contents buf
+
+let decisions (o : Executor.outcome) =
+  let buf = Buffer.create 128 in
+  Array.iteri
+    (fun p d ->
+      match d with
+      | Some { Executor.round; value } ->
+          Buffer.add_string buf
+            (Printf.sprintf "p%d:%d@r%d " (p + 1) value round)
+      | None -> Buffer.add_string buf (Printf.sprintf "p%d:? " (p + 1)))
+    o.Executor.decisions;
+  String.trim (Buffer.contents buf)

@@ -1,0 +1,31 @@
+(** Plain-text visualization of runs.
+
+    Two views, both written for terminals:
+
+    - {!timeline}: one row per process, one column per round, showing when
+      each process was in its final timely neighbourhood, when its
+      approximation became strongly connected, and when it decided.
+    - {!matrix}: an adjacency matrix of a graph with row = sender,
+      column = receiver ([#] edge, [.] none) — handy for eyeballing
+      skeletons at sizes where DOT is overkill. *)
+
+open Ssg_graph
+open Ssg_rounds
+open Ssg_adversary
+
+(** [matrix g] — adjacency matrix rendering of any digraph. *)
+val matrix : Digraph.t -> string
+
+(** [timeline adv ~rounds] executes Algorithm 1 on [adv] and renders per
+    process and round:
+
+    - [.] undecided, approximation not strongly connected,
+    - [o] undecided, approximation strongly connected (certificate open),
+    - [D] the decision round,
+    - [=] decided earlier.
+
+    The header row labels rounds mod 10. *)
+val timeline : Adversary.t -> rounds:int -> string
+
+(** [decisions outcome] — a compact per-process decision summary. *)
+val decisions : Executor.outcome -> string

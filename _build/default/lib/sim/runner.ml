@@ -1,0 +1,79 @@
+open Ssg_util
+open Ssg_graph
+open Ssg_rounds
+open Ssg_skeleton
+open Ssg_adversary
+open Ssg_core
+
+type report = {
+  adversary : string;
+  algorithm : string;
+  n : int;
+  inputs : int array;
+  outcome : Executor.outcome;
+  skeleton : Digraph.t;
+  analysis : Analysis.t;
+  min_k : int;
+  violations : string list;
+}
+
+let distinct_inputs n = Array.init n (fun p -> p)
+let shuffled_inputs rng n = Rng.permutation rng n
+let default_rounds adv = Adversary.decision_horizon adv
+
+let describe adv name inputs outcome violations =
+  let skeleton = Adversary.stable_skeleton adv in
+  {
+    adversary = Adversary.name adv;
+    algorithm = name;
+    n = Adversary.n adv;
+    inputs;
+    outcome;
+    skeleton;
+    analysis = Analysis.analyze skeleton;
+    min_k = Adversary.min_k adv;
+    violations;
+  }
+
+let run_kset ?variant ?inputs ?rounds ?(monitor = false) adv =
+  let (module A : Round_model.ALGORITHM
+        with type state = Kset_agreement.state) =
+    match variant with
+    | Some m -> m
+    | None -> (module Kset_agreement.Alg)
+  in
+  let n = Adversary.n adv in
+  let inputs = match inputs with Some i -> i | None -> distinct_inputs n in
+  let rounds = match rounds with Some r -> r | None -> default_rounds adv in
+  let module E = Executor.Make (A) in
+  let mon = if monitor then Some (Monitor.create ~n) else None in
+  let on_round =
+    Option.map
+      (fun m ~round ~graph states ->
+        Monitor.observe m ~round ~graph (Array.map Monitor.view_of_kset states))
+      mon
+  in
+  let cfg =
+    E.config ?on_round
+      ~stop_when_all_decided:(not monitor)
+      ~inputs ~graphs:(Adversary.graph adv) ~max_rounds:rounds ()
+  in
+  let outcome, _states = E.run cfg in
+  let violations =
+    match mon with
+    | None -> []
+    | Some m ->
+        let exact = outcome.Executor.rounds_run > Adversary.prefix_length adv in
+        Monitor.finalize ~final_skeleton_exact:exact m
+  in
+  describe adv A.name inputs outcome violations
+
+let run_packed alg ?inputs ?rounds adv =
+  let n = Adversary.n adv in
+  let inputs = match inputs with Some i -> i | None -> distinct_inputs n in
+  let rounds = match rounds with Some r -> r | None -> default_rounds adv in
+  let outcome =
+    Executor.run_packed alg ~inputs ~graphs:(Adversary.graph adv)
+      ~max_rounds:rounds
+  in
+  describe adv (Round_model.name_of alg) inputs outcome []

@@ -1,0 +1,109 @@
+open Ssg_graph
+open Ssg_rounds
+open Ssg_skeleton
+open Ssg_adversary
+open Ssg_core
+
+type sample = {
+  round : int;
+  skeleton_edges : int;
+  components : int;
+  roots : int;
+  mean_pt : float;
+  mean_approx_nodes : float;
+  mean_approx_edges : float;
+  certificates : int;
+  decided : int;
+}
+
+let collect ?rounds adv =
+  let n = Adversary.n adv in
+  let rounds =
+    match rounds with Some r -> r | None -> Adversary.decision_horizon adv
+  in
+  let module E = Executor.Make (Kset_agreement.Alg) in
+  let skel = Skeleton.start ~n in
+  let samples = ref [] in
+  let capture ~round ~graph states =
+    ignore (Skeleton.absorb skel graph);
+    let skeleton = Skeleton.view skel in
+    let analysis = Analysis.analyze skeleton in
+    let sum f = Array.fold_left (fun acc s -> acc + f s) 0 states in
+    let meanf f = float_of_int (sum f) /. float_of_int n in
+    samples :=
+      {
+        round;
+        skeleton_edges = Digraph.edge_count skeleton;
+        components = (Analysis.partition analysis).Scc.count;
+        roots = Analysis.root_count analysis;
+        mean_pt =
+          meanf (fun s -> Ssg_util.Bitset.cardinal (Kset_agreement.pt_of s));
+        mean_approx_nodes =
+          meanf (fun s -> Lgraph.node_count (Kset_agreement.approx_of s));
+        mean_approx_edges =
+          meanf (fun s -> Lgraph.edge_count (Kset_agreement.approx_of s));
+        certificates =
+          sum (fun s ->
+              if Lgraph.is_strongly_connected (Kset_agreement.approx_of s)
+              then 1
+              else 0);
+        decided =
+          sum (fun s -> if Kset_agreement.decided s <> None then 1 else 0);
+      }
+      :: !samples
+  in
+  let cfg =
+    E.config ~stop_when_all_decided:false ~on_round:capture
+      ~inputs:(Array.init n (fun i -> i))
+      ~graphs:(Adversary.graph adv) ~max_rounds:rounds ()
+  in
+  let _ = E.run cfg in
+  List.rev !samples
+
+let to_csv samples =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "round,skeleton_edges,components,roots,mean_pt,mean_approx_nodes,mean_approx_edges,certificates,decided\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d,%.3f,%.3f,%.3f,%d,%d\n" s.round
+           s.skeleton_edges s.components s.roots s.mean_pt
+           s.mean_approx_nodes s.mean_approx_edges s.certificates s.decided))
+    samples;
+  Buffer.contents buf
+
+let blocks = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+let sparkline proj samples =
+  match samples with
+  | [] -> ""
+  | _ ->
+      let values = List.map proj samples in
+      let lo = List.fold_left min (List.hd values) values in
+      let hi = List.fold_left max (List.hd values) values in
+      let pick v =
+        if hi = lo then blocks.(3)
+        else
+          let idx =
+            int_of_float ((v -. lo) /. (hi -. lo) *. 7.0 +. 0.5)
+          in
+          blocks.(max 0 (min 7 idx))
+      in
+      String.concat "" (List.map pick values)
+
+let summary samples =
+  let line label proj =
+    Printf.sprintf "%-18s %s" label (sparkline proj samples)
+  in
+  String.concat "\n"
+    [
+      line "skeleton edges" (fun s -> float_of_int s.skeleton_edges);
+      line "components" (fun s -> float_of_int s.components);
+      line "roots" (fun s -> float_of_int s.roots);
+      line "mean |PT|" (fun s -> s.mean_pt);
+      line "mean |V(G_p)|" (fun s -> s.mean_approx_nodes);
+      line "mean |E(G_p)|" (fun s -> s.mean_approx_edges);
+      line "certificates" (fun s -> float_of_int s.certificates);
+      line "decided" (fun s -> float_of_int s.decided);
+    ]

@@ -1,0 +1,38 @@
+(** Per-round time series of a run — the data behind convergence figures.
+
+    Collects, per executed round, the ground-truth skeleton statistics and
+    the aggregate state of all local approximations, so the dynamics of
+    Figure 1 (labels refreshing, components crystallizing, certificates
+    opening, decisions firing) can be plotted at any scale.  Output as CSV
+    (for external plotting) or unicode sparklines (for terminals). *)
+
+open Ssg_adversary
+
+type sample = {
+  round : int;
+  skeleton_edges : int;  (** edges of [G^∩r] (self-loops included) *)
+  components : int;  (** SCCs of [G^∩r] *)
+  roots : int;  (** root components of [G^∩r] *)
+  mean_pt : float;  (** mean [|PT_p|] over processes *)
+  mean_approx_nodes : float;  (** mean [|V(G_p)|] *)
+  mean_approx_edges : float;  (** mean [|E(G_p)|] *)
+  certificates : int;  (** processes whose [G_p] is strongly connected *)
+  decided : int;  (** processes decided so far *)
+}
+
+(** [collect ?rounds adv] runs Algorithm 1 on [adv] (default horizon:
+    {!Ssg_adversary.Adversary.decision_horizon}) and samples every
+    round. *)
+val collect : ?rounds:int -> Adversary.t -> sample list
+
+(** [to_csv samples] — one row per round, with a header. *)
+val to_csv : sample list -> string
+
+(** [sparkline proj samples] — the projected series as unicode blocks
+    (▁▂▃▄▅▆▇█), linearly scaled between the series min and max.  A
+    constant series renders as all-▄. *)
+val sparkline : (sample -> float) -> sample list -> string
+
+(** [summary samples] — a small multi-line dashboard: one labelled
+    sparkline per tracked quantity. *)
+val summary : sample list -> string

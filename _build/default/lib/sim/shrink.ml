@@ -1,0 +1,106 @@
+open Ssg_graph
+open Ssg_adversary
+
+type property = Adversary.t -> bool
+
+let graphs_of adv =
+  let plen = Adversary.prefix_length adv in
+  ( Array.init plen (fun i -> Adversary.graph adv (i + 1)),
+    Adversary.graph adv (plen + 1) )
+
+let rebuild ~prefix ~stable =
+  Adversary.make ~name:"shrunk" ~prefix ~stable
+
+let total_edges adv =
+  let prefix, stable = graphs_of adv in
+  Array.fold_left
+    (fun acc g -> acc + Digraph.edge_count g)
+    (Digraph.edge_count stable) prefix
+
+let size adv =
+  (Adversary.n adv * 1000) + (Adversary.prefix_length adv * 100) + total_edges adv
+
+(* Remove process [p], renumbering the remaining ones. *)
+let remove_process g p =
+  let n = Digraph.order g in
+  let small = Digraph.create (n - 1) in
+  let f v = if v < p then v else v - 1 in
+  Digraph.iter_edges g (fun a b ->
+      if a <> p && b <> p then Digraph.add_edge small (f a) (f b));
+  small
+
+(* Candidate simplifications, most aggressive first. *)
+let candidates adv =
+  let prefix, stable = graphs_of adv in
+  let n = Digraph.order stable in
+  let drop_process =
+    if n <= 1 then []
+    else
+      List.init n (fun p () ->
+          rebuild
+            ~prefix:(Array.map (fun g -> remove_process g p) prefix)
+            ~stable:(remove_process stable p))
+  in
+  let drop_prefix_round =
+    List.init (Array.length prefix) (fun i () ->
+        let keep =
+          Array.of_list
+            (List.filteri (fun j _ -> j <> i) (Array.to_list prefix))
+        in
+        rebuild ~prefix:keep ~stable)
+  in
+  let drop_edge_in graph_index g =
+    List.filter_map
+      (fun (a, b) ->
+        if a = b then None
+        else
+          Some
+            (fun () ->
+              let g' = Digraph.copy g in
+              Digraph.remove_edge g' a b;
+              match graph_index with
+              | None -> rebuild ~prefix ~stable:g'
+              | Some i ->
+                  let prefix' = Array.copy prefix in
+                  prefix'.(i) <- g';
+                  rebuild ~prefix:prefix' ~stable))
+      (Digraph.edges g)
+  in
+  let prefix_edges =
+    List.concat
+      (List.mapi (fun i g -> drop_edge_in (Some i) g) (Array.to_list prefix))
+  in
+  let stable_edges = drop_edge_in None stable in
+  drop_process @ drop_prefix_round @ prefix_edges @ stable_edges
+
+let minimize ?(max_checks = 10_000) property adv =
+  if not (property adv) then
+    invalid_arg "Shrink.minimize: input does not satisfy the property";
+  let checks = ref 0 in
+  let rec pass current =
+    let improved = ref None in
+    let rec try_candidates = function
+      | [] -> ()
+      | mk :: rest ->
+          if !checks < max_checks && !improved = None then begin
+            incr checks;
+            (* candidate construction or evaluation may reject a malformed
+               run (Adversary.make validation); treat that as "not
+               interesting". *)
+            (match
+               try
+                 let candidate = mk () in
+                 if property candidate then Some candidate else None
+               with Invalid_argument _ -> None
+             with
+            | Some better when size better < size current ->
+                improved := Some better
+            | _ -> ());
+            try_candidates rest
+          end
+    in
+    try_candidates (candidates current);
+    match !improved with Some better -> pass better | None -> current
+  in
+  let result = pass adv in
+  (result, !checks)

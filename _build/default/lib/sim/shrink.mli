@@ -1,0 +1,34 @@
+(** Counterexample minimization for run descriptions.
+
+    The Theorem 16 gap (E9) was found by random sweeps at n = 6 with
+    4-round prefixes; the minimal witness is 3 processes and one transient
+    edge.  This module automates that reduction: given a property that
+    marks a run as "interesting" (e.g. "the paper's rule exceeds min_k"),
+    [minimize] greedily simplifies the run while the property keeps
+    holding — the same idea as QuickCheck shrinking, specialized to run
+    descriptions:
+
+    - drop whole prefix rounds,
+    - delete non-self-loop edges from prefix graphs,
+    - delete non-self-loop edges from the stable graph,
+    - remove processes entirely (renumbering the rest).
+
+    Passes repeat until a fixpoint.  The result is locally minimal: no
+    single simplification step preserves the property.  Determinism:
+    candidates are tried in a fixed order, so the same input shrinks to
+    the same witness. *)
+
+open Ssg_adversary
+
+(** [true] = still interesting (keep shrinking towards it). *)
+type property = Adversary.t -> bool
+
+(** [minimize ?max_checks property adv] returns the shrunk run and the
+    number of property evaluations spent.  [adv] itself must satisfy
+    [property].  [max_checks] (default 10_000) bounds the work.
+    @raise Invalid_argument if [property adv] is already false. *)
+val minimize : ?max_checks:int -> property -> Adversary.t -> Adversary.t * int
+
+(** [size adv] — the shrinking measure: [n·1000 + prefix·100 + edges]
+    (fewer processes ≫ shorter prefix ≫ fewer edges). *)
+val size : Adversary.t -> int

@@ -1,0 +1,1 @@
+lib/skeleton/analysis.ml: Array Bitset Digraph Format List Scc Ssg_graph Ssg_util

@@ -1,0 +1,1 @@
+lib/skeleton/analysis.mli: Bitset Digraph Format Scc Ssg_graph Ssg_util

@@ -1,0 +1,1 @@
+lib/skeleton/skeleton.ml: Array Digraph Printf Ssg_graph Ssg_rounds Trace

@@ -1,0 +1,1 @@
+lib/skeleton/skeleton.mli: Digraph Ssg_graph Ssg_rounds Trace

@@ -1,0 +1,1 @@
+lib/skeleton/timely.ml: Array Digraph Skeleton Ssg_graph Ssg_rounds Trace

@@ -1,0 +1,1 @@
+lib/skeleton/timely.mli: Bitset Digraph Ssg_graph Ssg_rounds Ssg_util Trace

@@ -1,0 +1,1 @@
+lib/skeleton/windowed.ml: Array Digraph Ssg_graph

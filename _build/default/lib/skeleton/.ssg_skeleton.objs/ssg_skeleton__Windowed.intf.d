@@ -1,0 +1,1 @@
+lib/skeleton/windowed.mli: Digraph Ssg_graph

@@ -1,0 +1,45 @@
+open Ssg_graph
+open Ssg_rounds
+
+type t = { acc : Digraph.t; mutable rounds : int }
+
+let start ~n =
+  if n <= 0 then invalid_arg "Skeleton.start: empty system";
+  { acc = Digraph.complete ~self_loops:true n; rounds = 0 }
+
+let absorb s g =
+  if Digraph.order g <> Digraph.order s.acc then
+    invalid_arg "Skeleton.absorb: graph order mismatch";
+  Digraph.inter_into ~into:s.acc g;
+  s.rounds <- s.rounds + 1;
+  s.rounds
+
+let rounds_absorbed s = s.rounds
+let current s = Digraph.copy s.acc
+let view s = s.acc
+
+let at trace r =
+  if r < 1 || r > Trace.rounds trace then
+    invalid_arg (Printf.sprintf "Skeleton.at: round %d out of range" r);
+  let s = start ~n:(Trace.n trace) in
+  for r' = 1 to r do
+    ignore (absorb s (Trace.graph trace r'))
+  done;
+  current s
+
+let all trace =
+  let s = start ~n:(Trace.n trace) in
+  Array.init (Trace.rounds trace) (fun i ->
+      ignore (absorb s (Trace.graph trace (i + 1)));
+      current s)
+
+let final trace = at trace (Trace.rounds trace)
+
+let stabilization_round trace =
+  let skeletons = all trace in
+  let last = skeletons.(Array.length skeletons - 1) in
+  (* Antitone chain: find the first index equal to the final value. *)
+  let rec go r =
+    if Digraph.equal skeletons.(r - 1) last then r else go (r + 1)
+  in
+  go 1

@@ -1,0 +1,51 @@
+(** Round skeletons [G^∩r] and their limit, the stable skeleton [G^∩∞].
+
+    [G^∩r] is the subgraph of edges that were timely in {e every} round up
+    to [r]: [E^∩r = ∩_{0 < r' <= r} E^r'].  It is antitone in [r]
+    (eq. (1)); over an infinite run it reaches a fixpoint [G^∩∞] after
+    finitely many rounds (the stabilization round [r_ST]).
+
+    This module computes skeletons incrementally (an accumulator absorbing
+    one round graph at a time, O(n²/w) per round) and offline from a
+    {!Ssg_rounds.Trace}. *)
+
+open Ssg_graph
+open Ssg_rounds
+
+type t
+
+(** [start ~n] is the accumulator before round 1; its value is the
+    complete graph with self-loops (the intersection over zero rounds). *)
+val start : n:int -> t
+
+(** [absorb acc g] intersects the next round's communication graph into
+    the accumulator and returns the round number just absorbed. *)
+val absorb : t -> Digraph.t -> int
+
+(** [rounds_absorbed acc]. *)
+val rounds_absorbed : t -> int
+
+(** [current acc] is a copy of [G^∩r] for [r = rounds_absorbed acc]. *)
+val current : t -> Digraph.t
+
+(** [view acc] is the internal skeleton graph, {e borrowed}: valid only
+    until the next [absorb], and must not be mutated.  Zero-copy variant
+    of [current] for per-round monitors. *)
+val view : t -> Digraph.t
+
+(** [at trace r] is [G^∩r] computed from the first [r] rounds of the
+    trace.  @raise Invalid_argument if [r] is out of range. *)
+val at : Trace.t -> int -> Digraph.t
+
+(** [all trace] is [[| G^∩1; ...; G^∩R |]]. *)
+val all : Trace.t -> Digraph.t array
+
+(** [final trace] is [G^∩R] for [R = Trace.rounds trace] — the best
+    available approximation of [G^∩∞] from a finite prefix (exact once the
+    trace extends past the run's stabilization round). *)
+val final : Trace.t -> Digraph.t
+
+(** [stabilization_round trace] is the earliest round [r] with
+    [G^∩r = final trace].  By antitonicity this is exactly the round from
+    which the skeleton stopped shrinking within the trace. *)
+val stabilization_round : Trace.t -> int

@@ -1,0 +1,13 @@
+open Ssg_graph
+open Ssg_rounds
+
+let of_skeleton skel p = Digraph.preds skel p
+let at trace ~p ~r = of_skeleton (Skeleton.at trace r) p
+let final trace p = of_skeleton (Skeleton.final trace) p
+
+let all_final trace =
+  let skel = Skeleton.final trace in
+  Array.init (Trace.n trace) (of_skeleton skel)
+
+let sources_of skel =
+  Array.init (Digraph.order skel) (of_skeleton skel)

@@ -1,0 +1,29 @@
+(** Timely neighbourhoods [PT(p, r)] and [PT(p)].
+
+    [PT(p, r)] is the set of processes [p] has perceived as perpetually
+    timely up to round [r]: exactly the predecessors of [p] in the round
+    skeleton [G^∩r].  [PT(p) = ∩_r PT(p, r)] is its limit, read off the
+    stable skeleton. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_rounds
+
+(** [of_skeleton skel p] is the timely neighbourhood encoded by a skeleton
+    graph: [{q | (q -> p) ∈ skel}]. *)
+val of_skeleton : Digraph.t -> int -> Bitset.t
+
+(** [at trace ~p ~r] is [PT(p, r)]. *)
+val at : Trace.t -> p:int -> r:int -> Bitset.t
+
+(** [final trace p] is [PT(p)] as determined by the whole trace (exact for
+    traces extending past stabilization). *)
+val final : Trace.t -> int -> Bitset.t
+
+(** [all_final trace] is [[| PT(0); ...; PT(n-1) |]]. *)
+val all_final : Trace.t -> Bitset.t array
+
+(** [sources_of skel] is, for each process [q], the set [PT(q)] — the
+    "source" relation the predicate [Psrc] quantifies over.  Identical to
+    mapping [of_skeleton] but documents intent. *)
+val sources_of : Digraph.t -> Bitset.t array

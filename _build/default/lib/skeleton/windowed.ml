@@ -1,0 +1,51 @@
+open Ssg_graph
+
+type t = {
+  n : int;
+  window : int;
+  counts : int array; (* presence count of edge (a,b) within the window *)
+  ring : Digraph.t option array; (* last [window] graphs, circular *)
+  mutable absorbed : int;
+}
+
+let create ~n ~window =
+  if n <= 0 then invalid_arg "Windowed.create: empty system";
+  if window < 1 then invalid_arg "Windowed.create: window must be >= 1";
+  {
+    n;
+    window;
+    counts = Array.make (n * n) 0;
+    ring = Array.make window None;
+    absorbed = 0;
+  }
+
+let absorb t g =
+  if Digraph.order g <> t.n then
+    invalid_arg "Windowed.absorb: graph order mismatch";
+  let slot = t.absorbed mod t.window in
+  (match t.ring.(slot) with
+  | Some old ->
+      Digraph.iter_edges old (fun a b ->
+          t.counts.((a * t.n) + b) <- t.counts.((a * t.n) + b) - 1)
+  | None -> ());
+  let copy = Digraph.copy g in
+  Digraph.iter_edges copy (fun a b ->
+      t.counts.((a * t.n) + b) <- t.counts.((a * t.n) + b) + 1);
+  t.ring.(slot) <- Some copy;
+  t.absorbed <- t.absorbed + 1
+
+let rounds_absorbed t = t.absorbed
+let filled t = t.absorbed >= t.window
+
+let current t =
+  if t.absorbed = 0 then Digraph.complete ~self_loops:true t.n
+  else begin
+    let span = min t.window t.absorbed in
+    let g = Digraph.create t.n in
+    for a = 0 to t.n - 1 do
+      for b = 0 to t.n - 1 do
+        if t.counts.((a * t.n) + b) = span then Digraph.add_edge g a b
+      done
+    done;
+    g
+  end

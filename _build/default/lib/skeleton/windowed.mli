@@ -1,0 +1,37 @@
+(** Rolling-window skeletons — [G^∩[r-T+1, r]], the dynamic-network
+    generalization of the cumulative skeleton.
+
+    The cumulative [G^∩r] is monotone: an edge that is untimely once is
+    gone forever, which is the right notion for a run converging to one
+    stable skeleton.  In a {e dynamic} network whose topology moves
+    through epochs (partitions split and heal), the interesting object is
+    the intersection of the {b last T rounds} only: it forgets old epochs
+    at rate T and tracks the current one.  (Algorithm 1's purge window
+    makes its approximation behave like a [T = n] windowed skeleton,
+    which is why the algorithm keeps working per agreement instance in
+    {!Ssg_apps.Repeated} even across epoch changes.)
+
+    Implementation: a per-edge presence counter over a ring buffer of the
+    last [T] graphs — O(n²/w + E) per round, independent of [T]. *)
+
+open Ssg_graph
+
+type t
+
+(** [create ~n ~window] — an empty accumulator ([window >= 1]). *)
+val create : n:int -> window:int -> t
+
+(** [absorb t g] pushes the next round's graph (evicting the oldest once
+    more than [window] rounds have been seen). *)
+val absorb : t -> Digraph.t -> unit
+
+(** [rounds_absorbed t]. *)
+val rounds_absorbed : t -> int
+
+(** [current t] is the intersection of the last [min window rounds]
+    absorbed graphs (the complete graph if none yet). *)
+val current : t -> Digraph.t
+
+(** [filled t] — at least [window] rounds have been absorbed, so
+    [current] really spans a full window. *)
+val filled : t -> bool

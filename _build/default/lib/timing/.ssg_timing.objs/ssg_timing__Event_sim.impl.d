@@ -1,0 +1,1 @@
+lib/timing/event_sim.ml: Float Int Map

@@ -1,0 +1,1 @@
+lib/timing/event_sim.mli:

@@ -1,0 +1,1 @@
+lib/timing/latency.ml: Array Hashtbl Int64 Rng Ssg_util

@@ -1,0 +1,1 @@
+lib/timing/round_sync.ml: Array Digraph Event_sim Float Hashtbl Latency Round_model Ssg_core Ssg_graph Ssg_rounds Trace

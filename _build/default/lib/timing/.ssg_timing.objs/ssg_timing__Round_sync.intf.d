@@ -1,0 +1,1 @@
+lib/timing/round_sync.mli: Latency Round_model Ssg_rounds Trace

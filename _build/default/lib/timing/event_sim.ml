@@ -1,0 +1,54 @@
+(* Priority queue of (time, seq, thunk), ordered by time then insertion
+   sequence.  A Map keyed by (time, seq) is ample for the event volumes
+   here (max_rounds · n² deliveries). *)
+
+module Key = struct
+  type t = float * int
+
+  let compare (t1, s1) (t2, s2) =
+    match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c
+end
+
+module Queue = Map.Make (Key)
+
+type t = {
+  mutable queue : (unit -> unit) Queue.t;
+  mutable clock : float;
+  mutable seq : int;
+}
+
+let create () = { queue = Queue.empty; clock = 0.0; seq = 0 }
+let now sim = sim.clock
+
+let schedule sim ~at f =
+  if not (Float.is_finite at) then
+    invalid_arg "Event_sim.schedule: non-finite time";
+  if at < sim.clock then invalid_arg "Event_sim.schedule: time is in the past";
+  sim.queue <- Queue.add (at, sim.seq) f sim.queue;
+  sim.seq <- sim.seq + 1
+
+let pending sim = Queue.cardinal sim.queue
+
+let fire_next sim =
+  match Queue.min_binding_opt sim.queue with
+  | None -> false
+  | Some (((at, _) as key), f) ->
+      sim.queue <- Queue.remove key sim.queue;
+      sim.clock <- at;
+      f ();
+      true
+
+let run sim =
+  while fire_next sim do
+    ()
+  done;
+  sim.clock
+
+let run_until sim ~limit =
+  let continue = ref true in
+  while !continue do
+    match Queue.min_binding_opt sim.queue with
+    | Some ((at, _), _) when at <= limit -> ignore (fire_next sim)
+    | _ -> continue := false
+  done;
+  sim.clock

@@ -1,0 +1,31 @@
+(** A minimal discrete-event simulation engine.
+
+    Events are closures scheduled at absolute times and fired in
+    nondecreasing time order; events at equal times fire in scheduling
+    (FIFO) order, which keeps runs deterministic.  An event handler may
+    schedule further events (at or after the current time).
+
+    This is the substrate under {!Round_sync}, which rebuilds the paper's
+    round abstraction on top of raw message latencies — the "asynchrony
+    captured as graphs" story of Section I made executable. *)
+
+type t
+
+val create : unit -> t
+
+(** [now sim] is the time of the event currently firing (0 initially). *)
+val now : t -> float
+
+(** [schedule sim ~at f] enqueues [f] to fire at time [at].
+    @raise Invalid_argument if [at] is in the past or not finite. *)
+val schedule : t -> at:float -> (unit -> unit) -> unit
+
+(** [pending sim] — number of events not yet fired. *)
+val pending : t -> int
+
+(** [run sim] fires events until none remain.  Returns the final time. *)
+val run : t -> float
+
+(** [run_until sim ~limit] fires events with time [<= limit]; later events
+    stay queued.  Returns the time of the last fired event (or [now]). *)
+val run_until : t -> limit:float -> float

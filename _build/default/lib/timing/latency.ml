@@ -1,0 +1,29 @@
+open Ssg_util
+
+type t = src:int -> dst:int -> round:int -> float option
+
+(* Pure per-argument randomness: hash the tuple into a fresh SplitMix
+   stream and take its first draws. *)
+let stream ~seed ~src ~dst ~round =
+  let h = Hashtbl.hash (seed, src, dst, round) in
+  Rng.make (Int64.of_int ((h * 0x9E3779B9) lxor (seed * 2654435761)))
+
+let constant d ~src:_ ~dst:_ ~round:_ = Some d
+
+let uniform ~seed ~lo ~hi ~src ~dst ~round =
+  if hi < lo then invalid_arg "Latency.uniform: empty range";
+  let g = stream ~seed ~src ~dst ~round in
+  Some (lo +. (Rng.float g *. (hi -. lo)))
+
+let with_loss ~seed ~p model ~src ~dst ~round =
+  let g = stream ~seed:(seed lxor 0x10c5) ~src ~dst ~round in
+  if Rng.chance g p then None else model ~src ~dst ~round
+
+let clustered ~assign ~intra ~inter ~src ~dst ~round =
+  if assign.(src) = assign.(dst) then intra ~src ~dst ~round
+  else inter ~src ~dst ~round
+
+let overlay ~special base ~src ~dst ~round =
+  match special ~src ~dst ~round with
+  | Some result -> result
+  | None -> base ~src ~dst ~round

@@ -1,0 +1,37 @@
+(** Link latency models.
+
+    A model maps [(src, dst, round)] to the message delay on that link in
+    that round, or [None] for a lost message.  Models are pure functions
+    (the randomness is hashed from a seed and the arguments), so a timing
+    simulation is reproducible and a link's behaviour can be queried
+    without side effects.
+
+    These models are how the paper's predicate classes arise from
+    {e timing} rather than by fiat: a link that is always fast relative to
+    the round timeout becomes a stable-skeleton edge; a jittery or slow
+    link yields transient/no timeliness. *)
+
+type t = src:int -> dst:int -> round:int -> float option
+
+(** [constant d] — every message takes exactly [d]. *)
+val constant : float -> t
+
+(** [uniform ~seed ~lo ~hi] — per (src, dst, round) independent uniform
+    delay in [[lo, hi)]. *)
+val uniform : seed:int -> lo:float -> hi:float -> t
+
+(** [with_loss ~seed ~p model] — each message is lost with probability
+    [p] (independently), otherwise delayed per [model]. *)
+val with_loss : seed:int -> p:float -> t -> t
+
+(** [clustered ~seed ~assign ~intra ~inter] — [assign.(p)] is [p]'s
+    cluster; intra-cluster messages use [intra], cross-cluster ones
+    [inter].  The archetypal "fast core, slow WAN" shape. *)
+val clustered : assign:int array -> intra:t -> inter:t -> t
+
+(** [overlay ~special base] — [special ~src ~dst ~round] may return
+    [Some model_result] to override [base] on selected links/rounds
+    (returning [None] defers to [base]).  Used to script scenarios:
+    e.g. "link 2→5 degrades from round 10 on". *)
+val overlay :
+  special:(src:int -> dst:int -> round:int -> float option option) -> t -> t

@@ -1,0 +1,142 @@
+open Ssg_graph
+open Ssg_rounds
+
+type decision = { round : int; value : int }
+
+type result = {
+  n : int;
+  rounds : int;
+  decisions : decision option array;
+  trace : Trace.t;
+  messages_sent : int;
+  messages_delivered : int;
+  messages_late : int;
+  final_time : float;
+}
+
+module Make (A : Round_model.ALGORITHM) = struct
+  type config = {
+    inputs : int array;
+    latency : Latency.t;
+    timeouts : float array;
+    max_rounds : int;
+  }
+
+  let config ?timeouts ~inputs ~latency ~max_rounds () =
+    let n = Array.length inputs in
+    let timeouts =
+      match timeouts with Some t -> t | None -> Array.make n 1.0
+    in
+    { inputs; latency; timeouts; max_rounds }
+
+  (* Per-process runtime state. *)
+  type proc = {
+    id : int;
+    mutable state : A.state;
+    mutable round : int; (* the round currently open *)
+    mutable inbox : A.message option array;
+    mutable decided : decision option;
+  }
+
+  let run cfg =
+    let n = Array.length cfg.inputs in
+    if n = 0 then invalid_arg "Round_sync.run: empty system";
+    if Array.length cfg.timeouts <> n then
+      invalid_arg "Round_sync.run: timeouts length mismatch";
+    Array.iter
+      (fun t ->
+        if not (Float.is_finite t) || t <= 0.0 then
+          invalid_arg "Round_sync.run: timeouts must be positive")
+      cfg.timeouts;
+    if cfg.max_rounds < 1 then
+      invalid_arg "Round_sync.run: need at least one round";
+    let sim = Event_sim.create () in
+    let procs =
+      Array.init n (fun id ->
+          {
+            id;
+            state = A.init ~n ~self:id ~input:cfg.inputs.(id);
+            round = 0;
+            inbox = Array.make n None;
+            decided = None;
+          })
+    in
+    (* Messages buffered for rounds the receiver has not reached yet:
+       (dst, round, src) -> message. *)
+    let buffered : (int * int * int, A.message) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let graphs =
+      Array.init cfg.max_rounds (fun _ -> Digraph.create n)
+    in
+    let sent = ref 0 and delivered = ref 0 and late = ref 0 in
+    let record_decision p =
+      if p.decided = None then
+        match A.decision p.state with
+        | Some value -> p.decided <- Some { round = p.round; value }
+        | None -> ()
+    in
+    let rec open_round p =
+      p.round <- p.round + 1;
+      p.inbox <- Array.make n None;
+      (* pull messages that arrived early for this round *)
+      for src = 0 to n - 1 do
+        match Hashtbl.find_opt buffered (p.id, p.round, src) with
+        | Some m ->
+            Hashtbl.remove buffered (p.id, p.round, src);
+            p.inbox.(src) <- Some m
+        | None -> ()
+      done;
+      (* broadcast this round's message *)
+      let msg = A.send ~round:p.round p.state in
+      let round = p.round in
+      for dst = 0 to n - 1 do
+        incr sent;
+        if dst = p.id then p.inbox.(p.id) <- Some msg
+        else
+          match cfg.latency ~src:p.id ~dst ~round with
+          | None -> () (* lost *)
+          | Some d ->
+              let q = procs.(dst) in
+              Event_sim.schedule sim
+                ~at:(Event_sim.now sim +. d)
+                (fun () -> deliver q ~src:p.id ~round msg)
+      done;
+      (* close after this process's own timeout *)
+      Event_sim.schedule sim
+        ~at:(Event_sim.now sim +. cfg.timeouts.(p.id))
+        (fun () -> close_round p)
+    and deliver q ~src ~round msg =
+      if round < q.round then incr late (* receiver moved on: discarded *)
+      else if round = q.round then q.inbox.(src) <- Some msg
+      else Hashtbl.replace buffered (q.id, round, src) msg
+    and close_round p =
+      (* record the induced communication graph of this round *)
+      Array.iteri
+        (fun src m ->
+          if m <> None then begin
+            incr delivered;
+            Digraph.add_edge graphs.(p.round - 1) src p.id
+          end)
+        p.inbox;
+      p.state <- A.transition ~round:p.round p.state p.inbox;
+      record_decision p;
+      if p.round < cfg.max_rounds then open_round p
+    in
+    Array.iter open_round procs;
+    let final_time = Event_sim.run sim in
+    {
+      n;
+      rounds = cfg.max_rounds;
+      decisions = Array.map (fun p -> p.decided) procs;
+      trace = Trace.make graphs;
+      messages_sent = !sent;
+      messages_delivered = !delivered;
+      messages_late = !late;
+      final_time;
+    }
+end
+
+let run_kset ?timeouts ~inputs ~latency ~max_rounds () =
+  let module R = Make (Ssg_core.Kset_agreement.Alg) in
+  R.run (R.config ?timeouts ~inputs ~latency ~max_rounds ())

@@ -1,0 +1,75 @@
+(** Rebuilding communication-closed rounds on top of raw message timing —
+    the bridge between the paper's abstract model and a partially
+    synchronous system.
+
+    Each process runs its own round clock: it broadcasts its round-[r]
+    message, waits its own timeout, applies the transition to whatever
+    round-[r] messages arrived in time, and moves on.  Deliveries are
+    driven by a {!Latency} model through the {!Event_sim} engine:
+
+    - a message for round [r] arriving while the receiver is still in
+      round [r] is delivered;
+    - arriving {e after} the receiver closed round [r], it is discarded
+      (communication closure: exactly the paper's footnote 2);
+    - arriving {e before} the receiver reached round [r] (the sender runs
+      ahead), it is buffered and delivered when the receiver gets there.
+
+    The run induces one communication graph per round — an edge
+    [(p -> q)] iff [q]'s round-[r] transition consumed [p]'s round-[r]
+    message — and therefore a skeleton, predicates, and everything else
+    in this library.  Whether [Psrcs(k)] holds is now an {e emergent}
+    property of link latencies, timeouts and drift, which is how the
+    paper's introduction frames the unified treatment of asynchrony and
+    failure. *)
+
+open Ssg_rounds
+
+(** Per-process decision record ([round] is the decider's local round). *)
+type decision = { round : int; value : int }
+
+type result = {
+  n : int;
+  rounds : int;  (** rounds executed by every process *)
+  decisions : decision option array;
+  trace : Trace.t;  (** the induced communication graphs, rounds 1.. *)
+  messages_sent : int;
+  messages_delivered : int;  (** consumed by a round transition in time *)
+  messages_late : int;  (** arrived after the receiver closed the round *)
+  final_time : float;
+}
+
+module Make (A : Round_model.ALGORITHM) : sig
+  type config = {
+    inputs : int array;
+    latency : Latency.t;
+    timeouts : float array;
+        (** round duration per process; length [n].  Distinct values give
+            drifting processes. *)
+    max_rounds : int;
+  }
+
+  (** [config ?timeouts ~inputs ~latency ~max_rounds ()] — [timeouts]
+      defaults to 1.0 everywhere. *)
+  val config :
+    ?timeouts:float array ->
+    inputs:int array ->
+    latency:Latency.t ->
+    max_rounds:int ->
+    unit ->
+    config
+
+  (** [run cfg] executes every process for exactly [max_rounds] local
+      rounds and returns outcomes plus the induced trace.
+      @raise Invalid_argument on malformed configs. *)
+  val run : config -> result
+end
+
+(** [run_kset ?timeouts ~inputs ~latency ~max_rounds ()] — Algorithm 1 on
+    top of the timing layer. *)
+val run_kset :
+  ?timeouts:float array ->
+  inputs:int array ->
+  latency:Latency.t ->
+  max_rounds:int ->
+  unit ->
+  result

@@ -1,0 +1,1 @@
+lib/util/bitio.ml: Bytes Char

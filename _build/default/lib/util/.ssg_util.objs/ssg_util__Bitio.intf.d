@@ -1,0 +1,1 @@
+lib/util/bitio.mli: Bytes

@@ -1,0 +1,1 @@
+lib/util/order.ml: Array List Stdlib

@@ -1,0 +1,1 @@
+lib/util/parallel.ml: Array Atomic Domain

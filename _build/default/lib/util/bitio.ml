@@ -1,0 +1,53 @@
+type writer = { mutable buf : Bytes.t; mutable len_bits : int }
+
+let writer () = { buf = Bytes.make 16 '\000'; len_bits = 0 }
+
+let ensure w bits =
+  let needed_bytes = (w.len_bits + bits + 7) / 8 in
+  if needed_bytes > Bytes.length w.buf then begin
+    let bigger = Bytes.make (max needed_bytes (2 * Bytes.length w.buf)) '\000' in
+    Bytes.blit w.buf 0 bigger 0 (Bytes.length w.buf);
+    w.buf <- bigger
+  end
+
+let set_bit w index value =
+  let byte = index / 8 and off = 7 - (index mod 8) in
+  if value then
+    Bytes.set w.buf byte
+      (Char.chr (Char.code (Bytes.get w.buf byte) lor (1 lsl off)))
+
+let write w ~bits v =
+  if bits < 1 || bits > 62 then invalid_arg "Bitio.write: bits out of range";
+  if v < 0 || (bits < 62 && v lsr bits <> 0) then
+    invalid_arg "Bitio.write: value does not fit";
+  ensure w bits;
+  for i = bits - 1 downto 0 do
+    set_bit w w.len_bits ((v lsr i) land 1 = 1);
+    w.len_bits <- w.len_bits + 1
+  done
+
+let bit_length w = w.len_bits
+let contents w = Bytes.sub w.buf 0 ((w.len_bits + 7) / 8)
+
+type reader = { data : Bytes.t; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let read r ~bits =
+  if bits < 1 || bits > 62 then invalid_arg "Bitio.read: bits out of range";
+  if r.pos + bits > 8 * Bytes.length r.data then
+    invalid_arg "Bitio.read: past end of buffer";
+  let v = ref 0 in
+  for _ = 1 to bits do
+    let byte = r.pos / 8 and off = 7 - (r.pos mod 8) in
+    let bit = (Char.code (Bytes.get r.data byte) lsr off) land 1 in
+    v := (!v lsl 1) lor bit;
+    r.pos <- r.pos + 1
+  done;
+  !v
+
+let bits_remaining r = (8 * Bytes.length r.data) - r.pos
+
+let width_for n =
+  let rec go b v = if v >= n then b else go (b + 1) (v * 2) in
+  go 1 2

@@ -1,0 +1,44 @@
+(** Bit-level serialization buffers.
+
+    The message-complexity story of Section V is about {e bits}; this
+    module lets the wire codec ({!Ssg_graph.Codec}) write messages at
+    their actual bit width instead of hand-waving byte counts.  Values
+    are written most-significant-bit-first into a growable buffer. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : unit -> writer
+
+(** [write w ~bits v] appends the [bits] low bits of [v] ([0 <= v <
+    2^bits], [1 <= bits <= 62]).
+    @raise Invalid_argument if [v] does not fit. *)
+val write : writer -> bits:int -> int -> unit
+
+(** [bit_length w] — bits written so far. *)
+val bit_length : writer -> int
+
+(** [contents w] — the bytes written so far, zero-padded to a byte
+    boundary.  The writer remains usable. *)
+val contents : writer -> Bytes.t
+
+(** {1 Reading} *)
+
+type reader
+
+(** [reader bytes] starts reading at bit 0. *)
+val reader : Bytes.t -> reader
+
+(** [read r ~bits] consumes and returns the next [bits] bits.
+    @raise Invalid_argument on reading past the end. *)
+val read : reader -> bits:int -> int
+
+(** [bits_remaining r] — bits not yet consumed (counting padding). *)
+val bits_remaining : reader -> int
+
+(** {1 Width helpers} *)
+
+(** [width_for n] is the number of bits needed to write values in
+    [0 .. n-1] (at least 1). *)
+val width_for : int -> int

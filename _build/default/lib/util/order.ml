@@ -1,0 +1,33 @@
+let min_by f = function
+  | [] -> invalid_arg "Order.min_by: empty list"
+  | x :: xs ->
+      let best, _ =
+        List.fold_left
+          (fun (b, fb) y ->
+            let fy = f y in
+            if fy < fb then (y, fy) else (b, fb))
+          (x, f x) xs
+      in
+      best
+
+let max_by f xs = min_by (fun x -> -f x) xs
+
+let argmin arr =
+  if Array.length arr = 0 then invalid_arg "Order.argmin: empty array";
+  let best = ref 0 in
+  for i = 1 to Array.length arr - 1 do
+    if arr.(i) < arr.(!best) then best := i
+  done;
+  !best
+
+let argmax arr =
+  if Array.length arr = 0 then invalid_arg "Order.argmax: empty array";
+  let best = ref 0 in
+  for i = 1 to Array.length arr - 1 do
+    if arr.(i) > arr.(!best) then best := i
+  done;
+  !best
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let distinct xs = List.sort_uniq Stdlib.compare xs

@@ -1,0 +1,26 @@
+(** Small ordering helpers shared across algorithms.
+
+    Algorithm 1 takes minima over sets of proposal values (Line 27), the
+    analysis code takes argmins over rounds, etc.; these helpers keep those
+    call sites declarative. *)
+
+(** [min_by f xs] is the element minimizing [f], leftmost on ties.
+    @raise Invalid_argument on an empty list. *)
+val min_by : ('a -> int) -> 'a list -> 'a
+
+(** [max_by f xs] is the element maximizing [f], leftmost on ties.
+    @raise Invalid_argument on an empty list. *)
+val max_by : ('a -> int) -> 'a list -> 'a
+
+(** [argmin arr] is the index of the smallest element (leftmost on ties).
+    @raise Invalid_argument on an empty array. *)
+val argmin : int array -> int
+
+(** [argmax arr] is the index of the largest element (leftmost on ties). *)
+val argmax : int array -> int
+
+(** [clamp ~lo ~hi x] bounds [x] into [[lo, hi]]. *)
+val clamp : lo:int -> hi:int -> int -> int
+
+(** [distinct xs] is the list of distinct values, sorted ascending. *)
+val distinct : int list -> int list

@@ -1,0 +1,43 @@
+(* Dynamic work claiming: each worker repeatedly takes the next unclaimed
+   index from an atomic counter.  Output slots are disjoint, so plain
+   writes are safe; publication happens-before the join of the domains. *)
+
+let default_domains () = max 0 (Domain.recommended_domain_count () - 1)
+
+let map ?domains f xs =
+  let n = Array.length xs in
+  let workers = match domains with Some d -> max 0 d | None -> default_domains () in
+  if n = 0 then [||]
+  else if workers = 0 || n = 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          match f xs.(i) with
+          | y -> results.(i) <- Some y
+          | exception e ->
+              (* Record the first failure; later ones are dropped. *)
+              ignore (Atomic.compare_and_set failure None (Some e));
+              continue := false
+      done
+    in
+    let handles =
+      Array.init (min workers (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join handles;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map
+      (function
+        | Some y -> y
+        | None -> failwith "Parallel.map: missing result (worker aborted)")
+      results
+  end
+
+let init ?domains n f = map ?domains f (Array.init n (fun i -> i))

@@ -1,0 +1,86 @@
+type row = Cells of string array | Rule
+
+type t = { headers : string array; mutable rows : row list (* reversed *) }
+
+let create headers = { headers = Array.of_list headers; rows = [] }
+
+let add_row t cells =
+  let k = Array.length t.headers in
+  let cells = Array.of_list cells in
+  let c = Array.length cells in
+  if c > k then invalid_arg "Table.add_row: more cells than headers";
+  let padded = Array.make k "" in
+  Array.blit cells 0 padded 0 c;
+  t.rows <- Cells padded :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let widths t =
+  let w = Array.map String.length t.headers in
+  List.iter
+    (function
+      | Rule -> ()
+      | Cells cs ->
+          Array.iteri (fun i c -> w.(i) <- max w.(i) (String.length c)) cs)
+    t.rows;
+  w
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 1024 in
+  let pad s width =
+    Buffer.add_string buf s;
+    Buffer.add_string buf (String.make (width - String.length s) ' ')
+  in
+  let line cells =
+    Array.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        pad c w.(i))
+      cells;
+    (* Trim trailing padding on the last column. *)
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    Buffer.add_string buf (String.trim s |> fun t -> if t = "" then t else t);
+    Buffer.add_char buf '\n';
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    s
+  in
+  let rule () =
+    let total =
+      Array.fold_left ( + ) 0 w + (2 * (Array.length w - 1))
+    in
+    String.make (max total 1) '-' ^ "\n"
+  in
+  let out = Buffer.create 1024 in
+  Buffer.add_string out (line t.headers);
+  Buffer.add_string out (rule ());
+  List.iter
+    (function
+      | Rule -> Buffer.add_string out (rule ())
+      | Cells cs -> Buffer.add_string out (line cs))
+    (List.rev t.rows);
+  Buffer.contents out
+
+let print t = print_string (render t)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let line cells =
+    Buffer.add_string buf
+      (String.concat "," (List.map csv_escape (Array.to_list cells)));
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  List.iter (function Rule -> () | Cells cs -> line cs) (List.rev t.rows);
+  Buffer.contents buf
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_bool b = if b then "yes" else "no"

@@ -1,0 +1,32 @@
+(** Plain-text table rendering for the benchmark/experiment harness.
+
+    The bench executable regenerates every figure/claim of the paper as a
+    table of rows; this module keeps that output aligned and diffable. *)
+
+type t
+
+(** [create headers] starts a table with the given column headers. *)
+val create : string list -> t
+
+(** [add_row t cells] appends a row.  Rows shorter than the header are
+    padded with empty cells; longer rows raise [Invalid_argument]. *)
+val add_row : t -> string list -> unit
+
+(** [add_rule t] appends a horizontal separator. *)
+val add_rule : t -> unit
+
+(** [render t] produces the aligned table, one trailing newline. *)
+val render : t -> string
+
+(** [print t] renders to stdout. *)
+val print : t -> unit
+
+(** [to_csv t] renders as comma-separated values (no alignment, rules
+    skipped); cells containing commas or quotes are quoted. *)
+val to_csv : t -> string
+
+(** Cell formatting helpers. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_bool : bool -> string

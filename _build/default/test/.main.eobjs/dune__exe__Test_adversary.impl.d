@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adversary Alcotest Analysis Bitset Build Digraph Gen List Printf Rng Skeleton Ssg_adversary Ssg_graph Ssg_skeleton Ssg_util

@@ -1,0 +1,1 @@
+test/test_approx.ml: Adversary Alcotest Analysis Approx Array Bitset Build Digraph Lgraph List Printf Rng Scc Skeleton Ssg_adversary Ssg_core Ssg_graph Ssg_skeleton Ssg_util

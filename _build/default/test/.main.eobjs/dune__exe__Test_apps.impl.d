@@ -1,0 +1,1 @@
+test/test_apps.ml: Adversary Alcotest Analysis Array Bitset Build Digraph Fun Leader List Printf Renaming Repeated Rng Ssg_adversary Ssg_apps Ssg_graph Ssg_rounds Ssg_sim Ssg_skeleton Ssg_util

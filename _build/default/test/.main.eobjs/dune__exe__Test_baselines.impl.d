@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Build Executor Flood_consensus Floodmin Metrics Naive_min Printf Rng Round_model Runner Ssg_adversary Ssg_baselines Ssg_rounds Ssg_sim Ssg_util

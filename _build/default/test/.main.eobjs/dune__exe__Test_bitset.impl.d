@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset Int List Printf QCheck2 QCheck_alcotest Set Ssg_util

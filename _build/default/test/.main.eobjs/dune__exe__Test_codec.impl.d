@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bitio Bytes Codec Lgraph List QCheck2 QCheck_alcotest Ssg_graph Ssg_util

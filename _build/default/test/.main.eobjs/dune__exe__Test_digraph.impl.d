@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Bitset Digraph Gen List Printf QCheck2 QCheck_alcotest Rng Ssg_graph Ssg_util

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Adversary Alcotest Array Build Digraph Gen List Rng Skeleton Ssg_adversary Ssg_apps Ssg_graph Ssg_skeleton Ssg_util Windowed

@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Adversary Alcotest Build Digraph Exhaustive List Metrics Runner Ssg_adversary Ssg_core Ssg_graph Ssg_sim Ssg_util

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Experiment List Ssg_sim Ssg_util String Table

@@ -1,0 +1,1 @@
+test/test_gen_dot.ml: Alcotest Bitset Digraph Dot Gen Lgraph Rng Scc Ssg_graph Ssg_util String

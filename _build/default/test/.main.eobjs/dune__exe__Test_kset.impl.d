@@ -1,0 +1,1 @@
+test/test_kset.ml: Adversary Alcotest Array Build Executor List Metrics Printf Rng Runner Skeleton Ssg_adversary Ssg_core Ssg_rounds Ssg_sim Ssg_skeleton Ssg_util

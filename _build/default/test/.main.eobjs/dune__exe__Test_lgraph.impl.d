@@ -1,0 +1,1 @@
+test/test_lgraph.ml: Alcotest Bitset Digraph Lgraph List QCheck2 QCheck_alcotest Reach Ssg_graph Ssg_util

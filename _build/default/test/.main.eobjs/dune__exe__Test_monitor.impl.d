@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Array Bitset Build Digraph Gen Kset_agreement Lgraph List Metrics Monitor Rng Runner Ssg_adversary Ssg_core Ssg_graph Ssg_sim Ssg_util String

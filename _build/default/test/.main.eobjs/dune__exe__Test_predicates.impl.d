@@ -1,0 +1,1 @@
+test/test_predicates.ml: Alcotest Array Bitset Digraph Fun Gen List Mis Predicate QCheck2 QCheck_alcotest Ssg_graph Ssg_predicates Ssg_rounds Ssg_util

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Fun List Rng Ssg_util

@@ -1,0 +1,1 @@
+test/test_rounds.ml: Alcotest Array Bitset Digraph Executor Gen Ho List Printf Rng Ssg_core Ssg_graph Ssg_rounds Ssg_util Trace

@@ -1,0 +1,1 @@
+test/test_run_format.ml: Adversary Alcotest Build Digraph Filename Fun Gen List QCheck2 QCheck_alcotest Rng Run_format Ssg_adversary Ssg_graph Ssg_util Sys

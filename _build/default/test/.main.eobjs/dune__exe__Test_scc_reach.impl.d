@@ -1,0 +1,1 @@
+test/test_scc_reach.ml: Alcotest Array Bitset Digraph Gen List QCheck2 QCheck_alcotest Reach Scc Ssg_graph Ssg_util

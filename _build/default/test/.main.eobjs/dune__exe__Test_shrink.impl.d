@@ -1,0 +1,1 @@
+test/test_shrink.ml: Adversary Alcotest Build Digraph Metrics Printf Rng Runner Shrink Ssg_adversary Ssg_graph Ssg_sim Ssg_util

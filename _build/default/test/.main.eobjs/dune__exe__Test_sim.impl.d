@@ -1,0 +1,1 @@
+test/test_sim.ml: Adversary Alcotest Array Build Executor List Metrics Render Rng Runner Series Ssg_adversary Ssg_baselines Ssg_graph Ssg_rounds Ssg_sim Ssg_util String

@@ -1,0 +1,1 @@
+test/test_skeleton.ml: Alcotest Analysis Array Bitset Digraph Fun Gen Ho List QCheck2 QCheck_alcotest Reach Rng Scc Skeleton Ssg_graph Ssg_rounds Ssg_skeleton Ssg_util Timely Trace

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Ssg_util Stats

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Analysis Array Digraph Event_sim Gen Latency List Option QCheck2 QCheck_alcotest Round_sync Skeleton Ssg_graph Ssg_rounds Ssg_skeleton Ssg_timing Trace

@@ -1,0 +1,1 @@
+test/test_util_misc.ml: Alcotest Array Fun List Order Parallel Ssg_util String Table

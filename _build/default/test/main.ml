@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "ssg"
+    [
+      ("bitset", Test_bitset.tests);
+      ("rng", Test_rng.tests);
+      ("stats", Test_stats.tests);
+      ("util-misc", Test_util_misc.tests);
+      ("digraph", Test_digraph.tests);
+      ("scc-reach", Test_scc_reach.tests);
+      ("lgraph", Test_lgraph.tests);
+      ("gen-dot", Test_gen_dot.tests);
+      ("codec", Test_codec.tests);
+      ("rounds", Test_rounds.tests);
+      ("skeleton", Test_skeleton.tests);
+      ("predicates", Test_predicates.tests);
+      ("adversary", Test_adversary.tests);
+      ("approx", Test_approx.tests);
+      ("kset", Test_kset.tests);
+      ("monitor", Test_monitor.tests);
+      ("baselines", Test_baselines.tests);
+      ("sim", Test_sim.tests);
+      ("exhaustive", Test_exhaustive.tests);
+      ("experiment", Test_experiment.tests);
+      ("system-props", Test_system_props.tests);
+      ("timing", Test_timing.tests);
+      ("apps", Test_apps.tests);
+      ("ho-otr", Test_ho_otr.tests);
+      ("edge-cases", Test_edge_cases.tests);
+      ("shrink", Test_shrink.tests);
+      ("dynamic", Test_dynamic.tests);
+      ("certificate", Test_certificate.tests);
+      ("run-format", Test_run_format.tests);
+    ]

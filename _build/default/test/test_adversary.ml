@@ -1,0 +1,259 @@
+(* Tests for run descriptions and the generator zoo. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_skeleton
+open Ssg_adversary
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_make_validation () =
+  let no_loop = Digraph.create 3 in
+  check "missing self-loop rejected" true
+    (try
+       ignore (Adversary.make ~name:"bad" ~prefix:[||] ~stable:no_loop);
+       false
+     with Invalid_argument _ -> true);
+  let ok = Gen.self_loops_only 3 in
+  check "order mismatch rejected" true
+    (try
+       ignore
+         (Adversary.make ~name:"bad" ~prefix:[| Gen.self_loops_only 4 |] ~stable:ok);
+       false
+     with Invalid_argument _ -> true)
+
+let test_graph_schedule () =
+  let a = Gen.self_loops_only 3 in
+  let b = Gen.star 3 ~center:0 in
+  let adv = Adversary.make ~name:"t" ~prefix:[| b |] ~stable:a in
+  check "round 1 = prefix" true (Digraph.equal (Adversary.graph adv 1) b);
+  check "round 2 = stable" true (Digraph.equal (Adversary.graph adv 2) a);
+  check "round 99 = stable" true (Digraph.equal (Adversary.graph adv 99) a);
+  check_int "prefix length" 1 (Adversary.prefix_length adv);
+  check "round 0 rejected" true
+    (try ignore (Adversary.graph adv 0); false with Invalid_argument _ -> true)
+
+let test_stable_skeleton_formula () =
+  (* skeleton = (∩ prefix) ∩ stable, cross-checked against a materialized
+     trace. *)
+  let rng = Rng.of_int 1 in
+  for _ = 1 to 10 do
+    let adv = Build.block_sources rng ~n:8 ~k:3 ~prefix_len:4 ~noise:0.5 () in
+    let skel = Adversary.stable_skeleton adv in
+    let t = Adversary.trace adv ~rounds:10 in
+    check "skeleton matches trace" true (Digraph.equal skel (Skeleton.final t))
+  done
+
+let test_defensive_copies () =
+  let stable = Gen.self_loops_only 2 in
+  let adv = Adversary.make ~name:"t" ~prefix:[||] ~stable in
+  Digraph.add_edge stable 0 1;
+  check "make copied stable" false
+    (Digraph.mem_edge (Adversary.graph adv 1) 0 1);
+  let g = Adversary.graph adv 1 in
+  Digraph.add_edge g 0 1;
+  check "graph returns copy" false
+    (Digraph.mem_edge (Adversary.graph adv 1) 0 1)
+
+let test_synchronous () =
+  let adv = Build.synchronous ~n:5 in
+  check_int "min_k 1" 1 (Adversary.min_k adv);
+  check "psrcs 1" true (Adversary.psrcs adv ~k:1);
+  let a = Analysis.analyze (Adversary.stable_skeleton adv) in
+  check_int "one root" 1 (Analysis.root_count a);
+  check_int "root is everyone" 5 (Bitset.cardinal (List.hd (Analysis.roots a)))
+
+let test_lower_bound_properties () =
+  List.iter
+    (fun (n, k) ->
+      let adv = Build.lower_bound ~n ~k in
+      check "psrcs k" true (Adversary.psrcs adv ~k);
+      if k > 1 then
+        check "psrcs k-1 fails" false (Adversary.psrcs adv ~k:(k - 1));
+      check_int "min_k exactly k" k (Adversary.min_k adv);
+      let a = Analysis.analyze (Adversary.stable_skeleton adv) in
+      check_int "k roots" k (Analysis.root_count a))
+    [ (4, 2); (8, 3); (8, 1); (10, 9); (16, 5) ]
+
+let test_lower_bound_validation () =
+  check "k >= n rejected" true
+    (try ignore (Build.lower_bound ~n:4 ~k:4); false
+     with Invalid_argument _ -> true);
+  check "k = 0 rejected" true
+    (try ignore (Build.lower_bound ~n:4 ~k:0); false
+     with Invalid_argument _ -> true)
+
+let test_figure1 () =
+  let adv = Build.figure1 () in
+  check_int "n = 6" 6 (Adversary.n adv);
+  check "psrcs 3 (paper)" true (Adversary.psrcs adv ~k:3);
+  check "psrcs 2 fails (tight)" false (Adversary.psrcs adv ~k:2);
+  check_int "min_k exactly 3" 3 (Adversary.min_k adv);
+  let a = Analysis.analyze (Adversary.stable_skeleton adv) in
+  check_int "2 roots" 2 (Analysis.root_count a);
+  let roots = List.map Bitset.elements (Analysis.roots a) in
+  check "roots {p1,p2} and {p3,p4,p5}" true
+    (List.mem [ 0; 1 ] roots && List.mem [ 2; 3; 4 ] roots);
+  (* G^∩2 is a strict supergraph of G^∩∞ (the 1a vs 1b distinction) *)
+  let t = Adversary.trace adv ~rounds:6 in
+  let g2 = Skeleton.at t 2 and ginf = Adversary.stable_skeleton adv in
+  check "skeleton shrinks after round 2" true
+    (Digraph.subgraph_of ginf g2 && not (Digraph.equal ginf g2))
+
+let test_block_sources_guarantee () =
+  let rng = Rng.of_int 2 in
+  for _ = 1 to 30 do
+    let n = 4 + Rng.int rng 12 in
+    let k = 1 + Rng.int rng (min 6 (n - 1)) in
+    let adv =
+      Build.block_sources rng ~n ~k ~prefix_len:(Rng.int rng 4)
+        ~cross:(if Rng.bool rng then 0.1 else 0.0)
+        ()
+    in
+    check "psrcs holds by construction" true (Adversary.psrcs adv ~k)
+  done
+
+let test_block_sources_blocks_cap () =
+  check "blocks > k rejected" true
+    (try
+       ignore (Build.block_sources (Rng.of_int 3) ~n:6 ~k:2 ~blocks:3 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_partitioned_roots () =
+  let rng = Rng.of_int 4 in
+  for _ = 1 to 15 do
+    let blocks = 1 + Rng.int rng 4 in
+    let n = blocks + 3 + Rng.int rng 8 in
+    let adv = Build.partitioned rng ~n ~blocks () in
+    let a = Analysis.analyze (Adversary.stable_skeleton adv) in
+    check_int "roots = blocks" blocks (Analysis.root_count a);
+    check "min_k >= blocks" true (Adversary.min_k adv >= blocks)
+  done
+
+let test_single_root_unique () =
+  let rng = Rng.of_int 5 in
+  for _ = 1 to 25 do
+    let n = 2 + Rng.int rng 14 in
+    let adv = Build.single_root rng ~n ~extra:0.15 () in
+    let a = Analysis.analyze (Adversary.stable_skeleton adv) in
+    check_int "single root" 1 (Analysis.root_count a)
+  done
+
+let test_isolated_prefix_collapses_skeleton () =
+  let rng = Rng.of_int 6 in
+  let base = Build.block_sources rng ~n:6 ~k:2 () in
+  let adv = Build.isolated_prefix base ~rounds:1 in
+  let skel = Adversary.stable_skeleton adv in
+  check "skeleton is self-loops only" true
+    (Digraph.equal skel (Gen.self_loops_only 6));
+  check_int "min_k collapses to n" 6 (Adversary.min_k adv);
+  (* zero rounds is the identity *)
+  let same = Build.isolated_prefix base ~rounds:0 in
+  check "identity" true
+    (Digraph.equal (Adversary.stable_skeleton same) (Adversary.stable_skeleton base))
+
+let test_crash_synchronous () =
+  let rng = Rng.of_int 7 in
+  let adv = Build.crash_synchronous rng ~n:6 ~crashes:[ (2, 1); (4, 3) ] in
+  (* After round 3, crashed processes have no outgoing edges but self. *)
+  let late = Adversary.graph adv 4 in
+  check "2 silent" true (Digraph.out_degree late 2 = 1 && Digraph.mem_edge late 2 2);
+  check "4 silent" true (Digraph.out_degree late 4 = 1);
+  check "alive broadcasts" true (Digraph.out_degree late 0 = 6);
+  (* Crashed processes still receive from every non-crashed process (and
+     themselves): only the other crashed process's edge is missing. *)
+  check_int "2 still hears alive" 5 (Digraph.in_degree late 2);
+  (* In the crash round, delivery is a subset that includes the self loop. *)
+  let crash_round = Adversary.graph adv 1 in
+  check "self loop kept in crash round" true (Digraph.mem_edge crash_round 2 2);
+  check "not yet crashed at round 1" true (Digraph.out_degree crash_round 4 = 6);
+  (* duplicate crash rejected *)
+  check "duplicate rejected" true
+    (try
+       ignore (Build.crash_synchronous rng ~n:4 ~crashes:[ (1, 1); (1, 2) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_crash_sync_min_k_is_1 () =
+  (* Crashed processes keep hearing a never-crashed process, so every pair
+     of processes shares a source: consensus territory. *)
+  let rng = Rng.of_int 8 in
+  let adv = Build.crash_synchronous rng ~n:5 ~crashes:[ (0, 1) ] in
+  check_int "min_k" 1 (Adversary.min_k adv)
+
+let test_arbitrary_skeleton_consistency () =
+  let rng = Rng.of_int 9 in
+  for _ = 1 to 10 do
+    let adv = Build.arbitrary rng ~n:7 ~density:0.3 ~prefix_len:3 ~noise:0.4 () in
+    let t = Adversary.trace adv ~rounds:8 in
+    check "description = trace skeleton" true
+      (Digraph.equal (Adversary.stable_skeleton adv) (Skeleton.final t))
+  done
+
+let test_recurrent_noise () =
+  let rng = Rng.of_int 10 in
+  let base = Build.partitioned rng ~n:8 ~blocks:2 () in
+  let adv = Build.with_recurrent_noise rng base ~noise:0.3 in
+  (* Deterministic: same round, same graph. *)
+  check "deterministic" true
+    (Digraph.equal (Adversary.graph adv 6) (Adversary.graph adv 6));
+  (* Odd rounds beyond the prefix are exactly the stable graph. *)
+  let stable = Adversary.stable_skeleton base in
+  check "odd rounds clean" true (Digraph.equal (Adversary.graph adv 7) stable);
+  check "even rounds supergraph" true
+    (Digraph.subgraph_of stable (Adversary.graph adv 8));
+  (* Skeleton unchanged by the noise. *)
+  check "skeleton preserved" true
+    (Digraph.equal (Adversary.stable_skeleton adv) stable);
+  check_int "min_k preserved" (Adversary.min_k base) (Adversary.min_k adv);
+  (* The description skeleton matches a long materialized trace. *)
+  let t = Adversary.trace adv ~rounds:30 in
+  check "trace agrees" true
+    (Digraph.equal (Skeleton.final t) stable)
+
+let test_delayed_stability () =
+  let rng = Rng.of_int 21 in
+  List.iter
+    (fun rst ->
+      let adv = Build.delayed_stability rng ~n:8 ~k:2 ~rst in
+      check "psrcs 2" true (Adversary.psrcs adv ~k:2);
+      let t = Adversary.trace adv ~rounds:(rst + 8) in
+      check_int
+        (Printf.sprintf "stabilizes exactly at %d" rst)
+        rst
+        (Ssg_skeleton.Skeleton.stabilization_round t))
+    [ 1; 2; 5; 12 ];
+  check "rst 0 rejected" true
+    (try ignore (Build.delayed_stability rng ~n:4 ~k:1 ~rst:0); false
+     with Invalid_argument _ -> true)
+
+let test_decision_horizon_positive () =
+  let adv = Build.synchronous ~n:4 in
+  check "horizon > 2n" true (Adversary.decision_horizon adv > 8)
+
+let tests =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "graph schedule" `Quick test_graph_schedule;
+    Alcotest.test_case "stable skeleton formula" `Quick test_stable_skeleton_formula;
+    Alcotest.test_case "defensive copies" `Quick test_defensive_copies;
+    Alcotest.test_case "synchronous" `Quick test_synchronous;
+    Alcotest.test_case "lower bound properties" `Quick test_lower_bound_properties;
+    Alcotest.test_case "lower bound validation" `Quick test_lower_bound_validation;
+    Alcotest.test_case "figure1 structure" `Quick test_figure1;
+    Alcotest.test_case "block sources guarantee" `Quick test_block_sources_guarantee;
+    Alcotest.test_case "block sources blocks cap" `Quick test_block_sources_blocks_cap;
+    Alcotest.test_case "partitioned roots" `Quick test_partitioned_roots;
+    Alcotest.test_case "single root unique" `Quick test_single_root_unique;
+    Alcotest.test_case "isolated prefix collapses skeleton" `Quick
+      test_isolated_prefix_collapses_skeleton;
+    Alcotest.test_case "crash synchronous" `Quick test_crash_synchronous;
+    Alcotest.test_case "crash sync min_k" `Quick test_crash_sync_min_k_is_1;
+    Alcotest.test_case "arbitrary skeleton consistency" `Quick
+      test_arbitrary_skeleton_consistency;
+    Alcotest.test_case "recurrent noise" `Quick test_recurrent_noise;
+    Alcotest.test_case "delayed stability" `Quick test_delayed_stability;
+    Alcotest.test_case "decision horizon" `Quick test_decision_horizon_positive;
+  ]

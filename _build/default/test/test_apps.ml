@@ -1,0 +1,232 @@
+(* Tests for the application layer: leader election and renaming. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_skeleton
+open Ssg_adversary
+open Ssg_apps
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Drive a full system of Leader observers against an adversary. *)
+let drive_leaders adv ~rounds =
+  let n = Adversary.n adv in
+  let obs = Array.init n (fun self -> Leader.create ~n ~self) in
+  for round = 1 to rounds do
+    let graph = Adversary.graph adv round in
+    let payloads = Array.map Leader.message obs in
+    Array.iteri
+      (fun q o ->
+        Leader.step o ~round ~received:(fun p ->
+            if Digraph.mem_edge graph p q then Some payloads.(p) else None))
+      obs
+  done;
+  obs
+
+let settle_rounds adv = Adversary.prefix_length adv + (2 * Adversary.n adv) + 2
+
+let test_leader_initial () =
+  let o = Leader.create ~n:4 ~self:2 in
+  check_int "initially self" 2 (Leader.leader o)
+
+let test_leader_synchronous () =
+  let adv = Build.synchronous ~n:6 in
+  let obs = drive_leaders adv ~rounds:(settle_rounds adv) in
+  Array.iter (fun o -> check_int "everyone elects 0" 0 (Leader.leader o)) obs
+
+let test_leader_per_root_component () =
+  let rng = Rng.of_int 5 in
+  for _ = 1 to 15 do
+    let adv = Build.partitioned rng ~n:9 ~blocks:3 () in
+    let analysis = Analysis.analyze (Adversary.stable_skeleton adv) in
+    let obs = drive_leaders adv ~rounds:(settle_rounds adv) in
+    List.iter
+      (fun root ->
+        let expected = Bitset.min_elt root in
+        Bitset.iter
+          (fun p ->
+            check_int
+              (Printf.sprintf "member %d elects min of its island" p)
+              expected
+              (Leader.leader obs.(p)))
+          root)
+      (Analysis.roots analysis)
+  done
+
+let test_leader_followers () =
+  (* Below a single root, followers adopt that root's leader. *)
+  let rng = Rng.of_int 6 in
+  for _ = 1 to 10 do
+    let adv = Build.single_root rng ~n:8 () in
+    let analysis = Analysis.analyze (Adversary.stable_skeleton adv) in
+    let expected = Bitset.min_elt (List.hd (Analysis.roots analysis)) in
+    let obs = drive_leaders adv ~rounds:(settle_rounds adv) in
+    Array.iter
+      (fun o -> check_int "follower adopts root leader" expected (Leader.leader o))
+      obs
+  done
+
+let test_leader_stability () =
+  (* After settling, the leader estimate never changes again. *)
+  let rng = Rng.of_int 7 in
+  let adv = Build.block_sources rng ~n:7 ~k:2 ~prefix_len:3 () in
+  let n = 7 in
+  let obs = Array.init n (fun self -> Leader.create ~n ~self) in
+  let settled = ref [||] in
+  let horizon = settle_rounds adv + 10 in
+  for round = 1 to horizon do
+    let graph = Adversary.graph adv round in
+    let payloads = Array.map Leader.message obs in
+    Array.iteri
+      (fun q o ->
+        Leader.step o ~round ~received:(fun p ->
+            if Digraph.mem_edge graph p q then Some payloads.(p) else None))
+      obs;
+    if round = settle_rounds adv then
+      settled := Array.map Leader.leader obs
+    else if round > settle_rounds adv then
+      Array.iteri
+        (fun p o ->
+          check_int
+            (Printf.sprintf "round %d: leader of %d stable" round p)
+            !settled.(p) (Leader.leader o))
+        obs
+  done
+
+let test_leader_accuracy () =
+  (* The elected leader is always a member of a root component. *)
+  let rng = Rng.of_int 8 in
+  for _ = 1 to 10 do
+    let adv = Build.partitioned rng ~n:8 ~blocks:2 ~prefix_len:2 () in
+    let analysis = Analysis.analyze (Adversary.stable_skeleton adv) in
+    let obs = drive_leaders adv ~rounds:(settle_rounds adv) in
+    Array.iter
+      (fun o -> check "leader is a root member" true
+          (Analysis.is_root analysis (Leader.leader o)))
+      obs
+  done
+
+(* --- Renaming --- *)
+
+let test_assign_basic () =
+  let r = Renaming.assign ~n:4 [| 7; 7; 3; 7 |] in
+  Alcotest.(check (list int)) "anchors" [ 3; 7 ] r.Renaming.anchors;
+  (* anchor 3 has rank 0; anchor 7 rank 1; offsets by pid order *)
+  Alcotest.(check (array int)) "names" [| 4; 5; 0; 6 |] r.Renaming.new_names;
+  check_int "bound" 8 (Renaming.bound r ~n:4)
+
+let test_assign_injective_property () =
+  let rng = Rng.of_int 9 in
+  for _ = 1 to 50 do
+    let n = 2 + Rng.int rng 10 in
+    let decisions = Array.init n (fun _ -> Rng.int rng 5) in
+    let r = Renaming.assign ~n decisions in
+    let sorted = Array.copy r.Renaming.new_names in
+    Array.sort compare sorted;
+    let distinct = Array.length sorted = n &&
+      Array.for_all Fun.id (Array.mapi (fun i v -> i = 0 || sorted.(i-1) <> v) sorted)
+    in
+    check "injective" true distinct;
+    check "within bound" true
+      (Array.for_all (fun v -> v >= 0 && v < Renaming.bound r ~n) r.Renaming.new_names)
+  done
+
+let test_assign_validation () =
+  check "bad size" true
+    (try ignore (Renaming.assign ~n:3 [| 1 |]); false
+     with Invalid_argument _ -> true)
+
+let test_run_end_to_end () =
+  let rng = Rng.of_int 10 in
+  let adv = Build.block_sources rng ~n:8 ~k:3 () in
+  let names = Array.init 8 (fun i -> 1000 + (97 * i)) in
+  let r, outcome = Renaming.run adv ~names in
+  check "at most k anchors" true (List.length r.Renaming.anchors <= 3);
+  check "anchors were proposed" true
+    (List.for_all (fun a -> Array.mem a names) r.Renaming.anchors);
+  check "all decided" true (Ssg_rounds.Executor.all_decided outcome);
+  check "names in reduced space" true
+    (Array.for_all (fun v -> v < 24) r.Renaming.new_names)
+
+(* --- Repeated agreement --- *)
+
+let test_repeated_partitioned_logs () =
+  (* A replicated log per partition: every island's members end with
+     identical fully-decided logs; different islands differ. *)
+  let rng = Rng.of_int 11 in
+  let adv = Build.partitioned rng ~n:9 ~blocks:3 () in
+  let analysis = Analysis.analyze (Adversary.stable_skeleton adv) in
+  let instances = 5 in
+  let proposals i = Array.init 9 (fun p -> (100 * i) + p) in
+  let results =
+    Repeated.run adv ~proposals ~instances
+      ~window:(Repeated.default_window adv)
+  in
+  check_int "five instances" instances (List.length results);
+  List.iter
+    (fun root ->
+      check "island log agreement" true
+        (Repeated.logs_agree results ~members:root))
+    (Analysis.roots analysis);
+  (* two distinct islands have different logs (distinct proposals) *)
+  let roots = Analysis.roots analysis in
+  let l0 = Repeated.log_of results (Bitset.min_elt (List.nth roots 0)) in
+  let l1 = Repeated.log_of results (Bitset.min_elt (List.nth roots 1)) in
+  check "island logs differ" true (l0 <> l1);
+  (* every instance respects the k bound *)
+  List.iter
+    (fun r -> check "per-instance k bound" true (r.Repeated.distinct <= 3))
+    results
+
+let test_repeated_windows_use_progressing_rounds () =
+  (* The prefix noise only affects instance 0: later instances run on the
+     stable suffix and behave identically. *)
+  let rng = Rng.of_int 12 in
+  let adv = Build.block_sources rng ~n:6 ~k:2 ~prefix_len:4 ~noise:0.5 () in
+  let results =
+    Repeated.run adv
+      ~proposals:(fun _ -> Ssg_sim.Runner.distinct_inputs 6)
+      ~instances:3
+      ~window:(Repeated.default_window adv)
+  in
+  match results with
+  | [ _; r1; r2 ] ->
+      check "later instances identical" true
+        (r1.Repeated.decisions = r2.Repeated.decisions);
+      check_int "instance rounds offset" (1 + Repeated.default_window adv)
+        r1.Repeated.first_round
+  | _ -> Alcotest.fail "expected three instances"
+
+let test_repeated_validation () =
+  let adv = Build.synchronous ~n:3 in
+  check "zero window" true
+    (try
+       ignore (Repeated.run adv ~proposals:(fun _ -> [| 1; 2; 3 |]) ~instances:1 ~window:0);
+       false
+     with Invalid_argument _ -> true);
+  check "zero instances" true
+    (try
+       ignore (Repeated.run adv ~proposals:(fun _ -> [| 1; 2; 3 |]) ~instances:0 ~window:5);
+       false
+     with Invalid_argument _ -> true)
+
+let tests =
+  [
+    Alcotest.test_case "repeated partitioned logs" `Quick
+      test_repeated_partitioned_logs;
+    Alcotest.test_case "repeated windows progress" `Quick
+      test_repeated_windows_use_progressing_rounds;
+    Alcotest.test_case "repeated validation" `Quick test_repeated_validation;
+    Alcotest.test_case "leader initial" `Quick test_leader_initial;
+    Alcotest.test_case "leader synchronous" `Quick test_leader_synchronous;
+    Alcotest.test_case "leader per root component" `Quick
+      test_leader_per_root_component;
+    Alcotest.test_case "leader followers" `Quick test_leader_followers;
+    Alcotest.test_case "leader stability" `Quick test_leader_stability;
+    Alcotest.test_case "leader accuracy" `Quick test_leader_accuracy;
+    Alcotest.test_case "renaming assign" `Quick test_assign_basic;
+    Alcotest.test_case "renaming injective" `Quick test_assign_injective_property;
+    Alcotest.test_case "renaming validation" `Quick test_assign_validation;
+    Alcotest.test_case "renaming end to end" `Quick test_run_end_to_end;
+  ]

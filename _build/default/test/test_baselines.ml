@@ -1,0 +1,122 @@
+(* Tests for the baselines: FloodMin in its home model, and the naive
+   strawman outside it. *)
+
+open Ssg_util
+open Ssg_rounds
+open Ssg_adversary
+open Ssg_baselines
+open Ssg_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_rounds_for () =
+  check_int "f=0 k=1" 1 (Floodmin.rounds_for ~f:0 ~k:1);
+  check_int "f=5 k=2" 3 (Floodmin.rounds_for ~f:5 ~k:2);
+  check_int "f=6 k=2" 4 (Floodmin.rounds_for ~f:6 ~k:2);
+  check_int "f=6 k=7" 1 (Floodmin.rounds_for ~f:6 ~k:7);
+  check "bad k" true
+    (try ignore (Floodmin.rounds_for ~f:1 ~k:0); false
+     with Invalid_argument _ -> true)
+
+let test_floodmin_failure_free () =
+  (* No crashes: everyone decides the global minimum after R rounds. *)
+  let adv = Build.synchronous ~n:6 in
+  let alg = Floodmin.make ~rounds:1 in
+  let r = Runner.run_packed alg adv in
+  check "terminated" true (Metrics.termination r.Runner.outcome);
+  Alcotest.(check (list int)) "global min" [ 0 ]
+    (Executor.decision_values r.Runner.outcome);
+  Alcotest.(check (option int)) "decided at round 1" (Some 1)
+    (Metrics.last_decision_round r.Runner.outcome)
+
+let test_floodmin_crash_model_k_agreement () =
+  (* The classical guarantee: with at most f crashes and R = ⌊f/k⌋ + 1
+     rounds, at most k values are decided.  Sweep failure patterns. *)
+  let rng = Rng.of_int 11 in
+  for _ = 1 to 60 do
+    let n = 5 + Rng.int rng 8 in
+    let f = Rng.int rng (n - 1) in
+    let k = 1 + Rng.int rng 3 in
+    let crashed = Rng.sample rng n f in
+    let crashes =
+      Array.to_list (Array.map (fun p -> (p, 1 + Rng.int rng 4)) crashed)
+    in
+    let adv = Build.crash_synchronous rng ~n ~crashes in
+    let alg = Floodmin.make ~rounds:(Floodmin.rounds_for ~f ~k) in
+    let r = Runner.run_packed alg ~rounds:(Floodmin.rounds_for ~f ~k) adv in
+    check "terminates" true (Metrics.termination r.Runner.outcome);
+    check
+      (Printf.sprintf "k-agreement n=%d f=%d k=%d" n f k)
+      true
+      (Metrics.k_agreement ~k r.Runner.outcome);
+    check "validity" true
+      (Metrics.validity ~inputs:r.Runner.inputs r.Runner.outcome)
+  done
+
+let test_floodmin_unsound_outside_model () =
+  (* On a partitioned Psrcs-style run, a fixed horizon decides one value
+     per partition — more than its k would allow if it assumed f crashes.
+     Concretely: blocks never talk, so FloodMin with k=1 budget still
+     yields [blocks] values: agreement violated outside its model. *)
+  let rng = Rng.of_int 12 in
+  let adv = Build.partitioned rng ~n:9 ~blocks:3 () in
+  let alg = Floodmin.make ~rounds:4 in
+  let r = Runner.run_packed alg ~rounds:4 adv in
+  check_int "three values under a consensus budget" 3
+    (Metrics.distinct_decisions r.Runner.outcome)
+
+let test_flood_consensus () =
+  let rng = Rng.of_int 13 in
+  let f = 2 in
+  let crashes = [ (0, 1); (1, 2) ] in
+  let adv = Build.crash_synchronous rng ~n:7 ~crashes in
+  let alg = Flood_consensus.make ~f in
+  let r = Runner.run_packed alg ~rounds:(f + 1) adv in
+  check_int "consensus" 1 (Metrics.distinct_decisions r.Runner.outcome);
+  Alcotest.(check (option int)) "f+1 rounds" (Some (f + 1))
+    (Metrics.last_decision_round r.Runner.outcome)
+
+let test_naive_min_isolation () =
+  (* The ♦Psrcs argument: an isolation prefix longer than the naive
+     horizon forces n distinct decisions. *)
+  let rng = Rng.of_int 14 in
+  let base = Build.block_sources rng ~n:6 ~k:2 () in
+  let adv = Build.isolated_prefix base ~rounds:5 in
+  let alg = Naive_min.make ~horizon:4 in
+  let r = Runner.run_packed alg ~rounds:10 adv in
+  check_int "n distinct values" 6 (Metrics.distinct_decisions r.Runner.outcome);
+  (* With the isolation shorter than the horizon, the naive rule does
+     better on this particular run. *)
+  let adv = Build.isolated_prefix base ~rounds:1 in
+  let alg = Naive_min.make ~horizon:8 in
+  let r = Runner.run_packed alg ~rounds:10 adv in
+  check "fewer values when horizon outlasts isolation" true
+    (Metrics.distinct_decisions r.Runner.outcome <= 2)
+
+let test_names () =
+  check "floodmin name" true
+    (Round_model.name_of (Floodmin.make ~rounds:3) = "floodmin(R=3)");
+  check "naive name" true
+    (Round_model.name_of (Naive_min.make ~horizon:5) = "naive-min(H=5)")
+
+let test_floodmin_message_bits_constant () =
+  (* FloodMin messages are value-sized, not graph-sized. *)
+  let adv = Build.synchronous ~n:16 in
+  let r = Runner.run_packed (Floodmin.make ~rounds:1) adv in
+  check_int "32-bit messages" 32 r.Runner.outcome.Executor.max_message_bits
+
+let tests =
+  [
+    Alcotest.test_case "rounds_for" `Quick test_rounds_for;
+    Alcotest.test_case "floodmin failure-free" `Quick test_floodmin_failure_free;
+    Alcotest.test_case "floodmin crash-model k-agreement" `Quick
+      test_floodmin_crash_model_k_agreement;
+    Alcotest.test_case "floodmin unsound outside model" `Quick
+      test_floodmin_unsound_outside_model;
+    Alcotest.test_case "flood consensus" `Quick test_flood_consensus;
+    Alcotest.test_case "naive-min under isolation" `Quick test_naive_min_isolation;
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "floodmin message bits" `Quick
+      test_floodmin_message_bits_constant;
+  ]

@@ -1,0 +1,193 @@
+(* Tests for verifiable decision certificates. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_rounds
+open Ssg_adversary
+open Ssg_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Run Algorithm 1 on [adv], capturing certificates with an on_round
+   hook; returns (certificates, trace, inputs). *)
+let run_with_certificates adv =
+  let n = Adversary.n adv in
+  let inputs = Array.init n (fun i -> i) in
+  let rounds = Adversary.decision_horizon adv in
+  let module E = Executor.Make (Kset_agreement.Alg) in
+  let certs = ref [] in
+  let cfg =
+    E.config ~stop_when_all_decided:false
+      ~on_round:(fun ~round ~graph:_ states ->
+        certs := Certificate.capture states ~round @ !certs)
+      ~inputs
+      ~graphs:(Adversary.graph adv)
+      ~max_rounds:rounds ()
+  in
+  let _ = E.run cfg in
+  (!certs, Adversary.trace adv ~rounds, inputs)
+
+let test_capture_one_per_root () =
+  (* Clean partitioned run: exactly the root members publish
+     certificates (followers adopt). *)
+  let rng = Rng.of_int 1 in
+  let adv = Build.partitioned rng ~n:8 ~blocks:2 () in
+  let certs, _, _ = run_with_certificates adv in
+  let analysis =
+    Ssg_skeleton.Analysis.analyze (Adversary.stable_skeleton adv)
+  in
+  let root_members =
+    List.fold_left
+      (fun acc root -> acc + Bitset.cardinal root)
+      0
+      (Ssg_skeleton.Analysis.roots analysis)
+  in
+  check_int "one certificate per root member" root_members
+    (List.length certs);
+  List.iter
+    (fun c ->
+      check "owner is a root member" true
+        (Ssg_skeleton.Analysis.is_root analysis c.Certificate.owner))
+    certs
+
+let test_valid_certificates_verify () =
+  let rng = Rng.of_int 2 in
+  for _ = 1 to 10 do
+    let adv = Build.block_sources rng ~n:7 ~k:2 ~prefix_len:2 () in
+    let certs, trace, inputs = run_with_certificates adv in
+    check "some certificates" true (certs <> []);
+    List.iter
+      (fun c ->
+        match Certificate.verify c ~trace ~inputs with
+        | `Valid -> ()
+        | `Valid_but_dissolved ->
+            (* possible under prefix noise; still a passing audit *)
+            ()
+        | `Invalid reason -> Alcotest.fail ("unexpected rejection: " ^ reason))
+      certs
+  done
+
+let test_forged_edge_rejected () =
+  let rng = Rng.of_int 3 in
+  let adv = Build.partitioned rng ~n:6 ~blocks:2 () in
+  let certs, trace, inputs = run_with_certificates adv in
+  match certs with
+  | c :: _ ->
+      let forged = Lgraph.copy c.Certificate.graph in
+      (* add an edge that was never timely: pick one absent from the
+         skeleton at its claimed round *)
+      let skel = Adversary.stable_skeleton adv in
+      let found = ref None in
+      for a = 0 to 5 do
+        for b = 0 to 5 do
+          if !found = None && a <> b && not (Digraph.mem_edge skel a b) then
+            found := Some (a, b)
+        done
+      done;
+      (match !found with
+      | Some (a, b) ->
+          Lgraph.set_edge forged a b ~label:c.Certificate.round;
+          let c' = { c with Certificate.graph = forged } in
+          (match Certificate.verify c' ~trace ~inputs with
+          | `Invalid _ -> ()
+          | _ -> Alcotest.fail "forged edge accepted")
+      | None -> Alcotest.fail "no absent edge to forge")
+  | [] -> Alcotest.fail "no certificate captured"
+
+let test_stale_label_rejected () =
+  let rng = Rng.of_int 4 in
+  let adv = Build.partitioned rng ~n:6 ~blocks:2 () in
+  let certs, trace, inputs = run_with_certificates adv in
+  match certs with
+  | c :: _ ->
+      let doctored = Lgraph.copy c.Certificate.graph in
+      (* overwrite some edge's label with a stale round *)
+      (match Lgraph.edges doctored with
+      | (q', q, _) :: _ ->
+          let stale = c.Certificate.round - 6 in
+          if stale >= 1 then begin
+            Lgraph.set_edge doctored q' q ~label:stale;
+            match
+              Certificate.verify
+                { c with Certificate.graph = doctored }
+                ~trace ~inputs
+            with
+            | `Invalid _ -> ()
+            | _ -> Alcotest.fail "stale label accepted"
+          end
+      | [] -> Alcotest.fail "certificate without edges")
+  | [] -> Alcotest.fail "no certificate captured"
+
+let test_foreign_value_rejected () =
+  let rng = Rng.of_int 5 in
+  let adv = Build.partitioned rng ~n:6 ~blocks:2 () in
+  let certs, trace, inputs = run_with_certificates adv in
+  match certs with
+  | c :: _ -> (
+      match Certificate.verify { c with Certificate.value = 999 } ~trace ~inputs with
+      | `Invalid _ -> ()
+      | _ -> Alcotest.fail "foreign value accepted")
+  | [] -> Alcotest.fail "no certificate captured"
+
+let test_early_round_rejected () =
+  let rng = Rng.of_int 6 in
+  let adv = Build.partitioned rng ~n:6 ~blocks:2 () in
+  let certs, trace, inputs = run_with_certificates adv in
+  match certs with
+  | c :: _ -> (
+      match Certificate.verify { c with Certificate.round = 3 } ~trace ~inputs with
+      | `Invalid _ -> ()
+      | _ -> Alcotest.fail "early round accepted")
+  | [] -> Alcotest.fail "no certificate captured"
+
+let test_dissolved_detected_on_e9_run () =
+  (* The minimal Theorem 16 counterexample: p3's certificate passes every
+     local check but its component has dissolved — verify reports it. *)
+  let stable =
+    Digraph.of_edges 3 [ (0, 0); (1, 1); (2, 2); (1, 0); (0, 2); (1, 2) ]
+  in
+  let round1 = Digraph.copy stable in
+  Digraph.add_edge round1 2 1;
+  let adv = Adversary.make ~name:"minimal-e9" ~prefix:[| round1 |] ~stable in
+  let certs, trace, inputs = run_with_certificates adv in
+  let dissolved =
+    List.filter
+      (fun c ->
+        Certificate.verify c ~trace ~inputs = `Valid_but_dissolved)
+      certs
+  in
+  check "a dissolved-but-honest certificate exists" true (dissolved <> [])
+
+let prop_clean_runs_fully_valid =
+  QCheck2.Test.make ~count:60
+    ~name:"clean-run certificates verify as Valid (not dissolved)"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let n = 4 + Rng.int rng 6 in
+      let adv =
+        match Rng.int rng 2 with
+        | 0 -> Build.partitioned rng ~n ~blocks:(1 + Rng.int rng 3) ()
+        | _ -> Build.block_sources rng ~n ~k:(1 + Rng.int rng 3) ()
+      in
+      let certs, trace, inputs = run_with_certificates adv in
+      certs <> []
+      && List.for_all
+           (fun c -> Certificate.verify c ~trace ~inputs = `Valid)
+           certs)
+
+let tests =
+  [
+    Alcotest.test_case "capture: one per root member" `Quick
+      test_capture_one_per_root;
+    Alcotest.test_case "valid certificates verify" `Quick
+      test_valid_certificates_verify;
+    Alcotest.test_case "forged edge rejected" `Quick test_forged_edge_rejected;
+    Alcotest.test_case "stale label rejected" `Quick test_stale_label_rejected;
+    Alcotest.test_case "foreign value rejected" `Quick test_foreign_value_rejected;
+    Alcotest.test_case "early round rejected" `Quick test_early_round_rejected;
+    Alcotest.test_case "E9 dissolution detected" `Quick
+      test_dissolved_detected_on_e9_run;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_clean_runs_fully_valid ]

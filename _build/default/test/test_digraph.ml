@@ -1,0 +1,175 @@
+(* Tests for Ssg_graph.Digraph. *)
+
+open Ssg_util
+open Ssg_graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_create () =
+  let g = Digraph.create 5 in
+  check_int "order" 5 (Digraph.order g);
+  check_int "edges" 0 (Digraph.edge_count g);
+  check "no edge" false (Digraph.mem_edge g 0 1)
+
+let test_add_remove () =
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 1 2;
+  check "directed" true (Digraph.mem_edge g 1 2);
+  check "not reversed" false (Digraph.mem_edge g 2 1);
+  Digraph.add_edge g 1 2;
+  check_int "idempotent" 1 (Digraph.edge_count g);
+  Digraph.remove_edge g 1 2;
+  check_int "removed" 0 (Digraph.edge_count g)
+
+let test_succ_pred_consistency () =
+  let rng = Rng.of_int 3 in
+  let g = Gen.gnp rng 20 0.3 in
+  (* succ/pred must mirror each other after arbitrary mutation. *)
+  Digraph.remove_edge g 0 0;
+  Digraph.remove_edge g 3 7;
+  Digraph.add_edge g 7 3;
+  for p = 0 to 19 do
+    for q = 0 to 19 do
+      Alcotest.(check bool)
+        (Printf.sprintf "mirror %d %d" p q)
+        (Bitset.mem (Digraph.succs g p) q)
+        (Bitset.mem (Digraph.preds g q) p)
+    done
+  done
+
+let test_complete () =
+  let g = Digraph.complete ~self_loops:true 4 in
+  check_int "edges with loops" 16 (Digraph.edge_count g);
+  check "self loop" true (Digraph.mem_edge g 2 2);
+  check "all self loops" true (Digraph.has_all_self_loops g);
+  let g = Digraph.complete ~self_loops:false 4 in
+  check_int "edges without loops" 12 (Digraph.edge_count g);
+  check "no self loops" false (Digraph.has_all_self_loops g)
+
+let test_degrees () =
+  let g = Digraph.of_edges 4 [ (0, 1); (0, 2); (3, 1) ] in
+  check_int "out 0" 2 (Digraph.out_degree g 0);
+  check_int "in 1" 2 (Digraph.in_degree g 1);
+  check_int "in 0" 0 (Digraph.in_degree g 0)
+
+let test_edges_roundtrip () =
+  let es = [ (0, 1); (1, 2); (2, 0); (2, 2) ] in
+  let g = Digraph.of_edges 3 es in
+  Alcotest.(check (list (pair int int))) "edges sorted" (List.sort compare es)
+    (Digraph.edges g)
+
+let test_inter_union () =
+  let a = Digraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let b = Digraph.of_edges 3 [ (1, 2); (2, 0) ] in
+  Alcotest.(check (list (pair int int))) "inter" [ (1, 2) ]
+    (Digraph.edges (Digraph.inter a b));
+  Alcotest.(check (list (pair int int))) "union" [ (0, 1); (1, 2); (2, 0) ]
+    (Digraph.edges (Digraph.union a b));
+  check "inter leaves inputs" true (Digraph.mem_edge a 0 1)
+
+let test_inter_into_preds () =
+  let a = Digraph.of_edges 3 [ (0, 1); (1, 2); (2, 1) ] in
+  let b = Digraph.of_edges 3 [ (0, 1) ] in
+  Digraph.inter_into ~into:a b;
+  (* pred rows must be updated too *)
+  check "pred row updated" true (Bitset.is_empty (Digraph.preds a 2));
+  Alcotest.(check (list int)) "pred of 1" [ 0 ] (Bitset.elements (Digraph.preds a 1))
+
+let test_subgraph_of () =
+  let a = Digraph.of_edges 3 [ (0, 1) ] in
+  let b = Digraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  check "subset" true (Digraph.subgraph_of a b);
+  check "not superset" false (Digraph.subgraph_of b a)
+
+let test_induced () =
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0); (1, 1) ] in
+  let sub = Digraph.induced g (Bitset.of_list 4 [ 1; 2 ]) in
+  Alcotest.(check (list (pair int int))) "induced edges" [ (1, 1); (1, 2) ]
+    (Digraph.edges sub);
+  check "pred consistent" true (Bitset.mem (Digraph.preds sub 2) 1)
+
+let test_transpose () =
+  let g = Digraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let t = Digraph.transpose g in
+  Alcotest.(check (list (pair int int))) "transposed" [ (1, 0); (2, 1) ]
+    (Digraph.edges t)
+
+let test_equal_copy () =
+  let g = Digraph.of_edges 3 [ (0, 1) ] in
+  let h = Digraph.copy g in
+  check "copies equal" true (Digraph.equal g h);
+  Digraph.add_edge h 1 0;
+  check "copy independent" false (Digraph.equal g h)
+
+let test_inter_preds_into () =
+  let g = Digraph.of_edges 4 [ (0, 2); (1, 2); (3, 2) ] in
+  let pt = Bitset.of_list 4 [ 0; 1; 2 ] in
+  Digraph.inter_preds_into g 2 ~into:pt;
+  Alcotest.(check (list int)) "PT update" [ 0; 1 ] (Bitset.elements pt)
+
+let test_order_mismatch () =
+  let a = Digraph.create 3 and b = Digraph.create 4 in
+  Alcotest.check_raises "inter mismatch"
+    (Invalid_argument "Digraph: order mismatch (3 vs 4)") (fun () ->
+      ignore (Digraph.inter a b))
+
+let test_node_out_of_range () =
+  let g = Digraph.create 3 in
+  Alcotest.check_raises "bad node"
+    (Invalid_argument "Digraph: node 3 out of range [0, 3)") (fun () ->
+      Digraph.add_edge g 0 3)
+
+(* Property: inter/union behave like edge-set operations. *)
+
+let gen_graph =
+  QCheck2.Gen.(
+    let n = 12 in
+    let edge = pair (int_bound (n - 1)) (int_bound (n - 1)) in
+    map (Digraph.of_edges n) (list_size (int_bound 40) edge))
+
+let module_edges g = List.sort_uniq compare (Digraph.edges g)
+
+let props =
+  [
+    QCheck2.Test.make ~count:200 ~name:"edge_count = |edges|" gen_graph
+      (fun g -> Digraph.edge_count g = List.length (module_edges g));
+    QCheck2.Test.make ~count:200 ~name:"inter = list intersection"
+      (QCheck2.Gen.pair gen_graph gen_graph) (fun (a, b) ->
+        let expected =
+          List.filter (fun e -> List.mem e (module_edges b)) (module_edges a)
+        in
+        module_edges (Digraph.inter a b) = expected);
+    QCheck2.Test.make ~count:200 ~name:"union = list union"
+      (QCheck2.Gen.pair gen_graph gen_graph) (fun (a, b) ->
+        let expected =
+          List.sort_uniq compare (module_edges a @ module_edges b)
+        in
+        module_edges (Digraph.union a b) = expected);
+    QCheck2.Test.make ~count:200 ~name:"transpose involutive" gen_graph
+      (fun g -> Digraph.equal (Digraph.transpose (Digraph.transpose g)) g);
+    QCheck2.Test.make ~count:200 ~name:"inter subgraph of both"
+      (QCheck2.Gen.pair gen_graph gen_graph) (fun (a, b) ->
+        let i = Digraph.inter a b in
+        Digraph.subgraph_of i a && Digraph.subgraph_of i b);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "add/remove" `Quick test_add_remove;
+    Alcotest.test_case "succ/pred mirror" `Quick test_succ_pred_consistency;
+    Alcotest.test_case "complete" `Quick test_complete;
+    Alcotest.test_case "degrees" `Quick test_degrees;
+    Alcotest.test_case "edges roundtrip" `Quick test_edges_roundtrip;
+    Alcotest.test_case "inter/union" `Quick test_inter_union;
+    Alcotest.test_case "inter_into updates preds" `Quick test_inter_into_preds;
+    Alcotest.test_case "subgraph_of" `Quick test_subgraph_of;
+    Alcotest.test_case "induced" `Quick test_induced;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "equal/copy" `Quick test_equal_copy;
+    Alcotest.test_case "inter_preds_into (PT update)" `Quick test_inter_preds_into;
+    Alcotest.test_case "order mismatch" `Quick test_order_mismatch;
+    Alcotest.test_case "node out of range" `Quick test_node_out_of_range;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest props

@@ -1,0 +1,167 @@
+(* Tests for the dynamic-network pieces: rolling-window skeletons and
+   epoch-based runs (partitions splitting and healing over time). *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_skeleton
+open Ssg_adversary
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Windowed --- *)
+
+let test_windowed_empty () =
+  let w = Windowed.create ~n:3 ~window:4 in
+  check "complete before any round" true
+    (Digraph.equal (Windowed.current w) (Digraph.complete ~self_loops:true 3));
+  check "not filled" false (Windowed.filled w);
+  check_int "zero rounds" 0 (Windowed.rounds_absorbed w)
+
+let test_windowed_partial_fill () =
+  let w = Windowed.create ~n:3 ~window:5 in
+  let a = Digraph.of_edges 3 [ (0, 0); (1, 1); (2, 2); (0, 1); (1, 2) ] in
+  let b = Digraph.of_edges 3 [ (0, 0); (1, 1); (2, 2); (0, 1) ] in
+  Windowed.absorb w a;
+  check "one graph = itself" true (Digraph.equal (Windowed.current w) a);
+  Windowed.absorb w b;
+  check "two graphs = intersection" true
+    (Digraph.equal (Windowed.current w) (Digraph.inter a b))
+
+let test_windowed_eviction () =
+  (* window 2: an edge present only in an evicted round is forgotten *)
+  let w = Windowed.create ~n:2 ~window:2 in
+  let loops = Gen.self_loops_only 2 in
+  let extra = Digraph.copy loops in
+  Digraph.add_edge extra 0 1;
+  Windowed.absorb w loops;
+  Windowed.absorb w extra;
+  check "not yet" false (Digraph.mem_edge (Windowed.current w) 0 1);
+  Windowed.absorb w extra;
+  (* now the window is [extra; extra] *)
+  check "recovered after eviction" true
+    (Digraph.mem_edge (Windowed.current w) 0 1);
+  check "filled" true (Windowed.filled w)
+
+let test_windowed_matches_naive () =
+  (* property: window-T content equals the naive intersection of the last
+     T graphs, across random sequences *)
+  let rng = Rng.of_int 4 in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 6 in
+    let t = 1 + Rng.int rng 4 in
+    let w = Windowed.create ~n ~window:t in
+    let history = ref [] in
+    for _ = 1 to 12 do
+      let g = Gen.gnp rng n 0.5 in
+      Windowed.absorb w g;
+      history := g :: !history;
+      let last_t =
+        List.filteri (fun i _ -> i < t) !history
+      in
+      let naive =
+        List.fold_left Digraph.inter
+          (Digraph.complete ~self_loops:true n)
+          last_t
+      in
+      check "matches naive" true (Digraph.equal (Windowed.current w) naive)
+    done
+  done
+
+let test_windowed_validation () =
+  check "zero window" true
+    (try ignore (Windowed.create ~n:2 ~window:0); false
+     with Invalid_argument _ -> true);
+  let w = Windowed.create ~n:2 ~window:1 in
+  check "order mismatch" true
+    (try Windowed.absorb w (Gen.self_loops_only 3); false
+     with Invalid_argument _ -> true)
+
+(* --- Epochs --- *)
+
+let two_islands n =
+  (* {0..n/2-1} and {n/2..n-1} as cycles *)
+  let g = Gen.self_loops_only n in
+  let h = n / 2 in
+  for i = 0 to h - 1 do
+    Digraph.add_edge g i ((i + 1) mod h)
+  done;
+  for i = h to n - 1 do
+    Digraph.add_edge g i (h + ((i + 1 - h) mod (n - h)))
+  done;
+  g
+
+let test_epochs_schedule () =
+  let n = 6 in
+  let merged = Digraph.complete ~self_loops:true n in
+  let split = two_islands n in
+  let adv =
+    Build.epochs ~name:"merge-then-split" [ (merged, 4) ] ~final:split
+  in
+  check "rounds 1-4 merged" true (Digraph.equal (Adversary.graph adv 1) merged);
+  check "round 4 merged" true (Digraph.equal (Adversary.graph adv 4) merged);
+  check "round 5 split" true (Digraph.equal (Adversary.graph adv 5) split);
+  check "round 50 split" true (Digraph.equal (Adversary.graph adv 50) split);
+  check "bad length rejected" true
+    (try ignore (Build.epochs ~name:"x" [ (merged, 0) ] ~final:split); false
+     with Invalid_argument _ -> true)
+
+let test_windowed_tracks_epochs () =
+  (* After T rounds inside an epoch, the windowed skeleton equals that
+     epoch's graph — it forgets the previous topology. *)
+  let n = 6 in
+  let merged = Digraph.complete ~self_loops:true n in
+  let split = two_islands n in
+  let adv = Build.epochs ~name:"m10-s" [ (merged, 10) ] ~final:split in
+  let t = 4 in
+  let w = Windowed.create ~n ~window:t in
+  for r = 1 to 10 do
+    Windowed.absorb w (Adversary.graph adv r)
+  done;
+  check "window inside epoch 1 = merged" true
+    (Digraph.equal (Windowed.current w) merged);
+  for r = 11 to 10 + t do
+    Windowed.absorb w (Adversary.graph adv r)
+  done;
+  check "window inside epoch 2 = split" true
+    (Digraph.equal (Windowed.current w) split);
+  (* whereas the cumulative skeleton is stuck with the intersection *)
+  let trace = Adversary.trace adv ~rounds:(10 + t) in
+  check "cumulative skeleton lost the merged epoch" true
+    (Digraph.equal (Skeleton.final trace) (Digraph.inter merged split))
+
+let test_repeated_agreement_across_epochs () =
+  (* Healing partitions: epoch 1 split (2 islands), epoch 2 merged.
+     Instance 0 runs in the split epoch (2 values), instance 1 in the
+     merged epoch (consensus).  Windows are sized to the epochs. *)
+  let n = 6 in
+  let split = two_islands n in
+  let merged = Digraph.complete ~self_loops:true n in
+  let window = 2 + (2 * n) + 2 in
+  let adv =
+    Build.epochs ~name:"split-then-heal" [ (split, window) ] ~final:merged
+  in
+  let results =
+    Ssg_apps.Repeated.run adv
+      ~proposals:(fun i -> Array.init n (fun p -> (10 * i) + p))
+      ~instances:2 ~window
+  in
+  (match results with
+  | [ r0; r1 ] ->
+      check_int "split epoch: 2 values" 2 r0.Ssg_apps.Repeated.distinct;
+      check_int "merged epoch: consensus" 1 r1.Ssg_apps.Repeated.distinct
+  | _ -> Alcotest.fail "expected two instances")
+
+let tests =
+  [
+    Alcotest.test_case "windowed empty" `Quick test_windowed_empty;
+    Alcotest.test_case "windowed partial fill" `Quick test_windowed_partial_fill;
+    Alcotest.test_case "windowed eviction" `Quick test_windowed_eviction;
+    Alcotest.test_case "windowed matches naive intersection" `Quick
+      test_windowed_matches_naive;
+    Alcotest.test_case "windowed validation" `Quick test_windowed_validation;
+    Alcotest.test_case "epochs schedule" `Quick test_epochs_schedule;
+    Alcotest.test_case "windowed tracks epochs" `Quick test_windowed_tracks_epochs;
+    Alcotest.test_case "repeated agreement across epochs" `Quick
+      test_repeated_agreement_across_epochs;
+  ]

@@ -1,0 +1,135 @@
+(* Tests for the exhaustive tiny-system model checker — and, through it,
+   proof-grade regression pins for the Theorem 16 findings. *)
+
+open Ssg_graph
+open Ssg_adversary
+open Ssg_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_all_stable_graphs_count () =
+  check_int "n=2" 4 (List.length (Exhaustive.all_stable_graphs ~n:2));
+  check_int "n=3" 64 (List.length (Exhaustive.all_stable_graphs ~n:3));
+  let gs = Exhaustive.all_stable_graphs ~n:3 in
+  check "all have self loops" true (List.for_all Digraph.has_all_self_loops gs);
+  (* all distinct *)
+  let distinct =
+    List.fold_left
+      (fun acc g -> if List.exists (Digraph.equal g) acc then acc else g :: acc)
+      [] gs
+  in
+  check_int "distinct" 64 (List.length distinct);
+  check "too large rejected" true
+    (try ignore (Exhaustive.all_stable_graphs ~n:6); false
+     with Invalid_argument _ -> true)
+
+let test_prefix_free_n3_all_clean () =
+  (* Exhaustive over every run with skeleton stable from round 1: the
+     regime where the paper's proof is airtight.  Any failure would be an
+     implementation bug. *)
+  let v = Exhaustive.check_prefix_free ~n:3 in
+  check_int "runs" 64 v.Exhaustive.runs;
+  check_int "thm1" 0 v.Exhaustive.theorem1_failures;
+  check_int "paper agreement" 0 v.Exhaustive.agreement_failures;
+  check_int "strict agreement" 0 v.Exhaustive.strict_agreement_failures;
+  check_int "validity" 0 v.Exhaustive.validity_failures;
+  check_int "termination" 0 v.Exhaustive.termination_failures;
+  check_int "repaired agreement" 0 v.Exhaustive.repaired_agreement_failures;
+  check_int "repaired termination" 0 v.Exhaustive.repaired_termination_failures
+
+let test_one_round_prefixes_n3_pins_the_gap () =
+  (* The exhaustive sweep is deterministic: exactly 20 of the 4096 runs
+     defeat the paper's (r >= n) rule; none defeat the strict reading at
+     this size; none defeat the repair.  This pins the Theorem 16 finding
+     numerically so any behavioural change is flagged. *)
+  let v = Exhaustive.check_with_one_round_prefixes ~n:3 in
+  check_int "runs" 4096 v.Exhaustive.runs;
+  check_int "thm1" 0 v.Exhaustive.theorem1_failures;
+  check_int "paper rule failures" 20 v.Exhaustive.agreement_failures;
+  check_int "strict rule failures" 0 v.Exhaustive.strict_agreement_failures;
+  check_int "repaired failures" 0 v.Exhaustive.repaired_agreement_failures;
+  check_int "repaired non-termination" 0 v.Exhaustive.repaired_termination_failures;
+  match v.Exhaustive.counterexample with
+  | None -> Alcotest.fail "expected a counterexample witness"
+  | Some adv ->
+      (* the witness really does defeat the paper's rule *)
+      let mk = Adversary.min_k adv in
+      let r = Runner.run_kset adv in
+      check "witness violates" true
+        (Metrics.distinct_decisions r.Runner.outcome > mk);
+      (* and the repair fixes exactly this run *)
+      let n = Adversary.n adv in
+      let rep = Ssg_core.Kset_agreement.make_alg ~confirm_rounds:n () in
+      let r2 =
+        Runner.run_kset ~variant:rep
+          ~rounds:(Adversary.prefix_length adv + (3 * n) + 4)
+          adv
+      in
+      check "repair fixes witness" true
+        (Metrics.distinct_decisions r2.Runner.outcome <= mk)
+
+let test_minimal_counterexample_by_hand () =
+  (* The smallest witness, spelled out: 3 processes; round 1 additionally
+     carries p3 -> p2; from round 2 on the graph is fixed with root {p2}.
+     Psrcs(1) holds (everyone perpetually hears p2), so consensus is
+     required — but p3 certifies the stale {p2,p3} cycle at round 3 and
+     decides its stale minimum, while p2 decides its own value. *)
+  let stable = Digraph.of_edges 3 [ (0, 0); (1, 1); (2, 2); (1, 0); (0, 2); (1, 2) ] in
+  let round1 = Digraph.copy stable in
+  Digraph.add_edge round1 2 1;
+  let adv = Adversary.make ~name:"minimal" ~prefix:[| round1 |] ~stable in
+  check_int "min_k = 1 (consensus required)" 1 (Adversary.min_k adv);
+  let r = Runner.run_kset adv in
+  check_int "paper rule: 2 values" 2
+    (Metrics.distinct_decisions r.Runner.outcome);
+  let strict = Ssg_core.Kset_agreement.make_alg ~strict_guard:true () in
+  let r = Runner.run_kset ~variant:strict adv in
+  check_int "strict guard saves this one" 1
+    (Metrics.distinct_decisions r.Runner.outcome);
+  let rep = Ssg_core.Kset_agreement.make_alg ~confirm_rounds:3 () in
+  let r = Runner.run_kset ~variant:rep ~rounds:14 adv in
+  check_int "repair: consensus" 1 (Metrics.distinct_decisions r.Runner.outcome)
+
+let test_strict_guard_not_sufficient_in_general () =
+  (* A targeted hunt (seeds fixed) shows the strict reading also fails
+     once n >= 4 and prefixes are longer; the repair fixes those runs. *)
+  let strict = Ssg_core.Kset_agreement.make_alg ~strict_guard:true () in
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < 20000 do
+    let rng = Ssg_util.Rng.of_int (777000 + !i) in
+    let plen = 1 + Ssg_util.Rng.int rng 4 in
+    let adv =
+      Build.block_sources rng ~n:4 ~k:(1 + Ssg_util.Rng.int rng 2)
+        ~prefix_len:plen ~noise:0.5 ()
+    in
+    let mk = Adversary.min_k adv in
+    let r = Runner.run_kset ~variant:strict adv in
+    if Metrics.distinct_decisions r.Runner.outcome > mk then found := Some (adv, mk);
+    incr i
+  done;
+  match !found with
+  | None -> Alcotest.fail "no strict-guard violation found at n=4 (rule changed?)"
+  | Some (adv, mk) ->
+      let rep = Ssg_core.Kset_agreement.make_alg ~confirm_rounds:4 () in
+      let r =
+        Runner.run_kset ~variant:rep
+          ~rounds:(Adversary.prefix_length adv + 16)
+          adv
+      in
+      check "repair fixes strict-guard counterexample" true
+        (Metrics.distinct_decisions r.Runner.outcome <= mk)
+
+let tests =
+  [
+    Alcotest.test_case "graph enumeration" `Quick test_all_stable_graphs_count;
+    Alcotest.test_case "n=3 prefix-free all clean (exhaustive)" `Quick
+      test_prefix_free_n3_all_clean;
+    Alcotest.test_case "n=3 one-round prefixes pin the gap (exhaustive)" `Slow
+      test_one_round_prefixes_n3_pins_the_gap;
+    Alcotest.test_case "minimal counterexample by hand" `Quick
+      test_minimal_counterexample_by_hand;
+    Alcotest.test_case "strict guard insufficient in general" `Slow
+      test_strict_guard_not_sufficient_in_general;
+  ]

@@ -1,0 +1,71 @@
+(* Smoke tests for the experiment registry: every experiment runs at quick
+   scale, produces a non-empty table, and is findable by id. *)
+
+open Ssg_util
+open Ssg_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_registry () =
+  let ids = List.map (fun e -> e.Experiment.id) Experiment.all in
+  Alcotest.(check (list string)) "ids in presentation order"
+    [ "F1"; "F2"; "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10";
+      "E11"; "E12"; "A1" ]
+    ids;
+  check "find case-insensitive" true (Experiment.find "e9" <> None);
+  check "find unknown" true (Experiment.find "Z9" = None)
+
+let rendered_rows table =
+  (* headers + rule + at least one data row *)
+  List.length (String.split_on_char '\n' (Table.render table))
+
+let test_each_experiment_runs () =
+  List.iter
+    (fun e ->
+      let r = e.Experiment.run `Quick in
+      check (e.Experiment.id ^ " id matches") true (r.Experiment.id = e.Experiment.id);
+      check (e.Experiment.id ^ " has rows") true (rendered_rows r.Experiment.table > 3);
+      check (e.Experiment.id ^ " has notes") true (r.Experiment.notes <> []))
+    Experiment.all
+
+let test_run_and_render () =
+  match Experiment.find "E2" with
+  | None -> Alcotest.fail "E2 missing"
+  | Some e ->
+      let s = Experiment.run_and_render e `Quick in
+      check "mentions id" true (String.length s > 0 && String.sub s 0 5 = "== E2");
+      check "mentions artifact" true
+        (let needle = "Theorem 2" in
+         let nl = String.length needle in
+         let rec go i =
+           i + nl <= String.length s && (String.sub s i nl = needle || go (i + 1))
+         in
+         go 0)
+
+let test_determinism () =
+  (* Same experiment, same scale -> identical rendering (fixed seeds). *)
+  match Experiment.find "E1" with
+  | None -> Alcotest.fail "E1 missing"
+  | Some e ->
+      let a = Experiment.run_and_render e `Quick in
+      let b = Experiment.run_and_render e `Quick in
+      Alcotest.(check string) "deterministic" a b
+
+let test_figure1_experiment_content () =
+  match Experiment.find "F1" with
+  | None -> Alcotest.fail "F1 missing"
+  | Some e ->
+      let r = e.Experiment.run `Quick in
+      (* 6 rounds of p6's approximation *)
+      check_int "six data rows" 8 (rendered_rows r.Experiment.table - 1)
+
+let tests =
+  [
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "every experiment runs (quick)" `Slow
+      test_each_experiment_runs;
+    Alcotest.test_case "run_and_render" `Quick test_run_and_render;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "figure1 content" `Quick test_figure1_experiment_content;
+  ]

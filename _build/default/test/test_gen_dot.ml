@@ -1,0 +1,105 @@
+(* Tests for graph generators and DOT export. *)
+
+open Ssg_util
+open Ssg_graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let rng () = Rng.of_int 2024
+
+let test_gnp_self_loops () =
+  let g = Gen.gnp (rng ()) 10 0.3 in
+  check "self loops" true (Digraph.has_all_self_loops g)
+
+let test_gnp_extremes () =
+  let g0 = Gen.gnp (rng ()) 8 0.0 in
+  check_int "p=0: only loops" 8 (Digraph.edge_count g0);
+  let g1 = Gen.gnp (rng ()) 8 1.0 in
+  check_int "p=1: complete" 64 (Digraph.edge_count g1)
+
+let test_cycle_on () =
+  let g = Gen.cycle_on 6 [| 1; 3; 5 |] in
+  check "cycle edge" true (Digraph.mem_edge g 1 3);
+  check "wraps" true (Digraph.mem_edge g 5 1);
+  check "self loop on member" true (Digraph.mem_edge g 3 3);
+  check "non-member untouched" false (Digraph.mem_edge g 0 0);
+  check "sc on members" true
+    (Scc.is_strongly_connected ~nodes:(Bitset.of_list 6 [ 1; 3; 5 ]) g)
+
+let test_cycle_singleton () =
+  let g = Gen.cycle_on 4 [| 2 |] in
+  check_int "just the loop" 1 (Digraph.edge_count g)
+
+let test_strongly_connected_on () =
+  let nodes = Bitset.of_list 12 [ 0; 2; 4; 6; 8 ] in
+  for seed = 0 to 9 do
+    let g = Gen.strongly_connected_on (Rng.of_int seed) 12 nodes ~extra:0.4 in
+    check "sc" true (Scc.is_strongly_connected ~nodes g);
+    (* no edges outside the node set *)
+    Digraph.iter_edges g (fun p q ->
+        check "edges internal" true (Bitset.mem nodes p && Bitset.mem nodes q))
+  done
+
+let test_star () =
+  let g = Gen.star 5 ~center:2 in
+  check "center to all" true (Digraph.mem_edge g 2 0 && Digraph.mem_edge g 2 4);
+  check "self loops" true (Digraph.has_all_self_loops g);
+  check "no reverse" false (Digraph.mem_edge g 0 2)
+
+let test_self_loops_only () =
+  let g = Gen.self_loops_only 7 in
+  check_int "seven edges" 7 (Digraph.edge_count g);
+  check "loops" true (Digraph.has_all_self_loops g)
+
+let test_sprinkle () =
+  let base = Gen.self_loops_only 8 in
+  let g = Gen.sprinkle (rng ()) base 0.5 in
+  check "supergraph" true (Digraph.subgraph_of base g);
+  check "original untouched" true (Digraph.edge_count base = 8);
+  let g0 = Gen.sprinkle (rng ()) base 0.0 in
+  check "p=0 identity" true (Digraph.equal g0 base);
+  let g1 = Gen.sprinkle (rng ()) base 1.0 in
+  check_int "p=1 complete" 64 (Digraph.edge_count g1)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_dot_digraph () =
+  let g = Digraph.of_edges 3 [ (0, 1); (2, 2) ] in
+  let dot = Dot.of_digraph ~name:"T" g in
+  check "header" true (contains ~needle:"digraph \"T\"" dot);
+  check "edge p1->p2" true (contains ~needle:"p1 -> p2;" dot);
+  check "self loop omitted" false (contains ~needle:"p3 -> p3" dot);
+  let dot = Dot.of_digraph ~self_loops:true g in
+  check "self loop shown" true (contains ~needle:"p3 -> p3;" dot)
+
+let test_dot_lgraph () =
+  let g = Lgraph.create 3 ~self:0 in
+  Lgraph.set_edge g 1 0 ~label:4;
+  let dot = Dot.of_lgraph g in
+  check "labelled edge" true (contains ~needle:"p2 -> p1 [label=\"4\"];" dot)
+
+let test_dot_components () =
+  let g = Digraph.of_edges 4 [ (0, 1); (1, 0); (2, 3) ] in
+  let dot =
+    Dot.of_digraph_with_components g [ Bitset.of_list 4 [ 0; 1 ] ]
+  in
+  check "cluster" true (contains ~needle:"subgraph cluster_0" dot);
+  check "member" true (contains ~needle:"p1;" dot)
+
+let tests =
+  [
+    Alcotest.test_case "gnp self loops" `Quick test_gnp_self_loops;
+    Alcotest.test_case "gnp extremes" `Quick test_gnp_extremes;
+    Alcotest.test_case "cycle_on" `Quick test_cycle_on;
+    Alcotest.test_case "cycle singleton" `Quick test_cycle_singleton;
+    Alcotest.test_case "strongly_connected_on" `Quick test_strongly_connected_on;
+    Alcotest.test_case "star" `Quick test_star;
+    Alcotest.test_case "self_loops_only" `Quick test_self_loops_only;
+    Alcotest.test_case "sprinkle" `Quick test_sprinkle;
+    Alcotest.test_case "dot digraph" `Quick test_dot_digraph;
+    Alcotest.test_case "dot lgraph" `Quick test_dot_lgraph;
+    Alcotest.test_case "dot components" `Quick test_dot_components;
+  ]

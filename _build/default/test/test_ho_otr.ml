@@ -1,0 +1,232 @@
+(* Tests for per-round HO predicates and the One-Third-Rule baseline. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_rounds
+open Ssg_predicates
+open Ssg_adversary
+open Ssg_baselines
+open Ssg_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- HO predicates --- *)
+
+let complete n = Digraph.complete ~self_loops:true n
+
+let test_ho_on_complete () =
+  let g = complete 5 in
+  check "no_split" true (Ho_predicate.no_split g);
+  check "uniform" true (Ho_predicate.uniform g);
+  check "majority" true (Ho_predicate.majority g);
+  check "two_thirds" true (Ho_predicate.two_thirds g);
+  check "kernel" true (Ho_predicate.nonempty_kernel g);
+  check "space_uniform" true (Ho_predicate.space_uniform g)
+
+let test_ho_on_self_loops () =
+  let g = Gen.self_loops_only 4 in
+  check "split" false (Ho_predicate.no_split g);
+  check "not uniform" false (Ho_predicate.uniform g);
+  check "no majority" false (Ho_predicate.majority g);
+  check "no kernel" false (Ho_predicate.nonempty_kernel g)
+
+let test_ho_star_kernel () =
+  (* star: everyone hears {center, self} *)
+  let g = Gen.star 5 ~center:2 in
+  check "kernel is the center" true (Ho_predicate.nonempty_kernel g);
+  check "no_split via center" true (Ho_predicate.no_split g);
+  check "not uniform (self differs)" false (Ho_predicate.uniform g);
+  check "no majority (only 2 heard)" false (Ho_predicate.majority g)
+
+let test_ho_uniform_but_partial () =
+  (* everyone hears exactly {0, 1}: uniform without being complete *)
+  let g = Digraph.create 4 in
+  for q = 0 to 3 do
+    Digraph.add_edge g 0 q;
+    Digraph.add_edge g 1 q
+  done;
+  check "uniform" true (Ho_predicate.uniform g);
+  check "not space_uniform" false (Ho_predicate.space_uniform g);
+  check "no_split" true (Ho_predicate.no_split g);
+  check "majority fails (2 of 4)" false (Ho_predicate.majority g)
+
+let test_ho_two_thirds_boundary () =
+  (* n = 3: hearing 2 of 3 processes is not > 2n/3; hearing 3 is *)
+  let g2 = Digraph.create 3 in
+  for q = 0 to 2 do
+    Digraph.add_edge g2 q q;
+    Digraph.add_edge g2 ((q + 1) mod 3) q
+  done;
+  check "2 of 3 insufficient" false (Ho_predicate.two_thirds g2);
+  check "3 of 3 sufficient" true (Ho_predicate.two_thirds (complete 3))
+
+let test_ho_trace_helpers () =
+  let t =
+    Trace.make [| Gen.self_loops_only 3; complete 3; complete 3 |]
+  in
+  check_int "count" 2 (Ho_predicate.count t Ho_predicate.space_uniform);
+  check "eventually forever" true
+    (Ho_predicate.eventually_forever t Ho_predicate.space_uniform);
+  let t2 = Trace.make [| complete 3; Gen.self_loops_only 3 |] in
+  check "not eventually forever (bad suffix)" false
+    (Ho_predicate.eventually_forever t2 Ho_predicate.space_uniform)
+
+(* --- One-Third Rule --- *)
+
+let test_otr_synchronous () =
+  let adv = Build.synchronous ~n:7 in
+  let r = Runner.run_packed One_third_rule.packed ~rounds:5 adv in
+  check "terminates" true (Metrics.termination r.Runner.outcome);
+  Alcotest.(check (list int)) "consensus on min" [ 0 ]
+    (Executor.decision_values r.Runner.outcome);
+  (* everyone adopts the min in round 1, decides in round 2 *)
+  Alcotest.(check (option int)) "two rounds" (Some 2)
+    (Metrics.last_decision_round r.Runner.outcome)
+
+let test_otr_safe_never_disagrees () =
+  (* Agreement holds under every communication pattern, even hostile
+     ones — the mirror image of FloodMin. *)
+  let rng = Rng.of_int 21 in
+  for _ = 1 to 80 do
+    let n = 4 + Rng.int rng 8 in
+    let adv =
+      match Rng.int rng 4 with
+      | 0 -> Build.partitioned rng ~n ~blocks:(1 + Rng.int rng 3) ()
+      | 1 -> Build.arbitrary rng ~n ~density:(Rng.float rng) ~prefix_len:(Rng.int rng 5) ()
+      | 2 -> Build.lower_bound ~n ~k:(1 + Rng.int rng (n - 1))
+      | _ -> Build.block_sources rng ~n ~k:(1 + Rng.int rng (n - 1)) ~prefix_len:(Rng.int rng 4) ()
+    in
+    let r = Runner.run_packed One_third_rule.packed ~rounds:(3 * n) adv in
+    check "agreement (<= 1 value)" true
+      (Metrics.distinct_decisions r.Runner.outcome <= 1);
+    check "validity" true
+      (Metrics.validity ~inputs:r.Runner.inputs r.Runner.outcome)
+  done
+
+let test_otr_no_liveness_in_partitions () =
+  (* Islands of <= 2n/3 processes never pass the threshold: no decision,
+     rather than a wrong one. *)
+  let rng = Rng.of_int 22 in
+  let adv = Build.partitioned rng ~n:9 ~blocks:3 () in
+  let r = Runner.run_packed One_third_rule.packed ~rounds:40 adv in
+  check_int "nobody decides" 0
+    (Array.fold_left
+       (fun acc d -> if d <> None then acc + 1 else acc)
+       0 r.Runner.outcome.Executor.decisions)
+
+let test_otr_liveness_after_good_rounds () =
+  (* Chaotic prefix, then synchronous forever: decides shortly after. *)
+  let rng = Rng.of_int 23 in
+  let base = Build.synchronous ~n:6 in
+  let chaotic =
+    Array.init 5 (fun _ -> Gen.gnp rng 6 0.3)
+  in
+  let adv =
+    Adversary.make ~name:"chaos-then-sync" ~prefix:chaotic
+      ~stable:(Digraph.complete ~self_loops:true 6)
+  in
+  ignore base;
+  let r = Runner.run_packed One_third_rule.packed ~rounds:12 adv in
+  check "eventually decides" true (Metrics.termination r.Runner.outcome);
+  check "consensus" true (Metrics.distinct_decisions r.Runner.outcome = 1)
+
+let test_otr_tie_break () =
+  (* Tie between two values: the smaller must win the estimate update.
+     2 processes each propose a distinct value and hear both: both adopt
+     the smaller, then decide it. *)
+  let adv = Build.synchronous ~n:2 in
+  let r =
+    Runner.run_packed One_third_rule.packed ~inputs:[| 9; 4 |] ~rounds:4 adv
+  in
+  Alcotest.(check (list int)) "smaller wins" [ 4 ]
+    (Executor.decision_values r.Runner.outcome)
+
+(* --- UniformVoting --- *)
+
+let test_uv_synchronous () =
+  (* phase 1 equalizes estimates, phase 2 decides: round 4. *)
+  let adv = Build.synchronous ~n:6 in
+  let r = Runner.run_packed Uniform_voting.packed ~rounds:8 adv in
+  check "terminates" true (Metrics.termination r.Runner.outcome);
+  Alcotest.(check (list int)) "consensus on min" [ 0 ]
+    (Executor.decision_values r.Runner.outcome);
+  Alcotest.(check (option int)) "round 4" (Some 4)
+    (Metrics.last_decision_round r.Runner.outcome)
+
+let test_uv_safe_under_rotating_kernel () =
+  (* every round has a kernel -> no-split -> agreement, regardless of the
+     extra noise; liveness is not guaranteed there and not asserted. *)
+  let rng = Rng.of_int 31 in
+  for _ = 1 to 30 do
+    let n = 3 + Rng.int rng 7 in
+    let adv = Build.rotating_kernel rng ~n ~extra:(Rng.float rng *. 0.5) in
+    let r = Runner.run_packed Uniform_voting.packed ~rounds:(4 * n) adv in
+    check "agreement under no-split" true
+      (Metrics.distinct_decisions r.Runner.outcome <= 1);
+    check "validity" true
+      (Metrics.validity ~inputs:r.Runner.inputs r.Runner.outcome)
+  done
+
+let test_uv_needs_no_split () =
+  (* True partitions violate no-split; each island is internally
+     unanimous, so UniformVoting decides one value per island — the
+     documented failure mode outside its predicate. *)
+  let rng = Rng.of_int 32 in
+  let adv = Build.partitioned rng ~n:8 ~blocks:2 () in
+  let r = Runner.run_packed Uniform_voting.packed ~rounds:30 adv in
+  check "two values under split rounds" true
+    (Metrics.distinct_decisions r.Runner.outcome = 2)
+
+let test_uv_liveness_after_uniform_phase () =
+  (* chaos, then synchronous forever: decides within two phases. *)
+  let rng = Rng.of_int 33 in
+  let chaotic = Array.init 6 (fun _ -> Gen.gnp rng 5 0.4) in
+  let adv =
+    Adversary.make ~name:"chaos-then-sync" ~prefix:chaotic
+      ~stable:(Digraph.complete ~self_loops:true 5)
+  in
+  let r = Runner.run_packed Uniform_voting.packed ~rounds:14 adv in
+  check "decides" true (Metrics.termination r.Runner.outcome);
+  check "consensus" true (Metrics.distinct_decisions r.Runner.outcome = 1)
+
+let test_rotating_kernel_properties () =
+  let rng = Rng.of_int 34 in
+  let adv = Build.rotating_kernel rng ~n:5 ~extra:0.3 in
+  (* every round graph has a nonempty kernel (no-split holds) *)
+  for r = 1 to 12 do
+    let g = Adversary.graph adv r in
+    check "kernel each round" true (Ho_predicate.nonempty_kernel g);
+    check "no split each round" true (Ho_predicate.no_split g)
+  done;
+  (* but the perpetual skeleton is only the self-loops: min_k = n *)
+  check "skeleton collapses" true
+    (Digraph.equal (Adversary.stable_skeleton adv) (Gen.self_loops_only 5));
+  let t = Adversary.trace adv ~rounds:20 in
+  check "trace agrees" true
+    (Digraph.equal (Ssg_skeleton.Skeleton.final t) (Gen.self_loops_only 5))
+
+let tests =
+  [
+    Alcotest.test_case "HO predicates on complete" `Quick test_ho_on_complete;
+    Alcotest.test_case "HO predicates on self-loops" `Quick test_ho_on_self_loops;
+    Alcotest.test_case "HO star kernel" `Quick test_ho_star_kernel;
+    Alcotest.test_case "HO uniform but partial" `Quick test_ho_uniform_but_partial;
+    Alcotest.test_case "HO two-thirds boundary" `Quick test_ho_two_thirds_boundary;
+    Alcotest.test_case "HO trace helpers" `Quick test_ho_trace_helpers;
+    Alcotest.test_case "OTR synchronous" `Quick test_otr_synchronous;
+    Alcotest.test_case "OTR safety everywhere" `Quick test_otr_safe_never_disagrees;
+    Alcotest.test_case "OTR stalls in partitions" `Quick
+      test_otr_no_liveness_in_partitions;
+    Alcotest.test_case "OTR liveness after good rounds" `Quick
+      test_otr_liveness_after_good_rounds;
+    Alcotest.test_case "OTR tie break" `Quick test_otr_tie_break;
+    Alcotest.test_case "UV synchronous" `Quick test_uv_synchronous;
+    Alcotest.test_case "UV safe under rotating kernel" `Quick
+      test_uv_safe_under_rotating_kernel;
+    Alcotest.test_case "UV needs no-split" `Quick test_uv_needs_no_split;
+    Alcotest.test_case "UV liveness after uniform phase" `Quick
+      test_uv_liveness_after_uniform_phase;
+    Alcotest.test_case "rotating kernel properties" `Quick
+      test_rotating_kernel_properties;
+  ]

@@ -1,0 +1,414 @@
+(* End-to-end tests of Algorithm 1: the k-set agreement properties
+   (Theorem 16), the root-component bound (Theorem 1), the tightness run
+   (Theorem 2), termination bounds (Lemma 11), and the consensus remark of
+   Section V. *)
+
+open Ssg_util
+open Ssg_rounds
+open Ssg_skeleton
+open Ssg_adversary
+open Ssg_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* One generated adversary per invocation, spanning the generator zoo. *)
+let random_adversary rng =
+  let n = 4 + Rng.int rng 9 in
+  match Rng.int rng 6 with
+  | 0 ->
+      let k = 1 + Rng.int rng (n - 1) in
+      Build.block_sources rng ~n ~k ~prefix_len:(Rng.int rng 5)
+        ~noise:(Rng.float rng *. 0.5) ()
+  | 1 -> Build.partitioned rng ~n ~blocks:(1 + Rng.int rng 3)
+        ~prefix_len:(Rng.int rng 4) ()
+  | 2 -> Build.single_root rng ~n ~prefix_len:(Rng.int rng 4) ()
+  | 3 -> Build.arbitrary rng ~n ~density:(0.1 +. (Rng.float rng *. 0.4))
+        ~prefix_len:(Rng.int rng 5) ~noise:0.4 ()
+  | 4 -> Build.lower_bound ~n ~k:(1 + Rng.int rng (n - 1))
+  | _ ->
+      Build.with_recurrent_noise rng
+        (Build.partitioned rng ~n ~blocks:(1 + Rng.int rng 3) ())
+        ~noise:(Rng.float rng *. 0.3)
+
+let test_theorem16_properties () =
+  (* Validity and Termination hold across the whole zoo; k-Agreement at
+     the run's exact min_k holds for the paper's rule too in all but the
+     rare noisy-prefix runs of the Theorem 16 gap (see the dedicated gap
+     test below), which these seeds do not hit. *)
+  let rng = Rng.of_int 1001 in
+  for i = 1 to 120 do
+    let adv = random_adversary rng in
+    let r = Runner.run_kset adv in
+    let v = Metrics.verdict ~k:r.Runner.min_k r in
+    check (Printf.sprintf "run %d (%s) agreement" i r.Runner.adversary) true
+      v.Metrics.agreement;
+    check (Printf.sprintf "run %d validity" i) true v.Metrics.validity;
+    check (Printf.sprintf "run %d termination" i) true v.Metrics.termination
+  done
+
+let test_theorem16_clean_runs () =
+  (* On runs whose skeleton is stable from round 1 the paper's proof is
+     airtight, and so is the implementation: agreement at min_k always. *)
+  let rng = Rng.of_int 1021 in
+  for _ = 1 to 80 do
+    let n = 4 + Rng.int rng 9 in
+    let adv =
+      match Rng.int rng 4 with
+      | 0 -> Build.block_sources rng ~n ~k:(1 + Rng.int rng (n - 1)) ()
+      | 1 -> Build.partitioned rng ~n ~blocks:(1 + Rng.int rng 3) ()
+      | 2 -> Build.lower_bound ~n ~k:(1 + Rng.int rng (n - 1))
+      | _ ->
+          Build.with_recurrent_noise rng
+            (Build.partitioned rng ~n ~blocks:(1 + Rng.int rng 3) ())
+            ~noise:(Rng.float rng *. 0.3)
+    in
+    let r = Runner.run_kset adv in
+    check "clean-run agreement" true
+      (Metrics.k_agreement ~k:r.Runner.min_k r.Runner.outcome)
+  done
+
+let test_repaired_rule_on_zoo () =
+  (* The confirm-n decision rule holds k-agreement across the full zoo,
+     including noisy prefixes. *)
+  let rng = Rng.of_int 1022 in
+  for _ = 1 to 80 do
+    let adv = random_adversary rng in
+    let n = Adversary.n adv in
+    let v = Ssg_core.Kset_agreement.make_alg ~confirm_rounds:n () in
+    let rounds = Adversary.prefix_length adv + (3 * n) + 4 in
+    let r = Runner.run_kset ~variant:v ~rounds adv in
+    check "repaired agreement" true
+      (Metrics.k_agreement ~k:r.Runner.min_k r.Runner.outcome);
+    check "repaired termination" true (Metrics.termination r.Runner.outcome)
+  done
+
+let test_theorem16_gap_counterexample () =
+  (* Deterministically hunt a run on which the paper's rule exceeds
+     min_k (it exists: stale labels can certify a strongly connected
+     G_p during the n rounds after a noisy prefix dies), then check that
+     the n-round confirmation repairs that exact run. *)
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < 3000 do
+    let rng = Rng.of_int (424242 + !i) in
+    let n = 6 + Rng.int rng 4 in
+    let adv =
+      Build.block_sources rng ~n ~k:(1 + Rng.int rng 2)
+        ~prefix_len:(2 + Rng.int rng 3) ~noise:0.5 ()
+    in
+    let mk = Adversary.min_k adv in
+    let r = Runner.run_kset adv in
+    if Metrics.distinct_decisions r.Runner.outcome > mk then
+      found := Some (adv, mk);
+    incr i
+  done;
+  match !found with
+  | None ->
+      Alcotest.fail
+        "no Theorem 16 counterexample found in 3000 runs (rule changed?)"
+  | Some (adv, mk) ->
+      let n = Adversary.n adv in
+      let v = Ssg_core.Kset_agreement.make_alg ~confirm_rounds:n () in
+      let rounds = Adversary.prefix_length adv + (3 * n) + 4 in
+      let r = Runner.run_kset ~variant:v ~rounds adv in
+      check "repaired rule fixes the counterexample" true
+        (Metrics.distinct_decisions r.Runner.outcome <= mk);
+      check "repaired termination on the counterexample" true
+        (Metrics.termination r.Runner.outcome)
+
+let test_monitored_runs_clean () =
+  (* The lemma monitors stay silent on the paper's algorithm, across the
+     zoo (approximation correct under any predicate). *)
+  let rng = Rng.of_int 1002 in
+  for i = 1 to 40 do
+    let adv = random_adversary rng in
+    let r = Runner.run_kset ~monitor:true adv in
+    Alcotest.(check (list string))
+      (Printf.sprintf "run %d (%s) monitors" i r.Runner.adversary)
+      [] r.Runner.violations
+  done
+
+let test_theorem1_root_bound () =
+  (* Theorem 1: at most k = min_k root components, in every run. *)
+  let rng = Rng.of_int 1003 in
+  for _ = 1 to 100 do
+    let adv = random_adversary rng in
+    let r = Runner.run_kset adv in
+    let distinct, roots = Metrics.decisions_per_root r in
+    check "roots <= min_k" true (roots <= r.Runner.min_k);
+    check "decisions <= min_k" true (distinct <= r.Runner.min_k)
+  done
+
+let test_decisions_bounded_by_roots_in_stable_runs () =
+  (* The Section V one-to-one correspondence between decision values and
+     root components.  It provably holds when the skeleton never shrinks
+     (stabilization round 1): then every strongly connected approximation
+     reflects true components.  (For runs with r_ST >= 2 it can fail — see
+     the counterexample test below.) *)
+  let rng = Rng.of_int 1013 in
+  for _ = 1 to 60 do
+    let n = 4 + Rng.int rng 9 in
+    let adv =
+      match Rng.int rng 3 with
+      | 0 -> Build.block_sources rng ~n ~k:(1 + Rng.int rng (n - 1)) ()
+      | 1 -> Build.partitioned rng ~n ~blocks:(1 + Rng.int rng 3) ()
+      | _ -> Build.single_root rng ~n ()
+    in
+    let r = Runner.run_kset adv in
+    let distinct, roots = Metrics.decisions_per_root r in
+    check "decisions <= roots (clean run)" true (distinct <= roots)
+  done
+
+let test_one_per_root_can_fail_with_late_stabilization () =
+  (* Documented reproduction finding: with pre-stabilization noise, stale
+     labels survive purging until ~r_ST + n, so a process can pass the
+     Line 28 test on a transiently-certified component and decide a value
+     that is no root component's outcome.  The count can then exceed the
+     number of root components — though never min_k in any run we have
+     found (Theorem 16's actual statement).  This pins the behaviour down
+     so any future change is noticed. *)
+  let rng = Rng.of_int 1006 in
+  let exceeded = ref false in
+  for _ = 1 to 40 do
+    let adv =
+      Build.single_root rng ~n:(3 + Rng.int rng 10)
+        ~prefix_len:(Rng.int rng 4) ()
+    in
+    let r = Runner.run_kset adv in
+    let distinct, roots = Metrics.decisions_per_root r in
+    if distinct > roots then exceeded := true;
+    check "still within min_k" true (distinct <= r.Runner.min_k)
+  done;
+  check "counterexample to one-per-root exists" true !exceeded
+
+let test_theorem2_tightness () =
+  (* The lower-bound run: Psrcs(k) holds, yet exactly k distinct values
+     are decided (so no algorithm can guarantee k-1). *)
+  List.iter
+    (fun (n, k) ->
+      let adv = Build.lower_bound ~n ~k in
+      check "psrcs(k)" true (Adversary.psrcs adv ~k);
+      let r = Runner.run_kset adv in
+      check_int
+        (Printf.sprintf "exactly k=%d values (n=%d)" k n)
+        k
+        (Metrics.distinct_decisions r.Runner.outcome);
+      (* the lonely processes and s must decide their own values *)
+      Array.iteri
+        (fun p d ->
+          match d with
+          | Some { Executor.value; _ } when p < k ->
+              check_int "loner decides own input" r.Runner.inputs.(p) value
+          | _ -> ())
+        r.Runner.outcome.Executor.decisions)
+    [ (4, 2); (6, 3); (8, 3); (12, 6); (6, 1) ]
+
+let test_lemma11_termination_bound () =
+  (* Every process decides by r_ST + 2n - 1, where r_ST is the actual
+     stabilization round of the executed trace. *)
+  let rng = Rng.of_int 1004 in
+  for _ = 1 to 60 do
+    let adv = random_adversary rng in
+    let n = Adversary.n adv in
+    let r = Runner.run_kset adv in
+    let horizon = Runner.default_rounds adv in
+    let trace = Adversary.trace adv ~rounds:horizon in
+    let rst = Skeleton.stabilization_round trace in
+    match Metrics.last_decision_round r.Runner.outcome with
+    | Some last ->
+        check
+          (Printf.sprintf "last=%d <= rst=%d + 2n-1 (n=%d)" last rst n)
+          true
+          (last <= rst + (2 * n) - 1)
+    | None -> Alcotest.fail "no decision"
+  done
+
+let test_root_members_decide_by_rst_plus_n () =
+  (* Root-component members decide via Line 29 by r_ST + n - 1. *)
+  let rng = Rng.of_int 1005 in
+  for _ = 1 to 40 do
+    let adv = random_adversary rng in
+    let n = Adversary.n adv in
+    let r = Runner.run_kset adv in
+    let trace = Adversary.trace adv ~rounds:(Runner.default_rounds adv) in
+    let rst = Skeleton.stabilization_round trace in
+    Array.iteri
+      (fun p d ->
+        if Ssg_skeleton.Analysis.is_root r.Runner.analysis p then
+          match d with
+          | Some { Executor.round; _ } ->
+              check "root decides by rst+n-1" true (round <= rst + n - 1)
+          | None -> Alcotest.fail "root member undecided")
+      r.Runner.outcome.Executor.decisions
+  done
+
+let test_consensus_in_single_root_runs () =
+  (* Section V: the algorithm solves consensus in sufficiently
+     well-behaved runs — single root component and a skeleton that is
+     stable from round 1. *)
+  let rng = Rng.of_int 1014 in
+  for _ = 1 to 40 do
+    let adv = Build.single_root rng ~n:(3 + Rng.int rng 10) () in
+    let r = Runner.run_kset adv in
+    check_int "one value" 1 (Metrics.distinct_decisions r.Runner.outcome)
+  done
+
+let test_synchronous_consensus () =
+  let adv = Build.synchronous ~n:8 in
+  let r = Runner.run_kset adv in
+  check_int "one value" 1 (Metrics.distinct_decisions r.Runner.outcome);
+  Alcotest.(check (list int)) "global min wins" [ 0 ]
+    (Executor.decision_values r.Runner.outcome)
+
+let test_partitioned_one_value_per_island () =
+  (* Partitionable-system motivation: each island reaches internal
+     consensus. *)
+  let rng = Rng.of_int 1007 in
+  for _ = 1 to 20 do
+    let blocks = 2 + Rng.int rng 3 in
+    let n = blocks * (2 + Rng.int rng 3) in
+    let adv = Build.partitioned rng ~n ~blocks () in
+    let r = Runner.run_kset adv in
+    check_int "one value per island" blocks
+      (Metrics.distinct_decisions r.Runner.outcome);
+    (* and each island's value is its own minimum *)
+    let skel = r.Runner.skeleton in
+    let a = Ssg_skeleton.Analysis.analyze skel in
+    Array.iteri
+      (fun p d ->
+        match d with
+        | Some { Executor.value; _ } ->
+            let island = Ssg_skeleton.Analysis.component_of a p in
+            let island_min =
+              Ssg_util.Bitset.fold (fun q m -> min q m) island max_int
+            in
+            check_int "island min" island_min value
+        | None -> Alcotest.fail "undecided")
+      r.Runner.outcome.Executor.decisions
+  done
+
+let test_isolation_decides_own_values () =
+  (* One isolated round forever destroys perpetual timeliness: every
+     process becomes its own root and decides its own input (the ♦Psrcs
+     discussion of Section III). *)
+  let rng = Rng.of_int 1008 in
+  let base = Build.block_sources rng ~n:7 ~k:2 () in
+  let adv = Build.isolated_prefix base ~rounds:1 in
+  let r = Runner.run_kset adv in
+  check_int "n values" 7 (Metrics.distinct_decisions r.Runner.outcome);
+  check_int "min_k = n" 7 r.Runner.min_k;
+  check "still k-agreement at the run's own k" true
+    (Metrics.k_agreement ~k:r.Runner.min_k r.Runner.outcome)
+
+let test_decisions_are_root_minima () =
+  (* In runs stable from round 1 (with distinct identity inputs), every
+     decided value is the minimum input of some root component. *)
+  let rng = Rng.of_int 1009 in
+  for _ = 1 to 40 do
+    let n = 4 + Rng.int rng 9 in
+    let adv =
+      match Rng.int rng 3 with
+      | 0 -> Build.block_sources rng ~n ~k:(1 + Rng.int rng (n - 1)) ()
+      | 1 -> Build.partitioned rng ~n ~blocks:(1 + Rng.int rng 3) ()
+      | _ -> Build.lower_bound ~n ~k:(1 + Rng.int rng (n - 1))
+    in
+    let r = Runner.run_kset adv in
+    let root_minima =
+      List.map
+        (fun root -> Ssg_util.Bitset.fold (fun q m -> min q m) root max_int)
+        (Ssg_skeleton.Analysis.roots r.Runner.analysis)
+    in
+    List.iter
+      (fun v -> check "decision is a root minimum" true (List.mem v root_minima))
+      (Executor.decision_values r.Runner.outcome)
+  done
+
+let test_permuted_inputs_validity () =
+  (* With arbitrary (shuffled, duplicated) inputs, validity still holds
+     and values decided are proposals. *)
+  let rng = Rng.of_int 1010 in
+  for _ = 1 to 30 do
+    let adv = random_adversary rng in
+    let n = Adversary.n adv in
+    let inputs = Array.init n (fun _ -> Rng.int rng 5) in
+    let r = Runner.run_kset ~inputs adv in
+    check "validity" true (Metrics.validity ~inputs r.Runner.outcome);
+    check "termination" true (Metrics.termination r.Runner.outcome)
+  done
+
+let test_all_same_input_consensus () =
+  (* If everyone proposes v, everyone decides v — follows from validity,
+     checked directly. *)
+  let rng = Rng.of_int 1011 in
+  let adv = Build.partitioned rng ~n:9 ~blocks:3 () in
+  let r = Runner.run_kset ~inputs:(Array.make 9 7) adv in
+  Alcotest.(check (list int)) "only 7" [ 7 ]
+    (Executor.decision_values r.Runner.outcome)
+
+let test_confirm_rounds_validation () =
+  check "confirm_rounds 0 rejected" true
+    (try
+       ignore (Ssg_core.Kset_agreement.make_alg ~confirm_rounds:0 ());
+       false
+     with Invalid_argument _ -> true);
+  (* confirm_rounds = 1 is byte-for-byte the paper's rule *)
+  let adv = Build.lower_bound ~n:6 ~k:2 in
+  let v1 = Ssg_core.Kset_agreement.make_alg ~confirm_rounds:1 () in
+  let a = Runner.run_kset adv and b = Runner.run_kset ~variant:v1 adv in
+  check "confirm=1 = paper" true
+    (a.Runner.outcome.Executor.decisions = b.Runner.outcome.Executor.decisions)
+
+let test_message_bits_polynomial () =
+  (* Sanity: the largest message is O(n^2 log n) bits, not exponential. *)
+  List.iter
+    (fun n ->
+      let adv = Build.synchronous ~n in
+      let r = Runner.run_kset adv in
+      let bound = 1 + 32 + (n * 6 * n) + (n * n * (12 * 8)) in
+      check
+        (Printf.sprintf "n=%d max message %d < crude O(n^2 log n) bound %d" n
+           r.Runner.outcome.Executor.max_message_bits bound)
+        true
+        (r.Runner.outcome.Executor.max_message_bits < bound))
+    [ 4; 8; 16; 32 ]
+
+let tests =
+  [
+    Alcotest.test_case "Theorem 16: agreement/validity/termination" `Slow
+      test_theorem16_properties;
+    Alcotest.test_case "Theorem 16 on clean runs" `Slow
+      test_theorem16_clean_runs;
+    Alcotest.test_case "repaired rule on the zoo" `Slow
+      test_repaired_rule_on_zoo;
+    Alcotest.test_case "Theorem 16 gap: counterexample exists and repair works"
+      `Slow test_theorem16_gap_counterexample;
+    Alcotest.test_case "monitored runs clean" `Slow test_monitored_runs_clean;
+    Alcotest.test_case "Theorem 1: roots <= k; decisions <= k" `Slow
+      test_theorem1_root_bound;
+    Alcotest.test_case "decisions <= roots in stable runs" `Slow
+      test_decisions_bounded_by_roots_in_stable_runs;
+    Alcotest.test_case "one-per-root counterexample (r_ST >= 2)" `Quick
+      test_one_per_root_can_fail_with_late_stabilization;
+    Alcotest.test_case "Theorem 2: tightness" `Quick test_theorem2_tightness;
+    Alcotest.test_case "Lemma 11: termination bound" `Slow
+      test_lemma11_termination_bound;
+    Alcotest.test_case "root members decide by rst+n-1" `Slow
+      test_root_members_decide_by_rst_plus_n;
+    Alcotest.test_case "consensus in single-root runs" `Quick
+      test_consensus_in_single_root_runs;
+    Alcotest.test_case "synchronous consensus" `Quick test_synchronous_consensus;
+    Alcotest.test_case "partitioned islands" `Quick
+      test_partitioned_one_value_per_island;
+    Alcotest.test_case "isolation forces own values" `Quick
+      test_isolation_decides_own_values;
+    Alcotest.test_case "decisions are root minima" `Quick
+      test_decisions_are_root_minima;
+    Alcotest.test_case "validity under arbitrary inputs" `Quick
+      test_permuted_inputs_validity;
+    Alcotest.test_case "uniform inputs" `Quick test_all_same_input_consensus;
+    Alcotest.test_case "confirm_rounds validation" `Quick
+      test_confirm_rounds_validation;
+    Alcotest.test_case "message bits polynomial" `Quick
+      test_message_bits_polynomial;
+  ]

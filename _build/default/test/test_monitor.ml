@@ -1,0 +1,141 @@
+(* Tests for the lemma monitors: silent on the real algorithm, loud on
+   injected faults. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_adversary
+open Ssg_core
+open Ssg_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_clean_on_paper_algorithm () =
+  let adv = Build.figure1 () in
+  let r = Runner.run_kset ~monitor:true adv in
+  Alcotest.(check (list string)) "no violations" [] r.Runner.violations
+
+let test_detects_missing_purge () =
+  let rng = Rng.of_int 1 in
+  let adv = Build.block_sources rng ~n:8 ~k:2 ~prefix_len:3 ~noise:0.5 () in
+  let v = Kset_agreement.make_alg ~enable_purge:false () in
+  let r = Runner.run_kset ~variant:v ~monitor:true adv in
+  check "violations found" true (r.Runner.violations <> []);
+  check "mentions Obs1 or Lemma7" true
+    (List.exists
+       (fun s ->
+         let has needle =
+           let nl = String.length needle and hl = String.length s in
+           let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
+           go 0
+         in
+         has "Obs1" || has "Lemma7")
+       r.Runner.violations)
+
+let test_detects_missing_prune_nontermination () =
+  (* Without Line 25, transient foreign nodes stay in G_p forever, the
+     graph never turns strongly connected, and nobody decides. *)
+  let rng = Rng.of_int 2 in
+  let adv = Build.partitioned rng ~n:8 ~blocks:2 ~prefix_len:3 ~noise:0.4 () in
+  let v = Kset_agreement.make_alg ~enable_prune:false () in
+  let r = Runner.run_kset ~variant:v ~rounds:80 adv in
+  check "termination lost" false (Metrics.termination r.Runner.outcome);
+  (* and the paper's algorithm terminates on the same run *)
+  let r = Runner.run_kset adv in
+  check "paper terminates" true (Metrics.termination r.Runner.outcome)
+
+let test_monitor_detects_forged_view () =
+  (* Feed the monitor views that lie about PT: Lemma 3 must fire. *)
+  let n = 3 in
+  let m = Monitor.create ~n in
+  let graph = Digraph.complete ~self_loops:true n in
+  let views =
+    Array.init n (fun self ->
+        let g = Lgraph.create n ~self in
+        (* claim an empty PT although the graph was complete *)
+        { Monitor.pt = Bitset.of_list n [ self ]; approx = g })
+  in
+  Monitor.observe m ~round:1 ~graph views;
+  check "lemma3 fired" true (Monitor.violations m <> []);
+  check "not ok" false (Monitor.ok m)
+
+let test_monitor_detects_fabricated_edge () =
+  (* An edge that was never timely violates Lemma 6. *)
+  let n = 3 in
+  let m = Monitor.create ~n in
+  let graph = Gen.self_loops_only n in
+  let views =
+    Array.init n (fun self ->
+        let g = Lgraph.create n ~self in
+        Lgraph.set_edge g self self ~label:1;
+        if self = 0 then Lgraph.set_edge g 1 2 ~label:1;
+        { Monitor.pt = Bitset.of_list n [ self ]; approx = g })
+  in
+  Monitor.observe m ~round:1 ~graph views;
+  check "lemma6 fired" true
+    (List.exists
+       (fun s ->
+         let nl = "Lemma6" in
+         let rec go i =
+           i + String.length nl <= String.length s
+           && (String.sub s i (String.length nl) = nl || go (i + 1))
+         in
+         go 0)
+       (Monitor.violations m))
+
+let test_monitor_round_sequencing () =
+  let m = Monitor.create ~n:2 in
+  check "round 2 first rejected" true
+    (try
+       Monitor.observe m ~round:2 ~graph:(Gen.self_loops_only 2) [||];
+       false
+     with Invalid_argument _ -> true)
+
+let test_finalize_empty_run () =
+  let m = Monitor.create ~n:2 in
+  Alcotest.(check (list string)) "nothing to report" [] (Monitor.finalize m)
+
+let test_violation_cap () =
+  (* Hundreds of injected faults are capped with a suppression note. *)
+  let n = 4 in
+  let m = Monitor.create ~n in
+  let graph = Gen.self_loops_only n in
+  for r = 1 to 100 do
+    let views =
+      Array.init n (fun self ->
+          let g = Lgraph.create n ~self in
+          Lgraph.set_edge g self self ~label:(max 1 r);
+          (* lie about PT every round: 4 violations a round *)
+          { Monitor.pt = Bitset.full n; approx = g })
+    in
+    Monitor.observe m ~round:r ~graph views
+  done;
+  let v = Monitor.finalize m in
+  check "capped" true (List.length v <= 201);
+  check "suppression notice present" true
+    (List.exists
+       (fun s -> String.length s > 0 && s.[0] = '(')
+       v)
+
+let test_view_of_kset () =
+  let adv = Build.synchronous ~n:3 in
+  let r = Runner.run_kset ~monitor:true adv in
+  (* indirect: monitored run of the synchronous adversary stays clean *)
+  Alcotest.(check (list string)) "clean" [] r.Runner.violations;
+  check_int "n" 3 r.Runner.n
+
+let tests =
+  [
+    Alcotest.test_case "clean on paper algorithm" `Quick
+      test_clean_on_paper_algorithm;
+    Alcotest.test_case "detects missing purge" `Quick test_detects_missing_purge;
+    Alcotest.test_case "missing prune -> non-termination" `Quick
+      test_detects_missing_prune_nontermination;
+    Alcotest.test_case "detects forged PT" `Quick test_monitor_detects_forged_view;
+    Alcotest.test_case "detects fabricated edge" `Quick
+      test_monitor_detects_fabricated_edge;
+    Alcotest.test_case "round sequencing" `Quick test_monitor_round_sequencing;
+    Alcotest.test_case "finalize empty run" `Quick test_finalize_empty_run;
+    Alcotest.test_case "violation cap" `Quick test_violation_cap;
+    Alcotest.test_case "view_of_kset" `Quick test_view_of_kset;
+  ]

@@ -1,0 +1,236 @@
+(* Tests for MIS and the Psrcs(k) decision procedure. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_predicates
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- MIS --- *)
+
+let adj_of n edges =
+  let a = Array.init n (fun _ -> Bitset.create n) in
+  List.iter
+    (fun (u, v) ->
+      Bitset.add a.(u) v;
+      Bitset.add a.(v) u)
+    edges;
+  a
+
+let test_mis_empty_graph () =
+  check_int "no vertices" 0 (Mis.independence_number [||]);
+  check_int "edgeless" 5 (Mis.independence_number (adj_of 5 []))
+
+let test_mis_complete () =
+  let edges = ref [] in
+  for u = 0 to 4 do
+    for v = u + 1 to 4 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  check_int "K5" 1 (Mis.independence_number (adj_of 5 !edges))
+
+let test_mis_path () =
+  (* Path 0-1-2-3-4: alpha = 3 ({0,2,4}). *)
+  check_int "P5" 3 (Mis.independence_number (adj_of 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ]))
+
+let test_mis_cycle () =
+  (* C5: alpha = 2. *)
+  check_int "C5" 2
+    (Mis.independence_number (adj_of 5 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ]))
+
+let test_mis_bipartite () =
+  (* K_{2,3}: alpha = 3. *)
+  let edges = [ (0, 2); (0, 3); (0, 4); (1, 2); (1, 3); (1, 4) ] in
+  check_int "K23" 3 (Mis.independence_number (adj_of 5 edges))
+
+let test_mis_witness_valid () =
+  let adj = adj_of 6 [ (0, 1); (2, 3); (4, 5); (1, 2) ] in
+  let w = Mis.max_independent_set adj in
+  check "independent" true (Mis.is_independent adj w);
+  check_int "size = alpha" (Mis.independence_number adj) (Bitset.cardinal w)
+
+let test_find_independent_set () =
+  let adj = adj_of 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  (* C4: alpha = 2 *)
+  (match Mis.find_independent_set adj ~size:2 with
+  | Some w ->
+      check "witness independent" true (Mis.is_independent adj w);
+      check_int "witness size" 2 (Bitset.cardinal w)
+  | None -> Alcotest.fail "expected witness");
+  check "no IS of 3" true (Mis.find_independent_set adj ~size:3 = None);
+  check "size 0 trivially" true (Mis.find_independent_set adj ~size:0 <> None);
+  check "size > n" true (Mis.find_independent_set adj ~size:5 = None)
+
+let test_is_independent () =
+  let adj = adj_of 4 [ (0, 1) ] in
+  check "yes" true (Mis.is_independent adj (Bitset.of_list 4 [ 0; 2 ]));
+  check "no" false (Mis.is_independent adj (Bitset.of_list 4 [ 0; 1 ]));
+  check "empty yes" true (Mis.is_independent adj (Bitset.create 4));
+  (* asymmetric input is symmetrized *)
+  let asym = Array.init 3 (fun _ -> Bitset.create 3) in
+  Bitset.add asym.(0) 1;
+  check "symmetrized" false (Mis.is_independent asym (Bitset.of_list 3 [ 0; 1 ]))
+
+(* Brute force MIS for the oracle. *)
+let naive_alpha adj =
+  let n = Array.length adj in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let members = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id) in
+    let s = Bitset.of_list n members in
+    if Mis.is_independent adj s && List.length members > !best then
+      best := List.length members
+  done;
+  !best
+
+let gen_adj =
+  QCheck2.Gen.(
+    let* n = int_range 1 9 in
+    let edge = pair (int_bound (n - 1)) (int_bound (n - 1)) in
+    let+ es = list_size (int_bound 20) edge in
+    adj_of n (List.filter (fun (u, v) -> u <> v) es))
+
+let prop_mis_oracle =
+  QCheck2.Test.make ~count:200 ~name:"branch-and-bound matches brute force"
+    gen_adj (fun adj -> Mis.independence_number adj = naive_alpha adj)
+
+(* --- Psrcs --- *)
+
+let pts_of n l = Array.of_list (List.map (Bitset.of_list n) l)
+
+let test_two_source () =
+  (* q=0 and q=1 both hear p=2. *)
+  let pts = pts_of 3 [ [ 0; 2 ]; [ 1; 2 ]; [ 2 ] ] in
+  (match Predicate.two_source pts (Bitset.of_list 3 [ 0; 1 ]) with
+  | Some (p, q, q') ->
+      check_int "source" 2 p;
+      check_int "q" 0 q;
+      check_int "q'" 1 q'
+  | None -> Alcotest.fail "expected a 2-source");
+  check "psrc holds" true (Predicate.psrc pts 2 (Bitset.of_list 3 [ 0; 1 ]));
+  check "no 2-source for disjoint" true
+    (Predicate.two_source
+       (pts_of 3 [ [ 0 ]; [ 1 ]; [ 2 ] ])
+       (Bitset.of_list 3 [ 0; 1 ])
+    = None)
+
+let test_two_source_self () =
+  (* The paper: p need not be distinct from q/q' — p = q case. *)
+  let pts = pts_of 2 [ [ 0 ]; [ 0; 1 ] ] in
+  (match Predicate.two_source pts (Bitset.of_list 2 [ 0; 1 ]) with
+  | Some (p, _, _) -> check_int "self source" 0 p
+  | None -> Alcotest.fail "expected self 2-source")
+
+let test_sharing_graph () =
+  let pts = pts_of 3 [ [ 0; 2 ]; [ 1; 2 ]; [ 2 ] ] in
+  let h = Predicate.sharing_graph pts in
+  (* every pair shares source 2 -> complete graph *)
+  check "0-1" true (Bitset.mem h.(0) 1);
+  check "1-2" true (Bitset.mem h.(1) 2);
+  check "no self loops" false (Bitset.mem h.(0) 0)
+
+let test_psrcs_lower_bound_structure () =
+  (* The Theorem 2 construction: L = {0,..,k-2} self only; s = k-1; rest
+     hear {self, s}.  Psrcs(k) holds, Psrcs(k-1) fails. *)
+  let n = 7 and k = 3 in
+  let pts =
+    Array.init n (fun q ->
+        if q < k - 1 then Bitset.of_list n [ q ]
+        else Bitset.of_list n [ q; k - 1 ])
+  in
+  check "psrcs k" true (Predicate.psrcs pts ~k);
+  check "psrcs k-1 fails" false (Predicate.psrcs pts ~k:(k - 1));
+  check_int "min_k" k (Predicate.min_k pts);
+  match Predicate.psrcs_violation pts ~k:(k - 1) with
+  | Some s ->
+      check_int "witness size" k (Bitset.cardinal s);
+      (* witness must be pairwise source-disjoint *)
+      check "witness has no 2-source" true (Predicate.two_source pts s = None)
+  | None -> Alcotest.fail "expected violation witness"
+
+let test_psrcs_k_at_least_n () =
+  let pts = pts_of 3 [ [ 0 ]; [ 1 ]; [ 2 ] ] in
+  (* k+1 > n: vacuously true *)
+  check "k = n" true (Predicate.psrcs pts ~k:3);
+  check "k = n-1 fails here" false (Predicate.psrcs pts ~k:2);
+  check_int "min_k = n" 3 (Predicate.min_k pts)
+
+let test_psrcs_k_validation () =
+  let pts = pts_of 2 [ [ 0 ]; [ 1 ] ] in
+  Alcotest.check_raises "k=0" (Invalid_argument "Predicate: k must be >= 1")
+    (fun () -> ignore (Predicate.psrcs pts ~k:0))
+
+let test_min_k_synchronous () =
+  (* Complete skeleton: everybody shares everybody: min_k = 1. *)
+  let skel = Digraph.complete ~self_loops:true 5 in
+  check_int "min_k" 1 (Predicate.min_k (Predicate.of_skeleton skel))
+
+let test_psrcs_on_trace () =
+  let g = Gen.star 4 ~center:1 in
+  let t = Ssg_rounds.Trace.record ~n:4 ~rounds:3 (fun _ -> Digraph.copy g) in
+  check "star satisfies Psrcs(1)" true (Predicate.psrcs_on_trace t ~k:1)
+
+let test_ptrue () = check "ptrue" true (Predicate.ptrue (pts_of 1 [ [ 0 ] ]))
+
+(* Properties: MIS-based decision equals the naive subset enumeration, and
+   min_k is consistent. *)
+
+let gen_pts =
+  QCheck2.Gen.(
+    let* n = int_range 2 7 in
+    let+ lists =
+      list_repeat n (list_size (int_bound 4) (int_bound (n - 1)))
+    in
+    Array.of_list
+      (List.mapi (fun q l -> Bitset.of_list n (q :: l)) lists))
+
+let prop_psrcs_naive =
+  QCheck2.Test.make ~count:200 ~name:"psrcs = naive subset enumeration"
+    QCheck2.Gen.(pair gen_pts (int_range 1 7))
+    (fun (pts, k) ->
+      QCheck2.assume (k <= Array.length pts);
+      Predicate.psrcs pts ~k = Predicate.psrcs_naive pts ~k)
+
+let prop_min_k_boundary =
+  QCheck2.Test.make ~count:200 ~name:"min_k is the exact threshold" gen_pts
+    (fun pts ->
+      let k = Predicate.min_k pts in
+      Predicate.psrcs pts ~k && (k = 1 || not (Predicate.psrcs pts ~k:(k - 1))))
+
+let prop_psrcs_monotone =
+  QCheck2.Test.make ~count:100 ~name:"psrcs monotone in k" gen_pts (fun pts ->
+      let n = Array.length pts in
+      let holds = List.init n (fun i -> Predicate.psrcs pts ~k:(i + 1)) in
+      (* once true, stays true: no true followed by false *)
+      let rec monotone = function
+        | true :: false :: _ -> false
+        | _ :: rest -> monotone rest
+        | [] -> true
+      in
+      monotone holds)
+
+let tests =
+  [
+    Alcotest.test_case "mis empty" `Quick test_mis_empty_graph;
+    Alcotest.test_case "mis complete" `Quick test_mis_complete;
+    Alcotest.test_case "mis path" `Quick test_mis_path;
+    Alcotest.test_case "mis cycle" `Quick test_mis_cycle;
+    Alcotest.test_case "mis bipartite" `Quick test_mis_bipartite;
+    Alcotest.test_case "mis witness valid" `Quick test_mis_witness_valid;
+    Alcotest.test_case "find_independent_set" `Quick test_find_independent_set;
+    Alcotest.test_case "is_independent" `Quick test_is_independent;
+    Alcotest.test_case "two_source" `Quick test_two_source;
+    Alcotest.test_case "two_source self" `Quick test_two_source_self;
+    Alcotest.test_case "sharing graph" `Quick test_sharing_graph;
+    Alcotest.test_case "psrcs lower-bound structure" `Quick
+      test_psrcs_lower_bound_structure;
+    Alcotest.test_case "psrcs k >= n" `Quick test_psrcs_k_at_least_n;
+    Alcotest.test_case "psrcs k validation" `Quick test_psrcs_k_validation;
+    Alcotest.test_case "min_k synchronous" `Quick test_min_k_synchronous;
+    Alcotest.test_case "psrcs on trace" `Quick test_psrcs_on_trace;
+    Alcotest.test_case "ptrue" `Quick test_ptrue;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_mis_oracle; prop_psrcs_naive; prop_min_k_boundary; prop_psrcs_monotone ]

@@ -1,0 +1,133 @@
+(* Tests for the SplitMix64 generator. *)
+
+open Ssg_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_deterministic () =
+  let a = Rng.of_int 1234 and b = Rng.of_int 1234 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.of_int 1 and b = Rng.of_int 2 in
+  check "different seeds differ" true (Rng.next a <> Rng.next b)
+
+let test_copy () =
+  let a = Rng.of_int 7 in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next a) (Rng.next b)
+
+let test_split_independent () =
+  let parent = Rng.of_int 42 in
+  let child = Rng.split parent in
+  (* The child stream should not be a shift of the parent stream. *)
+  let xs = List.init 20 (fun _ -> Rng.next parent) in
+  let ys = List.init 20 (fun _ -> Rng.next child) in
+  check "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let g = Rng.of_int 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 7 in
+    check "in range" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int g 0))
+
+let test_int_in () =
+  let g = Rng.of_int 5 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in g (-3) 3 in
+    check "in closed range" true (v >= -3 && v <= 3)
+  done;
+  check_int "degenerate range" 9 (Rng.int_in g 9 9)
+
+let test_int_covers_range () =
+  let g = Rng.of_int 17 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int g 5) <- true
+  done;
+  check "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let g = Rng.of_int 9 in
+  for _ = 1 to 1000 do
+    let f = Rng.float g in
+    check "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_float_mean () =
+  let g = Rng.of_int 21 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.float g
+  done;
+  let mean = !total /. float_of_int n in
+  check "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_chance_extremes () =
+  let g = Rng.of_int 3 in
+  check "p=1" true (Rng.chance g 1.0);
+  check "p=0" false (Rng.chance g 0.0);
+  check "p>1" true (Rng.chance g 2.0);
+  check "p<0" false (Rng.chance g (-1.0))
+
+let test_pick () =
+  let g = Rng.of_int 31 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    check "pick member" true (Array.mem (Rng.pick g arr) arr)
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick g [||]))
+
+let test_shuffle_permutes () =
+  let g = Rng.of_int 13 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let test_permutation () =
+  let g = Rng.of_int 77 in
+  let p = Rng.permutation g 30 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 30 (fun i -> i)) sorted
+
+let test_sample () =
+  let g = Rng.of_int 8 in
+  let s = Rng.sample g 20 5 in
+  check_int "size" 5 (Array.length s);
+  let l = Array.to_list s in
+  check "sorted distinct" true (List.sort_uniq compare l = l);
+  check "in range" true (List.for_all (fun x -> x >= 0 && x < 20) l);
+  check_int "sample all" 20 (Array.length (Rng.sample g 20 20));
+  check_int "sample none" 0 (Array.length (Rng.sample g 20 0));
+  Alcotest.check_raises "k > n" (Invalid_argument "Rng.sample: k out of range")
+    (fun () -> ignore (Rng.sample g 3 4))
+
+let tests =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in" `Quick test_int_in;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "permutation" `Quick test_permutation;
+    Alcotest.test_case "sample" `Quick test_sample;
+  ]

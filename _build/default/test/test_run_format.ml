@@ -1,0 +1,104 @@
+(* Tests for the run-description file format. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_adversary
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let same_run a b =
+  Adversary.n a = Adversary.n b
+  && Adversary.prefix_length a = Adversary.prefix_length b
+  && List.for_all
+       (fun r -> Digraph.equal (Adversary.graph a r) (Adversary.graph b r))
+       (List.init (Adversary.prefix_length a + 2) (fun i -> i + 1))
+
+let test_roundtrip_examples () =
+  List.iter
+    (fun adv ->
+      let adv' = Run_format.of_string (Run_format.to_string adv) in
+      check ("roundtrip " ^ Adversary.name adv) true (same_run adv adv'))
+    [
+      Build.synchronous ~n:4;
+      Build.lower_bound ~n:6 ~k:3;
+      Build.figure1 ();
+      Build.partitioned (Rng.of_int 1) ~n:8 ~blocks:2 ~prefix_len:3 ();
+    ]
+
+let prop_roundtrip =
+  QCheck2.Test.make ~count:120 ~name:"format roundtrips random runs"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let n = 1 + Rng.int rng 10 in
+      let adv =
+        Build.arbitrary rng ~n ~density:(Rng.float rng)
+          ~prefix_len:(Rng.int rng 4) ~noise:0.5 ()
+      in
+      same_run adv (Run_format.of_string (Run_format.to_string adv)))
+
+let test_parse_by_hand () =
+  let adv =
+    Run_format.of_string
+      "ssg-run v1\n# the minimal E9 witness\nn 3\nround 1: 1>0 0>2 1>2 2>1\nstable: 1>0 0>2 1>2\n"
+  in
+  check_int "n" 3 (Adversary.n adv);
+  check_int "prefix" 1 (Adversary.prefix_length adv);
+  check "self loops implied" true
+    (Digraph.has_all_self_loops (Adversary.graph adv 1));
+  check "transient edge in round 1" true
+    (Digraph.mem_edge (Adversary.graph adv 1) 2 1);
+  check "gone in stable" false (Digraph.mem_edge (Adversary.graph adv 2) 2 1);
+  check_int "min_k 1" 1 (Adversary.min_k adv)
+
+let expect_failure label text =
+  check label true
+    (try
+       ignore (Run_format.of_string text);
+       false
+     with Failure _ -> true)
+
+let test_parse_errors () =
+  expect_failure "missing header" "n 3\nstable: \n";
+  expect_failure "missing n" "ssg-run v1\nstable: 0>1\n";
+  expect_failure "missing stable" "ssg-run v1\nn 3\n";
+  expect_failure "bad edge" "ssg-run v1\nn 3\nstable: 0>9\n";
+  expect_failure "malformed edge" "ssg-run v1\nn 3\nstable: 0-1\n";
+  expect_failure "non-consecutive rounds" "ssg-run v1\nn 3\nround 2: \nstable: \n";
+  expect_failure "duplicate stable" "ssg-run v1\nn 2\nstable: \nstable: \n";
+  expect_failure "unknown directive" "ssg-run v1\nn 2\nfrobnicate 7\nstable: \n"
+
+let test_edgeless_stable () =
+  let adv = Run_format.of_string "ssg-run v1\nn 2\nstable:\n" in
+  check "only self loops" true
+    (Digraph.equal (Adversary.graph adv 1) (Gen.self_loops_only 2))
+
+let test_recurrent_rejected () =
+  let rng = Rng.of_int 3 in
+  let adv =
+    Build.with_recurrent_noise rng (Build.synchronous ~n:3) ~noise:0.2
+  in
+  check "recurrent rejected" true
+    (try ignore (Run_format.to_string adv); false
+     with Invalid_argument _ -> true)
+
+let test_save_load_file () =
+  let adv = Build.lower_bound ~n:5 ~k:2 in
+  let path = Filename.temp_file "ssg_run" ".ssg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Run_format.save adv path;
+      check "file roundtrip" true (same_run adv (Run_format.load path)))
+
+let tests =
+  [
+    Alcotest.test_case "roundtrip examples" `Quick test_roundtrip_examples;
+    Alcotest.test_case "parse by hand" `Quick test_parse_by_hand;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "edgeless stable" `Quick test_edgeless_stable;
+    Alcotest.test_case "recurrent rejected" `Quick test_recurrent_rejected;
+    Alcotest.test_case "save/load file" `Quick test_save_load_file;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_roundtrip ]

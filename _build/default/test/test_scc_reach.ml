@@ -1,0 +1,289 @@
+(* Tests for Scc and Reach, cross-checked against a naive O(n³) oracle. *)
+
+open Ssg_util
+open Ssg_graph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Naive transitive closure by Floyd-Warshall on booleans; reflexive. *)
+let closure g =
+  let n = Digraph.order g in
+  let r = Array.make_matrix n n false in
+  Digraph.iter_edges g (fun p q -> r.(p).(q) <- true);
+  for v = 0 to n - 1 do
+    r.(v).(v) <- true
+  done;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if r.(i).(k) && r.(k).(j) then r.(i).(j) <- true
+      done
+    done
+  done;
+  r
+
+let naive_same_scc r p q = r.(p).(q) && r.(q).(p)
+
+(* --- Reach --- *)
+
+let diamond = Digraph.of_edges 5 [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) ]
+
+let test_reachable_from () =
+  Alcotest.(check (list int)) "from 0" [ 0; 1; 2; 3; 4 ]
+    (Bitset.elements (Reach.reachable_from diamond 0));
+  Alcotest.(check (list int)) "from 3" [ 3; 4 ]
+    (Bitset.elements (Reach.reachable_from diamond 3))
+
+let test_reaches () =
+  Alcotest.(check (list int)) "reaches 3" [ 0; 1; 2; 3 ]
+    (Bitset.elements (Reach.reaches diamond 3));
+  Alcotest.(check (list int)) "reaches 0" [ 0 ]
+    (Bitset.elements (Reach.reaches diamond 0))
+
+let test_distances () =
+  let d = Reach.distances_from diamond 0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 1; 2; 3 |] d;
+  check "unreachable" true ((Reach.distances_from diamond 4).(0) = -1)
+
+let test_distance_and_path () =
+  Alcotest.(check (option int)) "0->4" (Some 3) (Reach.distance diamond 0 4);
+  Alcotest.(check (option int)) "4->0" None (Reach.distance diamond 4 0);
+  Alcotest.(check (option int)) "self" (Some 0) (Reach.distance diamond 2 2);
+  (match Reach.shortest_path diamond 0 4 with
+  | Some path ->
+      check_int "path length" 4 (List.length path);
+      check "starts at 0" true (List.hd path = 0);
+      check "ends at 4" true (List.nth path 3 = 4);
+      (* consecutive nodes are edges *)
+      let rec ok = function
+        | a :: (b :: _ as rest) -> Digraph.mem_edge diamond a b && ok rest
+        | _ -> true
+      in
+      check "valid edges" true (ok path)
+  | None -> Alcotest.fail "expected a path");
+  check "self path" true (Reach.shortest_path diamond 1 1 = Some [ 1 ]);
+  check "no path" true (Reach.shortest_path diamond 4 0 = None)
+
+let test_reach_restricted () =
+  (* Excluding node 1 and 2 disconnects 0 from 3. *)
+  let scope = Bitset.of_list 5 [ 0; 3; 4 ] in
+  Alcotest.(check (list int)) "restricted" [ 0 ]
+    (Bitset.elements (Reach.reachable_from ~nodes:scope diamond 0));
+  (* Start outside the scope: empty. *)
+  let scope2 = Bitset.of_list 5 [ 3; 4 ] in
+  check "start outside scope" true
+    (Bitset.is_empty (Reach.reachable_from ~nodes:scope2 diamond 0))
+
+(* --- Scc --- *)
+
+let two_cycles =
+  (* {0,1} and {2,3,4} cycles, bridge 1 -> 2 *)
+  Digraph.of_edges 5 [ (0, 1); (1, 0); (2, 3); (3, 4); (4, 2); (1, 2) ]
+
+let test_scc_basic () =
+  let part = Scc.compute two_cycles in
+  check_int "count" 2 part.Scc.count;
+  check "0 ~ 1" true (Scc.same_component part 0 1);
+  check "2 ~ 4" true (Scc.same_component part 2 4);
+  check "0 !~ 2" false (Scc.same_component part 0 2)
+
+let test_scc_reverse_topological () =
+  (* Edge between components goes from higher to lower index. *)
+  let part = Scc.compute two_cycles in
+  check "1's comp later than 2's" true (part.Scc.comp.(1) > part.Scc.comp.(2))
+
+let test_component_sets () =
+  let part = Scc.compute two_cycles in
+  let sets = Scc.component_sets two_cycles part in
+  let sizes = Array.map Bitset.cardinal sets in
+  Array.sort compare sizes;
+  Alcotest.(check (array int)) "sizes" [| 2; 3 |] sizes
+
+let test_component_containing () =
+  Alcotest.(check (list int)) "C of 3" [ 2; 3; 4 ]
+    (Bitset.elements (Scc.component_containing two_cycles 3));
+  Alcotest.(check (list int)) "C of 0" [ 0; 1 ]
+    (Bitset.elements (Scc.component_containing two_cycles 0))
+
+let test_condensation () =
+  let part = Scc.compute two_cycles in
+  let dag = Scc.condensation two_cycles part in
+  check_int "dag order" 2 (Digraph.order dag);
+  check_int "dag edges" 1 (Digraph.edge_count dag);
+  (* acyclic: no self loops and at most one direction *)
+  check "edge direction" true
+    (Digraph.mem_edge dag part.Scc.comp.(1) part.Scc.comp.(2))
+
+let test_root_components () =
+  let roots = Scc.root_components two_cycles in
+  check_int "one root" 1 (List.length roots);
+  Alcotest.(check (list int)) "root is {0,1}" [ 0; 1 ]
+    (Bitset.elements (List.hd roots))
+
+let test_root_components_all_isolated () =
+  let g = Gen.self_loops_only 4 in
+  check_int "four roots" 4 (List.length (Scc.root_components g))
+
+let test_is_root_component () =
+  check "root yes" true
+    (Scc.is_root_component two_cycles (Bitset.of_list 5 [ 0; 1 ]));
+  check "root no (incoming)" false
+    (Scc.is_root_component two_cycles (Bitset.of_list 5 [ 2; 3; 4 ]));
+  check "not scc" false
+    (Scc.is_root_component two_cycles (Bitset.of_list 5 [ 0; 1; 2 ]))
+
+let test_strongly_connected () =
+  check "two cycles not SC" false (Scc.is_strongly_connected two_cycles);
+  check "restricted SC" true
+    (Scc.is_strongly_connected ~nodes:(Bitset.of_list 5 [ 2; 3; 4 ]) two_cycles);
+  check "singleton SC" true
+    (Scc.is_strongly_connected ~nodes:(Bitset.of_list 5 [ 0 ]) two_cycles);
+  check "empty scope" false
+    (Scc.is_strongly_connected ~nodes:(Bitset.create 5) two_cycles);
+  check "cycle SC" true
+    (Scc.is_strongly_connected (Digraph.of_edges 3 [ (0, 1); (1, 2); (2, 0) ]))
+
+let test_scc_long_path_no_overflow () =
+  (* 50k-node path: recursive Tarjan would blow the stack. *)
+  let n = 50_000 in
+  let g = Digraph.create n in
+  for i = 0 to n - 2 do
+    Digraph.add_edge g i (i + 1)
+  done;
+  let part = Scc.compute g in
+  check_int "n components" n part.Scc.count
+
+(* Property: Tarjan agrees with the naive closure oracle. *)
+
+let gen_graph =
+  QCheck2.Gen.(
+    let* n = int_range 1 10 in
+    let edge = pair (int_bound (n - 1)) (int_bound (n - 1)) in
+    let+ es = list_size (int_bound 25) edge in
+    Digraph.of_edges n es)
+
+let props =
+  [
+    QCheck2.Test.make ~count:300 ~name:"tarjan matches closure oracle"
+      gen_graph (fun g ->
+        let n = Digraph.order g in
+        let part = Scc.compute g in
+        let r = closure g in
+        let ok = ref true in
+        for p = 0 to n - 1 do
+          for q = 0 to n - 1 do
+            if Scc.same_component part p q <> naive_same_scc r p q then
+              ok := false
+          done
+        done;
+        !ok);
+    QCheck2.Test.make ~count:300 ~name:"condensation is acyclic" gen_graph
+      (fun g ->
+        let part = Scc.compute g in
+        let dag = Scc.condensation g part in
+        let dag_part = Scc.compute dag in
+        dag_part.Scc.count = part.Scc.count);
+    QCheck2.Test.make ~count:300 ~name:"at least one root component"
+      gen_graph (fun g -> Scc.root_components g <> []);
+    QCheck2.Test.make ~count:300
+      ~name:"root components pass is_root_component" gen_graph (fun g ->
+        List.for_all (Scc.is_root_component g) (Scc.root_components g));
+    QCheck2.Test.make ~count:300
+      ~name:"reachable_from matches closure oracle" gen_graph (fun g ->
+        let n = Digraph.order g in
+        let r = closure g in
+        let ok = ref true in
+        for p = 0 to n - 1 do
+          let reach = Reach.reachable_from g p in
+          for q = 0 to n - 1 do
+            if Bitset.mem reach q <> r.(p).(q) then ok := false
+          done
+        done;
+        !ok);
+    QCheck2.Test.make ~count:300 ~name:"reaches is transpose reachability"
+      gen_graph (fun g ->
+        let n = Digraph.order g in
+        let t = Digraph.transpose g in
+        let ok = ref true in
+        for p = 0 to n - 1 do
+          if
+            not
+              (Bitset.equal (Reach.reaches g p) (Reach.reachable_from t p))
+          then ok := false
+        done;
+        !ok);
+    QCheck2.Test.make ~count:200 ~name:"shortest path length = distance"
+      gen_graph (fun g ->
+        let n = Digraph.order g in
+        let ok = ref true in
+        for p = 0 to n - 1 do
+          for q = 0 to n - 1 do
+            match (Reach.distance g p q, Reach.shortest_path g p q) with
+            | None, None -> ()
+            | Some d, Some path ->
+                if List.length path <> d + 1 then ok := false;
+                (* consecutive hops are edges; endpoints correct *)
+                if List.hd path <> p then ok := false;
+                if List.nth path d <> q then ok := false;
+                let rec hops = function
+                  | a :: (b :: _ as rest) ->
+                      Digraph.mem_edge g a b && hops rest
+                  | _ -> true
+                in
+                if not (hops path) then ok := false
+            | _ -> ok := false
+          done
+        done;
+        !ok);
+    QCheck2.Test.make ~count:200
+      ~name:"paths never exceed n-1 hops (paper's bound)" gen_graph (fun g ->
+        let n = Digraph.order g in
+        let ok = ref true in
+        for p = 0 to n - 1 do
+          for q = 0 to n - 1 do
+            match Reach.distance g p q with
+            | Some d when d > n - 1 -> ok := false
+            | _ -> ()
+          done
+        done;
+        !ok);
+    QCheck2.Test.make ~count:200
+      ~name:"component_containing agrees with partition" gen_graph (fun g ->
+        let n = Digraph.order g in
+        let part = Scc.compute g in
+        let sets = Scc.component_sets g part in
+        let ok = ref true in
+        for p = 0 to n - 1 do
+          if
+            not
+              (Bitset.equal
+                 (Scc.component_containing g p)
+                 sets.(part.Scc.comp.(p)))
+          then ok := false
+        done;
+        !ok);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "reachable_from" `Quick test_reachable_from;
+    Alcotest.test_case "reaches" `Quick test_reaches;
+    Alcotest.test_case "distances" `Quick test_distances;
+    Alcotest.test_case "distance and shortest path" `Quick test_distance_and_path;
+    Alcotest.test_case "restricted reach" `Quick test_reach_restricted;
+    Alcotest.test_case "scc basic" `Quick test_scc_basic;
+    Alcotest.test_case "scc reverse topological ids" `Quick
+      test_scc_reverse_topological;
+    Alcotest.test_case "component sets" `Quick test_component_sets;
+    Alcotest.test_case "component containing" `Quick test_component_containing;
+    Alcotest.test_case "condensation" `Quick test_condensation;
+    Alcotest.test_case "root components" `Quick test_root_components;
+    Alcotest.test_case "roots of isolated graph" `Quick
+      test_root_components_all_isolated;
+    Alcotest.test_case "is_root_component" `Quick test_is_root_component;
+    Alcotest.test_case "strong connectivity" `Quick test_strongly_connected;
+    Alcotest.test_case "tarjan iterative (long path)" `Slow
+      test_scc_long_path_no_overflow;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest props

@@ -1,0 +1,106 @@
+(* Tests for the counterexample shrinker. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_adversary
+open Ssg_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The E9 property: the paper's decision rule exceeds the run's min_k. *)
+let violates_theorem16 adv =
+  let r = Runner.run_kset adv in
+  Metrics.distinct_decisions r.Runner.outcome > r.Runner.min_k
+
+let find_seed_counterexample () =
+  (* same deterministic hunt as the Theorem 16 gap test *)
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < 3000 do
+    let rng = Rng.of_int (424242 + !i) in
+    let n = 6 + Rng.int rng 4 in
+    let adv =
+      Build.block_sources rng ~n ~k:(1 + Rng.int rng 2)
+        ~prefix_len:(2 + Rng.int rng 3) ~noise:0.5 ()
+    in
+    if violates_theorem16 adv then found := Some adv;
+    incr i
+  done;
+  !found
+
+let test_size_measure () =
+  let small = Build.synchronous ~n:3 in
+  let big = Build.synchronous ~n:8 in
+  check "more processes = bigger" true (Shrink.size big > Shrink.size small);
+  let rng = Rng.of_int 1 in
+  let with_prefix = Build.block_sources rng ~n:3 ~k:1 ~prefix_len:2 () in
+  check "prefix dominates edges" true
+    (Shrink.size with_prefix > Shrink.size (Build.block_sources rng ~n:3 ~k:1 ()))
+
+let test_minimize_requires_interesting_input () =
+  check "rejects boring input" true
+    (try
+       ignore (Shrink.minimize (fun _ -> false) (Build.synchronous ~n:3));
+       false
+     with Invalid_argument _ -> true)
+
+let test_minimize_trivial_property () =
+  (* property: n >= 2.  The shrinker must reach exactly 2 processes with
+     no prefix and only self-loops. *)
+  let rng = Rng.of_int 2 in
+  let adv = Build.block_sources rng ~n:7 ~k:3 ~prefix_len:3 () in
+  let shrunk, checks = Shrink.minimize (fun a -> Adversary.n a >= 2) adv in
+  check_int "two processes" 2 (Adversary.n shrunk);
+  check_int "no prefix" 0 (Adversary.prefix_length shrunk);
+  check_int "only self loops" 2
+    (Digraph.edge_count (Adversary.stable_skeleton shrunk));
+  check "spent checks" true (checks > 0)
+
+let test_minimize_theorem16_counterexample () =
+  (* Shrink a hunted n>=6 counterexample; the known minimal witness shape
+     is 3 processes with a 1-round prefix, so the shrinker must reach
+     n <= 4, prefix = 1 (and stay violating). *)
+  match find_seed_counterexample () with
+  | None -> Alcotest.fail "no counterexample found to shrink"
+  | Some adv ->
+      let shrunk, _ = Shrink.minimize violates_theorem16 adv in
+      check "still violates" true (violates_theorem16 shrunk);
+      check "smaller" true (Shrink.size shrunk < Shrink.size adv);
+      check
+        (Printf.sprintf "reached a tiny witness (n = %d)" (Adversary.n shrunk))
+        true
+        (Adversary.n shrunk <= 4);
+      (* greedy single-step shrinking is locally minimal, not globally:
+         depending on the seed it lands on the 1- or 2-round-prefix
+         witness shape *)
+      check "short prefix" true (Adversary.prefix_length shrunk <= 2)
+
+let test_minimize_is_deterministic () =
+  match find_seed_counterexample () with
+  | None -> Alcotest.fail "no counterexample"
+  | Some adv ->
+      let a, _ = Shrink.minimize violates_theorem16 adv in
+      let b, _ = Shrink.minimize violates_theorem16 adv in
+      check "same skeleton" true
+        (Digraph.equal (Adversary.stable_skeleton a) (Adversary.stable_skeleton b));
+      check_int "same n" (Adversary.n a) (Adversary.n b)
+
+let test_max_checks_budget () =
+  let rng = Rng.of_int 3 in
+  let adv = Build.block_sources rng ~n:8 ~k:3 ~prefix_len:4 () in
+  let _, checks = Shrink.minimize ~max_checks:5 (fun a -> Adversary.n a >= 2) adv in
+  check "budget respected" true (checks <= 5)
+
+let tests =
+  [
+    Alcotest.test_case "size measure" `Quick test_size_measure;
+    Alcotest.test_case "rejects boring input" `Quick
+      test_minimize_requires_interesting_input;
+    Alcotest.test_case "minimizes under a trivial property" `Quick
+      test_minimize_trivial_property;
+    Alcotest.test_case "shrinks the Theorem 16 counterexample" `Slow
+      test_minimize_theorem16_counterexample;
+    Alcotest.test_case "deterministic" `Slow test_minimize_is_deterministic;
+    Alcotest.test_case "check budget" `Quick test_max_checks_budget;
+  ]

@@ -1,0 +1,199 @@
+(* Tests for the simulation harness: Runner defaults and Metrics. *)
+
+open Ssg_util
+open Ssg_rounds
+open Ssg_adversary
+open Ssg_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_inputs () =
+  Alcotest.(check (array int)) "distinct" [| 0; 1; 2 |] (Runner.distinct_inputs 3);
+  let s = Runner.shuffled_inputs (Rng.of_int 1) 10 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffled is permutation" (Runner.distinct_inputs 10) sorted
+
+let test_report_fields () =
+  let adv = Build.lower_bound ~n:6 ~k:2 in
+  let r = Runner.run_kset adv in
+  check_int "n" 6 r.Runner.n;
+  check_int "min_k" 2 r.Runner.min_k;
+  check "adversary name" true (r.Runner.adversary = "lower_bound(n=6,k=2)");
+  check "algorithm name" true (r.Runner.algorithm = "skeleton-kset");
+  check "skeleton has self loops" true
+    (Ssg_graph.Digraph.has_all_self_loops r.Runner.skeleton)
+
+let test_default_rounds_suffice () =
+  let rng = Rng.of_int 2 in
+  for _ = 1 to 20 do
+    let adv = Build.block_sources rng ~n:8 ~k:3 ~prefix_len:6 ~noise:0.4 () in
+    let r = Runner.run_kset adv in
+    check "terminated within default horizon" true
+      (Metrics.termination r.Runner.outcome)
+  done
+
+let test_custom_inputs_respected () =
+  let adv = Build.synchronous ~n:4 in
+  let r = Runner.run_kset ~inputs:[| 9; 8; 7; 6 |] adv in
+  Alcotest.(check (list int)) "decides provided min" [ 6 ]
+    (Executor.decision_values r.Runner.outcome)
+
+let test_run_packed_baseline () =
+  let adv = Build.synchronous ~n:4 in
+  let r = Runner.run_packed (Ssg_baselines.Floodmin.make ~rounds:1) adv in
+  check "baseline name" true (r.Runner.algorithm = "floodmin(R=1)");
+  check "no monitors" true (r.Runner.violations = [])
+
+(* Metrics *)
+
+let outcome_of adv = (Runner.run_kset adv).Runner.outcome
+
+let test_metrics_distinct_and_rounds () =
+  let o = outcome_of (Build.lower_bound ~n:5 ~k:2) in
+  check_int "distinct" 2 (Metrics.distinct_decisions o);
+  (match (Metrics.first_decision_round o, Metrics.last_decision_round o) with
+  | Some f, Some l -> check "first <= last" true (f <= l)
+  | _ -> Alcotest.fail "missing rounds");
+  check "k_agreement 2" true (Metrics.k_agreement ~k:2 o);
+  check "k_agreement 1 fails" false (Metrics.k_agreement ~k:1 o)
+
+let test_metrics_validity () =
+  let o = outcome_of (Build.synchronous ~n:3) in
+  check "validity" true (Metrics.validity ~inputs:[| 0; 1; 2 |] o);
+  check "validity fails for foreign inputs" false
+    (Metrics.validity ~inputs:[| 5; 6; 7 |] o)
+
+let test_verdict_all_ok () =
+  let adv = Build.lower_bound ~n:5 ~k:2 in
+  let r = Runner.run_kset adv in
+  let v = Metrics.verdict ~k:2 r in
+  check "all ok" true (Metrics.all_ok v);
+  let v = Metrics.verdict ~k:1 r in
+  check "agreement fails at k=1" false (Metrics.all_ok v)
+
+let test_batch_helpers () =
+  let rng = Rng.of_int 3 in
+  let rs =
+    List.init 5 (fun _ ->
+        Runner.run_kset (Build.single_root rng ~n:6 ()))
+  in
+  check_int "count_if all" 5
+    (Metrics.count_if (fun r -> Metrics.termination r.Runner.outcome) rs);
+  check_int "max distinct" 1
+    (Metrics.max_over (fun r -> Metrics.distinct_decisions r.Runner.outcome) rs);
+  check "mean in [1,1]" true
+    (Metrics.mean_over (fun r -> Metrics.distinct_decisions r.Runner.outcome) rs
+     = 1.0);
+  check "empty batch raises" true
+    (try ignore (Metrics.max_over (fun _ -> 0) []); false
+     with Invalid_argument _ -> true)
+
+let test_decisions_per_root () =
+  let r = Runner.run_kset (Build.lower_bound ~n:6 ~k:3) in
+  let d, roots = Metrics.decisions_per_root r in
+  check_int "distinct" 3 d;
+  check_int "roots" 3 roots
+
+(* --- Render --- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_render_matrix () =
+  let g = Ssg_graph.Digraph.of_edges 3 [ (0, 1); (2, 2) ] in
+  let s = Render.matrix g in
+  check "receiver header" true (contains ~needle:"(column = receiver)" s);
+  let lines = String.split_on_char '
+' s in
+  check "p1 row" true (contains ~needle:"p1  .#." (List.nth lines 1));
+  check "p3 self loop" true (contains ~needle:"p3  ..#" (List.nth lines 3))
+
+let test_render_timeline () =
+  let adv = Build.lower_bound ~n:6 ~k:2 in
+  let s = Render.timeline adv ~rounds:(Adversary.decision_horizon adv) in
+  check "legend" true (contains ~needle:"legend" s);
+  check "has decision marker" true (contains ~needle:"D" s);
+  check "certificate marker for loner" true (contains ~needle:"o" s);
+  check "reports decisions" true (contains ~needle:"decides" s)
+
+let test_render_decisions () =
+  let adv = Build.synchronous ~n:3 in
+  let r = Runner.run_kset adv in
+  let s = Render.decisions r.Runner.outcome in
+  check "mentions p1" true (contains ~needle:"p1:0@r" s)
+
+(* --- Series --- *)
+
+let test_series_collect () =
+  let rng = Rng.of_int 31 in
+  let adv = Build.block_sources rng ~n:8 ~k:2 ~prefix_len:3 () in
+  let samples = Series.collect adv in
+  check_int "one sample per round" (Runner.default_rounds adv)
+    (List.length samples);
+  (* rounds are 1..R in order *)
+  List.iteri
+    (fun i s -> check_int "round numbering" (i + 1) s.Series.round)
+    samples;
+  (* decided is monotone and ends with everyone *)
+  let rec monotone prev = function
+    | [] -> true
+    | s :: rest -> s.Series.decided >= prev && monotone s.Series.decided rest
+  in
+  check "decided monotone" true (monotone 0 samples);
+  check_int "all decided at the end" 8
+    (List.nth samples (List.length samples - 1)).Series.decided;
+  (* skeleton edges are antitone (eq. 1) *)
+  let rec antitone prev = function
+    | [] -> true
+    | s :: rest ->
+        s.Series.skeleton_edges <= prev
+        && antitone s.Series.skeleton_edges rest
+  in
+  check "skeleton antitone" true (antitone max_int samples)
+
+let test_series_csv () =
+  let adv = Build.synchronous ~n:3 in
+  let samples = Series.collect ~rounds:4 adv in
+  let csv = Series.to_csv samples in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "header + 4 rows" 5 (List.length lines);
+  check "header" true
+    (String.length (List.hd lines) > 0
+    && String.sub (List.hd lines) 0 5 = "round")
+
+let test_series_sparkline () =
+  let adv = Build.synchronous ~n:3 in
+  let samples = Series.collect ~rounds:5 adv in
+  let flat = Series.sparkline (fun _ -> 1.0) samples in
+  (* constant series: all the same block, one per sample (UTF-8: 3 bytes
+     per block char) *)
+  check_int "one glyph per sample" (5 * 3) (String.length flat);
+  let rising = Series.sparkline (fun s -> float_of_int s.Series.round) samples in
+  check "rising starts low" true (String.sub rising 0 3 = "\xe2\x96\x81");
+  check "rising ends high" true
+    (String.sub rising (String.length rising - 3) 3 = "\xe2\x96\x88")
+
+let tests =
+  [
+    Alcotest.test_case "inputs" `Quick test_inputs;
+    Alcotest.test_case "series collect" `Quick test_series_collect;
+    Alcotest.test_case "series csv" `Quick test_series_csv;
+    Alcotest.test_case "series sparkline" `Quick test_series_sparkline;
+    Alcotest.test_case "render matrix" `Quick test_render_matrix;
+    Alcotest.test_case "render timeline" `Quick test_render_timeline;
+    Alcotest.test_case "render decisions" `Quick test_render_decisions;
+    Alcotest.test_case "report fields" `Quick test_report_fields;
+    Alcotest.test_case "default rounds suffice" `Quick test_default_rounds_suffice;
+    Alcotest.test_case "custom inputs" `Quick test_custom_inputs_respected;
+    Alcotest.test_case "run_packed baseline" `Quick test_run_packed_baseline;
+    Alcotest.test_case "metrics distinct/rounds" `Quick
+      test_metrics_distinct_and_rounds;
+    Alcotest.test_case "metrics validity" `Quick test_metrics_validity;
+    Alcotest.test_case "verdict" `Quick test_verdict_all_ok;
+    Alcotest.test_case "batch helpers" `Quick test_batch_helpers;
+    Alcotest.test_case "decisions per root" `Quick test_decisions_per_root;
+  ]

@@ -1,0 +1,192 @@
+(* Tests for skeletons (G^∩r), timely neighbourhoods and structural
+   analysis. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_rounds
+open Ssg_skeleton
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_start_is_complete () =
+  let s = Skeleton.start ~n:4 in
+  check "complete with loops" true
+    (Digraph.equal (Skeleton.current s) (Digraph.complete ~self_loops:true 4));
+  check_int "no rounds" 0 (Skeleton.rounds_absorbed s)
+
+let test_absorb_intersects () =
+  let s = Skeleton.start ~n:3 in
+  let g1 = Digraph.of_edges 3 [ (0, 1); (1, 2); (0, 0); (1, 1); (2, 2) ] in
+  let g2 = Digraph.of_edges 3 [ (0, 1); (2, 0); (0, 0); (1, 1); (2, 2) ] in
+  check_int "round 1" 1 (Skeleton.absorb s g1);
+  check "after one round = g1" true (Digraph.equal (Skeleton.current s) g1);
+  check_int "round 2" 2 (Skeleton.absorb s g2);
+  check "after two = inter" true
+    (Digraph.equal (Skeleton.current s) (Digraph.inter g1 g2))
+
+let test_view_is_live () =
+  let s = Skeleton.start ~n:2 in
+  let v = Skeleton.view s in
+  ignore (Skeleton.absorb s (Gen.self_loops_only 2));
+  check "view reflects absorb" true (Digraph.equal v (Gen.self_loops_only 2))
+
+let random_trace seed ~n ~rounds ~p =
+  let rng = Rng.of_int seed in
+  Trace.record ~n ~rounds (fun _ -> Gen.gnp rng n p)
+
+let test_at_matches_incremental () =
+  let t = random_trace 1 ~n:6 ~rounds:8 ~p:0.5 in
+  let all = Skeleton.all t in
+  let s = Skeleton.start ~n:6 in
+  for r = 1 to 8 do
+    ignore (Skeleton.absorb s (Trace.graph t r));
+    check "at = incremental" true (Digraph.equal all.(r - 1) (Skeleton.at t r));
+    check "current = at" true (Digraph.equal (Skeleton.current s) (Skeleton.at t r))
+  done
+
+let test_antitone_property_eq1 () =
+  (* ∀r: G^∩r ⊇ G^∩(r+1) — the subgraph chain (1). *)
+  for seed = 0 to 9 do
+    let t = random_trace seed ~n:7 ~rounds:10 ~p:0.4 in
+    let all = Skeleton.all t in
+    for r = 0 to 8 do
+      check "antitone" true (Digraph.subgraph_of all.(r + 1) all.(r))
+    done
+  done
+
+let test_stabilization_round () =
+  (* Constant graphs stabilize immediately. *)
+  let g = Gen.self_loops_only 4 in
+  let t = Trace.record ~n:4 ~rounds:6 (fun _ -> Digraph.copy g) in
+  check_int "constant stabilizes at 1" 1 (Skeleton.stabilization_round t);
+  (* A graph that loses an edge at round 4 stabilizes there. *)
+  let big = Digraph.copy g in
+  Digraph.add_edge big 0 1;
+  let t =
+    Trace.record ~n:4 ~rounds:8 (fun r ->
+        if r < 4 then Digraph.copy big else Digraph.copy g)
+  in
+  check_int "stabilizes at 4" 4 (Skeleton.stabilization_round t)
+
+let test_final () =
+  let t = random_trace 3 ~n:5 ~rounds:7 ~p:0.6 in
+  check "final = at last" true
+    (Digraph.equal (Skeleton.final t) (Skeleton.at t 7))
+
+(* Timely neighbourhoods *)
+
+let test_pt_is_skeleton_preds () =
+  let t = random_trace 4 ~n:6 ~rounds:6 ~p:0.5 in
+  for r = 1 to 6 do
+    let skel = Skeleton.at t r in
+    for p = 0 to 5 do
+      check "pt = preds" true
+        (Bitset.equal (Timely.at t ~p ~r) (Digraph.preds skel p))
+    done
+  done
+
+let test_pt_antitone_eq3 () =
+  (* PT(p, r) ⊇ PT(p, r+1) — property (3). *)
+  let t = random_trace 5 ~n:6 ~rounds:8 ~p:0.4 in
+  for p = 0 to 5 do
+    for r = 1 to 7 do
+      check "pt antitone" true
+        (Bitset.subset (Timely.at t ~p ~r:(r + 1)) (Timely.at t ~p ~r))
+    done
+  done
+
+let test_pt_matches_ho_intersection_eq7 () =
+  (* PT(p, r) = ∩ HO(p, r') over r' <= r — the executable form of (7). *)
+  let t = random_trace 6 ~n:6 ~rounds:6 ~p:0.5 in
+  for p = 0 to 5 do
+    for r = 1 to 6 do
+      let hos = List.init r (fun i -> Ho.ho (Trace.graph t (i + 1)) p) in
+      check "pt = ∩ HO" true
+        (Bitset.equal (Timely.at t ~p ~r) (Ho.pt_of_hos 6 hos))
+    done
+  done
+
+let test_all_final () =
+  let t = random_trace 7 ~n:5 ~rounds:5 ~p:0.5 in
+  let pts = Timely.all_final t in
+  for p = 0 to 4 do
+    check "all_final agrees" true (Bitset.equal pts.(p) (Timely.final t p))
+  done
+
+(* Analysis *)
+
+let two_islands =
+  (* root {0,1}, root {2,3}, and 4 below both *)
+  Digraph.of_edges 5
+    [ (0, 1); (1, 0); (2, 3); (3, 2); (1, 4); (3, 4); (0, 0); (1, 1); (2, 2); (3, 3); (4, 4) ]
+
+let test_analysis_roots () =
+  let a = Analysis.analyze two_islands in
+  check_int "3 components" 3 (Scc.compute two_islands).Scc.count;
+  check_int "2 roots" 2 (Analysis.root_count a);
+  check "not single" false (Analysis.single_root a);
+  check "0 is root" true (Analysis.is_root a 0);
+  check "4 not root" false (Analysis.is_root a 4)
+
+let test_analysis_component_of () =
+  let a = Analysis.analyze two_islands in
+  Alcotest.(check (list int)) "comp of 1" [ 0; 1 ]
+    (Bitset.elements (Analysis.component_of a 1));
+  Alcotest.(check (list int)) "comp of 4" [ 4 ]
+    (Bitset.elements (Analysis.component_of a 4))
+
+let test_root_reaching () =
+  let a = Analysis.analyze two_islands in
+  let r = Analysis.root_reaching a 4 in
+  check "is a root" true
+    (List.exists (Bitset.equal r) (Analysis.roots a));
+  (* a root member's own component is returned *)
+  check "root of root member" true
+    (Bitset.equal (Analysis.root_reaching a 0) (Analysis.component_of a 0))
+
+let test_single_root () =
+  let g = Gen.star 5 ~center:3 in
+  let a = Analysis.analyze g in
+  check "single root" true (Analysis.single_root a);
+  Alcotest.(check (list int)) "root is center" [ 3 ]
+    (Bitset.elements (List.hd (Analysis.roots a)))
+
+(* Property: every node is reachable from some root component (used by
+   Lemma 11's propagation argument). *)
+
+let prop_reachable_from_root =
+  QCheck2.Test.make ~count:200 ~name:"every node reachable from a root"
+    QCheck2.Gen.(
+      let* n = int_range 1 9 in
+      let+ seed = int_bound 10000 in
+      (n, seed))
+    (fun (n, seed) ->
+      let g = Gen.gnp (Rng.of_int seed) n 0.3 in
+      let a = Analysis.analyze g in
+      List.for_all
+        (fun p ->
+          let root = Analysis.root_reaching a p in
+          let from_root = Reach.reachable_from g (Bitset.choose root) in
+          Bitset.mem from_root p)
+        (List.init n Fun.id))
+
+let tests =
+  [
+    Alcotest.test_case "start is complete" `Quick test_start_is_complete;
+    Alcotest.test_case "absorb intersects" `Quick test_absorb_intersects;
+    Alcotest.test_case "view is live" `Quick test_view_is_live;
+    Alcotest.test_case "at matches incremental" `Quick test_at_matches_incremental;
+    Alcotest.test_case "antitone chain (eq. 1)" `Quick test_antitone_property_eq1;
+    Alcotest.test_case "stabilization round" `Quick test_stabilization_round;
+    Alcotest.test_case "final" `Quick test_final;
+    Alcotest.test_case "PT = skeleton preds" `Quick test_pt_is_skeleton_preds;
+    Alcotest.test_case "PT antitone (eq. 3)" `Quick test_pt_antitone_eq3;
+    Alcotest.test_case "PT = ∩HO (eq. 7)" `Quick test_pt_matches_ho_intersection_eq7;
+    Alcotest.test_case "all_final" `Quick test_all_final;
+    Alcotest.test_case "analysis roots" `Quick test_analysis_roots;
+    Alcotest.test_case "analysis component_of" `Quick test_analysis_component_of;
+    Alcotest.test_case "root_reaching" `Quick test_root_reaching;
+    Alcotest.test_case "single root" `Quick test_single_root;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_reachable_from_root ]

@@ -1,0 +1,96 @@
+(* System-level property tests: random run descriptions (drawn from the
+   whole generator zoo via a seed, so QCheck can shrink the seed) against
+   the paper's global invariants. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_rounds
+open Ssg_skeleton
+open Ssg_adversary
+open Ssg_sim
+
+(* A generator of adversaries driven by a single shrinkable seed. *)
+let adversary_of_seed seed =
+  let rng = Rng.of_int seed in
+  let n = 3 + Rng.int rng 8 in
+  match Rng.int rng 6 with
+  | 0 ->
+      Build.block_sources rng ~n ~k:(1 + Rng.int rng (n - 1))
+        ~prefix_len:(Rng.int rng 5) ~noise:(Rng.float rng *. 0.5) ()
+  | 1 ->
+      Build.partitioned rng ~n
+        ~blocks:(1 + Rng.int rng (min 3 n))
+        ~prefix_len:(Rng.int rng 4) ()
+  | 2 -> Build.single_root rng ~n ~prefix_len:(Rng.int rng 4) ()
+  | 3 ->
+      Build.arbitrary rng ~n
+        ~density:(0.1 +. (Rng.float rng *. 0.4))
+        ~prefix_len:(Rng.int rng 5) ~noise:0.4 ()
+  | 4 -> Build.lower_bound ~n ~k:(1 + Rng.int rng (n - 1))
+  | _ ->
+      Build.with_recurrent_noise rng
+        (Build.partitioned rng ~n ~blocks:(1 + Rng.int rng 3) ())
+        ~noise:(Rng.float rng *. 0.3)
+
+let gen_adv = QCheck2.Gen.map adversary_of_seed QCheck2.Gen.(int_bound 1_000_000)
+
+let prop name ?(count = 150) f = QCheck2.Test.make ~count ~name gen_adv f
+
+let props =
+  [
+    prop "Theorem 1: roots <= min_k on any run" (fun adv ->
+        let a = Analysis.analyze (Adversary.stable_skeleton adv) in
+        Analysis.root_count a <= Adversary.min_k adv);
+    prop "validity and termination on any run" (fun adv ->
+        let r = Runner.run_kset adv in
+        Metrics.validity ~inputs:r.Runner.inputs r.Runner.outcome
+        && Metrics.termination r.Runner.outcome);
+    prop "repaired rule: k-agreement at min_k on any run" ~count:100
+      (fun adv ->
+        let n = Adversary.n adv in
+        let v = Ssg_core.Kset_agreement.make_alg ~confirm_rounds:n () in
+        let rounds = Adversary.prefix_length adv + (3 * n) + 4 in
+        let r = Runner.run_kset ~variant:v ~rounds adv in
+        Metrics.k_agreement ~k:r.Runner.min_k r.Runner.outcome
+        && Metrics.termination r.Runner.outcome);
+    prop "decision values are a subset of root-reachable inputs" ~count:100
+      (fun adv ->
+        (* every decided value was proposed by a process that can reach
+           the decider through the executed graphs — weak validity with
+           provenance; with identity inputs: value = proposer id *)
+        let r = Runner.run_kset adv in
+        let horizon = r.Runner.outcome.Executor.rounds_run in
+        let trace = Adversary.trace adv ~rounds:(max 1 horizon) in
+        let union =
+          let g = Digraph.create (Adversary.n adv) in
+          Trace.iter (fun _ round_g -> Digraph.union_into ~into:g round_g) trace;
+          g
+        in
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun p d ->
+               match d with
+               | None -> true
+               | Some { Executor.value; _ } ->
+                   Reach.exists_path union value p)
+             r.Runner.outcome.Executor.decisions));
+    prop "skeleton of description equals skeleton of materialized trace"
+      (fun adv ->
+        let t = Adversary.trace adv ~rounds:(Adversary.decision_horizon adv) in
+        Digraph.equal (Adversary.stable_skeleton adv) (Skeleton.final t));
+    prop "monitors clean on the paper algorithm" ~count:60 (fun adv ->
+        let r = Runner.run_kset ~monitor:true adv in
+        r.Runner.violations = []);
+    prop "first decision never before round n" ~count:100 (fun adv ->
+        let r = Runner.run_kset adv in
+        match Metrics.first_decision_round r.Runner.outcome with
+        | Some f -> f >= Adversary.n adv
+        | None -> false);
+    prop "messages sent = n^2 per executed round" ~count:60 (fun adv ->
+        let r = Runner.run_kset adv in
+        let n = Adversary.n adv in
+        r.Runner.outcome.Executor.messages_sent
+        = n * n * r.Runner.outcome.Executor.rounds_run);
+  ]
+
+let tests = List.map QCheck_alcotest.to_alcotest props

@@ -1,0 +1,355 @@
+(* Tests for the timing substrate: event engine, latency models, and the
+   round synchronizer that induces communication graphs from delays. *)
+
+open Ssg_graph
+open Ssg_rounds
+open Ssg_skeleton
+open Ssg_timing
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Event_sim --- *)
+
+let test_event_order () =
+  let sim = Event_sim.create () in
+  let log = ref [] in
+  Event_sim.schedule sim ~at:2.0 (fun () -> log := 2 :: !log);
+  Event_sim.schedule sim ~at:1.0 (fun () -> log := 1 :: !log);
+  Event_sim.schedule sim ~at:3.0 (fun () -> log := 3 :: !log);
+  ignore (Event_sim.run sim);
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_event_fifo_at_same_time () =
+  let sim = Event_sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Event_sim.schedule sim ~at:1.0 (fun () -> log := i :: !log)
+  done;
+  ignore (Event_sim.run sim);
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_event_cascade () =
+  let sim = Event_sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 10 then Event_sim.schedule sim ~at:(Event_sim.now sim +. 1.0) tick
+  in
+  Event_sim.schedule sim ~at:0.0 tick;
+  let final = Event_sim.run sim in
+  check_int "ten ticks" 10 !count;
+  Alcotest.(check (float 1e-9)) "final time" 9.0 final
+
+let test_event_run_until () =
+  let sim = Event_sim.create () in
+  let fired = ref 0 in
+  List.iter
+    (fun t -> Event_sim.schedule sim ~at:t (fun () -> incr fired))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  ignore (Event_sim.run_until sim ~limit:2.5);
+  check_int "two fired" 2 !fired;
+  check_int "two pending" 2 (Event_sim.pending sim)
+
+let test_event_past_rejected () =
+  let sim = Event_sim.create () in
+  Event_sim.schedule sim ~at:5.0 (fun () ->
+      check "past rejected" true
+        (try
+           Event_sim.schedule sim ~at:1.0 ignore;
+           false
+         with Invalid_argument _ -> true));
+  ignore (Event_sim.run sim)
+
+(* --- Latency --- *)
+
+let test_latency_models () =
+  let c = Latency.constant 0.5 in
+  check "constant" true (c ~src:0 ~dst:1 ~round:3 = Some 0.5);
+  let u = Latency.uniform ~seed:1 ~lo:0.2 ~hi:0.8 in
+  (match u ~src:0 ~dst:1 ~round:1 with
+  | Some d -> check "uniform in range" true (d >= 0.2 && d < 0.8)
+  | None -> Alcotest.fail "uniform lost a message");
+  check "uniform deterministic" true
+    (u ~src:0 ~dst:1 ~round:1 = u ~src:0 ~dst:1 ~round:1);
+  check "uniform varies by round" true
+    (u ~src:0 ~dst:1 ~round:1 <> u ~src:0 ~dst:1 ~round:2)
+
+let test_latency_loss () =
+  let never = Latency.with_loss ~seed:3 ~p:1.0 (Latency.constant 0.1) in
+  check "always lost" true (never ~src:0 ~dst:1 ~round:1 = None);
+  let always = Latency.with_loss ~seed:3 ~p:0.0 (Latency.constant 0.1) in
+  check "never lost" true (always ~src:0 ~dst:1 ~round:1 = Some 0.1)
+
+let test_latency_clustered_overlay () =
+  let m =
+    Latency.clustered ~assign:[| 0; 0; 1 |] ~intra:(Latency.constant 0.1)
+      ~inter:(Latency.constant 9.0)
+  in
+  check "intra" true (m ~src:0 ~dst:1 ~round:1 = Some 0.1);
+  check "inter" true (m ~src:0 ~dst:2 ~round:1 = Some 9.0);
+  let o =
+    Latency.overlay
+      ~special:(fun ~src ~dst ~round:_ ->
+        if src = 0 && dst = 2 then Some None else None)
+      m
+  in
+  check "override kills 0->2" true (o ~src:0 ~dst:2 ~round:1 = None);
+  check "others defer" true (o ~src:0 ~dst:1 ~round:1 = Some 0.1)
+
+(* --- Round_sync --- *)
+
+let test_fast_links_synchronous () =
+  (* All links faster than the timeout: the induced run is the complete
+     graph every round, and Algorithm 1 reaches consensus. *)
+  let n = 5 in
+  let r =
+    Round_sync.run_kset
+      ~inputs:(Array.init n (fun i -> i))
+      ~latency:(Latency.constant 0.3) ~max_rounds:(2 * n) ()
+  in
+  let complete = Digraph.complete ~self_loops:true n in
+  Trace.iter
+    (fun _ g -> check "complete round graph" true (Digraph.equal g complete))
+    r.Round_sync.trace;
+  let values =
+    Array.to_list r.Round_sync.decisions
+    |> List.filter_map (Option.map (fun d -> d.Round_sync.value))
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "consensus on min" [ 0 ] values;
+  check "all decided" true (Array.for_all Option.is_some r.Round_sync.decisions);
+  check_int "no late messages" 0 r.Round_sync.messages_late
+
+let test_slow_links_partition () =
+  (* Two clusters; cross-cluster latency exceeds the timeout, so the
+     induced skeleton is two islands and the run decides 2 values. *)
+  let n = 6 in
+  let assign = [| 0; 0; 0; 1; 1; 1 |] in
+  let latency =
+    Latency.clustered ~assign ~intra:(Latency.constant 0.2)
+      ~inter:(Latency.constant 5.0)
+  in
+  let r =
+    Round_sync.run_kset
+      ~inputs:(Array.init n (fun i -> i))
+      ~latency ~max_rounds:(3 * n) ()
+  in
+  let skel = Skeleton.final r.Round_sync.trace in
+  let analysis = Analysis.analyze skel in
+  check_int "two islands" 2 (Analysis.root_count analysis);
+  let values =
+    Array.to_list r.Round_sync.decisions
+    |> List.filter_map (Option.map (fun d -> d.Round_sync.value))
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "one value per island" [ 0; 3 ] values;
+  check "cross messages were late or lost" true (r.Round_sync.messages_late > 0)
+
+let test_jittery_link_transient () =
+  (* A link that is fast in early rounds and slow afterwards produces a
+     transient skeleton edge: present in G^∩r early, gone from G^∩∞. *)
+  let base = Latency.constant 0.2 in
+  let latency =
+    Latency.overlay
+      ~special:(fun ~src ~dst ~round ->
+        if src = 0 && dst = 2 then Some (if round <= 2 then Some 0.2 else Some 3.0)
+        else None)
+      base
+  in
+  let r =
+    Round_sync.run_kset
+      ~inputs:[| 0; 1; 2 |]
+      ~latency ~max_rounds:8 ()
+  in
+  let t = r.Round_sync.trace in
+  check "edge timely early" true (Digraph.mem_edge (Trace.graph t 1) 0 2);
+  check "edge untimely late" false (Digraph.mem_edge (Trace.graph t 5) 0 2);
+  check "edge not in skeleton" false
+    (Digraph.mem_edge (Skeleton.final t) 0 2)
+
+let test_drifting_timeouts () =
+  (* One slow process (long timeout) still participates: the fast ones
+     run ahead; its messages arrive "early" for their rounds and are
+     buffered rather than lost; everyone decides. *)
+  let n = 4 in
+  let timeouts = [| 1.0; 1.0; 1.0; 3.0 |] in
+  let r =
+    Round_sync.run_kset ~timeouts
+      ~inputs:(Array.init n (fun i -> i))
+      ~latency:(Latency.constant 0.1) ~max_rounds:(3 * n) ()
+  in
+  check "all decided despite drift" true
+    (Array.for_all Option.is_some r.Round_sync.decisions);
+  (* The slow process always hears itself. *)
+  Trace.iter
+    (fun _ g -> check "self loop" true (Digraph.mem_edge g 3 3))
+    r.Round_sync.trace
+
+let test_determinism () =
+  let mk () =
+    Round_sync.run_kset
+      ~inputs:[| 3; 1; 2 |]
+      ~latency:(Latency.uniform ~seed:9 ~lo:0.1 ~hi:2.0)
+      ~max_rounds:9 ()
+  in
+  let a = mk () and b = mk () in
+  check "same decisions" true (a.Round_sync.decisions = b.Round_sync.decisions);
+  for r = 1 to 9 do
+    check "same graphs" true
+      (Digraph.equal
+         (Trace.graph a.Round_sync.trace r)
+         (Trace.graph b.Round_sync.trace r))
+  done
+
+let test_message_accounting () =
+  let n = 3 in
+  let r =
+    Round_sync.run_kset
+      ~inputs:(Array.init n (fun i -> i))
+      ~latency:(Latency.constant 0.1) ~max_rounds:4 ()
+  in
+  check_int "sent = n^2 * rounds" (n * n * 4) r.Round_sync.messages_sent;
+  check_int "all delivered" (n * n * 4) r.Round_sync.messages_delivered
+
+let test_config_validation () =
+  check "bad timeout" true
+    (try
+       ignore
+         (Round_sync.run_kset ~timeouts:[| 0.0; 1.0 |] ~inputs:[| 1; 2 |]
+            ~latency:(Latency.constant 0.1) ~max_rounds:2 ());
+       false
+     with Invalid_argument _ -> true);
+  check "zero rounds" true
+    (try
+       ignore
+         (Round_sync.run_kset ~inputs:[| 1 |]
+            ~latency:(Latency.constant 0.1) ~max_rounds:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_gst_partial_synchrony () =
+  (* The classic DLS shape: before GST messages can be arbitrarily late;
+     after GST every link is bounded below the timeout.  The induced run
+     has an isolation prefix followed by synchrony, and Algorithm 1
+     decides shortly after GST. *)
+  let n = 5 in
+  let tau = 1.0 in
+  let gst_round = 6 in
+  let latency =
+    Latency.overlay
+      ~special:(fun ~src:_ ~dst:_ ~round ->
+        if round < gst_round then Some (Some 50.0) (* way past any timeout *)
+        else None)
+      (Latency.constant 0.4)
+  in
+  let r =
+    Round_sync.run_kset
+      ~timeouts:(Array.make n tau)
+      ~inputs:(Array.init n (fun i -> i))
+      ~latency
+      ~max_rounds:(gst_round + (2 * n) + 2)
+      ()
+  in
+  (* before GST nobody hears anyone but themselves *)
+  let early = Trace.graph r.Round_sync.trace 2 in
+  check "isolated before GST" true
+    (Digraph.equal early (Gen.self_loops_only n));
+  (* after GST rounds are complete *)
+  let late = Trace.graph r.Round_sync.trace (gst_round + 2) in
+  check "synchronous after GST" true
+    (Digraph.equal late (Digraph.complete ~self_loops:true n));
+  (* everyone decides; the pre-GST isolation already forced PT = self, so
+     every process is its own root: n values, each its own (the ♦Psrcs
+     argument, emerging from timing) *)
+  check "all decided" true
+    (Array.for_all Option.is_some r.Round_sync.decisions);
+  let values =
+    Array.to_list r.Round_sync.decisions
+    |> List.filter_map (Option.map (fun d -> d.Round_sync.value))
+    |> List.sort_uniq compare
+  in
+  check "own values (eventual synchrony is too weak)" true
+    (List.length values = n)
+
+(* --- properties --- *)
+
+let gen_cfg =
+  QCheck2.Gen.(
+    let* seed = int_bound 100000 in
+    let* n = int_range 2 7 in
+    let+ tau = int_range 1 30 in
+    (seed, n, float_of_int tau /. 10.0))
+
+let props =
+  [
+    QCheck2.Test.make ~count:120 ~name:"induced graphs always have self-loops"
+      gen_cfg (fun (seed, n, tau) ->
+        let r =
+          Round_sync.run_kset
+            ~timeouts:(Array.make n tau)
+            ~inputs:(Array.init n (fun i -> i))
+            ~latency:(Latency.with_loss ~seed ~p:0.2
+                        (Latency.uniform ~seed ~lo:0.1 ~hi:2.0))
+            ~max_rounds:6 ()
+        in
+        let ok = ref true in
+        Trace.iter
+          (fun _ g -> if not (Digraph.has_all_self_loops g) then ok := false)
+          r.Round_sync.trace;
+        !ok);
+    QCheck2.Test.make ~count:120
+      ~name:"sent = n^2 rounds; delivered+late+lost = sent" gen_cfg
+      (fun (seed, n, tau) ->
+        let r =
+          Round_sync.run_kset
+            ~timeouts:(Array.make n tau)
+            ~inputs:(Array.init n (fun i -> i))
+            ~latency:(Latency.uniform ~seed ~lo:0.1 ~hi:2.0)
+            ~max_rounds:5 ()
+        in
+        r.Round_sync.messages_sent = n * n * 5
+        && r.Round_sync.messages_delivered + r.Round_sync.messages_late
+           <= r.Round_sync.messages_sent);
+    QCheck2.Test.make ~count:80
+      ~name:"timeout above max latency yields complete rounds" gen_cfg
+      (fun (seed, n, _) ->
+        let r =
+          Round_sync.run_kset
+            ~timeouts:(Array.make n 3.0)
+            ~inputs:(Array.init n (fun i -> i))
+            ~latency:(Latency.uniform ~seed ~lo:0.1 ~hi:2.9)
+            ~max_rounds:4 ()
+        in
+        let complete = Digraph.complete ~self_loops:true n in
+        let ok = ref true in
+        Trace.iter
+          (fun _ g -> if not (Digraph.equal g complete) then ok := false)
+          r.Round_sync.trace;
+        !ok);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "event order" `Quick test_event_order;
+    Alcotest.test_case "event fifo at same time" `Quick test_event_fifo_at_same_time;
+    Alcotest.test_case "event cascade" `Quick test_event_cascade;
+    Alcotest.test_case "run_until" `Quick test_event_run_until;
+    Alcotest.test_case "past rejected" `Quick test_event_past_rejected;
+    Alcotest.test_case "latency models" `Quick test_latency_models;
+    Alcotest.test_case "latency loss" `Quick test_latency_loss;
+    Alcotest.test_case "latency clustered/overlay" `Quick
+      test_latency_clustered_overlay;
+    Alcotest.test_case "fast links -> synchronous consensus" `Quick
+      test_fast_links_synchronous;
+    Alcotest.test_case "slow cross links -> partition" `Quick
+      test_slow_links_partition;
+    Alcotest.test_case "jittery link -> transient edge" `Quick
+      test_jittery_link_transient;
+    Alcotest.test_case "drifting timeouts" `Quick test_drifting_timeouts;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "message accounting" `Quick test_message_accounting;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "GST partial synchrony" `Quick test_gst_partial_synchrony;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest props
