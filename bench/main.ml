@@ -2,13 +2,18 @@
 
    Two parts, both printed by `dune exec bench/main.exe`:
 
-   1. Bechamel micro-benchmarks (B1..B8) — one Test.make per core
+   1. Bechamel micro-benchmarks (B1..B8, B10) — one Test.make per core
       operation, timing the building blocks whose complexity the paper's
       Section V argument relies on (SCC, skeleton intersection, graph
       merging, a full Algorithm 1 round, the Psrcs decision procedure, a
-      full run end to end, the wire codec, a timing-layer run).
+      full run end to end, the wire codec, a timing-layer run, a
+      sequential-vs-parallel round).
 
-   2. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
+   2. B9 — service-engine batch throughput: a >= 100-job batch pushed
+      through the persistent ssgd engine (worker pool + dedup + LRU
+      cache) against a naive sequential loop, wall-clock.
+
+   3. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
       paper (see DESIGN.md's index and EXPERIMENTS.md for discussion).
 
    Scale: set SSG_BENCH_SCALE=quick|standard|full (default standard).
@@ -125,7 +130,7 @@ let bench_timing n =
               ~latency:(Ssg_timing.Latency.uniform ~seed:n ~lo:0.1 ~hi:1.5)
               ~max_rounds:(2 * n) ())))
 
-(* B9: intra-round parallelism — one big Algorithm 1 round, sequential vs
+(* B10: intra-round parallelism — one big Algorithm 1 round, sequential vs
    all cores (transitions are independent per process). *)
 let bench_parallel_round ~domains n =
   let module E = Executor.Make (Kset_agreement.Alg) in
@@ -134,7 +139,7 @@ let bench_parallel_round ~domains n =
   in
   let label = if domains = 0 then "seq" else Printf.sprintf "%dd" domains in
   Test.make
-    ~name:(Printf.sprintf "B9-par-round/%s/n=%d" label n)
+    ~name:(Printf.sprintf "B10-par-round/%s/n=%d" label n)
     (Staged.stage (fun () ->
          let cfg =
            E.config ~domains ~stop_when_all_decided:false
@@ -202,10 +207,87 @@ let run_micro scale =
           Table.add_row table [ name; human_ns ns ])
         results)
     tests;
-  print_endline "== B1..B9: micro-benchmarks (Bechamel, monotonic clock) ==";
+  print_endline "== B1..B8, B10: micro-benchmarks (Bechamel, monotonic clock) ==";
   print_newline ();
   Table.print table;
   print_newline ()
+
+(* ---------------- B9: service-engine batch throughput ---------------- *)
+
+(* Wall-clock, not Bechamel: the subject is a persistent stateful engine
+   (pool + dedup + cache), so repeated staged invocations would only
+   measure the warm cache.  One batch of >= 100 jobs — realistic sweep
+   traffic with 4x duplication, the dedup/cache workload the service
+   exists for — is pushed through (a) a naive sequential loop that
+   executes every submission, (b) a cold engine, (c) the same engine
+   again fully warm. *)
+let run_engine_bench scale =
+  let n, total =
+    match scale with
+    | `Quick -> (16, 120)
+    | `Standard -> (24, 200)
+    | `Full -> (32, 400)
+  in
+  let distinct = total / 4 in
+  let job i =
+    Ssg_engine.Job.make
+      (Build.block_sources
+         (Rng.of_int (9100 + i))
+         ~n ~k:(max 1 (n / 4)) ~prefix_len:2 ())
+  in
+  let batch = List.init total (fun i -> job (i mod distinct)) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let (), seq_s =
+    time (fun () ->
+        List.iter (fun j -> ignore (Ssg_engine.Job.execute j)) batch)
+  in
+  let workers = max 2 (Parallel.default_domains ()) in
+  let engine =
+    Ssg_engine.Engine.create ~workers ~queue_capacity:32 ~cache_capacity:1024
+      ()
+  in
+  let cold_completions, cold_s =
+    time (fun () -> Ssg_engine.Engine.run_batch engine batch)
+  in
+  let warm_completions, warm_s =
+    time (fun () -> Ssg_engine.Engine.run_batch engine batch)
+  in
+  let stats = Ssg_engine.Engine.stats engine in
+  Ssg_engine.Engine.shutdown engine;
+  let ok cs =
+    List.for_all
+      (fun c -> Result.is_ok c.Ssg_engine.Job.result)
+      cs
+  in
+  assert (ok cold_completions && ok warm_completions);
+  Printf.printf
+    "== B9: engine batch throughput (%d jobs, %d distinct, n=%d, %d worker domain(s)) ==\n\n"
+    total distinct n workers;
+  let table = Table.create [ "pipeline"; "wall-clock"; "vs sequential" ] in
+  let row label s =
+    Table.add_row table
+      [ label; Printf.sprintf "%.1f ms" (1000. *. s);
+        Printf.sprintf "%.2fx" (seq_s /. Stdlib.max s 1e-9) ]
+  in
+  row "sequential loop (every job executed)" seq_s;
+  row "engine, cold (pool + dedup + cache)" cold_s;
+  row "engine, warm resubmission (all hits)" warm_s;
+  Table.print table;
+  Printf.printf
+    "\n  engine executed %d distinct jobs for %d submissions (%d cache/dedup hits, %.0f%% hit rate)\n\n"
+    stats.Ssg_engine.Telemetry.jobs_completed
+    stats.Ssg_engine.Telemetry.jobs_submitted
+    stats.Ssg_engine.Telemetry.cache_hits
+    (100.
+    *. float_of_int stats.Ssg_engine.Telemetry.cache_hits
+    /. float_of_int
+         (Stdlib.max 1
+            (stats.Ssg_engine.Telemetry.cache_hits
+            + stats.Ssg_engine.Telemetry.cache_misses)))
 
 (* ---------------- main ---------------- *)
 
@@ -221,6 +303,7 @@ let () =
     "Stable Skeleton Graphs — benchmark & reproduction harness (scale: %s)\n\n"
     scale_name;
   run_micro scale;
+  run_engine_bench scale;
   let csv_dir = Sys.getenv_opt "SSG_BENCH_CSV_DIR" in
   (match csv_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755

@@ -5,7 +5,11 @@
      figure1     reproduce the paper's Figure 1
      experiment  run one experiment (F1, E1..E8, A1) or all of them
      check       build a run description and report its predicate profile
-     dot         export a run's stable skeleton as Graphviz *)
+     dot         export a run's stable skeleton as Graphviz
+     serve       run the ssgd simulation service on a Unix-domain socket
+     submit      send one job (or a --repeat batch) to a running ssgd
+     stats       query a running ssgd's metrics
+     shutdown    gracefully stop a running ssgd *)
 
 open Cmdliner
 open Ssg_util
@@ -463,6 +467,151 @@ let timing_cmd =
     Term.(const action $ n_arg $ clusters_arg $ tau_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* service mode: serve / submit / stats / shutdown                     *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the ssgd service." in
+  Arg.(
+    value
+    & opt string (Filename.concat (Filename.get_temp_dir_name ()) "ssgd.sock")
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let workers_arg =
+    let doc = "Worker domains (default: all cores but one, at least 1)." in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"W" ~doc)
+  in
+  let queue_arg =
+    let doc = "Job queue capacity (submissions block when full)." in
+    Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"JOBS" ~doc)
+  in
+  let cache_arg =
+    let doc = "LRU result-cache capacity in entries (0 disables)." in
+    Arg.(value & opt int 1024 & info [ "cache-cap" ] ~docv:"ENTRIES" ~doc)
+  in
+  let action verbose socket workers queue_cap cache_cap =
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.App));
+    Ssg_engine.Server.serve ?workers ~queue_capacity:queue_cap
+      ~cache_capacity:cache_cap ~socket ()
+  in
+  let doc =
+    "Run the ssgd simulation service: a persistent engine with a domain      worker pool, job dedup and an LRU result cache, served over a      Unix-domain socket.  Blocks until a client sends shutdown."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const action $ verbose_arg $ socket_arg $ workers_arg $ queue_arg
+      $ cache_arg)
+
+let submit_cmd =
+  let monitor_arg =
+    let doc = "Shadow the run with the lemma monitors (Algorithm 1 only)." in
+    Arg.(value & flag & info [ "monitor"; "m" ] ~doc)
+  in
+  let algorithm_arg =
+    let doc =
+      "Algorithm: kset | floodmin | flood-consensus | naive-min."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("kset", Ssg_engine.Job.Kset);
+               ("floodmin", Ssg_engine.Job.Floodmin);
+               ("flood-consensus", Ssg_engine.Job.Flood_consensus);
+               ("naive-min", Ssg_engine.Job.Naive_min);
+             ])
+          Ssg_engine.Job.Kset
+      & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Round budget (default: the run's decision horizon)." in
+    Arg.(value & opt (some int) None & info [ "rounds" ] ~docv:"R" ~doc)
+  in
+  let repeat_arg =
+    let doc =
+      "Submit the job description COUNT times as one batch, varying the        seed — a quick way to exercise the worker pool and the cache from        the command line."
+    in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"COUNT" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Print only the one-line per-job summary." in
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+  in
+  let action socket family n k prefix seed load algorithm rounds monitor
+      repeat quiet =
+    if repeat < 1 then `Error (false, "--repeat must be >= 1")
+    else begin
+      let job_of_seed seed =
+        let adv = build_adversary ?load family ~n ~k ~prefix ~seed in
+        Ssg_engine.Job.make ~algorithm ~k ?rounds ~monitor adv
+      in
+      let jobs = List.init repeat (fun i -> job_of_seed (seed + i)) in
+      let c = Ssg_engine.Client.connect ~socket in
+      Fun.protect
+        ~finally:(fun () -> Ssg_engine.Client.close c)
+        (fun () ->
+          let completions =
+            match jobs with
+            | [ job ] -> [ Ssg_engine.Client.submit c job ]
+            | jobs -> Ssg_engine.Client.submit_batch c jobs
+          in
+          List.iteri
+            (fun i completion ->
+              let open Ssg_engine.Job in
+              if quiet || repeat > 1 then
+                match completion.result with
+                | Ok o ->
+                    Printf.printf
+                      "job %-3d: %d distinct decision(s), min_k=%d, %d rounds  [%s, %.2f ms]\n"
+                      (i + 1) o.distinct_decisions o.min_k o.rounds_run
+                      (if completion.cached then "cache" else "computed")
+                      completion.latency_ms
+                | Error msg -> Printf.printf "job %-3d: ERROR %s\n" (i + 1) msg
+              else Format.printf "%a" pp_completion completion)
+            completions);
+      `Ok ()
+    end
+  in
+  let doc =
+    "Build a run description (same options as $(b,run)) and submit it to a      running ssgd service over the socket."
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc)
+    Term.(
+      ret
+        (const action $ socket_arg $ family_arg $ n_arg $ k_arg $ prefix_arg
+        $ seed_arg $ load_arg $ algorithm_arg $ rounds_arg $ monitor_arg
+        $ repeat_arg $ quiet_arg))
+
+let stats_cmd =
+  let action socket =
+    let c = Ssg_engine.Client.connect ~socket in
+    Fun.protect
+      ~finally:(fun () -> Ssg_engine.Client.close c)
+      (fun () ->
+        let snapshot = Ssg_engine.Client.stats c in
+        Format.printf "%a" Ssg_engine.Telemetry.pp_snapshot snapshot)
+  in
+  let doc = "Print a running ssgd service's metrics snapshot." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const action $ socket_arg)
+
+let shutdown_cmd =
+  let action socket =
+    let c = Ssg_engine.Client.connect ~socket in
+    Fun.protect
+      ~finally:(fun () -> Ssg_engine.Client.close c)
+      (fun () ->
+        Ssg_engine.Client.shutdown c;
+        print_endline "ssgd acknowledged shutdown")
+  in
+  let doc = "Gracefully stop a running ssgd service." in
+  Cmd.v (Cmd.info "shutdown" ~doc) Term.(const action $ socket_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -474,5 +623,6 @@ let () =
        (Cmd.group info
           [
             run_cmd; figure1_cmd; experiment_cmd; check_cmd; dot_cmd;
-            timing_cmd; shrink_cmd;
+            timing_cmd; shrink_cmd; serve_cmd; submit_cmd; stats_cmd;
+            shutdown_cmd;
           ]))

@@ -1,0 +1,80 @@
+type 'a t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  items : 'a Queue.t;
+  cap : int;
+  mutable closed : bool;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  {
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    items = Queue.create ();
+    cap = capacity;
+    closed = false;
+  }
+
+let push q x =
+  Mutex.lock q.mutex;
+  let rec wait () =
+    if q.closed then begin
+      Mutex.unlock q.mutex;
+      false
+    end
+    else if Queue.length q.items >= q.cap then begin
+      Condition.wait q.not_full q.mutex;
+      wait ()
+    end
+    else begin
+      Queue.add x q.items;
+      Condition.signal q.not_empty;
+      Mutex.unlock q.mutex;
+      true
+    end
+  in
+  wait ()
+
+let pop q =
+  Mutex.lock q.mutex;
+  let rec wait () =
+    if not (Queue.is_empty q.items) then begin
+      let x = Queue.take q.items in
+      Condition.signal q.not_full;
+      Mutex.unlock q.mutex;
+      Some x
+    end
+    else if q.closed then begin
+      Mutex.unlock q.mutex;
+      None
+    end
+    else begin
+      Condition.wait q.not_empty q.mutex;
+      wait ()
+    end
+  in
+  wait ()
+
+let close q =
+  Mutex.lock q.mutex;
+  q.closed <- true;
+  Condition.broadcast q.not_empty;
+  Condition.broadcast q.not_full;
+  Mutex.unlock q.mutex
+
+let is_closed q =
+  Mutex.lock q.mutex;
+  let c = q.closed in
+  Mutex.unlock q.mutex;
+  c
+
+let length q =
+  Mutex.lock q.mutex;
+  let l = Queue.length q.items in
+  Mutex.unlock q.mutex;
+  l
+
+let capacity q = q.cap

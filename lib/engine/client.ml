@@ -1,0 +1,41 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let rpc c request =
+  Protocol.write_request c.oc request;
+  Protocol.read_reply c.ic
+
+let unexpected what = failwith ("Client: unexpected reply to " ^ what)
+
+let submit c job =
+  match rpc c (Protocol.Submit job) with
+  | Protocol.Completed completion -> completion
+  | Protocol.Error msg -> failwith ("server error: " ^ msg)
+  | _ -> unexpected "submit"
+
+let submit_batch c jobs =
+  match rpc c (Protocol.Batch jobs) with
+  | Protocol.Batch_completed completions -> completions
+  | Protocol.Error msg -> failwith ("server error: " ^ msg)
+  | _ -> unexpected "batch"
+
+let stats c =
+  match rpc c Protocol.Stats with
+  | Protocol.Stats_snapshot snapshot -> snapshot
+  | Protocol.Error msg -> failwith ("server error: " ^ msg)
+  | _ -> unexpected "stats"
+
+let shutdown c =
+  match rpc c Protocol.Shutdown with
+  | Protocol.Shutting_down -> ()
+  | Protocol.Error msg -> failwith ("server error: " ^ msg)
+  | _ -> unexpected "shutdown"

@@ -1,0 +1,29 @@
+(** Client side of the [ssgd] wire protocol.
+
+    One value per connection; each call is one request/reply exchange
+    (the protocol is a strict pipeline per connection, so a [t] must not
+    be shared between threads without external serialization — open one
+    connection per thread instead, which is also what exercises the
+    server's concurrency). *)
+
+type t
+
+(** @raise Unix.Unix_error when nothing is listening on [socket]. *)
+val connect : socket:string -> t
+
+val close : t -> unit
+
+(** [submit c job] — the job's completion (cache-hit flag, latency, and
+    the outcome or the execution error).
+    @raise Failure on a protocol-level [Error] reply or an unexpected
+    reply kind. *)
+val submit : t -> Job.t -> Job.completion
+
+(** [submit_batch c jobs] — completions in submission order. *)
+val submit_batch : t -> Job.t list -> Job.completion list
+
+val stats : t -> Telemetry.snapshot
+
+(** [shutdown c] asks the server to drain and exit; returns once the
+    server acknowledged. *)
+val shutdown : t -> unit

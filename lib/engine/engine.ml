@@ -1,0 +1,109 @@
+let log_src = Logs.Src.create "ssg.engine" ~doc:"Simulation service engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type done_r = (Job.outcome, string) Stdlib.result
+
+type t = {
+  pool : Pool.t;
+  cache : Job.outcome Lru.t;
+  pending : (string, done_r Ivar.t) Hashtbl.t;
+      (* key → in-flight result cell, for dedup of identical jobs *)
+  lock : Mutex.t;  (* guards [cache] and [pending] together *)
+  telemetry : Telemetry.t;
+}
+
+let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 1024) () =
+  {
+    pool = Pool.create ?workers ~queue_capacity ();
+    cache = Lru.create ~capacity:cache_capacity;
+    pending = Hashtbl.create 64;
+    lock = Mutex.create ();
+    telemetry = Telemetry.create ();
+  }
+
+type ticket =
+  | Immediate of Job.completion
+  | Waiting of { cell : done_r Ivar.t; submitted : float; shared : bool }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let submit t job =
+  Telemetry.record_submitted t.telemetry;
+  let key = Job.key job in
+  let now = Unix.gettimeofday () in
+  let decision =
+    locked t (fun () ->
+        match Lru.find t.cache key with
+        | Some outcome -> `Hit outcome
+        | None -> (
+            match Hashtbl.find_opt t.pending key with
+            | Some cell -> `In_flight cell
+            | None ->
+                let cell = Ivar.create () in
+                Hashtbl.add t.pending key cell;
+                `Fresh cell))
+  in
+  match decision with
+  | `Hit outcome ->
+      Telemetry.record_hit t.telemetry;
+      Immediate { Job.result = Ok outcome; cached = true; latency_ms = 0. }
+  | `In_flight cell ->
+      Telemetry.record_hit t.telemetry;
+      Waiting { cell; submitted = now; shared = true }
+  | `Fresh cell ->
+      Telemetry.record_miss t.telemetry;
+      let task () =
+        let result =
+          try Ok (Job.execute job)
+          with e -> Stdlib.Error (Printexc.to_string e)
+        in
+        let latency_ms = 1000. *. (Unix.gettimeofday () -. now) in
+        locked t (fun () ->
+            Hashtbl.remove t.pending key;
+            match result with
+            | Ok outcome -> Lru.add t.cache key outcome
+            | Error _ -> ());
+        (match result with
+        | Ok _ -> Telemetry.record_completed t.telemetry ~latency_ms
+        | Error msg ->
+            Telemetry.record_failed t.telemetry ~latency_ms;
+            Log.warn (fun m -> m "job failed: %s" msg));
+        Ivar.fill cell result
+      in
+      (* Pool.submit blocks on a full queue — backpressure on purpose.
+         The engine lock is NOT held here, so workers finishing jobs
+         can still take it. *)
+      if not (Pool.submit t.pool task) then begin
+        locked t (fun () -> Hashtbl.remove t.pending key);
+        Ivar.fill cell (Stdlib.Error "engine is shut down")
+      end;
+      Waiting { cell; submitted = now; shared = false }
+
+let await _t ticket =
+  match ticket with
+  | Immediate completion -> completion
+  | Waiting { cell; submitted; shared } ->
+      let result = Ivar.read cell in
+      {
+        Job.result;
+        cached = shared;
+        latency_ms = 1000. *. (Unix.gettimeofday () -. submitted);
+      }
+
+let run t job = await t (submit t job)
+
+let run_batch t jobs =
+  let tickets = List.map (submit t) jobs in
+  List.map (await t) tickets
+
+let stats t =
+  let cache_entries = locked t (fun () -> Lru.length t.cache) in
+  Telemetry.snapshot t.telemetry ~workers:(Pool.workers t.pool)
+    ~queue_depth:(Pool.queue_depth t.pool)
+    ~queue_capacity:(Pool.queue_capacity t.pool)
+    ~cache_entries
+
+let shutdown t = Pool.shutdown t.pool

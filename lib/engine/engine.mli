@@ -1,0 +1,49 @@
+(** The simulation-service engine: bounded job queue, persistent domain
+    worker pool, LRU result cache, in-flight dedup and metrics — the
+    in-process core that both the [ssgd] socket server and the benchmark
+    harness drive.
+
+    Life of a submission:
+    - cache hit → the stored outcome is returned immediately
+      ([cached = true]);
+    - an identical job already in flight → the submission shares that
+      job's result cell instead of executing twice (also reported as a
+      hit — dedup is the cache working early);
+    - otherwise → the job is enqueued ({b blocking} while the queue is
+      full: backpressure reaches the submitter), executed on a worker
+      domain, cached (successes only) and delivered.
+
+    [submit] returns a {!ticket}; [await] blocks until the result is in.
+    Submitting from several threads is safe — that is the server's normal
+    mode. *)
+
+type t
+
+(** [create ()] — defaults: workers as {!Pool.create}, queue capacity 64,
+    cache capacity 1024 (0 disables caching {e and} dedup accounting
+    still works for in-flight twins). *)
+val create :
+  ?workers:int -> ?queue_capacity:int -> ?cache_capacity:int -> unit -> t
+
+type ticket
+
+(** [submit t job] — may block on a full queue.  Never raises on job
+    errors; they surface as [Error] completions. *)
+val submit : t -> Job.t -> ticket
+
+(** [await t ticket] blocks until the job's completion is available. *)
+val await : t -> ticket -> Job.completion
+
+(** [run t job] is [await t (submit t job)]. *)
+val run : t -> Job.t -> Job.completion
+
+(** [run_batch t jobs] submits everything first (so the pool pipelines
+    the whole batch), then awaits in order. *)
+val run_batch : t -> Job.t list -> Job.completion list
+
+val stats : t -> Telemetry.snapshot
+
+(** [shutdown t] — graceful: accepted jobs run to completion, workers
+    join.  Jobs submitted afterwards complete with an [Error].
+    Idempotent. *)
+val shutdown : t -> unit

@@ -1,0 +1,95 @@
+(** Simulation jobs: the engine's unit of work.
+
+    A job is a complete, self-contained simulation request — the run
+    description (as canonical {!Ssg_adversary.Run_format} text), the
+    algorithm to execute, the agreement parameter [k], the proposal
+    inputs, an optional round budget and the monitor switch.  Values of
+    this type are immutable plain data, so they cross domain and wire
+    boundaries freely.
+
+    {b Canonicalization.}  Constructors normalize every field so that
+    jobs describing the same simulation are structurally equal and share
+    one {!key}: the run text is re-serialized through
+    [Run_format.of_string |> to_string] (sorted edge order, comments
+    stripped — a permuted-but-equal hand-written description keys
+    identically), and an explicit [inputs] array equal to the default
+    distinct inputs [0..n-1] collapses to the default.  The engine's
+    result cache and in-flight dedup both key on [key]. *)
+
+type algorithm = Kset | Floodmin | Flood_consensus | Naive_min
+
+type t = private {
+  run : string;  (** canonical [ssg-run v1] text *)
+  algorithm : algorithm;
+  k : int;
+  inputs : int array option;  (** [None] = distinct inputs [0..n-1] *)
+  rounds : int option;  (** [None] = the run's decision horizon *)
+  monitor : bool;  (** lemma monitors (Algorithm 1 only) *)
+}
+
+(** [make adv] builds a job from an in-memory run description.
+    Defaults: [algorithm = Kset], [k = 1], distinct inputs, horizon
+    rounds, monitors off.
+    @raise Invalid_argument for recurrent runs (not serializable) or
+    [k < 1]. *)
+val make :
+  ?algorithm:algorithm ->
+  ?k:int ->
+  ?inputs:int array ->
+  ?rounds:int ->
+  ?monitor:bool ->
+  Ssg_adversary.Adversary.t ->
+  t
+
+(** [of_run_text text] — like {!make} from serialized form.
+    @raise Failure on malformed run text, [Invalid_argument] on bad
+    parameters. *)
+val of_run_text :
+  ?algorithm:algorithm ->
+  ?k:int ->
+  ?inputs:int array ->
+  ?rounds:int ->
+  ?monitor:bool ->
+  string ->
+  t
+
+(** [key job] — the canonical cache/dedup key.  [key a = key b] iff the
+    jobs request the same simulation. *)
+val key : t -> string
+
+val equal : t -> t -> bool
+val algorithm_name : algorithm -> string
+
+(** What a finished job reports back — the wire-friendly projection of
+    {!Ssg_sim.Runner.report}. *)
+type outcome = {
+  algorithm : string;
+  n : int;
+  min_k : int;
+  rounds_run : int;
+  decisions : (int * int) option array;
+      (** per process: [(round, value)] of its irrevocable decision *)
+  distinct_decisions : int;
+  messages_sent : int;
+  messages_delivered : int;
+  bits_sent : int;
+  violations : string list;
+}
+
+(** [execute job] runs the simulation in the calling domain.
+    @raise Failure / [Invalid_argument] on inconsistent jobs (e.g. an
+    inputs array whose length differs from the run's [n]) — the engine
+    converts these into error replies. *)
+val execute : t -> outcome
+
+(** How the service layer reports a finished submission: the outcome (or
+    the execution error), whether it was served from the result cache /
+    deduplicated against an in-flight twin, and the submit-to-reply
+    latency observed by the engine. *)
+type completion = {
+  result : (outcome, string) Stdlib.result;
+  cached : bool;
+  latency_ms : float;
+}
+
+val pp_completion : Format.formatter -> completion -> unit

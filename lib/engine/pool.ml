@@ -1,0 +1,52 @@
+let log_src = Logs.Src.create "ssg.engine.pool" ~doc:"Domain worker pool"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  queue : (unit -> unit) Bqueue.t;
+  domains : unit Domain.t array;
+  joined : Mutex.t;  (* serializes shutdown; joining a domain twice is UB *)
+  mutable down : bool;
+}
+
+let worker queue () =
+  let rec loop () =
+    match Bqueue.pop queue with
+    | None -> ()
+    | Some task ->
+        (try task ()
+         with e ->
+           Log.err (fun m ->
+               m "task escaped its wrapper: %s" (Printexc.to_string e)));
+        loop ()
+  in
+  loop ()
+
+let create ?workers ?(queue_capacity = 64) () =
+  let workers =
+    match workers with
+    | Some w -> w
+    | None -> max 1 (Ssg_util.Parallel.default_domains ())
+  in
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let queue = Bqueue.create ~capacity:queue_capacity () in
+  let domains = Array.init workers (fun _ -> Domain.spawn (worker queue)) in
+  Log.info (fun m ->
+      m "pool up: %d worker domain(s), queue capacity %d" workers
+        queue_capacity);
+  { queue; domains; joined = Mutex.create (); down = false }
+
+let workers pool = Array.length pool.domains
+let queue_depth pool = Bqueue.length pool.queue
+let queue_capacity pool = Bqueue.capacity pool.queue
+let submit pool task = Bqueue.push pool.queue task
+
+let shutdown pool =
+  Bqueue.close pool.queue;
+  Mutex.lock pool.joined;
+  if not pool.down then begin
+    Array.iter Domain.join pool.domains;
+    pool.down <- true;
+    Log.info (fun m -> m "pool drained and joined")
+  end;
+  Mutex.unlock pool.joined

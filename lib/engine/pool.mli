@@ -1,0 +1,39 @@
+(** Persistent domain worker pool.
+
+    {!Ssg_util.Parallel} spawns domains per call — right for one-shot
+    batch maps, wrong for a long-lived service where domain spawn cost
+    and unbounded fan-out matter.  This pool generalizes it: a fixed set
+    of worker domains drain a {!Bqueue} of thunks for the lifetime of the
+    service, the bounded queue gives submission backpressure, and
+    [shutdown] is graceful (already-accepted tasks run to completion
+    before the workers exit).
+
+    A task that raises does not kill its worker: the exception is caught
+    and logged, and the worker moves on.  Tasks that must propagate
+    failure do so through their own result channel (the engine wraps
+    every job and delivers [Error] through an {!Ivar}). *)
+
+type t
+
+(** [create ?workers ?queue_capacity ()] spawns the worker domains.
+    Defaults: [workers = max 1 (Ssg_util.Parallel.default_domains ())],
+    [queue_capacity = 64].
+    @raise Invalid_argument if [workers < 1] or [queue_capacity < 1]. *)
+val create : ?workers:int -> ?queue_capacity:int -> unit -> t
+
+val workers : t -> int
+
+(** [queue_depth pool] — tasks accepted but not yet started. *)
+val queue_depth : t -> int
+
+val queue_capacity : t -> int
+
+(** [submit pool task] enqueues [task], blocking while the queue is full
+    (backpressure).  Returns [false] iff the pool has been shut down, in
+    which case the task was {e not} accepted. *)
+val submit : t -> (unit -> unit) -> bool
+
+(** [shutdown pool] closes the queue, waits for the workers to drain all
+    accepted tasks, and joins them.  Idempotent; concurrent calls after
+    the first return once the first completes. *)
+val shutdown : t -> unit

@@ -1,0 +1,356 @@
+open Ssg_util
+
+type request = Submit of Job.t | Batch of Job.t list | Stats | Shutdown
+
+type reply =
+  | Completed of Job.completion
+  | Batch_completed of Job.completion list
+  | Stats_snapshot of Telemetry.snapshot
+  | Shutting_down
+  | Error of string
+
+let max_frame_bytes = 16 * 1024 * 1024
+
+(* ---------------- primitive writers ---------------- *)
+
+let put_int buf (x : int) =
+  let open Int64 in
+  let v = of_int x in
+  for shift = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (to_int (logand (shift_right_logical v (8 * shift)) 0xFFL)))
+  done
+
+let put_float buf f =
+  let bits = Int64.bits_of_float f in
+  for shift = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr
+         Int64.(to_int (logand (shift_right_logical bits (8 * shift)) 0xFFL)))
+  done
+
+let put_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let put_option buf put = function
+  | None -> Buffer.add_char buf '\000'
+  | Some v ->
+      Buffer.add_char buf '\001';
+      put buf v
+
+let put_list buf put xs =
+  put_int buf (List.length xs);
+  List.iter (put buf) xs
+
+let put_array buf put xs =
+  put_int buf (Array.length xs);
+  Array.iter (put buf) xs
+
+(* ---------------- primitive readers ---------------- *)
+
+type reader = { data : string; mutable pos : int }
+
+let truncated () = failwith "Protocol: truncated frame"
+
+let take r n =
+  if n < 0 || r.pos + n > String.length r.data then truncated ();
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_byte r =
+  if r.pos >= String.length r.data then truncated ();
+  let c = r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  Char.code c
+
+let get_int r =
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_byte r))
+  done;
+  Int64.to_int !v
+
+let get_float r =
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_byte r))
+  done;
+  Int64.float_of_bits !v
+
+let get_bool r =
+  match get_byte r with
+  | 0 -> false
+  | 1 -> true
+  | b -> failwith (Printf.sprintf "Protocol: bad boolean byte %d" b)
+
+let get_string r =
+  let n = get_int r in
+  if n < 0 || n > max_frame_bytes then
+    failwith "Protocol: string length out of range";
+  take r n
+
+let get_option r get =
+  match get_byte r with
+  | 0 -> None
+  | 1 -> Some (get r)
+  | b -> failwith (Printf.sprintf "Protocol: bad option byte %d" b)
+
+let get_list r get =
+  let n = get_int r in
+  if n < 0 || n > max_frame_bytes then
+    failwith "Protocol: list length out of range";
+  List.init n (fun _ -> get r)
+
+let get_array r get = Array.of_list (get_list r get)
+
+(* ---------------- domain encodings ---------------- *)
+
+let algorithm_tag = function
+  | Job.Kset -> 0
+  | Job.Floodmin -> 1
+  | Job.Flood_consensus -> 2
+  | Job.Naive_min -> 3
+
+let algorithm_of_tag = function
+  | 0 -> Job.Kset
+  | 1 -> Job.Floodmin
+  | 2 -> Job.Flood_consensus
+  | 3 -> Job.Naive_min
+  | t -> failwith (Printf.sprintf "Protocol: unknown algorithm tag %d" t)
+
+let put_job buf (j : Job.t) =
+  put_string buf j.Job.run;
+  Buffer.add_char buf (Char.chr (algorithm_tag j.Job.algorithm));
+  put_int buf j.Job.k;
+  put_option buf (fun b xs -> put_array b put_int xs) j.Job.inputs;
+  put_option buf put_int j.Job.rounds;
+  put_bool buf j.Job.monitor
+
+let get_job r =
+  let run = get_string r in
+  let algorithm = algorithm_of_tag (get_byte r) in
+  let k = get_int r in
+  let inputs = get_option r (fun r -> get_array r get_int) in
+  let rounds = get_option r get_int in
+  let monitor = get_bool r in
+  (* Re-canonicalize through the constructor: a hand-rolled client
+     cannot plant a non-canonical job in the cache key space, and
+     malformed run text is rejected at decode time. *)
+  Job.of_run_text ~algorithm ~k ?inputs ?rounds ~monitor run
+
+let put_outcome buf (o : Job.outcome) =
+  put_string buf o.Job.algorithm;
+  put_int buf o.Job.n;
+  put_int buf o.Job.min_k;
+  put_int buf o.Job.rounds_run;
+  put_array buf
+    (fun b d ->
+      put_option b
+        (fun b (round, value) ->
+          put_int b round;
+          put_int b value)
+        d)
+    o.Job.decisions;
+  put_int buf o.Job.distinct_decisions;
+  put_int buf o.Job.messages_sent;
+  put_int buf o.Job.messages_delivered;
+  put_int buf o.Job.bits_sent;
+  put_list buf put_string o.Job.violations
+
+let get_outcome r : Job.outcome =
+  let algorithm = get_string r in
+  let n = get_int r in
+  let min_k = get_int r in
+  let rounds_run = get_int r in
+  let decisions =
+    get_array r (fun r ->
+        get_option r (fun r ->
+            let round = get_int r in
+            let value = get_int r in
+            (round, value)))
+  in
+  let distinct_decisions = get_int r in
+  let messages_sent = get_int r in
+  let messages_delivered = get_int r in
+  let bits_sent = get_int r in
+  let violations = get_list r get_string in
+  {
+    Job.algorithm;
+    n;
+    min_k;
+    rounds_run;
+    decisions;
+    distinct_decisions;
+    messages_sent;
+    messages_delivered;
+    bits_sent;
+    violations;
+  }
+
+let put_completion buf (c : Job.completion) =
+  (match c.Job.result with
+  | Ok o ->
+      Buffer.add_char buf '\000';
+      put_outcome buf o
+  | Error msg ->
+      Buffer.add_char buf '\001';
+      put_string buf msg);
+  put_bool buf c.Job.cached;
+  put_float buf c.Job.latency_ms
+
+let get_completion r : Job.completion =
+  let result =
+    match get_byte r with
+    | 0 -> Ok (get_outcome r)
+    | 1 -> Stdlib.Error (get_string r)
+    | t -> failwith (Printf.sprintf "Protocol: bad result tag %d" t)
+  in
+  let cached = get_bool r in
+  let latency_ms = get_float r in
+  { Job.result; cached; latency_ms }
+
+let put_summary buf (s : Stats.summary) =
+  put_int buf s.Stats.count;
+  put_float buf s.Stats.mean;
+  put_float buf s.Stats.stddev;
+  put_float buf s.Stats.min;
+  put_float buf s.Stats.max;
+  put_float buf s.Stats.p50;
+  put_float buf s.Stats.p95;
+  put_float buf s.Stats.p99
+
+let get_summary r : Stats.summary =
+  let count = get_int r in
+  let mean = get_float r in
+  let stddev = get_float r in
+  let min = get_float r in
+  let max = get_float r in
+  let p50 = get_float r in
+  let p95 = get_float r in
+  let p99 = get_float r in
+  { Stats.count; mean; stddev; min; max; p50; p95; p99 }
+
+let put_snapshot buf (s : Telemetry.snapshot) =
+  put_float buf s.Telemetry.uptime_s;
+  put_int buf s.Telemetry.workers;
+  put_int buf s.Telemetry.queue_depth;
+  put_int buf s.Telemetry.queue_capacity;
+  put_int buf s.Telemetry.jobs_submitted;
+  put_int buf s.Telemetry.jobs_completed;
+  put_int buf s.Telemetry.jobs_failed;
+  put_int buf s.Telemetry.cache_hits;
+  put_int buf s.Telemetry.cache_misses;
+  put_int buf s.Telemetry.cache_entries;
+  put_float buf s.Telemetry.throughput_jps;
+  put_option buf put_summary s.Telemetry.latency_ms
+
+let get_snapshot r : Telemetry.snapshot =
+  let uptime_s = get_float r in
+  let workers = get_int r in
+  let queue_depth = get_int r in
+  let queue_capacity = get_int r in
+  let jobs_submitted = get_int r in
+  let jobs_completed = get_int r in
+  let jobs_failed = get_int r in
+  let cache_hits = get_int r in
+  let cache_misses = get_int r in
+  let cache_entries = get_int r in
+  let throughput_jps = get_float r in
+  let latency_ms = get_option r get_summary in
+  {
+    Telemetry.uptime_s;
+    workers;
+    queue_depth;
+    queue_capacity;
+    jobs_submitted;
+    jobs_completed;
+    jobs_failed;
+    cache_hits;
+    cache_misses;
+    cache_entries;
+    throughput_jps;
+    latency_ms;
+  }
+
+(* ---------------- top-level messages ---------------- *)
+
+let request_to_bytes req =
+  let buf = Buffer.create 256 in
+  (match req with
+  | Submit j ->
+      Buffer.add_char buf 'S';
+      put_job buf j
+  | Batch js ->
+      Buffer.add_char buf 'B';
+      put_list buf put_job js
+  | Stats -> Buffer.add_char buf 'T'
+  | Shutdown -> Buffer.add_char buf 'Q');
+  Buffer.to_bytes buf
+
+let request_of_bytes bytes =
+  let r = { data = Bytes.to_string bytes; pos = 0 } in
+  match Char.chr (get_byte r) with
+  | 'S' -> Submit (get_job r)
+  | 'B' -> Batch (get_list r get_job)
+  | 'T' -> Stats
+  | 'Q' -> Shutdown
+  | c -> failwith (Printf.sprintf "Protocol: unknown request tag %C" c)
+
+let reply_to_bytes reply =
+  let buf = Buffer.create 256 in
+  (match reply with
+  | Completed c ->
+      Buffer.add_char buf 'R';
+      put_completion buf c
+  | Batch_completed cs ->
+      Buffer.add_char buf 'L';
+      put_list buf put_completion cs
+  | Stats_snapshot s ->
+      Buffer.add_char buf 'T';
+      put_snapshot buf s
+  | Shutting_down -> Buffer.add_char buf 'D'
+  | Error msg ->
+      Buffer.add_char buf 'E';
+      put_string buf msg);
+  Buffer.to_bytes buf
+
+let reply_of_bytes bytes =
+  let r = { data = Bytes.to_string bytes; pos = 0 } in
+  match Char.chr (get_byte r) with
+  | 'R' -> Completed (get_completion r)
+  | 'L' -> Batch_completed (get_list r get_completion)
+  | 'T' -> Stats_snapshot (get_snapshot r)
+  | 'D' -> Shutting_down
+  | 'E' -> Error (get_string r)
+  | c -> failwith (Printf.sprintf "Protocol: unknown reply tag %C" c)
+
+(* ---------------- channel framing ---------------- *)
+
+let write_frame oc payload =
+  let len = Bytes.length payload in
+  if len > max_frame_bytes then failwith "Protocol: frame too large";
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int len);
+  output_bytes oc header;
+  output_bytes oc payload;
+  flush oc
+
+let read_frame ic =
+  let header = Bytes.create 4 in
+  really_input ic header 0 4;
+  let len = Int32.to_int (Bytes.get_int32_be header 0) in
+  if len < 0 || len > max_frame_bytes then
+    failwith (Printf.sprintf "Protocol: refused frame of %d bytes" len);
+  let payload = Bytes.create len in
+  (try really_input ic payload 0 len
+   with End_of_file -> failwith "Protocol: connection died mid-frame");
+  payload
+
+let write_request oc req = write_frame oc (request_to_bytes req)
+let read_request ic = request_of_bytes (read_frame ic)
+let write_reply oc reply = write_frame oc (reply_to_bytes reply)
+let read_reply ic = reply_of_bytes (read_frame ic)

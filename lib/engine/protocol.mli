@@ -1,0 +1,50 @@
+(** The [ssgd] wire protocol: length-prefixed binary frames.
+
+    Every message on the Unix-domain socket is one {e frame}: a 4-byte
+    big-endian payload length followed by the payload; the payload's
+    first byte is a constructor tag.  Integers travel as 8-byte
+    big-endian two's complement, floats as their IEEE-754 bits, strings
+    as a length then raw bytes — no escaping, no delimiters, so framing
+    is exact under any kernel buffering and the codec round-trips
+    byte-for-byte (property-tested).
+
+    Clients send {!request}s, the server answers each with exactly one
+    {!reply}, in order, on the same connection — a strict request/reply
+    pipeline per connection; concurrency comes from multiple
+    connections. *)
+
+type request =
+  | Submit of Job.t
+  | Batch of Job.t list  (** one reply carrying one completion per job *)
+  | Stats
+  | Shutdown  (** graceful: drains the queue, then the server exits *)
+
+type reply =
+  | Completed of Job.completion
+  | Batch_completed of Job.completion list
+  | Stats_snapshot of Telemetry.snapshot
+  | Shutting_down
+  | Error of string  (** protocol-level failure (not a job failure) *)
+
+(** Hard cap on payload size ([16 MiB]); both sides refuse larger frames
+    rather than attempting unbounded allocation on garbage input. *)
+val max_frame_bytes : int
+
+(** Pure codecs (what the qcheck round-trip tests exercise). Decoders
+    @raise Failure on truncated or malformed payloads. *)
+
+val request_to_bytes : request -> Bytes.t
+
+val request_of_bytes : Bytes.t -> request
+val reply_to_bytes : reply -> Bytes.t
+val reply_of_bytes : Bytes.t -> reply
+
+(** Channel framing.  Writers flush.  Readers
+    @raise End_of_file on a cleanly closed peer,
+    @raise Failure on oversized or malformed frames. *)
+
+val write_request : out_channel -> request -> unit
+
+val read_request : in_channel -> request
+val write_reply : out_channel -> reply -> unit
+val read_reply : in_channel -> reply

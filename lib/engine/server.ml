@@ -1,0 +1,88 @@
+let log_src = Logs.Src.create "ssg.server" ~doc:"ssgd socket server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* A dead server leaves its socket file behind; a live one answers
+   [connect].  Replace the former, refuse to double-bind the latter. *)
+let prepare_address path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    Unix.close probe;
+    if alive then
+      raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
+    else Unix.unlink path
+  end
+
+(* Wake a [Unix.accept] blocked on [path] by completing one throwaway
+   connection to it. *)
+let poke path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path) with Unix.Unix_error _ -> ());
+  Unix.close fd
+
+let handle_connection engine ~stop ~wake fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match Protocol.read_request ic with
+    | Protocol.Submit job ->
+        Protocol.write_reply oc (Protocol.Completed (Engine.run engine job));
+        loop ()
+    | Protocol.Batch jobs ->
+        Protocol.write_reply oc
+          (Protocol.Batch_completed (Engine.run_batch engine jobs));
+        loop ()
+    | Protocol.Stats ->
+        Protocol.write_reply oc (Protocol.Stats_snapshot (Engine.stats engine));
+        loop ()
+    | Protocol.Shutdown ->
+        Log.info (fun m -> m "shutdown requested");
+        Protocol.write_reply oc Protocol.Shutting_down;
+        Atomic.set stop true;
+        wake ()
+  in
+  (try loop () with
+  | End_of_file -> ()  (* client hung up between frames: normal *)
+  | Failure msg ->
+      Log.warn (fun m -> m "dropping connection: %s" msg);
+      (try Protocol.write_reply oc (Protocol.Error msg) with _ -> ())
+  | Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve ?workers ?queue_capacity ?cache_capacity ~socket () =
+  (* A peer closing mid-write must surface as EPIPE, not kill the
+     daemon. *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ | Sys_error _ -> ());
+  prepare_address socket;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 64;
+  let engine = Engine.create ?workers ?queue_capacity ?cache_capacity () in
+  let stop = Atomic.make false in
+  let wake () = poke socket in
+  Log.app (fun m -> m "ssgd listening on %s" socket);
+  let rec accept_loop () =
+    if not (Atomic.get stop) then begin
+      (match Unix.accept listen_fd with
+      | client_fd, _ ->
+          if Atomic.get stop then (try Unix.close client_fd with _ -> ())
+          else
+            ignore
+              (Thread.create (handle_connection engine ~stop ~wake) client_fd)
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+          ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  Engine.shutdown engine;
+  (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());
+  Log.app (fun m -> m "ssgd stopped")

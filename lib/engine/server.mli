@@ -1,0 +1,24 @@
+(** The [ssgd] daemon: {!Engine} served over a Unix-domain socket.
+
+    One listener, one lightweight [Thread] per client connection (the
+    handlers only do blocking I/O and waiting — the actual simulation
+    work runs on the engine's worker {e domains}), each connection a
+    strict request/reply pipeline of {!Protocol} frames.
+
+    Shutdown is cooperative: a [Shutdown] request answers
+    [Shutting_down], stops the accept loop, drains the engine's queue
+    gracefully and removes the socket file.  A stale socket file from a
+    dead server is replaced on startup. *)
+
+(** [serve ~socket ()] binds, prints nothing, logs on [ssg.server], and
+    {b blocks} until a client sends [Shutdown].  Engine sizing options
+    are {!Engine.create}'s.
+    @raise Unix.Unix_error if the address is unusable (e.g. a live
+    server already listening). *)
+val serve :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?cache_capacity:int ->
+  socket:string ->
+  unit ->
+  unit

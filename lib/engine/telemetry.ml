@@ -1,0 +1,113 @@
+open Ssg_util
+
+type snapshot = {
+  uptime_s : float;
+  workers : int;
+  queue_depth : int;
+  queue_capacity : int;
+  jobs_submitted : int;
+  jobs_completed : int;
+  jobs_failed : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  throughput_jps : float;
+  latency_ms : Stats.summary option;
+}
+
+type t = {
+  mutex : Mutex.t;
+  started : float;  (* Unix.gettimeofday at creation *)
+  ring : float array;  (* most recent latencies, circular *)
+  mutable ring_len : int;
+  mutable ring_pos : int;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(window = 4096) () =
+  if window < 1 then invalid_arg "Telemetry.create: window must be >= 1";
+  {
+    mutex = Mutex.create ();
+    started = Unix.gettimeofday ();
+    ring = Array.make window 0.;
+    ring_len = 0;
+    ring_pos = 0;
+    submitted = 0;
+    completed = 0;
+    failed = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let push_latency t ms =
+  t.ring.(t.ring_pos) <- ms;
+  t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring;
+  t.ring_len <- min (t.ring_len + 1) (Array.length t.ring)
+
+let record_submitted t = locked t (fun () -> t.submitted <- t.submitted + 1)
+
+let record_completed t ~latency_ms =
+  locked t (fun () ->
+      t.completed <- t.completed + 1;
+      push_latency t latency_ms)
+
+let record_failed t ~latency_ms =
+  locked t (fun () ->
+      t.failed <- t.failed + 1;
+      push_latency t latency_ms)
+
+let record_hit t = locked t (fun () -> t.hits <- t.hits + 1)
+let record_miss t = locked t (fun () -> t.misses <- t.misses + 1)
+
+let snapshot t ~workers ~queue_depth ~queue_capacity ~cache_entries =
+  locked t (fun () ->
+      let uptime_s = Unix.gettimeofday () -. t.started in
+      let latency_ms =
+        if t.ring_len = 0 then None
+        else Some (Stats.summarize (Array.sub t.ring 0 t.ring_len))
+      in
+      let done_jobs = t.completed + t.failed in
+      {
+        uptime_s;
+        workers;
+        queue_depth;
+        queue_capacity;
+        jobs_submitted = t.submitted;
+        jobs_completed = t.completed;
+        jobs_failed = t.failed;
+        cache_hits = t.hits;
+        cache_misses = t.misses;
+        cache_entries;
+        throughput_jps =
+          (if uptime_s > 0. then float_of_int done_jobs /. uptime_s else 0.);
+        latency_ms;
+      })
+
+let pp_snapshot fmt s =
+  let total = s.cache_hits + s.cache_misses in
+  let rate =
+    if total = 0 then 0. else float_of_int s.cache_hits /. float_of_int total
+  in
+  Format.fprintf fmt "uptime      : %.1f s@." s.uptime_s;
+  Format.fprintf fmt "workers     : %d@." s.workers;
+  Format.fprintf fmt "queue       : %d / %d@." s.queue_depth s.queue_capacity;
+  Format.fprintf fmt "submitted   : %d@." s.jobs_submitted;
+  Format.fprintf fmt "completed   : %d (%d failed)@." s.jobs_completed
+    s.jobs_failed;
+  Format.fprintf fmt "cache       : %d hits, %d misses (%.0f%% hit rate), %d entries@."
+    s.cache_hits s.cache_misses (100. *. rate) s.cache_entries;
+  Format.fprintf fmt "throughput  : %.1f jobs/s@." s.throughput_jps;
+  match s.latency_ms with
+  | None -> Format.fprintf fmt "latency     : (no completed jobs yet)@."
+  | Some l ->
+      Format.fprintf fmt
+        "latency     : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms (over last %d)@."
+        l.Stats.p50 l.Stats.p95 l.Stats.p99 l.Stats.count

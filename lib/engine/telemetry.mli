@@ -1,0 +1,51 @@
+(** Server metrics: counters, latency percentiles, throughput.
+
+    One [t] per engine.  Workers and connection handlers record events
+    concurrently (internally synchronized); [snapshot] freezes everything
+    into the plain record the [stats] wire reply carries.
+
+    Per-job latency is measured submit-to-completion in milliseconds and
+    kept in a fixed-size ring of the most recent [window] samples;
+    percentiles come from {!Ssg_util.Stats.summarize} over that window. *)
+
+type snapshot = {
+  uptime_s : float;
+  workers : int;
+  queue_depth : int;
+  queue_capacity : int;
+  jobs_submitted : int;  (** requests accepted, including cache hits *)
+  jobs_completed : int;  (** jobs actually executed to a result *)
+  jobs_failed : int;  (** executions that ended in an error reply *)
+  cache_hits : int;  (** served from cache or deduplicated in flight *)
+  cache_misses : int;
+  cache_entries : int;
+  throughput_jps : float;  (** completed jobs per second of uptime *)
+  latency_ms : Ssg_util.Stats.summary option;
+      (** [None] until the first completion *)
+}
+
+type t
+
+(** [create ?window ()] — [window] (default 4096) bounds the latency
+    ring. *)
+val create : ?window:int -> unit -> t
+
+val record_submitted : t -> unit
+val record_completed : t -> latency_ms:float -> unit
+val record_failed : t -> latency_ms:float -> unit
+val record_hit : t -> unit
+val record_miss : t -> unit
+
+(** [snapshot t ~workers ~queue_depth ~queue_capacity ~cache_entries] —
+    the queue/cache gauges are sampled by the caller (the engine owns
+    them). *)
+val snapshot :
+  t ->
+  workers:int ->
+  queue_depth:int ->
+  queue_capacity:int ->
+  cache_entries:int ->
+  snapshot
+
+(** Human-readable multi-line rendering (the [ssg stats] output). *)
+val pp_snapshot : Format.formatter -> snapshot -> unit

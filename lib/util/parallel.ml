@@ -16,6 +16,10 @@ let map ?domains f xs =
     let worker () =
       let continue = ref true in
       while !continue do
+        (* Early abort: once any worker records a failure, the remaining
+           workers stop claiming items instead of draining the array. *)
+        if Atomic.get failure <> None then continue := false
+        else
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then continue := false
         else

@@ -7,7 +7,9 @@
     is needed on the output.
 
     Exceptions raised by [f] are caught per item, and the first one is
-    re-raised in the calling domain after all workers join. *)
+    re-raised in the calling domain after all workers join.  A recorded
+    failure makes every worker stop claiming further items, so a failing
+    batch aborts early instead of draining the whole array. *)
 
 (** [map ?domains f xs] applies [f] to every element of [xs], using up to
     [domains] additional domains (default: [Domain.recommended_domain_count

@@ -30,4 +30,5 @@ let () =
       ("dynamic", Test_dynamic.tests);
       ("certificate", Test_certificate.tests);
       ("run-format", Test_run_format.tests);
+      ("engine", Test_engine.tests);
     ]

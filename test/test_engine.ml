@@ -1,0 +1,445 @@
+(* Tests for the ssgd service engine: bounded queue, worker pool, LRU
+   cache, job canonicalization, the framed wire protocol (qcheck
+   round-trips), the engine's dedup/caching, and an end-to-end socket
+   smoke test with concurrent clients. *)
+
+open Ssg_util
+open Ssg_adversary
+open Ssg_engine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Bqueue --- *)
+
+let test_bqueue_fifo () =
+  let q = Bqueue.create ~capacity:8 () in
+  List.iter (fun i -> assert (Bqueue.push q i)) [ 1; 2; 3 ];
+  check_int "depth" 3 (Bqueue.length q);
+  check_int "fifo 1" 1 (Option.get (Bqueue.pop q));
+  check_int "fifo 2" 2 (Option.get (Bqueue.pop q));
+  check_int "fifo 3" 3 (Option.get (Bqueue.pop q));
+  check_int "drained" 0 (Bqueue.length q)
+
+let test_bqueue_close () =
+  let q = Bqueue.create ~capacity:4 () in
+  assert (Bqueue.push q 7);
+  Bqueue.close q;
+  check "push refused after close" false (Bqueue.push q 8);
+  check "drain survives close" true (Bqueue.pop q = Some 7);
+  check "then None" true (Bqueue.pop q = None);
+  check "closed" true (Bqueue.is_closed q)
+
+let test_bqueue_backpressure () =
+  let q = Bqueue.create ~capacity:1 () in
+  assert (Bqueue.push q 1);
+  let second_in = Atomic.make false in
+  let t =
+    Thread.create
+      (fun () ->
+        ignore (Bqueue.push q 2);
+        Atomic.set second_in true)
+      ()
+  in
+  Thread.delay 0.05;
+  check "second push blocked on full queue" false (Atomic.get second_in);
+  check_int "first out" 1 (Option.get (Bqueue.pop q));
+  Thread.join t;
+  check "second push completed after pop" true (Atomic.get second_in);
+  check_int "second out" 2 (Option.get (Bqueue.pop q))
+
+(* --- Ivar --- *)
+
+let test_ivar () =
+  let cell = Ivar.create () in
+  check "empty peek" true (Ivar.peek cell = None);
+  let got = Atomic.make 0 in
+  let t = Thread.create (fun () -> Atomic.set got (Ivar.read cell)) () in
+  Thread.delay 0.02;
+  Ivar.fill cell 42;
+  Thread.join t;
+  check_int "reader woke with value" 42 (Atomic.get got);
+  check_int "re-read immediate" 42 (Ivar.read cell);
+  check "double fill rejected" true
+    (try Ivar.fill cell 43; false with Invalid_argument _ -> true)
+
+(* --- Lru --- *)
+
+let test_lru_eviction () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  check "hit a" true (Lru.find c "a" = Some 1);
+  (* recency is now a > b, so adding c evicts b *)
+  Lru.add c "c" 3;
+  check "b evicted" true (Lru.find c "b" = None);
+  check "a kept" true (Lru.find c "a" = Some 1);
+  check "c kept" true (Lru.find c "c" = Some 3);
+  check_int "evictions" 1 (Lru.evictions c);
+  check_int "hits" 3 (Lru.hits c);
+  check_int "misses" 1 (Lru.misses c);
+  check_int "entries" 2 (Lru.length c)
+
+let test_lru_overwrite_and_zero_capacity () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "k" 1;
+  Lru.add c "k" 2;
+  check "overwrite" true (Lru.find c "k" = Some 2);
+  check_int "no duplicate entry" 1 (Lru.length c);
+  let z = Lru.create ~capacity:0 in
+  Lru.add z "k" 1;
+  check "capacity 0 never stores" true (Lru.find z "k" = None);
+  check_int "capacity 0 counts misses" 1 (Lru.misses z)
+
+(* --- Pool --- *)
+
+let test_pool_drains_all_on_shutdown () =
+  let pool = Pool.create ~workers:2 ~queue_capacity:4 () in
+  let done_count = Atomic.make 0 in
+  for _ = 1 to 50 do
+    assert (Pool.submit pool (fun () -> Atomic.incr done_count))
+  done;
+  Pool.shutdown pool;
+  check_int "every accepted task ran before shutdown returned" 50
+    (Atomic.get done_count);
+  check "submit refused after shutdown" false (Pool.submit pool (fun () -> ()))
+
+let test_pool_survives_raising_tasks () =
+  let pool = Pool.create ~workers:1 ~queue_capacity:4 () in
+  let done_count = Atomic.make 0 in
+  assert (Pool.submit pool (fun () -> failwith "boom"));
+  for _ = 1 to 5 do
+    assert (Pool.submit pool (fun () -> Atomic.incr done_count))
+  done;
+  Pool.shutdown pool;
+  check_int "worker survived the raising task" 5 (Atomic.get done_count)
+
+(* --- Job --- *)
+
+let sample_adv ?(seed = 11) ?(n = 6) () =
+  Build.block_sources (Rng.of_int seed) ~n ~k:2 ~prefix_len:1 ()
+
+let test_job_canonical_permuted_text () =
+  (* The same run hand-written with edges (and rounds' edge lists) in a
+     different order, plus comments: must canonicalize to the same key. *)
+  let a =
+    Job.of_run_text "ssg-run v1\nn 3\nround 1: 1>0 0>2 1>2 2>1\nstable: 1>0 0>2 1>2\n"
+  in
+  let b =
+    Job.of_run_text
+      "ssg-run v1\n# permuted but equal\nn 3\nround 1: 2>1 1>2 0>2 1>0\nstable: 0>2 1>2 1>0\n"
+  in
+  check "permuted descriptions share a key" true (Job.key a = Job.key b);
+  check "Job.equal agrees" true (Job.equal a b)
+
+let test_job_normalizes_default_inputs () =
+  let adv = sample_adv () in
+  let explicit = Job.make ~inputs:(Array.init 6 Fun.id) adv in
+  let default = Job.make adv in
+  check "explicit 0..n-1 collapses to default" true
+    (Job.key explicit = Job.key default);
+  let shuffled = Job.make ~inputs:[| 1; 0; 2; 3; 4; 5 |] adv in
+  check "real input assignment keys differently" false
+    (Job.key shuffled = Job.key default)
+
+let test_job_execute_matches_runner () =
+  let adv = sample_adv () in
+  let outcome = Job.execute (Job.make ~monitor:true adv) in
+  let report = Ssg_sim.Runner.run_kset ~monitor:true adv in
+  check_int "min_k" report.Ssg_sim.Runner.min_k outcome.Job.min_k;
+  check_int "distinct"
+    (Ssg_sim.Metrics.distinct_decisions report.Ssg_sim.Runner.outcome)
+    outcome.Job.distinct_decisions;
+  check "violations" true (outcome.Job.violations = report.Ssg_sim.Runner.violations);
+  check "decisions agree" true
+    (outcome.Job.decisions
+    = Array.map
+        (Option.map (fun d ->
+             (d.Ssg_rounds.Executor.round, d.Ssg_rounds.Executor.value)))
+        report.Ssg_sim.Runner.outcome.Ssg_rounds.Executor.decisions)
+
+(* --- Protocol: generators + qcheck round-trips --- *)
+
+let gen_job rng =
+  let n = 2 + Rng.int rng 6 in
+  let adv =
+    Build.arbitrary (Rng.copy rng) ~n ~density:0.4
+      ~prefix_len:(Rng.int rng 3) ()
+  in
+  let algorithm =
+    match Rng.int rng 4 with
+    | 0 -> Job.Kset
+    | 1 -> Job.Floodmin
+    | 2 -> Job.Flood_consensus
+    | _ -> Job.Naive_min
+  in
+  let inputs =
+    if Rng.int rng 2 = 0 then None
+    else Some (Array.init n (fun _ -> Rng.int rng 10))
+  in
+  let rounds = if Rng.int rng 2 = 0 then None else Some (Rng.int rng 40) in
+  Job.make ~algorithm ~k:(1 + Rng.int rng 3) ?inputs ?rounds
+    ~monitor:(Rng.int rng 2 = 0) adv
+
+let gen_outcome rng : Job.outcome =
+  let n = 1 + Rng.int rng 8 in
+  {
+    Job.algorithm = "alg-" ^ string_of_int (Rng.int rng 5);
+    n;
+    min_k = 1 + Rng.int rng n;
+    rounds_run = Rng.int rng 50;
+    decisions =
+      Array.init n (fun _ ->
+          if Rng.int rng 3 = 0 then None
+          else Some (Rng.int rng 50, Rng.int rng 100));
+    distinct_decisions = Rng.int rng n;
+    messages_sent = Rng.int rng 100000;
+    messages_delivered = Rng.int rng 100000;
+    bits_sent = Rng.int rng 10000000;
+    violations =
+      List.init (Rng.int rng 3) (fun i -> "violation " ^ string_of_int i);
+  }
+
+let gen_completion rng : Job.completion =
+  {
+    Job.result =
+      (if Rng.int rng 4 = 0 then Error "it broke" else Ok (gen_outcome rng));
+    cached = Rng.int rng 2 = 0;
+    latency_ms = Rng.float rng *. 1000.;
+  }
+
+let gen_snapshot rng : Telemetry.snapshot =
+  let summary =
+    if Rng.int rng 3 = 0 then None
+    else
+      Some
+        {
+          Stats.count = 1 + Rng.int rng 1000;
+          mean = Rng.float rng *. 10.;
+          stddev = Rng.float rng;
+          min = Rng.float rng;
+          max = 10. +. Rng.float rng;
+          p50 = Rng.float rng *. 5.;
+          p95 = Rng.float rng *. 9.;
+          p99 = Rng.float rng *. 10.;
+        }
+  in
+  {
+    Telemetry.uptime_s = Rng.float rng *. 3600.;
+    workers = 1 + Rng.int rng 16;
+    queue_depth = Rng.int rng 64;
+    queue_capacity = 64;
+    jobs_submitted = Rng.int rng 100000;
+    jobs_completed = Rng.int rng 100000;
+    jobs_failed = Rng.int rng 100;
+    cache_hits = Rng.int rng 100000;
+    cache_misses = Rng.int rng 100000;
+    cache_entries = Rng.int rng 1024;
+    throughput_jps = Rng.float rng *. 1000.;
+    latency_ms = summary;
+  }
+
+let gen_request rng =
+  match Rng.int rng 4 with
+  | 0 -> Protocol.Submit (gen_job rng)
+  | 1 -> Protocol.Batch (List.init (Rng.int rng 4) (fun _ -> gen_job rng))
+  | 2 -> Protocol.Stats
+  | _ -> Protocol.Shutdown
+
+let gen_reply rng =
+  match Rng.int rng 5 with
+  | 0 -> Protocol.Completed (gen_completion rng)
+  | 1 ->
+      Protocol.Batch_completed
+        (List.init (Rng.int rng 4) (fun _ -> gen_completion rng))
+  | 2 -> Protocol.Stats_snapshot (gen_snapshot rng)
+  | 3 -> Protocol.Shutting_down
+  | _ -> Protocol.Error "nope"
+
+let prop_request_roundtrip =
+  QCheck2.Test.make ~count:150 ~name:"protocol round-trips random requests"
+    QCheck2.Gen.(int_bound 1000000)
+    (fun seed ->
+      let req = gen_request (Rng.of_int seed) in
+      Protocol.request_of_bytes (Protocol.request_to_bytes req) = req)
+
+let prop_reply_roundtrip =
+  QCheck2.Test.make ~count:150 ~name:"protocol round-trips random replies"
+    QCheck2.Gen.(int_bound 1000000)
+    (fun seed ->
+      let reply = gen_reply (Rng.of_int seed) in
+      Protocol.reply_of_bytes (Protocol.reply_to_bytes reply) = reply)
+
+let test_protocol_framing_over_pipe () =
+  let read_fd, write_fd = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr read_fd in
+  let oc = Unix.out_channel_of_descr write_fd in
+  let rng = Rng.of_int 77 in
+  let reqs = List.init 5 (fun _ -> gen_request rng) in
+  List.iter (Protocol.write_request oc) reqs;
+  List.iter
+    (fun req -> check "framed request" true (Protocol.read_request ic = req))
+    reqs;
+  close_out oc;
+  check "clean EOF at frame boundary" true
+    (try ignore (Protocol.read_request ic); false with End_of_file -> true);
+  close_in ic
+
+let test_protocol_rejects_garbage () =
+  check "unknown tag" true
+    (try ignore (Protocol.request_of_bytes (Bytes.of_string "Z")); false
+     with Failure _ -> true);
+  check "truncated" true
+    (try ignore (Protocol.reply_of_bytes (Bytes.of_string "R\001")); false
+     with Failure _ -> true)
+
+(* --- Engine --- *)
+
+let test_engine_cache_and_dedup () =
+  let engine = Engine.create ~workers:2 ~queue_capacity:8 () in
+  let job = Job.make (sample_adv ()) in
+  let first = Engine.run engine job in
+  check "first computed" false first.Job.cached;
+  let again = Engine.run engine job in
+  check "resubmission served from cache" true again.Job.cached;
+  check "same outcome" true (first.Job.result = again.Job.result);
+  (* In-flight dedup: submit the same fresh job twice before awaiting. *)
+  let fresh = Job.make (sample_adv ~seed:99 ()) in
+  let t1 = Engine.submit engine fresh in
+  let t2 = Engine.submit engine fresh in
+  let c1 = Engine.await engine t1 and c2 = Engine.await engine t2 in
+  check "dedup twin shares the result" true (c1.Job.result = c2.Job.result);
+  let s = Engine.stats engine in
+  check "hits counted" true (s.Telemetry.cache_hits >= 2);
+  check_int "the deduped pair executed once" 2 s.Telemetry.jobs_completed;
+  Engine.shutdown engine
+
+let test_engine_failure_propagation () =
+  let engine = Engine.create ~workers:1 ~queue_capacity:4 () in
+  (* 3 inputs for a 6-process run: Job.execute raises, the engine must
+     turn that into an Error completion and keep serving. *)
+  let bad = Job.make ~inputs:[| 1; 2; 3 |] (sample_adv ()) in
+  (match (Engine.run engine bad).Job.result with
+  | Error msg -> check "error mentions the cause" true (msg <> "")
+  | Ok _ -> Alcotest.fail "inconsistent job must fail");
+  let good = Engine.run engine (Job.make (sample_adv ())) in
+  check "engine alive after failure" true (Result.is_ok good.Job.result);
+  let s = Engine.stats engine in
+  check_int "failure counted" 1 s.Telemetry.jobs_failed;
+  check "failures are not cached" false
+    ((Engine.run engine bad).Job.cached);
+  Engine.shutdown engine;
+  (* A cached job would still be served after shutdown; a fresh one must
+     error because the pool no longer accepts work. *)
+  (match (Engine.run engine (Job.make (sample_adv ~seed:4242 ()))).Job.result with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fresh submission after shutdown must error")
+
+let test_engine_batch () =
+  let engine = Engine.create ~workers:2 ~queue_capacity:4 () in
+  let jobs =
+    List.init 20 (fun i -> Job.make (sample_adv ~seed:(i mod 5) ()))
+  in
+  let completions = Engine.run_batch engine jobs in
+  check_int "every job answered" 20 (List.length completions);
+  check "all ok" true
+    (List.for_all (fun c -> Result.is_ok c.Job.result) completions);
+  let s = Engine.stats engine in
+  check_int "only distinct jobs executed" 5 s.Telemetry.jobs_completed;
+  check_int "the rest were hits" 15 s.Telemetry.cache_hits;
+  Engine.shutdown engine
+
+(* --- End-to-end socket smoke test with concurrent clients --- *)
+
+let test_server_end_to_end () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ssgd-test-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists socket then Sys.remove socket;
+  let server =
+    Thread.create
+      (fun () ->
+        Server.serve ~workers:2 ~queue_capacity:16 ~cache_capacity:64 ~socket
+          ())
+      ()
+  in
+  let rec wait_up tries =
+    if tries = 0 then Alcotest.fail "server did not come up";
+    match Client.connect ~socket with
+    | c -> c
+    | exception Unix.Unix_error _ ->
+        Thread.delay 0.05;
+        wait_up (tries - 1)
+  in
+  let c0 = wait_up 100 in
+  (* Concurrent clients: every thread submits the same 3 jobs (plus one
+     per-thread unique job) on its own connection and checks the replies
+     against in-process execution. *)
+  let shared = List.init 3 (fun i -> Job.make (sample_adv ~seed:i ())) in
+  let expected = List.map Job.execute shared in
+  let failures = Atomic.make 0 in
+  let clients =
+    List.init 4 (fun t ->
+        Thread.create
+          (fun () ->
+            try
+              let c = Client.connect ~socket in
+              let mine = Job.make (sample_adv ~seed:(1000 + t) ()) in
+              let completions = Client.submit_batch c (shared @ [ mine ]) in
+              List.iteri
+                (fun i completion ->
+                  match (completion.Job.result, List.nth_opt expected i) with
+                  | Ok got, Some want when got = want -> ()
+                  | Ok _, None -> ()  (* the per-thread unique job *)
+                  | _ -> Atomic.incr failures)
+                completions;
+              Client.close c
+            with _ -> Atomic.incr failures)
+          ())
+  in
+  List.iter Thread.join clients;
+  check_int "all concurrent replies matched in-process execution" 0
+    (Atomic.get failures);
+  let s = Client.stats c0 in
+  check "shared jobs were cache hits across clients" true
+    (s.Telemetry.cache_hits >= 9);
+  check_int "distinct jobs executed once each" 7 s.Telemetry.jobs_completed;
+  Client.shutdown c0;
+  Client.close c0;
+  Thread.join server;
+  check "socket file removed on shutdown" false (Sys.file_exists socket)
+
+let tests =
+  [
+    Alcotest.test_case "bqueue fifo" `Quick test_bqueue_fifo;
+    Alcotest.test_case "bqueue close drains" `Quick test_bqueue_close;
+    Alcotest.test_case "bqueue backpressure" `Quick test_bqueue_backpressure;
+    Alcotest.test_case "ivar" `Quick test_ivar;
+    Alcotest.test_case "lru eviction order" `Quick test_lru_eviction;
+    Alcotest.test_case "lru overwrite / capacity 0" `Quick
+      test_lru_overwrite_and_zero_capacity;
+    Alcotest.test_case "pool graceful shutdown" `Quick
+      test_pool_drains_all_on_shutdown;
+    Alcotest.test_case "pool survives raising tasks" `Quick
+      test_pool_survives_raising_tasks;
+    Alcotest.test_case "job canonicalization (permuted text)" `Quick
+      test_job_canonical_permuted_text;
+    Alcotest.test_case "job canonicalization (default inputs)" `Quick
+      test_job_normalizes_default_inputs;
+    Alcotest.test_case "job execute = in-process runner" `Quick
+      test_job_execute_matches_runner;
+    Alcotest.test_case "protocol framing over a pipe" `Quick
+      test_protocol_framing_over_pipe;
+    Alcotest.test_case "protocol rejects garbage" `Quick
+      test_protocol_rejects_garbage;
+    Alcotest.test_case "engine cache + in-flight dedup" `Quick
+      test_engine_cache_and_dedup;
+    Alcotest.test_case "engine failure propagation" `Quick
+      test_engine_failure_propagation;
+    Alcotest.test_case "engine batch dedup" `Quick test_engine_batch;
+    Alcotest.test_case "server end-to-end (concurrent clients)" `Quick
+      test_server_end_to_end;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_request_roundtrip; prop_reply_roundtrip ]
