@@ -490,11 +490,42 @@ let serve_cmd =
     let doc = "LRU result-cache capacity in entries (0 disables)." in
     Arg.(value & opt int 1024 & info [ "cache-cap" ] ~docv:"ENTRIES" ~doc)
   in
-  let action verbose socket workers queue_cap cache_cap =
+  let max_conn_arg =
+    let doc =
+      "Maximum concurrent client connections; extra connections are        refused with an error reply."
+    in
+    Arg.(value & opt int 256 & info [ "max-connections" ] ~docv:"N" ~doc)
+  in
+  let read_timeout_arg =
+    let doc =
+      "Per-connection read timeout in seconds — half-open or stalled        clients are reaped after this long (0 disables)."
+    in
+    Arg.(value & opt float 30. & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let drain_timeout_arg =
+    let doc =
+      "On shutdown, wait this long for live connections to finish before        abandoning them."
+    in
+    Arg.(value & opt float 5. & info [ "drain-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let chaos_arg =
+    let doc =
+      "Fault-injection plan (chaos mode): comma-separated        crash:N | slow:N | slow:N@MS | corrupt:N | truncate:N —        every N-th job execution crashes / sleeps MS milliseconds, every        N-th reply frame is corrupted / truncated.  'off' disables."
+    in
+    Arg.(value & opt string "off" & info [ "chaos" ] ~docv:"PLAN" ~doc)
+  in
+  let action verbose socket workers queue_cap cache_cap max_connections
+      read_timeout drain_timeout chaos =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.App));
-    Ssg_engine.Server.serve ?workers ~queue_capacity:queue_cap
-      ~cache_capacity:cache_cap ~socket ()
+    match Ssg_engine.Faults.of_spec chaos with
+    | Error msg -> `Error (false, "--chaos: " ^ msg)
+    | Ok faults ->
+        Ssg_engine.Server.serve ?workers ~queue_capacity:queue_cap
+          ~cache_capacity:cache_cap ~max_connections
+          ~read_timeout_s:read_timeout ~drain_timeout_s:drain_timeout ~faults
+          ~socket ();
+        `Ok ()
   in
   let doc =
     "Run the ssgd simulation service: a persistent engine with a domain      worker pool, job dedup and an LRU result cache, served over a      Unix-domain socket.  Blocks until a client sends shutdown."
@@ -502,8 +533,10 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
-      const action $ verbose_arg $ socket_arg $ workers_arg $ queue_arg
-      $ cache_arg)
+      ret
+        (const action $ verbose_arg $ socket_arg $ workers_arg $ queue_arg
+        $ cache_arg $ max_conn_arg $ read_timeout_arg $ drain_timeout_arg
+        $ chaos_arg))
 
 let submit_cmd =
   let monitor_arg =
@@ -541,8 +574,14 @@ let submit_cmd =
     let doc = "Print only the one-line per-job summary." in
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
   in
+  let deadline_arg =
+    let doc =
+      "Per-reply deadline in seconds: fail instead of waiting forever on        an unresponsive server."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
   let action socket family n k prefix seed load algorithm rounds monitor
-      repeat quiet =
+      repeat quiet deadline_s =
     if repeat < 1 then `Error (false, "--repeat must be >= 1")
     else begin
       let job_of_seed seed =
@@ -550,7 +589,7 @@ let submit_cmd =
         Ssg_engine.Job.make ~algorithm ~k ?rounds ~monitor adv
       in
       let jobs = List.init repeat (fun i -> job_of_seed (seed + i)) in
-      let c = Ssg_engine.Client.connect ~socket in
+      let c = Ssg_engine.Client.connect ?deadline_s ~socket () in
       Fun.protect
         ~finally:(fun () -> Ssg_engine.Client.close c)
         (fun () ->
@@ -585,11 +624,11 @@ let submit_cmd =
       ret
         (const action $ socket_arg $ family_arg $ n_arg $ k_arg $ prefix_arg
         $ seed_arg $ load_arg $ algorithm_arg $ rounds_arg $ monitor_arg
-        $ repeat_arg $ quiet_arg))
+        $ repeat_arg $ quiet_arg $ deadline_arg))
 
 let stats_cmd =
   let action socket =
-    let c = Ssg_engine.Client.connect ~socket in
+    let c = Ssg_engine.Client.connect ~socket () in
     Fun.protect
       ~finally:(fun () -> Ssg_engine.Client.close c)
       (fun () ->
@@ -601,7 +640,7 @@ let stats_cmd =
 
 let shutdown_cmd =
   let action socket =
-    let c = Ssg_engine.Client.connect ~socket in
+    let c = Ssg_engine.Client.connect ~socket () in
     Fun.protect
       ~finally:(fun () -> Ssg_engine.Client.close c)
       (fun () ->

@@ -1,18 +1,51 @@
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+type t = { fd : Unix.file_descr; deadline_s : float option }
 
-let connect ~socket =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX socket)
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+let retriable = function
+  | Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR -> true
+  | _ -> false
+
+let connect ?(retries = 3) ?(retry_backoff_s = 0.05) ?deadline_s ~socket () =
+  if retries < 0 then invalid_arg "Client.connect: retries must be >= 0";
+  (match deadline_s with
+  | Some d when d <= 0. ->
+      invalid_arg "Client.connect: deadline_s must be > 0"
+  | _ -> ());
+  let attempt () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      fd
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  (* Bounded exponential backoff: a daemon that is still binding (or
+     briefly over its connection limit) costs a few retries, not a
+     client-side crash. *)
+  let rec go left backoff =
+    match attempt () with
+    | fd -> fd
+    | exception Unix.Unix_error (err, _, _) when left > 0 && retriable err ->
+        Thread.delay backoff;
+        go (left - 1) (backoff *. 2.)
+  in
+  let fd = go retries retry_backoff_s in
+  (match deadline_s with
+  | Some d -> (
+      try Unix.setsockopt_float fd Unix.SO_RCVTIMEO d
+      with Unix.Unix_error _ -> ())
+  | None -> ());
+  { fd; deadline_s }
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
 let rpc c request =
-  Protocol.write_request c.oc request;
-  Protocol.read_reply c.ic
+  Protocol.write_request_fd c.fd request;
+  try Protocol.read_reply_fd c.fd
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    failwith
+      (Printf.sprintf "Client: rpc deadline (%.3f s) exceeded"
+         (Option.value c.deadline_s ~default:0.))
 
 let unexpected what = failwith ("Client: unexpected reply to " ^ what)
 

@@ -8,15 +8,32 @@
 
 type t
 
-(** @raise Unix.Unix_error when nothing is listening on [socket]. *)
-val connect : socket:string -> t
+(** [connect ~socket ()] — with bounded exponential-backoff retry:
+    [retries] (default 3) extra attempts, sleeping [retry_backoff_s]
+    (default 0.05 s, doubling) between them, retried only on transient
+    errors ([ECONNREFUSED], [ENOENT], [EAGAIN], [EINTR]).
+
+    [deadline_s] arms a per-reply deadline ([SO_RCVTIMEO]): an rpc whose
+    reply does not arrive in time raises [Failure] instead of blocking
+    forever on a wedged or malicious server.  Default: no deadline.
+    @raise Unix.Unix_error when nothing is listening on [socket] after
+    all retries.
+    @raise Invalid_argument if [retries < 0] or [deadline_s <= 0]. *)
+val connect :
+  ?retries:int ->
+  ?retry_backoff_s:float ->
+  ?deadline_s:float ->
+  socket:string ->
+  unit ->
+  t
 
 val close : t -> unit
 
 (** [submit c job] — the job's completion (cache-hit flag, latency, and
     the outcome or the execution error).
-    @raise Failure on a protocol-level [Error] reply or an unexpected
-    reply kind. *)
+    @raise Failure on a protocol-level [Error] reply, a corrupt or
+    truncated reply frame, an exceeded deadline, or an unexpected reply
+    kind. *)
 val submit : t -> Job.t -> Job.completion
 
 (** [submit_batch c jobs] — completions in submission order. *)

@@ -11,16 +11,21 @@ type t = {
       (* key → in-flight result cell, for dedup of identical jobs *)
   lock : Mutex.t;  (* guards [cache] and [pending] together *)
   telemetry : Telemetry.t;
+  faults : Faults.t;
 }
 
-let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 1024) () =
+let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 1024)
+    ?(faults = Faults.off) () =
   {
     pool = Pool.create ?workers ~queue_capacity ();
     cache = Lru.create ~capacity:cache_capacity;
     pending = Hashtbl.create 64;
     lock = Mutex.create ();
     telemetry = Telemetry.create ();
+    faults;
   }
+
+let telemetry t = t.telemetry
 
 type ticket =
   | Immediate of Job.completion
@@ -51,13 +56,24 @@ let submit t job =
       Telemetry.record_hit t.telemetry;
       Immediate { Job.result = Ok outcome; cached = true; latency_ms = 0. }
   | `In_flight cell ->
-      Telemetry.record_hit t.telemetry;
+      (* Joining an in-flight twin is dedup, not an LRU hit — counting
+         it as one inflates the reported cache hit rate. *)
+      Telemetry.record_dedup t.telemetry;
       Waiting { cell; submitted = now; shared = true }
   | `Fresh cell ->
       Telemetry.record_miss t.telemetry;
       let task () =
         let result =
-          try Ok (Job.execute job)
+          try
+            (match Faults.on_execute t.faults with
+            | Faults.Run -> ()
+            | Faults.Delay s ->
+                Telemetry.record_injected t.telemetry;
+                Unix.sleepf s
+            | Faults.Crash ->
+                Telemetry.record_injected t.telemetry;
+                failwith "injected fault: job crashed");
+            Ok (Job.execute job)
           with e -> Stdlib.Error (Printexc.to_string e)
         in
         let latency_ms = 1000. *. (Unix.gettimeofday () -. now) in

@@ -7,8 +7,8 @@
     - cache hit → the stored outcome is returned immediately
       ([cached = true]);
     - an identical job already in flight → the submission shares that
-      job's result cell instead of executing twice (also reported as a
-      hit — dedup is the cache working early);
+      job's result cell instead of executing twice (telemetry counts it
+      as a {e dedup join}, separate from cache hits);
     - otherwise → the job is enqueued ({b blocking} while the queue is
       full: backpressure reaches the submitter), executed on a worker
       domain, cached (successes only) and delivered.
@@ -21,9 +21,22 @@ type t
 
 (** [create ()] — defaults: workers as {!Pool.create}, queue capacity 64,
     cache capacity 1024 (0 disables caching {e and} dedup accounting
-    still works for in-flight twins). *)
+    still works for in-flight twins), fault plan {!Faults.off}.  A
+    non-[off] [faults] plan is consulted before every job execution
+    (chaos mode); injected crashes surface as [Error] completions and
+    are counted in telemetry. *)
 val create :
-  ?workers:int -> ?queue_capacity:int -> ?cache_capacity:int -> unit -> t
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?cache_capacity:int ->
+  ?faults:Faults.t ->
+  unit ->
+  t
+
+(** The engine's metrics sink — shared with the server so connection
+    supervision (rejected frames, reaped connections) lands in the same
+    snapshot as job accounting. *)
+val telemetry : t -> Telemetry.t
 
 type ticket
 

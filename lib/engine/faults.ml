@@ -1,0 +1,127 @@
+(* Each rule fires on every [every]-th visit, counted atomically so
+   concurrent handler threads and worker domains share one schedule. *)
+
+type rule = { every : int; count : int Atomic.t }
+
+let rule every = { every; count = Atomic.make 0 }
+
+let fires = function
+  | None -> false
+  | Some r -> (Atomic.fetch_and_add r.count 1 + 1) mod r.every = 0
+
+type t = {
+  crash : rule option;
+  slow : rule option;
+  slow_s : float;
+  corrupt : rule option;
+  truncate : rule option;
+}
+
+let off =
+  { crash = None; slow = None; slow_s = 0.; corrupt = None; truncate = None }
+
+let is_off t =
+  t.crash = None && t.slow = None && t.corrupt = None && t.truncate = None
+
+let create ?crash_every ?slow_every ?(slow_s = 0.05) ?corrupt_every
+    ?truncate_every () =
+  let period what = function
+    | None -> None
+    | Some n when n < 1 ->
+        invalid_arg (Printf.sprintf "Faults.create: %s must be >= 1" what)
+    | Some n -> Some (rule n)
+  in
+  if slow_s < 0. then invalid_arg "Faults.create: slow_s must be >= 0";
+  {
+    crash = period "crash_every" crash_every;
+    slow = period "slow_every" slow_every;
+    slow_s;
+    corrupt = period "corrupt_every" corrupt_every;
+    truncate = period "truncate_every" truncate_every;
+  }
+
+let of_spec s =
+  let s = String.trim s in
+  if s = "" || String.lowercase_ascii s = "off" then Ok off
+  else
+    let parse_item acc item =
+      match acc with
+      | Error _ as e -> e
+      | Ok (crash, slow, slow_s, corrupt, truncate) -> (
+          let bad () = Error (Printf.sprintf "bad fault item %S" item) in
+          match String.split_on_char ':' (String.trim item) with
+          | [ kind; arg ] -> (
+              let period p =
+                match int_of_string_opt (String.trim p) with
+                | Some n when n >= 1 -> Some n
+                | _ -> None
+              in
+              match String.lowercase_ascii (String.trim kind) with
+              | "crash" -> (
+                  match period arg with
+                  | Some n -> Ok (Some n, slow, slow_s, corrupt, truncate)
+                  | None -> bad ())
+              | "slow" -> (
+                  match String.split_on_char '@' arg with
+                  | [ p ] -> (
+                      match period p with
+                      | Some n -> Ok (crash, Some n, slow_s, corrupt, truncate)
+                      | None -> bad ())
+                  | [ p; ms ] -> (
+                      match (period p, float_of_string_opt (String.trim ms)) with
+                      | Some n, Some ms when ms >= 0. ->
+                          Ok (crash, Some n, ms /. 1000., corrupt, truncate)
+                      | _ -> bad ())
+                  | _ -> bad ())
+              | "corrupt" -> (
+                  match period arg with
+                  | Some n -> Ok (crash, slow, slow_s, Some n, truncate)
+                  | None -> bad ())
+              | "truncate" -> (
+                  match period arg with
+                  | Some n -> Ok (crash, slow, slow_s, corrupt, Some n)
+                  | None -> bad ())
+              | _ -> bad ())
+          | _ -> bad ())
+    in
+    match
+      List.fold_left parse_item
+        (Ok (None, None, 0.05, None, None))
+        (String.split_on_char ',' s)
+    with
+    | Error _ as e -> e
+    | Ok (crash_every, slow_every, slow_s, corrupt_every, truncate_every) ->
+        Ok
+          (create ?crash_every ?slow_every ~slow_s ?corrupt_every
+             ?truncate_every ())
+
+let spec t =
+  if is_off t then "off"
+  else
+    let item name = function
+      | None -> []
+      | Some r -> [ Printf.sprintf "%s:%d" name r.every ]
+    in
+    let slow =
+      match t.slow with
+      | None -> []
+      | Some r -> [ Printf.sprintf "slow:%d@%g" r.every (1000. *. t.slow_s) ]
+    in
+    String.concat ","
+      (item "crash" t.crash @ slow @ item "corrupt" t.corrupt
+      @ item "truncate" t.truncate)
+
+type execute_fate = Run | Delay of float | Crash
+type reply_fate = Deliver | Corrupt | Truncate
+
+let on_execute t =
+  if is_off t then Run
+  else if fires t.crash then Crash
+  else if fires t.slow then Delay t.slow_s
+  else Run
+
+let on_reply t =
+  if is_off t then Deliver
+  else if fires t.truncate then Truncate
+  else if fires t.corrupt then Corrupt
+  else Deliver

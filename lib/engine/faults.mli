@@ -1,0 +1,70 @@
+(** Deterministic fault injection for the [ssgd] request path.
+
+    The theory layers test Algorithm 1 by handing it adversarial
+    communication graphs and letting {!Ssg_core.Monitor} record what
+    breaks; this module is the same idea aimed at the service layer.  A
+    {e plan} names the faults to inject and how often, the engine and
+    the server consult it at fixed sites (before executing a job, before
+    writing a reply frame), and the chaos tests assert that supervision
+    — error replies, connection reaping, telemetry counters — catches
+    every one.
+
+    Injection is {e deterministic}: each fault kind carries a period
+    [every] and fires on exactly every [every]-th visit to its site
+    (thread-safe, counted atomically), so a failing chaos run replays
+    byte-for-byte.  The disabled plan {!off} is the default everywhere
+    and is zero-cost: sites check {!is_off} first and skip all
+    bookkeeping. *)
+
+type t
+
+(** The plan that injects nothing.  [Engine.create] / [Server.serve]
+    default to it. *)
+val off : t
+
+val is_off : t -> bool
+
+(** [create ()] builds a plan; every knob defaults to "never".
+    - [crash_every]: every n-th job execution raises instead of running.
+    - [slow_every] / [slow_s]: every n-th job execution sleeps [slow_s]
+      seconds (default 0.05) before running.
+    - [corrupt_every]: every n-th reply frame has its payload's first
+      byte flipped before it is sent (the client's decoder must reject
+      it).
+    - [truncate_every]: every n-th reply frame is cut off mid-payload
+      and the connection closed (the client must detect the mid-frame
+      death, not hang).
+    @raise Invalid_argument if any period is [< 1] or [slow_s < 0.]. *)
+val create :
+  ?crash_every:int ->
+  ?slow_every:int ->
+  ?slow_s:float ->
+  ?corrupt_every:int ->
+  ?truncate_every:int ->
+  unit ->
+  t
+
+(** [of_spec s] parses the CLI syntax: a comma-separated list of
+    [crash:N], [slow:N] or [slow:N@MS] (MS milliseconds), [corrupt:N],
+    [truncate:N]; ["off"] or the empty string is {!off}.
+    Example: ["crash:10,slow:5@20,truncate:13"]. *)
+val of_spec : string -> (t, string) result
+
+(** Canonical round-trippable rendering of the plan (["off"] for {!off}). *)
+val spec : t -> string
+
+(** What a fault site is told to do.  Sites report every non-[Run] /
+    non-[Deliver] fate to {!Telemetry} so [ssg stats] shows the injected
+    count. *)
+
+type execute_fate = Run | Delay of float  (** seconds *) | Crash
+
+type reply_fate = Deliver | Corrupt | Truncate
+
+(** [on_execute t] — consulted by the engine immediately before
+    [Job.execute]. *)
+val on_execute : t -> execute_fate
+
+(** [on_reply t] — consulted by the server immediately before writing a
+    reply frame. *)
+val on_reply : t -> reply_fate

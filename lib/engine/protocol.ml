@@ -244,8 +244,15 @@ let put_snapshot buf (s : Telemetry.snapshot) =
   put_int buf s.Telemetry.jobs_failed;
   put_int buf s.Telemetry.cache_hits;
   put_int buf s.Telemetry.cache_misses;
+  put_int buf s.Telemetry.dedup_joins;
   put_int buf s.Telemetry.cache_entries;
   put_float buf s.Telemetry.throughput_jps;
+  put_float buf s.Telemetry.lifetime_jps;
+  put_float buf s.Telemetry.recent_window_s;
+  put_int buf s.Telemetry.rejected_frames;
+  put_int buf s.Telemetry.timed_out_connections;
+  put_int buf s.Telemetry.connections_rejected;
+  put_int buf s.Telemetry.faults_injected;
   put_option buf put_summary s.Telemetry.latency_ms
 
 let get_snapshot r : Telemetry.snapshot =
@@ -258,8 +265,15 @@ let get_snapshot r : Telemetry.snapshot =
   let jobs_failed = get_int r in
   let cache_hits = get_int r in
   let cache_misses = get_int r in
+  let dedup_joins = get_int r in
   let cache_entries = get_int r in
   let throughput_jps = get_float r in
+  let lifetime_jps = get_float r in
+  let recent_window_s = get_float r in
+  let rejected_frames = get_int r in
+  let timed_out_connections = get_int r in
+  let connections_rejected = get_int r in
+  let faults_injected = get_int r in
   let latency_ms = get_option r get_summary in
   {
     Telemetry.uptime_s;
@@ -271,8 +285,15 @@ let get_snapshot r : Telemetry.snapshot =
     jobs_failed;
     cache_hits;
     cache_misses;
+    dedup_joins;
     cache_entries;
     throughput_jps;
+    lifetime_jps;
+    recent_window_s;
+    rejected_frames;
+    timed_out_connections;
+    connections_rejected;
+    faults_injected;
     latency_ms;
   }
 
@@ -291,7 +312,17 @@ let request_to_bytes req =
   | Shutdown -> Buffer.add_char buf 'Q');
   Buffer.to_bytes buf
 
+(* Decoders promise exactly [Failure] on any malformed payload — the
+   server's reply path and the fuzz property both rely on it.  Job
+   construction validates parameters with [Invalid_argument]
+   (e.g. [k < 1]), so that must be folded in here, not escape to the
+   connection handler. *)
+let decoding f =
+  try f ()
+  with Invalid_argument msg -> failwith ("Protocol: invalid payload: " ^ msg)
+
 let request_of_bytes bytes =
+  decoding @@ fun () ->
   let r = { data = Bytes.to_string bytes; pos = 0 } in
   match Char.chr (get_byte r) with
   | 'S' -> Submit (get_job r)
@@ -319,6 +350,7 @@ let reply_to_bytes reply =
   Buffer.to_bytes buf
 
 let reply_of_bytes bytes =
+  decoding @@ fun () ->
   let r = { data = Bytes.to_string bytes; pos = 0 } in
   match Char.chr (get_byte r) with
   | 'R' -> Completed (get_completion r)
@@ -354,3 +386,64 @@ let write_request oc req = write_frame oc (request_to_bytes req)
 let read_request ic = request_of_bytes (read_frame ic)
 let write_reply oc reply = write_frame oc (reply_to_bytes reply)
 let read_reply ic = reply_of_bytes (read_frame ic)
+
+(* ---------------- descriptor framing ---------------- *)
+
+(* The server and client frame directly over the descriptor instead of
+   buffered channels: a read timeout (SO_RCVTIMEO) then surfaces as
+   [Unix_error (EAGAIN | EWOULDBLOCK)] exactly at the syscall that
+   stalled, which the supervision layer classifies as a reap — a
+   buffered channel would fold it into an unclassifiable [Sys_error]. *)
+
+let rec read_some fd buf off len =
+  try Unix.read fd buf off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> read_some fd buf off len
+
+let really_read_fd fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = read_some fd buf off len in
+      if n = 0 then raise End_of_file;
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let really_write_fd fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n =
+        try Unix.write fd buf off len
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let read_frame_fd fd =
+  let header = Bytes.create 4 in
+  let first = read_some fd header 0 4 in
+  if first = 0 then raise End_of_file;
+  (try really_read_fd fd header first (4 - first)
+   with End_of_file -> failwith "Protocol: connection died mid-frame");
+  let len = Int32.to_int (Bytes.get_int32_be header 0) in
+  if len < 0 || len > max_frame_bytes then
+    failwith (Printf.sprintf "Protocol: refused frame of %d bytes" len);
+  let payload = Bytes.create len in
+  (try really_read_fd fd payload 0 len
+   with End_of_file -> failwith "Protocol: connection died mid-frame");
+  payload
+
+let write_frame_fd fd payload =
+  let len = Bytes.length payload in
+  if len > max_frame_bytes then failwith "Protocol: frame too large";
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int len);
+  really_write_fd fd header 0 4;
+  really_write_fd fd payload 0 len
+
+let write_request_fd fd req = write_frame_fd fd (request_to_bytes req)
+let read_request_fd fd = request_of_bytes (read_frame_fd fd)
+let write_reply_fd fd reply = write_frame_fd fd (reply_to_bytes reply)
+let read_reply_fd fd = reply_of_bytes (read_frame_fd fd)

@@ -30,8 +30,13 @@ type reply =
     rather than attempting unbounded allocation on garbage input. *)
 val max_frame_bytes : int
 
-(** Pure codecs (what the qcheck round-trip tests exercise). Decoders
-    @raise Failure on truncated or malformed payloads. *)
+(** Pure codecs (what the qcheck round-trip and decode-fuzz tests
+    exercise).  Decoders
+    @raise Failure — and {e only} [Failure] — on truncated or malformed
+    payloads, including payloads that frame correctly but describe an
+    invalid job (bad [k], bad run text): parameter validation errors are
+    folded into [Failure] here so nothing else can escape a connection
+    handler. *)
 
 val request_to_bytes : request -> Bytes.t
 
@@ -43,8 +48,26 @@ val reply_of_bytes : Bytes.t -> reply
     @raise End_of_file on a cleanly closed peer,
     @raise Failure on oversized or malformed frames. *)
 
-val write_request : out_channel -> request -> unit
+val write_frame : out_channel -> Bytes.t -> unit
 
+val read_frame : in_channel -> Bytes.t
+val write_request : out_channel -> request -> unit
 val read_request : in_channel -> request
 val write_reply : out_channel -> reply -> unit
 val read_reply : in_channel -> reply
+
+(** Descriptor framing — same frames, no channel buffering.  The server
+    and client use these so a socket read timeout ([SO_RCVTIMEO])
+    surfaces as [Unix_error (EAGAIN | EWOULDBLOCK)] at the stalled
+    syscall, which supervision classifies as a reaped connection.
+    Readers additionally
+    @raise End_of_file on a peer closed at a frame boundary,
+    @raise Failure on oversized frames or a peer dying mid-frame. *)
+
+val read_frame_fd : Unix.file_descr -> Bytes.t
+
+val write_frame_fd : Unix.file_descr -> Bytes.t -> unit
+val write_request_fd : Unix.file_descr -> request -> unit
+val read_request_fd : Unix.file_descr -> request
+val write_reply_fd : Unix.file_descr -> reply -> unit
+val read_reply_fd : Unix.file_descr -> reply

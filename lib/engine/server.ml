@@ -26,36 +26,112 @@ let poke path =
   (try Unix.connect fd (Unix.ADDR_UNIX path) with Unix.Unix_error _ -> ());
   Unix.close fd
 
-let handle_connection engine ~stop ~wake fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let rec loop () =
-    match Protocol.read_request ic with
-    | Protocol.Submit job ->
-        Protocol.write_reply oc (Protocol.Completed (Engine.run engine job));
-        loop ()
-    | Protocol.Batch jobs ->
-        Protocol.write_reply oc
-          (Protocol.Batch_completed (Engine.run_batch engine jobs));
-        loop ()
-    | Protocol.Stats ->
-        Protocol.write_reply oc (Protocol.Stats_snapshot (Engine.stats engine));
-        loop ()
-    | Protocol.Shutdown ->
-        Log.info (fun m -> m "shutdown requested");
-        Protocol.write_reply oc Protocol.Shutting_down;
-        Atomic.set stop true;
-        wake ()
-  in
-  (try loop () with
-  | End_of_file -> ()  (* client hung up between frames: normal *)
-  | Failure msg ->
-      Log.warn (fun m -> m "dropping connection: %s" msg);
-      (try Protocol.write_reply oc (Protocol.Error msg) with _ -> ())
-  | Sys_error _ | Unix.Unix_error _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
+(* Raised by the reply path when the fault plan truncated the frame:
+   the connection is unusable and must be dropped. *)
+exception Drop_connection
 
-let serve ?workers ?queue_capacity ?cache_capacity ~socket () =
+(* Write one reply, letting the fault plan mangle it first. *)
+let send faults telemetry fd reply =
+  let payload = Protocol.reply_to_bytes reply in
+  match Faults.on_reply faults with
+  | Faults.Deliver -> Protocol.write_frame_fd fd payload
+  | Faults.Corrupt ->
+      Telemetry.record_injected telemetry;
+      let mangled = Bytes.copy payload in
+      if Bytes.length mangled > 0 then
+        Bytes.set mangled 0
+          (Char.chr (Char.code (Bytes.get mangled 0) lxor 0xFF));
+      Protocol.write_frame_fd fd mangled
+  | Faults.Truncate ->
+      Telemetry.record_injected telemetry;
+      (* Header promises the full frame; deliver only half of it. *)
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 (Int32.of_int (Bytes.length payload));
+      (try
+         ignore (Unix.write fd header 0 4);
+         ignore (Unix.write fd payload 0 (Bytes.length payload / 2))
+       with Unix.Unix_error _ -> ());
+      raise Drop_connection
+
+(* One thread per connection.  Everything that can go wrong — a hostile
+   frame, a malformed job, a stalled peer, an exception anywhere in
+   dispatch — must end here with an [Error] reply where the wire still
+   allows one and with the fd closed; nothing may escape and leak the
+   descriptor while the client waits forever. *)
+let handle_connection engine faults ~stop ~wake ~active fd =
+  let telemetry = Engine.telemetry engine in
+  let send = send faults telemetry fd in
+  let reject msg =
+    Telemetry.record_rejected_frame telemetry;
+    Log.warn (fun m -> m "dropping connection: %s" msg);
+    try send (Protocol.Error msg) with _ -> ()
+  in
+  let rec loop () =
+    match Protocol.read_frame_fd fd with
+    | exception End_of_file -> ()  (* clean hangup between frames *)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (* SO_RCVTIMEO fired: a half-open or stalled client is reaped. *)
+        Telemetry.record_connection_timeout telemetry;
+        Log.info (fun m -> m "reaping stalled connection")
+    | exception Unix.Unix_error _ -> ()
+    | exception Failure msg -> reject msg  (* oversized / died mid-frame *)
+    | frame -> (
+        match Protocol.request_of_bytes frame with
+        | exception Failure msg ->
+            (* The frame was well-delimited but its payload is garbage
+               (unknown tag, truncated fields, malformed job, k < 1 …):
+               answer, then drop the connection — a peer speaking a
+               broken dialect gets no further pipeline. *)
+            reject msg
+        | request ->
+            let continue =
+              try
+                match request with
+                | Protocol.Submit job ->
+                    send (Protocol.Completed (Engine.run engine job));
+                    true
+                | Protocol.Batch jobs ->
+                    send
+                      (Protocol.Batch_completed (Engine.run_batch engine jobs));
+                    true
+                | Protocol.Stats ->
+                    send (Protocol.Stats_snapshot (Engine.stats engine));
+                    true
+                | Protocol.Shutdown ->
+                    Log.info (fun m -> m "shutdown requested");
+                    (* Arm the stop flag before acknowledging: if the
+                       reply send fails (dead peer, injected fault) the
+                       shutdown must still happen. *)
+                    Atomic.set stop true;
+                    wake ();
+                    send Protocol.Shutting_down;
+                    false
+              with
+              | Drop_connection -> false
+              | Sys_error _ | Unix.Unix_error _ -> false  (* peer went away *)
+              | e ->
+                  (* Catch-all supervision boundary: reply if possible,
+                     then close. *)
+                  let msg = Printexc.to_string e in
+                  Log.warn (fun m -> m "connection handler error: %s" msg);
+                  (try send (Protocol.Error msg) with _ -> ());
+                  false
+            in
+            if continue then loop ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr active;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> try loop () with e ->
+       Log.err (fun m ->
+           m "connection thread escaped: %s" (Printexc.to_string e)))
+
+let serve ?workers ?queue_capacity ?cache_capacity ?(max_connections = 256)
+    ?(read_timeout_s = 30.) ?(drain_timeout_s = 5.) ?(faults = Faults.off)
+    ~socket () =
+  if max_connections < 1 then
+    invalid_arg "Server.serve: max_connections must be >= 1";
   (* A peer closing mid-write must surface as EPIPE, not kill the
      daemon. *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
@@ -64,18 +140,41 @@ let serve ?workers ?queue_capacity ?cache_capacity ~socket () =
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket);
   Unix.listen listen_fd 64;
-  let engine = Engine.create ?workers ?queue_capacity ?cache_capacity () in
+  let engine = Engine.create ?workers ?queue_capacity ?cache_capacity ~faults () in
+  let telemetry = Engine.telemetry engine in
   let stop = Atomic.make false in
+  let active = Atomic.make 0 in
   let wake () = poke socket in
   Log.app (fun m -> m "ssgd listening on %s" socket);
+  if not (Faults.is_off faults) then
+    Log.app (fun m -> m "chaos mode: injecting %s" (Faults.spec faults));
   let rec accept_loop () =
     if not (Atomic.get stop) then begin
       (match Unix.accept listen_fd with
       | client_fd, _ ->
           if Atomic.get stop then (try Unix.close client_fd with _ -> ())
-          else
+          else if Atomic.get active >= max_connections then begin
+            (* Over the limit: tell the client why instead of letting it
+               queue behind a connection that will never be served. *)
+            Telemetry.record_connection_rejected telemetry;
+            (try
+               Protocol.write_reply_fd client_fd
+                 (Protocol.Error "server at connection limit")
+             with _ -> ());
+            try Unix.close client_fd with _ -> ()
+          end
+          else begin
+            Atomic.incr active;
+            if read_timeout_s > 0. then
+              (try
+                 Unix.setsockopt_float client_fd Unix.SO_RCVTIMEO
+                   read_timeout_s
+               with Unix.Unix_error _ -> ());
             ignore
-              (Thread.create (handle_connection engine ~stop ~wake) client_fd)
+              (Thread.create
+                 (handle_connection engine faults ~stop ~wake ~active)
+                 client_fd)
+          end
       | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
           ());
       accept_loop ()
@@ -83,6 +182,15 @@ let serve ?workers ?queue_capacity ?cache_capacity ~socket () =
   in
   accept_loop ();
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (* Drain: let live connections finish their request/reply exchanges
+     instead of abandoning them, bounded by [drain_timeout_s]. *)
+  let deadline = Unix.gettimeofday () +. drain_timeout_s in
+  while Atomic.get active > 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  if Atomic.get active > 0 then
+    Log.warn (fun m ->
+        m "drain timeout: abandoning %d connection(s)" (Atomic.get active));
   Engine.shutdown engine;
   (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());
   Log.app (fun m -> m "ssgd stopped")

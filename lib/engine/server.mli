@@ -5,20 +5,44 @@
     work runs on the engine's worker {e domains}), each connection a
     strict request/reply pipeline of {!Protocol} frames.
 
+    {b Supervision.}  Every connection runs inside a catch-all boundary:
+    a malformed frame or job, an oversized header, a peer dying
+    mid-frame, or any exception escaping dispatch is answered with an
+    [Error] reply where the wire still allows one, counted in
+    {!Telemetry}, and the descriptor is {e always} closed — a hostile
+    client can cost the server one thread for one exchange, never a
+    leaked fd or a hung peer.  Half-open clients are reaped by a
+    per-connection read timeout ([SO_RCVTIMEO]); connections beyond
+    [max_connections] are refused with an explanatory [Error].
+
     Shutdown is cooperative: a [Shutdown] request answers
-    [Shutting_down], stops the accept loop, drains the engine's queue
-    gracefully and removes the socket file.  A stale socket file from a
-    dead server is replaced on startup. *)
+    [Shutting_down], stops the accept loop, {e drains} live connections
+    (bounded by [drain_timeout_s]) and the engine's queue, and removes
+    the socket file.  A stale socket file from a dead server is replaced
+    on startup. *)
 
 (** [serve ~socket ()] binds, prints nothing, logs on [ssg.server], and
     {b blocks} until a client sends [Shutdown].  Engine sizing options
     are {!Engine.create}'s.
+    - [max_connections] (default 256): concurrent connections beyond
+      this are answered [Error "server at connection limit"] and closed.
+    - [read_timeout_s] (default 30., [<= 0.] disables): a connection
+      idle or stalled mid-frame for this long is reaped.
+    - [drain_timeout_s] (default 5.): how long shutdown waits for live
+      connections to finish before abandoning them.
+    - [faults] (default {!Faults.off}): chaos mode — the plan is
+      consulted before each job execution and each reply frame.
     @raise Unix.Unix_error if the address is unusable (e.g. a live
-    server already listening). *)
+    server already listening).
+    @raise Invalid_argument if [max_connections < 1]. *)
 val serve :
   ?workers:int ->
   ?queue_capacity:int ->
   ?cache_capacity:int ->
+  ?max_connections:int ->
+  ?read_timeout_s:float ->
+  ?drain_timeout_s:float ->
+  ?faults:Faults.t ->
   socket:string ->
   unit ->
   unit

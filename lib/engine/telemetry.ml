@@ -10,15 +10,24 @@ type snapshot = {
   jobs_failed : int;
   cache_hits : int;
   cache_misses : int;
+  dedup_joins : int;
   cache_entries : int;
   throughput_jps : float;
+  lifetime_jps : float;
+  recent_window_s : float;
+  rejected_frames : int;
+  timed_out_connections : int;
+  connections_rejected : int;
+  faults_injected : int;
   latency_ms : Stats.summary option;
 }
 
 type t = {
   mutex : Mutex.t;
   started : float;  (* Unix.gettimeofday at creation *)
+  recent_window_s : float;
   ring : float array;  (* most recent latencies, circular *)
+  stamps : float array;  (* completion times, same ring geometry *)
   mutable ring_len : int;
   mutable ring_pos : int;
   mutable submitted : int;
@@ -26,14 +35,23 @@ type t = {
   mutable failed : int;
   mutable hits : int;
   mutable misses : int;
+  mutable dedups : int;
+  mutable rejected_frames : int;
+  mutable timed_out : int;
+  mutable conn_rejected : int;
+  mutable injected : int;
 }
 
-let create ?(window = 4096) () =
+let create ?(window = 4096) ?(recent_window_s = 10.) () =
   if window < 1 then invalid_arg "Telemetry.create: window must be >= 1";
+  if recent_window_s <= 0. then
+    invalid_arg "Telemetry.create: recent_window_s must be > 0";
   {
     mutex = Mutex.create ();
     started = Unix.gettimeofday ();
+    recent_window_s;
     ring = Array.make window 0.;
+    stamps = Array.make window 0.;
     ring_len = 0;
     ring_pos = 0;
     submitted = 0;
@@ -41,6 +59,11 @@ let create ?(window = 4096) () =
     failed = 0;
     hits = 0;
     misses = 0;
+    dedups = 0;
+    rejected_frames = 0;
+    timed_out = 0;
+    conn_rejected = 0;
+    injected = 0;
   }
 
 let locked t f =
@@ -49,6 +72,7 @@ let locked t f =
 
 let push_latency t ms =
   t.ring.(t.ring_pos) <- ms;
+  t.stamps.(t.ring_pos) <- Unix.gettimeofday ();
   t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring;
   t.ring_len <- min (t.ring_len + 1) (Array.length t.ring)
 
@@ -66,10 +90,46 @@ let record_failed t ~latency_ms =
 
 let record_hit t = locked t (fun () -> t.hits <- t.hits + 1)
 let record_miss t = locked t (fun () -> t.misses <- t.misses + 1)
+let record_dedup t = locked t (fun () -> t.dedups <- t.dedups + 1)
+
+let record_rejected_frame t =
+  locked t (fun () -> t.rejected_frames <- t.rejected_frames + 1)
+
+let record_connection_timeout t =
+  locked t (fun () -> t.timed_out <- t.timed_out + 1)
+
+let record_connection_rejected t =
+  locked t (fun () -> t.conn_rejected <- t.conn_rejected + 1)
+
+let record_injected t = locked t (fun () -> t.injected <- t.injected + 1)
+
+(* Completions per second over the trailing [recent_window_s].  The
+   stamp ring only remembers the last [window] completions, so when it
+   has wrapped inside the window the rate is computed over the span the
+   ring actually covers instead of silently undercounting. *)
+let recent_rate t now =
+  if t.ring_len = 0 then 0.
+  else begin
+    let span = Float.min t.recent_window_s (now -. t.started) in
+    let span =
+      if t.ring_len < Array.length t.ring then span
+      else
+        let oldest = t.stamps.(t.ring_pos) in
+        Float.min span (now -. oldest)
+    in
+    let span = Float.max span 1e-9 in
+    let cutoff = now -. span in
+    let in_window = ref 0 in
+    for i = 0 to t.ring_len - 1 do
+      if t.stamps.(i) >= cutoff then incr in_window
+    done;
+    float_of_int !in_window /. span
+  end
 
 let snapshot t ~workers ~queue_depth ~queue_capacity ~cache_entries =
   locked t (fun () ->
-      let uptime_s = Unix.gettimeofday () -. t.started in
+      let now = Unix.gettimeofday () in
+      let uptime_s = now -. t.started in
       let latency_ms =
         if t.ring_len = 0 then None
         else Some (Stats.summarize (Array.sub t.ring 0 t.ring_len))
@@ -85,9 +145,16 @@ let snapshot t ~workers ~queue_depth ~queue_capacity ~cache_entries =
         jobs_failed = t.failed;
         cache_hits = t.hits;
         cache_misses = t.misses;
+        dedup_joins = t.dedups;
         cache_entries;
-        throughput_jps =
+        throughput_jps = recent_rate t now;
+        lifetime_jps =
           (if uptime_s > 0. then float_of_int done_jobs /. uptime_s else 0.);
+        recent_window_s = t.recent_window_s;
+        rejected_frames = t.rejected_frames;
+        timed_out_connections = t.timed_out;
+        connections_rejected = t.conn_rejected;
+        faults_injected = t.injected;
         latency_ms;
       })
 
@@ -102,9 +169,18 @@ let pp_snapshot fmt s =
   Format.fprintf fmt "submitted   : %d@." s.jobs_submitted;
   Format.fprintf fmt "completed   : %d (%d failed)@." s.jobs_completed
     s.jobs_failed;
-  Format.fprintf fmt "cache       : %d hits, %d misses (%.0f%% hit rate), %d entries@."
+  Format.fprintf fmt
+    "cache       : %d hits, %d misses (%.0f%% hit rate), %d entries@."
     s.cache_hits s.cache_misses (100. *. rate) s.cache_entries;
-  Format.fprintf fmt "throughput  : %.1f jobs/s@." s.throughput_jps;
+  Format.fprintf fmt "dedup       : %d in-flight joins@." s.dedup_joins;
+  Format.fprintf fmt
+    "throughput  : %.1f jobs/s (last %.0f s), %.1f jobs/s lifetime@."
+    s.throughput_jps s.recent_window_s s.lifetime_jps;
+  Format.fprintf fmt
+    "faults      : %d frames rejected, %d connections timed out, %d over \
+     limit, %d injected@."
+    s.rejected_frames s.timed_out_connections s.connections_rejected
+    s.faults_injected;
   match s.latency_ms with
   | None -> Format.fprintf fmt "latency     : (no completed jobs yet)@."
   | Some l ->

@@ -1,4 +1,5 @@
-(** Server metrics: counters, latency percentiles, throughput.
+(** Server metrics: counters, latency percentiles, throughput, fault
+    accounting.
 
     One [t] per engine.  Workers and connection handlers record events
     concurrently (internally synchronized); [snapshot] freezes everything
@@ -6,35 +7,73 @@
 
     Per-job latency is measured submit-to-completion in milliseconds and
     kept in a fixed-size ring of the most recent [window] samples;
-    percentiles come from {!Ssg_util.Stats.summarize} over that window. *)
+    percentiles come from {!Ssg_util.Stats.summarize} over that window.
+    Completion {e times} are kept in a second ring of the same size, so
+    throughput can be reported over a recent wall-clock window — a
+    long-idle daemon reports the current burst's rate, not its lifetime
+    average diluted by the idle time (the lifetime average is still
+    carried separately). *)
 
 type snapshot = {
   uptime_s : float;
   workers : int;
   queue_depth : int;
   queue_capacity : int;
-  jobs_submitted : int;  (** requests accepted, including cache hits *)
+  jobs_submitted : int;  (** requests accepted, including hits and joins *)
   jobs_completed : int;  (** jobs actually executed to a result *)
   jobs_failed : int;  (** executions that ended in an error reply *)
-  cache_hits : int;  (** served from cache or deduplicated in flight *)
+  cache_hits : int;  (** served from the LRU result cache *)
   cache_misses : int;
+  dedup_joins : int;
+      (** submissions that joined an identical in-flight execution
+          instead of hitting the cache or executing — counted apart from
+          [cache_hits] so the LRU hit rate is honest *)
   cache_entries : int;
-  throughput_jps : float;  (** completed jobs per second of uptime *)
+  throughput_jps : float;
+      (** completions per second over the recent window (see
+          [recent_window_s]); [0.] when the window saw none *)
+  lifetime_jps : float;  (** completions per second since startup *)
+  recent_window_s : float;  (** the window [throughput_jps] covers *)
+  rejected_frames : int;
+      (** wire frames refused: oversized, truncated, undecodable, or
+          carrying a malformed job — each answered with an [Error] reply
+          where the connection still allowed one *)
+  timed_out_connections : int;
+      (** connections reaped by the per-connection read timeout *)
+  connections_rejected : int;
+      (** connections turned away at the max-concurrent-connections
+          limit *)
+  faults_injected : int;
+      (** faults the active {!Faults} plan injected (chaos mode) *)
   latency_ms : Ssg_util.Stats.summary option;
       (** [None] until the first completion *)
 }
 
 type t
 
-(** [create ?window ()] — [window] (default 4096) bounds the latency
-    ring. *)
-val create : ?window:int -> unit -> t
+(** [create ?window ?recent_window_s ()] — [window] (default 4096)
+    bounds the latency and completion-time rings; [recent_window_s]
+    (default 10.) is the wall-clock span of the recent throughput rate.
+    @raise Invalid_argument if [window < 1] or [recent_window_s <= 0.]. *)
+val create : ?window:int -> ?recent_window_s:float -> unit -> t
 
 val record_submitted : t -> unit
 val record_completed : t -> latency_ms:float -> unit
 val record_failed : t -> latency_ms:float -> unit
 val record_hit : t -> unit
 val record_miss : t -> unit
+
+(** [record_dedup t] — a submission joined an in-flight twin. *)
+val record_dedup : t -> unit
+
+(** Fault-class counters (the supervision layer's side of the chaos
+    tests). *)
+
+val record_rejected_frame : t -> unit
+
+val record_connection_timeout : t -> unit
+val record_connection_rejected : t -> unit
+val record_injected : t -> unit
 
 (** [snapshot t ~workers ~queue_depth ~queue_capacity ~cache_entries] —
     the queue/cache gauges are sampled by the caller (the engine owns

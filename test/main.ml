@@ -31,4 +31,5 @@ let () =
       ("certificate", Test_certificate.tests);
       ("run-format", Test_run_format.tests);
       ("engine", Test_engine.tests);
+      ("faults", Test_faults.tests);
     ]

@@ -234,8 +234,15 @@ let gen_snapshot rng : Telemetry.snapshot =
     jobs_failed = Rng.int rng 100;
     cache_hits = Rng.int rng 100000;
     cache_misses = Rng.int rng 100000;
+    dedup_joins = Rng.int rng 1000;
     cache_entries = Rng.int rng 1024;
     throughput_jps = Rng.float rng *. 1000.;
+    lifetime_jps = Rng.float rng *. 1000.;
+    recent_window_s = 1. +. (Rng.float rng *. 60.);
+    rejected_frames = Rng.int rng 100;
+    timed_out_connections = Rng.int rng 100;
+    connections_rejected = Rng.int rng 100;
+    faults_injected = Rng.int rng 100;
     latency_ms = summary;
   }
 
@@ -269,6 +276,114 @@ let prop_reply_roundtrip =
     (fun seed ->
       let reply = gen_reply (Rng.of_int seed) in
       Protocol.reply_of_bytes (Protocol.reply_to_bytes reply) = reply)
+
+(* Decode fuzz: arbitrary byte garbage either parses or raises [Failure]
+   — never [Invalid_argument] (the Job constructors' vocabulary), never
+   anything else, never a hang.  Pure random bytes mostly die at the tag
+   byte, so also fuzz by mutating bytes of a {e valid} encoding, which
+   reaches the deep field decoders (and, for [Submit], job
+   validation). *)
+
+let decodes_or_fails_cleanly decode bytes =
+  match decode bytes with
+  | (_ : 'a) -> true
+  | exception Failure _ -> true
+  | exception _ -> false
+
+let prop_request_decode_fuzz =
+  QCheck2.Test.make ~count:300
+    ~name:"request decoder: garbage parses or raises Failure only"
+    QCheck2.Gen.(pair (int_bound 1000000) (string_size (int_bound 64)))
+    (fun (seed, garbage) ->
+      let rng = Rng.of_int seed in
+      let valid = Protocol.request_to_bytes (gen_request rng) in
+      let mutated = Bytes.copy valid in
+      if Bytes.length mutated > 0 then begin
+        let i = Rng.int rng (Bytes.length mutated) in
+        Bytes.set mutated i (Char.chr (Rng.int rng 256))
+      end;
+      decodes_or_fails_cleanly Protocol.request_of_bytes
+        (Bytes.of_string garbage)
+      && decodes_or_fails_cleanly Protocol.request_of_bytes mutated)
+
+let prop_reply_decode_fuzz =
+  QCheck2.Test.make ~count:300
+    ~name:"reply decoder: garbage parses or raises Failure only"
+    QCheck2.Gen.(pair (int_bound 1000000) (string_size (int_bound 64)))
+    (fun (seed, garbage) ->
+      let rng = Rng.of_int seed in
+      let valid = Protocol.reply_to_bytes (gen_reply rng) in
+      let mutated = Bytes.copy valid in
+      if Bytes.length mutated > 0 then begin
+        let i = Rng.int rng (Bytes.length mutated) in
+        Bytes.set mutated i (Char.chr (Rng.int rng 256))
+      end;
+      decodes_or_fails_cleanly Protocol.reply_of_bytes
+        (Bytes.of_string garbage)
+      && decodes_or_fails_cleanly Protocol.reply_of_bytes mutated)
+
+let prop_read_frame_fuzz =
+  QCheck2.Test.make ~count:100
+    ~name:"read_frame: byte garbage yields a frame, Failure or End_of_file"
+    QCheck2.Gen.(string_size (int_bound 32))
+    (fun garbage ->
+      let read_fd, write_fd = Unix.pipe () in
+      let oc = Unix.out_channel_of_descr write_fd in
+      let ic = Unix.in_channel_of_descr read_fd in
+      output_string oc garbage;
+      close_out oc;
+      let ok =
+        match Protocol.read_frame ic with
+        | (_ : Bytes.t) -> true
+        | exception Failure _ -> true
+        | exception End_of_file -> true
+        | exception _ -> false
+      in
+      close_in ic;
+      ok)
+
+(* Lru against a naive most-recent-first association-list model: random
+   add/find sequences must preserve [length <= capacity], agree on every
+   lookup, and evict in exactly recency order. *)
+let prop_lru_model =
+  let capacity = 3 in
+  let keys = [| "a"; "b"; "c"; "d"; "e"; "f" |] in
+  QCheck2.Test.make ~count:300 ~name:"lru agrees with naive recency model"
+    QCheck2.Gen.(list_size (int_bound 60) (pair (int_bound 5) (int_bound 1)))
+    (fun ops ->
+      let c = Lru.create ~capacity in
+      let model = ref [] in  (* (key, value), most recent first *)
+      let model_add k v =
+        let kept = List.remove_assoc k !model in
+        let kept =
+          if List.mem_assoc k !model || List.length kept < capacity then kept
+          else List.filteri (fun i _ -> i < capacity - 1) kept
+        in
+        model := (k, v) :: kept
+      in
+      let model_find k =
+        match List.assoc_opt k !model with
+        | None -> None
+        | Some v ->
+            model := (k, v) :: List.remove_assoc k !model;
+            Some v
+      in
+      List.for_all
+        (fun (ki, op) ->
+          let key = keys.(ki) in
+          let agree =
+            if op = 0 then begin
+              let v = ki * 10 in
+              Lru.add c key v;
+              model_add key v;
+              true
+            end
+            else Lru.find c key = model_find key
+          in
+          agree
+          && Lru.length c = List.length !model
+          && Lru.length c <= capacity)
+        ops)
 
 let test_protocol_framing_over_pipe () =
   let read_fd, write_fd = Unix.pipe () in
@@ -310,7 +425,12 @@ let test_engine_cache_and_dedup () =
   let c1 = Engine.await engine t1 and c2 = Engine.await engine t2 in
   check "dedup twin shares the result" true (c1.Job.result = c2.Job.result);
   let s = Engine.stats engine in
-  check "hits counted" true (s.Telemetry.cache_hits >= 2);
+  (* The resubmission is an LRU hit; the twin is either a dedup join (if
+     it arrived while the first was in flight) or a hit (if the first
+     had already finished) — but never both kinds at once. *)
+  check_int "one hit or join per duplicate submission" 2
+    (s.Telemetry.cache_hits + s.Telemetry.dedup_joins);
+  check "lru hits not inflated by dedup" true (s.Telemetry.cache_hits >= 1);
   check_int "the deduped pair executed once" 2 s.Telemetry.jobs_completed;
   Engine.shutdown engine
 
@@ -346,7 +466,8 @@ let test_engine_batch () =
     (List.for_all (fun c -> Result.is_ok c.Job.result) completions);
   let s = Engine.stats engine in
   check_int "only distinct jobs executed" 5 s.Telemetry.jobs_completed;
-  check_int "the rest were hits" 15 s.Telemetry.cache_hits;
+  check_int "the rest were hits or in-flight joins" 15
+    (s.Telemetry.cache_hits + s.Telemetry.dedup_joins);
   Engine.shutdown engine
 
 (* --- End-to-end socket smoke test with concurrent clients --- *)
@@ -366,7 +487,7 @@ let test_server_end_to_end () =
   in
   let rec wait_up tries =
     if tries = 0 then Alcotest.fail "server did not come up";
-    match Client.connect ~socket with
+    match Client.connect ~socket () with
     | c -> c
     | exception Unix.Unix_error _ ->
         Thread.delay 0.05;
@@ -384,7 +505,7 @@ let test_server_end_to_end () =
         Thread.create
           (fun () ->
             try
-              let c = Client.connect ~socket in
+              let c = Client.connect ~socket () in
               let mine = Job.make (sample_adv ~seed:(1000 + t) ()) in
               let completions = Client.submit_batch c (shared @ [ mine ]) in
               List.iteri
@@ -402,8 +523,8 @@ let test_server_end_to_end () =
   check_int "all concurrent replies matched in-process execution" 0
     (Atomic.get failures);
   let s = Client.stats c0 in
-  check "shared jobs were cache hits across clients" true
-    (s.Telemetry.cache_hits >= 9);
+  check "shared jobs were hits or joins across clients" true
+    (s.Telemetry.cache_hits + s.Telemetry.dedup_joins >= 9);
   check_int "distinct jobs executed once each" 7 s.Telemetry.jobs_completed;
   Client.shutdown c0;
   Client.close c0;
@@ -442,4 +563,11 @@ let tests =
       test_server_end_to_end;
   ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_request_roundtrip; prop_reply_roundtrip ]
+      [
+        prop_request_roundtrip;
+        prop_reply_roundtrip;
+        prop_request_decode_fuzz;
+        prop_reply_decode_fuzz;
+        prop_read_frame_fuzz;
+        prop_lru_model;
+      ]
