@@ -2,12 +2,12 @@
 
    Two parts, both printed by `dune exec bench/main.exe`:
 
-   1. Bechamel micro-benchmarks (B1..B8, B10) — one Test.make per core
-      operation, timing the building blocks whose complexity the paper's
-      Section V argument relies on (SCC, skeleton intersection, graph
-      merging, a full Algorithm 1 round, the Psrcs decision procedure, a
-      full run end to end, the wire codec, a timing-layer run, a
-      sequential-vs-parallel round).
+   1. Bechamel micro-benchmarks (B1..B8, B10, B11) — one Test.make per
+      core operation, timing the building blocks whose complexity the
+      paper's Section V argument relies on (SCC, skeleton intersection,
+      graph merging, a full Algorithm 1 round, the Psrcs decision
+      procedure, a full run end to end, the wire codec, a timing-layer
+      run, a sequential-vs-parallel round, the lint analyzer).
 
    2. B9 — service-engine batch throughput: a >= 100-job batch pushed
       through the persistent ssgd engine (worker pool + dedup + LRU
@@ -148,6 +148,21 @@ let bench_parallel_round ~domains n =
          in
          ignore (E.run cfg)))
 
+(* B11: lint static-analysis throughput — what the ssgd front door and
+   the CI `ssg lint examples/*.run` step pay per run description (span
+   parse + skeleton + SCC + α(H) + all passes). *)
+let bench_lint n =
+  let adv =
+    Build.block_sources
+      (Rng.of_int (1100 + n))
+      ~n ~k:(max 1 (n / 4)) ~prefix_len:3 ()
+  in
+  let text = Run_format.to_string adv in
+  Test.make
+    ~name:(Printf.sprintf "B11-lint/n=%d" n)
+    (Staged.stage (fun () ->
+         ignore (Ssg_lint.Lint.check_text ~k:(max 1 (n / 4)) text)))
+
 let micro_tests scale =
   let sizes_small, sizes_mid =
     match scale with
@@ -165,6 +180,7 @@ let micro_tests scale =
       List.map bench_run sizes_mid;
       List.map bench_codec sizes_mid;
       List.map bench_timing (List.filter (fun n -> n <= 16) sizes_mid);
+      List.map bench_lint sizes_mid;
       (let biggest = List.fold_left max 0 sizes_mid in
        (* On a 1-core host the parallel row honestly reports the domain
           overhead; with more cores it reports the speedup. *)
@@ -207,7 +223,7 @@ let run_micro scale =
           Table.add_row table [ name; human_ns ns ])
         results)
     tests;
-  print_endline "== B1..B8, B10: micro-benchmarks (Bechamel, monotonic clock) ==";
+  print_endline "== B1..B8, B10, B11: micro-benchmarks (Bechamel, monotonic clock) ==";
   print_newline ();
   Table.print table;
   print_newline ()
@@ -231,6 +247,7 @@ let run_engine_bench scale =
   let distinct = total / 4 in
   let job i =
     Ssg_engine.Job.make
+      ~k:(max 1 (n / 4))
       (Build.block_sources
          (Rng.of_int (9100 + i))
          ~n ~k:(max 1 (n / 4)) ~prefix_len:2 ())

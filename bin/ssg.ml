@@ -74,7 +74,19 @@ let load_arg =
 
 let build_adversary ?load family ~n ~k ~prefix ~seed =
   match load with
-  | Some path -> Run_format.load path
+  | Some path ->
+      (* Advisory lint on loaded runs: surface problems (an unsatisfiable
+         Psrcs(k), near-miss edges, ...) on stderr but still run the
+         scenario — watching a doomed run fail is a legitimate use. *)
+      let text = In_channel.with_open_bin path In_channel.input_all in
+      let advisory =
+        Ssg_lint.Lint.check_text ~k text
+        |> List.filter (fun d ->
+               d.Ssg_lint.Diagnostic.severity <> Ssg_lint.Diagnostic.Info)
+      in
+      if advisory <> [] then
+        prerr_string (Ssg_lint.Report.human ~file:path ~src:text advisory);
+      Run_format.of_string text
   | None ->
   let rng = Rng.of_int seed in
   match family with
@@ -370,7 +382,20 @@ let shrink_cmd =
         done;
         !found
       end
-      else Option.map Run_format.load load
+      else
+        Option.map
+          (fun path ->
+            let adv = Run_format.load path in
+            let advisory =
+              Ssg_lint.Lint.check adv
+              |> List.filter (fun d ->
+                     d.Ssg_lint.Diagnostic.severity
+                     = Ssg_lint.Diagnostic.Warning)
+            in
+            if advisory <> [] then
+              prerr_string (Ssg_lint.Report.human ~file:path advisory);
+            adv)
+          load
     in
     match candidate with
     | None ->
@@ -651,6 +676,69 @@ let shutdown_cmd =
   Cmd.v (Cmd.info "shutdown" ~doc) Term.(const action $ socket_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let files_arg =
+    let doc = "Run description files to lint." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let k_opt_arg =
+    let doc =
+      "Agreement parameter to check Psrcs($(docv)) satisfiability against \
+       (unsatisfiable = error SSG001).  Without it, satisfiability is \
+       reported as info only."
+    in
+    Arg.(value & opt (some int) None & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit diagnostics as a JSON array (one object per file)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let strict_arg =
+    let doc = "Exit non-zero on warnings too, not only errors." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let action k json strict files =
+    let results =
+      List.map
+        (fun file ->
+          let text = In_channel.with_open_bin file In_channel.input_all in
+          (file, text, Ssg_lint.Lint.check_text ?k text))
+        files
+    in
+    if json then
+      print_string
+        (Ssg_lint.Report.json (List.map (fun (f, _, d) -> (f, d)) results))
+    else begin
+      List.iter
+        (fun (file, text, diags) ->
+          print_string (Ssg_lint.Report.human ~file ~src:text diags))
+        results;
+      let totals =
+        Ssg_lint.Lint.summarize (List.concat_map (fun (_, _, d) -> d) results)
+      in
+      Printf.printf "checked %d file(s): %d error(s), %d warning(s), %d \
+                     info(s)\n"
+        (List.length results) totals.Ssg_lint.Lint.errors
+        totals.Ssg_lint.Lint.warnings totals.Ssg_lint.Lint.infos
+    end;
+    if
+      List.exists
+        (fun (_, _, diags) -> not (Ssg_lint.Lint.ok ~strict diags))
+        results
+    then Stdlib.exit 1
+  in
+  let doc =
+    "Statically analyze run descriptions: Psrcs(k) satisfiability, skeleton \
+     structure, stabilization bounds (diagnostic codes SSG000-SSG105)."
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(const action $ k_opt_arg $ json_arg $ strict_arg $ files_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -662,6 +750,6 @@ let () =
        (Cmd.group info
           [
             run_cmd; figure1_cmd; experiment_cmd; check_cmd; dot_cmd;
-            timing_cmd; shrink_cmd; serve_cmd; submit_cmd; stats_cmd;
-            shutdown_cmd;
+            timing_cmd; shrink_cmd; lint_cmd; serve_cmd; submit_cmd;
+            stats_cmd; shutdown_cmd;
           ]))

@@ -22,9 +22,20 @@ let to_string adv =
        (edge_tokens (Adversary.graph adv (Adversary.prefix_length adv + 1))));
   Buffer.contents buf
 
+type spans = {
+  n_line : int;
+  round_lines : int array;
+  stable_line : int;
+  redundant_edges : (int * string) list;
+}
+
 let syntax_error line msg = failwith (Printf.sprintf "line %d: %s" line msg)
 
-let parse_edges ~lineno ~n text =
+(* [note] is told about textually redundant edge tokens — explicit
+   self-loops (implied by the model) and duplicates of an edge already
+   written on the same graph line.  The graph itself is unaffected; the
+   lint layer turns the notes into SSG105 diagnostics. *)
+let parse_edges ~lineno ~n ~note text =
   let g = Digraph.create n in
   Digraph.add_self_loops g;
   String.split_on_char ' ' text
@@ -34,6 +45,7 @@ let parse_edges ~lineno ~n text =
          | [ a; b ] -> (
              match (int_of_string_opt a, int_of_string_opt b) with
              | Some a, Some b when a >= 0 && a < n && b >= 0 && b < n ->
+                 if a = b || Digraph.mem_edge g a b then note (lineno, token);
                  Digraph.add_edge g a b
              | _ ->
                  syntax_error lineno
@@ -46,13 +58,16 @@ let strip_comment line =
   | Some i -> String.sub line 0 i
   | None -> line
 
-let of_string text =
+let parse text =
   let lines = String.split_on_char '\n' text in
   let n = ref None in
+  (* (value, declaring line) *)
   let rounds = ref [] in
-  (* (declared index, graph) *)
+  (* (declaring line, graph), reversed *)
   let stable = ref None in
   let header_seen = ref false in
+  let redundant = ref [] in
+  let note entry = redundant := entry :: !redundant in
   List.iteri
     (fun i raw ->
       let lineno = i + 1 in
@@ -67,10 +82,10 @@ let of_string text =
               if line = "stable:" then (
                 match !n with
                 | None -> syntax_error lineno "n must be declared first"
-                | Some n ->
+                | Some (n, _) ->
                     if !stable <> None then
                       syntax_error lineno "duplicate stable graph";
-                    stable := Some (parse_edges ~lineno ~n ""))
+                    stable := Some (lineno, parse_edges ~lineno ~n ~note ""))
               else
                 syntax_error lineno (Printf.sprintf "unknown directive %S" line)
           | Some sp -> (
@@ -78,27 +93,33 @@ let of_string text =
               let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
               match keyword with
               | "n" -> (
+                  if !n <> None then
+                    syntax_error lineno "duplicate n declaration";
                   match int_of_string_opt (String.trim rest) with
-                  | Some v when v >= 1 -> n := Some v
+                  | Some v when v >= 1 -> n := Some (v, lineno)
                   | _ -> syntax_error lineno "n must be a positive integer")
               | "round" -> (
+                  if !stable <> None then
+                    syntax_error lineno "round after stable graph";
                   match (!n, String.index_opt rest ':') with
                   | None, _ -> syntax_error lineno "n must be declared first"
                   | _, None -> syntax_error lineno "round needs \"round R: edges\""
-                  | Some n, Some colon -> (
+                  | Some (n, _), Some colon -> (
                       let idx = String.trim (String.sub rest 0 colon) in
                       let edges =
                         String.sub rest (colon + 1) (String.length rest - colon - 1)
                       in
                       match int_of_string_opt idx with
                       | Some r when r = List.length !rounds + 1 ->
-                          rounds := parse_edges ~lineno ~n edges :: !rounds
+                          rounds :=
+                            (lineno, parse_edges ~lineno ~n ~note edges)
+                            :: !rounds
                       | Some _ -> syntax_error lineno "rounds must be consecutive from 1"
                       | None -> syntax_error lineno "round index must be an integer"))
               | "stable:" | "stable" -> (
                   match !n with
                   | None -> syntax_error lineno "n must be declared first"
-                  | Some n ->
+                  | Some (n, _) ->
                       let edges =
                         if keyword = "stable:" then rest
                         else
@@ -109,7 +130,7 @@ let of_string text =
                       in
                       if !stable <> None then
                         syntax_error lineno "duplicate stable graph";
-                      stable := Some (parse_edges ~lineno ~n edges))
+                      stable := Some (lineno, parse_edges ~lineno ~n ~note edges))
               | other ->
                   syntax_error lineno (Printf.sprintf "unknown directive %S" other)))
     lines;
@@ -117,10 +138,22 @@ let of_string text =
   match (!n, !stable) with
   | None, _ -> failwith "missing n declaration"
   | _, None -> failwith "missing stable graph"
-  | Some _, Some stable ->
-      Adversary.make ~name:"loaded"
-        ~prefix:(Array.of_list (List.rev !rounds))
-        ~stable
+  | Some (_, n_line), Some (stable_line, stable_graph) ->
+      let rounds = List.rev !rounds in
+      let adv =
+        Adversary.make ~name:"loaded"
+          ~prefix:(Array.of_list (List.map snd rounds))
+          ~stable:stable_graph
+      in
+      ( adv,
+        {
+          n_line;
+          round_lines = Array.of_list (List.map fst rounds);
+          stable_line;
+          redundant_edges = List.rev !redundant;
+        } )
+
+let of_string text = fst (parse text)
 
 let save adv path =
   let oc = open_out path in

@@ -25,8 +25,26 @@
 val to_string : Adversary.t -> string
 
 (** [of_string text] parses.  @raise Failure with a line-numbered message
-    on malformed input. *)
+    on malformed input — including a duplicate [n] declaration
+    ("duplicate n declaration") and prefix rounds appearing after the
+    stable graph ("round after stable graph"). *)
 val of_string : string -> Adversary.t
+
+(** Line anchors recorded while parsing, consumed by the lint layer to
+    attach diagnostics to source positions.  [redundant_edges] lists
+    textually redundant edge tokens — explicit self-loops (the model
+    implies them) and duplicates within one graph line — as
+    [(line, token)] pairs in source order.  Redundant tokens do not
+    change the parsed graphs. *)
+type spans = {
+  n_line : int;
+  round_lines : int array;  (** index r-1 holds the line of [round r] *)
+  stable_line : int;
+  redundant_edges : (int * string) list;
+}
+
+(** [parse text] is [of_string] plus the recorded {!spans}. *)
+val parse : string -> Adversary.t * spans
 
 (** [save adv path] / [load path] — file variants. *)
 val save : Adversary.t -> string -> unit

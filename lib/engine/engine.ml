@@ -29,13 +29,14 @@ let telemetry t = t.telemetry
 
 type ticket =
   | Immediate of Job.completion
+  | Rejected of { message : string; submitted : float }
   | Waiting of { cell : done_r Ivar.t; submitted : float; shared : bool }
 
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let submit t job =
+let rec submit t job =
   Telemetry.record_submitted t.telemetry;
   let key = Job.key job in
   let now = Unix.gettimeofday () in
@@ -60,9 +61,28 @@ let submit t job =
          it as one inflates the reported cache hit rate. *)
       Telemetry.record_dedup t.telemetry;
       Waiting { cell; submitted = now; shared = true }
-  | `Fresh cell ->
-      Telemetry.record_miss t.telemetry;
-      let task () =
+  | `Fresh cell -> (
+      (* Lint front door: a job whose run can never satisfy its own
+         predicate (or does not even parse) is refused before it costs a
+         worker slot.  Only fresh submissions are checked — a cache hit
+         or an in-flight twin proves an identical job already passed.
+         Rejections fill the pending cell so twins that joined in the
+         meantime observe the same Error, and are never cached: the
+         diagnostics are cheap to recompute and the LRU stays reserved
+         for real results. *)
+      match Ssg_lint.Lint.gate ~k:job.Job.k job.Job.run with
+      | Some diags ->
+          locked t (fun () -> Hashtbl.remove t.pending key);
+          Telemetry.record_rejected_lint t.telemetry;
+          let message = "job rejected by lint:\n" ^ diags in
+          Log.info (fun m -> m "lint rejection: %s" message);
+          Ivar.fill cell (Stdlib.Error message);
+          Rejected { message; submitted = now }
+      | None -> fresh_execute t job ~key ~cell ~now)
+
+and fresh_execute t job ~key ~cell ~now =
+  Telemetry.record_miss t.telemetry;
+  let task () =
         let result =
           try
             (match Faults.on_execute t.faults with
@@ -98,9 +118,19 @@ let submit t job =
       end;
       Waiting { cell; submitted = now; shared = false }
 
+let rejection = function
+  | Rejected { message; _ } -> Some message
+  | Immediate _ | Waiting _ -> None
+
 let await _t ticket =
   match ticket with
   | Immediate completion -> completion
+  | Rejected { message; submitted } ->
+      {
+        Job.result = Stdlib.Error message;
+        cached = false;
+        latency_ms = 1000. *. (Unix.gettimeofday () -. submitted);
+      }
   | Waiting { cell; submitted; shared } ->
       let result = Ivar.read cell in
       {

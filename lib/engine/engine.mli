@@ -41,8 +41,21 @@ val telemetry : t -> Telemetry.t
 type ticket
 
 (** [submit t job] — may block on a full queue.  Never raises on job
-    errors; they surface as [Error] completions. *)
+    errors; they surface as [Error] completions.
+
+    {b Lint front door.}  A fresh submission (no cache hit, no in-flight
+    twin) is first checked by {!Ssg_lint.Lint.gate} against the job's own
+    [k]: jobs whose run description cannot parse or can never satisfy
+    [Psrcs(k)] are rejected without touching the worker pool.  The
+    rejection surfaces as an [Error] completion from [await] (and via
+    {!rejection} for callers that want to answer with a protocol-level
+    error instead), is counted as [jobs_rejected_lint] in telemetry, and
+    is never cached. *)
 val submit : t -> Job.t -> ticket
+
+(** [rejection ticket] is [Some rendered_diagnostics] iff the submission
+    was refused at the lint front door. *)
+val rejection : ticket -> string option
 
 (** [await t ticket] blocks until the job's completion is available. *)
 val await : t -> ticket -> Job.completion

@@ -242,6 +242,7 @@ let put_snapshot buf (s : Telemetry.snapshot) =
   put_int buf s.Telemetry.jobs_submitted;
   put_int buf s.Telemetry.jobs_completed;
   put_int buf s.Telemetry.jobs_failed;
+  put_int buf s.Telemetry.jobs_rejected_lint;
   put_int buf s.Telemetry.cache_hits;
   put_int buf s.Telemetry.cache_misses;
   put_int buf s.Telemetry.dedup_joins;
@@ -263,6 +264,7 @@ let get_snapshot r : Telemetry.snapshot =
   let jobs_submitted = get_int r in
   let jobs_completed = get_int r in
   let jobs_failed = get_int r in
+  let jobs_rejected_lint = get_int r in
   let cache_hits = get_int r in
   let cache_misses = get_int r in
   let dedup_joins = get_int r in
@@ -283,6 +285,7 @@ let get_snapshot r : Telemetry.snapshot =
     jobs_submitted;
     jobs_completed;
     jobs_failed;
+    jobs_rejected_lint;
     cache_hits;
     cache_misses;
     dedup_joins;

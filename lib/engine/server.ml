@@ -87,9 +87,19 @@ let handle_connection engine faults ~stop ~wake ~active fd =
             let continue =
               try
                 match request with
-                | Protocol.Submit job ->
-                    send (Protocol.Completed (Engine.run engine job));
-                    true
+                | Protocol.Submit job -> (
+                    let ticket = Engine.submit engine job in
+                    match Engine.rejection ticket with
+                    | Some diags ->
+                        (* A lint rejection is the job's fault, not the
+                           connection's: answer with a protocol Error
+                           carrying the diagnostics and keep serving. *)
+                        send (Protocol.Error diags);
+                        true
+                    | None ->
+                        send
+                          (Protocol.Completed (Engine.await engine ticket));
+                        true)
                 | Protocol.Batch jobs ->
                     send
                       (Protocol.Batch_completed (Engine.run_batch engine jobs));

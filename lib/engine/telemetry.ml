@@ -8,6 +8,7 @@ type snapshot = {
   jobs_submitted : int;
   jobs_completed : int;
   jobs_failed : int;
+  jobs_rejected_lint : int;
   cache_hits : int;
   cache_misses : int;
   dedup_joins : int;
@@ -33,6 +34,7 @@ type t = {
   mutable submitted : int;
   mutable completed : int;
   mutable failed : int;
+  mutable rejected_lint : int;
   mutable hits : int;
   mutable misses : int;
   mutable dedups : int;
@@ -57,6 +59,7 @@ let create ?(window = 4096) ?(recent_window_s = 10.) () =
     submitted = 0;
     completed = 0;
     failed = 0;
+    rejected_lint = 0;
     hits = 0;
     misses = 0;
     dedups = 0;
@@ -87,6 +90,9 @@ let record_failed t ~latency_ms =
   locked t (fun () ->
       t.failed <- t.failed + 1;
       push_latency t latency_ms)
+
+let record_rejected_lint t =
+  locked t (fun () -> t.rejected_lint <- t.rejected_lint + 1)
 
 let record_hit t = locked t (fun () -> t.hits <- t.hits + 1)
 let record_miss t = locked t (fun () -> t.misses <- t.misses + 1)
@@ -143,6 +149,7 @@ let snapshot t ~workers ~queue_depth ~queue_capacity ~cache_entries =
         jobs_submitted = t.submitted;
         jobs_completed = t.completed;
         jobs_failed = t.failed;
+        jobs_rejected_lint = t.rejected_lint;
         cache_hits = t.hits;
         cache_misses = t.misses;
         dedup_joins = t.dedups;
@@ -169,6 +176,7 @@ let pp_snapshot fmt s =
   Format.fprintf fmt "submitted   : %d@." s.jobs_submitted;
   Format.fprintf fmt "completed   : %d (%d failed)@." s.jobs_completed
     s.jobs_failed;
+  Format.fprintf fmt "rejected    : %d jobs by lint@." s.jobs_rejected_lint;
   Format.fprintf fmt
     "cache       : %d hits, %d misses (%.0f%% hit rate), %d entries@."
     s.cache_hits s.cache_misses (100. *. rate) s.cache_entries;

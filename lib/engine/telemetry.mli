@@ -22,6 +22,9 @@ type snapshot = {
   jobs_submitted : int;  (** requests accepted, including hits and joins *)
   jobs_completed : int;  (** jobs actually executed to a result *)
   jobs_failed : int;  (** executions that ended in an error reply *)
+  jobs_rejected_lint : int;
+      (** jobs refused at the engine front door because the lint pass
+          found errors — never executed, never cached *)
   cache_hits : int;  (** served from the LRU result cache *)
   cache_misses : int;
   dedup_joins : int;
@@ -60,6 +63,11 @@ val create : ?window:int -> ?recent_window_s:float -> unit -> t
 val record_submitted : t -> unit
 val record_completed : t -> latency_ms:float -> unit
 val record_failed : t -> latency_ms:float -> unit
+
+(** [record_rejected_lint t] — a job was refused at the lint front
+    door. *)
+val record_rejected_lint : t -> unit
+
 val record_hit : t -> unit
 val record_miss : t -> unit
 

@@ -1,0 +1,230 @@
+open Ssg_util
+open Ssg_graph
+open Ssg_adversary
+module Analysis = Ssg_skeleton.Analysis
+module Skeleton = Ssg_skeleton.Skeleton
+
+let spf = Printf.sprintf
+
+(* Line anchors are optional: [Lint.check] on an in-memory adversary has
+   no source text, so every span here is threaded through [Option.map]. *)
+let stable_span (ctx : Pass.ctx) =
+  Option.map (fun s -> Diagnostic.line s.Run_format.stable_line) ctx.spans
+
+let round_span (ctx : Pass.ctx) r =
+  Option.map
+    (fun s -> Diagnostic.line s.Run_format.round_lines.(r - 1))
+    ctx.spans
+
+let roots_string analysis =
+  Analysis.roots analysis |> List.map Bitset.to_string |> String.concat ", "
+
+(* SSG001: Psrcs(k) unsatisfiable — the run can never let Algorithm 1
+   solve k-set agreement because the stable skeleton has too many
+   pairwise source-disjoint processes (α(H) = min_k > k). *)
+let psrcs_unsat (ctx : Pass.ctx) =
+  match ctx.k with
+  | Some k when ctx.min_k > k ->
+      let witness =
+        match Ssg_predicates.Predicate.psrcs_violation ctx.pts ~k with
+        | Some s -> Bitset.to_string s
+        | None -> "(no witness)"
+      in
+      [
+        Diagnostic.error ?span:(stable_span ctx) ~code:"SSG001"
+          ~hint:
+            (spf
+               "processes %s are pairwise source-disjoint; raise k to %d or \
+                connect the source components"
+               witness ctx.min_k)
+          (spf
+             "Psrcs(%d) is unsatisfiable: the stable skeleton needs k >= %d \
+              (source components: %s)"
+             k ctx.min_k
+             (roots_string ctx.analysis));
+      ]
+  | _ -> []
+
+(* SSG002: satisfiability profile — how much slack the run has. *)
+let psrcs_profile (ctx : Pass.ctx) =
+  let span = stable_span ctx in
+  match ctx.k with
+  | None ->
+      [
+        Diagnostic.info ?span ~code:"SSG002"
+          (spf "Psrcs(k) holds iff k >= %d (min_k = α(H) = %d)" ctx.min_k
+             ctx.min_k);
+      ]
+  | Some k when k = ctx.min_k ->
+      [
+        Diagnostic.info ?span ~code:"SSG002"
+          (spf
+             "Psrcs(%d) is tight: min_k = %d, so k - 1 = %d would be \
+              unsatisfiable"
+             k ctx.min_k (k - 1));
+      ]
+  | Some k when k > ctx.min_k ->
+      [
+        Diagnostic.info ?span ~code:"SSG002"
+          (spf "Psrcs(%d) holds with slack: min_k = %d" k ctx.min_k);
+      ]
+  | Some _ -> []
+
+(* SSG003: stabilization estimate — when the skeleton stops shrinking and
+   by when Algorithm 1 decides (Lemma 11's horizon). *)
+let stabilization (ctx : Pass.ctx) =
+  let adv = ctx.adv in
+  let rounds = Adversary.prefix_length adv + 2 in
+  let trace = Adversary.trace adv ~rounds in
+  let rst = Skeleton.stabilization_round trace in
+  let qualifier = if Adversary.is_recurrent adv then " (estimate: recurrent noise)" else "" in
+  [
+    Diagnostic.info ~code:"SSG003"
+      (spf
+         "skeleton stabilizes at round %d (r_ST)%s; Algorithm 1 decides by \
+          round %d"
+         rst qualifier
+         (Adversary.decision_horizon adv));
+  ]
+
+(* Text-level structure checks below only make sense for serializable
+   (non-recurrent) runs; recurrent rounds are a function, not lines. *)
+let stable_graph (ctx : Pass.ctx) =
+  Adversary.graph ctx.adv (Adversary.prefix_length ctx.adv + 1)
+
+(* SSG101: a prefix round that is a supergraph of the stable graph cannot
+   remove any edge from the skeleton — declaring it is a no-op. *)
+let subsumed_rounds (ctx : Pass.ctx) =
+  if Adversary.is_recurrent ctx.adv then []
+  else
+    let stable = stable_graph ctx in
+    let out = ref [] in
+    for r = Adversary.prefix_length ctx.adv downto 1 do
+      if Digraph.subgraph_of stable (Adversary.graph ctx.adv r) then
+        out :=
+          Diagnostic.warning
+            ?span:(round_span ctx r)
+            ~code:"SSG101"
+            ~hint:"drop the round or remove an edge so it constrains G^∩∞"
+            (spf
+               "round %d is a supergraph of the stable graph: it cannot \
+                shrink the stable skeleton"
+               r)
+          :: !out
+    done;
+    !out
+
+(* SSG102: an edge timely in every prefix round but missing from
+   [stable:] — one declaration short of joining the skeleton, often a
+   sign the stable graph was under-transcribed. *)
+let near_miss_edges (ctx : Pass.ctx) =
+  let prefix = Adversary.prefix_length ctx.adv in
+  if Adversary.is_recurrent ctx.adv || prefix = 0 then []
+  else begin
+    let common = Digraph.copy (Adversary.graph ctx.adv 1) in
+    for r = 2 to prefix do
+      Digraph.inter_into ~into:common (Adversary.graph ctx.adv r)
+    done;
+    let stable = stable_graph ctx in
+    let out = ref [] in
+    Digraph.iter_edges common (fun p q ->
+        if p <> q && not (Digraph.mem_edge stable p q) then
+          out :=
+            Diagnostic.warning
+              ?span:(stable_span ctx)
+              ~code:"SSG102"
+              ~hint:"add it to stable: if the link is meant to be timely forever"
+              (spf
+                 "edge %d>%d is timely in every prefix round but absent from \
+                  the stable graph — a near-miss skeleton edge"
+                 p q)
+            :: !out);
+    List.rev !out
+  end
+
+(* SSG103: a round with no edges beyond self-loops collapses the skeleton
+   to isolated processes from that round on. *)
+let empty_rounds (ctx : Pass.ctx) =
+  if Adversary.is_recurrent ctx.adv then []
+  else begin
+    let n = Adversary.n ctx.adv in
+    let out = ref [] in
+    for r = Adversary.prefix_length ctx.adv downto 1 do
+      if Digraph.edge_count (Adversary.graph ctx.adv r) = n then
+        out :=
+          Diagnostic.warning
+            ?span:(round_span ctx r)
+            ~code:"SSG103"
+            (spf
+               "round %d has no edges beyond self-loops: it collapses the \
+                skeleton to isolated processes"
+               r)
+          :: !out
+    done;
+    !out
+  end
+
+(* SSG104: a process nobody hears and who hears nobody (in the skeleton)
+   is its own source component — each one forces min_k up by one. *)
+let isolated_processes (ctx : Pass.ctx) =
+  let n = Adversary.n ctx.adv in
+  let skel = ctx.skeleton in
+  let isolated = ref [] in
+  for p = n - 1 downto 0 do
+    if Digraph.in_degree skel p = 1 && Digraph.out_degree skel p = 1 then
+      isolated := p :: !isolated
+  done;
+  let span = stable_span ctx in
+  match !isolated with
+  | [] -> []
+  | ps when List.length ps = n ->
+      [
+        Diagnostic.warning ?span ~code:"SSG104"
+          (spf
+             "all %d processes are isolated in the stable skeleton: no \
+              inter-process edge survives every round"
+             n);
+      ]
+  | ps ->
+      List.map
+        (fun p ->
+          Diagnostic.warning ?span ~code:"SSG104"
+            (spf
+               "process %d is isolated in the stable skeleton: it is its own \
+                source component"
+               p))
+        ps
+
+(* SSG105: textually redundant edge tokens, straight from the
+   span-tracking parse. *)
+let redundant_tokens (ctx : Pass.ctx) =
+  match ctx.spans with
+  | None -> []
+  | Some spans ->
+      List.map
+        (fun (lineno, token) ->
+          let is_self_loop =
+            match String.split_on_char '>' token with
+            | [ a; b ] -> a = b
+            | _ -> false
+          in
+          let message =
+            if is_self_loop then
+              spf "self-loop token %S is redundant: self-loops are implied in every graph" token
+            else spf "duplicate edge token %S on this line" token
+          in
+          Diagnostic.warning ~span:(Diagnostic.line lineno) ~code:"SSG105"
+            message)
+        spans.Run_format.redundant_edges
+
+let all =
+  [
+    Pass.v ~code:"SSG001" ~title:"Psrcs(k) satisfiability" psrcs_unsat;
+    Pass.v ~code:"SSG002" ~title:"Psrcs(k) profile" psrcs_profile;
+    Pass.v ~code:"SSG003" ~title:"stabilization estimate" stabilization;
+    Pass.v ~code:"SSG101" ~title:"subsumed prefix rounds" subsumed_rounds;
+    Pass.v ~code:"SSG102" ~title:"near-miss skeleton edges" near_miss_edges;
+    Pass.v ~code:"SSG103" ~title:"empty rounds" empty_rounds;
+    Pass.v ~code:"SSG104" ~title:"isolated processes" isolated_processes;
+    Pass.v ~code:"SSG105" ~title:"redundant edge tokens" redundant_tokens;
+  ]

@@ -1,0 +1,9 @@
+(** The built-in semantic passes, in registration order.
+
+    Each pass owns one diagnostic code (see {!Diagnostic} for the
+    registry).  To add a check: write a [Pass.ctx -> Diagnostic.t list]
+    function, wrap it with {!Pass.v} under a fresh code, and append it
+    here — the CLI, the engine front door and the library API all run
+    {!all} through {!Pass.run_all}. *)
+
+val all : Pass.t list

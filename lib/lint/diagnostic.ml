@@ -1,0 +1,41 @@
+type severity = Error | Warning | Info
+type span = { line : int; end_line : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  span : span option;
+  message : string;
+  hint : string option;
+}
+
+let line l = { line = l; end_line = l }
+let make severity ?span ?hint ~code message = { code; severity; span; message; hint }
+let error ?span ?hint ~code message = make Error ?span ?hint ~code message
+let warning ?span ?hint ~code message = make Warning ?span ?hint ~code message
+let info ?span ?hint ~code message = make Info ?span ?hint ~code message
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let is_error d = d.severity = Error
+
+let compare a b =
+  let line_of d = match d.span with Some s -> s.line | None -> max_int in
+  match Int.compare (line_of a) (line_of b) with
+  | 0 -> (
+      match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+      | 0 -> String.compare a.code b.code
+      | c -> c)
+  | c -> c
+
+let pp fmt d =
+  Format.fprintf fmt "%s %s: %s" (severity_label d.severity) d.code d.message;
+  match d.span with
+  | Some { line; end_line } when line = end_line ->
+      Format.fprintf fmt " (line %d)" line
+  | Some { line; end_line } -> Format.fprintf fmt " (lines %d-%d)" line end_line
+  | None -> ()

@@ -1,0 +1,53 @@
+(** Structured lint diagnostics.
+
+    A diagnostic carries a stable code (["SSG001"], ...), a severity, an
+    optional source span (line anchors from {!Ssg_adversary.Run_format}'s
+    span-tracking parse), a message, and an optional hint.  Codes are a
+    public contract: tools grep for them, tests lock them, and they never
+    change meaning across releases (retired codes are not reused).
+
+    {b Code registry}
+
+    - [SSG000] error — the run description does not parse
+    - [SSG001] error — [Psrcs(k)] is unsatisfiable ([min_k > k])
+    - [SSG002] info — [Psrcs(k)] satisfiability profile ([min_k] / tight)
+    - [SSG003] info — stabilization round [r_ST] and decision horizon
+    - [SSG101] warning — prefix round subsumed by the stable graph
+    - [SSG102] warning — near-miss skeleton edge (in every prefix round,
+      absent from [stable:])
+    - [SSG103] warning — empty round (self-loops only)
+    - [SSG104] warning — process isolated in the stable skeleton
+    - [SSG105] warning — redundant edge token (duplicate / explicit
+      self-loop) *)
+
+type severity = Error | Warning | Info
+
+(** Inclusive 1-based line range in the run-description source. *)
+type span = { line : int; end_line : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  span : span option;
+  message : string;
+  hint : string option;
+}
+
+(** [line l] is the single-line span [{line = l; end_line = l}]. *)
+val line : int -> span
+
+val error : ?span:span -> ?hint:string -> code:string -> string -> t
+val warning : ?span:span -> ?hint:string -> code:string -> string -> t
+val info : ?span:span -> ?hint:string -> code:string -> string -> t
+
+(** ["error"] / ["warning"] / ["info"]. *)
+val severity_label : severity -> string
+
+val is_error : t -> bool
+
+(** Source order: by span line (span-less diagnostics sort last), then by
+    severity (errors first), then by code. *)
+val compare : t -> t -> int
+
+(** One-line rendering: [error SSG001: message (line 4)]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+open Ssg_adversary
+
+let check ?k adv = Pass.run_all Checks.all (Pass.ctx ?k adv)
+
+(* "line N: ..." parse failures anchor SSG000 to line N. *)
+let parse_error_span msg =
+  match Scanf.sscanf_opt msg "line %d:" (fun l -> l) with
+  | Some l -> Some (Diagnostic.line l)
+  | None -> None
+
+let check_text ?k text =
+  match Run_format.parse text with
+  | adv, spans -> Pass.run_all Checks.all (Pass.ctx ?k ~spans adv)
+  | exception Failure msg ->
+      [
+        Diagnostic.error
+          ?span:(parse_error_span msg)
+          ~code:"SSG000"
+          (Printf.sprintf "run description does not parse: %s" msg);
+      ]
+
+type summary = { errors : int; warnings : int; infos : int }
+
+let summarize diags =
+  List.fold_left
+    (fun acc (d : Diagnostic.t) ->
+      match d.severity with
+      | Diagnostic.Error -> { acc with errors = acc.errors + 1 }
+      | Diagnostic.Warning -> { acc with warnings = acc.warnings + 1 }
+      | Diagnostic.Info -> { acc with infos = acc.infos + 1 })
+    { errors = 0; warnings = 0; infos = 0 }
+    diags
+
+let has_errors diags = List.exists Diagnostic.is_error diags
+
+let ok ?(strict = false) diags =
+  let s = summarize diags in
+  s.errors = 0 && ((not strict) || s.warnings = 0)
+
+let gate ~k run =
+  let diags = check_text ~k run in
+  if has_errors diags then
+    Some (Report.human ~src:run (List.filter Diagnostic.is_error diags))
+  else None

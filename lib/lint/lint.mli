@@ -1,0 +1,33 @@
+(** Front door of the lint subsystem.
+
+    Three consumers share these entry points: the [ssg lint] CLI
+    ({!check_text} + the {!Report} renderers), the [ssgd] engine front
+    door ({!gate}, which turns lint errors into a rejection payload
+    before a job ever reaches the worker pool), and in-memory advisory
+    checks on [--load]/[shrink] paths ({!check}). *)
+
+open Ssg_adversary
+
+(** [check ?k adv] lints an in-memory adversary (no source spans).  With
+    [k], unsatisfiable [Psrcs(k)] is reported as an [SSG001] error;
+    without it, satisfiability is reported as info only. *)
+val check : ?k:int -> Adversary.t -> Diagnostic.t list
+
+(** [check_text ?k text] lints a run description, with line-span anchors
+    from the span-tracking parse.  Never raises: text rejected by
+    {!Run_format.parse} yields a single [SSG000] error diagnostic. *)
+val check_text : ?k:int -> string -> Diagnostic.t list
+
+(** [gate ~k run] is the engine front door: [Some rendered] when [run]
+    has lint errors at agreement parameter [k] (the string is the
+    human-rendered diagnostics, with source excerpts), [None] when the
+    job may execute. *)
+val gate : k:int -> string -> string option
+
+type summary = { errors : int; warnings : int; infos : int }
+
+val summarize : Diagnostic.t list -> summary
+val has_errors : Diagnostic.t list -> bool
+
+(** [ok ?strict diags] — no errors; with [strict], no warnings either. *)
+val ok : ?strict:bool -> Diagnostic.t list -> bool

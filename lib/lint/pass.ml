@@ -1,0 +1,33 @@
+open Ssg_util
+open Ssg_graph
+open Ssg_adversary
+
+type ctx = {
+  adv : Adversary.t;
+  k : int option;
+  spans : Run_format.spans option;
+  skeleton : Digraph.t;
+  analysis : Ssg_skeleton.Analysis.t;
+  pts : Bitset.t array;
+  min_k : int;
+}
+
+let ctx ?k ?spans adv =
+  let skeleton = Adversary.stable_skeleton adv in
+  {
+    adv;
+    k;
+    spans;
+    skeleton;
+    analysis = Ssg_skeleton.Analysis.analyze skeleton;
+    pts = Adversary.pts adv;
+    min_k = Adversary.min_k adv;
+  }
+
+type t = { code : string; title : string; check : ctx -> Diagnostic.t list }
+
+let v ~code ~title check = { code; title; check }
+
+let run_all passes ctx =
+  List.concat_map (fun pass -> pass.check ctx) passes
+  |> List.sort Diagnostic.compare

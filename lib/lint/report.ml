@@ -1,0 +1,80 @@
+let human ?file ?src diags =
+  let buf = Buffer.create 256 in
+  let src_lines = Option.map (fun s -> String.split_on_char '\n' s) src in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      (match (file, d.span) with
+      | Some f, Some s -> add "%s:%d: " f s.line
+      | Some f, None -> add "%s: " f
+      | None, Some s -> add "line %d: " s.line
+      | None, None -> ());
+      add "%s %s: %s\n" (Diagnostic.severity_label d.severity) d.code d.message;
+      (match (src_lines, d.span) with
+      | Some lines, Some s when s.line >= 1 && s.line <= List.length lines ->
+          add "  %4d | %s\n" s.line (List.nth lines (s.line - 1))
+      | _ -> ());
+      match d.hint with Some h -> add "  hint: %s\n" h | None -> ())
+    (List.sort Diagnostic.compare diags);
+  Buffer.contents buf
+
+(* Hand-rolled JSON: the diagnostics are flat records, not worth a
+   dependency. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_diagnostic (d : Diagnostic.t) =
+  let fields = Buffer.create 64 in
+  let add fmt = Printf.ksprintf (Buffer.add_string fields) fmt in
+  add "{ \"code\": \"%s\", \"severity\": \"%s\"" (escape d.code)
+    (Diagnostic.severity_label d.severity);
+  (match d.span with
+  | Some s -> add ", \"line\": %d, \"end_line\": %d" s.line s.end_line
+  | None -> ());
+  add ", \"message\": \"%s\"" (escape d.message);
+  (match d.hint with
+  | Some h -> add ", \"hint\": \"%s\"" (escape h)
+  | None -> ());
+  add " }";
+  Buffer.contents fields
+
+let json results =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (file, diags) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let diags = List.sort Diagnostic.compare diags in
+      let count sev =
+        List.length
+          (List.filter (fun (d : Diagnostic.t) -> d.severity = sev) diags)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  { \"file\": \"%s\",\n    \"errors\": %d, \"warnings\": %d, \
+            \"infos\": %d,\n    \"diagnostics\": ["
+           (escape file) (count Diagnostic.Error) (count Diagnostic.Warning)
+           (count Diagnostic.Info));
+      List.iteri
+        (fun j d ->
+          if j > 0 then Buffer.add_string buf ",";
+          Buffer.add_string buf "\n      ";
+          Buffer.add_string buf (json_diagnostic d))
+        diags;
+      if diags <> [] then Buffer.add_string buf "\n    ";
+      Buffer.add_string buf "] }")
+    results;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Diagnostic reporters.
+
+    Two renderings of the same diagnostics: a human one (compiler-style
+    [file:line: severity CODE: message] lines, plus the offending source
+    line when the text is available) and a JSON one for tooling and CI.
+
+    {b JSON schema} (one object per linted file):
+
+    {v
+    [
+      {
+        "file": "examples/foo.run",
+        "errors": 1, "warnings": 2, "infos": 1,
+        "diagnostics": [
+          { "code": "SSG001", "severity": "error",
+            "line": 5, "end_line": 5,
+            "message": "...", "hint": "..." }
+        ]
+      }
+    ]
+    v}
+
+    [line]/[end_line] are omitted for span-less diagnostics, [hint] when
+    there is none. *)
+
+(** [human ?file ?src diags] renders diagnostics in source order.  With
+    [src] (the run-description text), each anchored diagnostic is
+    followed by an excerpt of its source line. *)
+val human : ?file:string -> ?src:string -> Diagnostic.t list -> string
+
+(** [json results] renders a JSON array with one object per
+    [(file, diagnostics)] pair. *)
+val json : (string * Diagnostic.t list) list -> string

@@ -30,6 +30,7 @@ let () =
       ("dynamic", Test_dynamic.tests);
       ("certificate", Test_certificate.tests);
       ("run-format", Test_run_format.tests);
+      ("lint", Test_lint.tests);
       ("engine", Test_engine.tests);
       ("faults", Test_faults.tests);
     ]

@@ -232,6 +232,7 @@ let gen_snapshot rng : Telemetry.snapshot =
     jobs_submitted = Rng.int rng 100000;
     jobs_completed = Rng.int rng 100000;
     jobs_failed = Rng.int rng 100;
+    jobs_rejected_lint = Rng.int rng 100;
     cache_hits = Rng.int rng 100000;
     cache_misses = Rng.int rng 100000;
     dedup_joins = Rng.int rng 1000;
@@ -412,14 +413,14 @@ let test_protocol_rejects_garbage () =
 
 let test_engine_cache_and_dedup () =
   let engine = Engine.create ~workers:2 ~queue_capacity:8 () in
-  let job = Job.make (sample_adv ()) in
+  let job = Job.make ~k:2 (sample_adv ()) in
   let first = Engine.run engine job in
   check "first computed" false first.Job.cached;
   let again = Engine.run engine job in
   check "resubmission served from cache" true again.Job.cached;
   check "same outcome" true (first.Job.result = again.Job.result);
   (* In-flight dedup: submit the same fresh job twice before awaiting. *)
-  let fresh = Job.make (sample_adv ~seed:99 ()) in
+  let fresh = Job.make ~k:2 (sample_adv ~seed:99 ()) in
   let t1 = Engine.submit engine fresh in
   let t2 = Engine.submit engine fresh in
   let c1 = Engine.await engine t1 and c2 = Engine.await engine t2 in
@@ -438,11 +439,11 @@ let test_engine_failure_propagation () =
   let engine = Engine.create ~workers:1 ~queue_capacity:4 () in
   (* 3 inputs for a 6-process run: Job.execute raises, the engine must
      turn that into an Error completion and keep serving. *)
-  let bad = Job.make ~inputs:[| 1; 2; 3 |] (sample_adv ()) in
+  let bad = Job.make ~k:2 ~inputs:[| 1; 2; 3 |] (sample_adv ()) in
   (match (Engine.run engine bad).Job.result with
   | Error msg -> check "error mentions the cause" true (msg <> "")
   | Ok _ -> Alcotest.fail "inconsistent job must fail");
-  let good = Engine.run engine (Job.make (sample_adv ())) in
+  let good = Engine.run engine (Job.make ~k:2 (sample_adv ())) in
   check "engine alive after failure" true (Result.is_ok good.Job.result);
   let s = Engine.stats engine in
   check_int "failure counted" 1 s.Telemetry.jobs_failed;
@@ -451,14 +452,14 @@ let test_engine_failure_propagation () =
   Engine.shutdown engine;
   (* A cached job would still be served after shutdown; a fresh one must
      error because the pool no longer accepts work. *)
-  (match (Engine.run engine (Job.make (sample_adv ~seed:4242 ()))).Job.result with
+  (match (Engine.run engine (Job.make ~k:2 (sample_adv ~seed:4242 ()))).Job.result with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "fresh submission after shutdown must error")
 
 let test_engine_batch () =
   let engine = Engine.create ~workers:2 ~queue_capacity:4 () in
   let jobs =
-    List.init 20 (fun i -> Job.make (sample_adv ~seed:(i mod 5) ()))
+    List.init 20 (fun i -> Job.make ~k:2 (sample_adv ~seed:(i mod 5) ()))
   in
   let completions = Engine.run_batch engine jobs in
   check_int "every job answered" 20 (List.length completions);
@@ -497,7 +498,7 @@ let test_server_end_to_end () =
   (* Concurrent clients: every thread submits the same 3 jobs (plus one
      per-thread unique job) on its own connection and checks the replies
      against in-process execution. *)
-  let shared = List.init 3 (fun i -> Job.make (sample_adv ~seed:i ())) in
+  let shared = List.init 3 (fun i -> Job.make ~k:2 (sample_adv ~seed:i ())) in
   let expected = List.map Job.execute shared in
   let failures = Atomic.make 0 in
   let clients =
@@ -506,7 +507,7 @@ let test_server_end_to_end () =
           (fun () ->
             try
               let c = Client.connect ~socket () in
-              let mine = Job.make (sample_adv ~seed:(1000 + t) ()) in
+              let mine = Job.make ~k:2 (sample_adv ~seed:(1000 + t) ()) in
               let completions = Client.submit_batch c (shared @ [ mine ]) in
               List.iteri
                 (fun i completion ->

@@ -80,7 +80,7 @@ let try_read_reply fd =
 let sample_adv ?(seed = 11) ?(n = 6) () =
   Build.block_sources (Rng.of_int seed) ~n ~k:2 ~prefix_len:1 ()
 
-let sample_job ?seed () = Job.make (sample_adv ?seed ())
+let sample_job ?seed () = Job.make ~k:2 (sample_adv ?seed ())
 
 let open_fds () =
   Array.length (Sys.readdir "/proc/self/fd")

@@ -69,6 +69,50 @@ let test_parse_errors () =
   expect_failure "duplicate stable" "ssg-run v1\nn 2\nstable: \nstable: \n";
   expect_failure "unknown directive" "ssg-run v1\nn 2\nfrobnicate 7\nstable: \n"
 
+(* Regression: a second [n] declaration used to silently overwrite the
+   first, parsing earlier rounds and later graphs against different
+   process counts.  The error message is part of the format's contract. *)
+let expect_message label text message =
+  check label true
+    (try
+       ignore (Run_format.of_string text);
+       false
+     with Failure msg -> msg = message)
+
+let test_duplicate_n_rejected () =
+  expect_message "duplicate n"
+    "ssg-run v1\nn 3\nround 1: 0>1\nn 5\nstable: 0>1\n"
+    "line 4: duplicate n declaration";
+  (* Even re-declaring the same value is a malformed file. *)
+  expect_message "duplicate n, same value"
+    "ssg-run v1\nn 3\nn 3\nstable: 0>1\n" "line 3: duplicate n declaration"
+
+(* Regression: prefix rounds after the stable graph used to parse (the
+   round list and the stable ref were independent), producing a run
+   whose textual order lied about its round order. *)
+let test_round_after_stable_rejected () =
+  expect_message "round after stable"
+    "ssg-run v1\nn 3\nstable: 0>1\nround 1: 0>2\n"
+    "line 4: round after stable graph";
+  expect_message "round after bare stable"
+    "ssg-run v1\nn 2\nstable:\nround 1: 0>1\n"
+    "line 4: round after stable graph"
+
+let test_spans () =
+  let _adv, spans =
+    Run_format.parse
+      "ssg-run v1\n# comment\nn 3\n\nround 1: 0>1 0>1 2>2\nround 2: 0>1\nstable: 0>1\n"
+  in
+  check_int "n line" 3 spans.Run_format.n_line;
+  check_int "round count" 2 (Array.length spans.Run_format.round_lines);
+  check_int "round 1 line" 5 spans.Run_format.round_lines.(0);
+  check_int "round 2 line" 6 spans.Run_format.round_lines.(1);
+  check_int "stable line" 7 spans.Run_format.stable_line;
+  Alcotest.(check (list (pair int string)))
+    "redundant tokens in source order"
+    [ (5, "0>1"); (5, "2>2") ]
+    spans.Run_format.redundant_edges
+
 let test_edgeless_stable () =
   let adv = Run_format.of_string "ssg-run v1\nn 2\nstable:\n" in
   check "only self loops" true
@@ -97,6 +141,10 @@ let tests =
     Alcotest.test_case "roundtrip examples" `Quick test_roundtrip_examples;
     Alcotest.test_case "parse by hand" `Quick test_parse_by_hand;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "duplicate n rejected" `Quick test_duplicate_n_rejected;
+    Alcotest.test_case "round after stable rejected" `Quick
+      test_round_after_stable_rejected;
+    Alcotest.test_case "span tracking" `Quick test_spans;
     Alcotest.test_case "edgeless stable" `Quick test_edgeless_stable;
     Alcotest.test_case "recurrent rejected" `Quick test_recurrent_rejected;
     Alcotest.test_case "save/load file" `Quick test_save_load_file;
