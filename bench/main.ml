@@ -13,10 +13,15 @@
       through the persistent ssgd engine (worker pool + dedup + LRU
       cache) against a naive sequential loop, wall-clock.
 
-   3. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
+   3. B12 — tracing overhead: the B9 workload with the lib/obs tracer
+      off / on / on + Chrome export, plus a disabled-probe microcost and
+      an overhead bound gated <= 2% when SSG_OBS_GATE=1.
+
+   4. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
       paper (see DESIGN.md's index and EXPERIMENTS.md for discussion).
 
    Scale: set SSG_BENCH_SCALE=quick|standard|full (default standard).
+   Set SSG_BENCH_ONLY=B9|B12 to run a single wall-clock section.
    Set SSG_BENCH_CSV_DIR=<dir> to additionally write each experiment's
    table as <dir>/<id>.csv for external plotting. *)
 
@@ -313,6 +318,122 @@ let run_engine_bench scale =
             (served_without_execution
             + stats.Ssg_engine.Telemetry.cache_misses)))
 
+(* ---------------- B12: tracing overhead ---------------- *)
+
+(* The observability layer's contract is that leaving the
+   instrumentation compiled into the hot paths is free while tracing is
+   off.  B12 pushes the B9 engine workload (all-distinct jobs, so every
+   submission really executes and crosses every instrumented phase)
+   through three fresh engines: tracing off, on, and on with a Chrome
+   export folded into the timed region.
+
+   The ≤ 2% disabled-overhead gate (SSG_OBS_GATE=1) is asserted
+   analytically — probe cost × probes per job against the measured
+   per-job time — because at bench scale the wall-clock delta between
+   the off/on runs is dominated by scheduler noise, not by the single
+   atomic load a disabled probe costs. *)
+let run_tracing_bench scale =
+  let n, total =
+    match scale with
+    | `Quick -> (16, 60)
+    | `Standard -> (24, 120)
+    | `Full -> (32, 240)
+  in
+  let job i =
+    Ssg_engine.Job.make
+      ~k:(max 1 (n / 4))
+      (Build.block_sources
+         (Rng.of_int (12000 + i))
+         ~n ~k:(max 1 (n / 4)) ~prefix_len:2 ())
+  in
+  let batch = List.init total job in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let workers = max 2 (Parallel.default_domains ()) in
+  let push () =
+    (* cache off: every phase must execute all [total] jobs *)
+    let engine =
+      Ssg_engine.Engine.create ~workers ~queue_capacity:32 ~cache_capacity:0 ()
+    in
+    let completions = Ssg_engine.Engine.run_batch engine batch in
+    Ssg_engine.Engine.shutdown engine;
+    assert (
+      List.for_all (fun c -> Result.is_ok c.Ssg_engine.Job.result) completions)
+  in
+  Ssg_obs.Tracer.set_enabled false;
+  Ssg_obs.Tracer.reset ();
+  let (), off_s = time push in
+  Ssg_obs.Tracer.reset ();
+  Ssg_obs.Tracer.set_enabled true;
+  let (), on_s = time push in
+  let traced_events = List.length (Ssg_obs.Tracer.events ()) in
+  let dropped = Ssg_obs.Tracer.dropped () in
+  Ssg_obs.Tracer.reset ();
+  let export_len = ref 0 in
+  let (), export_s =
+    time (fun () ->
+        push ();
+        export_len :=
+          String.length (Ssg_obs.Export.chrome_json (Ssg_obs.Tracer.events ())))
+  in
+  Ssg_obs.Tracer.set_enabled false;
+  Ssg_obs.Tracer.reset ();
+  (* Disabled-probe microcost: the loop is exactly the guarded call the
+     hot paths make — one atomic load, no allocation. *)
+  let probes = 10_000_000 in
+  let (), probe_s =
+    time (fun () ->
+        for i = 1 to probes do
+          if Ssg_obs.Tracer.enabled () then
+            Ssg_obs.Tracer.instant ~args:[ ("i", Ssg_obs.Tracer.Int i) ] "p"
+        done)
+  in
+  let probe_ns = 1e9 *. probe_s /. float_of_int probes in
+  (* Probes per job ≈ events per job when tracing: every emitted event
+     is one enabled-guard crossing (span args add a second guard at the
+     same site — fold a 2x safety factor in). *)
+  let events_per_job =
+    float_of_int (traced_events + dropped) /. float_of_int total
+  in
+  let per_job_s = off_s /. float_of_int total in
+  let overhead_frac = 2. *. events_per_job *. (probe_ns *. 1e-9) /. per_job_s in
+  Printf.printf
+    "== B12: tracing overhead (B9 workload, %d all-distinct jobs, n=%d, %d \
+     worker domain(s)) ==\n\n"
+    total n workers;
+  let table = Table.create [ "tracing"; "wall-clock"; "vs off" ] in
+  let row label s =
+    Table.add_row table
+      [ label; Printf.sprintf "%.1f ms" (1000. *. s);
+        Printf.sprintf "%.2fx" (s /. Stdlib.max off_s 1e-9) ]
+  in
+  row "off (statically disabled probes)" off_s;
+  row
+    (Printf.sprintf "on (%d events, %d dropped)" traced_events dropped)
+    on_s;
+  row
+    (Printf.sprintf "on + Chrome export (%d KiB JSON)" (!export_len / 1024))
+    export_s;
+  Table.print table;
+  Printf.printf
+    "\n\
+    \  disabled probe: %.2f ns/op; %.0f events/job -> disabled-tracing \
+     overhead bound %.4f%% of job time\n"
+    probe_ns events_per_job (100. *. overhead_frac);
+  if Sys.getenv_opt "SSG_OBS_GATE" = Some "1" then
+    if overhead_frac > 0.02 then begin
+      Printf.printf
+        "  GATE FAILED: disabled-tracing overhead bound %.4f%% > 2%%\n"
+        (100. *. overhead_frac);
+      exit 1
+    end
+    else
+      Printf.printf "  gate: disabled-tracing overhead bound <= 2%% (OK)\n";
+  print_newline ()
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -323,11 +444,26 @@ let () =
     | `Standard -> "standard"
     | `Full -> "full"
   in
+  (* SSG_BENCH_ONLY=B9|B12 runs a single wall-clock section — what CI's
+     bench-smoke step uses to assert the B12 overhead gate without
+     paying for the full harness. *)
+  (match Sys.getenv_opt "SSG_BENCH_ONLY" with
+  | Some "B9" ->
+      run_engine_bench scale;
+      exit 0
+  | Some "B12" ->
+      run_tracing_bench scale;
+      exit 0
+  | Some other ->
+      Printf.eprintf "SSG_BENCH_ONLY=%s not recognized (B9 | B12)\n" other;
+      exit 2
+  | None -> ());
   Printf.printf
     "Stable Skeleton Graphs — benchmark & reproduction harness (scale: %s)\n\n"
     scale_name;
   run_micro scale;
   run_engine_bench scale;
+  run_tracing_bench scale;
   let csv_dir = Sys.getenv_opt "SSG_BENCH_CSV_DIR" in
   (match csv_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755

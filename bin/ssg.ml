@@ -8,7 +8,8 @@
      dot         export a run's stable skeleton as Graphviz
      serve       run the ssgd simulation service on a Unix-domain socket
      submit      send one job (or a --repeat batch) to a running ssgd
-     stats       query a running ssgd's metrics
+     stats       query a running ssgd's metrics (text, --json or --prom)
+     trace       record a Chrome trace of a run (or pull one from ssgd)
      shutdown    gracefully stop a running ssgd *)
 
 open Cmdliner
@@ -539,8 +540,14 @@ let serve_cmd =
     in
     Arg.(value & opt string "off" & info [ "chaos" ] ~docv:"PLAN" ~doc)
   in
+  let trace_arg =
+    let doc =
+      "Enable in-process tracing: engine phases and reply writes are        recorded into ring buffers a client can pull with $(b,ssg trace        --remote)."
+    in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
   let action verbose socket workers queue_cap cache_cap max_connections
-      read_timeout drain_timeout chaos =
+      read_timeout drain_timeout chaos trace =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.App));
     match Ssg_engine.Faults.of_spec chaos with
@@ -549,7 +556,7 @@ let serve_cmd =
         Ssg_engine.Server.serve ?workers ~queue_capacity:queue_cap
           ~cache_capacity:cache_cap ~max_connections
           ~read_timeout_s:read_timeout ~drain_timeout_s:drain_timeout ~faults
-          ~socket ();
+          ~trace ~socket ();
         `Ok ()
   in
   let doc =
@@ -561,7 +568,7 @@ let serve_cmd =
       ret
         (const action $ verbose_arg $ socket_arg $ workers_arg $ queue_arg
         $ cache_arg $ max_conn_arg $ read_timeout_arg $ drain_timeout_arg
-        $ chaos_arg))
+        $ chaos_arg $ trace_arg))
 
 let submit_cmd =
   let monitor_arg =
@@ -652,16 +659,123 @@ let submit_cmd =
         $ repeat_arg $ quiet_arg $ deadline_arg))
 
 let stats_cmd =
-  let action socket =
-    let c = Ssg_engine.Client.connect ~socket () in
-    Fun.protect
-      ~finally:(fun () -> Ssg_engine.Client.close c)
-      (fun () ->
-        let snapshot = Ssg_engine.Client.stats c in
-        Format.printf "%a" Ssg_engine.Telemetry.pp_snapshot snapshot)
+  let json_arg =
+    let doc = "Emit the snapshot as a JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let doc = "Print a running ssgd service's metrics snapshot." in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const action $ socket_arg)
+  let prom_arg =
+    let doc =
+      "Emit Prometheus text exposition (rendered server-side, including        the per-phase latency histograms)."
+    in
+    Arg.(value & flag & info [ "prom" ] ~doc)
+  in
+  let action socket json prom =
+    if json && prom then `Error (false, "--json and --prom are exclusive")
+    else begin
+      let c = Ssg_engine.Client.connect ~socket () in
+      Fun.protect
+        ~finally:(fun () -> Ssg_engine.Client.close c)
+        (fun () ->
+          if prom then print_string (Ssg_engine.Client.metrics_text c)
+          else begin
+            let snapshot = Ssg_engine.Client.stats c in
+            if json then
+              print_endline (Ssg_engine.Telemetry.json_of_snapshot snapshot)
+            else Format.printf "%a" Ssg_engine.Telemetry.pp_snapshot snapshot
+          end);
+      `Ok ()
+    end
+  in
+  let doc =
+    "Print a running ssgd service's metrics snapshot (human-readable,      $(b,--json), or Prometheus $(b,--prom))."
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    Term.(ret (const action $ socket_arg $ json_arg $ prom_arg))
+
+let trace_cmd =
+  let file_arg =
+    let doc =
+      "Run description to trace locally (omit when pulling with        $(b,--remote))."
+    in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the Chrome trace JSON to $(docv) (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let remote_arg =
+    let doc =
+      "Pull the trace buffers of a running ssgd (started with        $(b,--trace)) instead of executing locally."
+    in
+    Arg.(value & flag & info [ "remote" ] ~doc)
+  in
+  let k_opt_arg =
+    let doc =
+      "Agreement parameter for the traced job (default: the run's min_k,        which always passes the engine's lint front door)."
+    in
+    Arg.(value & opt (some int) None & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Round budget (default: the run's decision horizon)." in
+    Arg.(value & opt (some int) None & info [ "rounds" ] ~docv:"R" ~doc)
+  in
+  let emit out events =
+    let json = Ssg_obs.Export.chrome_json events in
+    match out with
+    | None -> print_endline json
+    | Some path ->
+        Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc json);
+        Printf.printf "wrote %d trace events to %s\n" (List.length events) path
+  in
+  let action verbose socket file out remote k rounds =
+    setup_logs verbose;
+    if remote then begin
+      let c = Ssg_engine.Client.connect ~socket () in
+      Fun.protect
+        ~finally:(fun () -> Ssg_engine.Client.close c)
+        (fun () -> emit out (Ssg_engine.Client.trace c));
+      `Ok ()
+    end
+    else
+      match file with
+      | None ->
+          `Error (false, "pass a run description FILE, or --remote to pull        from a live ssgd")
+      | Some path ->
+          let adv = Run_format.load path in
+          let k = match k with Some k -> k | None -> Adversary.min_k adv in
+          (* Trace an in-process engine end to end: cache off so the job
+             really executes, one worker so the execution track is one
+             clean lane next to the submit track. *)
+          Ssg_obs.Tracer.reset ();
+          Ssg_obs.Tracer.set_enabled true;
+          let engine =
+            Ssg_engine.Engine.create ~workers:1 ~queue_capacity:4
+              ~cache_capacity:0 ()
+          in
+          let job =
+            Ssg_engine.Job.make ~algorithm:Ssg_engine.Job.Kset ~k ?rounds
+              ~monitor:false adv
+          in
+          let completion = Ssg_engine.Engine.run engine job in
+          Ssg_engine.Engine.shutdown engine;
+          Ssg_obs.Tracer.set_enabled false;
+          let events = Ssg_obs.Tracer.events () in
+          (match completion.Ssg_engine.Job.result with
+          | Error msg -> `Error (false, msg)
+          | Ok _ ->
+              emit out events;
+              `Ok ())
+  in
+  let doc =
+    "Record a Chrome trace-event JSON file (chrome://tracing,      ui.perfetto.dev) of one run executed through the engine — engine      phase spans plus per-round simulation events — or pull the trace      buffers of a live ssgd with $(b,--remote)."
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      ret
+        (const action $ verbose_arg $ socket_arg $ file_arg $ out_arg
+        $ remote_arg $ k_opt_arg $ rounds_arg))
 
 let shutdown_cmd =
   let action socket =
@@ -751,5 +865,5 @@ let () =
           [
             run_cmd; figure1_cmd; experiment_cmd; check_cmd; dot_cmd;
             timing_cmd; shrink_cmd; lint_cmd; serve_cmd; submit_cmd;
-            stats_cmd; shutdown_cmd;
+            stats_cmd; trace_cmd; shutdown_cmd;
           ]))

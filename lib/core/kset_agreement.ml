@@ -26,6 +26,8 @@ let decided_via s = s.via
 let decision_round s = s.dec_round
 let pt_of s = Approx.pt s.approx
 let approx_of s = Approx.graph s.approx
+let pt_cardinal s = Ssg_util.Bitset.cardinal (Approx.pt s.approx)
+let approx_edge_count s = Lgraph.edge_count (Approx.graph_view s.approx)
 
 (* Bits needed to write a round number (at least 1). *)
 let round_bits round =

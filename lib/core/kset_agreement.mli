@@ -41,6 +41,13 @@ val pt_of : state -> Bitset.t  (** current [PT_p] (copy) *)
 
 val approx_of : state -> Lgraph.t  (** current [G_p] (copy) *)
 
+(** Cheap scalar views (no graph copy) — what per-round trace events
+    record. *)
+
+val pt_cardinal : state -> int  (** [|PT_p|] *)
+
+val approx_edge_count : state -> int  (** edges of the current [G_p] *)
+
 (** The algorithm with the paper's exact semantics. *)
 module Alg : Round_model.ALGORITHM with type state = state
 

@@ -67,6 +67,18 @@ let stats c =
   | Protocol.Error msg -> failwith ("server error: " ^ msg)
   | _ -> unexpected "stats"
 
+let trace c =
+  match rpc c Protocol.Trace with
+  | Protocol.Trace_events events -> events
+  | Protocol.Error msg -> failwith ("server error: " ^ msg)
+  | _ -> unexpected "trace"
+
+let metrics_text c =
+  match rpc c Protocol.Metrics with
+  | Protocol.Metrics_text text -> text
+  | Protocol.Error msg -> failwith ("server error: " ^ msg)
+  | _ -> unexpected "metrics"
+
 let shutdown c =
   match rpc c Protocol.Shutdown with
   | Protocol.Shutting_down -> ()

@@ -41,6 +41,14 @@ val submit_batch : t -> Job.t list -> Job.completion list
 
 val stats : t -> Telemetry.snapshot
 
+(** [trace c] — drain the server's trace buffers (empty unless the
+    daemon runs with tracing enabled, e.g. [ssgd --trace]). *)
+val trace : t -> Ssg_obs.Tracer.event list
+
+(** [metrics_text c] — the server's stats as Prometheus text
+    exposition, rendered server-side. *)
+val metrics_text : t -> string
+
 (** [shutdown c] asks the server to drain and exit; returns once the
     server acknowledged. *)
 val shutdown : t -> unit

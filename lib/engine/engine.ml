@@ -1,6 +1,7 @@
 let log_src = Logs.Src.create "ssg.engine" ~doc:"Simulation service engine"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Tracer = Ssg_obs.Tracer
 
 type done_r = (Job.outcome, string) Stdlib.result
 
@@ -36,8 +37,27 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* All tracing below is guarded on [Tracer.enabled] at the call site so
+   the disabled path pays one atomic load and allocates nothing. *)
+
+let job_args (job : Job.t) =
+  [
+    ("algorithm", Tracer.Str (Job.algorithm_name job.Job.algorithm));
+    ("k", Tracer.Int job.Job.k);
+  ]
+
+let trace_instant name job =
+  if Tracer.enabled () then Tracer.instant ~args:(job_args job) name
+
 let rec submit t job =
   Telemetry.record_submitted t.telemetry;
+  if Tracer.enabled () then Tracer.span_begin ~args:(job_args job) "engine.submit";
+  Fun.protect
+    ~finally:(fun () ->
+      if Tracer.enabled () then Tracer.span_end "engine.submit")
+    (fun () -> submit_traced t job)
+
+and submit_traced t job =
   let key = Job.key job in
   let now = Unix.gettimeofday () in
   let decision =
@@ -55,11 +75,13 @@ let rec submit t job =
   match decision with
   | `Hit outcome ->
       Telemetry.record_hit t.telemetry;
+      trace_instant "engine.cache_hit" job;
       Immediate { Job.result = Ok outcome; cached = true; latency_ms = 0. }
   | `In_flight cell ->
       (* Joining an in-flight twin is dedup, not an LRU hit — counting
          it as one inflates the reported cache hit rate. *)
       Telemetry.record_dedup t.telemetry;
+      trace_instant "engine.dedup_join" job;
       Waiting { cell; submitted = now; shared = true }
   | `Fresh cell -> (
       (* Lint front door: a job whose run can never satisfy its own
@@ -70,10 +92,17 @@ let rec submit t job =
          meantime observe the same Error, and are never cached: the
          diagnostics are cheap to recompute and the LRU stays reserved
          for real results. *)
-      match Ssg_lint.Lint.gate ~k:job.Job.k job.Job.run with
+      let gate =
+        if Tracer.enabled () then
+          Tracer.with_span ~args:(job_args job) "engine.lint" (fun () ->
+              Ssg_lint.Lint.gate ~k:job.Job.k job.Job.run)
+        else Ssg_lint.Lint.gate ~k:job.Job.k job.Job.run
+      in
+      match gate with
       | Some diags ->
           locked t (fun () -> Hashtbl.remove t.pending key);
           Telemetry.record_rejected_lint t.telemetry;
+          trace_instant "engine.lint_reject" job;
           let message = "job rejected by lint:\n" ^ diags in
           Log.info (fun m -> m "lint rejection: %s" message);
           Ivar.fill cell (Stdlib.Error message);
@@ -83,6 +112,16 @@ let rec submit t job =
 and fresh_execute t job ~key ~cell ~now =
   Telemetry.record_miss t.telemetry;
   let task () =
+        (* Runs on a worker domain.  The span begins and ends here so
+           every B/E pair shares one trace track; the cross-domain queue
+           wait is carried as a span argument instead of a span of its
+           own. *)
+        let exec_start = Unix.gettimeofday () in
+        let queue_ms = 1000. *. (exec_start -. now) in
+        if Tracer.enabled () then
+          Tracer.span_begin
+            ~args:(("queue_ms", Tracer.Float queue_ms) :: job_args job)
+            "engine.execute";
         let result =
           try
             (match Faults.on_execute t.faults with
@@ -96,16 +135,28 @@ and fresh_execute t job ~key ~cell ~now =
             Ok (Job.execute job)
           with e -> Stdlib.Error (Printexc.to_string e)
         in
-        let latency_ms = 1000. *. (Unix.gettimeofday () -. now) in
+        let finished = Unix.gettimeofday () in
+        let latency_ms = 1000. *. (finished -. now) in
+        let exec_ms = 1000. *. (finished -. exec_start) in
+        if Tracer.enabled () then
+          Tracer.span_end
+            ~args:
+              [
+                ( "ok",
+                  Tracer.Int (match result with Ok _ -> 1 | Error _ -> 0) );
+              ]
+            "engine.execute";
         locked t (fun () ->
             Hashtbl.remove t.pending key;
             match result with
             | Ok outcome -> Lru.add t.cache key outcome
             | Error _ -> ());
         (match result with
-        | Ok _ -> Telemetry.record_completed t.telemetry ~latency_ms
+        | Ok _ ->
+            Telemetry.record_completed t.telemetry ~latency_ms ~queue_ms
+              ~exec_ms
         | Error msg ->
-            Telemetry.record_failed t.telemetry ~latency_ms;
+            Telemetry.record_failed t.telemetry ~latency_ms ~queue_ms ~exec_ms;
             Log.warn (fun m -> m "job failed: %s" msg));
         Ivar.fill cell result
       in
@@ -152,4 +203,5 @@ let stats t =
     ~queue_capacity:(Pool.queue_capacity t.pool)
     ~cache_entries
 
+let prometheus t = Telemetry.prometheus t.telemetry (stats t)
 let shutdown t = Pool.shutdown t.pool

@@ -69,6 +69,19 @@ val run_batch : t -> Job.t list -> Job.completion list
 
 val stats : t -> Telemetry.snapshot
 
+(** [prometheus t] — the current stats as Prometheus text exposition
+    (see {!Telemetry.prometheus}); what the [Metrics] wire op serves. *)
+val prometheus : t -> string
+
+(** Tracing: when {!Ssg_obs.Tracer} is enabled, the engine emits
+    [engine.submit] / [engine.lint] / [engine.execute] spans and
+    [engine.cache_hit] / [engine.dedup_join] / [engine.lint_reject]
+    instants.  The [engine.execute] span begins and ends on the worker
+    domain and carries the job's cross-domain queue wait as a [queue_ms]
+    argument, so every domain's track stays B/E-balanced.  When tracing
+    is disabled (the default) the instrumentation is a single atomic
+    load per probe. *)
+
 (** [shutdown t] — graceful: accepted jobs run to completion, workers
     join.  Jobs submitted afterwards complete with an [Error].
     Idempotent. *)

@@ -1,11 +1,19 @@
 open Ssg_util
 
-type request = Submit of Job.t | Batch of Job.t list | Stats | Shutdown
+type request =
+  | Submit of Job.t
+  | Batch of Job.t list
+  | Stats
+  | Trace
+  | Metrics
+  | Shutdown
 
 type reply =
   | Completed of Job.completion
   | Batch_completed of Job.completion list
   | Stats_snapshot of Telemetry.snapshot
+  | Trace_events of Ssg_obs.Tracer.event list
+  | Metrics_text of string
   | Shutting_down
   | Error of string
 
@@ -254,7 +262,9 @@ let put_snapshot buf (s : Telemetry.snapshot) =
   put_int buf s.Telemetry.timed_out_connections;
   put_int buf s.Telemetry.connections_rejected;
   put_int buf s.Telemetry.faults_injected;
-  put_option buf put_summary s.Telemetry.latency_ms
+  put_option buf put_summary s.Telemetry.latency_ms;
+  put_option buf put_summary s.Telemetry.queue_wait_ms;
+  put_option buf put_summary s.Telemetry.exec_ms
 
 let get_snapshot r : Telemetry.snapshot =
   let uptime_s = get_float r in
@@ -277,6 +287,8 @@ let get_snapshot r : Telemetry.snapshot =
   let connections_rejected = get_int r in
   let faults_injected = get_int r in
   let latency_ms = get_option r get_summary in
+  let queue_wait_ms = get_option r get_summary in
+  let exec_ms = get_option r get_summary in
   {
     Telemetry.uptime_s;
     workers;
@@ -298,7 +310,62 @@ let get_snapshot r : Telemetry.snapshot =
     connections_rejected;
     faults_injected;
     latency_ms;
+    queue_wait_ms;
+    exec_ms;
   }
+
+(* Trace events: kind byte, name, domain, timestamp, then the argument
+   list with a tag byte per value. *)
+
+let put_arg buf (k, v) =
+  put_string buf k;
+  match v with
+  | Ssg_obs.Tracer.Int i ->
+      Buffer.add_char buf '\000';
+      put_int buf i
+  | Ssg_obs.Tracer.Float f ->
+      Buffer.add_char buf '\001';
+      put_float buf f
+  | Ssg_obs.Tracer.Str s ->
+      Buffer.add_char buf '\002';
+      put_string buf s
+
+let get_arg r =
+  let k = get_string r in
+  let v =
+    match get_byte r with
+    | 0 -> Ssg_obs.Tracer.Int (get_int r)
+    | 1 -> Ssg_obs.Tracer.Float (get_float r)
+    | 2 -> Ssg_obs.Tracer.Str (get_string r)
+    | t -> failwith (Printf.sprintf "Protocol: bad trace arg tag %d" t)
+  in
+  (k, v)
+
+let kind_tag = function
+  | Ssg_obs.Tracer.Begin -> 0
+  | Ssg_obs.Tracer.End -> 1
+  | Ssg_obs.Tracer.Instant -> 2
+
+let kind_of_tag = function
+  | 0 -> Ssg_obs.Tracer.Begin
+  | 1 -> Ssg_obs.Tracer.End
+  | 2 -> Ssg_obs.Tracer.Instant
+  | t -> failwith (Printf.sprintf "Protocol: bad trace kind tag %d" t)
+
+let put_event buf (e : Ssg_obs.Tracer.event) =
+  Buffer.add_char buf (Char.chr (kind_tag e.Ssg_obs.Tracer.kind));
+  put_string buf e.Ssg_obs.Tracer.name;
+  put_int buf e.Ssg_obs.Tracer.domain;
+  put_float buf e.Ssg_obs.Tracer.ts_us;
+  put_list buf put_arg e.Ssg_obs.Tracer.args
+
+let get_event r : Ssg_obs.Tracer.event =
+  let kind = kind_of_tag (get_byte r) in
+  let name = get_string r in
+  let domain = get_int r in
+  let ts_us = get_float r in
+  let args = get_list r get_arg in
+  { Ssg_obs.Tracer.kind; name; domain; ts_us; args }
 
 (* ---------------- top-level messages ---------------- *)
 
@@ -312,6 +379,8 @@ let request_to_bytes req =
       Buffer.add_char buf 'B';
       put_list buf put_job js
   | Stats -> Buffer.add_char buf 'T'
+  | Trace -> Buffer.add_char buf 'C'
+  | Metrics -> Buffer.add_char buf 'M'
   | Shutdown -> Buffer.add_char buf 'Q');
   Buffer.to_bytes buf
 
@@ -331,6 +400,8 @@ let request_of_bytes bytes =
   | 'S' -> Submit (get_job r)
   | 'B' -> Batch (get_list r get_job)
   | 'T' -> Stats
+  | 'C' -> Trace
+  | 'M' -> Metrics
   | 'Q' -> Shutdown
   | c -> failwith (Printf.sprintf "Protocol: unknown request tag %C" c)
 
@@ -346,6 +417,12 @@ let reply_to_bytes reply =
   | Stats_snapshot s ->
       Buffer.add_char buf 'T';
       put_snapshot buf s
+  | Trace_events es ->
+      Buffer.add_char buf 'V';
+      put_list buf put_event es
+  | Metrics_text text ->
+      Buffer.add_char buf 'M';
+      put_string buf text
   | Shutting_down -> Buffer.add_char buf 'D'
   | Error msg ->
       Buffer.add_char buf 'E';
@@ -359,6 +436,8 @@ let reply_of_bytes bytes =
   | 'R' -> Completed (get_completion r)
   | 'L' -> Batch_completed (get_list r get_completion)
   | 'T' -> Stats_snapshot (get_snapshot r)
+  | 'V' -> Trace_events (get_list r get_event)
+  | 'M' -> Metrics_text (get_string r)
   | 'D' -> Shutting_down
   | 'E' -> Error (get_string r)
   | c -> failwith (Printf.sprintf "Protocol: unknown reply tag %C" c)

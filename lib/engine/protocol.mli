@@ -17,14 +17,36 @@ type request =
   | Submit of Job.t
   | Batch of Job.t list  (** one reply carrying one completion per job *)
   | Stats
+  | Trace
+      (** drain the server's trace buffers — answered with
+          {!Trace_events} (empty when tracing is disabled) *)
+  | Metrics
+      (** Prometheus text exposition of the server's stats — answered
+          with {!Metrics_text} *)
   | Shutdown  (** graceful: drains the queue, then the server exits *)
 
 type reply =
   | Completed of Job.completion
   | Batch_completed of Job.completion list
   | Stats_snapshot of Telemetry.snapshot
+  | Trace_events of Ssg_obs.Tracer.event list
+      (** the server-side trace, oldest first per domain *)
+  | Metrics_text of string
+      (** Prometheus text rendered server-side, so any scraper that can
+          speak the frame format gets a consistent exposition without
+          reimplementing the snapshot maths *)
   | Shutting_down
   | Error of string  (** protocol-level failure (not a job failure) *)
+
+(** {b Wire compatibility note (latency split).}  The stats snapshot
+    ends with three optional {!Ssg_util.Stats.summary} values:
+    [latency_ms] (the legacy submit-to-completion figure, kept with its
+    original meaning and position) followed by the two phases it splits
+    into, [queue_wait_ms] and [exec_ms] — appended {e after} every
+    pre-existing field, so a reader of the old layout consumes a prefix
+    that still parses as before.  [latency_ms ≈ queue_wait_ms + exec_ms]
+    per job; the split comes from the worker-side execution span, not
+    from a second clock. *)
 
 (** Hard cap on payload size ([16 MiB]); both sides refuse larger frames
     rather than attempting unbounded allocation on garbage input. *)

@@ -60,7 +60,14 @@ let send faults telemetry fd reply =
    descriptor while the client waits forever. *)
 let handle_connection engine faults ~stop ~wake ~active fd =
   let telemetry = Engine.telemetry engine in
-  let send = send faults telemetry fd in
+  let send reply =
+    (* [with_span] ends the span even when the fault plan raises
+       [Drop_connection] mid-write, keeping the track B/E-balanced. *)
+    if Ssg_obs.Tracer.enabled () then
+      Ssg_obs.Tracer.with_span "server.reply_write" (fun () ->
+          send faults telemetry fd reply)
+    else send faults telemetry fd reply
+  in
   let reject msg =
     Telemetry.record_rejected_frame telemetry;
     Log.warn (fun m -> m "dropping connection: %s" msg);
@@ -107,6 +114,12 @@ let handle_connection engine faults ~stop ~wake ~active fd =
                 | Protocol.Stats ->
                     send (Protocol.Stats_snapshot (Engine.stats engine));
                     true
+                | Protocol.Trace ->
+                    send (Protocol.Trace_events (Ssg_obs.Tracer.events ()));
+                    true
+                | Protocol.Metrics ->
+                    send (Protocol.Metrics_text (Engine.prometheus engine));
+                    true
                 | Protocol.Shutdown ->
                     Log.info (fun m -> m "shutdown requested");
                     (* Arm the stop flag before acknowledging: if the
@@ -139,9 +152,13 @@ let handle_connection engine faults ~stop ~wake ~active fd =
 
 let serve ?workers ?queue_capacity ?cache_capacity ?(max_connections = 256)
     ?(read_timeout_s = 30.) ?(drain_timeout_s = 5.) ?(faults = Faults.off)
-    ~socket () =
+    ?(trace = false) ~socket () =
   if max_connections < 1 then
     invalid_arg "Server.serve: max_connections must be >= 1";
+  if trace then begin
+    Ssg_obs.Tracer.reset ();
+    Ssg_obs.Tracer.set_enabled true
+  end;
   (* A peer closing mid-write must surface as EPIPE, not kill the
      daemon. *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)

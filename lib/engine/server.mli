@@ -32,6 +32,10 @@
       connections to finish before abandoning them.
     - [faults] (default {!Faults.off}): chaos mode — the plan is
       consulted before each job execution and each reply frame.
+    - [trace] (default [false]): resets and enables the process-wide
+      {!Ssg_obs.Tracer} before serving, so engine phases and reply
+      writes are recorded; clients pull the buffers with the [Trace]
+      request ([ssg trace --remote]).
     @raise Unix.Unix_error if the address is unusable (e.g. a live
     server already listening).
     @raise Invalid_argument if [max_connections < 1]. *)
@@ -43,6 +47,7 @@ val serve :
   ?read_timeout_s:float ->
   ?drain_timeout_s:float ->
   ?faults:Faults.t ->
+  ?trace:bool ->
   socket:string ->
   unit ->
   unit

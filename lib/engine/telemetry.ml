@@ -1,4 +1,5 @@
 open Ssg_util
+module Metrics = Ssg_obs.Metrics
 
 type snapshot = {
   uptime_s : float;
@@ -21,93 +22,129 @@ type snapshot = {
   connections_rejected : int;
   faults_injected : int;
   latency_ms : Stats.summary option;
+  queue_wait_ms : Stats.summary option;
+  exec_ms : Stats.summary option;
 }
 
 type t = {
-  mutex : Mutex.t;
+  mutex : Mutex.t;  (* guards the rings; counters are registry atomics *)
   started : float;  (* Unix.gettimeofday at creation *)
   recent_window_s : float;
-  ring : float array;  (* most recent latencies, circular *)
+  ring : float array;  (* most recent submit-to-completion latencies *)
+  queue_ring : float array;  (* queue-wait portion, same ring geometry *)
+  exec_ring : float array;  (* execution portion, same ring geometry *)
   stamps : float array;  (* completion times, same ring geometry *)
   mutable ring_len : int;
   mutable ring_pos : int;
-  mutable submitted : int;
-  mutable completed : int;
-  mutable failed : int;
-  mutable rejected_lint : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable dedups : int;
-  mutable rejected_frames : int;
-  mutable timed_out : int;
-  mutable conn_rejected : int;
-  mutable injected : int;
+  registry : Metrics.t;
+  submitted : Metrics.counter;
+  completed : Metrics.counter;
+  failed : Metrics.counter;
+  rejected_lint : Metrics.counter;
+  hits : Metrics.counter;
+  misses : Metrics.counter;
+  dedups : Metrics.counter;
+  rejected_frames : Metrics.counter;
+  timed_out : Metrics.counter;
+  conn_rejected : Metrics.counter;
+  injected : Metrics.counter;
+  queue_hist : Metrics.histogram;
+  exec_hist : Metrics.histogram;
+  latency_hist : Metrics.histogram;
 }
 
 let create ?(window = 4096) ?(recent_window_s = 10.) () =
   if window < 1 then invalid_arg "Telemetry.create: window must be >= 1";
   if recent_window_s <= 0. then
     invalid_arg "Telemetry.create: recent_window_s must be > 0";
+  let registry = Metrics.create () in
+  let counter name help = Metrics.counter registry ~help name in
+  let histogram name help = Metrics.histogram registry ~help name in
   {
     mutex = Mutex.create ();
     started = Unix.gettimeofday ();
     recent_window_s;
     ring = Array.make window 0.;
+    queue_ring = Array.make window 0.;
+    exec_ring = Array.make window 0.;
     stamps = Array.make window 0.;
     ring_len = 0;
     ring_pos = 0;
-    submitted = 0;
-    completed = 0;
-    failed = 0;
-    rejected_lint = 0;
-    hits = 0;
-    misses = 0;
-    dedups = 0;
-    rejected_frames = 0;
-    timed_out = 0;
-    conn_rejected = 0;
-    injected = 0;
+    registry;
+    submitted =
+      counter "ssgd_jobs_submitted_total"
+        "Requests accepted, including cache hits and dedup joins";
+    completed =
+      counter "ssgd_jobs_completed_total" "Jobs executed to a result";
+    failed =
+      counter "ssgd_jobs_failed_total" "Executions ending in an error reply";
+    rejected_lint =
+      counter "ssgd_jobs_rejected_lint_total"
+        "Jobs refused at the lint front door";
+    hits = counter "ssgd_cache_hits_total" "Served from the LRU result cache";
+    misses = counter "ssgd_cache_misses_total" "LRU result cache misses";
+    dedups =
+      counter "ssgd_dedup_joins_total"
+        "Submissions joining an identical in-flight execution";
+    rejected_frames =
+      counter "ssgd_frames_rejected_total"
+        "Wire frames refused: oversized, truncated or undecodable";
+    timed_out =
+      counter "ssgd_connections_timed_out_total"
+        "Connections reaped by the read timeout";
+    conn_rejected =
+      counter "ssgd_connections_rejected_total"
+        "Connections turned away at the connection limit";
+    injected =
+      counter "ssgd_faults_injected_total"
+        "Faults injected by the active chaos plan";
+    queue_hist =
+      histogram "ssgd_job_queue_wait_ms"
+        "Milliseconds a job waited in the queue before a worker picked it up";
+    exec_hist =
+      histogram "ssgd_job_exec_ms"
+        "Milliseconds a worker spent executing a job";
+    latency_hist =
+      histogram "ssgd_job_latency_ms"
+        "Submit-to-completion milliseconds (legacy end-to-end latency)";
   }
+
+let registry t = t.registry
 
 let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let push_latency t ms =
-  t.ring.(t.ring_pos) <- ms;
-  t.stamps.(t.ring_pos) <- Unix.gettimeofday ();
-  t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring;
-  t.ring_len <- min (t.ring_len + 1) (Array.length t.ring)
-
-let record_submitted t = locked t (fun () -> t.submitted <- t.submitted + 1)
-
-let record_completed t ~latency_ms =
+let push_latency t ~latency_ms ~queue_ms ~exec_ms =
+  Metrics.observe t.latency_hist latency_ms;
+  Metrics.observe t.queue_hist queue_ms;
+  Metrics.observe t.exec_hist exec_ms;
   locked t (fun () ->
-      t.completed <- t.completed + 1;
-      push_latency t latency_ms)
+      t.ring.(t.ring_pos) <- latency_ms;
+      t.queue_ring.(t.ring_pos) <- queue_ms;
+      t.exec_ring.(t.ring_pos) <- exec_ms;
+      t.stamps.(t.ring_pos) <- Unix.gettimeofday ();
+      t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring;
+      t.ring_len <- min (t.ring_len + 1) (Array.length t.ring))
 
-let record_failed t ~latency_ms =
-  locked t (fun () ->
-      t.failed <- t.failed + 1;
-      push_latency t latency_ms)
+let record_submitted t = Metrics.incr t.submitted
 
-let record_rejected_lint t =
-  locked t (fun () -> t.rejected_lint <- t.rejected_lint + 1)
+let record_completed t ~latency_ms ~queue_ms ~exec_ms =
+  Metrics.incr t.completed;
+  push_latency t ~latency_ms ~queue_ms ~exec_ms
 
-let record_hit t = locked t (fun () -> t.hits <- t.hits + 1)
-let record_miss t = locked t (fun () -> t.misses <- t.misses + 1)
-let record_dedup t = locked t (fun () -> t.dedups <- t.dedups + 1)
+let record_failed t ~latency_ms ~queue_ms ~exec_ms =
+  Metrics.incr t.failed;
+  push_latency t ~latency_ms ~queue_ms ~exec_ms
 
-let record_rejected_frame t =
-  locked t (fun () -> t.rejected_frames <- t.rejected_frames + 1)
-
-let record_connection_timeout t =
-  locked t (fun () -> t.timed_out <- t.timed_out + 1)
-
-let record_connection_rejected t =
-  locked t (fun () -> t.conn_rejected <- t.conn_rejected + 1)
-
-let record_injected t = locked t (fun () -> t.injected <- t.injected + 1)
+let record_rejected_lint t = Metrics.incr t.rejected_lint
+let record_hit t = Metrics.incr t.hits
+let record_miss t = Metrics.incr t.misses
+let record_dedup t = Metrics.incr t.dedups
+let record_rejected_frame t = Metrics.incr t.rejected_frames
+let record_connection_timeout t = Metrics.incr t.timed_out
+let record_connection_rejected t = Metrics.incr t.conn_rejected
+let record_injected t = Metrics.incr t.injected
 
 (* Completions per second over the trailing [recent_window_s].  The
    stamp ring only remembers the last [window] completions, so when it
@@ -136,34 +173,131 @@ let snapshot t ~workers ~queue_depth ~queue_capacity ~cache_entries =
   locked t (fun () ->
       let now = Unix.gettimeofday () in
       let uptime_s = now -. t.started in
-      let latency_ms =
+      let summarize_ring ring =
         if t.ring_len = 0 then None
-        else Some (Stats.summarize (Array.sub t.ring 0 t.ring_len))
+        else Some (Stats.summarize (Array.sub ring 0 t.ring_len))
       in
-      let done_jobs = t.completed + t.failed in
+      let completed = Metrics.counter_value t.completed in
+      let failed = Metrics.counter_value t.failed in
+      let done_jobs = completed + failed in
       {
         uptime_s;
         workers;
         queue_depth;
         queue_capacity;
-        jobs_submitted = t.submitted;
-        jobs_completed = t.completed;
-        jobs_failed = t.failed;
-        jobs_rejected_lint = t.rejected_lint;
-        cache_hits = t.hits;
-        cache_misses = t.misses;
-        dedup_joins = t.dedups;
+        jobs_submitted = Metrics.counter_value t.submitted;
+        jobs_completed = completed;
+        jobs_failed = failed;
+        jobs_rejected_lint = Metrics.counter_value t.rejected_lint;
+        cache_hits = Metrics.counter_value t.hits;
+        cache_misses = Metrics.counter_value t.misses;
+        dedup_joins = Metrics.counter_value t.dedups;
         cache_entries;
         throughput_jps = recent_rate t now;
         lifetime_jps =
           (if uptime_s > 0. then float_of_int done_jobs /. uptime_s else 0.);
         recent_window_s = t.recent_window_s;
-        rejected_frames = t.rejected_frames;
-        timed_out_connections = t.timed_out;
-        connections_rejected = t.conn_rejected;
-        faults_injected = t.injected;
-        latency_ms;
+        rejected_frames = Metrics.counter_value t.rejected_frames;
+        timed_out_connections = Metrics.counter_value t.timed_out;
+        connections_rejected = Metrics.counter_value t.conn_rejected;
+        faults_injected = Metrics.counter_value t.injected;
+        latency_ms = summarize_ring t.ring;
+        queue_wait_ms = summarize_ring t.queue_ring;
+        exec_ms = summarize_ring t.exec_ring;
       })
+
+(* ---------------- snapshot serialization ---------------- *)
+
+type field =
+  | F_count of string * int
+  | F_gauge_i of string * int
+  | F_gauge_f of string * float
+  | F_summary of string * Stats.summary option
+
+let fields s =
+  [
+    F_gauge_f ("uptime_s", s.uptime_s);
+    F_gauge_i ("workers", s.workers);
+    F_gauge_i ("queue_depth", s.queue_depth);
+    F_gauge_i ("queue_capacity", s.queue_capacity);
+    F_count ("jobs_submitted", s.jobs_submitted);
+    F_count ("jobs_completed", s.jobs_completed);
+    F_count ("jobs_failed", s.jobs_failed);
+    F_count ("jobs_rejected_lint", s.jobs_rejected_lint);
+    F_count ("cache_hits", s.cache_hits);
+    F_count ("cache_misses", s.cache_misses);
+    F_count ("dedup_joins", s.dedup_joins);
+    F_gauge_i ("cache_entries", s.cache_entries);
+    F_gauge_f ("throughput_jps", s.throughput_jps);
+    F_gauge_f ("lifetime_jps", s.lifetime_jps);
+    F_gauge_f ("recent_window_s", s.recent_window_s);
+    F_count ("rejected_frames", s.rejected_frames);
+    F_count ("timed_out_connections", s.timed_out_connections);
+    F_count ("connections_rejected", s.connections_rejected);
+    F_count ("faults_injected", s.faults_injected);
+    F_summary ("latency_ms", s.latency_ms);
+    F_summary ("queue_wait_ms", s.queue_wait_ms);
+    F_summary ("exec_ms", s.exec_ms);
+  ]
+
+let json_of_snapshot s =
+  let open Ssg_obs.Export in
+  let summary_json = function
+    | None -> Null
+    | Some (l : Stats.summary) ->
+        Obj
+          [
+            ("count", Int l.Stats.count);
+            ("mean", Float l.Stats.mean);
+            ("stddev", Float l.Stats.stddev);
+            ("min", Float l.Stats.min);
+            ("max", Float l.Stats.max);
+            ("p50", Float l.Stats.p50);
+            ("p95", Float l.Stats.p95);
+            ("p99", Float l.Stats.p99);
+          ]
+  in
+  json_to_string
+    (Obj
+       (List.map
+          (function
+            | F_count (name, v) | F_gauge_i (name, v) -> (name, Int v)
+            | F_gauge_f (name, v) -> (name, Float v)
+            | F_summary (name, v) -> (name, summary_json v))
+          (fields s)))
+
+let prometheus t s =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (function
+      | F_count (name, v) ->
+          Metrics.prom_scalar buf ~kind:`Counter ("ssgd_" ^ name)
+            (float_of_int v)
+      | F_gauge_i (name, v) ->
+          Metrics.prom_scalar buf ~kind:`Gauge ("ssgd_" ^ name)
+            (float_of_int v)
+      | F_gauge_f (name, v) ->
+          Metrics.prom_scalar buf ~kind:`Gauge ("ssgd_" ^ name) v
+      | F_summary (name, v) -> (
+          match v with
+          | None -> ()
+          | Some (l : Stats.summary) ->
+              Metrics.prom_summary buf ("ssgd_" ^ name) ~count:l.Stats.count
+                ~sum:(l.Stats.mean *. float_of_int l.Stats.count)
+                ~quantiles:
+                  [
+                    (0.5, l.Stats.p50); (0.95, l.Stats.p95); (0.99, l.Stats.p99);
+                  ]))
+    (fields s);
+  (* The registry counters duplicate the snapshot's count fields under
+     their *_total names; only the bucketed phase histograms add
+     information the snapshot summaries cannot carry. *)
+  Buffer.add_string buf
+    (Metrics.to_prometheus
+       ~only:(fun name ->
+         String.length name > 3 && String.sub name (String.length name - 3) 3 = "_ms")
+       t.registry);
+  Buffer.contents buf
 
 let pp_snapshot fmt s =
   let total = s.cache_hits + s.cache_misses in
@@ -189,9 +323,18 @@ let pp_snapshot fmt s =
      limit, %d injected@."
     s.rejected_frames s.timed_out_connections s.connections_rejected
     s.faults_injected;
-  match s.latency_ms with
+  (match s.latency_ms with
   | None -> Format.fprintf fmt "latency     : (no completed jobs yet)@."
   | Some l ->
       Format.fprintf fmt
         "latency     : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms (over last %d)@."
-        l.Stats.p50 l.Stats.p95 l.Stats.p99 l.Stats.count
+        l.Stats.p50 l.Stats.p95 l.Stats.p99 l.Stats.count);
+  match (s.queue_wait_ms, s.exec_ms) with
+  | Some q, Some e ->
+      Format.fprintf fmt
+        "  queue wait: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms@." q.Stats.p50
+        q.Stats.p95 q.Stats.p99;
+      Format.fprintf fmt
+        "  execution : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms@." e.Stats.p50
+        e.Stats.p95 e.Stats.p99
+  | _ -> ()

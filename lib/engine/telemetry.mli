@@ -2,17 +2,27 @@
     accounting.
 
     One [t] per engine.  Workers and connection handlers record events
-    concurrently (internally synchronized); [snapshot] freezes everything
-    into the plain record the [stats] wire reply carries.
+    concurrently; counters live on an {!Ssg_obs.Metrics} registry (one
+    atomic each), the latency rings are internally synchronized, and
+    [snapshot] freezes everything into the plain record the [stats] wire
+    reply carries.
 
     Per-job latency is measured submit-to-completion in milliseconds and
     kept in a fixed-size ring of the most recent [window] samples;
     percentiles come from {!Ssg_util.Stats.summarize} over that window.
-    Completion {e times} are kept in a second ring of the same size, so
-    throughput can be reported over a recent wall-clock window — a
-    long-idle daemon reports the current burst's rate, not its lifetime
-    average diluted by the idle time (the lifetime average is still
-    carried separately). *)
+    The same ring geometry holds the two phases that make up that total:
+    queue wait (submit until a worker picks the job up) and execution
+    (worker pickup until the result is ready) — see [queue_wait_ms] and
+    [exec_ms] below.  Completion {e times} are kept in one more ring of
+    the same size, so throughput can be reported over a recent
+    wall-clock window — a long-idle daemon reports the current burst's
+    rate, not its lifetime average diluted by the idle time (the
+    lifetime average is still carried separately).
+
+    Each phase also feeds a bucketed registry histogram
+    ([ssgd_job_queue_wait_ms], [ssgd_job_exec_ms],
+    [ssgd_job_latency_ms]) for the Prometheus exposition, which wants
+    cumulative buckets rather than percentiles. *)
 
 type snapshot = {
   uptime_s : float;
@@ -49,7 +59,14 @@ type snapshot = {
   faults_injected : int;
       (** faults the active {!Faults} plan injected (chaos mode) *)
   latency_ms : Ssg_util.Stats.summary option;
-      (** [None] until the first completion *)
+      (** submit-to-completion, the legacy end-to-end figure; [None]
+          until the first completion *)
+  queue_wait_ms : Ssg_util.Stats.summary option;
+      (** the queue-wait share of [latency_ms]: submit until a worker
+          picked the job up *)
+  exec_ms : Ssg_util.Stats.summary option;
+      (** the execution share of [latency_ms]: worker pickup until the
+          result was ready *)
 }
 
 type t
@@ -60,9 +77,21 @@ type t
     @raise Invalid_argument if [window < 1] or [recent_window_s <= 0.]. *)
 val create : ?window:int -> ?recent_window_s:float -> unit -> t
 
+(** The metrics registry holding this telemetry's counters and phase
+    histograms.  Extra instruments may be registered on it; they show up
+    in the Prometheus exposition's histogram section. *)
+val registry : t -> Ssg_obs.Metrics.t
+
 val record_submitted : t -> unit
-val record_completed : t -> latency_ms:float -> unit
-val record_failed : t -> latency_ms:float -> unit
+
+(** [record_completed t ~latency_ms ~queue_ms ~exec_ms] — a job executed
+    to a result.  [latency_ms] is submit-to-completion; [queue_ms] and
+    [exec_ms] are its queue-wait and execution shares. *)
+val record_completed :
+  t -> latency_ms:float -> queue_ms:float -> exec_ms:float -> unit
+
+val record_failed :
+  t -> latency_ms:float -> queue_ms:float -> exec_ms:float -> unit
 
 (** [record_rejected_lint t] — a job was refused at the lint front
     door. *)
@@ -93,6 +122,31 @@ val snapshot :
   queue_capacity:int ->
   cache_entries:int ->
   snapshot
+
+(** A snapshot flattened to named fields — the one serializer both the
+    JSON and the Prometheus renderings are derived from, so the two
+    cannot drift apart (and tests can assert coverage field by
+    field). *)
+type field =
+  | F_count of string * int  (** monotone counter *)
+  | F_gauge_i of string * int
+  | F_gauge_f of string * float
+  | F_summary of string * Ssg_util.Stats.summary option
+
+(** Every snapshot field, in declaration order. *)
+val fields : snapshot -> field list
+
+(** Compact JSON object over {!fields}; summaries become objects with
+    [count]/[mean]/[stddev]/[min]/[max]/[p50]/[p95]/[p99], absent
+    summaries become [null]. *)
+val json_of_snapshot : snapshot -> string
+
+(** [prometheus t s] — Prometheus text exposition: every {!fields} entry
+    as an [ssgd_]-prefixed counter, gauge or summary (quantiles
+    0.5/0.95/0.99), followed by the registry's bucketed phase
+    histograms.  The registry's counters are skipped — they are the same
+    numbers the snapshot already carries. *)
+val prometheus : t -> snapshot -> string
 
 (** Human-readable multi-line rendering (the [ssg stats] output). *)
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,238 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_literal f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let rec render buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_literal f)
+  | Str s -> escape_string buf s
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          render buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          render buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 256 in
+  render buf j;
+  Buffer.contents buf
+
+(* ---------------- well-formedness checker ---------------- *)
+
+exception Malformed
+
+let json_wellformed s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance () else raise Malformed
+  in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let literal word =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then pos := !pos + l
+    else raise Malformed
+  in
+  let hex_digit c =
+    match c with 'a' .. 'f' | 'A' .. 'F' | '0' .. '9' -> () | _ -> raise Malformed
+  in
+  let string_body () =
+    expect '"';
+    let closed = ref false in
+    while not !closed do
+      match peek () with
+      | None -> raise Malformed
+      | Some '"' ->
+          advance ();
+          closed := true
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                (match peek () with
+                | Some c -> hex_digit c
+                | None -> raise Malformed);
+                advance ()
+              done
+          | _ -> raise Malformed)
+      | Some c when Char.code c < 0x20 -> raise Malformed
+      | Some _ -> advance ()
+    done
+  in
+  let digits () =
+    let saw = ref false in
+    while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+      saw := true;
+      advance ()
+    done;
+    if not !saw then raise Malformed
+  in
+  let number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    (* RFC 8259 int: a lone 0, or a nonzero digit then any digits —
+       leading zeros are not JSON. *)
+    (match peek () with
+    | Some '0' -> (
+        advance ();
+        match peek () with Some '0' .. '9' -> raise Malformed | _ -> ())
+    | Some '1' .. '9' -> digits ()
+    | _ -> raise Malformed);
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let more = ref true in
+          while !more do
+            skip_ws ();
+            string_body ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some '}' ->
+                advance ();
+                more := false
+            | _ -> raise Malformed
+          done
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let more = ref true in
+          while !more do
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some ']' ->
+                advance ();
+                more := false
+            | _ -> raise Malformed
+          done
+        end
+    | Some '"' -> string_body ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> raise Malformed);
+    skip_ws ()
+  in
+  match
+    value ();
+    if !pos <> n then raise Malformed
+  with
+  | () -> true
+  | exception Malformed -> false
+
+(* ---------------- Chrome trace-event format ---------------- *)
+
+let arg_json = function
+  | Tracer.Int i -> Int i
+  | Tracer.Float f -> Float f
+  | Tracer.Str s -> Str s
+
+let event_json pid (e : Tracer.event) =
+  let base =
+    [
+      ("name", Str e.Tracer.name);
+      ("cat", Str "ssg");
+      ( "ph",
+        Str
+          (match e.Tracer.kind with
+          | Tracer.Begin -> "B"
+          | Tracer.End -> "E"
+          | Tracer.Instant -> "i") );
+      ("ts", Float e.Tracer.ts_us);
+      ("pid", Int pid);
+      ("tid", Int e.Tracer.domain);
+    ]
+  in
+  let scope =
+    (* Instant events need a scope; "t" = thread-scoped, the narrow tick
+       mark Perfetto draws on the emitting track. *)
+    match e.Tracer.kind with Tracer.Instant -> [ ("s", Str "t") ] | _ -> []
+  in
+  let args =
+    match e.Tracer.args with
+    | [] -> []
+    | kvs -> [ ("args", Obj (List.map (fun (k, v) -> (k, arg_json v)) kvs)) ]
+  in
+  Obj (base @ scope @ args)
+
+let chrome_json ?(pid = 1) events =
+  json_to_string (Arr (List.map (event_json pid) events))

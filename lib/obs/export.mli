@@ -1,0 +1,35 @@
+(** Trace exporters: a minimal JSON layer and the Chrome trace-event
+    format.
+
+    {!chrome_json} renders a drained {!Tracer} event list as a Chrome
+    trace-event JSON array — the format [chrome://tracing] and Perfetto
+    ([ui.perfetto.dev]) load directly.  Mapping: each tracer domain
+    becomes a [tid], span begins/ends become ["B"]/["E"] phase events,
+    instants become thread-scoped ["i"] events; timestamps are the
+    tracer's microseconds.
+
+    The JSON layer is deliberately tiny (build + escape + a
+    well-formedness checker) — enough for the exporters and for tests
+    and CI to validate emitted documents without a JSON dependency. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(** [json_to_string j] — compact rendering.  Strings are escaped per RFC
+    8259; non-finite floats render as [null] (JSON has no [NaN]). *)
+val json_to_string : json -> string
+
+(** [json_wellformed s] — [s] parses as a single JSON value (with
+    trailing whitespace allowed).  A full structural check: balanced
+    containers, legal literals, string escapes, number syntax. *)
+val json_wellformed : string -> bool
+
+(** [chrome_json ?pid events] — the trace as a Chrome trace-event JSON
+    array.  [pid] defaults to 1. *)
+val chrome_json : ?pid:int -> Tracer.event list -> string

@@ -1,0 +1,186 @@
+type counter = { c_name : string; c_help : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_help : string; g_value : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  bounds : float array;  (* strictly increasing upper bounds, no +Inf *)
+  counts : int Atomic.t array;  (* one per bound, plus the +Inf bucket *)
+  h_sum : float Atomic.t;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = {
+  lock : Mutex.t;
+  mutable metrics : (string * metric) list;  (* newest first *)
+}
+
+let default_buckets =
+  [| 0.05; 0.1; 0.5; 1.; 5.; 10.; 50.; 100.; 500.; 1000.; 5000. |]
+
+let create () = { lock = Mutex.create (); metrics = [] }
+
+let valid_name name =
+  String.length name > 0
+  && (match name.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       name
+
+let register t name metric =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if List.mem_assoc name t.metrics then
+        invalid_arg (Printf.sprintf "Metrics: duplicate metric %S" name);
+      t.metrics <- (name, metric) :: t.metrics)
+
+let counter t ?(help = "") name =
+  let c = { c_name = name; c_help = help; c_value = Atomic.make 0 } in
+  register t name (Counter c);
+  c
+
+let gauge t ?(help = "") name =
+  let g = { g_name = name; g_help = help; g_value = Atomic.make 0. } in
+  register t name (Gauge g);
+  g
+
+let histogram t ?(help = "") ?(buckets = default_buckets) name =
+  if Array.length buckets = 0 then
+    invalid_arg "Metrics.histogram: empty bucket list";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    buckets;
+  let h =
+    {
+      h_name = name;
+      h_help = help;
+      bounds = Array.copy buckets;
+      counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+      h_sum = Atomic.make 0.;
+    }
+  in
+  register t name (Histogram h);
+  h
+
+let incr c = Atomic.incr c.c_value
+let add c n = ignore (Atomic.fetch_and_add c.c_value n)
+let counter_value c = Atomic.get c.c_value
+let set_gauge g v = Atomic.set g.g_value v
+let gauge_value g = Atomic.get g.g_value
+
+let rec atomic_add_float a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. x)) then atomic_add_float a x
+
+let observe h x =
+  let rec bucket i =
+    if i >= Array.length h.bounds || x <= h.bounds.(i) then i else bucket (i + 1)
+  in
+  Atomic.incr h.counts.(bucket 0);
+  atomic_add_float h.h_sum x
+
+type hist_snapshot = {
+  buckets : (float * int) array;
+  sum : float;
+  count : int;
+}
+
+let hist_snapshot h =
+  let cumulative = ref 0 in
+  let buckets =
+    Array.mapi
+      (fun i c ->
+        cumulative := !cumulative + Atomic.get c;
+        let bound =
+          if i < Array.length h.bounds then h.bounds.(i) else infinity
+        in
+        (bound, !cumulative))
+      h.counts
+  in
+  { buckets; sum = Atomic.get h.h_sum; count = !cumulative }
+
+(* ---------------- Prometheus text exposition ---------------- *)
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let prom_bound b = if b = infinity then "+Inf" else prom_float b
+
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let header buf name help kind =
+  if help <> "" then
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+let render_metric buf = function
+  | Counter c ->
+      header buf c.c_name c.c_help "counter";
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d\n" c.c_name (Atomic.get c.c_value))
+  | Gauge g ->
+      header buf g.g_name g.g_help "gauge";
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s\n" g.g_name (prom_float (Atomic.get g.g_value)))
+  | Histogram h ->
+      let s = hist_snapshot h in
+      header buf h.h_name h.h_help "histogram";
+      Array.iter
+        (fun (bound, cumulative) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" h.h_name
+               (prom_bound bound) cumulative))
+        s.buckets;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %s\n" h.h_name (prom_float s.sum));
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" h.h_name s.count)
+
+let prom_scalar buf ~kind ?(help = "") name value =
+  header buf name help (match kind with `Counter -> "counter" | `Gauge -> "gauge");
+  Buffer.add_string buf (Printf.sprintf "%s %s\n" name (prom_float value))
+
+let prom_summary buf ?(help = "") name ~count ~sum ~quantiles =
+  header buf name help "summary";
+  List.iter
+    (fun (q, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s{quantile=\"%s\"} %s\n" name (prom_float q)
+           (prom_float v)))
+    quantiles;
+  Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (prom_float sum));
+  Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name count)
+
+let to_prometheus ?(only = fun _ -> true) t =
+  let metrics =
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () -> List.rev t.metrics)
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, metric) -> if only name then render_metric buf metric)
+    metrics;
+  Buffer.contents buf

@@ -1,0 +1,101 @@
+type arg = Int of int | Float of float | Str of string
+type kind = Begin | End | Instant
+
+type event = {
+  kind : kind;
+  name : string;
+  domain : int;
+  ts_us : float;
+  args : (string * arg) list;
+}
+
+(* Power-of-two sizes so ring indexing is a mask, not a division. *)
+let slots = 128
+let ring_capacity = 16384
+
+type ring = {
+  buf : event option array;
+  cursor : int Atomic.t;  (* total events ever written to this ring *)
+  mutable last_ts : float;  (* per-domain monotonicity clamp *)
+}
+
+let enabled_flag = Atomic.make false
+
+(* Rings are created lazily by the first event a domain emits; the CAS
+   loses only when another domain racing for the same slot (ids are
+   folded mod [slots]) installed one first, in which case both share it
+   — still safe, the cursor arbitrates. *)
+let rings : ring option Atomic.t array =
+  Array.init slots (fun _ -> Atomic.make None)
+
+let epoch = Atomic.make (Unix.gettimeofday ())
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let reset () =
+  Array.iter (fun slot -> Atomic.set slot None) rings;
+  Atomic.set epoch (Unix.gettimeofday ())
+
+let fresh_ring () =
+  { buf = Array.make ring_capacity None; cursor = Atomic.make 0; last_ts = 0. }
+
+let rec get_ring d =
+  let slot = rings.(d land (slots - 1)) in
+  match Atomic.get slot with
+  | Some r -> r
+  | None ->
+      let r = fresh_ring () in
+      if Atomic.compare_and_set slot None (Some r) then r else get_ring d
+
+let emit kind name args =
+  if Atomic.get enabled_flag then begin
+    let domain = (Domain.self () :> int) in
+    let ring = get_ring domain in
+    let now = 1e6 *. (Unix.gettimeofday () -. Atomic.get epoch) in
+    (* The wall clock can step backwards; per-domain event order must
+       not.  Only the owning domain writes [last_ts], so the plain read/
+       write pair is race-free in the intended (one domain per ring)
+       regime. *)
+    let ts_us = if now > ring.last_ts then now else ring.last_ts in
+    ring.last_ts <- ts_us;
+    let i = Atomic.fetch_and_add ring.cursor 1 in
+    ring.buf.(i land (ring_capacity - 1)) <-
+      Some { kind; name; domain; ts_us; args }
+  end
+
+let instant ?(args = []) name = emit Instant name args
+let span_begin ?(args = []) name = emit Begin name args
+let span_end ?(args = []) name = emit End name args
+
+let with_span ?args name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    span_begin ?args name;
+    Fun.protect ~finally:(fun () -> span_end name) f
+  end
+
+let ring_events r =
+  let written = Atomic.get r.cursor in
+  let kept = min written ring_capacity in
+  (* Oldest retained event first: when the ring has wrapped, that is the
+     slot the cursor will overwrite next. *)
+  let start = if written <= ring_capacity then 0 else written in
+  List.filter_map
+    (fun i -> r.buf.((start + i) land (ring_capacity - 1)))
+    (List.init kept Fun.id)
+
+let events () =
+  Array.to_list rings
+  |> List.concat_map (fun slot ->
+         match Atomic.get slot with
+         | None -> []
+         | Some r -> ring_events r)
+
+let dropped () =
+  Array.fold_left
+    (fun acc slot ->
+      match Atomic.get slot with
+      | None -> acc
+      | Some r -> acc + max 0 (Atomic.get r.cursor - ring_capacity))
+    0 rings

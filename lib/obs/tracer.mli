@@ -1,0 +1,76 @@
+(** Span/event tracing core.
+
+    A process-wide tracer with per-domain ring buffers.  Instrumentation
+    sites emit {e events} — span begins, span ends, instants — tagged
+    with the emitting domain's id and a timestamp that is monotone
+    within each domain.  The engine, the executor and the simulation
+    runner are instrumented with it; {!Ssg_obs.Export.chrome_json} turns
+    a drained event list into Chrome trace-event JSON that loads in
+    Perfetto.
+
+    {b Cost model.}  Tracing is globally disabled by default.  The
+    disabled fast path is a single atomic load and a branch — cheap
+    enough to leave instrumentation in per-round and per-job hot paths
+    unconditionally.  Call sites that would otherwise allocate argument
+    lists guard on {!enabled} first:
+    {[
+      if Tracer.enabled () then
+        Tracer.instant ~args:[ ("round", Tracer.Int r) ] "round"
+    ]}
+    When enabled, an emit is one [Atomic.fetch_and_add] on the emitting
+    domain's ring cursor plus one array store — no locks anywhere on the
+    write path, so worker domains never contend.
+
+    {b Ring semantics.}  Each domain writes to its own fixed-size ring;
+    when a ring wraps, the oldest events of that domain are overwritten
+    (counted by {!dropped}).  {!events} snapshots all rings; it is meant
+    to be called at quiescence (after a run, or from the daemon's
+    [Trace] wire op between jobs) — a concurrent writer can race the
+    snapshot, in which case a just-overwritten slot may surface as a
+    slightly newer event, never as garbage. *)
+
+(** Span/instant argument values (rendered into Chrome-trace [args]). *)
+type arg = Int of int | Float of float | Str of string
+
+type kind = Begin | End | Instant
+
+type event = {
+  kind : kind;
+  name : string;
+  domain : int;  (** id of the emitting domain ([Domain.self]) *)
+  ts_us : float;
+      (** microseconds since the tracer epoch; monotone per domain *)
+  args : (string * arg) list;
+}
+
+(** [set_enabled b] flips the global switch.  Enabling does not clear
+    previously recorded events; use {!reset} for a fresh capture. *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** [reset ()] discards all recorded events, zeroes {!dropped} and
+    re-arms the timestamp epoch at now. *)
+val reset : unit -> unit
+
+(** [instant ?args name] records a point event.  No-op when disabled. *)
+val instant : ?args:(string * arg) list -> string -> unit
+
+(** [span_begin ?args name] / [span_end ?args name] delimit a span on
+    the calling domain.  Callers must balance them per domain (use
+    {!with_span} unless a span crosses a control-flow boundary). *)
+val span_begin : ?args:(string * arg) list -> string -> unit
+
+val span_end : ?args:(string * arg) list -> string -> unit
+
+(** [with_span ?args name f] wraps [f ()] in a span; the end event is
+    emitted even if [f] raises.  When disabled this is just [f ()]. *)
+val with_span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+
+(** [events ()] — every retained event, grouped by domain, in emission
+    order within each domain (which is also timestamp order). *)
+val events : unit -> event list
+
+(** [dropped ()] — events lost to ring wrap-around since the last
+    {!reset}. *)
+val dropped : unit -> int

@@ -3,6 +3,7 @@ open Ssg_graph
 let log_src = Logs.Src.create "ssg.executor" ~doc:"Round-by-round execution"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Tracer = Ssg_obs.Tracer
 
 type decision = { round : int; value : int }
 
@@ -62,7 +63,18 @@ module Make (A : Round_model.ALGORITHM) = struct
       Array.iteri
         (fun p s ->
           match (decisions.(p), A.decision s) with
-          | None, Some value -> decisions.(p) <- Some { round; value }
+          | None, Some value ->
+              decisions.(p) <- Some { round; value };
+              if Tracer.enabled () then
+                Tracer.instant
+                  ~args:
+                    [
+                      ("algorithm", Tracer.Str A.name);
+                      ("process", Tracer.Int p);
+                      ("value", Tracer.Int value);
+                      ("round", Tracer.Int round);
+                    ]
+                  "decide"
           | Some d, Some value when d.value <> value ->
               failwith
                 (Printf.sprintf
@@ -86,6 +98,13 @@ module Make (A : Round_model.ALGORITHM) = struct
           (Printf.sprintf
              "Executor: round %d graph has order %d, expected %d" r
              (Digraph.order graph) n);
+      (* The span opens only after the round graph validated: every
+         exception past this point aborts the whole run, so a track can
+         never be left with a dangling [B]. *)
+      if Tracer.enabled () then
+        Tracer.span_begin
+          ~args:[ ("algorithm", Tracer.Str A.name); ("round", Tracer.Int r) ]
+          "round";
       let payloads = Array.map (fun s -> A.send ~round:r s) states in
       Array.iter
         (fun m ->
@@ -124,6 +143,18 @@ module Make (A : Round_model.ALGORITHM) = struct
       (match cfg.on_round with
       | Some f -> f ~round:r ~graph states
       | None -> ());
+      if Tracer.enabled () then
+        Tracer.span_end
+          ~args:
+            [
+              ("delivered", Tracer.Int (Digraph.edge_count graph));
+              ( "decided",
+                Tracer.Int
+                  (Array.fold_left
+                     (fun acc d -> if d <> None then acc + 1 else acc)
+                     0 decisions) );
+            ]
+          "round";
       if cfg.stop_when_all_decided && Array.for_all Option.is_some decisions
       then running := false
     done;

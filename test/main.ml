@@ -31,6 +31,7 @@ let () =
       ("certificate", Test_certificate.tests);
       ("run-format", Test_run_format.tests);
       ("lint", Test_lint.tests);
+      ("obs", Test_obs.tests);
       ("engine", Test_engine.tests);
       ("faults", Test_faults.tests);
     ]

@@ -209,7 +209,7 @@ let gen_completion rng : Job.completion =
   }
 
 let gen_snapshot rng : Telemetry.snapshot =
-  let summary =
+  let gen_summary () =
     if Rng.int rng 3 = 0 then None
     else
       Some
@@ -224,6 +224,7 @@ let gen_snapshot rng : Telemetry.snapshot =
           p99 = Rng.float rng *. 10.;
         }
   in
+  let summary = gen_summary () in
   {
     Telemetry.uptime_s = Rng.float rng *. 3600.;
     workers = 1 + Rng.int rng 16;
@@ -245,23 +246,46 @@ let gen_snapshot rng : Telemetry.snapshot =
     connections_rejected = Rng.int rng 100;
     faults_injected = Rng.int rng 100;
     latency_ms = summary;
+    queue_wait_ms = gen_summary ();
+    exec_ms = gen_summary ();
+  }
+
+let gen_trace_event rng : Ssg_obs.Tracer.event =
+  let open Ssg_obs.Tracer in
+  {
+    kind =
+      (match Rng.int rng 3 with 0 -> Begin | 1 -> End | _ -> Instant);
+    name = Printf.sprintf "span-%d" (Rng.int rng 100);
+    domain = Rng.int rng 8;
+    ts_us = Rng.float rng *. 1e6;
+    args =
+      List.init (Rng.int rng 3) (fun i ->
+          ( Printf.sprintf "arg%d" i,
+            match Rng.int rng 3 with
+            | 0 -> Int (Rng.int rng 1000)
+            | 1 -> Float (Rng.float rng)
+            | _ -> Str "value" ));
   }
 
 let gen_request rng =
-  match Rng.int rng 4 with
+  match Rng.int rng 6 with
   | 0 -> Protocol.Submit (gen_job rng)
   | 1 -> Protocol.Batch (List.init (Rng.int rng 4) (fun _ -> gen_job rng))
   | 2 -> Protocol.Stats
+  | 3 -> Protocol.Trace
+  | 4 -> Protocol.Metrics
   | _ -> Protocol.Shutdown
 
 let gen_reply rng =
-  match Rng.int rng 5 with
+  match Rng.int rng 7 with
   | 0 -> Protocol.Completed (gen_completion rng)
   | 1 ->
       Protocol.Batch_completed
         (List.init (Rng.int rng 4) (fun _ -> gen_completion rng))
   | 2 -> Protocol.Stats_snapshot (gen_snapshot rng)
-  | 3 -> Protocol.Shutting_down
+  | 3 -> Protocol.Trace_events (List.init (Rng.int rng 5) (fun _ -> gen_trace_event rng))
+  | 4 -> Protocol.Metrics_text "# TYPE ssgd_jobs_submitted counter\nssgd_jobs_submitted 3\n"
+  | 5 -> Protocol.Shutting_down
   | _ -> Protocol.Error "nope"
 
 let prop_request_roundtrip =

@@ -1,0 +1,406 @@
+(* Tests for the observability layer: the span/event tracer (nesting,
+   per-domain ordering, disabled fast path, ring overflow), the metrics
+   registry (counters, gauges, histograms, Prometheus exposition), the
+   Chrome trace exporter (qcheck: always well-formed JSON, always
+   B/E-balanced), the Telemetry snapshot serializers derived from
+   [Telemetry.fields], and an end-to-end trace pull from a live ssgd.
+
+   The tracer is process-global, so every test starts with [reset] and
+   finishes disabled — Alcotest runs cases sequentially in-process. *)
+
+open Ssg_util
+module Tracer = Ssg_obs.Tracer
+module Metrics = Ssg_obs.Metrics
+module Export = Ssg_obs.Export
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let is_infix ~affix s =
+  let h = String.length s and n = String.length affix in
+  let rec go i = i + n <= h && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let with_tracing f =
+  Tracer.reset ();
+  Tracer.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Tracer.set_enabled false;
+      Tracer.reset ())
+    f
+
+(* --- tracer --- *)
+
+let test_disabled_emits_nothing () =
+  Tracer.reset ();
+  Tracer.set_enabled false;
+  Tracer.instant "i";
+  Tracer.span_begin "s";
+  Tracer.span_end "s";
+  check_int "with_span still runs its body" 7
+    (Tracer.with_span "w" (fun () -> 7));
+  check_int "no events recorded" 0 (List.length (Tracer.events ()));
+  check_int "nothing dropped" 0 (Tracer.dropped ())
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      let r =
+        Tracer.with_span "outer" (fun () ->
+            Tracer.instant "mid";
+            Tracer.with_span "inner" (fun () -> 41) + 1)
+      in
+      check_int "body result" 42 r;
+      match Tracer.events () with
+      | [ b_outer; mid; b_inner; e_inner; e_outer ] ->
+          check "B outer" true
+            (b_outer.Tracer.kind = Tracer.Begin
+            && b_outer.Tracer.name = "outer");
+          check "instant between" true (mid.Tracer.kind = Tracer.Instant);
+          check "B inner" true
+            (b_inner.Tracer.kind = Tracer.Begin
+            && b_inner.Tracer.name = "inner");
+          check "E inner before E outer" true
+            (e_inner.Tracer.kind = Tracer.End
+            && e_inner.Tracer.name = "inner"
+            && e_outer.Tracer.kind = Tracer.End
+            && e_outer.Tracer.name = "outer");
+          let d = b_outer.Tracer.domain in
+          check "one domain" true
+            (List.for_all
+               (fun (e : Tracer.event) -> e.Tracer.domain = d)
+               (Tracer.events ()))
+      | evs -> Alcotest.failf "expected 5 events, got %d" (List.length evs))
+
+let test_span_end_on_raise () =
+  with_tracing (fun () ->
+      (try Tracer.with_span "doomed" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      let kinds =
+        List.map (fun (e : Tracer.event) -> e.Tracer.kind) (Tracer.events ())
+      in
+      check "span closed despite the raise" true
+        (kinds = [ Tracer.Begin; Tracer.End ]))
+
+let test_timestamps_monotone () =
+  with_tracing (fun () ->
+      for i = 1 to 500 do
+        Tracer.instant ~args:[ ("i", Tracer.Int i) ] "tick"
+      done;
+      let rec mono = function
+        | (a : Tracer.event) :: (b : Tracer.event) :: rest ->
+            a.Tracer.ts_us <= b.Tracer.ts_us && mono (b :: rest)
+        | _ -> true
+      in
+      check "per-domain emission order is timestamp order" true
+        (mono (Tracer.events ())))
+
+let test_instant_args () =
+  with_tracing (fun () ->
+      Tracer.instant
+        ~args:
+          [
+            ("n", Tracer.Int 6);
+            ("rate", Tracer.Float 0.5);
+            ("who", Tracer.Str "p3");
+          ]
+        "decide";
+      match Tracer.events () with
+      | [ e ] ->
+          check "args preserved" true
+            (e.Tracer.args
+            = [
+                ("n", Tracer.Int 6);
+                ("rate", Tracer.Float 0.5);
+                ("who", Tracer.Str "p3");
+              ])
+      | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs))
+
+let test_ring_overflow () =
+  with_tracing (fun () ->
+      let total = 20000 in
+      for i = 1 to total do
+        Tracer.instant ~args:[ ("i", Tracer.Int i) ] "tick"
+      done;
+      let evs = Tracer.events () in
+      check "retention bounded by the ring" true (List.length evs <= 16384);
+      check_int "overflow counted" (total - List.length evs)
+        (Tracer.dropped ());
+      (* The ring keeps the newest events: the last one emitted must
+         still be there, the first must be gone. *)
+      let has i =
+        List.exists
+          (fun (e : Tracer.event) -> e.Tracer.args = [ ("i", Tracer.Int i) ])
+          evs
+      in
+      check "newest retained" true (has total);
+      check "oldest overwritten" false (has 1))
+
+(* --- metrics registry --- *)
+
+let test_counters_and_gauges () =
+  let t = Metrics.create () in
+  let c = Metrics.counter t ~help:"jobs" "jobs_total" in
+  let g = Metrics.gauge t "queue_depth" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  check_int "counter accumulates" 5 (Metrics.counter_value c);
+  Metrics.set_gauge g 3.5;
+  check "gauge holds last set" true (Metrics.gauge_value g = 3.5);
+  let text = Metrics.to_prometheus t in
+  check "TYPE line" true
+    (is_infix ~affix:"# TYPE jobs_total counter" text);
+  check "HELP line" true (is_infix ~affix:"# HELP jobs_total jobs" text);
+  check "counter sample" true (is_infix ~affix:"jobs_total 5" text);
+  check "gauge sample" true (is_infix ~affix:"queue_depth 3.5" text)
+
+let test_histogram_buckets () =
+  let t = Metrics.create () in
+  let h = Metrics.histogram t ~buckets:[| 1.; 10.; 100. |] "lat_ms" in
+  List.iter (Metrics.observe h) [ 0.5; 5.; 5.; 50.; 5000. ];
+  let s = Metrics.hist_snapshot h in
+  check_int "count" 5 s.Metrics.count;
+  check "sum" true (abs_float (s.Metrics.sum -. 5060.5) < 1e-6);
+  (match s.Metrics.buckets with
+  | [| (b1, c1); (b10, c10); (b100, c100); (binf, cinf) |] ->
+      check "bounds" true (b1 = 1. && b10 = 10. && b100 = 100. && binf = infinity);
+      check "cumulative counts" true
+        (c1 = 1 && c10 = 3 && c100 = 4 && cinf = 5)
+  | _ -> Alcotest.fail "expected 4 buckets");
+  let text = Metrics.to_prometheus t in
+  check "le=+Inf rendered" true
+    (is_infix ~affix:"lat_ms_bucket{le=\"+Inf\"} 5" text);
+  check "cumulative le=10" true
+    (is_infix ~affix:"lat_ms_bucket{le=\"10\"} 3" text);
+  check "sum line" true (is_infix ~affix:"lat_ms_sum 5060.5" text);
+  check "count line" true (is_infix ~affix:"lat_ms_count 5" text)
+
+let test_registry_rejects_bad_names () =
+  let t = Metrics.create () in
+  ignore (Metrics.counter t "ok_name");
+  check "duplicate raises" true
+    (match Metrics.counter t "ok_name" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "invalid chars raise" true
+    (match Metrics.counter t "bad-name" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "bad buckets raise" true
+    (match Metrics.histogram t ~buckets:[| 2.; 1. |] "h" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Telemetry snapshot serializers --- *)
+
+let field_name = function
+  | Ssg_engine.Telemetry.F_count (n, _)
+  | Ssg_engine.Telemetry.F_gauge_i (n, _)
+  | Ssg_engine.Telemetry.F_gauge_f (n, _)
+  | Ssg_engine.Telemetry.F_summary (n, _) ->
+      n
+
+let sample_adv ?(seed = 11) () =
+  Ssg_adversary.Build.block_sources (Rng.of_int seed) ~n:6 ~k:2 ~prefix_len:1
+    ()
+
+let test_snapshot_serializers_cover_every_field () =
+  let engine = Ssg_engine.Engine.create ~workers:1 ~queue_capacity:4 () in
+  let job = Ssg_engine.Job.make ~k:2 (sample_adv ()) in
+  (match (Ssg_engine.Engine.run engine job).Ssg_engine.Job.result with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "job failed: %s" msg);
+  let s = Ssg_engine.Engine.stats engine in
+  let fields = Ssg_engine.Telemetry.fields s in
+  check "snapshot flattens to every record field" true
+    (List.length fields = 22);
+  let json = Ssg_engine.Telemetry.json_of_snapshot s in
+  check "JSON well-formed" true (Export.json_wellformed json);
+  List.iter
+    (fun f ->
+      check
+        (Printf.sprintf "JSON carries %S" (field_name f))
+        true
+        (is_infix ~affix:(Printf.sprintf "%S:" (field_name f)) json))
+    fields;
+  let prom = Ssg_engine.Engine.prometheus engine in
+  List.iter
+    (fun f ->
+      check
+        (Printf.sprintf "Prometheus carries %S" (field_name f))
+        true
+        (is_infix ~affix:("ssgd_" ^ field_name f) prom))
+    fields;
+  check "phase histogram buckets exposed" true
+    (is_infix ~affix:"ssgd_job_queue_wait_ms_bucket{le=" prom);
+  check "exec histogram exposed" true
+    (is_infix ~affix:"ssgd_job_exec_ms_bucket{le=" prom);
+  check "latency summary quantiles exposed" true
+    (is_infix ~affix:"ssgd_latency_ms{quantile=\"0.5\"}" prom);
+  check "phase split sums to the legacy latency" true
+    (match (s.Ssg_engine.Telemetry.latency_ms,
+            s.Ssg_engine.Telemetry.queue_wait_ms,
+            s.Ssg_engine.Telemetry.exec_ms) with
+    | Some l, Some q, Some e ->
+        abs_float (l.Stats.mean -. (q.Stats.mean +. e.Stats.mean)) < 1.0
+    | _ -> false);
+  Ssg_engine.Engine.shutdown engine
+
+(* --- Chrome export + JSON checker --- *)
+
+let test_json_wellformed_rejects_garbage () =
+  List.iter
+    (fun s -> check (Printf.sprintf "rejects %S" s) false (Export.json_wellformed s))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "[1 2]"; "nul"; "\"unterminated"; "01";
+      "[]]"; "{\"a\":1,}" ];
+  List.iter
+    (fun s -> check (Printf.sprintf "accepts %S" s) true (Export.json_wellformed s))
+    [ "[]"; "{}"; "null"; "-1.5e3"; "{\"a\":[1,2,{\"b\":\"c\\n\"}]} " ]
+
+(* qcheck: any recorded trace exports to well-formed, B/E-balanced
+   Chrome JSON.  Random span trees are generated through the public API
+   (with_span recursion + instants), which is exactly how instrumented
+   code produces traces. *)
+let gen_trace_shape =
+  QCheck2.Gen.(int_bound 100000)
+
+let record_random_tree seed =
+  let rng = Rng.of_int seed in
+  let rec grow depth =
+    let n = Rng.int rng 4 in
+    for _ = 1 to n do
+      match Rng.int rng 3 with
+      | 0 -> Tracer.instant ~args:[ ("d", Tracer.Int depth) ] "leaf"
+      | _ ->
+          Tracer.with_span
+            ~args:[ ("name", Tracer.Str (Printf.sprintf "s\"\\%d" depth)) ]
+            (Printf.sprintf "span%d" (Rng.int rng 5))
+            (fun () -> if depth < 4 then grow (depth + 1))
+    done
+  in
+  grow 0
+
+let balanced events =
+  (* Stack discipline per domain: every E matches the innermost open B. *)
+  let stacks = Hashtbl.create 8 in
+  let ok = ref true in
+  List.iter
+    (fun (e : Tracer.event) ->
+      let stack =
+        Option.value (Hashtbl.find_opt stacks e.Tracer.domain) ~default:[]
+      in
+      match e.Tracer.kind with
+      | Tracer.Begin ->
+          Hashtbl.replace stacks e.Tracer.domain (e.Tracer.name :: stack)
+      | Tracer.End -> (
+          match stack with
+          | top :: rest when top = e.Tracer.name ->
+              Hashtbl.replace stacks e.Tracer.domain rest
+          | _ -> ok := false)
+      | Tracer.Instant -> ())
+    events;
+  Hashtbl.iter (fun _ stack -> if stack <> [] then ok := false) stacks;
+  !ok
+
+let prop_chrome_export_wellformed_and_balanced =
+  QCheck2.Test.make ~count:60
+    ~name:"chrome export: well-formed JSON, B/E balanced" gen_trace_shape
+    (fun seed ->
+      with_tracing (fun () ->
+          record_random_tree seed;
+          let events = Tracer.events () in
+          Export.json_wellformed (Export.chrome_json events)
+          && balanced events))
+
+let prop_disabled_tracing_emits_zero =
+  QCheck2.Test.make ~count:60
+    ~name:"disabled tracing records no events" gen_trace_shape (fun seed ->
+      Tracer.reset ();
+      Tracer.set_enabled false;
+      record_random_tree seed;
+      Tracer.events () = [] && Tracer.dropped () = 0)
+
+(* --- end to end: pull a trace and metrics from a live ssgd --- *)
+
+let test_trace_pull_from_live_daemon () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ssgd-obs-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists socket then Sys.remove socket;
+  let server =
+    Thread.create
+      (fun () ->
+        Ssg_engine.Server.serve ~workers:1 ~queue_capacity:8 ~cache_capacity:0
+          ~trace:true ~socket ())
+      ()
+  in
+  let rec wait_up tries =
+    if tries = 0 then Alcotest.fail "server did not come up";
+    match Ssg_engine.Client.connect ~socket () with
+    | c -> c
+    | exception Unix.Unix_error _ ->
+        Thread.delay 0.05;
+        wait_up (tries - 1)
+  in
+  let c = wait_up 100 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Ssg_engine.Client.shutdown c with _ -> ());
+      Ssg_engine.Client.close c;
+      Thread.join server;
+      Tracer.set_enabled false;
+      Tracer.reset ())
+    (fun () ->
+      let job = Ssg_engine.Job.make ~k:2 (sample_adv ~seed:23 ()) in
+      (match (Ssg_engine.Client.submit c job).Ssg_engine.Job.result with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "job failed: %s" msg);
+      let events = Ssg_engine.Client.trace c in
+      let has name kind =
+        List.exists
+          (fun (e : Tracer.event) ->
+            e.Tracer.name = name && e.Tracer.kind = kind)
+          events
+      in
+      check "engine submit span pulled" true (has "engine.submit" Tracer.Begin);
+      check "worker execute span pulled" true
+        (has "engine.execute" Tracer.Begin && has "engine.execute" Tracer.End);
+      check "per-round sim spans pulled" true (has "round" Tracer.Begin);
+      check "kset round instants pulled" true (has "kset.round" Tracer.Instant);
+      check "decide instants pulled" true (has "decide" Tracer.Instant);
+      check "reply write span pulled" true
+        (has "server.reply_write" Tracer.Begin);
+      check "remote trace exports clean" true
+        (Export.json_wellformed (Export.chrome_json events));
+      let prom = Ssg_engine.Client.metrics_text c in
+      check "served exposition has counters" true
+        (is_infix ~affix:"ssgd_jobs_completed 1" prom);
+      check "served exposition has phase buckets" true
+        (is_infix ~affix:"ssgd_job_queue_wait_ms_bucket{le=" prom))
+
+let tests =
+  [
+    Alcotest.test_case "disabled tracer emits nothing" `Quick
+      test_disabled_emits_nothing;
+    Alcotest.test_case "span nesting order" `Quick test_span_nesting;
+    Alcotest.test_case "with_span closes on raise" `Quick
+      test_span_end_on_raise;
+    Alcotest.test_case "timestamps monotone per domain" `Quick
+      test_timestamps_monotone;
+    Alcotest.test_case "instant args preserved" `Quick test_instant_args;
+    Alcotest.test_case "ring overflow drops oldest" `Quick test_ring_overflow;
+    Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+    Alcotest.test_case "histogram buckets cumulative" `Quick
+      test_histogram_buckets;
+    Alcotest.test_case "registry rejects bad names" `Quick
+      test_registry_rejects_bad_names;
+    Alcotest.test_case "snapshot serializers cover every field" `Quick
+      test_snapshot_serializers_cover_every_field;
+    Alcotest.test_case "json checker rejects garbage" `Quick
+      test_json_wellformed_rejects_garbage;
+    QCheck_alcotest.to_alcotest prop_chrome_export_wellformed_and_balanced;
+    QCheck_alcotest.to_alcotest prop_disabled_tracing_emits_zero;
+    Alcotest.test_case "trace + metrics pull from live ssgd" `Quick
+      test_trace_pull_from_live_daemon;
+  ]
