@@ -17,11 +17,16 @@
       off / on / on + Chrome export, plus a disabled-probe microcost and
       an overhead bound gated <= 2% when SSG_OBS_GATE=1.
 
-   4. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
+   4. B13 — cluster routing throughput: the same all-distinct cache-miss
+      batch pushed through one single-worker ssgd versus three of them
+      behind the lib/cluster router, wall-clock (gated >= 2x when
+      SSG_CLUSTER_GATE=1 — meaningful only on a multi-core host).
+
+   5. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
       paper (see DESIGN.md's index and EXPERIMENTS.md for discussion).
 
    Scale: set SSG_BENCH_SCALE=quick|standard|full (default standard).
-   Set SSG_BENCH_ONLY=B9|B12 to run a single wall-clock section.
+   Set SSG_BENCH_ONLY=B9|B12|B13 to run a single wall-clock section.
    Set SSG_BENCH_CSV_DIR=<dir> to additionally write each experiment's
    table as <dir>/<id>.csv for external plotting. *)
 
@@ -434,6 +439,126 @@ let run_tracing_bench scale =
       Printf.printf "  gate: disabled-tracing overhead bound <= 2%% (OK)\n";
   print_newline ()
 
+(* ---------------- B13: cluster routing throughput ---------------- *)
+
+(* The cluster's throughput claim: one batch of all-distinct jobs (pure
+   cache misses — placement cannot help, only parallelism can) through a
+   single 1-worker ssgd versus three of them behind the lib/cluster
+   router.  The router splits the batch by ring owner and forwards the
+   sub-batches concurrently, so with real cores behind the workers the
+   fleet approaches 3x; on a 1-core host the three daemons time-slice
+   one core and the row honestly reports the multiplexing overhead
+   instead.  The >= 2x acceptance gate therefore only arms under
+   SSG_CLUSTER_GATE=1 (CI sets it on multi-core runners). *)
+let run_cluster_bench scale =
+  let n, total =
+    match scale with
+    | `Quick -> (16, 60)
+    | `Standard -> (20, 120)
+    | `Full -> (24, 240)
+  in
+  let job i =
+    Ssg_engine.Job.make
+      ~k:(max 1 (n / 4))
+      (Build.block_sources
+         (Rng.of_int (13000 + i))
+         ~n ~k:(max 1 (n / 4)) ~prefix_len:2 ())
+  in
+  let batch = List.init total job in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let sock name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ssg-bench-%s-%d.sock" name (Unix.getpid ()))
+  in
+  let start_worker socket =
+    if Sys.file_exists socket then Sys.remove socket;
+    Thread.create
+      (fun () ->
+        Ssg_engine.Server.serve ~workers:1 ~queue_capacity:64
+          ~cache_capacity:0 ~socket ())
+      ()
+  in
+  let wait_up socket =
+    let rec go tries =
+      if tries = 0 then failwith "bench service did not come up";
+      match Ssg_engine.Client.connect ~retries:0 ~socket ~deadline_s:30. () with
+      | c -> c
+      | exception Unix.Unix_error _ ->
+          Thread.delay 0.05;
+          go (tries - 1)
+    in
+    go 200
+  in
+  let shutdown socket thread =
+    let c = wait_up socket in
+    Ssg_engine.Client.shutdown c;
+    Ssg_engine.Client.close c;
+    Thread.join thread
+  in
+  let push socket =
+    let c = wait_up socket in
+    Fun.protect
+      ~finally:(fun () -> Ssg_engine.Client.close c)
+      (fun () ->
+        let completions = Ssg_engine.Client.submit_batch c batch in
+        assert (
+          List.for_all
+            (fun c -> Result.is_ok c.Ssg_engine.Job.result)
+            completions))
+  in
+  (* Single 1-worker daemon. *)
+  let single = sock "single" in
+  let single_thread = start_worker single in
+  let (), single_s = time (fun () -> push single) in
+  shutdown single single_thread;
+  (* Three 1-worker daemons behind the router. *)
+  let backends = List.map sock [ "w1"; "w2"; "w3" ] in
+  let worker_threads = List.map start_worker backends in
+  let router = sock "router" in
+  if Sys.file_exists router then Sys.remove router;
+  let router_thread =
+    Thread.create
+      (fun () ->
+        Ssg_cluster.Router.serve ~probe_interval_s:0.5 ~request_timeout_s:60.
+          ~backends ~socket:router ())
+      ()
+  in
+  let (), cluster_s = time (fun () -> push router) in
+  shutdown router router_thread;
+  List.iter2 shutdown backends worker_threads;
+  let cores = Domain.recommended_domain_count () in
+  let ratio = single_s /. Stdlib.max cluster_s 1e-9 in
+  Printf.printf
+    "== B13: cluster routing throughput (%d all-distinct jobs, n=%d, 1 ssgd \
+     vs router + 3, %d core(s)) ==\n\n"
+    total n cores;
+  let table = Table.create [ "pipeline"; "wall-clock"; "jobs/s"; "vs single" ] in
+  let row label s =
+    Table.add_row table
+      [ label; Printf.sprintf "%.1f ms" (1000. *. s);
+        Printf.sprintf "%.0f" (float_of_int total /. Stdlib.max s 1e-9);
+        Printf.sprintf "%.2fx" (single_s /. Stdlib.max s 1e-9) ]
+  in
+  row "single ssgd (1 worker domain)" single_s;
+  row "router + 3 ssgd (1 worker domain each)" cluster_s;
+  Table.print table;
+  Printf.printf
+    "\n\
+    \  cache-miss workload: placement cannot help, the speedup is pure \
+     cross-daemon parallelism (needs >= 3 idle cores to show)\n";
+  if Sys.getenv_opt "SSG_CLUSTER_GATE" = Some "1" then
+    if ratio < 2. then begin
+      Printf.printf "  GATE FAILED: router + 3 workers %.2fx < 2x single\n"
+        ratio;
+      exit 1
+    end
+    else Printf.printf "  gate: router + 3 workers >= 2x single (OK)\n";
+  print_newline ()
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -454,8 +579,12 @@ let () =
   | Some "B12" ->
       run_tracing_bench scale;
       exit 0
+  | Some "B13" ->
+      run_cluster_bench scale;
+      exit 0
   | Some other ->
-      Printf.eprintf "SSG_BENCH_ONLY=%s not recognized (B9 | B12)\n" other;
+      Printf.eprintf "SSG_BENCH_ONLY=%s not recognized (B9 | B12 | B13)\n"
+        other;
       exit 2
   | None -> ());
   Printf.printf
@@ -464,6 +593,7 @@ let () =
   run_micro scale;
   run_engine_bench scale;
   run_tracing_bench scale;
+  run_cluster_bench scale;
   let csv_dir = Sys.getenv_opt "SSG_BENCH_CSV_DIR" in
   (match csv_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755

@@ -7,10 +7,11 @@
      check       build a run description and report its predicate profile
      dot         export a run's stable skeleton as Graphviz
      serve       run the ssgd simulation service on a Unix-domain socket
-     submit      send one job (or a --repeat batch) to a running ssgd
+     route       front N ssgd workers with a consistent-hash router
+     submit      send one job, a --repeat batch, or FILE... to a service
      stats       query a running ssgd's metrics (text, --json or --prom)
      trace       record a Chrome trace of a run (or pull one from ssgd)
-     shutdown    gracefully stop a running ssgd *)
+     shutdown    gracefully stop a running ssgd (or router) *)
 
 open Cmdliner
 open Ssg_util
@@ -536,7 +537,7 @@ let serve_cmd =
   in
   let chaos_arg =
     let doc =
-      "Fault-injection plan (chaos mode): comma-separated        crash:N | slow:N | slow:N@MS | corrupt:N | truncate:N —        every N-th job execution crashes / sleeps MS milliseconds, every        N-th reply frame is corrupted / truncated.  'off' disables."
+      "Fault-injection plan (chaos mode): comma-separated        crash:N | slow:N | slow:N@MS | corrupt:N | truncate:N |        blackhole:N — every N-th job execution crashes / sleeps MS        milliseconds, every N-th reply frame is corrupted / truncated /        silently swallowed (a simulated partition).  'off' disables."
     in
     Arg.(value & opt string "off" & info [ "chaos" ] ~docv:"PLAN" ~doc)
   in
@@ -569,6 +570,87 @@ let serve_cmd =
         (const action $ verbose_arg $ socket_arg $ workers_arg $ queue_arg
         $ cache_arg $ max_conn_arg $ read_timeout_arg $ drain_timeout_arg
         $ chaos_arg $ trace_arg))
+
+let route_cmd =
+  let backend_arg =
+    let doc =
+      "Socket path of one backend ssgd worker (repeatable).  Jobs are        placed on backends by consistent hashing of their cache key, so        each worker keeps its cache hit rate."
+    in
+    Arg.(non_empty & opt_all string [] & info [ "backend"; "b" ] ~docv:"PATH" ~doc)
+  in
+  let vnodes_arg =
+    let doc = "Virtual nodes per backend on the hash ring." in
+    Arg.(
+      value
+      & opt int Ssg_cluster.Ring.default_vnodes
+      & info [ "vnodes" ] ~docv:"N" ~doc)
+  in
+  let down_after_arg =
+    let doc =
+      "Consecutive probe/forward failures before a backend leaves the        ring (one healthy exchange re-admits it)."
+    in
+    Arg.(value & opt int 3 & info [ "down-after" ] ~docv:"N" ~doc)
+  in
+  let probe_interval_arg =
+    let doc = "Seconds between health-probe sweeps over the backends." in
+    Arg.(value & opt float 1. & info [ "probe-interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let probe_timeout_arg =
+    let doc = "Reply deadline of one health probe." in
+    Arg.(value & opt float 1. & info [ "probe-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let request_timeout_arg =
+    let doc =
+      "Reply deadline of one forwarded exchange — a mute backend becomes        a failover after this long, not a hang."
+    in
+    Arg.(value & opt float 30. & info [ "request-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_conn_arg =
+    let doc = "Maximum concurrent client connections on the front socket." in
+    Arg.(value & opt int 256 & info [ "max-connections" ] ~docv:"N" ~doc)
+  in
+  let read_timeout_arg =
+    let doc = "Per-connection read timeout on the front socket (0 disables)." in
+    Arg.(value & opt float 30. & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let drain_timeout_arg =
+    let doc =
+      "On shutdown, wait this long for live connections to finish before        abandoning them."
+    in
+    Arg.(value & opt float 5. & info [ "drain-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Enable in-process tracing: routing spans and failover instants,        pullable with $(b,ssg trace --remote)."
+    in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let action verbose socket backends vnodes down_after probe_interval
+      probe_timeout request_timeout max_connections read_timeout drain_timeout
+      trace =
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.App));
+    match
+      Ssg_cluster.Router.serve ~vnodes ~down_after
+        ~probe_interval_s:probe_interval ~probe_timeout_s:probe_timeout
+        ~request_timeout_s:request_timeout ~max_connections
+        ~read_timeout_s:read_timeout ~drain_timeout_s:drain_timeout ~trace
+        ~backends ~socket ()
+    with
+    | () -> `Ok ()
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  let doc =
+    "Front N independent ssgd workers with one routing socket: clients      speak the ordinary ssgd protocol to it, jobs are sharded over the      workers by consistent hashing of their cache keys, a health-probed      registry takes dead workers out of the ring, and failed forwards      retry on the successor shard.  Stats and metrics are merged across      the fleet."
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc)
+    Term.(
+      ret
+        (const action $ verbose_arg $ socket_arg $ backend_arg $ vnodes_arg
+        $ down_after_arg $ probe_interval_arg $ probe_timeout_arg
+        $ request_timeout_arg $ max_conn_arg $ read_timeout_arg
+        $ drain_timeout_arg $ trace_arg))
 
 let submit_cmd =
   let monitor_arg =
@@ -612,19 +694,93 @@ let submit_cmd =
     in
     Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
   in
-  let action socket family n k prefix seed load algorithm rounds monitor
-      repeat quiet deadline_s =
-    if repeat < 1 then `Error (false, "--repeat must be >= 1")
+  let sockets_arg =
+    let doc =
+      "Socket path of the ssgd service or router (repeatable: with        several, each connection attempt walks the list in order and fails        over to the next address)."
+    in
+    Arg.(value & opt_all string [] & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+  in
+  let files_arg =
+    let doc =
+      "Run description files to submit as one batch over one connection        (per-file result lines; exit 1 if any file fails to parse or        errors server-side).  Without files, a run is generated from the        $(b,run)-style options instead."
+    in
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let default_socket =
+    Filename.concat (Filename.get_temp_dir_name ()) "ssgd.sock"
+  in
+  let summarize_completion label completion =
+    let open Ssg_engine.Job in
+    match completion.result with
+    | Ok o ->
+        Printf.printf
+          "%s: %d distinct decision(s), min_k=%d, %d rounds  [%s, %.2f ms]\n"
+          label o.distinct_decisions o.min_k o.rounds_run
+          (if completion.cached then "cache" else "computed")
+          completion.latency_ms;
+        true
+    | Error msg ->
+        Printf.printf "%s: ERROR %s\n" label msg;
+        false
+  in
+  let action sockets family n k prefix seed load algorithm rounds monitor
+      repeat quiet deadline_s files =
+    let sockets = if sockets = [] then [ default_socket ] else sockets in
+    let with_client f =
+      let c = Ssg_engine.Client.connect_any ?deadline_s ~sockets () in
+      Fun.protect ~finally:(fun () -> Ssg_engine.Client.close c) (fun () -> f c)
+    in
+    if files <> [] then begin
+      if repeat > 1 then
+        `Error (false, "--repeat cannot be combined with FILE arguments")
+      else begin
+        (* Parse every file first: a malformed description costs only its
+           own result line, never the batch. *)
+        let parsed =
+          List.map
+            (fun file ->
+              let text = In_channel.with_open_bin file In_channel.input_all in
+              match Run_format.of_string text with
+              | adv ->
+                  (file, Ok (Ssg_engine.Job.make ~algorithm ~k ?rounds ~monitor adv))
+              | exception Failure msg -> (file, Error msg)
+              | exception Invalid_argument msg -> (file, Error msg))
+            files
+        in
+        let jobs = List.filter_map (fun (_, r) -> Result.to_option r) parsed in
+        let completions =
+          match jobs with [] -> [] | jobs -> with_client (fun c -> Ssg_engine.Client.submit_batch c jobs)
+        in
+        (* Reassemble in file order: parse failures kept their slot. *)
+        let ok = ref true in
+        let remaining = ref completions in
+        List.iter
+          (fun (file, r) ->
+            match r with
+            | Error msg ->
+                Printf.printf "%s: PARSE ERROR %s\n" file msg;
+                ok := false
+            | Ok _ -> (
+                match !remaining with
+                | completion :: rest ->
+                    remaining := rest;
+                    if not (summarize_completion file completion) then ok := false
+                | [] ->
+                    Printf.printf "%s: ERROR no reply\n" file;
+                    ok := false))
+          parsed;
+        if not !ok then Stdlib.exit 1;
+        `Ok ()
+      end
+    end
+    else if repeat < 1 then `Error (false, "--repeat must be >= 1")
     else begin
       let job_of_seed seed =
         let adv = build_adversary ?load family ~n ~k ~prefix ~seed in
         Ssg_engine.Job.make ~algorithm ~k ?rounds ~monitor adv
       in
       let jobs = List.init repeat (fun i -> job_of_seed (seed + i)) in
-      let c = Ssg_engine.Client.connect ?deadline_s ~socket () in
-      Fun.protect
-        ~finally:(fun () -> Ssg_engine.Client.close c)
-        (fun () ->
+      with_client (fun c ->
           let completions =
             match jobs with
             | [ job ] -> [ Ssg_engine.Client.submit c job ]
@@ -632,31 +788,25 @@ let submit_cmd =
           in
           List.iteri
             (fun i completion ->
-              let open Ssg_engine.Job in
               if quiet || repeat > 1 then
-                match completion.result with
-                | Ok o ->
-                    Printf.printf
-                      "job %-3d: %d distinct decision(s), min_k=%d, %d rounds  [%s, %.2f ms]\n"
-                      (i + 1) o.distinct_decisions o.min_k o.rounds_run
-                      (if completion.cached then "cache" else "computed")
-                      completion.latency_ms
-                | Error msg -> Printf.printf "job %-3d: ERROR %s\n" (i + 1) msg
-              else Format.printf "%a" pp_completion completion)
+                ignore
+                  (summarize_completion (Printf.sprintf "job %-3d" (i + 1))
+                     completion)
+              else Format.printf "%a" Ssg_engine.Job.pp_completion completion)
             completions);
       `Ok ()
     end
   in
   let doc =
-    "Build a run description (same options as $(b,run)) and submit it to a      running ssgd service over the socket."
+    "Submit work to a running ssgd service (or cluster router): either one      generated run (same options as $(b,run), $(b,--repeat) for a batch),      or run description FILEs sent as one batch over one connection."
   in
   Cmd.v
     (Cmd.info "submit" ~doc)
     Term.(
       ret
-        (const action $ socket_arg $ family_arg $ n_arg $ k_arg $ prefix_arg
+        (const action $ sockets_arg $ family_arg $ n_arg $ k_arg $ prefix_arg
         $ seed_arg $ load_arg $ algorithm_arg $ rounds_arg $ monitor_arg
-        $ repeat_arg $ quiet_arg $ deadline_arg))
+        $ repeat_arg $ quiet_arg $ deadline_arg $ files_arg))
 
 let stats_cmd =
   let json_arg =
@@ -864,6 +1014,6 @@ let () =
        (Cmd.group info
           [
             run_cmd; figure1_cmd; experiment_cmd; check_cmd; dot_cmd;
-            timing_cmd; shrink_cmd; lint_cmd; serve_cmd; submit_cmd;
-            stats_cmd; trace_cmd; shutdown_cmd;
+            timing_cmd; shrink_cmd; lint_cmd; serve_cmd; route_cmd;
+            submit_cmd; stats_cmd; trace_cmd; shutdown_cmd;
           ]))

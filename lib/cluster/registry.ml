@@ -1,0 +1,190 @@
+let log_src = Logs.Src.create "ssg.cluster.registry" ~doc:"backend health"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type health = Up | Probation of int | Down of int
+
+type t = {
+  mutex : Mutex.t;
+  vnodes : int;
+  down_after : int;
+  probe_interval_s : float;
+  probe_timeout_s : float;
+  on_transition : string -> bool -> unit;
+  addrs : string array;  (* sorted, distinct *)
+  states : health array;
+  mutable ring : Ring.t;
+  mutable generation : int;
+  stop_flag : bool Atomic.t;
+  mutable prober : Thread.t option;
+}
+
+let create ?(vnodes = Ring.default_vnodes) ?(down_after = 3)
+    ?(probe_interval_s = 1.0) ?(probe_timeout_s = 1.0)
+    ?(on_transition = fun _ _ -> ()) backends =
+  if backends = [] then invalid_arg "Registry.create: no backends";
+  if down_after < 1 then
+    invalid_arg "Registry.create: down_after must be >= 1";
+  if probe_interval_s <= 0. then
+    invalid_arg "Registry.create: probe_interval_s must be > 0";
+  if probe_timeout_s <= 0. then
+    invalid_arg "Registry.create: probe_timeout_s must be > 0";
+  let addrs = Array.of_list (List.sort_uniq String.compare backends) in
+  {
+    mutex = Mutex.create ();
+    vnodes;
+    down_after;
+    probe_interval_s;
+    probe_timeout_s;
+    on_transition;
+    addrs;
+    states = Array.make (Array.length addrs) Up;
+    ring = Ring.create ~vnodes (Array.to_list addrs);
+    generation = 0;
+    stop_flag = Atomic.make false;
+    prober = None;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let index t addr =
+  let rec go i =
+    if i >= Array.length t.addrs then None
+    else if String.equal t.addrs.(i) addr then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let is_up_state = function Up | Probation _ -> true | Down _ -> false
+
+let up_unlocked t =
+  Array.to_list t.addrs
+  |> List.filteri (fun i _ -> is_up_state t.states.(i))
+
+let rebuild_unlocked t =
+  t.ring <- Ring.create ~vnodes:t.vnodes (up_unlocked t);
+  t.generation <- t.generation + 1
+
+let backends t = Array.to_list t.addrs
+let health t = locked t (fun () -> Array.to_list t.states) |> List.combine (backends t)
+
+let up t = locked t (fun () -> up_unlocked t)
+
+let is_up t addr =
+  locked t (fun () ->
+      match index t addr with
+      | Some i -> is_up_state t.states.(i)
+      | None -> false)
+
+let ring t = locked t (fun () -> t.ring)
+let generation t = locked t (fun () -> t.generation)
+
+let candidates t key =
+  let r = ring t in
+  if Ring.is_empty r then backends t else Ring.successors r key
+
+(* Returns the transition edge crossed, if any, so the callback can run
+   outside the lock. *)
+let record_unlocked t addr ok =
+  match index t addr with
+  | None -> None
+  | Some i -> (
+      match (t.states.(i), ok) with
+      | (Up | Probation _), true ->
+          t.states.(i) <- Up;
+          None
+      | Down _, true ->
+          t.states.(i) <- Up;
+          rebuild_unlocked t;
+          Some true
+      | Up, false ->
+          t.states.(i) <-
+            (if t.down_after = 1 then Down 1 else Probation 1);
+          if t.down_after = 1 then begin
+            rebuild_unlocked t;
+            Some false
+          end
+          else None
+      | Probation k, false ->
+          let k = k + 1 in
+          if k >= t.down_after then begin
+            t.states.(i) <- Down k;
+            rebuild_unlocked t;
+            Some false
+          end
+          else begin
+            t.states.(i) <- Probation k;
+            None
+          end
+      | Down k, false ->
+          t.states.(i) <- Down (k + 1);
+          None)
+
+let record t addr ok =
+  match locked t (fun () -> record_unlocked t addr ok) with
+  | None -> ()
+  | Some up ->
+      Log.info (fun m ->
+          m "backend %s %s" addr (if up then "re-admitted" else "marked down"));
+      t.on_transition addr up
+
+let mark_failure t addr = record t addr false
+let mark_success t addr = record t addr true
+
+let probe t addr =
+  let ok =
+    match
+      Ssg_engine.Client.connect ~retries:0 ~deadline_s:t.probe_timeout_s
+        ~socket:addr ()
+    with
+    | exception (Unix.Unix_error _ | Failure _ | Invalid_argument _) -> false
+    | c ->
+        Fun.protect
+          ~finally:(fun () -> Ssg_engine.Client.close c)
+          (fun () ->
+            match Ssg_engine.Client.stats c with
+            | _ -> true
+            | exception _ -> false)
+  in
+  record t addr ok;
+  ok
+
+let start t =
+  locked t (fun () ->
+      if t.prober = None then begin
+        Atomic.set t.stop_flag false;
+        t.prober <-
+          Some
+            (Thread.create
+               (fun () ->
+                 while not (Atomic.get t.stop_flag) do
+                   Array.iter
+                     (fun addr ->
+                       if not (Atomic.get t.stop_flag) then
+                         ignore (probe t addr))
+                     t.addrs;
+                   (* Sleep in short slices so [stop] is prompt. *)
+                   let slept = ref 0. in
+                   while
+                     (not (Atomic.get t.stop_flag))
+                     && !slept < t.probe_interval_s
+                   do
+                     let d = Float.min 0.02 (t.probe_interval_s -. !slept) in
+                     Thread.delay d;
+                     slept := !slept +. d
+                   done
+                 done)
+               ())
+      end)
+
+let stop t =
+  let prober =
+    locked t (fun () ->
+        let p = t.prober in
+        t.prober <- None;
+        Atomic.set t.stop_flag true;
+        p)
+  in
+  match prober with None -> () | Some th -> Thread.join th

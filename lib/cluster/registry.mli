@@ -1,0 +1,78 @@
+(** Backend membership and health for the cluster router.
+
+    One [t] per router: the static backend list, a per-backend health
+    state, and the {!Ring.t} rebuilt (deterministically) from the
+    currently-up subset whenever that subset changes.
+
+    Health moves on two inputs sharing one accounting:
+    - {e active probes} — {!start} spawns a prober thread that, every
+      [probe_interval_s], connects to each backend and exchanges a
+      [Stats] request over the ordinary {!Ssg_engine.Protocol} (bounded
+      by [probe_timeout_s]);
+    - {e passive reports} — the router calls {!mark_failure} /
+      {!mark_success} with what it observed while forwarding, so a dead
+      backend stops receiving traffic after [down_after] consecutive
+      failures even between probe ticks.
+
+    A backend is {e up} until [down_after] consecutive failures mark it
+    down; any success (probe or forward) re-admits it immediately and
+    resets the count — mark-down needs consecutive evidence, healing
+    needs one healthy exchange. *)
+
+type health =
+  | Up
+  | Probation of int  (** consecutive failures so far, still routed *)
+  | Down of int  (** consecutive failures, out of the ring *)
+
+type t
+
+(** [create backends] — [backends] are socket addresses, deduplicated;
+    all start [Up].  [on_transition addr up] (default: nothing) fires
+    under no lock whenever a backend crosses the up/down edge — the
+    router hangs its mark-down/re-admission counters and log lines on
+    it.
+    @raise Invalid_argument on an empty backend list, [vnodes < 1],
+    [down_after < 1], or non-positive intervals. *)
+val create :
+  ?vnodes:int ->
+  ?down_after:int ->
+  ?probe_interval_s:float ->
+  ?probe_timeout_s:float ->
+  ?on_transition:(string -> bool -> unit) ->
+  string list ->
+  t
+
+(** All configured backends, sorted (the ring's member universe). *)
+val backends : t -> string list
+
+val health : t -> (string * health) list
+val up : t -> string list
+val is_up : t -> string -> bool
+
+(** The current ring over the up subset.  Rings are immutable, so the
+    returned value stays consistent while the registry moves on. *)
+val ring : t -> Ring.t
+
+(** [candidates t key] — the failover order for [key] over the up
+    subset ({!Ring.successors} of the current ring); when every backend
+    is down, the full backend list (better to try a possibly-healed
+    backend than to fail without trying). *)
+val candidates : t -> string -> string list
+
+(** Monotone count of ring rebuilds (up-set changes) — cheap staleness
+    check for callers caching routing decisions. *)
+val generation : t -> int
+
+val mark_failure : t -> string -> unit
+val mark_success : t -> string -> unit
+
+(** [probe t addr] — one synchronous health probe: connect (no
+    retries), exchange [Stats], feed the verdict into
+    {!mark_success} / {!mark_failure}.  Returns the verdict. *)
+val probe : t -> string -> bool
+
+(** [start t] spawns the periodic prober (idempotent); [stop t] stops
+    and joins it (idempotent). *)
+val start : t -> unit
+
+val stop : t -> unit

@@ -1,0 +1,51 @@
+(** Consistent hash ring over job cache keys.
+
+    The cluster's placement function: each backend address is hashed
+    onto a 64-bit circle at [vnodes] points (virtual nodes, so the
+    keyspace splits evenly even with a handful of backends), and a job
+    key is owned by the first backend point at or clockwise after the
+    key's own hash.  Placement therefore depends only on the member set
+    and [vnodes] — two routers configured with the same backends agree
+    on every key without talking to each other, and a rebuild after a
+    membership change is deterministic.
+
+    The monotonicity property the failover design leans on: removing a
+    member remaps {e only} the keys that member owned (they fall to
+    their successors); every other key keeps its owner.  Adding a member
+    only steals keys for the new member.  Both are property-tested.
+
+    Values are immutable; {!add} and {!remove} return new rings. *)
+
+type t
+
+(** [create ?vnodes members] — duplicates in [members] are collapsed;
+    the empty list is a valid (empty) ring.
+    @raise Invalid_argument if [vnodes < 1]. *)
+val create : ?vnodes:int -> string list -> t
+
+val default_vnodes : int
+
+(** The distinct member set, sorted. *)
+val members : t -> string list
+
+val vnodes : t -> int
+val is_empty : t -> bool
+
+(** [owner t key] — the member owning [key]; [None] on an empty ring. *)
+val owner : t -> string -> string option
+
+(** [successors t key] — every member, deduplicated, in ring order
+    starting at [key]'s owner: the failover order for [key].  Its head
+    is [owner t key]; its length is the member count. *)
+val successors : t -> string -> string list
+
+(** [add t m] / [remove t m] rebuild deterministically; adding a present
+    member or removing an absent one is the identity. *)
+val add : t -> string -> t
+
+val remove : t -> string -> t
+
+(** The ring's key hash (FNV-1a 64 with a splitmix64 finalizer),
+    exposed so tests can check balance claims against the same
+    function the ring uses. *)
+val hash64 : string -> int64

@@ -1,0 +1,420 @@
+let log_src = Logs.Src.create "ssg.cluster.router" ~doc:"cluster front end"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+module Metrics = Ssg_obs.Metrics
+module Tracer = Ssg_obs.Tracer
+open Ssg_engine
+
+(* Same stale-socket policy as [Server.serve]: replace a dead server's
+   leftover file, refuse to double-bind a live one. *)
+let prepare_address path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    Unix.close probe;
+    if alive then raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
+    else Unix.unlink path
+  end
+
+let poke path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path) with Unix.Unix_error _ -> ());
+  Unix.close fd
+
+type t = {
+  registry : Registry.t;
+  request_timeout_s : float;
+  backends : string array;  (* Registry.backends order: sorted *)
+  metrics : Metrics.t;
+  routed : Metrics.counter;
+  failovers : Metrics.counter;
+  exhausted : Metrics.counter;
+  markdowns : Metrics.counter;
+  readmissions : Metrics.counter;
+  shard_routed : Metrics.counter array;
+  shard_up : Metrics.gauge array;
+  shard_reporting : Metrics.gauge array;
+}
+
+let shard_index t addr =
+  let rec go i =
+    if i >= Array.length t.backends then None
+    else if String.equal t.backends.(i) addr then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* One forwarded exchange: fresh connection (Unix-domain connects are
+   cheap and a per-request descriptor keeps failover semantics exact —
+   no poisoned pooled connection can leak between jobs), no connect
+   retries (the router does its own failover instead), reply deadline
+   armed so a mute backend costs [request_timeout_s], not forever. *)
+let forward t addr request =
+  let c =
+    Client.connect ~retries:0 ~deadline_s:t.request_timeout_s ~socket:addr ()
+  in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> Client.rpc c request)
+
+let record_routed t addr =
+  Registry.mark_success t.registry addr;
+  Metrics.incr t.routed;
+  match shard_index t addr with
+  | Some i -> Metrics.incr t.shard_routed.(i)
+  | None -> ()
+
+(* Route one job to its ring owner, failing over along the successor
+   list.  A protocol [Error] reply is relayed without failover: it is
+   deterministic (the lint front door), not a shard failure. *)
+let route_job t job =
+  let key = Job.key job in
+  let key_hex = Printf.sprintf "%Lx" (Ring.hash64 key) in
+  let rec go attempts = function
+    | [] ->
+        Metrics.incr t.exhausted;
+        Protocol.Error "cluster: no live backend could serve the job"
+    | addr :: rest -> (
+        let outcome =
+          match forward t addr (Protocol.Submit job) with
+          | (Protocol.Completed _ | Protocol.Error _) as reply -> Ok reply
+          | _unexpected -> Error "unexpected reply kind"
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Unix.error_message e)
+          | exception Failure msg -> Error msg
+          | exception End_of_file -> Error "backend closed mid-exchange"
+          | exception Sys_error msg -> Error msg
+        in
+        match outcome with
+        | Ok reply ->
+            record_routed t addr;
+            reply
+        | Error reason ->
+            Registry.mark_failure t.registry addr;
+            Log.info (fun m ->
+                m "forward to %s failed (%s), %s" addr reason
+                  (if rest = [] then "no shard left"
+                   else "failing over to the successor shard"));
+            if rest <> [] then begin
+              Metrics.incr t.failovers;
+              if Tracer.enabled () then
+                Tracer.instant "router.failover"
+                  ~args:
+                    [ ("key", Tracer.Str key_hex); ("from", Tracer.Str addr) ]
+            end;
+            go (attempts + 1) rest)
+  in
+  let run () = go 0 (Registry.candidates t.registry key) in
+  if Tracer.enabled () then
+    Tracer.with_span "router.route"
+      ~args:[ ("key", Tracer.Str key_hex) ]
+      run
+  else run ()
+
+let error_completion msg =
+  { Job.result = Error msg; cached = false; latency_ms = 0. }
+
+let completion_of_reply = function
+  | Protocol.Completed c -> c
+  | Protocol.Error msg -> error_completion msg
+  | _ -> error_completion "cluster: unexpected reply kind"
+
+(* A batch splits by ring owner into per-backend sub-batches forwarded
+   concurrently (that concurrency is where the cluster's throughput
+   comes from: one client connection's batch fans out over every
+   shard's worker pool at once).  A sub-batch whose backend fails falls
+   back to job-by-job routing, which brings failover with it. *)
+let route_batch t jobs =
+  let arr = Array.of_list jobs in
+  let results = Array.map (fun _ -> error_completion "unrouted") arr in
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i job ->
+      let owner =
+        match Registry.candidates t.registry (Job.key job) with
+        | addr :: _ -> addr
+        | [] -> ""
+      in
+      Hashtbl.replace groups owner
+        (i :: (try Hashtbl.find groups owner with Not_found -> [])))
+    arr;
+  let run_group owner indices =
+    let indices = List.rev indices in
+    let sub = List.map (fun i -> arr.(i)) indices in
+    let fallback () =
+      List.iter
+        (fun i -> results.(i) <- completion_of_reply (route_job t arr.(i)))
+        indices
+    in
+    if owner = "" then fallback ()
+    else
+      match forward t owner (Protocol.Batch sub) with
+      | Protocol.Batch_completed cs when List.length cs = List.length indices
+        ->
+          Registry.mark_success t.registry owner;
+          Metrics.add t.routed (List.length indices);
+          (match shard_index t owner with
+          | Some s -> Metrics.add t.shard_routed.(s) (List.length indices)
+          | None -> ());
+          List.iter2 (fun i c -> results.(i) <- c) indices cs
+      | _ | (exception _) ->
+          Registry.mark_failure t.registry owner;
+          fallback ()
+  in
+  let threads =
+    Hashtbl.fold
+      (fun owner indices acc ->
+        Thread.create (fun () -> run_group owner indices) () :: acc)
+      groups []
+  in
+  List.iter Thread.join threads;
+  Protocol.Batch_completed (Array.to_list results)
+
+(* Fan [Stats] out to every configured backend (down ones included — a
+   healed backend that the prober has not revisited yet still reports,
+   and the success re-admits it). *)
+let fan_stats t =
+  Array.to_list t.backends
+  |> List.filter_map (fun addr ->
+         match forward t addr Protocol.Stats with
+         | Protocol.Stats_snapshot s ->
+             Registry.mark_success t.registry addr;
+             Some (addr, s)
+         | _ ->
+             Registry.mark_failure t.registry addr;
+             None
+         | exception _ ->
+             Registry.mark_failure t.registry addr;
+             None)
+
+let merged_stats t =
+  match fan_stats t with
+  | [] -> Protocol.Error "cluster: no backend reachable for stats"
+  | reports ->
+      Protocol.Stats_snapshot (Telemetry.merge (List.map snd reports))
+
+(* The cluster exposition: router registry (global and per-shard
+   counters), shard index -> address mapping as comments, then the
+   merged backend snapshot under ssg_cluster_*. *)
+let metrics_text t =
+  let reports = fan_stats t in
+  let reported addr = List.mem_assoc addr reports in
+  Array.iteri
+    (fun i addr ->
+      Metrics.set_gauge t.shard_up.(i)
+        (if Registry.is_up t.registry addr then 1. else 0.);
+      Metrics.set_gauge t.shard_reporting.(i) (if reported addr then 1. else 0.))
+    t.backends;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "# ssg cluster: %d backend(s), %d up, %d reporting\n"
+       (Array.length t.backends)
+       (List.length (Registry.up t.registry))
+       (List.length reports));
+  Array.iteri
+    (fun i addr -> Buffer.add_string buf (Printf.sprintf "# shard %d = %s\n" i addr))
+    t.backends;
+  Buffer.add_string buf (Metrics.to_prometheus t.metrics);
+  (match reports with
+  | [] -> ()
+  | _ ->
+      Buffer.add_string buf
+        (Telemetry.prometheus_of_snapshot ~prefix:"ssg_cluster_"
+           (Telemetry.merge (List.map snd reports))));
+  Buffer.contents buf
+
+let create ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
+    ?(request_timeout_s = 30.) backends =
+  if request_timeout_s <= 0. then
+    invalid_arg "Router: request_timeout_s must be > 0";
+  let metrics = Metrics.create () in
+  let counter name help = Metrics.counter metrics ~help name in
+  let markdowns =
+    counter "ssg_router_markdowns_total"
+      "Backends taken out of the ring after consecutive failures"
+  in
+  let readmissions =
+    counter "ssg_router_readmissions_total"
+      "Down backends re-admitted after a healthy exchange"
+  in
+  let on_transition _addr up =
+    Metrics.incr (if up then readmissions else markdowns)
+  in
+  let registry =
+    Registry.create ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
+      ~on_transition backends
+  in
+  let addrs = Array.of_list (Registry.backends registry) in
+  {
+    registry;
+    request_timeout_s;
+    backends = addrs;
+    metrics;
+    routed =
+      counter "ssg_router_jobs_routed_total"
+        "Jobs forwarded to a backend and answered";
+    failovers =
+      counter "ssg_router_failovers_total"
+        "Jobs retried on a successor shard after their owner failed";
+    exhausted =
+      counter "ssg_router_jobs_failed_total"
+        "Jobs answered with an error after every candidate shard failed";
+    markdowns;
+    readmissions;
+    shard_routed =
+      Array.mapi
+        (fun i _ ->
+          counter
+            (Printf.sprintf "ssg_router_shard%d_routed_total" i)
+            "Jobs routed to this shard")
+        addrs;
+    shard_up =
+      Array.mapi
+        (fun i _ ->
+          Metrics.gauge metrics
+            ~help:"1 when this shard is in the ring"
+            (Printf.sprintf "ssg_router_shard%d_up" i))
+        addrs;
+    shard_reporting =
+      Array.mapi
+        (fun i _ ->
+          Metrics.gauge metrics
+            ~help:"1 when this shard answered the last stats fan-out"
+            (Printf.sprintf "ssg_router_shard%d_reporting" i))
+        addrs;
+  }
+
+(* ---------------- the front-end socket server ---------------- *)
+
+let send fd reply = Protocol.write_reply_fd fd (reply : Protocol.reply)
+
+let handle_connection t ~stop ~wake ~active fd =
+  let reject msg =
+    Log.warn (fun m -> m "dropping connection: %s" msg);
+    try send fd (Protocol.Error msg) with _ -> ()
+  in
+  let rec loop () =
+    match Protocol.read_frame_fd fd with
+    | exception End_of_file -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Log.info (fun m -> m "reaping stalled connection")
+    | exception Unix.Unix_error _ -> ()
+    | exception Failure msg -> reject msg
+    | frame -> (
+        match Protocol.request_of_bytes frame with
+        | exception Failure msg -> reject msg
+        | request ->
+            let continue =
+              try
+                match request with
+                | Protocol.Submit job ->
+                    send fd (route_job t job);
+                    true
+                | Protocol.Batch jobs ->
+                    send fd (route_batch t jobs);
+                    true
+                | Protocol.Stats ->
+                    send fd (merged_stats t);
+                    true
+                | Protocol.Metrics ->
+                    send fd (Protocol.Metrics_text (metrics_text t));
+                    true
+                | Protocol.Trace ->
+                    send fd (Protocol.Trace_events (Tracer.events ()));
+                    true
+                | Protocol.Shutdown ->
+                    Log.info (fun m -> m "router shutdown requested");
+                    Atomic.set stop true;
+                    wake ();
+                    send fd Protocol.Shutting_down;
+                    false
+              with
+              | Sys_error _ | Unix.Unix_error _ -> false
+              | e ->
+                  let msg = Printexc.to_string e in
+                  Log.warn (fun m -> m "router handler error: %s" msg);
+                  (try send fd (Protocol.Error msg) with _ -> ());
+                  false
+            in
+            if continue then loop ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr active;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try loop ()
+      with e ->
+        Log.err (fun m ->
+            m "router connection thread escaped: %s" (Printexc.to_string e)))
+
+let serve ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
+    ?request_timeout_s ?(max_connections = 256) ?(read_timeout_s = 30.)
+    ?(drain_timeout_s = 5.) ?(trace = false) ~backends ~socket () =
+  if max_connections < 1 then
+    invalid_arg "Router.serve: max_connections must be >= 1";
+  if List.mem socket backends then
+    invalid_arg "Router.serve: the router socket cannot be its own backend";
+  if trace then begin
+    Tracer.reset ();
+    Tracer.set_enabled true
+  end;
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ | Sys_error _ -> ());
+  let t =
+    create ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
+      ?request_timeout_s backends
+  in
+  prepare_address socket;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 64;
+  Registry.start t.registry;
+  let stop = Atomic.make false in
+  let active = Atomic.make 0 in
+  let wake () = poke socket in
+  Log.app (fun m ->
+      m "ssg router listening on %s, fronting %d backend(s)" socket
+        (Array.length t.backends));
+  let rec accept_loop () =
+    if not (Atomic.get stop) then begin
+      (match Unix.accept listen_fd with
+      | client_fd, _ ->
+          if Atomic.get stop then (try Unix.close client_fd with _ -> ())
+          else if Atomic.get active >= max_connections then begin
+            (try
+               Protocol.write_reply_fd client_fd
+                 (Protocol.Error "router at connection limit")
+             with _ -> ());
+            try Unix.close client_fd with _ -> ()
+          end
+          else begin
+            Atomic.incr active;
+            if read_timeout_s > 0. then
+              (try
+                 Unix.setsockopt_float client_fd Unix.SO_RCVTIMEO
+                   read_timeout_s
+               with Unix.Unix_error _ -> ());
+            ignore
+              (Thread.create (handle_connection t ~stop ~wake ~active) client_fd)
+          end
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+          ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  let deadline = Unix.gettimeofday () +. drain_timeout_s in
+  while Atomic.get active > 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  if Atomic.get active > 0 then
+    Log.warn (fun m ->
+        m "drain timeout: abandoning %d connection(s)" (Atomic.get active));
+  Registry.stop t.registry;
+  (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());
+  Log.app (fun m -> m "ssg router stopped")

@@ -1,0 +1,63 @@
+(** The cluster front end: one socket speaking the unmodified
+    {!Ssg_engine.Protocol}, fronting N independent [ssgd] workers.
+
+    Placement: every [Submit] is routed to the {!Ring} owner of its
+    job's canonical cache key, so a given simulation always lands on
+    the same worker and that worker's LRU cache and in-flight dedup
+    keep their hit rates — the cluster behaves like one big cache
+    sharded by key.  A [Batch] is split by owner, forwarded to each
+    backend as a sub-batch concurrently, and reassembled in submission
+    order.
+
+    Failover: when the owner cannot serve — connect refused, reply
+    deadline exceeded, undecodable reply, died mid-exchange — the job
+    is retried on the next shard in ring order ({!Ring.successors}),
+    the failure is reported to the {!Registry} (so [down_after]
+    consecutive failures take the shard out of the ring until a probe
+    or forward succeeds again), and the router's failover counter
+    moves.  A backend's {e protocol-level} [Error] reply (a lint
+    rejection, say) is relayed verbatim with no failover: it is the
+    job's fault and would fail identically on every shard.
+
+    Fan-out ops: [Stats] queries every reachable backend and replies
+    with the {!Ssg_engine.Telemetry.merge} of their snapshots;
+    [Metrics] replies with a cluster exposition — the router's own
+    registry (routed / failed-over / markdown counters, per-shard
+    [ssg_router_shard<i>_*] series) followed by the merged snapshot
+    under [ssg_cluster_*]; [Trace] drains the router's own tracer
+    rings ([router.route] spans, [router.failover] instants);
+    [Shutdown] stops the router (never the workers).
+
+    Chaos contract (tested): with 3 workers and one being killed and
+    healed mid-burst, a 200-job burst completes with zero
+    client-visible errors and a positive failover count. *)
+
+(** [serve ~backends ~socket ()] binds [socket], starts the
+    {!Registry} prober over [backends], and blocks until a client
+    sends [Shutdown].  The socket file is removed on exit.
+
+    - [vnodes], [down_after], [probe_interval_s], [probe_timeout_s]
+      are handed to {!Registry.create};
+    - [request_timeout_s] (default 30) bounds one forwarded exchange
+      — it is the reply deadline on the backend connection, so a mute
+      (blackholed) backend turns into a failover, not a hang;
+    - [max_connections], [read_timeout_s], [drain_timeout_s] guard the
+      front socket exactly like {!Ssg_engine.Server.serve};
+    - [trace] enables the process tracer and resets it first.
+    @raise Invalid_argument on an empty backend list or non-positive
+    limits, [Unix.Unix_error EADDRINUSE] when a live router already
+    owns [socket]. *)
+val serve :
+  ?vnodes:int ->
+  ?down_after:int ->
+  ?probe_interval_s:float ->
+  ?probe_timeout_s:float ->
+  ?request_timeout_s:float ->
+  ?max_connections:int ->
+  ?read_timeout_s:float ->
+  ?drain_timeout_s:float ->
+  ?trace:bool ->
+  backends:string list ->
+  socket:string ->
+  unit ->
+  unit

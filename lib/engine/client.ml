@@ -4,37 +4,91 @@ let retriable = function
   | Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR -> true
   | _ -> false
 
-let connect ?(retries = 3) ?(retry_backoff_s = 0.05) ?deadline_s ~socket () =
-  if retries < 0 then invalid_arg "Client.connect: retries must be >= 0";
-  (match deadline_s with
-  | Some d when d <= 0. ->
-      invalid_arg "Client.connect: deadline_s must be > 0"
-  | _ -> ());
-  let attempt () =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    try
-      Unix.connect fd (Unix.ADDR_UNIX socket);
-      fd
-    with e ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      raise e
+(* Full jitter on the bounded exponential backoff: each retry sleeps a
+   uniform draw from (0, backoff] rather than backoff itself.  With a
+   deterministic schedule, every client that lost its server at the same
+   instant retries at the same instants too, and a worker restart is
+   greeted by a thundering herd of synchronized reconnects; the jitter
+   de-correlates them.  The state is per call (created lazily, only if a
+   retry actually happens), so concurrent connects never share it. *)
+let jittered rng backoff =
+  let rng =
+    match !rng with
+    | Some r -> r
+    | None ->
+        let r = Random.State.make_self_init () in
+        rng := Some r;
+        r
   in
-  (* Bounded exponential backoff: a daemon that is still binding (or
-     briefly over its connection limit) costs a few retries, not a
-     client-side crash. *)
-  let rec go left backoff =
-    match attempt () with
-    | fd -> fd
-    | exception Unix.Unix_error (err, _, _) when left > 0 && retriable err ->
-        Thread.delay backoff;
-        go (left - 1) (backoff *. 2.)
-  in
-  let fd = go retries retry_backoff_s in
-  (match deadline_s with
+  Float.max 1e-4 (Random.State.float rng backoff)
+
+let attempt_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let arm_deadline fd deadline_s =
+  match deadline_s with
   | Some d -> (
       try Unix.setsockopt_float fd Unix.SO_RCVTIMEO d
       with Unix.Unix_error _ -> ())
-  | None -> ());
+  | None -> ()
+
+let check_params ~who retries deadline_s =
+  if retries < 0 then invalid_arg ("Client." ^ who ^ ": retries must be >= 0");
+  match deadline_s with
+  | Some d when d <= 0. ->
+      invalid_arg ("Client." ^ who ^ ": deadline_s must be > 0")
+  | _ -> ()
+
+let connect ?(retries = 3) ?(retry_backoff_s = 0.05) ?deadline_s ~socket () =
+  check_params ~who:"connect" retries deadline_s;
+  (* Bounded exponential backoff: a daemon that is still binding (or
+     briefly over its connection limit) costs a few retries, not a
+     client-side crash. *)
+  let rng = ref None in
+  let rec go left backoff =
+    match attempt_connect socket with
+    | fd -> fd
+    | exception Unix.Unix_error (err, _, _) when left > 0 && retriable err ->
+        Thread.delay (jittered rng backoff);
+        go (left - 1) (backoff *. 2.)
+  in
+  let fd = go retries retry_backoff_s in
+  arm_deadline fd deadline_s;
+  { fd; deadline_s }
+
+let connect_any ?(retries = 3) ?(retry_backoff_s = 0.05) ?deadline_s ~sockets
+    () =
+  if sockets = [] then invalid_arg "Client.connect_any: no sockets";
+  check_params ~who:"connect_any" retries deadline_s;
+  let rng = ref None in
+  (* Each pass tries every address once, in the order given; passes are
+     separated by the same jittered exponential backoff as [connect]. *)
+  let rec pass left backoff =
+    let rec try_addrs last = function
+      | [] -> Error last
+      | socket :: rest -> (
+          match attempt_connect socket with
+          | fd -> Ok fd
+          | exception (Unix.Unix_error (err, _, _) as e) when retriable err ->
+              try_addrs e rest)
+    in
+    match try_addrs Stdlib.Exit sockets with
+    | Ok fd -> fd
+    | Error last ->
+        if left = 0 then raise last
+        else begin
+          Thread.delay (jittered rng backoff);
+          pass (left - 1) (backoff *. 2.)
+        end
+  in
+  let fd = pass retries retry_backoff_s in
+  arm_deadline fd deadline_s;
   { fd; deadline_s }
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()

@@ -9,9 +9,13 @@
 type t
 
 (** [connect ~socket ()] — with bounded exponential-backoff retry:
-    [retries] (default 3) extra attempts, sleeping [retry_backoff_s]
-    (default 0.05 s, doubling) between them, retried only on transient
-    errors ([ECONNREFUSED], [ENOENT], [EAGAIN], [EINTR]).
+    [retries] (default 3) extra attempts, with {e full jitter} — each
+    retry sleeps a uniform draw from (0, backoff] where backoff starts
+    at [retry_backoff_s] (default 0.05 s) and doubles — retried only on
+    transient errors ([ECONNREFUSED], [ENOENT], [EAGAIN], [EINTR]).
+    The jitter de-correlates the reconnect times of clients that all
+    lost the same server at once, so a restarted worker is not greeted
+    by a thundering herd.
 
     [deadline_s] arms a per-reply deadline ([SO_RCVTIMEO]): an rpc whose
     reply does not arrive in time raises [Failure] instead of blocking
@@ -27,7 +31,30 @@ val connect :
   unit ->
   t
 
+(** [connect_any ~sockets ()] — multi-address failover: one pass tries
+    every address in order, and up to [retries] further passes follow,
+    separated by the same jittered doubling backoff as {!connect}.  The
+    first address that accepts wins, so listing a cluster's router
+    first and its workers after it degrades gracefully when the router
+    is down.
+    @raise Unix.Unix_error (the last attempt's) when no address
+    accepted, [Invalid_argument] on an empty list or bad parameters. *)
+val connect_any :
+  ?retries:int ->
+  ?retry_backoff_s:float ->
+  ?deadline_s:float ->
+  sockets:string list ->
+  unit ->
+  t
+
 val close : t -> unit
+
+(** [rpc c request] — one raw request/reply exchange, no reply-shape
+    checking: what the cluster router uses to forward a client's
+    request verbatim and relay whatever the backend answered.
+    @raise Failure on an exceeded deadline or an undecodable reply,
+    [End_of_file] / [Unix.Unix_error] when the peer dies mid-exchange. *)
+val rpc : t -> Protocol.request -> Protocol.reply
 
 (** [submit c job] — the job's completion (cache-hit flag, latency, and
     the outcome or the execution error).

@@ -15,16 +15,25 @@ type t = {
   slow_s : float;
   corrupt : rule option;
   truncate : rule option;
+  blackhole : rule option;
 }
 
 let off =
-  { crash = None; slow = None; slow_s = 0.; corrupt = None; truncate = None }
+  {
+    crash = None;
+    slow = None;
+    slow_s = 0.;
+    corrupt = None;
+    truncate = None;
+    blackhole = None;
+  }
 
 let is_off t =
   t.crash = None && t.slow = None && t.corrupt = None && t.truncate = None
+  && t.blackhole = None
 
 let create ?crash_every ?slow_every ?(slow_s = 0.05) ?corrupt_every
-    ?truncate_every () =
+    ?truncate_every ?blackhole_every () =
   let period what = function
     | None -> None
     | Some n when n < 1 ->
@@ -38,6 +47,7 @@ let create ?crash_every ?slow_every ?(slow_s = 0.05) ?corrupt_every
     slow_s;
     corrupt = period "corrupt_every" corrupt_every;
     truncate = period "truncate_every" truncate_every;
+    blackhole = period "blackhole_every" blackhole_every;
   }
 
 let of_spec s =
@@ -47,7 +57,7 @@ let of_spec s =
     let parse_item acc item =
       match acc with
       | Error _ as e -> e
-      | Ok (crash, slow, slow_s, corrupt, truncate) -> (
+      | Ok (crash, slow, slow_s, corrupt, truncate, blackhole) -> (
           let bad () = Error (Printf.sprintf "bad fault item %S" item) in
           match String.split_on_char ':' (String.trim item) with
           | [ kind; arg ] -> (
@@ -59,41 +69,63 @@ let of_spec s =
               match String.lowercase_ascii (String.trim kind) with
               | "crash" -> (
                   match period arg with
-                  | Some n -> Ok (Some n, slow, slow_s, corrupt, truncate)
+                  | Some n ->
+                      Ok (Some n, slow, slow_s, corrupt, truncate, blackhole)
                   | None -> bad ())
               | "slow" -> (
                   match String.split_on_char '@' arg with
                   | [ p ] -> (
                       match period p with
-                      | Some n -> Ok (crash, Some n, slow_s, corrupt, truncate)
+                      | Some n ->
+                          Ok
+                            (crash, Some n, slow_s, corrupt, truncate, blackhole)
                       | None -> bad ())
                   | [ p; ms ] -> (
                       match (period p, float_of_string_opt (String.trim ms)) with
                       | Some n, Some ms when ms >= 0. ->
-                          Ok (crash, Some n, ms /. 1000., corrupt, truncate)
+                          Ok
+                            ( crash,
+                              Some n,
+                              ms /. 1000.,
+                              corrupt,
+                              truncate,
+                              blackhole )
                       | _ -> bad ())
                   | _ -> bad ())
               | "corrupt" -> (
                   match period arg with
-                  | Some n -> Ok (crash, slow, slow_s, Some n, truncate)
+                  | Some n ->
+                      Ok (crash, slow, slow_s, Some n, truncate, blackhole)
                   | None -> bad ())
               | "truncate" -> (
                   match period arg with
-                  | Some n -> Ok (crash, slow, slow_s, corrupt, Some n)
+                  | Some n ->
+                      Ok (crash, slow, slow_s, corrupt, Some n, blackhole)
+                  | None -> bad ())
+              | "blackhole" | "partition" -> (
+                  match period arg with
+                  | Some n ->
+                      Ok (crash, slow, slow_s, corrupt, truncate, Some n)
                   | None -> bad ())
               | _ -> bad ())
           | _ -> bad ())
     in
     match
       List.fold_left parse_item
-        (Ok (None, None, 0.05, None, None))
+        (Ok (None, None, 0.05, None, None, None))
         (String.split_on_char ',' s)
     with
     | Error _ as e -> e
-    | Ok (crash_every, slow_every, slow_s, corrupt_every, truncate_every) ->
+    | Ok
+        ( crash_every,
+          slow_every,
+          slow_s,
+          corrupt_every,
+          truncate_every,
+          blackhole_every ) ->
         Ok
           (create ?crash_every ?slow_every ~slow_s ?corrupt_every
-             ?truncate_every ())
+             ?truncate_every ?blackhole_every ())
 
 let spec t =
   if is_off t then "off"
@@ -109,10 +141,11 @@ let spec t =
     in
     String.concat ","
       (item "crash" t.crash @ slow @ item "corrupt" t.corrupt
-      @ item "truncate" t.truncate)
+      @ item "truncate" t.truncate
+      @ item "blackhole" t.blackhole)
 
 type execute_fate = Run | Delay of float | Crash
-type reply_fate = Deliver | Corrupt | Truncate
+type reply_fate = Deliver | Corrupt | Truncate | Blackhole
 
 let on_execute t =
   if is_off t then Run
@@ -124,4 +157,5 @@ let on_reply t =
   if is_off t then Deliver
   else if fires t.truncate then Truncate
   else if fires t.corrupt then Corrupt
+  else if fires t.blackhole then Blackhole
   else Deliver

@@ -34,6 +34,12 @@ val is_off : t -> bool
     - [truncate_every]: every n-th reply frame is cut off mid-payload
       and the connection closed (the client must detect the mid-frame
       death, not hang).
+    - [blackhole_every]: every n-th reply frame is silently swallowed
+      — nothing is written, the connection stays open.  From outside
+      this is a network partition: the server looks reachable but goes
+      mute, so it exercises the client's reply deadline and the cluster
+      router's over-deadline failover rather than its connect-failure
+      path.
     @raise Invalid_argument if any period is [< 1] or [slow_s < 0.]. *)
 val create :
   ?crash_every:int ->
@@ -41,12 +47,14 @@ val create :
   ?slow_s:float ->
   ?corrupt_every:int ->
   ?truncate_every:int ->
+  ?blackhole_every:int ->
   unit ->
   t
 
 (** [of_spec s] parses the CLI syntax: a comma-separated list of
     [crash:N], [slow:N] or [slow:N@MS] (MS milliseconds), [corrupt:N],
-    [truncate:N]; ["off"] or the empty string is {!off}.
+    [truncate:N], [blackhole:N] (alias [partition:N]); ["off"] or the
+    empty string is {!off}.
     Example: ["crash:10,slow:5@20,truncate:13"]. *)
 val of_spec : string -> (t, string) result
 
@@ -59,7 +67,7 @@ val spec : t -> string
 
 type execute_fate = Run | Delay of float  (** seconds *) | Crash
 
-type reply_fate = Deliver | Corrupt | Truncate
+type reply_fate = Deliver | Corrupt | Truncate | Blackhole
 
 (** [on_execute t] — consulted by the engine immediately before
     [Job.execute]. *)

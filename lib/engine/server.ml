@@ -42,6 +42,12 @@ let send faults telemetry fd reply =
         Bytes.set mangled 0
           (Char.chr (Char.code (Bytes.get mangled 0) lxor 0xFF));
       Protocol.write_frame_fd fd mangled
+  | Faults.Blackhole ->
+      (* The partition plan: swallow the reply, keep the connection.
+         The peer sees a live socket that never answers — exactly what
+         a blackholed network path looks like — and must save itself
+         with its reply deadline. *)
+      Telemetry.record_injected telemetry
   | Faults.Truncate ->
       Telemetry.record_injected telemetry;
       (* Header promises the full frame; deliver only half of it. *)

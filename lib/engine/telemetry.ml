@@ -206,6 +206,75 @@ let snapshot t ~workers ~queue_depth ~queue_capacity ~cache_entries =
         exec_ms = summarize_ring t.exec_ring;
       })
 
+(* ---------------- cluster-wide merge ---------------- *)
+
+(* Exact for everything additive; documented approximation for the
+   latency summaries, whose percentiles cannot be recovered from
+   per-shard percentiles: the merged summary pools mean and variance
+   exactly (via E[x] and E[x^2]) and count-weights the percentiles,
+   which is the standard scrape-side compromise. *)
+let merge_summary (a : Stats.summary) (b : Stats.summary) : Stats.summary =
+  let ca = float_of_int a.Stats.count and cb = float_of_int b.Stats.count in
+  let w x y = ((ca *. x) +. (cb *. y)) /. (ca +. cb) in
+  let mean = w a.Stats.mean b.Stats.mean in
+  let second_moment (s : Stats.summary) =
+    (s.Stats.stddev *. s.Stats.stddev) +. (s.Stats.mean *. s.Stats.mean)
+  in
+  {
+    Stats.count = a.Stats.count + b.Stats.count;
+    mean;
+    stddev =
+      sqrt
+        (Float.max 0.
+           (w (second_moment a) (second_moment b) -. (mean *. mean)));
+    min = Float.min a.Stats.min b.Stats.min;
+    max = Float.max a.Stats.max b.Stats.max;
+    p50 = w a.Stats.p50 b.Stats.p50;
+    p95 = w a.Stats.p95 b.Stats.p95;
+    p99 = w a.Stats.p99 b.Stats.p99;
+  }
+
+let merge_summary_opt a b =
+  match (a, b) with
+  | None, s | s, None -> s
+  | Some a, Some b ->
+      if a.Stats.count = 0 then Some b
+      else if b.Stats.count = 0 then Some a
+      else Some (merge_summary a b)
+
+let merge = function
+  | [] -> invalid_arg "Telemetry.merge: empty snapshot list"
+  | first :: rest ->
+      let merge2 a b =
+        {
+          uptime_s = Float.max a.uptime_s b.uptime_s;
+          workers = a.workers + b.workers;
+          queue_depth = a.queue_depth + b.queue_depth;
+          queue_capacity = a.queue_capacity + b.queue_capacity;
+          jobs_submitted = a.jobs_submitted + b.jobs_submitted;
+          jobs_completed = a.jobs_completed + b.jobs_completed;
+          jobs_failed = a.jobs_failed + b.jobs_failed;
+          jobs_rejected_lint = a.jobs_rejected_lint + b.jobs_rejected_lint;
+          cache_hits = a.cache_hits + b.cache_hits;
+          cache_misses = a.cache_misses + b.cache_misses;
+          dedup_joins = a.dedup_joins + b.dedup_joins;
+          cache_entries = a.cache_entries + b.cache_entries;
+          throughput_jps = a.throughput_jps +. b.throughput_jps;
+          lifetime_jps = a.lifetime_jps +. b.lifetime_jps;
+          recent_window_s = Float.max a.recent_window_s b.recent_window_s;
+          rejected_frames = a.rejected_frames + b.rejected_frames;
+          timed_out_connections =
+            a.timed_out_connections + b.timed_out_connections;
+          connections_rejected =
+            a.connections_rejected + b.connections_rejected;
+          faults_injected = a.faults_injected + b.faults_injected;
+          latency_ms = merge_summary_opt a.latency_ms b.latency_ms;
+          queue_wait_ms = merge_summary_opt a.queue_wait_ms b.queue_wait_ms;
+          exec_ms = merge_summary_opt a.exec_ms b.exec_ms;
+        }
+      in
+      List.fold_left merge2 first rest
+
 (* ---------------- snapshot serialization ---------------- *)
 
 type field =
@@ -266,29 +335,37 @@ let json_of_snapshot s =
             | F_summary (name, v) -> (name, summary_json v))
           (fields s)))
 
-let prometheus t s =
-  let buf = Buffer.create 2048 in
+let render_prometheus buf ~prefix s =
   List.iter
     (function
       | F_count (name, v) ->
-          Metrics.prom_scalar buf ~kind:`Counter ("ssgd_" ^ name)
+          Metrics.prom_scalar buf ~kind:`Counter (prefix ^ name)
             (float_of_int v)
       | F_gauge_i (name, v) ->
-          Metrics.prom_scalar buf ~kind:`Gauge ("ssgd_" ^ name)
+          Metrics.prom_scalar buf ~kind:`Gauge (prefix ^ name)
             (float_of_int v)
       | F_gauge_f (name, v) ->
-          Metrics.prom_scalar buf ~kind:`Gauge ("ssgd_" ^ name) v
+          Metrics.prom_scalar buf ~kind:`Gauge (prefix ^ name) v
       | F_summary (name, v) -> (
           match v with
           | None -> ()
           | Some (l : Stats.summary) ->
-              Metrics.prom_summary buf ("ssgd_" ^ name) ~count:l.Stats.count
+              Metrics.prom_summary buf (prefix ^ name) ~count:l.Stats.count
                 ~sum:(l.Stats.mean *. float_of_int l.Stats.count)
                 ~quantiles:
                   [
                     (0.5, l.Stats.p50); (0.95, l.Stats.p95); (0.99, l.Stats.p99);
                   ]))
-    (fields s);
+    (fields s)
+
+let prometheus_of_snapshot ?(prefix = "ssgd_") s =
+  let buf = Buffer.create 2048 in
+  render_prometheus buf ~prefix s;
+  Buffer.contents buf
+
+let prometheus t s =
+  let buf = Buffer.create 2048 in
+  render_prometheus buf ~prefix:"ssgd_" s;
   (* The registry counters duplicate the snapshot's count fields under
      their *_total names; only the bucketed phase histograms add
      information the snapshot summaries cannot carry. *)

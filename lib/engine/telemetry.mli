@@ -123,6 +123,17 @@ val snapshot :
   cache_entries:int ->
   snapshot
 
+(** [merge snapshots] — one cluster-wide snapshot from per-backend
+    ones (what the router's [stats] fan-out replies with).  Counters,
+    gauges and throughputs add; [uptime_s] and [recent_window_s] take
+    the max.  The latency summaries merge exactly in count, mean,
+    stddev (pooled via second moments), min and max; their percentiles
+    are {e count-weighted averages} of the per-shard percentiles — an
+    approximation, since true cluster percentiles are not recoverable
+    from per-shard summaries.
+    @raise Invalid_argument on the empty list. *)
+val merge : snapshot list -> snapshot
+
 (** A snapshot flattened to named fields — the one serializer both the
     JSON and the Prometheus renderings are derived from, so the two
     cannot drift apart (and tests can assert coverage field by
@@ -147,6 +158,13 @@ val json_of_snapshot : snapshot -> string
     histograms.  The registry's counters are skipped — they are the same
     numbers the snapshot already carries. *)
 val prometheus : t -> snapshot -> string
+
+(** [prometheus_of_snapshot ?prefix s] — the snapshot-only part of
+    {!prometheus} (no registry histograms), with every metric name
+    under [prefix] (default ["ssgd_"]).  The router renders its merged
+    cluster snapshot with [~prefix:"ssg_cluster_"] so a cluster scrape
+    and a per-worker scrape cannot collide. *)
+val prometheus_of_snapshot : ?prefix:string -> snapshot -> string
 
 (** Human-readable multi-line rendering (the [ssg stats] output). *)
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -34,4 +34,5 @@ let () =
       ("obs", Test_obs.tests);
       ("engine", Test_engine.tests);
       ("faults", Test_faults.tests);
+      ("cluster", Test_cluster.tests);
     ]

@@ -1,0 +1,524 @@
+(* Cluster suite: the consistent-hash ring (unit + property tests for
+   the balance and monotonicity claims), the health registry's
+   mark-down/re-admission state machine against live and dead servers,
+   multi-address client failover, the blackhole fault plan, and the
+   router end to end — including the acceptance chaos run: 3 workers,
+   one killed and healed mid-burst, 200 jobs, zero client-visible
+   errors, failovers observed. *)
+
+open Ssg_adversary
+open Ssg_util
+open Ssg_engine
+open Ssg_cluster
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---------------- harness ---------------- *)
+
+let socket_counter = ref 0
+
+let fresh_socket () =
+  incr socket_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ssg-cluster-%d-%d.sock" (Unix.getpid ()) !socket_counter)
+
+let wait_connect ?(deadline_s = 10.) socket =
+  let rec go tries =
+    if tries = 0 then Alcotest.fail "service did not come up";
+    match Client.connect ~retries:0 ~socket ~deadline_s () with
+    | c -> c
+    | exception Unix.Unix_error _ ->
+        Thread.delay 0.05;
+        go (tries - 1)
+  in
+  go 100
+
+(* One backend worker on a fresh socket; returns (socket, thread). *)
+let start_worker ?(workers = 1) ?faults ?socket () =
+  let socket = match socket with Some s -> s | None -> fresh_socket () in
+  if Sys.file_exists socket then Sys.remove socket;
+  let thread =
+    Thread.create
+      (fun () ->
+        Server.serve ~workers ~queue_capacity:32 ~cache_capacity:64
+          ~drain_timeout_s:5. ?faults ~socket ())
+      ()
+  in
+  let c = wait_connect socket in
+  Client.close c;
+  (socket, thread)
+
+let stop_worker socket thread =
+  let c = wait_connect socket in
+  Client.shutdown c;
+  Client.close c;
+  Thread.join thread
+
+let start_router ?vnodes ?(down_after = 2) ?(probe_interval_s = 0.05)
+    ?(probe_timeout_s = 2.) ?(request_timeout_s = 5.) ~backends () =
+  let socket = fresh_socket () in
+  if Sys.file_exists socket then Sys.remove socket;
+  let thread =
+    Thread.create
+      (fun () ->
+        Router.serve ?vnodes ~down_after ~probe_interval_s ~probe_timeout_s
+          ~request_timeout_s ~drain_timeout_s:5. ~backends ~socket ())
+      ()
+  in
+  let c = wait_connect socket in
+  Client.close c;
+  (socket, thread)
+
+let stop_router socket thread =
+  let c = wait_connect socket in
+  Client.shutdown c;
+  Client.close c;
+  Thread.join thread
+
+let sample_adv ?(seed = 11) ?(n = 6) () =
+  Build.block_sources (Rng.of_int seed) ~n ~k:2 ~prefix_len:1 ()
+
+let sample_job ?seed ?n () = Job.make ~k:2 (sample_adv ?seed ?n ())
+
+(* Pull one counter's value out of a Prometheus text exposition. *)
+let prom_counter text name =
+  String.split_on_char '\n' text
+  |> List.find_map (fun line ->
+         match String.index_opt line ' ' with
+         | Some i when String.sub line 0 i = name ->
+             int_of_string_opt
+               (String.trim (String.sub line i (String.length line - i)))
+         | _ -> None)
+
+(* ---------------- ring: unit ---------------- *)
+
+let test_ring_basics () =
+  let members = [ "/a.sock"; "/b.sock"; "/c.sock" ] in
+  let ring = Ring.create members in
+  check_int "members sorted, distinct" 3 (List.length (Ring.members ring));
+  check "dup collapsed" true
+    (Ring.members (Ring.create [ "/a"; "/a"; "/b" ]) = [ "/a"; "/b" ]);
+  check "empty ring has no owner" true (Ring.owner (Ring.create []) "k" = None);
+  check "empty successors" true (Ring.successors (Ring.create []) "k" = []);
+  (* Determinism: the same configuration always agrees on placement. *)
+  let ring' = Ring.create (List.rev members) in
+  for i = 0 to 99 do
+    let key = Printf.sprintf "key-%d" i in
+    check "placement deterministic" true (Ring.owner ring key = Ring.owner ring' key)
+  done;
+  (match Ring.create ~vnodes:1 members with
+  | _ -> ()
+  | exception Invalid_argument _ -> Alcotest.fail "vnodes=1 is legal");
+  match Ring.create ~vnodes:0 members with
+  | _ -> Alcotest.fail "vnodes=0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_ring_successors () =
+  let members = List.init 5 (fun i -> Printf.sprintf "/w%d.sock" i) in
+  let ring = Ring.create members in
+  for i = 0 to 49 do
+    let key = Printf.sprintf "key-%d" i in
+    let succ = Ring.successors ring key in
+    check_int "successors cover every member" 5 (List.length succ);
+    check "head is the owner" true (Some (List.hd succ) = Ring.owner ring key);
+    check "successors distinct" true
+      (List.length (List.sort_uniq compare succ) = 5)
+  done
+
+let test_ring_add_remove_identity () =
+  let ring = Ring.create [ "/a"; "/b"; "/c" ] in
+  check "adding a present member is the identity" true
+    (Ring.members (Ring.add ring "/b") = Ring.members ring);
+  check "removing an absent member is the identity" true
+    (Ring.members (Ring.remove ring "/zzz") = Ring.members ring);
+  check "remove then add restores membership" true
+    (Ring.members (Ring.add (Ring.remove ring "/b") "/b") = Ring.members ring)
+
+(* ---------------- ring: properties ---------------- *)
+
+let gen_member_set =
+  QCheck2.Gen.(
+    pair (int_range 3 8) (int_bound 10_000) >|= fun (n, salt) ->
+    List.init n (fun i -> Printf.sprintf "/srv/ssgd-%d-%d.sock" salt i))
+
+(* Balance: with >= 64 vnodes, no member owns more than twice the
+   uniform share of a large key population. *)
+let prop_balanced =
+  QCheck2.Test.make ~count:30 ~name:"ring balance within 2x of uniform"
+    gen_member_set (fun members ->
+      let keys = 4000 in
+      let ring = Ring.create ~vnodes:128 members in
+      let counts = Hashtbl.create 8 in
+      for i = 0 to keys - 1 do
+        match Ring.owner ring (Printf.sprintf "job-key-%d" i) with
+        | Some m ->
+            Hashtbl.replace counts m
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts m))
+        | None -> failwith "non-empty ring returned no owner"
+      done;
+      let uniform = float_of_int keys /. float_of_int (List.length members) in
+      List.for_all
+        (fun m ->
+          float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts m))
+          <= 2. *. uniform)
+        members)
+
+(* Monotonicity: removing one member remaps only the keys it owned. *)
+let prop_remove_remaps_only_removed =
+  QCheck2.Test.make ~count:50
+    ~name:"removing a member remaps only its own keys"
+    QCheck2.Gen.(pair gen_member_set (int_bound 1_000_000))
+    (fun (members, pick) ->
+      let ring = Ring.create ~vnodes:64 members in
+      let removed = List.nth members (pick mod List.length members) in
+      let shrunk = Ring.remove ring removed in
+      let ok = ref true in
+      for i = 0 to 1999 do
+        let key = Printf.sprintf "stable-key-%d" i in
+        match Ring.owner ring key with
+        | Some m when m <> removed ->
+            if Ring.owner shrunk key <> Some m then ok := false
+        | Some _ ->
+            (* The removed member's keys must land on someone else. *)
+            if Ring.owner shrunk key = Some removed then ok := false
+        | None -> ok := false
+      done;
+      !ok)
+
+(* ---------------- registry ---------------- *)
+
+let test_registry_state_machine () =
+  let transitions = ref [] in
+  let r =
+    Registry.create ~down_after:3
+      ~on_transition:(fun addr up -> transitions := (addr, up) :: !transitions)
+      [ "/b.sock"; "/a.sock" ]
+  in
+  check "backends sorted" true (Registry.backends r = [ "/a.sock"; "/b.sock" ]);
+  check "all start up" true (Registry.up r = Registry.backends r);
+  Registry.mark_failure r "/a.sock";
+  Registry.mark_failure r "/a.sock";
+  check "below down_after still routed" true (Registry.is_up r "/a.sock");
+  check "probation recorded" true
+    (List.assoc "/a.sock" (Registry.health r) = Registry.Probation 2);
+  let gen_before = Registry.generation r in
+  Registry.mark_failure r "/a.sock";
+  check "down after consecutive failures" false (Registry.is_up r "/a.sock");
+  check "ring rebuilt on mark-down" true (Registry.generation r > gen_before);
+  check "ring excludes the down backend" true
+    (Ring.members (Registry.ring r) = [ "/b.sock" ]);
+  check "transition fired downward" true (!transitions = [ ("/a.sock", false) ]);
+  (* One success anywhere heals; the count resets fully. *)
+  Registry.mark_success r "/a.sock";
+  check "one success re-admits" true (Registry.is_up r "/a.sock");
+  check "transition fired upward" true
+    (List.hd !transitions = ("/a.sock", true));
+  Registry.mark_failure r "/a.sock";
+  check "failure count was reset by the success" true
+    (List.assoc "/a.sock" (Registry.health r) = Registry.Probation 1)
+
+let test_registry_candidates_when_all_down () =
+  let r = Registry.create ~down_after:1 [ "/a.sock"; "/b.sock" ] in
+  Registry.mark_failure r "/a.sock";
+  Registry.mark_failure r "/b.sock";
+  check "nothing up" true (Registry.up r = []);
+  (* Better to try a possibly-healed backend than fail without trying. *)
+  check "candidates fall back to the full list" true
+    (List.sort compare (Registry.candidates r "some-key")
+    = [ "/a.sock"; "/b.sock" ])
+
+let test_registry_probe_live_and_dead () =
+  let socket, thread = start_worker () in
+  let dead = fresh_socket () in
+  let r = Registry.create ~down_after:1 ~probe_timeout_s:2. [ socket; dead ] in
+  check "probing a live backend succeeds" true (Registry.probe r socket);
+  check "probing a dead backend fails" false (Registry.probe r dead);
+  check "live stays up" true (Registry.is_up r socket);
+  check "dead marked down" false (Registry.is_up r dead);
+  stop_worker socket thread
+
+let test_registry_prober_thread () =
+  let socket, thread = start_worker () in
+  let r =
+    Registry.create ~down_after:1 ~probe_interval_s:0.05 ~probe_timeout_s:2.
+      [ socket ]
+  in
+  (* Poison the state, then let the background prober heal it. *)
+  Registry.mark_failure r socket;
+  check "marked down" false (Registry.is_up r socket);
+  Registry.start r;
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "prober never re-admitted the backend";
+    if not (Registry.is_up r socket) then begin
+      Thread.delay 0.05;
+      wait (tries - 1)
+    end
+  in
+  wait 100;
+  Registry.stop r;
+  stop_worker socket thread
+
+(* ---------------- telemetry merge ---------------- *)
+
+let test_telemetry_merge () =
+  let engine = Engine.create ~workers:1 ~queue_capacity:8 ~cache_capacity:8 () in
+  List.iter
+    (fun seed -> ignore (Engine.run engine (sample_job ~seed ())))
+    [ 1; 2; 3 ];
+  let s = Engine.stats engine in
+  Engine.shutdown engine;
+  let m = Telemetry.merge [ s; s ] in
+  check_int "submitted sums" (2 * s.Telemetry.jobs_submitted)
+    m.Telemetry.jobs_submitted;
+  check_int "workers sum" (2 * s.Telemetry.workers) m.Telemetry.workers;
+  check "uptime is the max, not the sum" true
+    (m.Telemetry.uptime_s = s.Telemetry.uptime_s);
+  (match (s.Telemetry.latency_ms, m.Telemetry.latency_ms) with
+  | Some single, Some merged ->
+      check_int "latency samples pool" (2 * single.Stats.count) merged.Stats.count;
+      check "pooled mean is preserved" true
+        (Float.abs (merged.Stats.mean -. single.Stats.mean) < 1e-9);
+      check "min/max exact" true
+        (merged.Stats.min = single.Stats.min
+        && merged.Stats.max = single.Stats.max)
+  | _ -> Alcotest.fail "expected latency summaries");
+  match Telemetry.merge [] with
+  | _ -> Alcotest.fail "merging nothing must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------- client: multi-address failover ---------------- *)
+
+let test_connect_any_failover () =
+  let socket, thread = start_worker () in
+  let dead = fresh_socket () in
+  (* Dead address first: the client must move on to the live one. *)
+  let c = Client.connect_any ~retries:0 ~sockets:[ dead; socket ] () in
+  let completion = Client.submit c (sample_job ()) in
+  check "job served through the fallback address" true
+    (Result.is_ok completion.Job.result);
+  Client.close c;
+  (match Client.connect_any ~retries:0 ~sockets:[ dead ] () with
+  | c -> Client.close c; Alcotest.fail "connect to nothing must fail"
+  | exception Unix.Unix_error _ -> ());
+  (match Client.connect_any ~sockets:[] () with
+  | c -> Client.close c; Alcotest.fail "empty socket list must be rejected"
+  | exception Invalid_argument _ -> ());
+  stop_worker socket thread
+
+(* ---------------- blackhole fault plan ---------------- *)
+
+let test_blackhole_spec_roundtrip () =
+  (match Faults.of_spec "blackhole:3" with
+  | Ok f -> check "spec round-trips" true (Faults.spec f = "blackhole:3")
+  | Error e -> Alcotest.fail e);
+  match Faults.of_spec "partition:4" with
+  | Ok f -> check "partition is an alias" true (Faults.spec f = "blackhole:4")
+  | Error e -> Alcotest.fail e
+
+let test_blackhole_swallows_reply () =
+  (* Every reply swallowed: the server stays reachable but mute, so the
+     client's reply deadline is the only way out. *)
+  let faults = Faults.create ~blackhole_every:1 () in
+  let socket, thread = start_worker ~faults () in
+  let c = Client.connect ~retries:0 ~deadline_s:0.3 ~socket () in
+  (match Client.submit c (sample_job ()) with
+  | _ -> Alcotest.fail "a blackholed reply must not arrive"
+  | exception Failure msg ->
+      check "deadline names the timeout" true (contains msg "deadline")
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+  Client.close c;
+  (* The shutdown ack is also swallowed; shut down fd-level instead. *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  Protocol.write_request_fd fd Protocol.Shutdown;
+  Unix.close fd;
+  Thread.join thread
+
+(* ---------------- router: end to end ---------------- *)
+
+let test_router_routes_and_merges () =
+  let w1, t1 = start_worker () in
+  let w2, t2 = start_worker () in
+  let w3, t3 = start_worker () in
+  let backends = [ w1; w2; w3 ] in
+  let router, rt = start_router ~backends () in
+  let c = Client.connect ~socket:router ~deadline_s:10. () in
+  let jobs = List.init 24 (fun i -> sample_job ~seed:(1000 + i) ()) in
+  let completions = Client.submit_batch c jobs in
+  check_int "every job answered" 24 (List.length completions);
+  List.iter
+    (fun (completion : Job.completion) ->
+      check "job succeeded" true (Result.is_ok completion.Job.result))
+    completions;
+  (* Merged stats see the whole fleet. *)
+  let s = Client.stats c in
+  check_int "worker counts sum across shards" 3 s.Telemetry.workers;
+  check "all submissions accounted for" true (s.Telemetry.jobs_submitted >= 24);
+  (* The exposition names every shard and the merged cluster series. *)
+  let text = Client.metrics_text c in
+  List.iteri
+    (fun i addr ->
+      check "shard comment present" true
+        (contains text (Printf.sprintf "# shard %d = %s" i addr));
+      check "per-shard routed counter present" true
+        (contains text (Printf.sprintf "ssg_router_shard%d_routed_total" i)))
+    (List.sort compare backends);
+  check "merged snapshot under cluster prefix" true
+    (contains text "ssg_cluster_jobs_submitted");
+  (* Placement actually spread the keys over several shards. *)
+  let routed_shards =
+    List.filter
+      (fun i ->
+        match
+          prom_counter text (Printf.sprintf "ssg_router_shard%d_routed_total" i)
+        with
+        | Some v -> v > 0
+        | None -> false)
+      [ 0; 1; 2 ]
+  in
+  check "more than one shard saw traffic" true (List.length routed_shards >= 2);
+  Client.close c;
+  stop_router router rt;
+  stop_worker w1 t1;
+  stop_worker w2 t2;
+  stop_worker w3 t3
+
+let test_router_relays_job_errors_without_failover () =
+  let w1, t1 = start_worker () in
+  let w2, t2 = start_worker () in
+  let router, rt = start_router ~backends:[ w1; w2 ] () in
+  let c = Client.connect ~socket:router ~deadline_s:10. () in
+  (* k=1 is unsatisfiable for this run: the backend's lint front door
+     rejects it with a protocol Error.  Deterministic, so retrying on
+     another shard would only repeat it — the router must relay it. *)
+  let doomed = Job.make ~k:1 (sample_adv ()) in
+  (match Client.submit c doomed with
+  | _ -> Alcotest.fail "lint-rejected job must error"
+  | exception Failure msg -> check "lint error relayed" true (contains msg "SSG"));
+  let text = Client.metrics_text c in
+  check "no failover for a job-level error" true
+    (prom_counter text "ssg_router_failovers_total" = Some 0);
+  check "not counted as a routing failure" true
+    (prom_counter text "ssg_router_jobs_failed_total" = Some 0);
+  Client.close c;
+  stop_router router rt;
+  stop_worker w1 t1;
+  stop_worker w2 t2
+
+let test_router_exhaustion_is_an_error_reply () =
+  (* Both backends dead: the client still gets an answer, not a hang. *)
+  let w1, t1 = start_worker () in
+  let w2, t2 = start_worker () in
+  let router, rt =
+    start_router ~backends:[ w1; w2 ] ~probe_interval_s:10. ()
+  in
+  stop_worker w1 t1;
+  stop_worker w2 t2;
+  let c = Client.connect ~socket:router ~deadline_s:10. () in
+  (match Client.submit c (sample_job ()) with
+  | _ -> Alcotest.fail "no backend can serve: must error"
+  | exception Failure msg ->
+      check "exhaustion is explicit" true (contains msg "no live backend"));
+  let text = Client.metrics_text c in
+  check "exhaustion counted" true
+    (match prom_counter text "ssg_router_jobs_failed_total" with
+    | Some v -> v >= 1
+    | None -> false);
+  Client.close c;
+  stop_router router rt
+
+(* The acceptance chaos run: 3 workers behind the router, one worker
+   killed mid-burst and healed before the end, 200 distinct jobs from
+   concurrent clients — zero client-visible errors, failover observed. *)
+let test_router_chaos_kill_heal () =
+  let w1, t1 = start_worker () in
+  let w2, t2 = start_worker () in
+  let w3, t3 = start_worker () in
+  let router, rt = start_router ~backends:[ w1; w2; w3 ] () in
+  let errors = Atomic.make 0 and done_jobs = Atomic.make 0 in
+  let burst offset count =
+    let c = Client.connect ~socket:router ~deadline_s:30. () in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        for i = 0 to count - 1 do
+          (match Client.submit c (sample_job ~seed:(offset + i) ~n:6 ()) with
+          | completion ->
+              if Result.is_error completion.Job.result then Atomic.incr errors
+          | exception _ -> Atomic.incr errors);
+          Atomic.incr done_jobs
+        done)
+  in
+  let clients =
+    List.map
+      (fun w -> Thread.create (fun () -> burst (w * 1000) 50) ())
+      [ 1; 2; 3; 4 ]
+  in
+  (* Kill w2 once the burst is moving, heal it before the end. *)
+  let rec wait_progress () =
+    if Atomic.get done_jobs < 30 then begin
+      Thread.delay 0.01;
+      wait_progress ()
+    end
+  in
+  wait_progress ();
+  stop_worker w2 t2;
+  Thread.delay 0.3;
+  let _, healed_thread = start_worker ~socket:w2 () in
+  List.iter Thread.join clients;
+  check_int "all 200 jobs answered" 200 (Atomic.get done_jobs);
+  check_int "zero client-visible errors" 0 (Atomic.get errors);
+  let c = Client.connect ~socket:router ~deadline_s:10. () in
+  let text = Client.metrics_text c in
+  (match prom_counter text "ssg_router_failovers_total" with
+  | Some v -> check "failover happened" true (v > 0)
+  | None -> Alcotest.fail "failover counter missing");
+  (match prom_counter text "ssg_router_jobs_routed_total" with
+  | Some v -> check "every job was routed" true (v >= 200)
+  | None -> Alcotest.fail "routed counter missing");
+  Client.close c;
+  stop_router router rt;
+  stop_worker w1 t1;
+  stop_worker w2 healed_thread;
+  stop_worker w3 t3
+
+(* ---------------- suite ---------------- *)
+
+let tests =
+  [
+    Alcotest.test_case "ring: basics" `Quick test_ring_basics;
+    Alcotest.test_case "ring: successors" `Quick test_ring_successors;
+    Alcotest.test_case "ring: add/remove identity" `Quick
+      test_ring_add_remove_identity;
+    QCheck_alcotest.to_alcotest prop_balanced;
+    QCheck_alcotest.to_alcotest prop_remove_remaps_only_removed;
+    Alcotest.test_case "registry: state machine" `Quick
+      test_registry_state_machine;
+    Alcotest.test_case "registry: all-down fallback" `Quick
+      test_registry_candidates_when_all_down;
+    Alcotest.test_case "registry: probe live/dead" `Quick
+      test_registry_probe_live_and_dead;
+    Alcotest.test_case "registry: prober re-admits" `Quick
+      test_registry_prober_thread;
+    Alcotest.test_case "telemetry: merge" `Quick test_telemetry_merge;
+    Alcotest.test_case "client: connect_any failover" `Quick
+      test_connect_any_failover;
+    Alcotest.test_case "faults: blackhole spec" `Quick
+      test_blackhole_spec_roundtrip;
+    Alcotest.test_case "faults: blackhole swallows replies" `Quick
+      test_blackhole_swallows_reply;
+    Alcotest.test_case "router: routes and merges" `Quick
+      test_router_routes_and_merges;
+    Alcotest.test_case "router: relays job errors" `Quick
+      test_router_relays_job_errors_without_failover;
+    Alcotest.test_case "router: exhaustion" `Quick
+      test_router_exhaustion_is_an_error_reply;
+    Alcotest.test_case "router: chaos kill/heal 200-job burst" `Slow
+      test_router_chaos_kill_heal;
+  ]
