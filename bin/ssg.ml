@@ -497,12 +497,27 @@ let timing_cmd =
 (* service mode: serve / submit / stats / shutdown                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Every flag that names a service endpoint goes through the one shared
+   parser, so unix:PATH, tcp:HOST:PORT and bare paths mean the same
+   thing on every surface and a typo is caught at the command line, not
+   as a confusing connect error. *)
+let addr_conv =
+  let parse s =
+    match Ssg_net.Transport.of_string s with
+    | Ok _ -> Ok s
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
 let socket_arg =
-  let doc = "Unix-domain socket path of the ssgd service." in
+  let doc =
+    "Address of the ssgd service: $(b,unix:PATH), $(b,tcp:HOST:PORT), or a      bare Unix-socket path."
+  in
   Arg.(
     value
-    & opt string (Filename.concat (Filename.get_temp_dir_name ()) "ssgd.sock")
-    & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+    & opt addr_conv
+        (Filename.concat (Filename.get_temp_dir_name ()) "ssgd.sock")
+    & info [ "socket"; "s" ] ~docv:"ADDR" ~doc)
 
 let serve_cmd =
   let workers_arg =
@@ -522,6 +537,12 @@ let serve_cmd =
       "Maximum concurrent client connections; extra connections are        refused with an error reply."
     in
     Arg.(value & opt int 256 & info [ "max-connections" ] ~docv:"N" ~doc)
+  in
+  let max_inflight_arg =
+    let doc =
+      "Pipelined (id-framed) requests running concurrently per        connection; past the cap the connection's reader serves requests        inline, back-pressuring the client."
+    in
+    Arg.(value & opt int 32 & info [ "max-inflight" ] ~docv:"N" ~doc)
   in
   let read_timeout_arg =
     let doc =
@@ -548,35 +569,38 @@ let serve_cmd =
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
   let action verbose socket workers queue_cap cache_cap max_connections
-      read_timeout drain_timeout chaos trace =
+      max_inflight read_timeout drain_timeout chaos trace =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.App));
     match Ssg_engine.Faults.of_spec chaos with
     | Error msg -> `Error (false, "--chaos: " ^ msg)
     | Ok faults ->
         Ssg_engine.Server.serve ?workers ~queue_capacity:queue_cap
-          ~cache_capacity:cache_cap ~max_connections
+          ~cache_capacity:cache_cap ~max_connections ~max_inflight
           ~read_timeout_s:read_timeout ~drain_timeout_s:drain_timeout ~faults
           ~trace ~socket ();
         `Ok ()
   in
   let doc =
-    "Run the ssgd simulation service: a persistent engine with a domain      worker pool, job dedup and an LRU result cache, served over a      Unix-domain socket.  Blocks until a client sends shutdown."
+    "Run the ssgd simulation service: a persistent engine with a domain      worker pool, job dedup and an LRU result cache, served over a      Unix-domain or TCP socket.  Blocks until a client sends shutdown."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       ret
         (const action $ verbose_arg $ socket_arg $ workers_arg $ queue_arg
-        $ cache_arg $ max_conn_arg $ read_timeout_arg $ drain_timeout_arg
-        $ chaos_arg $ trace_arg))
+        $ cache_arg $ max_conn_arg $ max_inflight_arg $ read_timeout_arg
+        $ drain_timeout_arg $ chaos_arg $ trace_arg))
 
 let route_cmd =
   let backend_arg =
     let doc =
-      "Socket path of one backend ssgd worker (repeatable).  Jobs are        placed on backends by consistent hashing of their cache key, so        each worker keeps its cache hit rate."
+      "Address of one backend ssgd worker — $(b,unix:PATH),        $(b,tcp:HOST:PORT), or a bare path (repeatable).  Jobs are        placed on backends by consistent hashing of their cache key, so        each worker keeps its cache hit rate."
     in
-    Arg.(non_empty & opt_all string [] & info [ "backend"; "b" ] ~docv:"PATH" ~doc)
+    Arg.(
+      non_empty
+      & opt_all addr_conv []
+      & info [ "backend"; "b" ] ~docv:"ADDR" ~doc)
   in
   let vnodes_arg =
     let doc = "Virtual nodes per backend on the hash ring." in
@@ -609,6 +633,12 @@ let route_cmd =
     let doc = "Maximum concurrent client connections on the front socket." in
     Arg.(value & opt int 256 & info [ "max-connections" ] ~docv:"N" ~doc)
   in
+  let max_inflight_arg =
+    let doc =
+      "Pipelined (id-framed) requests running concurrently per front        connection."
+    in
+    Arg.(value & opt int 32 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
   let read_timeout_arg =
     let doc = "Per-connection read timeout on the front socket (0 disables)." in
     Arg.(value & opt float 30. & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
@@ -626,14 +656,14 @@ let route_cmd =
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
   let action verbose socket backends vnodes down_after probe_interval
-      probe_timeout request_timeout max_connections read_timeout drain_timeout
-      trace =
+      probe_timeout request_timeout max_connections max_inflight read_timeout
+      drain_timeout trace =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.App));
     match
       Ssg_cluster.Router.serve ~vnodes ~down_after
         ~probe_interval_s:probe_interval ~probe_timeout_s:probe_timeout
-        ~request_timeout_s:request_timeout ~max_connections
+        ~request_timeout_s:request_timeout ~max_connections ~max_inflight
         ~read_timeout_s:read_timeout ~drain_timeout_s:drain_timeout ~trace
         ~backends ~socket ()
     with
@@ -649,8 +679,8 @@ let route_cmd =
       ret
         (const action $ verbose_arg $ socket_arg $ backend_arg $ vnodes_arg
         $ down_after_arg $ probe_interval_arg $ probe_timeout_arg
-        $ request_timeout_arg $ max_conn_arg $ read_timeout_arg
-        $ drain_timeout_arg $ trace_arg))
+        $ request_timeout_arg $ max_conn_arg $ max_inflight_arg
+        $ read_timeout_arg $ drain_timeout_arg $ trace_arg))
 
 let submit_cmd =
   let monitor_arg =
@@ -696,9 +726,9 @@ let submit_cmd =
   in
   let sockets_arg =
     let doc =
-      "Socket path of the ssgd service or router (repeatable: with        several, each connection attempt walks the list in order and fails        over to the next address)."
+      "Address of the ssgd service or router — $(b,unix:PATH),        $(b,tcp:HOST:PORT), or a bare path (repeatable: with several, each        connection attempt walks the list in order and fails over to the        next address)."
     in
-    Arg.(value & opt_all string [] & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+    Arg.(value & opt_all addr_conv [] & info [ "socket"; "s" ] ~docv:"ADDR" ~doc)
   in
   let files_arg =
     let doc =
@@ -940,6 +970,180 @@ let shutdown_cmd =
   Cmd.v (Cmd.info "shutdown" ~doc) Term.(const action $ socket_arg)
 
 (* ------------------------------------------------------------------ *)
+(* gateway / loadgen                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let gateway_cmd =
+  let listen_arg =
+    let doc =
+      "Address the HTTP gateway listens on: $(b,tcp:HOST:PORT) or        $(b,unix:PATH)."
+    in
+    Arg.(
+      value
+      & opt addr_conv "tcp:127.0.0.1:8080"
+      & info [ "listen"; "l" ] ~docv:"ADDR" ~doc)
+  in
+  let backend_arg =
+    let doc =
+      "Native-protocol backend the gateway fronts (an ssgd worker or a        router)."
+    in
+    Arg.(
+      value
+      & opt addr_conv
+          (Filename.concat (Filename.get_temp_dir_name ()) "ssgd.sock")
+      & info [ "backend"; "b" ] ~docv:"ADDR" ~doc)
+  in
+  let backend_deadline_arg =
+    let doc =
+      "Liveness deadline on the pipelined backend connection: total        silence for this long fails the in-flight requests with 502s."
+    in
+    Arg.(value & opt float 30. & info [ "backend-deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_conn_arg =
+    let doc = "Maximum concurrent HTTP connections." in
+    Arg.(value & opt int 1024 & info [ "max-connections" ] ~docv:"N" ~doc)
+  in
+  let read_timeout_arg =
+    let doc = "Per-connection HTTP read timeout in seconds (0 disables)." in
+    Arg.(value & opt float 30. & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let drain_timeout_arg =
+    let doc =
+      "On shutdown, wait this long for live connections to finish before        abandoning them."
+    in
+    Arg.(value & opt float 5. & info [ "drain-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let action verbose listen backend backend_deadline max_connections
+      read_timeout drain_timeout =
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.App));
+    match
+      Ssg_gateway.Gateway.serve ~backend_deadline_s:backend_deadline
+        ~max_connections ~read_timeout_s:read_timeout
+        ~drain_timeout_s:drain_timeout ~listen ~backend ()
+    with
+    | () -> `Ok ()
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  let doc =
+    "Serve an HTTP/JSON front door over a native ssgd or router backend:      POST /submit (run text body, k/algorithm/rounds/monitor query      parameters), GET /stats, GET /metrics (Prometheus), GET /healthz,      POST /shutdown.  All backend traffic shares one pipelined      connection."
+  in
+  Cmd.v
+    (Cmd.info "gateway" ~doc)
+    Term.(
+      ret
+        (const action $ verbose_arg $ listen_arg $ backend_arg
+        $ backend_deadline_arg $ max_conn_arg $ read_timeout_arg
+        $ drain_timeout_arg))
+
+let loadgen_cmd =
+  let target_arg =
+    let doc = "Native-protocol endpoint to drive (worker or router)." in
+    Arg.(
+      value
+      & opt addr_conv
+          (Filename.concat (Filename.get_temp_dir_name ()) "ssgd.sock")
+      & info [ "target"; "t" ] ~docv:"ADDR" ~doc)
+  in
+  let connections_arg =
+    let doc = "Concurrent connections to hold open." in
+    Arg.(value & opt int 100 & info [ "connections"; "c" ] ~docv:"N" ~doc)
+  in
+  let duration_arg =
+    let doc = "How long to drive load, in seconds." in
+    Arg.(value & opt float 10. & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc)
+  in
+  let threads_arg =
+    let doc =
+      "Driver threads; each owns an equal slice of the connections        (default: min(connections, 8))."
+    in
+    Arg.(value & opt (some int) None & info [ "threads" ] ~docv:"T" ~doc)
+  in
+  let pipeline_arg =
+    let doc = "In-flight pipelined requests per connection (closed-loop)." in
+    Arg.(value & opt int 1 & info [ "pipeline"; "p" ] ~docv:"M" ~doc)
+  in
+  let rate_arg =
+    let doc =
+      "Open-loop mode: schedule this many requests/second in aggregate        and measure latency from the scheduled send time (0 = closed-loop)."
+    in
+    Arg.(value & opt float 0. & info [ "rate" ] ~docv:"RPS" ~doc)
+  in
+  let mix_arg =
+    let doc =
+      "Job mix as cached:uncached:lint-error integer weights.  Lint-error        jobs are expected to be rejected; a rejection is not an error."
+    in
+    Arg.(value & opt string "8:1:1" & info [ "mix" ] ~docv:"C:U:L" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-connection reply deadline; a miss counts as an error." in
+    Arg.(value & opt float 30. & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let slo_arg =
+    let doc =
+      "SLO gate like $(b,p99<250ms) (repeatable).  Any violation — or any        client-visible error — makes the command exit non-zero."
+    in
+    Arg.(value & opt_all string [] & info [ "slo" ] ~docv:"SPEC" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the report as a JSON object instead of the table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let parse_mix s =
+    match String.split_on_char ':' s with
+    | [ c; u; l ] -> (
+        match
+          (int_of_string_opt c, int_of_string_opt u, int_of_string_opt l)
+        with
+        | Some cached, Some uncached, Some lint_error
+          when cached >= 0 && uncached >= 0 && lint_error >= 0
+               && cached + uncached + lint_error > 0 ->
+            Ok { Ssg_gateway.Loadgen.cached; uncached; lint_error }
+        | _ -> Error (Printf.sprintf "bad --mix %S" s))
+    | _ -> Error (Printf.sprintf "bad --mix %S (expected C:U:L)" s)
+  in
+  let parse_slos specs =
+    List.fold_left
+      (fun acc spec ->
+        match (acc, Ssg_gateway.Loadgen.slo_of_string spec) with
+        | Error e, _ -> Error e
+        | Ok slos, Ok slo -> Ok (slo :: slos)
+        | Ok _, Error e -> Error e)
+      (Ok []) specs
+  in
+  let action verbose target connections duration threads pipeline rate mix
+      deadline slos json =
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.App));
+    match (parse_mix mix, parse_slos slos) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok mix, Ok slos -> (
+        match
+          Ssg_gateway.Loadgen.run ?threads ~pipeline ~rate ~mix
+            ~deadline_s:deadline ~slos ~connections ~duration_s:duration
+            ~target ()
+        with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | report ->
+            if json then
+              print_endline (Ssg_gateway.Loadgen.to_json report)
+            else Format.printf "%a" Ssg_gateway.Loadgen.pp report;
+            if report.Ssg_gateway.Loadgen.slo_violations <> [] then
+              Stdlib.exit 1
+            else `Ok ())
+  in
+  let doc =
+    "Drive synthetic load — thousands of concurrent pipelined connections      with a configurable cached/uncached/lint-error job mix — against a      worker or router, report latency percentiles and error counts, and      exit non-zero when an $(b,--slo) gate is violated or any      client-visible error occurred."
+  in
+  Cmd.v
+    (Cmd.info "loadgen" ~doc)
+    Term.(
+      ret
+        (const action $ verbose_arg $ target_arg $ connections_arg
+        $ duration_arg $ threads_arg $ pipeline_arg $ rate_arg $ mix_arg
+        $ deadline_arg $ slo_arg $ json_arg))
+
+(* ------------------------------------------------------------------ *)
 (* lint                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1015,5 +1219,6 @@ let () =
           [
             run_cmd; figure1_cmd; experiment_cmd; check_cmd; dot_cmd;
             timing_cmd; shrink_cmd; lint_cmd; serve_cmd; route_cmd;
-            submit_cmd; stats_cmd; trace_cmd; shutdown_cmd;
+            submit_cmd; stats_cmd; trace_cmd; shutdown_cmd; gateway_cmd;
+            loadgen_cmd;
           ]))

@@ -3,28 +3,9 @@ let log_src = Logs.Src.create "ssg.cluster.router" ~doc:"cluster front end"
 module Log = (val Logs.src_log log_src : Logs.LOG)
 module Metrics = Ssg_obs.Metrics
 module Tracer = Ssg_obs.Tracer
+module Transport = Ssg_net.Transport
+module Frame = Ssg_net.Frame
 open Ssg_engine
-
-(* Same stale-socket policy as [Server.serve]: replace a dead server's
-   leftover file, refuse to double-bind a live one. *)
-let prepare_address path =
-  if Sys.file_exists path then begin
-    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    let alive =
-      try
-        Unix.connect probe (Unix.ADDR_UNIX path);
-        true
-      with Unix.Unix_error _ -> false
-    in
-    Unix.close probe;
-    if alive then raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
-    else Unix.unlink path
-  end
-
-let poke path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path) with Unix.Unix_error _ -> ());
-  Unix.close fd
 
 type t = {
   registry : Registry.t;
@@ -289,60 +270,107 @@ let create ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
 
 (* ---------------- the front-end socket server ---------------- *)
 
-let send fd reply = Protocol.write_reply_fd fd (reply : Protocol.reply)
-
-let handle_connection t ~stop ~wake ~active fd =
-  let reject msg =
+(* The front end speaks the same two dialects as [Server]: plain frames
+   answered strictly in order, id-framed requests dispatched to their
+   own thread (bounded per connection by [max_inflight]) so one slow
+   shard does not head-of-line-block an entire client connection. *)
+let handle_connection t ~stop ~wake ~active ~max_inflight fd =
+  let wlock = Mutex.create () in
+  let inflight = Atomic.make 0 in
+  let broken = Atomic.make false in
+  let send ?id reply =
+    let payload = Protocol.reply_to_bytes (reply : Protocol.reply) in
+    let payload =
+      match id with Some id -> Frame.with_id ~id payload | None -> payload
+    in
+    Mutex.lock wlock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock wlock)
+      (fun () -> Protocol.write_frame_fd fd payload)
+  in
+  let reject ?id msg =
     Log.warn (fun m -> m "dropping connection: %s" msg);
-    try send fd (Protocol.Error msg) with _ -> ()
+    try send ?id (Protocol.Error msg) with _ -> ()
+  in
+  let serve_request ?id request =
+    try
+      match request with
+      | Protocol.Submit job ->
+          send ?id (route_job t job);
+          true
+      | Protocol.Batch jobs ->
+          send ?id (route_batch t jobs);
+          true
+      | Protocol.Stats ->
+          send ?id (merged_stats t);
+          true
+      | Protocol.Metrics ->
+          send ?id (Protocol.Metrics_text (metrics_text t));
+          true
+      | Protocol.Trace ->
+          send ?id (Protocol.Trace_events (Tracer.events ()));
+          true
+      | Protocol.Shutdown ->
+          Log.info (fun m -> m "router shutdown requested");
+          Atomic.set stop true;
+          wake ();
+          send ?id Protocol.Shutting_down;
+          false
+    with
+    | Sys_error _ | Unix.Unix_error _ -> false
+    | e ->
+        let msg = Printexc.to_string e in
+        Log.warn (fun m -> m "router handler error: %s" msg);
+        (try send ?id (Protocol.Error msg) with _ -> ());
+        false
   in
   let rec loop () =
-    match Protocol.read_frame_fd fd with
-    | exception End_of_file -> ()
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        Log.info (fun m -> m "reaping stalled connection")
-    | exception Unix.Unix_error _ -> ()
-    | exception Failure msg -> reject msg
-    | frame -> (
-        match Protocol.request_of_bytes frame with
-        | exception Failure msg -> reject msg
-        | request ->
-            let continue =
-              try
-                match request with
-                | Protocol.Submit job ->
-                    send fd (route_job t job);
-                    true
-                | Protocol.Batch jobs ->
-                    send fd (route_batch t jobs);
-                    true
-                | Protocol.Stats ->
-                    send fd (merged_stats t);
-                    true
-                | Protocol.Metrics ->
-                    send fd (Protocol.Metrics_text (metrics_text t));
-                    true
-                | Protocol.Trace ->
-                    send fd (Protocol.Trace_events (Tracer.events ()));
-                    true
-                | Protocol.Shutdown ->
-                    Log.info (fun m -> m "router shutdown requested");
-                    Atomic.set stop true;
-                    wake ();
-                    send fd Protocol.Shutting_down;
-                    false
-              with
-              | Sys_error _ | Unix.Unix_error _ -> false
-              | e ->
-                  let msg = Printexc.to_string e in
-                  Log.warn (fun m -> m "router handler error: %s" msg);
-                  (try send fd (Protocol.Error msg) with _ -> ());
-                  false
-            in
-            if continue then loop ())
+    if Atomic.get broken then ()
+    else
+      match Protocol.read_frame_fd fd with
+      | exception End_of_file -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Log.info (fun m -> m "reaping stalled connection")
+      | exception Unix.Unix_error _ -> ()
+      | exception Failure msg -> reject msg
+      | frame -> (
+          match Frame.classify frame with
+          | exception Failure msg -> reject msg
+          | Frame.Plain frame -> (
+              match Protocol.request_of_bytes frame with
+              | exception Failure msg -> reject msg
+              | request -> if serve_request request then loop ())
+          | Frame.Id (id, inner) -> (
+              match Protocol.request_of_bytes inner with
+              | exception Failure msg -> reject ~id msg
+              | Protocol.Shutdown ->
+                  ignore (serve_request ~id Protocol.Shutdown)
+              | request ->
+                  if Atomic.get inflight >= max_inflight then begin
+                    if serve_request ~id request then loop ()
+                  end
+                  else begin
+                    Atomic.incr inflight;
+                    ignore
+                      (Thread.create
+                         (fun () ->
+                           Fun.protect
+                             ~finally:(fun () -> Atomic.decr inflight)
+                             (fun () ->
+                               if not (serve_request ~id request) then begin
+                                 Atomic.set broken true;
+                                 try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+                                 with Unix.Unix_error _ -> ()
+                               end))
+                         ())
+                  end;
+                  loop ()))
   in
   Fun.protect
     ~finally:(fun () ->
+      while Atomic.get inflight > 0 do
+        Thread.delay 0.002
+      done;
       Atomic.decr active;
       try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
@@ -352,12 +380,19 @@ let handle_connection t ~stop ~wake ~active fd =
             m "router connection thread escaped: %s" (Printexc.to_string e)))
 
 let serve ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
-    ?request_timeout_s ?(max_connections = 256) ?(read_timeout_s = 30.)
-    ?(drain_timeout_s = 5.) ?(trace = false) ~backends ~socket () =
+    ?request_timeout_s ?(max_connections = 256) ?(max_inflight = 32)
+    ?(read_timeout_s = 30.) ?(drain_timeout_s = 5.) ?(trace = false)
+    ~backends ~socket () =
   if max_connections < 1 then
     invalid_arg "Router.serve: max_connections must be >= 1";
-  if List.mem socket backends then
-    invalid_arg "Router.serve: the router socket cannot be its own backend";
+  if max_inflight < 1 then
+    invalid_arg "Router.serve: max_inflight must be >= 1";
+  let addr = Transport.of_string_exn socket in
+  if
+    List.exists
+      (fun b -> Transport.equal addr (Transport.of_string_exn b))
+      backends
+  then invalid_arg "Router.serve: the router socket cannot be its own backend";
   if trace then begin
     Tracer.reset ();
     Tracer.set_enabled true
@@ -368,16 +403,15 @@ let serve ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
     create ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
       ?request_timeout_s backends
   in
-  prepare_address socket;
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
-  Unix.listen listen_fd 64;
+  let listen_fd = Transport.listen addr in
+  let addr = Transport.bound_addr listen_fd addr in
   Registry.start t.registry;
   let stop = Atomic.make false in
   let active = Atomic.make 0 in
-  let wake () = poke socket in
+  let wake () = Transport.poke addr in
   Log.app (fun m ->
-      m "ssg router listening on %s, fronting %d backend(s)" socket
+      m "ssg router listening on %s, fronting %d backend(s)"
+        (Transport.to_string addr)
         (Array.length t.backends));
   let rec accept_loop () =
     if not (Atomic.get stop) then begin
@@ -393,13 +427,17 @@ let serve ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
           end
           else begin
             Atomic.incr active;
+            (try Unix.setsockopt client_fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
             if read_timeout_s > 0. then
               (try
                  Unix.setsockopt_float client_fd Unix.SO_RCVTIMEO
                    read_timeout_s
                with Unix.Unix_error _ -> ());
             ignore
-              (Thread.create (handle_connection t ~stop ~wake ~active) client_fd)
+              (Thread.create
+                 (handle_connection t ~stop ~wake ~active ~max_inflight)
+                 client_fd)
           end
       | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
           ());
@@ -416,5 +454,5 @@ let serve ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
     Log.warn (fun m ->
         m "drain timeout: abandoning %d connection(s)" (Atomic.get active));
   Registry.stop t.registry;
-  (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());
+  Transport.cleanup addr;
   Log.app (fun m -> m "ssg router stopped")

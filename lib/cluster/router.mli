@@ -36,17 +36,24 @@
     {!Registry} prober over [backends], and blocks until a client
     sends [Shutdown].  The socket file is removed on exit.
 
+    [socket] and every backend are {!Ssg_net.Transport} address strings
+    ([unix:PATH], [tcp:HOST:PORT], or a bare path); the front socket
+    speaks both frame dialects — plain request/reply and id-framed
+    pipelining (up to [max_inflight] concurrent per connection) —
+    exactly like {!Ssg_engine.Server.serve}.
+
     - [vnodes], [down_after], [probe_interval_s], [probe_timeout_s]
       are handed to {!Registry.create};
     - [request_timeout_s] (default 30) bounds one forwarded exchange
       — it is the reply deadline on the backend connection, so a mute
       (blackholed) backend turns into a failover, not a hang;
-    - [max_connections], [read_timeout_s], [drain_timeout_s] guard the
-      front socket exactly like {!Ssg_engine.Server.serve};
+    - [max_connections], [max_inflight], [read_timeout_s],
+      [drain_timeout_s] guard the front socket exactly like
+      {!Ssg_engine.Server.serve};
     - [trace] enables the process tracer and resets it first.
-    @raise Invalid_argument on an empty backend list or non-positive
-    limits, [Unix.Unix_error EADDRINUSE] when a live router already
-    owns [socket]. *)
+    @raise Invalid_argument on an empty backend list, a malformed
+    address, or non-positive limits, [Unix.Unix_error EADDRINUSE] when
+    a live router already owns [socket]. *)
 val serve :
   ?vnodes:int ->
   ?down_after:int ->
@@ -54,6 +61,7 @@ val serve :
   ?probe_timeout_s:float ->
   ?request_timeout_s:float ->
   ?max_connections:int ->
+  ?max_inflight:int ->
   ?read_timeout_s:float ->
   ?drain_timeout_s:float ->
   ?trace:bool ->

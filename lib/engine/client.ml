@@ -1,3 +1,5 @@
+module Transport = Ssg_net.Transport
+
 type t = { fd : Unix.file_descr; deadline_s : float option }
 
 let retriable = function
@@ -22,14 +24,9 @@ let jittered rng backoff =
   in
   Float.max 1e-4 (Random.State.float rng backoff)
 
-let attempt_connect socket =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  try
-    Unix.connect fd (Unix.ADDR_UNIX socket);
-    fd
-  with e ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    raise e
+(* [Transport.connect] already closes its descriptor on failure; an
+   unresolvable TCP host raises [Failure] and is not retriable. *)
+let attempt_connect addr = Transport.connect addr
 
 let arm_deadline fd deadline_s =
   match deadline_s with
@@ -47,12 +44,13 @@ let check_params ~who retries deadline_s =
 
 let connect ?(retries = 3) ?(retry_backoff_s = 0.05) ?deadline_s ~socket () =
   check_params ~who:"connect" retries deadline_s;
+  let addr = Transport.of_string_exn socket in
   (* Bounded exponential backoff: a daemon that is still binding (or
      briefly over its connection limit) costs a few retries, not a
      client-side crash. *)
   let rng = ref None in
   let rec go left backoff =
-    match attempt_connect socket with
+    match attempt_connect addr with
     | fd -> fd
     | exception Unix.Unix_error (err, _, _) when left > 0 && retriable err ->
         Thread.delay (jittered rng backoff);
@@ -66,19 +64,20 @@ let connect_any ?(retries = 3) ?(retry_backoff_s = 0.05) ?deadline_s ~sockets
     () =
   if sockets = [] then invalid_arg "Client.connect_any: no sockets";
   check_params ~who:"connect_any" retries deadline_s;
+  let addrs = List.map Transport.of_string_exn sockets in
   let rng = ref None in
   (* Each pass tries every address once, in the order given; passes are
      separated by the same jittered exponential backoff as [connect]. *)
   let rec pass left backoff =
     let rec try_addrs last = function
       | [] -> Error last
-      | socket :: rest -> (
-          match attempt_connect socket with
+      | addr :: rest -> (
+          match attempt_connect addr with
           | fd -> Ok fd
           | exception (Unix.Unix_error (err, _, _) as e) when retriable err ->
               try_addrs e rest)
     in
-    match try_addrs Stdlib.Exit sockets with
+    match try_addrs Stdlib.Exit addrs with
     | Ok fd -> fd
     | Error last ->
         if left = 0 then raise last

@@ -8,7 +8,9 @@
 
 type t
 
-(** [connect ~socket ()] — with bounded exponential-backoff retry:
+(** [connect ~socket ()] — [socket] is a {!Ssg_net.Transport} address
+    string ([unix:PATH], [tcp:HOST:PORT], or a bare Unix-socket path) —
+    with bounded exponential-backoff retry:
     [retries] (default 3) extra attempts, with {e full jitter} — each
     retry sleeps a uniform draw from (0, backoff] where backoff starts
     at [retry_backoff_s] (default 0.05 s) and doubles — retried only on
@@ -22,7 +24,8 @@ type t
     forever on a wedged or malicious server.  Default: no deadline.
     @raise Unix.Unix_error when nothing is listening on [socket] after
     all retries.
-    @raise Invalid_argument if [retries < 0] or [deadline_s <= 0]. *)
+    @raise Invalid_argument if [socket] does not parse as an address,
+    [retries < 0], or [deadline_s <= 0]. *)
 val connect :
   ?retries:int ->
   ?retry_backoff_s:float ->

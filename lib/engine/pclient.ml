@@ -1,0 +1,85 @@
+module Transport = Ssg_net.Transport
+module Mux = Ssg_net.Mux
+
+type t = { mux : Mux.t }
+
+type 'a ticket = { cell : Mux.ticket; decode : Protocol.reply -> ('a, string) result }
+
+let retriable = function
+  | Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR -> true
+  | _ -> false
+
+let jittered rng backoff =
+  let rng =
+    match !rng with
+    | Some r -> r
+    | None ->
+        let r = Random.State.make_self_init () in
+        rng := Some r;
+        r
+  in
+  Float.max 1e-4 (Random.State.float rng backoff)
+
+let connect ?(retries = 3) ?(retry_backoff_s = 0.05) ?deadline_s ~socket () =
+  if retries < 0 then invalid_arg "Pclient.connect: retries must be >= 0";
+  (match deadline_s with
+  | Some d when d <= 0. ->
+      invalid_arg "Pclient.connect: deadline_s must be > 0"
+  | _ -> ());
+  let addr = Transport.of_string_exn socket in
+  let rng = ref None in
+  let rec go left backoff =
+    match Transport.connect addr with
+    | fd -> fd
+    | exception Unix.Unix_error (err, _, _) when left > 0 && retriable err ->
+        Thread.delay (jittered rng backoff);
+        go (left - 1) (backoff *. 2.)
+  in
+  let fd = go retries retry_backoff_s in
+  { mux = Mux.create ?deadline_s fd }
+
+let request t request decode =
+  let payload = Protocol.request_to_bytes request in
+  { cell = Mux.send t.mux payload; decode }
+
+let await ticket =
+  match Mux.await ticket.cell with
+  | Error reason -> Error reason
+  | Ok payload -> (
+      match Protocol.reply_of_bytes payload with
+      | exception Failure msg -> Error msg
+      | reply -> ticket.decode reply)
+
+let submit t job =
+  request t (Protocol.Submit job) (function
+    | Protocol.Completed completion -> Ok completion
+    | Protocol.Error msg -> Error msg
+    | _ -> Error "Pclient: unexpected reply to submit")
+
+let stats t =
+  request t Protocol.Stats (function
+    | Protocol.Stats_snapshot snapshot -> Ok snapshot
+    | Protocol.Error msg -> Error msg
+    | _ -> Error "Pclient: unexpected reply to stats")
+
+let metrics_text t =
+  request t Protocol.Metrics (function
+    | Protocol.Metrics_text text -> Ok text
+    | Protocol.Error msg -> Error msg
+    | _ -> Error "Pclient: unexpected reply to metrics")
+
+let shutdown t =
+  await
+    (request t Protocol.Shutdown (function
+      | Protocol.Shutting_down -> Ok ()
+      | Protocol.Error msg -> Error msg
+      | _ -> Error "Pclient: unexpected reply to shutdown"))
+
+let submit_sync t job =
+  match await (submit t job) with
+  | Ok completion -> completion
+  | Error msg -> failwith ("server error: " ^ msg)
+
+let inflight t = Mux.inflight t.mux
+let alive t = Mux.alive t.mux
+let close t = Mux.close t.mux

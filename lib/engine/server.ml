@@ -2,46 +2,35 @@ let log_src = Logs.Src.create "ssg.server" ~doc:"ssgd socket server"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-(* A dead server leaves its socket file behind; a live one answers
-   [connect].  Replace the former, refuse to double-bind the latter. *)
-let prepare_address path =
-  if Sys.file_exists path then begin
-    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    let alive =
-      try
-        Unix.connect probe (Unix.ADDR_UNIX path);
-        true
-      with Unix.Unix_error _ -> false
-    in
-    Unix.close probe;
-    if alive then
-      raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
-    else Unix.unlink path
-  end
-
-(* Wake a [Unix.accept] blocked on [path] by completing one throwaway
-   connection to it. *)
-let poke path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path) with Unix.Unix_error _ -> ());
-  Unix.close fd
+module Transport = Ssg_net.Transport
+module Frame = Ssg_net.Frame
 
 (* Raised by the reply path when the fault plan truncated the frame:
    the connection is unusable and must be dropped. *)
 exception Drop_connection
 
-(* Write one reply, letting the fault plan mangle it first. *)
-let send faults telemetry fd reply =
+(* Write one reply, letting the fault plan mangle it first.  [id]
+   present means the request arrived in the pipelined id envelope and
+   the reply must carry the same id back; [wlock] serializes reply
+   frames from concurrent in-flight handlers on one connection. *)
+let send ?id faults telemetry ~wlock fd reply =
   let payload = Protocol.reply_to_bytes reply in
+  let payload =
+    match id with Some id -> Frame.with_id ~id payload | None -> payload
+  in
+  let under_wlock f =
+    Mutex.lock wlock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock wlock) f
+  in
   match Faults.on_reply faults with
-  | Faults.Deliver -> Protocol.write_frame_fd fd payload
+  | Faults.Deliver -> under_wlock (fun () -> Protocol.write_frame_fd fd payload)
   | Faults.Corrupt ->
       Telemetry.record_injected telemetry;
       let mangled = Bytes.copy payload in
       if Bytes.length mangled > 0 then
         Bytes.set mangled 0
           (Char.chr (Char.code (Bytes.get mangled 0) lxor 0xFF));
-      Protocol.write_frame_fd fd mangled
+      under_wlock (fun () -> Protocol.write_frame_fd fd mangled)
   | Faults.Blackhole ->
       (* The partition plan: swallow the reply, keep the connection.
          The peer sees a live socket that never answers — exactly what
@@ -53,103 +42,166 @@ let send faults telemetry fd reply =
       (* Header promises the full frame; deliver only half of it. *)
       let header = Bytes.create 4 in
       Bytes.set_int32_be header 0 (Int32.of_int (Bytes.length payload));
-      (try
-         ignore (Unix.write fd header 0 4);
-         ignore (Unix.write fd payload 0 (Bytes.length payload / 2))
-       with Unix.Unix_error _ -> ());
+      under_wlock (fun () ->
+          try
+            ignore (Unix.write fd header 0 4);
+            ignore (Unix.write fd payload 0 (Bytes.length payload / 2))
+          with Unix.Unix_error _ -> ());
       raise Drop_connection
 
 (* One thread per connection.  Everything that can go wrong — a hostile
    frame, a malformed job, a stalled peer, an exception anywhere in
    dispatch — must end here with an [Error] reply where the wire still
    allows one and with the fd closed; nothing may escape and leak the
-   descriptor while the client waits forever. *)
-let handle_connection engine faults ~stop ~wake ~active fd =
+   descriptor while the client waits forever.
+
+   Two dialects share the connection, classified frame by frame:
+   {ul
+   {- {e plain} frames (the historical format) are answered strictly
+      in order, one request at a time;}
+   {- {e id-framed} requests ({!Ssg_net.Frame.with_id}) are dispatched
+      to their own thread so many may be in flight at once, each reply
+      carrying its request's id back — out of order is fine.  At most
+      [max_inflight] run concurrently; past the cap the reader handles
+      the request inline, which stops it pulling further frames off the
+      socket: back-pressure, not queueing.}} *)
+let handle_connection engine faults ~stop ~wake ~active ~max_inflight fd =
   let telemetry = Engine.telemetry engine in
-  let send reply =
+  let wlock = Mutex.create () in
+  let inflight = Atomic.make 0 in
+  (* Set by an in-flight handler that hit a connection-fatal condition
+     (truncated reply, peer gone): the reader must stop pipelining. *)
+  let broken = Atomic.make false in
+  let send ?id reply =
     (* [with_span] ends the span even when the fault plan raises
        [Drop_connection] mid-write, keeping the track B/E-balanced. *)
     if Ssg_obs.Tracer.enabled () then
       Ssg_obs.Tracer.with_span "server.reply_write" (fun () ->
-          send faults telemetry fd reply)
-    else send faults telemetry fd reply
+          send ?id faults telemetry ~wlock fd reply)
+    else send ?id faults telemetry ~wlock fd reply
   in
-  let reject msg =
+  let reject ?id msg =
     Telemetry.record_rejected_frame telemetry;
     Log.warn (fun m -> m "dropping connection: %s" msg);
-    try send (Protocol.Error msg) with _ -> ()
+    try send ?id (Protocol.Error msg) with _ -> ()
+  in
+  (* Compute and send the reply for one decoded request; false means
+     the connection must carry no further requests. *)
+  let serve_request ?id request =
+    try
+      match request with
+      | Protocol.Submit job -> (
+          let ticket = Engine.submit engine job in
+          match Engine.rejection ticket with
+          | Some diags ->
+              (* A lint rejection is the job's fault, not the
+                 connection's: answer with a protocol Error carrying
+                 the diagnostics and keep serving. *)
+              send ?id (Protocol.Error diags);
+              true
+          | None ->
+              send ?id (Protocol.Completed (Engine.await engine ticket));
+              true)
+      | Protocol.Batch jobs ->
+          send ?id (Protocol.Batch_completed (Engine.run_batch engine jobs));
+          true
+      | Protocol.Stats ->
+          send ?id (Protocol.Stats_snapshot (Engine.stats engine));
+          true
+      | Protocol.Trace ->
+          send ?id (Protocol.Trace_events (Ssg_obs.Tracer.events ()));
+          true
+      | Protocol.Metrics ->
+          send ?id (Protocol.Metrics_text (Engine.prometheus engine));
+          true
+      | Protocol.Shutdown ->
+          Log.info (fun m -> m "shutdown requested");
+          (* Arm the stop flag before acknowledging: if the reply send
+             fails (dead peer, injected fault) the shutdown must still
+             happen. *)
+          Atomic.set stop true;
+          wake ();
+          send ?id Protocol.Shutting_down;
+          false
+    with
+    | Drop_connection -> false
+    | Sys_error _ | Unix.Unix_error _ -> false
+    (* EPIPE / ECONNRESET on the reply write: the peer vanished between
+       request and reply; the supervised-close path below reclaims the
+       descriptor without touching the daemon. *)
+    | e ->
+        (* Catch-all supervision boundary: reply if possible, then
+           close. *)
+        let msg = Printexc.to_string e in
+        Log.warn (fun m -> m "connection handler error: %s" msg);
+        (try send ?id (Protocol.Error msg) with _ -> ());
+        false
   in
   let rec loop () =
-    match Protocol.read_frame_fd fd with
-    | exception End_of_file -> ()  (* clean hangup between frames *)
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        (* SO_RCVTIMEO fired: a half-open or stalled client is reaped. *)
-        Telemetry.record_connection_timeout telemetry;
-        Log.info (fun m -> m "reaping stalled connection")
-    | exception Unix.Unix_error _ -> ()
-    | exception Failure msg -> reject msg  (* oversized / died mid-frame *)
-    | frame -> (
-        match Protocol.request_of_bytes frame with
-        | exception Failure msg ->
-            (* The frame was well-delimited but its payload is garbage
-               (unknown tag, truncated fields, malformed job, k < 1 …):
-               answer, then drop the connection — a peer speaking a
-               broken dialect gets no further pipeline. *)
-            reject msg
-        | request ->
-            let continue =
-              try
-                match request with
-                | Protocol.Submit job -> (
-                    let ticket = Engine.submit engine job in
-                    match Engine.rejection ticket with
-                    | Some diags ->
-                        (* A lint rejection is the job's fault, not the
-                           connection's: answer with a protocol Error
-                           carrying the diagnostics and keep serving. *)
-                        send (Protocol.Error diags);
-                        true
-                    | None ->
-                        send
-                          (Protocol.Completed (Engine.await engine ticket));
-                        true)
-                | Protocol.Batch jobs ->
-                    send
-                      (Protocol.Batch_completed (Engine.run_batch engine jobs));
-                    true
-                | Protocol.Stats ->
-                    send (Protocol.Stats_snapshot (Engine.stats engine));
-                    true
-                | Protocol.Trace ->
-                    send (Protocol.Trace_events (Ssg_obs.Tracer.events ()));
-                    true
-                | Protocol.Metrics ->
-                    send (Protocol.Metrics_text (Engine.prometheus engine));
-                    true
-                | Protocol.Shutdown ->
-                    Log.info (fun m -> m "shutdown requested");
-                    (* Arm the stop flag before acknowledging: if the
-                       reply send fails (dead peer, injected fault) the
-                       shutdown must still happen. *)
-                    Atomic.set stop true;
-                    wake ();
-                    send Protocol.Shutting_down;
-                    false
-              with
-              | Drop_connection -> false
-              | Sys_error _ | Unix.Unix_error _ -> false  (* peer went away *)
-              | e ->
-                  (* Catch-all supervision boundary: reply if possible,
-                     then close. *)
-                  let msg = Printexc.to_string e in
-                  Log.warn (fun m -> m "connection handler error: %s" msg);
-                  (try send (Protocol.Error msg) with _ -> ());
-                  false
-            in
-            if continue then loop ())
+    if Atomic.get broken then ()
+    else
+      match Protocol.read_frame_fd fd with
+      | exception End_of_file -> ()  (* clean hangup between frames *)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* SO_RCVTIMEO fired: a half-open or stalled client is reaped. *)
+          Telemetry.record_connection_timeout telemetry;
+          Log.info (fun m -> m "reaping stalled connection")
+      | exception Unix.Unix_error _ -> ()
+      | exception Failure msg -> reject msg  (* oversized / died mid-frame *)
+      | frame -> (
+          match Frame.classify frame with
+          | exception Failure msg -> reject msg
+          | Frame.Plain frame -> (
+              match Protocol.request_of_bytes frame with
+              | exception Failure msg ->
+                  (* The frame was well-delimited but its payload is
+                     garbage (unknown tag, truncated fields, malformed
+                     job, k < 1 …): answer, then drop the connection — a
+                     peer speaking a broken dialect gets no further
+                     pipeline. *)
+                  reject msg
+              | request -> if serve_request request then loop ())
+          | Frame.Id (id, inner) -> (
+              match Protocol.request_of_bytes inner with
+              | exception Failure msg -> reject ~id msg
+              | Protocol.Shutdown ->
+                  (* Shutdown is never pipelined past: handle inline so
+                     the loop stops pulling frames. *)
+                  ignore (serve_request ~id Protocol.Shutdown)
+              | request ->
+                  if Atomic.get inflight >= max_inflight then begin
+                    (* At the cap the reader does the work itself: the
+                       socket is not read again until this request
+                       completes, so a flooding client is throttled by
+                       its own pipe. *)
+                    if serve_request ~id request then loop ()
+                  end
+                  else begin
+                    Atomic.incr inflight;
+                    ignore
+                      (Thread.create
+                         (fun () ->
+                           Fun.protect
+                             ~finally:(fun () -> Atomic.decr inflight)
+                             (fun () ->
+                               if not (serve_request ~id request) then begin
+                                 Atomic.set broken true;
+                                 (* Unstick the reader blocked in read. *)
+                                 try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+                                 with Unix.Unix_error _ -> ()
+                               end))
+                         ())
+                  end;
+                  loop ()))
   in
   Fun.protect
     ~finally:(fun () ->
+      (* In-flight pipelined handlers still hold the fd: closing it now
+         would race their reply writes onto a reused descriptor.  Wait
+         them out — a dead peer fails their writes promptly. *)
+      while Atomic.get inflight > 0 do
+        Thread.delay 0.002
+      done;
       Atomic.decr active;
       try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () -> try loop () with e ->
@@ -157,10 +209,13 @@ let handle_connection engine faults ~stop ~wake ~active fd =
            m "connection thread escaped: %s" (Printexc.to_string e)))
 
 let serve ?workers ?queue_capacity ?cache_capacity ?(max_connections = 256)
-    ?(read_timeout_s = 30.) ?(drain_timeout_s = 5.) ?(faults = Faults.off)
-    ?(trace = false) ~socket () =
+    ?(max_inflight = 32) ?(read_timeout_s = 30.) ?(drain_timeout_s = 5.)
+    ?(faults = Faults.off) ?(trace = false) ~socket () =
   if max_connections < 1 then
     invalid_arg "Server.serve: max_connections must be >= 1";
+  if max_inflight < 1 then
+    invalid_arg "Server.serve: max_inflight must be >= 1";
+  let addr = Transport.of_string_exn socket in
   if trace then begin
     Ssg_obs.Tracer.reset ();
     Ssg_obs.Tracer.set_enabled true
@@ -169,16 +224,14 @@ let serve ?workers ?queue_capacity ?cache_capacity ?(max_connections = 256)
      daemon. *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
    with Invalid_argument _ | Sys_error _ -> ());
-  prepare_address socket;
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
-  Unix.listen listen_fd 64;
+  let listen_fd = Transport.listen addr in
+  let addr = Transport.bound_addr listen_fd addr in
   let engine = Engine.create ?workers ?queue_capacity ?cache_capacity ~faults () in
   let telemetry = Engine.telemetry engine in
   let stop = Atomic.make false in
   let active = Atomic.make 0 in
-  let wake () = poke socket in
-  Log.app (fun m -> m "ssgd listening on %s" socket);
+  let wake () = Transport.poke addr in
+  Log.app (fun m -> m "ssgd listening on %s" (Transport.to_string addr));
   if not (Faults.is_off faults) then
     Log.app (fun m -> m "chaos mode: injecting %s" (Faults.spec faults));
   let rec accept_loop () =
@@ -198,6 +251,8 @@ let serve ?workers ?queue_capacity ?cache_capacity ?(max_connections = 256)
           end
           else begin
             Atomic.incr active;
+            (try Unix.setsockopt client_fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
             if read_timeout_s > 0. then
               (try
                  Unix.setsockopt_float client_fd Unix.SO_RCVTIMEO
@@ -205,7 +260,8 @@ let serve ?workers ?queue_capacity ?cache_capacity ?(max_connections = 256)
                with Unix.Unix_error _ -> ());
             ignore
               (Thread.create
-                 (handle_connection engine faults ~stop ~wake ~active)
+                 (handle_connection engine faults ~stop ~wake ~active
+                    ~max_inflight)
                  client_fd)
           end
       | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
@@ -225,5 +281,5 @@ let serve ?workers ?queue_capacity ?cache_capacity ?(max_connections = 256)
     Log.warn (fun m ->
         m "drain timeout: abandoning %d connection(s)" (Atomic.get active));
   Engine.shutdown engine;
-  (try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ());
+  Transport.cleanup addr;
   Log.app (fun m -> m "ssgd stopped")

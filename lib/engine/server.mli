@@ -1,31 +1,49 @@
-(** The [ssgd] daemon: {!Engine} served over a Unix-domain socket.
+(** The [ssgd] daemon: {!Engine} served over a Unix-domain or TCP
+    socket ({!Ssg_net.Transport} addresses — [unix:PATH], [tcp:HOST:PORT],
+    or a bare path).
 
     One listener, one lightweight [Thread] per client connection (the
     handlers only do blocking I/O and waiting — the actual simulation
-    work runs on the engine's worker {e domains}), each connection a
-    strict request/reply pipeline of {!Protocol} frames.
+    work runs on the engine's worker {e domains}).  Each connection
+    carries one of two frame dialects, classified frame by frame:
+
+    - {e plain} {!Protocol} frames — the historical strict
+      request/reply pipeline, answered in order;
+    - {e id-framed} requests ({!Ssg_net.Frame}) — pipelined: up to
+      [max_inflight] requests per connection run concurrently and
+      replies return {e in completion order}, each carrying its
+      request's id.  Past the cap the reader serves requests inline,
+      so a flooding client is throttled by its own socket rather than
+      queueing unboundedly.
 
     {b Supervision.}  Every connection runs inside a catch-all boundary:
     a malformed frame or job, an oversized header, a peer dying
-    mid-frame, or any exception escaping dispatch is answered with an
-    [Error] reply where the wire still allows one, counted in
-    {!Telemetry}, and the descriptor is {e always} closed — a hostile
-    client can cost the server one thread for one exchange, never a
-    leaked fd or a hung peer.  Half-open clients are reaped by a
-    per-connection read timeout ([SO_RCVTIMEO]); connections beyond
-    [max_connections] are refused with an explanatory [Error].
+    mid-frame, a reply write failing with [EPIPE]/[ECONNRESET] because
+    the client vanished between request and reply, or any exception
+    escaping dispatch is answered with an [Error] reply where the wire
+    still allows one, counted in {!Telemetry}, and the descriptor is
+    {e always} closed — a hostile client can cost the server one thread
+    for one exchange, never a leaked fd or a hung peer.  Half-open
+    clients are reaped by a per-connection read timeout ([SO_RCVTIMEO]);
+    connections beyond [max_connections] are refused with an
+    explanatory [Error].
 
     Shutdown is cooperative: a [Shutdown] request answers
     [Shutting_down], stops the accept loop, {e drains} live connections
     (bounded by [drain_timeout_s]) and the engine's queue, and removes
-    the socket file.  A stale socket file from a dead server is replaced
-    on startup. *)
+    the socket file.  A stale Unix socket file from a dead server is
+    replaced on startup. *)
 
 (** [serve ~socket ()] binds, prints nothing, logs on [ssg.server], and
     {b blocks} until a client sends [Shutdown].  Engine sizing options
     are {!Engine.create}'s.
+    - [socket]: a {!Ssg_net.Transport} address string ([unix:PATH],
+      [tcp:HOST:PORT], or a bare Unix-socket path).
     - [max_connections] (default 256): concurrent connections beyond
       this are answered [Error "server at connection limit"] and closed.
+    - [max_inflight] (default 32): pipelined requests running
+      concurrently per connection before the reader applies
+      back-pressure.
     - [read_timeout_s] (default 30., [<= 0.] disables): a connection
       idle or stalled mid-frame for this long is reaped.
     - [drain_timeout_s] (default 5.): how long shutdown waits for live
@@ -38,12 +56,14 @@
       request ([ssg trace --remote]).
     @raise Unix.Unix_error if the address is unusable (e.g. a live
     server already listening).
-    @raise Invalid_argument if [max_connections < 1]. *)
+    @raise Invalid_argument if the address string does not parse, or
+    [max_connections < 1], or [max_inflight < 1]. *)
 val serve :
   ?workers:int ->
   ?queue_capacity:int ->
   ?cache_capacity:int ->
   ?max_connections:int ->
+  ?max_inflight:int ->
   ?read_timeout_s:float ->
   ?drain_timeout_s:float ->
   ?faults:Faults.t ->

@@ -1,0 +1,329 @@
+let log_src = Logs.Src.create "ssg.gateway" ~doc:"HTTP/JSON gateway"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+module Transport = Ssg_net.Transport
+module Http = Ssg_net.Http
+module Metrics = Ssg_obs.Metrics
+module Tracer = Ssg_obs.Tracer
+open Ssg_engine
+
+type t = {
+  backend : string;
+  backend_deadline_s : float;
+  block : Mutex.t;
+  mutable pc : Pclient.t option;
+  metrics : Metrics.t;
+  requests : Metrics.counter;
+  submits : Metrics.counter;
+  client_errors : Metrics.counter;  (* 4xx *)
+  backend_errors : Metrics.counter;  (* 502 *)
+}
+
+(* The shared pipelined backend connection, re-dialed lazily after a
+   failure.  Holding [block] only around the look-or-dial keeps
+   concurrent HTTP handlers from racing a reconnect; the returned
+   client is itself thread-safe. *)
+let backend_client t =
+  Mutex.lock t.block;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.block)
+    (fun () ->
+      match t.pc with
+      | Some pc when Pclient.alive pc -> pc
+      | stale ->
+          (match stale with Some pc -> Pclient.close pc | None -> ());
+          let pc =
+            Pclient.connect ~retries:1 ~deadline_s:t.backend_deadline_s
+              ~socket:t.backend ()
+          in
+          t.pc <- Some pc;
+          pc)
+
+(* ---------------- JSON rendering ---------------- *)
+
+let json_of_outcome (o : Job.outcome) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"algorithm\":\"%s\",\"n\":%d,\"min_k\":%d,\"rounds_run\":%d,"
+       (Http.json_escape o.algorithm) o.n o.min_k o.rounds_run);
+  Buffer.add_string buf "\"decisions\":[";
+  Array.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      match d with
+      | None -> Buffer.add_string buf "null"
+      | Some (round, value) ->
+          Buffer.add_string buf (Printf.sprintf "[%d,%d]" round value))
+    o.decisions;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"distinct_decisions\":%d,\"messages_sent\":%d,\
+        \"messages_delivered\":%d,\"bits_sent\":%d,"
+       o.distinct_decisions o.messages_sent o.messages_delivered o.bits_sent);
+  Buffer.add_string buf "\"violations\":[";
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\"" (Http.json_escape v)))
+    o.violations;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let json_error msg = Printf.sprintf "{\"error\":\"%s\"}" (Http.json_escape msg)
+
+(* ---------------- route handlers ---------------- *)
+
+(* Each handler returns (status, content_type, body). *)
+
+let parse_submit_params req =
+  let bad what = Error (Printf.sprintf "bad %s parameter" what) in
+  let int_param name default =
+    match Http.query_param req name with
+    | None -> Ok default
+    | Some s -> (
+        match int_of_string_opt s with Some v -> Ok (Some v) | None -> bad name)
+  in
+  let bool_param name =
+    match Http.query_param req name with
+    | None | Some "0" | Some "false" -> Ok false
+    | Some "1" | Some "true" -> Ok true
+    | Some _ -> bad name
+  in
+  let algorithm =
+    match Http.query_param req "algorithm" with
+    | None | Some "kset" -> Ok Job.Kset
+    | Some "floodmin" -> Ok Job.Floodmin
+    | Some "flood-consensus" -> Ok Job.Flood_consensus
+    | Some "naive-min" -> Ok Job.Naive_min
+    | Some other ->
+        Error
+          (Printf.sprintf
+             "unknown algorithm %S (expected kset | floodmin | \
+              flood-consensus | naive-min)"
+             other)
+  in
+  match (int_param "k" None, int_param "rounds" None, bool_param "monitor",
+         algorithm)
+  with
+  | Ok k, Ok rounds, Ok monitor, Ok algorithm ->
+      Ok (Option.value k ~default:1, rounds, monitor, algorithm)
+  | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e
+    ->
+      Error e
+
+let handle_submit t req =
+  Metrics.incr t.submits;
+  match parse_submit_params req with
+  | Error msg -> (400, "application/json", json_error msg)
+  | Ok (k, rounds, monitor, algorithm) -> (
+      match Job.of_run_text ~algorithm ~k ?rounds ~monitor req.Http.body with
+      | exception (Failure msg | Invalid_argument msg) ->
+          (400, "application/json", json_error msg)
+      | job -> (
+          match Pclient.await (Pclient.submit (backend_client t) job) with
+          | exception Failure msg -> (502, "application/json", json_error msg)
+          | exception Unix.Unix_error (e, _, _) ->
+              (502, "application/json", json_error (Unix.error_message e))
+          | Ok { Job.result = Ok outcome; cached; latency_ms } ->
+              ( 200,
+                "application/json",
+                Printf.sprintf
+                  "{\"cached\":%b,\"latency_ms\":%.3f,\"outcome\":%s}" cached
+                  latency_ms (json_of_outcome outcome) )
+          | Ok { Job.result = Error msg; cached; latency_ms } ->
+              ( 422,
+                "application/json",
+                Printf.sprintf
+                  "{\"cached\":%b,\"latency_ms\":%.3f,\"error\":\"%s\"}"
+                  cached latency_ms (Http.json_escape msg) )
+          | Error msg ->
+              (* A protocol-level Error reply: deterministic rejections
+                 (the lint front door) are the request's fault; anything
+                 else means the backend path failed. *)
+              let status =
+                if
+                  String.length msg >= 16
+                  && String.sub msg 0 16 = "job rejected by "
+                then 422
+                else 502
+              in
+              (status, "application/json", json_error msg)))
+
+let handle_stats t =
+  match Pclient.await (Pclient.stats (backend_client t)) with
+  | Ok snapshot -> (200, "application/json", Telemetry.json_of_snapshot snapshot)
+  | Error msg -> (502, "application/json", json_error msg)
+  | exception (Failure msg | Invalid_argument msg) ->
+      (502, "application/json", json_error msg)
+  | exception Unix.Unix_error (e, _, _) ->
+      (502, "application/json", json_error (Unix.error_message e))
+
+let handle_metrics t =
+  let own = Metrics.to_prometheus t.metrics in
+  match Pclient.await (Pclient.metrics_text (backend_client t)) with
+  | Ok text -> (200, "text/plain; version=0.0.4", own ^ text)
+  | Error msg -> (200, "text/plain; version=0.0.4", own ^ "# backend unreachable: " ^ msg ^ "\n")
+  | exception (Failure msg | Invalid_argument msg) ->
+      (200, "text/plain; version=0.0.4", own ^ "# backend unreachable: " ^ msg ^ "\n")
+  | exception Unix.Unix_error (e, _, _) ->
+      ( 200,
+        "text/plain; version=0.0.4",
+        own ^ "# backend unreachable: " ^ Unix.error_message e ^ "\n" )
+
+let dispatch t ~stop ~wake req =
+  match (req.Http.meth, req.Http.path) with
+  | "POST", "/submit" -> handle_submit t req
+  | "GET", "/stats" -> handle_stats t
+  | "GET", "/metrics" -> handle_metrics t
+  | "GET", "/healthz" -> (200, "application/json", "{\"status\":\"ok\"}")
+  | "POST", "/shutdown" ->
+      Log.info (fun m -> m "gateway shutdown requested");
+      Atomic.set stop true;
+      wake ();
+      (200, "application/json", "{\"status\":\"shutting down\"}")
+  | meth, (("/submit" | "/stats" | "/metrics" | "/healthz" | "/shutdown") as path)
+    ->
+      ( 405,
+        "application/json",
+        json_error (Printf.sprintf "method %s not allowed for %s" meth path) )
+  | ("GET" | "POST"), _ ->
+      (404, "application/json", json_error ("no route for " ^ req.Http.path))
+  | meth, _ ->
+      (405, "application/json", json_error ("method not allowed: " ^ meth))
+
+let handle_connection t ~stop ~wake ~active fd =
+  let conn = Http.conn_of_fd fd in
+  let rec loop () =
+    match Http.read_request conn with
+    | None -> ()  (* clean close between requests *)
+    | exception End_of_file -> ()  (* peer died mid-request *)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Log.info (fun m -> m "reaping stalled connection")
+    | exception Unix.Unix_error _ -> ()
+    | exception Http.Bad_request msg ->
+        (* The request could not be framed, so neither can the rest of
+           the stream: answer and drop the connection. *)
+        (try
+           Http.write_response ~status:400 ~keep_alive:false fd
+             (json_error msg)
+         with _ -> ())
+    | Some req ->
+        Metrics.incr t.requests;
+        let status, content_type, body =
+          let run () =
+            try dispatch t ~stop ~wake req
+            with e ->
+              (500, "application/json", json_error (Printexc.to_string e))
+          in
+          if Tracer.enabled () then
+            Tracer.with_span "gateway.request"
+              ~args:
+                [
+                  ("method", Tracer.Str req.Http.meth);
+                  ("path", Tracer.Str req.Http.path);
+                ]
+              run
+          else run ()
+        in
+        if status >= 400 && status < 500 then Metrics.incr t.client_errors;
+        if status = 502 then Metrics.incr t.backend_errors;
+        let keep = Http.keep_alive req && not (Atomic.get stop) in
+        (match
+           Http.write_response ~status ~content_type ~keep_alive:keep fd body
+         with
+        | () -> if keep then loop ()
+        | exception (Sys_error _ | Unix.Unix_error _) ->
+            (* EPIPE / ECONNRESET: the client vanished between request
+               and reply; reclaim the connection quietly. *)
+            ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr active;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try loop ()
+      with e ->
+        Log.err (fun m ->
+            m "gateway connection thread escaped: %s" (Printexc.to_string e)))
+
+let serve ?(backend_deadline_s = 30.) ?(max_connections = 1024)
+    ?(read_timeout_s = 30.) ?(drain_timeout_s = 5.) ~listen ~backend () =
+  if max_connections < 1 then
+    invalid_arg "Gateway.serve: max_connections must be >= 1";
+  if backend_deadline_s <= 0. then
+    invalid_arg "Gateway.serve: backend_deadline_s must be > 0";
+  let addr = Transport.of_string_exn listen in
+  ignore (Transport.of_string_exn backend);
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ | Sys_error _ -> ());
+  let metrics = Metrics.create () in
+  let counter name help = Metrics.counter metrics ~help name in
+  let t =
+    {
+      backend;
+      backend_deadline_s;
+      block = Mutex.create ();
+      pc = None;
+      metrics;
+      requests = counter "ssg_gateway_requests_total" "HTTP requests received";
+      submits = counter "ssg_gateway_submits_total" "POST /submit requests";
+      client_errors =
+        counter "ssg_gateway_client_errors_total" "Responses with a 4xx status";
+      backend_errors =
+        counter "ssg_gateway_backend_errors_total"
+          "Responses with a 502 status (backend unreachable or failed)";
+    }
+  in
+  let listen_fd = Transport.listen addr in
+  let addr = Transport.bound_addr listen_fd addr in
+  let stop = Atomic.make false in
+  let active = Atomic.make 0 in
+  let wake () = Transport.poke addr in
+  Log.app (fun m ->
+      m "ssg gateway listening on %s, backend %s" (Transport.to_string addr)
+        backend);
+  let rec accept_loop () =
+    if not (Atomic.get stop) then begin
+      (match Unix.accept listen_fd with
+      | client_fd, _ ->
+          if Atomic.get stop then (try Unix.close client_fd with _ -> ())
+          else if Atomic.get active >= max_connections then begin
+            (try
+               Http.write_response ~status:503 ~keep_alive:false client_fd
+                 (json_error "gateway at connection limit")
+             with _ -> ());
+            try Unix.close client_fd with _ -> ()
+          end
+          else begin
+            Atomic.incr active;
+            (try Unix.setsockopt client_fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+            if read_timeout_s > 0. then
+              (try
+                 Unix.setsockopt_float client_fd Unix.SO_RCVTIMEO
+                   read_timeout_s
+               with Unix.Unix_error _ -> ());
+            ignore
+              (Thread.create
+                 (handle_connection t ~stop ~wake ~active)
+                 client_fd)
+          end
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+          ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  let deadline = Unix.gettimeofday () +. drain_timeout_s in
+  while Atomic.get active > 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  if Atomic.get active > 0 then
+    Log.warn (fun m ->
+        m "drain timeout: abandoning %d connection(s)" (Atomic.get active));
+  (match t.pc with Some pc -> Pclient.close pc | None -> ());
+  Transport.cleanup addr;
+  Log.app (fun m -> m "ssg gateway stopped")

@@ -1,0 +1,51 @@
+(** The HTTP/JSON front door: [ssg gateway].
+
+    A thin HTTP/1.1 facade over the native wire protocol, for clients
+    that speak curl rather than {!Ssg_engine.Protocol}.  All backend
+    traffic is multiplexed over {e one} pipelined connection
+    ({!Ssg_engine.Pclient}): N concurrent HTTP requests become N
+    in-flight id-framed requests, so a slow submission does not
+    head-of-line-block a stats scrape.  The backend connection is
+    re-dialed lazily after it fails — a worker restart costs the
+    requests in flight, not the gateway.
+
+    Routes:
+    - [POST /submit?k=K&algorithm=A&rounds=R&monitor=B] with the run
+      description ([ssg-run v1] text) as the body.  Replies JSON:
+      [200] with the completion (outcome, cached flag, latency),
+      [400] on malformed parameters or run text, [422] when the job
+      was rejected (lint) or failed executing, [502] when the backend
+      could not be reached.
+    - [GET /stats] — the backend's merged telemetry snapshot as JSON.
+    - [GET /metrics] — Prometheus text: the gateway's own series
+      ([ssg_gateway_*]) followed by the backend's exposition.
+    - [GET /healthz] — liveness (does not touch the backend).
+    - [POST /shutdown] — stops the {e gateway} (never the backend).
+
+    Supervision mirrors {!Ssg_engine.Server}: SIGPIPE is ignored, a
+    client vanishing between request and reply ([EPIPE]/[ECONNRESET])
+    or sending garbage costs that connection only, stalled connections
+    are reaped by [read_timeout_s], and shutdown drains live
+    connections bounded by [drain_timeout_s]. *)
+
+(** [serve ~listen ~backend ()] binds the HTTP socket at [listen] (a
+    {!Ssg_net.Transport} address string) fronting the native-protocol
+    service at [backend], and {b blocks} until [POST /shutdown].
+
+    - [backend_deadline_s] (default 30): liveness deadline on the
+      pipelined backend connection — total silence for that long fails
+      the in-flight requests with 502s.
+    - [max_connections] (default 1024), [read_timeout_s] (default 30),
+      [drain_timeout_s] (default 5): front-socket guards, as in
+      {!Ssg_engine.Server.serve}.
+    @raise Invalid_argument on malformed addresses or non-positive
+    limits, [Unix.Unix_error] when [listen] cannot be bound. *)
+val serve :
+  ?backend_deadline_s:float ->
+  ?max_connections:int ->
+  ?read_timeout_s:float ->
+  ?drain_timeout_s:float ->
+  listen:string ->
+  backend:string ->
+  unit ->
+  unit

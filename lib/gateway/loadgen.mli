@@ -1,0 +1,88 @@
+(** Synthetic load against a native-protocol endpoint: [ssg loadgen].
+
+    Drives [connections] concurrent connections (10k+ works — each
+    driver {e thread} owns a slice of the connections, so descriptor
+    count, not thread count, is the scaling limit) against a worker or
+    router address, measures per-request latency, and grades the run
+    against SLO specs like [p99<250ms].
+
+    Two arrival models:
+    - {e closed-loop} (default): each connection keeps exactly
+      [pipeline] requests in flight — send a batch, read the replies,
+      repeat.  Throughput is whatever the service sustains.
+    - {e open-loop} ([rate] > 0): requests are {e scheduled} at a fixed
+      aggregate rate, split evenly across connections, and latency is
+      measured from the {e scheduled} send time — queueing delay from a
+      service that cannot keep up counts against it (no coordinated
+      omission).
+
+    The job mix is [cached:uncached:lint-error] weights.  Cached jobs
+    repeat one key (the server's LRU hit path), uncached jobs get a
+    fresh key each (full simulation), lint-error jobs are {e expected}
+    to be rejected by the server's lint front door — a rejection reply
+    to one counts as [rejected], not as an error; {e any} other
+    deviation (connect failure, deadline, unexpected reply, transport
+    death) is a client-visible [error]. *)
+
+type mix = { cached : int; uncached : int; lint_error : int }
+
+(** One SLO gate: [quantile] in (0,1), [limit_ms] the bound. *)
+type slo = { quantile : float; limit_ms : float; spec : string }
+
+(** [slo_of_string "p99<250ms"] — also [p50], [p95], any [pNN] /
+    [pNN.N]; the unit suffix [ms] is required. *)
+val slo_of_string : string -> (slo, string) result
+
+type report = {
+  connections : int;
+  sent : int;
+  completed : int;  (** replies with the expected shape, lint included *)
+  rejected : int;  (** expected lint rejections *)
+  errors : int;  (** client-visible failures of any kind *)
+  duration_s : float;
+  throughput_rps : float;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  slo_violations : string list;  (** empty iff every SLO held *)
+}
+
+(** [percentile sorted q] — linear-interpolated [q]-quantile of a
+    sorted array (exposed for tests; [nan] on empty input). *)
+val percentile : float array -> float -> float
+
+(** [run ~connections ~duration_s ~target ()] — drive load, block until
+    done, report.
+
+    - [threads] (default [min connections 8]): driver threads; each
+      owns [connections / threads] connections.
+    - [pipeline] (default 1): in-flight requests per connection
+      (closed-loop only).
+    - [rate] (default 0. = closed-loop): open-loop aggregate
+      requests/second across all connections.
+    - [mix] (default [{cached = 8; uncached = 1; lint_error = 1}]).
+    - [deadline_s] (default 30): per-connection reply deadline; a miss
+      is an error and the connection is re-dialed.
+    - [slos] (default none): gates evaluated into [slo_violations].
+    @raise Invalid_argument on nonsensical parameters. *)
+val run :
+  ?threads:int ->
+  ?pipeline:int ->
+  ?rate:float ->
+  ?mix:mix ->
+  ?deadline_s:float ->
+  ?slos:slo list ->
+  connections:int ->
+  duration_s:float ->
+  target:string ->
+  unit ->
+  report
+
+(** [to_json r] — the report as a compact JSON object (what the bench
+    baseline and CI artifacts store). *)
+val to_json : report -> string
+
+(** [pp] — a human-readable multi-line rendering. *)
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,46 @@
+(** Length-prefixed frames and the request-id envelope.
+
+    The wire unit everywhere is a {e frame}: a 4-byte big-endian payload
+    length, then the payload.  This module adds the {e multiplexing
+    envelope} on top: a payload whose first byte is {!id_magic} carries
+    an 8-byte big-endian request id before the inner payload, and a
+    connection carrying id-framed requests may answer them {b out of
+    order} — each reply repeats the id of the request it answers.
+
+    Compatibility: the magic byte is not a valid first byte of any plain
+    protocol payload (request and reply tags are distinct constants),
+    so a server can classify each frame independently — old clients
+    that never send the envelope keep the strict in-order request/reply
+    pipeline they always had. *)
+
+(** Frames larger than this (16 MiB) are refused by both sides. *)
+val max_frame_bytes : int
+
+(** First byte of an id-framed payload. *)
+val id_magic : char
+
+(** [with_id ~id payload] wraps [payload] in the envelope.
+    @raise Invalid_argument if [id < 0]. *)
+val with_id : id:int -> Bytes.t -> Bytes.t
+
+type classified =
+  | Plain of Bytes.t  (** not id-framed: the payload itself *)
+  | Id of int * Bytes.t  (** id-framed: request id and inner payload *)
+
+(** [classify payload] — {!Id} when the payload starts with {!id_magic}
+    (and is long enough to carry the id), {!Plain} otherwise.
+    @raise Failure on a payload that starts with the magic byte but is
+    too short to carry an id — a truncated envelope, not a plain
+    payload. *)
+val classify : Bytes.t -> classified
+
+(** Descriptor framing, shared by every transport (Unix or TCP).
+    Readers
+    @raise End_of_file on a peer closed at a frame boundary,
+    @raise Failure on oversized frames or a peer dying mid-frame,
+    @raise Unix.Unix_error as the syscalls do (notably
+    [EAGAIN]/[EWOULDBLOCK] when [SO_RCVTIMEO] fires). *)
+
+val read_fd : Unix.file_descr -> Bytes.t
+
+val write_fd : Unix.file_descr -> Bytes.t -> unit

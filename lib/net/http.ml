@@ -1,0 +1,256 @@
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+exception Bad_request of string
+
+let max_header_bytes = 16 * 1024
+let max_body_bytes = 16 * 1024 * 1024
+
+(* ---------------- buffered reads ---------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;
+  mutable len : int;
+}
+
+let conn_of_fd fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+
+let rec refill c =
+  if c.pos >= c.len then begin
+    let n =
+      try Unix.read c.fd c.buf 0 (Bytes.length c.buf)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+    in
+    if n = 0 then raise End_of_file;
+    if n > 0 then begin
+      c.pos <- 0;
+      c.len <- n
+    end
+    else refill c
+  end
+
+let read_byte c =
+  refill c;
+  let b = Bytes.get c.buf c.pos in
+  c.pos <- c.pos + 1;
+  b
+
+(* One header line, CRLF (or bare LF) stripped, with a running budget
+   against absurd header blocks. *)
+let read_line c budget =
+  let line = Buffer.create 64 in
+  let rec go () =
+    if Buffer.length line > !budget then
+      raise (Bad_request "header block too large");
+    match read_byte c with
+    | '\n' -> ()
+    | '\r' -> (
+        match read_byte c with
+        | '\n' -> ()
+        | _ -> raise (Bad_request "bare CR in header line"))
+    | ch ->
+        Buffer.add_char line ch;
+        go ()
+  in
+  go ();
+  budget := !budget - Buffer.length line;
+  Buffer.contents line
+
+let read_exact c n =
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    refill c;
+    let take = min (n - !filled) (c.len - c.pos) in
+    Bytes.blit c.buf c.pos out !filled take;
+    c.pos <- c.pos + take;
+    filled := !filled + take
+  done;
+  Bytes.unsafe_to_string out
+
+(* ---------------- parsing ---------------- *)
+
+let hex_value ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+  | _ -> raise (Bad_request "bad percent escape")
+
+let percent_decode ?(plus_is_space = false) s =
+  let out = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then begin
+      (match s.[i] with
+      | '%' ->
+          if i + 2 >= n then raise (Bad_request "truncated percent escape");
+          Buffer.add_char out
+            (Char.chr ((hex_value s.[i + 1] * 16) + hex_value s.[i + 2]))
+      | '+' when plus_is_space -> Buffer.add_char out ' '
+      | ch -> Buffer.add_char out ch);
+      go (if s.[i] = '%' then i + 3 else i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents out
+
+let parse_query q =
+  if q = "" then []
+  else
+    String.split_on_char '&' q
+    |> List.filter_map (fun pair ->
+           if pair = "" then None
+           else
+             match String.index_opt pair '=' with
+             | None -> Some (percent_decode ~plus_is_space:true pair, "")
+             | Some i ->
+                 Some
+                   ( percent_decode ~plus_is_space:true (String.sub pair 0 i),
+                     percent_decode ~plus_is_space:true
+                       (String.sub pair (i + 1) (String.length pair - i - 1))
+                   ))
+
+let parse_target target =
+  match String.index_opt target '?' with
+  | None -> (percent_decode target, [])
+  | Some i ->
+      ( percent_decode (String.sub target 0 i),
+        parse_query (String.sub target (i + 1) (String.length target - i - 1))
+      )
+
+let split_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] -> (meth, target, version)
+  | _ -> raise (Bad_request (Printf.sprintf "malformed request line %S" line))
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None -> raise (Bad_request (Printf.sprintf "malformed header %S" line))
+  | Some i ->
+      ( String.lowercase_ascii (String.trim (String.sub line 0 i)),
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let header req name =
+  List.assoc_opt (String.lowercase_ascii name) req.headers
+
+let query_param req name = List.assoc_opt name req.query
+
+let read_request c =
+  match read_line c (ref max_header_bytes) with
+  | exception End_of_file -> None
+  | "" -> None  (* tolerate a stray blank line before the request *)
+  | line ->
+      let meth, target, version = split_request_line line in
+      if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+        raise (Bad_request (Printf.sprintf "unsupported version %S" version));
+      let budget = ref max_header_bytes in
+      let rec headers acc =
+        match read_line c budget with
+        | "" -> List.rev acc
+        | line -> headers (parse_header line :: acc)
+      in
+      let headers = headers [] in
+      let assoc name = List.assoc_opt name headers in
+      (match assoc "transfer-encoding" with
+      | Some te when String.lowercase_ascii te <> "identity" ->
+          raise (Bad_request "chunked request bodies are not supported")
+      | _ -> ());
+      let body =
+        match assoc "content-length" with
+        | None -> ""
+        | Some l -> (
+            match int_of_string_opt (String.trim l) with
+            | Some n when n >= 0 && n <= max_body_bytes -> read_exact c n
+            | Some _ -> raise (Bad_request "content-length out of range")
+            | None -> raise (Bad_request "malformed content-length"))
+      in
+      let path, query = parse_target target in
+      let version_headers =
+        ("x-http-version", version) :: headers
+        (* stashed so [keep_alive] can apply the 1.0/1.1 defaults
+           without widening the record *)
+      in
+      Some
+        { meth = String.uppercase_ascii meth; path; query;
+          headers = version_headers; body }
+
+let keep_alive req =
+  let connection =
+    Option.map String.lowercase_ascii (header req "connection")
+  in
+  match (header req "x-http-version", connection) with
+  | _, Some "close" -> false
+  | Some "HTTP/1.0", Some "keep-alive" -> true
+  | Some "HTTP/1.0", _ -> false
+  | _, _ -> true
+
+(* ---------------- responses ---------------- *)
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 422 -> "Unprocessable Content"
+  | 500 -> "Internal Server Error"
+  | 502 -> "Bad Gateway"
+  | 503 -> "Service Unavailable"
+  | code -> if code < 400 then "OK" else "Error"
+
+let really_write fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n =
+        try Unix.write fd buf off len
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let write_response ?(content_type = "application/json")
+    ?(extra_headers = []) ?(keep_alive = true) ~status fd body =
+  let buf = Buffer.create (256 + String.length body) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason_phrase status));
+  Buffer.add_string buf (Printf.sprintf "content-type: %s\r\n" content_type);
+  Buffer.add_string buf
+    (Printf.sprintf "content-length: %d\r\n" (String.length body));
+  Buffer.add_string buf
+    (if keep_alive then "connection: keep-alive\r\n"
+     else "connection: close\r\n");
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    extra_headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf body;
+  let bytes = Buffer.to_bytes buf in
+  really_write fd bytes 0 (Bytes.length bytes)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf

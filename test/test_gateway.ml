@@ -1,0 +1,300 @@
+(* Gateway suite: the HTTP/JSON front door end to end against a real
+   worker (submit / stats / metrics / error statuses / shutdown), and
+   the load generator's pure parts (SLO specs, percentile math) plus a
+   short closed-loop smoke run with SLO grading. *)
+
+open Ssg_net
+open Ssg_engine
+open Ssg_gateway
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---------------- harness ---------------- *)
+
+let fresh_tcp () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "no port"
+  in
+  Unix.close fd;
+  Printf.sprintf "tcp:127.0.0.1:%d" port
+
+let wait_connect ?(deadline_s = 10.) socket =
+  let rec go tries =
+    if tries = 0 then Alcotest.fail "service did not come up";
+    match Client.connect ~retries:0 ~socket ~deadline_s () with
+    | c -> c
+    | exception Unix.Unix_error _ ->
+        Thread.delay 0.05;
+        go (tries - 1)
+  in
+  go 100
+
+let start_worker () =
+  let socket = fresh_tcp () in
+  let thread =
+    Thread.create
+      (fun () ->
+        Server.serve ~workers:2 ~queue_capacity:64 ~cache_capacity:64
+          ~drain_timeout_s:5. ~socket ())
+      ()
+  in
+  let c = wait_connect socket in
+  Client.close c;
+  (socket, thread)
+
+let stop_worker socket thread =
+  let c = wait_connect socket in
+  Client.shutdown c;
+  Client.close c;
+  Thread.join thread
+
+let two_islands = "ssg-run v1\nn 6\nstable: 0>1 1>2 2>0 3>4 4>5 5>3\n"
+
+(* A one-shot HTTP exchange: connect, send [raw], read to EOF, split
+   into (status, whole response text). *)
+let http_request listen raw =
+  let addr = Transport.of_string_exn listen in
+  let rec dial tries =
+    match Transport.connect addr with
+    | fd -> fd
+    | exception Unix.Unix_error _ when tries > 0 ->
+        Thread.delay 0.05;
+        dial (tries - 1)
+  in
+  let fd = dial 100 in
+  let bytes = Bytes.of_string raw in
+  ignore (Unix.write fd bytes 0 (Bytes.length bytes));
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  drain ();
+  Unix.close fd;
+  let text = Buffer.contents buf in
+  let status =
+    match String.split_on_char ' ' text with
+    | _ :: code :: _ -> int_of_string_opt code |> Option.value ~default:0
+    | _ -> 0
+  in
+  (status, text)
+
+let get listen path =
+  http_request listen
+    (Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n" path)
+
+let post listen path body =
+  http_request listen
+    (Printf.sprintf
+       "POST %s HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+       path (String.length body) body)
+
+(* ---------------- loadgen: pure parts ---------------- *)
+
+let test_slo_of_string () =
+  (match Loadgen.slo_of_string "p99<250ms" with
+  | Ok s ->
+      check "quantile" true (Float.abs (s.Loadgen.quantile -. 0.99) < 1e-9);
+      check "limit" true (s.Loadgen.limit_ms = 250.);
+      check "spec preserved" true (s.Loadgen.spec = "p99<250ms")
+  | Error e -> Alcotest.fail e);
+  (match Loadgen.slo_of_string "p50<1.5ms" with
+  | Ok s ->
+      check "fractional quantile" true (Float.abs (s.Loadgen.quantile -. 0.5) < 1e-9);
+      check "fractional limit" true (Float.abs (s.Loadgen.limit_ms -. 1.5) < 1e-9)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Loadgen.slo_of_string bad with
+      | Ok _ -> Alcotest.fail ("must reject " ^ bad)
+      | Error msg -> check ("rejection names the spec: " ^ bad) true (contains msg bad))
+    [ "p99"; "99<250ms"; "p99<250"; "p0<1ms"; "p100<1ms"; "p99<-3ms"; "<5ms" ]
+
+let test_percentile () =
+  check "empty is nan" true (Float.is_nan (Loadgen.percentile [||] 0.5));
+  check "singleton" true (Loadgen.percentile [| 7. |] 0.99 = 7.);
+  let sorted = [| 1.; 2.; 3.; 4. |] in
+  check "p0 is the min" true (Loadgen.percentile sorted 0. = 1.);
+  check "p100 is the max" true (Loadgen.percentile sorted 1. = 4.);
+  (* rank 0.5 * 3 = 1.5 — halfway between 2 and 3. *)
+  check "p50 interpolates" true
+    (Float.abs (Loadgen.percentile sorted 0.5 -. 2.5) < 1e-9);
+  check "p75 interpolates" true
+    (Float.abs (Loadgen.percentile sorted 0.75 -. 3.25) < 1e-9)
+
+(* ---------------- gateway: end to end ---------------- *)
+
+let test_gateway_end_to_end () =
+  let backend, wt = start_worker () in
+  let listen = fresh_tcp () in
+  let gt =
+    Thread.create
+      (fun () -> Gateway.serve ~drain_timeout_s:2. ~listen ~backend ())
+      ()
+  in
+  (* Liveness needs no backend round-trip. *)
+  let status, _ = get listen "/healthz" in
+  check_int "healthz" 200 status;
+  (* A good submission: JSON completion with the outcome. *)
+  let status, text = post listen "/submit?k=2" two_islands in
+  check_int "submit ok" 200 status;
+  check "outcome present" true (contains text "\"outcome\"");
+  check "six processes" true (contains text "\"n\":6");
+  check "cached flag present" true (contains text "\"cached\"");
+  (* The same job again is a cache hit. *)
+  let status, text = post listen "/submit?k=2" two_islands in
+  check_int "cache hit ok" 200 status;
+  check "served from cache" true (contains text "\"cached\":true");
+  (* k=1 is lint-rejected: 422 with the diagnostics. *)
+  let status, text = post listen "/submit?k=1" two_islands in
+  check_int "lint rejection is 422" 422 status;
+  check "diagnostics in the body" true (contains text "SSG");
+  (* Malformed parameters and run text: 400. *)
+  let status, _ = post listen "/submit?k=zero" two_islands in
+  check_int "bad k" 400 status;
+  let status, _ = post listen "/submit?algorithm=quantum" two_islands in
+  check_int "bad algorithm" 400 status;
+  let status, _ = post listen "/submit?k=2" "this is not a run" in
+  check_int "bad run text" 400 status;
+  (* Stats and metrics. *)
+  let status, text = get listen "/stats" in
+  check_int "stats" 200 status;
+  check "telemetry json" true (contains text "jobs_submitted");
+  let status, text = get listen "/metrics" in
+  check_int "metrics" 200 status;
+  check "gateway series" true (contains text "ssg_gateway_requests_total");
+  check "backend exposition appended" true (contains text "ssgd_jobs_submitted");
+  (* Unknown path / wrong method. *)
+  let status, _ = get listen "/nope" in
+  check_int "404" 404 status;
+  let status, _ = get listen "/submit" in
+  check_int "405 for GET /submit" 405 status;
+  (* Broken HTTP costs that connection a 400, not the gateway. *)
+  let status, _ = http_request listen "NONSENSE\r\n\r\n" in
+  check_int "syntactic garbage is 400" 400 status;
+  let status, _ = get listen "/healthz" in
+  check_int "still alive after garbage" 200 status;
+  (* Shutdown stops the gateway, never the backend. *)
+  let status, _ = post listen "/shutdown" "" in
+  check_int "shutdown acknowledged" 200 status;
+  Thread.join gt;
+  let c = wait_connect backend in
+  check "backend survived the gateway shutdown" true
+    ((Client.stats c).Telemetry.jobs_submitted >= 1);
+  Client.close c;
+  stop_worker backend wt
+
+let test_gateway_backend_down_is_502 () =
+  let dead = fresh_tcp () in
+  let listen = fresh_tcp () in
+  let gt =
+    Thread.create
+      (fun () -> Gateway.serve ~drain_timeout_s:1. ~listen ~backend:dead ())
+      ()
+  in
+  let status, text = post listen "/submit?k=2" two_islands in
+  check_int "unreachable backend is 502" 502 status;
+  check "error body" true (contains text "\"error\"");
+  (* Metrics still answer; the backend half degrades to a comment. *)
+  let status, text = get listen "/metrics" in
+  check_int "metrics degrade gracefully" 200 status;
+  check "own series still exposed" true (contains text "ssg_gateway_requests_total");
+  let status, _ = post listen "/shutdown" "" in
+  check_int "shutdown" 200 status;
+  Thread.join gt
+
+(* ---------------- loadgen: smoke ---------------- *)
+
+let test_loadgen_closed_loop_smoke () =
+  let socket, wt = start_worker () in
+  let report =
+    Loadgen.run ~threads:2 ~pipeline:4 ~connections:8 ~duration_s:0.5
+      ~target:socket
+      ~slos:
+        [
+          (match Loadgen.slo_of_string "p99<60000ms" with
+          | Ok s -> s
+          | Error e -> Alcotest.fail e);
+        ]
+      ()
+  in
+  check_int "connections as asked" 8 report.Loadgen.connections;
+  check "traffic flowed" true (report.Loadgen.sent > 0);
+  check_int "zero client-visible errors" 0 report.Loadgen.errors;
+  check "every send accounted for" true
+    (report.Loadgen.completed = report.Loadgen.sent);
+  check "default mix produces lint rejections" true (report.Loadgen.rejected > 0);
+  check "latencies measured" true (report.Loadgen.p99_ms > 0.);
+  check "percentiles ordered" true
+    (report.Loadgen.p50_ms <= report.Loadgen.p95_ms
+    && report.Loadgen.p95_ms <= report.Loadgen.p99_ms
+    && report.Loadgen.p99_ms <= report.Loadgen.max_ms);
+  check "generous slo holds" true (report.Loadgen.slo_violations = []);
+  check "json renders" true
+    (contains (Loadgen.to_json report) "\"throughput_rps\"");
+  (* An impossible SLO must be flagged. *)
+  let report =
+    Loadgen.run ~threads:1 ~connections:2 ~duration_s:0.2 ~target:socket
+      ~slos:
+        [
+          (match Loadgen.slo_of_string "p50<0.000001ms" with
+          | Ok s -> s
+          | Error e -> Alcotest.fail e);
+        ]
+      ()
+  in
+  check "impossible slo violated" true (report.Loadgen.slo_violations <> []);
+  stop_worker socket wt
+
+let test_loadgen_open_loop_smoke () =
+  let socket, wt = start_worker () in
+  let report =
+    Loadgen.run ~threads:2 ~rate:200. ~connections:4 ~duration_s:0.5
+      ~target:socket ()
+  in
+  check "open loop flowed" true (report.Loadgen.sent > 0);
+  check_int "open loop error-free" 0 report.Loadgen.errors;
+  (* 200 req/s for 0.5 s: the schedule bounds the send count. *)
+  check "rate respected" true (report.Loadgen.sent <= 140);
+  stop_worker socket wt
+
+let test_loadgen_rejects_nonsense () =
+  (match Loadgen.run ~connections:0 ~duration_s:1. ~target:"unix:/none" () with
+  | _ -> Alcotest.fail "connections=0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Loadgen.run ~connections:1 ~duration_s:0. ~target:"unix:/none" () with
+  | _ -> Alcotest.fail "duration=0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------- suite ---------------- *)
+
+let tests =
+  [
+    Alcotest.test_case "loadgen: slo specs" `Quick test_slo_of_string;
+    Alcotest.test_case "loadgen: percentile math" `Quick test_percentile;
+    Alcotest.test_case "gateway: end to end" `Quick test_gateway_end_to_end;
+    Alcotest.test_case "gateway: backend down" `Quick
+      test_gateway_backend_down_is_502;
+    Alcotest.test_case "loadgen: closed-loop smoke" `Quick
+      test_loadgen_closed_loop_smoke;
+    Alcotest.test_case "loadgen: open-loop smoke" `Quick
+      test_loadgen_open_loop_smoke;
+    Alcotest.test_case "loadgen: parameter validation" `Quick
+      test_loadgen_rejects_nonsense;
+  ]
