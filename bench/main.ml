@@ -30,11 +30,21 @@
       Unix one-shot when SSG_NET_GATE=1).  Prints a JSON summary line
       (what bench/baselines/BENCH_B14.json stores).
 
-   6. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
+   6. B15 — incremental skeleton hot path + sweep fan-out: the per-round
+      derivation pipeline (SCC analysis, PT rows, min_k) from scratch
+      every round versus the revision-cached incremental layer with a
+      warm-started MIS (gated >= 2x at n >= 64 when SSG_SWEEP_GATE=1),
+      plus the `ssg sweep` grid as one pipelined batch on 1 worker vs
+      the default pool (scaling leg of the gate arms on >= 4 cores).
+      Prints a JSON summary line (what bench/baselines/BENCH_B15.json
+      stores).
+
+   7. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
       paper (see DESIGN.md's index and EXPERIMENTS.md for discussion).
 
    Scale: set SSG_BENCH_SCALE=quick|standard|full (default standard).
-   Set SSG_BENCH_ONLY=B9|B12|B13|B14 to run a single wall-clock section.
+   Set SSG_BENCH_ONLY=B9|B12|B13|B14|B15 to run a single wall-clock
+   section.
    Set SSG_BENCH_CSV_DIR=<dir> to additionally write each experiment's
    table as <dir>/<id>.csv for external plotting. *)
 
@@ -727,6 +737,193 @@ let run_net_bench scale =
       Printf.printf "  gate: pipelined TCP >= unix one-shot (OK, %.2fx)\n" ratio;
   print_newline ()
 
+(* ---------------- B15: incremental skeleton hot path + sweep ---------------- *)
+
+(* The lib/skeleton claim: along the ⊇-chain (eq. 1) a round that removes
+   no skeleton edge changes {e nothing} downstream, so the per-round
+   derivations — SCC analysis, the PT rows, and min_k (a branch-and-bound
+   MIS) — can be served from revision-stamped caches, with the MIS search
+   warm-started from the previous round's witness when the skeleton does
+   shrink.  Both sides of the comparison consume the same trace and
+   produce the same per-round answers; only the recomputation discipline
+   differs:
+
+   - from scratch: Analysis.analyze + Timely.sources_of + Predicate.min_k
+     rebuilt from the current skeleton every round (what the monitors and
+     [ssg series] did before the incremental layer);
+   - incremental: Skeleton.Incremental absorbs each round graph, bumping a
+     revision only when edges were removed; analysis/PT/min_k are cached
+     per revision, so the long stable suffix costs one O(n²/w)
+     intersection per round and nothing else.
+
+   Gate (SSG_SWEEP_GATE=1): incremental >= 2x from-scratch at n >= 64.
+
+   The second half times [ssg sweep]'s fan-out: the same (n, k, family)
+   grid as one pipelined batch on a single-worker pool versus the
+   default pool, reporting jobs/s, the scaling ratio and how many pool
+   domains actually executed cells (Sweep.domains_used over the drained
+   tracer).  Near-linear scaling is only observable with idle cores, so
+   the >= 1.5x scaling leg of the gate arms itself only when the host
+   has >= 4 domains; the single-run speedup leg is host-independent. *)
+let run_sweep_bench scale =
+  let open Ssg_skeleton in
+  let n, rounds =
+    match scale with
+    | `Quick -> (64, 96)
+    | `Standard -> (64, 192)
+    | `Full -> (96, 288)
+  in
+  let k = max 1 (n / 8) in
+  let adv =
+    Build.block_sources (Rng.of_int 15000) ~n ~k ~prefix_len:6 ~noise:0.3 ()
+  in
+  let tr = Adversary.trace adv ~rounds in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let scratch_min_k, scratch_s =
+    time (fun () ->
+        let acc = Skeleton.start ~n in
+        let last = ref 0 in
+        for r = 1 to rounds do
+          ignore (Skeleton.absorb acc (Trace.graph tr r));
+          let skel = Skeleton.view acc in
+          let analysis = Analysis.analyze skel in
+          ignore (Analysis.root_count analysis);
+          last := Ssg_predicates.Predicate.min_k (Timely.sources_of skel)
+        done;
+        !last)
+  in
+  let inc_min_k, inc_s =
+    time (fun () ->
+        let inc = Incremental.start ~n in
+        let tracker = Ssg_predicates.Min_k_tracker.create () in
+        let last = ref 0 in
+        for r = 1 to rounds do
+          ignore (Incremental.absorb inc (Trace.graph tr r));
+          ignore (Analysis.root_count (Incremental.analysis inc));
+          last :=
+            Ssg_predicates.Min_k_tracker.min_k
+              ~revision:(Incremental.revision inc)
+              tracker (Incremental.pts inc)
+        done;
+        !last)
+  in
+  (* Same trace, same answers — the cache is an optimization, not an
+     approximation. *)
+  assert (scratch_min_k = inc_min_k);
+  let single_speedup = scratch_s /. Stdlib.max inc_s 1e-9 in
+  (* Sweep fan-out: a 4 (n, k) x 3 family grid, submit-all-then-await,
+     exactly the [ssg sweep] fold. *)
+  let grid =
+    Sweep.create ~ns:[ 10; 12 ] ~ks:[ 1; 2 ]
+      ~families:[ Sweep.Block_sources; Sweep.Partitioned; Sweep.Single_root ]
+      ~seed:15001
+  in
+  let cells = Sweep.cells grid in
+  let jobs =
+    List.map
+      (fun (cell : Sweep.cell) ->
+        let adv = Sweep.adversary cell in
+        Ssg_engine.Job.make ~k:(Sweep.effective_k cell adv) adv)
+      cells
+  in
+  let run_sweep workers =
+    let engine = Ssg_engine.Engine.create ~workers ~cache_capacity:0 () in
+    let (), s =
+      time (fun () ->
+          let tickets =
+            List.map (fun j -> Ssg_engine.Engine.submit engine j) jobs
+          in
+          List.iter
+            (fun t ->
+              let completion = Ssg_engine.Engine.await engine t in
+              assert (Result.is_ok completion.Ssg_engine.Job.result))
+            tickets)
+    in
+    Ssg_engine.Engine.shutdown engine;
+    s
+  in
+  let sweep_single_s = run_sweep 1 in
+  let sweep_workers = Stdlib.max 1 (Parallel.default_domains ()) in
+  Ssg_obs.Tracer.reset ();
+  Ssg_obs.Tracer.set_enabled true;
+  let sweep_multi_s = run_sweep sweep_workers in
+  Ssg_obs.Tracer.set_enabled false;
+  let domains_used = Sweep.domains_used (Ssg_obs.Tracer.events ()) in
+  let sweep_speedup = sweep_single_s /. Stdlib.max sweep_multi_s 1e-9 in
+  let ncells = List.length cells in
+  Printf.printf
+    "== B15: incremental skeleton hot path (n=%d, %d rounds) + sweep \
+     fan-out (%d cells) ==\n\n"
+    n rounds ncells;
+  let table = Table.create [ "derivation path"; "wall-clock"; "vs scratch" ] in
+  Table.add_row table
+    [
+      "from scratch every round (analysis+PT+min_k)";
+      Printf.sprintf "%.1f ms" (1000. *. scratch_s);
+      "1.00x";
+    ];
+  Table.add_row table
+    [
+      "incremental (revision-cached, warm MIS)";
+      Printf.sprintf "%.1f ms" (1000. *. inc_s);
+      Printf.sprintf "%.2fx" single_speedup;
+    ];
+  Table.print table;
+  let jps s = float_of_int ncells /. Stdlib.max s 1e-9 in
+  Printf.printf "\n";
+  let table = Table.create [ "sweep pool"; "wall-clock"; "cells/s"; "scaling" ] in
+  Table.add_row table
+    [
+      "1 worker";
+      Printf.sprintf "%.1f ms" (1000. *. sweep_single_s);
+      Printf.sprintf "%.0f" (jps sweep_single_s);
+      "1.00x";
+    ];
+  Table.add_row table
+    [
+      Printf.sprintf "%d workers (%d domains used)" sweep_workers domains_used;
+      Printf.sprintf "%.1f ms" (1000. *. sweep_multi_s);
+      Printf.sprintf "%.0f" (jps sweep_multi_s);
+      Printf.sprintf "%.2fx" sweep_speedup;
+    ];
+  Table.print table;
+  Printf.printf
+    "\n\
+    \  {\"bench\":\"B15\",\"n\":%d,\"rounds\":%d,\"scratch_s\":%.4f,\"incremental_s\":%.4f,\"speedup\":%.3f,\"sweep_cells\":%d,\"sweep_single_s\":%.4f,\"sweep_multi_s\":%.4f,\"sweep_workers\":%d,\"sweep_domains_used\":%d,\"sweep_speedup\":%.3f}\n"
+    n rounds scratch_s inc_s single_speedup ncells sweep_single_s sweep_multi_s
+    sweep_workers domains_used sweep_speedup;
+  if Sys.getenv_opt "SSG_SWEEP_GATE" = Some "1" then begin
+    if single_speedup < 2. then begin
+      Printf.printf
+        "  GATE FAILED: incremental path %.2fx < 2x from-scratch at n=%d\n"
+        single_speedup n;
+      exit 1
+    end
+    else
+      Printf.printf "  gate: incremental >= 2x from-scratch (OK, %.2fx)\n"
+        single_speedup;
+    if sweep_workers >= 4 then
+      if sweep_speedup < 1.5 then begin
+        Printf.printf
+          "  GATE FAILED: sweep scaling %.2fx < 1.5x with %d workers\n"
+          sweep_speedup sweep_workers;
+        exit 1
+      end
+      else
+        Printf.printf "  gate: sweep scaling >= 1.5x (OK, %.2fx)\n"
+          sweep_speedup
+    else
+      Printf.printf
+        "  gate: sweep-scaling leg skipped (%d worker domain(s); needs >= 4 \
+         idle cores to be a claim)\n"
+        sweep_workers
+  end;
+  print_newline ()
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -753,9 +950,12 @@ let () =
   | Some "B14" ->
       run_net_bench scale;
       exit 0
+  | Some "B15" ->
+      run_sweep_bench scale;
+      exit 0
   | Some other ->
       Printf.eprintf
-        "SSG_BENCH_ONLY=%s not recognized (B9 | B12 | B13 | B14)\n" other;
+        "SSG_BENCH_ONLY=%s not recognized (B9 | B12 | B13 | B14 | B15)\n" other;
       exit 2
   | None -> ());
   Printf.printf
@@ -766,6 +966,7 @@ let () =
   run_tracing_bench scale;
   run_cluster_bench scale;
   run_net_bench scale;
+  run_sweep_bench scale;
   let csv_dir = Sys.getenv_opt "SSG_BENCH_CSV_DIR" in
   (match csv_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755

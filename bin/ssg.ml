@@ -11,7 +11,8 @@
      submit      send one job, a --repeat batch, or FILE... to a service
      stats       query a running ssgd's metrics (text, --json or --prom)
      trace       record a Chrome trace of a run (or pull one from ssgd)
-     shutdown    gracefully stop a running ssgd (or router) *)
+     shutdown    gracefully stop a running ssgd (or router)
+     sweep       fan an (n, k, family) grid across the engine pool *)
 
 open Cmdliner
 open Ssg_util
@@ -1207,6 +1208,160 @@ let lint_cmd =
     Term.(const action $ k_opt_arg $ json_arg $ strict_arg $ files_arg)
 
 (* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let ns_arg =
+    let doc = "Comma-separated system sizes to sweep." in
+    Arg.(value & opt (list int) [ 8; 16 ] & info [ "ns" ] ~docv:"N,..." ~doc)
+  in
+  let ks_arg =
+    let doc = "Comma-separated agreement parameters to sweep." in
+    Arg.(value & opt (list int) [ 1; 2 ] & info [ "ks" ] ~docv:"K,..." ~doc)
+  in
+  let families_list_arg =
+    let doc =
+      "Comma-separated adversary families: block-sources | partitioned |        single-root | arbitrary."
+    in
+    Arg.(
+      value
+      & opt (list string) [ "block-sources"; "partitioned"; "single-root" ]
+      & info [ "families" ] ~docv:"FAM,..." ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains in the engine pool (default: all cores)." in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"W" ~doc)
+  in
+  let rounds_arg =
+    let doc =
+      "Round budget per cell (default: each run's decision horizon)."
+    in
+    Arg.(value & opt (some int) None & info [ "rounds" ] ~docv:"R" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the JSON report to $(docv) (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let parse_families names =
+    List.fold_left
+      (fun acc name ->
+        match (acc, Sweep.family_of_string name) with
+        | Error e, _ -> Error e
+        | Ok fs, Ok f -> Ok (f :: fs)
+        | Ok _, Error e -> Error e)
+      (Ok []) names
+    |> Result.map List.rev
+  in
+  let outcome_of_completion (completion : Ssg_engine.Job.completion) =
+    match completion.result with
+    | Ok (o : Ssg_engine.Job.outcome) ->
+        Ok
+          {
+            Sweep.min_k = o.min_k;
+            rounds_run = o.rounds_run;
+            decided =
+              Array.fold_left
+                (fun acc d -> if d <> None then acc + 1 else acc)
+                0 o.decisions;
+            distinct_decisions = o.distinct_decisions;
+            messages_sent = o.messages_sent;
+            bits_sent = o.bits_sent;
+            violations = List.length o.violations;
+          }
+    | Error msg -> Error msg
+  in
+  let action verbose ns ks families seed workers rounds out =
+    setup_logs verbose;
+    match parse_families families with
+    | Error msg -> `Error (false, msg)
+    | Ok families -> (
+        match Sweep.create ~ns ~ks ~families ~seed with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | grid -> (
+            match Sweep.cells grid with
+            | [] ->
+                `Error
+                  (false, "sweep grid is empty: every grid point has k >= n")
+            | cells ->
+                (* Trace the whole sweep so the report can prove how many
+                   pool domains actually executed cells. *)
+                Ssg_obs.Tracer.reset ();
+                Ssg_obs.Tracer.set_enabled true;
+                let engine = Ssg_engine.Engine.create ?workers () in
+                let t0 = Unix.gettimeofday () in
+                (* Submit everything first so the pool pipelines the whole
+                   grid; then await in cell order under per-cell spans. *)
+                let tickets =
+                  List.map
+                    (fun cell ->
+                      let adv = Sweep.adversary cell in
+                      let k = Sweep.effective_k cell adv in
+                      let job = Ssg_engine.Job.make ~k ?rounds adv in
+                      (cell, k, Ssg_engine.Engine.submit engine job))
+                    cells
+                in
+                let results =
+                  List.map
+                    (fun ((cell : Sweep.cell), k_submitted, ticket) ->
+                      Ssg_obs.Tracer.with_span
+                        ~args:
+                          [
+                            ("n", Ssg_obs.Tracer.Int cell.n);
+                            ("k", Ssg_obs.Tracer.Int cell.k);
+                            ( "family",
+                              Ssg_obs.Tracer.Str
+                                (Sweep.family_name cell.family) );
+                          ]
+                        "sweep.cell"
+                        (fun () ->
+                          let completion =
+                            Ssg_engine.Engine.await engine ticket
+                          in
+                          {
+                            Sweep.cell;
+                            k_submitted;
+                            outcome = outcome_of_completion completion;
+                            cached = completion.cached;
+                            latency_ms = completion.latency_ms;
+                          }))
+                    tickets
+                in
+                let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+                Ssg_engine.Engine.shutdown engine;
+                Ssg_obs.Tracer.set_enabled false;
+                let domains_used =
+                  Sweep.domains_used (Ssg_obs.Tracer.events ())
+                in
+                let workers =
+                  match workers with
+                  | Some w -> w
+                  | None -> max 1 (Parallel.default_domains ())
+                in
+                let json =
+                  Sweep.to_json ~elapsed_ms ~workers ~domains_used grid results
+                in
+                (match out with
+                | None -> print_endline json
+                | Some path ->
+                    Out_channel.with_open_bin path (fun oc ->
+                        Out_channel.output_string oc json;
+                        Out_channel.output_char oc '\n');
+                    Printf.printf "wrote %d cell result(s) to %s\n"
+                      (List.length results) path);
+                `Ok ()))
+  in
+  let doc =
+    "Fan an (n, k, adversary-family) grid across the engine's worker pool      as one pipelined batch and report per-cell JSON results (decisions,      min_k, message complexity, cache/latency), plus how many pool      domains the sweep actually used."
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(
+      ret
+        (const action $ verbose_arg $ ns_arg $ ks_arg $ families_list_arg
+        $ seed_arg $ workers_arg $ rounds_arg $ out_arg))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -1220,5 +1375,5 @@ let () =
             run_cmd; figure1_cmd; experiment_cmd; check_cmd; dot_cmd;
             timing_cmd; shrink_cmd; lint_cmd; serve_cmd; route_cmd;
             submit_cmd; stats_cmd; trace_cmd; shutdown_cmd; gateway_cmd;
-            loadgen_cmd;
+            loadgen_cmd; sweep_cmd;
           ]))

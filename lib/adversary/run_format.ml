@@ -96,8 +96,19 @@ let parse text =
                   if !n <> None then
                     syntax_error lineno "duplicate n declaration";
                   match int_of_string_opt (String.trim rest) with
-                  | Some v when v >= 1 -> n := Some (v, lineno)
-                  | _ -> syntax_error lineno "n must be a positive integer")
+                  | Some v when v >= 2 -> n := Some (v, lineno)
+                  | Some v ->
+                      (* n 0 and n 1 describe no agreement problem: the
+                         edge grammar cannot even name a second process.
+                         Rejecting here gives the lint front door a
+                         line-anchored diagnostic instead of letting a
+                         degenerate run reach the engine. *)
+                      syntax_error lineno
+                        (Printf.sprintf
+                           "n must be at least 2 (got %d): a run needs two \
+                            processes to describe communication"
+                           v)
+                  | None -> syntax_error lineno "n must be an integer >= 2")
               | "round" -> (
                   if !stable <> None then
                     syntax_error lineno "round after stable graph";

@@ -211,6 +211,29 @@ let create ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
     ?(request_timeout_s = 30.) backends =
   if request_timeout_s <= 0. then
     invalid_arg "Router: request_timeout_s must be > 0";
+  (* Canonicalize addresses before registering: [/tmp/w.sock] and
+     [unix:/tmp/w.sock] name the same worker, but Registry's
+     string-level dedup cannot see that.  A duplicate surviving here
+     would double the worker's vnodes (double load share) and
+     double-count it in every Stats/Metrics fan-out. *)
+  let seen = Hashtbl.create 8 in
+  let backends =
+    List.filter
+      (fun canonical ->
+        if Hashtbl.mem seen canonical then begin
+          Log.warn (fun m ->
+              m "duplicate backend %s dropped (listed more than once)"
+                canonical);
+          false
+        end
+        else begin
+          Hashtbl.add seen canonical ();
+          true
+        end)
+      (List.map
+         (fun b -> Transport.to_string (Transport.of_string_exn b))
+         backends)
+  in
   let metrics = Metrics.create () in
   let counter name help = Metrics.counter metrics ~help name in
   let markdowns =

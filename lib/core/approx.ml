@@ -10,6 +10,10 @@ type t = {
   pt : Bitset.t;
   graph : Lgraph.t;
   scratch : Lgraph.t; (* reused accumulator for the per-round rebuild *)
+  mutable sc_cache : bool option;
+      (* memoized strong-connectivity certificate of [graph]; valid
+         because labels refresh every round but the support goes stable
+         once the skeleton does, and SC is label-blind *)
 }
 
 let create ?(enable_purge = true) ?(enable_prune = true) ~n ~self () =
@@ -24,6 +28,7 @@ let create ?(enable_purge = true) ?(enable_prune = true) ~n ~self () =
     pt = Bitset.full n;
     graph = Lgraph.create n ~self;
     scratch = Lgraph.create n ~self;
+    sc_cache = None;
   }
 
 let n t = t.order
@@ -68,6 +73,11 @@ let step t ~round ~received =
   if t.enable_purge then Lgraph.purge t.scratch ~upto:(round - t.order);
   (* Line 25: drop nodes that cannot reach p. *)
   if t.enable_prune then Lgraph.prune_unreachable t.scratch ~self:t.owner;
+  (* Strong connectivity only reads the support (nodes + edge presence),
+     which the rebuild usually reproduces exactly once the run settles —
+     only the labels keep rotating.  Keep the memoized certificate alive
+     across support-stable rounds. *)
+  if not (Lgraph.same_support t.graph t.scratch) then t.sc_cache <- None;
   (* Install the rebuilt graph by O(1) double-buffer swap. *)
   Lgraph.swap t.graph t.scratch
 
@@ -75,4 +85,10 @@ let pt t = Bitset.copy t.pt
 let pt_mem t q = Bitset.mem t.pt q
 let graph t = Lgraph.copy t.graph
 let graph_view t = t.graph
-let is_strongly_connected t = Lgraph.is_strongly_connected t.graph
+let is_strongly_connected t =
+  match t.sc_cache with
+  | Some sc -> sc
+  | None ->
+      let sc = Lgraph.is_strongly_connected t.graph in
+      t.sc_cache <- Some sc;
+      sc

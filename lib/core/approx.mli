@@ -59,5 +59,10 @@ val graph : t -> Lgraph.t
     invalidated by the next [step]. *)
 val graph_view : t -> Lgraph.t
 
-(** [is_strongly_connected t] — the decision test of Line 28. *)
+(** [is_strongly_connected t] — the decision test of Line 28.  Memoized
+    across rounds whose rebuild reproduces the same support (node set and
+    edge presence): once the run settles, only the labels of [G_p] keep
+    rotating, and strong connectivity is label-blind, so the steady-state
+    per-round cost is one allocation-free support comparison instead of a
+    full SCC pass. *)
 val is_strongly_connected : t -> bool

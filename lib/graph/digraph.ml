@@ -127,6 +127,17 @@ let inter_into ~into g =
     Bitset.inter_into ~into:into.pred.(p) g.pred.(p)
   done
 
+let inter_into_count ~into g =
+  check_same into g;
+  let removed = ref 0 in
+  for p = 0 to g.n - 1 do
+    let before = Bitset.cardinal into.succ.(p) in
+    Bitset.inter_into ~into:into.succ.(p) g.succ.(p);
+    removed := !removed + before - Bitset.cardinal into.succ.(p);
+    Bitset.inter_into ~into:into.pred.(p) g.pred.(p)
+  done;
+  !removed
+
 let inter a b =
   let r = copy a in
   inter_into ~into:r b;

@@ -79,6 +79,13 @@ val of_edges : int -> (int * int) list -> t
     @raise Invalid_argument on order mismatch. *)
 val inter_into : into:t -> t -> unit
 
+(** [inter_into_count ~into g] is {!inter_into} and additionally reports
+    how many edges the step removed from [into].  A zero return means
+    [into] was already a subgraph of [g] — the signal incremental skeleton
+    consumers use to keep cached per-round derivations (SCC view, timely
+    sets, MIS bounds) alive instead of recomputing them. *)
+val inter_into_count : into:t -> t -> int
+
 (** [inter a b] is the edge intersection as a fresh graph. *)
 val inter : t -> t -> t
 

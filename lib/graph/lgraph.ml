@@ -31,6 +31,20 @@ let copy g =
 let equal a b =
   a.n = b.n && Bitset.equal a.nodes b.nodes && a.labels = b.labels
 
+(* Same node set and same edge-presence pattern, labels ignored.  One
+   linear pass over the label matrix, no allocation — cheaper than any
+   traversal, and the key to memoizing label-blind derivations (strong
+   connectivity) across rounds that only refresh labels. *)
+let same_support a b =
+  a.n = b.n
+  && Bitset.equal a.nodes b.nodes
+  &&
+  let len = Array.length a.labels in
+  let rec go i =
+    i >= len || (a.labels.(i) > 0 == (b.labels.(i) > 0) && go (i + 1))
+  in
+  go 0
+
 let mem_node g p =
   check_node g p;
   Bitset.mem g.nodes p

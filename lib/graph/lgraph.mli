@@ -35,6 +35,13 @@ val copy : t -> t
 (** [equal a b] — same universe, node set, edges and labels. *)
 val equal : t -> t -> bool
 
+(** [same_support a b] — same universe, node set and edge {e presence},
+    labels ignored.  Label-blind properties (reachability, strong
+    connectivity) agree on support-equal graphs, so a caller that
+    refreshes labels every round can memoize them across support-stable
+    rounds.  O(n²) word compares, allocation-free. *)
+val same_support : t -> t -> bool
+
 (** [mem_node g p] tests node membership. *)
 val mem_node : t -> int -> bool
 

@@ -97,20 +97,38 @@ let set_nodelay fd = function
 
 (* ---------------- server side ---------------- *)
 
+(* [Unix.connect] interrupted by a signal raises [EINTR] with the
+   connection possibly still in progress; retrying on the same fd races
+   EALREADY/EISCONN, so the portable recovery is to drop the
+   half-connected socket and redo the whole attempt.  Signals are
+   routine here (shutdown handlers, test harnesses firing mid-accept),
+   so a transient EINTR must never be read as a verdict on the peer. *)
+let rec connect_probe sa =
+  let fd = Unix.socket (domain_of sa) Unix.SOCK_STREAM 0 in
+  match Unix.connect fd sa with
+  | () -> Ok fd
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      connect_probe sa
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error e
+
 (* A dead server leaves its socket file behind; a live one answers
-   [connect].  Replace the former, refuse to double-bind the latter. *)
+   [connect].  Replace the former, refuse to double-bind the latter.
+   The probe must restart on EINTR: mistaking a signal for a dead
+   server would unlink a {e live} socket out from under its owner. *)
 let prepare = function
   | Tcp _ -> ()
   | Unix_sock path ->
       if Sys.file_exists path then begin
-        let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
         let alive =
-          try
-            Unix.connect probe (Unix.ADDR_UNIX path);
-            true
-          with Unix.Unix_error _ -> false
+          match connect_probe (Unix.ADDR_UNIX path) with
+          | Ok probe ->
+              (try Unix.close probe with Unix.Unix_error _ -> ());
+              true
+          | Error _ -> false
         in
-        Unix.close probe;
         if alive then raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
         else Unix.unlink path
       end
@@ -141,14 +159,11 @@ let bound_addr fd = function
 
 let connect a =
   let sa = sockaddr a in
-  let fd = Unix.socket (domain_of sa) Unix.SOCK_STREAM 0 in
-  try
-    Unix.connect fd sa;
-    set_nodelay fd a;
-    fd
-  with e ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    raise e
+  match connect_probe sa with
+  | Ok fd ->
+      set_nodelay fd a;
+      fd
+  | Error e -> raise e
 
 let poke a =
   match connect a with

@@ -1,0 +1,26 @@
+open Ssg_util
+
+type t = {
+  mutable cached : (int * int) option; (* revision, min_k *)
+  mutable witness : Bitset.t option; (* last maximum independent set *)
+}
+
+let create () = { cached = None; witness = None }
+
+let compute t pts =
+  let witness, alpha =
+    Mis.max_independent_set_warm ?warm:t.witness (Predicate.sharing_graph pts)
+  in
+  t.witness <- Some witness;
+  max alpha 1
+
+let min_k ?revision t pts =
+  match (revision, t.cached) with
+  | Some stamp, Some (r, k) when r = stamp -> k
+  | Some stamp, _ ->
+      let k = compute t pts in
+      t.cached <- Some (stamp, k);
+      k
+  | None, _ ->
+      t.cached <- None;
+      compute t pts

@@ -1,0 +1,30 @@
+(** Round-over-round [min_k] with a warm-started MIS.
+
+    [min_k pts] is α of the source-sharing graph — the one genuinely
+    expensive derivation on the per-round path (branch and bound, worst
+    case exponential).  Across the rounds of one run the timely sets only
+    shrink, so the sharing graph only loses edges and α is monotone
+    nondecreasing: the previous round's maximum independent set is still
+    independent and is the best possible incumbent for the next search
+    ({!Mis.max_independent_set_warm}).  A tracker carries that witness
+    from call to call, and optionally short-circuits entirely when the
+    caller can certify that nothing changed (a skeleton revision stamp
+    from {!Ssg_skeleton.Incremental}).
+
+    One tracker per run; feeding it unrelated [pts] arrays is safe (the
+    warm seed is defensively filtered) but forfeits the speedup. *)
+
+open Ssg_util
+
+type t
+
+val create : unit -> t
+
+(** [min_k ?revision t pts] is [Predicate.min_k pts], warm-started.
+    When [revision] is given and equals the stamp of the previous call,
+    the cached value is returned without touching [pts] at all — the
+    caller asserts (e.g. via {!Ssg_skeleton.Incremental.revision}) that
+    [pts] is unchanged since then.  Without [revision] the value is
+    recomputed every call, still reusing the previous witness as the
+    search incumbent. *)
+val min_k : ?revision:int -> t -> Bitset.t array -> int

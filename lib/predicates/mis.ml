@@ -37,17 +37,40 @@ let clique_cover_bound sym candidates =
   done;
   !cliques
 
+(* Seed the incumbent from a caller-supplied witness (typically the
+   previous round's maximum independent set).  The seed is filtered down
+   to an independent subset, so an arbitrary — even stale or garbage —
+   seed is always a sound lower bound.  Along the antitone skeleton
+   chain the sharing graph only loses edges, so a previous witness stays
+   independent, survives the filter whole, and the warm incumbent starts
+   at the previous α: the search opens with its strongest possible
+   pruning bound and, in the common no-change round, only has to prove
+   optimality rather than rediscover the set. *)
+let seed_incumbent sym warm =
+  let n = Array.length sym in
+  let chosen = Bitset.create n in
+  (match warm with
+  | Some w when Bitset.capacity w = n ->
+      Bitset.iter
+        (fun v -> if Bitset.disjoint sym.(v) chosen then Bitset.add chosen v)
+        w
+  | _ -> ());
+  chosen
+
 (* Branch and bound.  State: [chosen] (members so far), [candidates]
    (vertices still allowed).  Bound: |chosen| + clique-cover(candidates)
    must beat the incumbent.  Branch on a max-degree candidate v (degree
    within the candidate set): either v joins (drop v and its neighbours)
    or v is excluded.  [target]: stop as soon as an IS of that size is
    found. *)
-let search sym ~target =
+let search ?warm sym ~target =
   let n = Array.length sym in
-  let best = ref (Bitset.create n) in
-  let best_size = ref 0 in
-  let done_ = ref false in
+  let seed = seed_incumbent sym warm in
+  let best = ref seed in
+  let best_size = ref (Bitset.cardinal seed) in
+  let done_ =
+    ref (match target with Some t -> !best_size >= t | None -> false)
+  in
   let rec go chosen chosen_size candidates =
     if not !done_ then begin
       if chosen_size > !best_size then begin
@@ -95,7 +118,7 @@ let search sym ~target =
       end
     end
   in
-  go (Bitset.create n) 0 (Bitset.full n);
+  if not !done_ then go (Bitset.create n) 0 (Bitset.full n);
   (!best, !best_size)
 
 let independence_number adj =
@@ -105,6 +128,10 @@ let independence_number adj =
 let max_independent_set adj =
   if Array.length adj = 0 then Bitset.create 0
   else fst (search (normalize adj) ~target:None)
+
+let max_independent_set_warm ?warm adj =
+  if Array.length adj = 0 then (Bitset.create 0, 0)
+  else search ?warm (normalize adj) ~target:None
 
 let find_independent_set adj ~size =
   if size < 0 then invalid_arg "Mis.find_independent_set: negative size";

@@ -20,6 +20,17 @@ val independence_number : Bitset.t array -> int
 (** [max_independent_set adj] is a witness of size [α(G)]. *)
 val max_independent_set : Bitset.t array -> Bitset.t
 
+(** [max_independent_set_warm ?warm adj] is [(witness, α(G))], with the
+    branch-and-bound incumbent {e warm-started} from [warm]: the seed is
+    filtered down to an independent subset of [adj] (so any seed — stale,
+    wrong-capacity, garbage — is sound) and becomes the initial lower
+    bound.  When the seed is a previous round's maximum independent set
+    and the graph has only lost edges since (the skeleton chain's
+    sharing graphs), the filter keeps it whole and the search starts at
+    the answer, only proving optimality.  The result is exact regardless
+    of the seed. *)
+val max_independent_set_warm : ?warm:Bitset.t -> Bitset.t array -> Bitset.t * int
+
 (** [find_independent_set adj ~size] searches for an independent set of
     exactly [size] vertices, stopping as soon as one is found — the
     early-exit used by predicate checking ([Psrcs(k)] fails iff an

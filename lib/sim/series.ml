@@ -1,6 +1,7 @@
 open Ssg_graph
 open Ssg_rounds
 open Ssg_skeleton
+open Ssg_predicates
 open Ssg_adversary
 open Ssg_core
 
@@ -9,6 +10,7 @@ type sample = {
   skeleton_edges : int;
   components : int;
   roots : int;
+  min_k : int;
   mean_pt : float;
   mean_approx_nodes : float;
   mean_approx_edges : float;
@@ -22,12 +24,21 @@ let collect ?rounds adv =
     match rounds with Some r -> r | None -> Adversary.decision_horizon adv
   in
   let module E = Executor.Make (Kset_agreement.Alg) in
-  let skel = Skeleton.start ~n in
+  (* Incremental skeleton: the ⊇-chain is absorbed as deltas, and the
+     SCC analysis / PT rows / min-k witness are only recomputed on rounds
+     that actually removed edges.  Once the run stabilizes, per-round cost
+     collapses to the intersection pass itself. *)
+  let skel = Incremental.start ~n in
+  let tracker = Min_k_tracker.create () in
   let samples = ref [] in
   let capture ~round ~graph states =
-    ignore (Skeleton.absorb skel graph);
-    let skeleton = Skeleton.view skel in
-    let analysis = Analysis.analyze skeleton in
+    ignore (Incremental.absorb skel graph);
+    let skeleton = Incremental.view skel in
+    let analysis = Incremental.analysis skel in
+    let min_k =
+      Min_k_tracker.min_k ~revision:(Incremental.revision skel) tracker
+        (Incremental.pts skel)
+    in
     let sum f = Array.fold_left (fun acc s -> acc + f s) 0 states in
     let meanf f = float_of_int (sum f) /. float_of_int n in
     samples :=
@@ -36,6 +47,7 @@ let collect ?rounds adv =
         skeleton_edges = Digraph.edge_count skeleton;
         components = (Analysis.partition analysis).Scc.count;
         roots = Analysis.root_count analysis;
+        min_k;
         mean_pt =
           meanf (fun s -> Ssg_util.Bitset.cardinal (Kset_agreement.pt_of s));
         mean_approx_nodes =
@@ -63,12 +75,12 @@ let collect ?rounds adv =
 let to_csv samples =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    "round,skeleton_edges,components,roots,mean_pt,mean_approx_nodes,mean_approx_edges,certificates,decided\n";
+    "round,skeleton_edges,components,roots,min_k,mean_pt,mean_approx_nodes,mean_approx_edges,certificates,decided\n";
   List.iter
     (fun s ->
       Buffer.add_string buf
-        (Printf.sprintf "%d,%d,%d,%d,%.3f,%.3f,%.3f,%d,%d\n" s.round
-           s.skeleton_edges s.components s.roots s.mean_pt
+        (Printf.sprintf "%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%d,%d\n" s.round
+           s.skeleton_edges s.components s.roots s.min_k s.mean_pt
            s.mean_approx_nodes s.mean_approx_edges s.certificates s.decided))
     samples;
   Buffer.contents buf
@@ -101,6 +113,7 @@ let summary samples =
       line "skeleton edges" (fun s -> float_of_int s.skeleton_edges);
       line "components" (fun s -> float_of_int s.components);
       line "roots" (fun s -> float_of_int s.roots);
+      line "min k" (fun s -> float_of_int s.min_k);
       line "mean |PT|" (fun s -> s.mean_pt);
       line "mean |V(G_p)|" (fun s -> s.mean_approx_nodes);
       line "mean |E(G_p)|" (fun s -> s.mean_approx_edges);

@@ -13,6 +13,9 @@ type sample = {
   skeleton_edges : int;  (** edges of [G^∩r] (self-loops included) *)
   components : int;  (** SCCs of [G^∩r] *)
   roots : int;  (** root components of [G^∩r] *)
+  min_k : int;
+      (** smallest achievable [k] so far: max independent set of the
+          round-[r] sharing graph (warm-started across rounds) *)
   mean_pt : float;  (** mean [|PT_p|] over processes *)
   mean_approx_nodes : float;  (** mean [|V(G_p)|] *)
   mean_approx_edges : float;  (** mean [|E(G_p)|] *)

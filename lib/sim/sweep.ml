@@ -1,0 +1,185 @@
+open Ssg_util
+open Ssg_adversary
+
+type family = Block_sources | Partitioned | Single_root | Arbitrary
+
+let all_families = [ Block_sources; Partitioned; Single_root; Arbitrary ]
+
+let family_name = function
+  | Block_sources -> "block-sources"
+  | Partitioned -> "partitioned"
+  | Single_root -> "single-root"
+  | Arbitrary -> "arbitrary"
+
+let family_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "block-sources" | "block_sources" | "block" -> Ok Block_sources
+  | "partitioned" -> Ok Partitioned
+  | "single-root" | "single_root" | "single" -> Ok Single_root
+  | "arbitrary" -> Ok Arbitrary
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown adversary family %S (expected block-sources | partitioned \
+            | single-root | arbitrary)"
+           s)
+
+type cell = { n : int; k : int; family : family; seed : int }
+
+type t = {
+  ns : int list;
+  ks : int list;
+  families : family list;
+  seed : int;
+}
+
+let dedup_keep_order xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let create ~ns ~ks ~families ~seed =
+  if ns = [] then invalid_arg "Sweep.create: empty n axis";
+  if ks = [] then invalid_arg "Sweep.create: empty k axis";
+  if families = [] then invalid_arg "Sweep.create: empty family axis";
+  List.iter
+    (fun n ->
+      if n < 2 then
+        invalid_arg (Printf.sprintf "Sweep.create: n = %d (need n >= 2)" n))
+    ns;
+  List.iter
+    (fun k ->
+      if k < 1 then
+        invalid_arg (Printf.sprintf "Sweep.create: k = %d (need k >= 1)" k))
+    ks;
+  {
+    ns = List.sort_uniq compare ns;
+    ks = List.sort_uniq compare ks;
+    families = dedup_keep_order families;
+    seed;
+  }
+
+(* Row-major enumeration (n outer, then k, then family); a combination
+   with [k >= n] describes no run and is dropped — count them with
+   {!skipped} so callers can report rather than silently shrink the
+   grid.  Cell seeds derive from the grid seed and the cell's position,
+   so a sweep is reproducible and distinct cells get distinct streams. *)
+let fold_combos grid ~emit ~skip init =
+  let acc = ref init in
+  let idx = ref 0 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun k ->
+          List.iter
+            (fun family ->
+              if k >= n then acc := skip !acc
+              else begin
+                acc :=
+                  emit !acc { n; k; family; seed = grid.seed + (7919 * !idx) };
+                incr idx
+              end)
+            grid.families)
+        grid.ks)
+    grid.ns;
+  !acc
+
+let cells grid =
+  List.rev (fold_combos grid ~emit:(fun acc c -> c :: acc) ~skip:Fun.id [])
+
+let skipped grid = fold_combos grid ~emit:(fun acc _ -> acc) ~skip:succ 0
+
+let adversary (cell : cell) =
+  let rng = Rng.of_int cell.seed in
+  let n = cell.n and k = cell.k in
+  match cell.family with
+  | Block_sources -> Build.block_sources rng ~n ~k ~prefix_len:2 ()
+  | Partitioned -> Build.partitioned rng ~n ~blocks:k ~prefix_len:2 ()
+  | Single_root -> Build.single_root rng ~n ~prefix_len:2 ()
+  | Arbitrary -> Build.arbitrary rng ~n ~density:0.3 ~prefix_len:2 ()
+
+let effective_k (cell : cell) adv = max cell.k (Adversary.min_k adv)
+
+type outcome = {
+  min_k : int;
+  rounds_run : int;
+  decided : int;
+  distinct_decisions : int;
+  messages_sent : int;
+  bits_sent : int;
+  violations : int;
+}
+
+type result = {
+  cell : cell;
+  k_submitted : int;
+  outcome : (outcome, string) Stdlib.result;
+  cached : bool;
+  latency_ms : float;
+}
+
+let domains_used events =
+  let domains = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Ssg_obs.Tracer.event) ->
+      if e.kind = Ssg_obs.Tracer.Begin && e.name = "engine.execute" then
+        Hashtbl.replace domains e.domain ())
+    events;
+  Hashtbl.length domains
+
+let json_of_result r =
+  let open Ssg_obs.Export in
+  let base =
+    [
+      ("n", Int r.cell.n);
+      ("k", Int r.cell.k);
+      ("family", Str (family_name r.cell.family));
+      ("seed", Int r.cell.seed);
+      ("k_submitted", Int r.k_submitted);
+      ("cached", Bool r.cached);
+      ("latency_ms", Float r.latency_ms);
+    ]
+  in
+  match r.outcome with
+  | Ok o ->
+      Obj
+        (base
+        @ [
+            ("ok", Bool true);
+            ("min_k", Int o.min_k);
+            ("rounds_run", Int o.rounds_run);
+            ("decided", Int o.decided);
+            ("distinct_decisions", Int o.distinct_decisions);
+            ("messages_sent", Int o.messages_sent);
+            ("bits_sent", Int o.bits_sent);
+            ("violations", Int o.violations);
+          ])
+  | Error msg -> Obj (base @ [ ("ok", Bool false); ("error", Str msg) ])
+
+let to_json ?(elapsed_ms = 0.) ~workers ~domains_used grid results =
+  let open Ssg_obs.Export in
+  json_to_string
+    (Obj
+       [
+         ( "grid",
+           Obj
+             [
+               ("ns", Arr (List.map (fun n -> Int n) grid.ns));
+               ("ks", Arr (List.map (fun k -> Int k) grid.ks));
+               ( "families",
+                 Arr (List.map (fun f -> Str (family_name f)) grid.families) );
+               ("seed", Int grid.seed);
+               ("cells", Int (List.length results));
+               ("skipped", Int (skipped grid));
+             ] );
+         ("workers", Int workers);
+         ("domains_used", Int domains_used);
+         ("elapsed_ms", Float elapsed_ms);
+         ("results", Arr (List.map json_of_result results));
+       ])

@@ -1,0 +1,94 @@
+(** Parameter sweeps: an (n, k, adversary-family) grid as a batch of
+    engine jobs, with per-cell JSON results.
+
+    This module owns the {e shape} of a sweep — grid validation, cell
+    enumeration, per-cell adversary construction and the JSON report —
+    while staying engine-agnostic: the caller (the [ssg sweep] command,
+    or a test) turns each cell into an {!Ssg_engine.Job.t} via
+    {!adversary} / {!effective_k}, fans the batch across the engine's
+    worker pool, and folds the completions back into {!result} values
+    for {!to_json}. *)
+
+open Ssg_adversary
+
+type family = Block_sources | Partitioned | Single_root | Arbitrary
+
+val all_families : family list
+
+(** [family_name f] — the stable external name ([block-sources], ...),
+    used in JSON output and accepted back by {!family_of_string}. *)
+val family_name : family -> string
+
+(** [family_of_string s] — case-insensitive; accepts dashed and
+    underscored spellings. *)
+val family_of_string : string -> (family, string) Stdlib.result
+
+(** One grid point, with its derived deterministic seed. *)
+type cell = { n : int; k : int; family : family; seed : int }
+
+type t
+
+(** [create ~ns ~ks ~families ~seed] — axes are deduplicated ([ns] and
+    [ks] also sorted).  @raise Invalid_argument on an empty axis, any
+    [n < 2] or any [k < 1]. *)
+val create :
+  ns:int list -> ks:int list -> families:family list -> seed:int -> t
+
+(** [cells grid] — row-major ([n] outer, [k], then family).  Grid points
+    with [k >= n] describe no run and are omitted; {!skipped} counts
+    them.  Cell seeds mix the grid seed with the cell position, so equal
+    grids enumerate identical cells. *)
+val cells : t -> cell list
+
+(** [skipped grid] — how many grid points were dropped for [k >= n]. *)
+val skipped : t -> int
+
+(** [adversary cell] — the cell's run description: its family's
+    generator at [(n, k)], seeded from the cell, with a 2-round noisy
+    prefix so the incremental skeleton path sees a real stabilization. *)
+val adversary : cell -> Adversary.t
+
+(** [effective_k cell adv] is [max cell.k (min_k adv)]: the [k] to
+    submit.  Families without a by-construction [Psrcs(k)] guarantee
+    (partitioned, arbitrary) can generate runs whose [min_k] exceeds the
+    requested [k]; submitting the requested [k] verbatim would bounce
+    off the engine's lint front door.  Clamping up keeps every cell
+    informative — the outcome reports the run's true [min_k] anyway, and
+    the JSON carries both the requested [k] and [k_submitted]. *)
+val effective_k : cell -> Adversary.t -> int
+
+(** The engine-agnostic projection of a completed cell. *)
+type outcome = {
+  min_k : int;
+  rounds_run : int;
+  decided : int;  (** processes that decided *)
+  distinct_decisions : int;
+  messages_sent : int;
+  bits_sent : int;
+  violations : int;  (** monitor violations (0 when monitors are off) *)
+}
+
+type result = {
+  cell : cell;
+  k_submitted : int;
+  outcome : (outcome, string) Stdlib.result;
+  cached : bool;
+  latency_ms : float;
+}
+
+(** [domains_used events] — distinct domains that began an
+    [engine.execute] span in a drained {!Ssg_obs.Tracer} event list: how
+    many pool workers the sweep actually exercised. *)
+val domains_used : Ssg_obs.Tracer.event list -> int
+
+(** [to_json ?elapsed_ms ~workers ~domains_used grid results] — the
+    sweep report as one JSON object: the grid (axes, seed, cell and
+    skipped counts), pool utilization, and a per-cell result array in
+    {!cells} order. *)
+val to_json :
+  ?elapsed_ms:float ->
+  workers:int ->
+  domains_used:int ->
+  t ->
+  result list ->
+  string

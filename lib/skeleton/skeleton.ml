@@ -14,6 +14,13 @@ let absorb s g =
   s.rounds <- s.rounds + 1;
   s.rounds
 
+let absorb_delta s g =
+  if Digraph.order g <> Digraph.order s.acc then
+    invalid_arg "Skeleton.absorb_delta: graph order mismatch";
+  let removed = Digraph.inter_into_count ~into:s.acc g in
+  s.rounds <- s.rounds + 1;
+  removed
+
 let rounds_absorbed s = s.rounds
 let current s = Digraph.copy s.acc
 let view s = s.acc

@@ -22,6 +22,15 @@ val start : n:int -> t
     the accumulator and returns the round number just absorbed. *)
 val absorb : t -> Digraph.t -> int
 
+(** [absorb_delta acc g] is {!absorb}, returning the number of skeleton
+    edges the round {e removed} instead of the round number.  Because the
+    chain (1) is antitone, a zero delta means [G^∩r = G^∩(r-1)] exactly —
+    every derivation of the skeleton (SCC partition, PT sets, the
+    source-sharing graph and its independence number) is still valid.
+    From the stabilization round on, every delta is zero, so incremental
+    consumers do O(n²/w) intersection work per round and nothing else. *)
+val absorb_delta : t -> Digraph.t -> int
+
 (** [rounds_absorbed acc]. *)
 val rounds_absorbed : t -> int
 

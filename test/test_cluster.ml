@@ -364,8 +364,13 @@ let test_router_routes_and_merges () =
   let text = Client.metrics_text c in
   List.iteri
     (fun i addr ->
+      (* The router canonicalizes addresses on parse, so shards are
+         named in [unix:PATH] form whatever spelling was passed in. *)
+      let canonical =
+        Ssg_net.Transport.(to_string (of_string_exn addr))
+      in
       check "shard comment present" true
-        (contains text (Printf.sprintf "# shard %d = %s" i addr));
+        (contains text (Printf.sprintf "# shard %d = %s" i canonical));
       check "per-shard routed counter present" true
         (contains text (Printf.sprintf "ssg_router_shard%d_routed_total" i)))
     (List.sort compare backends);
@@ -388,6 +393,30 @@ let test_router_routes_and_merges () =
   stop_worker w1 t1;
   stop_worker w2 t2;
   stop_worker w3 t3
+
+let test_router_dedups_duplicate_backends () =
+  let w1, t1 = start_worker () in
+  let w2, t2 = start_worker () in
+  (* The same worker listed three times under two spellings: bare path
+     and explicit unix: scheme.  Before canonical dedup, each listing
+     survived to the ring (doubling the worker's vnode share) and every
+     stats/metrics fan-out counted the worker once per listing. *)
+  let backends = [ w1; "unix:" ^ w1; w2; w1 ] in
+  let router, rt = start_router ~backends () in
+  let c = Client.connect ~socket:router ~deadline_s:10. () in
+  let text = Client.metrics_text c in
+  check "two backends survive dedup" true
+    (contains text "# ssg cluster: 2 backend(s)");
+  check "no phantom third shard" false (contains text "# shard 2 = ");
+  let s = Client.stats c in
+  check_int "fan-out does not double-count the duplicate" 2
+    s.Telemetry.workers;
+  let completion = Client.submit c (sample_job ()) in
+  check "jobs still route" true (Result.is_ok completion.Job.result);
+  Client.close c;
+  stop_router router rt;
+  stop_worker w1 t1;
+  stop_worker w2 t2
 
 let test_router_relays_job_errors_without_failover () =
   let w1, t1 = start_worker () in
@@ -515,6 +544,8 @@ let tests =
       test_blackhole_swallows_reply;
     Alcotest.test_case "router: routes and merges" `Quick
       test_router_routes_and_merges;
+    Alcotest.test_case "router: dedups duplicate backends" `Quick
+      test_router_dedups_duplicate_backends;
     Alcotest.test_case "router: relays job errors" `Quick
       test_router_relays_job_errors_without_failover;
     Alcotest.test_case "router: exhaustion" `Quick

@@ -84,6 +84,23 @@ let test_parse_failure_is_ssg000 () =
   check "garbage yields SSG000" true
     (codes (Lint.check_text "\x00\xffnot a run") = [ "SSG000" ])
 
+let test_degenerate_n_is_ssg000 () =
+  (* n 0 / n 1 are parse-time errors; the lint surfaces them anchored
+     to the [n] line instead of letting the degenerate run through. *)
+  List.iter
+    (fun n_directive ->
+      let text = Printf.sprintf "ssg-run v1\n# degenerate\n%s\nstable:\n" n_directive in
+      let diags = Lint.check_text ~k:1 text in
+      check_int (n_directive ^ ": single diagnostic") 1 (List.length diags);
+      let d = List.hd diags in
+      check (n_directive ^ ": code") true (d.Diagnostic.code = "SSG000");
+      check (n_directive ^ ": is error") true (Diagnostic.is_error d);
+      check (n_directive ^ ": anchored to the n line") true
+        (d.Diagnostic.span = Some (Diagnostic.line 3));
+      check (n_directive ^ ": names the bound") true
+        (contains d.Diagnostic.message "at least 2"))
+    [ "n 0"; "n 1" ]
+
 let test_text_level_warnings () =
   let diags = Lint.check_text ~k:2 noisy in
   check "no errors" false (Lint.has_errors diags);
@@ -355,6 +372,8 @@ let tests =
       test_psrcs_profile_infos;
     Alcotest.test_case "parse failure is SSG000" `Quick
       test_parse_failure_is_ssg000;
+    Alcotest.test_case "degenerate n is SSG000" `Quick
+      test_degenerate_n_is_ssg000;
     Alcotest.test_case "text-level warnings" `Quick test_text_level_warnings;
     Alcotest.test_case "empty rounds / isolation" `Quick
       test_empty_round_and_isolation;

@@ -587,6 +587,76 @@ let test_router_over_tcp () =
   stop_server w1 wt1;
   stop_server w2 wt2
 
+(* ---------------- signals: transient EINTR ---------------- *)
+
+(* A signal mid-[connect]/[accept] surfaces as EINTR; the transport and
+   server loops must restart the call instead of failing the exchange.
+   Hammer the process with no-op SIGUSR1 from a side thread while fresh
+   connections submit jobs — every request must still be answered. *)
+let with_signal_fire f =
+  let previous = Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> ())) in
+  let stop = Atomic.make false in
+  let pid = Unix.getpid () in
+  let bomber =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          Unix.kill pid Sys.sigusr1;
+          Thread.delay 0.0005
+        done)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join bomber;
+      Sys.set_signal Sys.sigusr1 previous)
+    f
+
+let test_signals_during_submits () =
+  let socket, thread = start_server () in
+  with_signal_fire (fun () ->
+      for i = 1 to 20 do
+        (* A fresh connection per job: each one walks connect() (and the
+           server's accept()) with signals in flight. *)
+        let c = wait_connect socket in
+        let completion =
+          Client.submit c
+            (good_job ~inputs:(Array.init 6 (fun j -> (100 * i) + j)) ())
+        in
+        check "answered under signal fire" true
+          (Result.is_ok completion.Job.result);
+        Client.close c
+      done);
+  stop_server socket thread
+
+let test_prepare_keeps_live_socket_under_signals () =
+  (* Regression: [Transport.prepare]'s liveness probe used to treat any
+     [Unix_error] — EINTR included — as "dead server" and unlink the
+     socket file out from under a live listener. *)
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ssg-net-eintr-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let addr = Transport.of_string_exn path in
+  let listen_fd = Transport.listen addr in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Transport.cleanup addr)
+    (fun () ->
+      with_signal_fire (fun () ->
+          for _ = 1 to 50 do
+            (match Transport.listen addr with
+            | fd ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                Alcotest.fail "double-bind of a live socket must be refused"
+            | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) -> ());
+            check "socket file survives the probe" true (Sys.file_exists path)
+          done))
+
 (* ---------------- suite ---------------- *)
 
 let tests =
@@ -622,4 +692,8 @@ let tests =
     Alcotest.test_case "server: client vanishes before reply" `Quick
       test_client_vanishes_before_reply;
     Alcotest.test_case "router: over tcp" `Quick test_router_over_tcp;
+    Alcotest.test_case "signals: submits survive EINTR fire" `Quick
+      test_signals_during_submits;
+    Alcotest.test_case "signals: prepare keeps live socket" `Quick
+      test_prepare_keeps_live_socket_under_signals;
   ]

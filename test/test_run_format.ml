@@ -31,7 +31,9 @@ let prop_roundtrip =
     QCheck2.Gen.(int_bound 100000)
     (fun seed ->
       let rng = Rng.of_int seed in
-      let n = 1 + Rng.int rng 10 in
+      (* The format requires n >= 2 (a description needs a second
+         process to talk about); n = 1 systems stay in-memory only. *)
+      let n = 2 + Rng.int rng 9 in
       let adv =
         Build.arbitrary rng ~n ~density:(Rng.float rng)
           ~prefix_len:(Rng.int rng 4) ~noise:0.5 ()
@@ -86,6 +88,26 @@ let test_duplicate_n_rejected () =
   (* Even re-declaring the same value is a malformed file. *)
   expect_message "duplicate n, same value"
     "ssg-run v1\nn 3\nn 3\nstable: 0>1\n" "line 3: duplicate n declaration"
+
+(* Regression: [n 0] and [n 1] used to parse (the guard only refused
+   non-positive values, and 1 passed it), producing degenerate runs the
+   edge grammar cannot even describe.  The diagnostic is line-anchored
+   so the lint front door can place it. *)
+let test_degenerate_n_rejected () =
+  expect_message "n 1"
+    "ssg-run v1\nn 1\nstable:\n"
+    "line 2: n must be at least 2 (got 1): a run needs two processes to \
+     describe communication";
+  expect_message "n 0"
+    "ssg-run v1\nn 0\nstable:\n"
+    "line 2: n must be at least 2 (got 0): a run needs two processes to \
+     describe communication";
+  expect_message "negative n"
+    "ssg-run v1\n\nn -4\nstable:\n"
+    "line 3: n must be at least 2 (got -4): a run needs two processes to \
+     describe communication";
+  expect_message "non-integer n" "ssg-run v1\nn x\nstable:\n"
+    "line 2: n must be an integer >= 2"
 
 (* Regression: prefix rounds after the stable graph used to parse (the
    round list and the stable ref were independent), producing a run
@@ -142,6 +164,8 @@ let tests =
     Alcotest.test_case "parse by hand" `Quick test_parse_by_hand;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "duplicate n rejected" `Quick test_duplicate_n_rejected;
+    Alcotest.test_case "degenerate n rejected" `Quick
+      test_degenerate_n_rejected;
     Alcotest.test_case "round after stable rejected" `Quick
       test_round_after_stable_rejected;
     Alcotest.test_case "span tracking" `Quick test_spans;

@@ -153,7 +153,10 @@ let test_series_collect () =
         s.Series.skeleton_edges <= prev
         && antitone s.Series.skeleton_edges rest
   in
-  check "skeleton antitone" true (antitone max_int samples)
+  check "skeleton antitone" true (antitone max_int samples);
+  (* the warm-started min_k column settles on the run's true min_k *)
+  check_int "min_k settles" (Adversary.min_k adv)
+    (List.nth samples (List.length samples - 1)).Series.min_k
 
 let test_series_csv () =
   let adv = Build.synchronous ~n:3 in
