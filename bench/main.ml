@@ -39,11 +39,17 @@
       Prints a JSON summary line (what bench/baselines/BENCH_B15.json
       stores).
 
-   7. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
+   7. B16 — fleet-scale lint: a generated run-description corpus linted
+      file-by-file on one domain versus fanned across the engine pool
+      with Pool.map (gated >= 2x on >= 4 cores when SSG_LINT_GATE=1).
+      Prints a JSON summary line (what bench/baselines/BENCH_B16.json
+      stores).
+
+   8. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
       paper (see DESIGN.md's index and EXPERIMENTS.md for discussion).
 
    Scale: set SSG_BENCH_SCALE=quick|standard|full (default standard).
-   Set SSG_BENCH_ONLY=B9|B12|B13|B14|B15 to run a single wall-clock
+   Set SSG_BENCH_ONLY=B9|B12|B13|B14|B15|B16 to run a single wall-clock
    section.
    Set SSG_BENCH_CSV_DIR=<dir> to additionally write each experiment's
    table as <dir>/<id>.csv for external plotting. *)
@@ -924,6 +930,96 @@ let run_sweep_bench scale =
   end;
   print_newline ()
 
+(* ---------------- B16: fleet-scale lint ---------------- *)
+
+(* Lint v2's per-file work is real analysis — a fixpoint traversal of the
+   skeleton chain with a per-revision min_k (branch-and-bound MIS), the
+   Psrcs machinery, the text-level passes — and a lint fleet (`ssg lint
+   FILE...`, the engine's batch pre-gate) is embarrassingly parallel
+   across files.  B16 measures exactly the CLI's fan-out: the same
+   generated corpus linted by a single-domain List.map versus
+   Pool.map on the default pool, asserting identical summaries.
+
+   Gate (SSG_LINT_GATE=1): pool lint >= 2x single-domain — armed only on
+   >= 4 worker domains (with fewer cores there is no 2x to claim). *)
+let run_lint_bench scale =
+  let nfiles, n =
+    match scale with
+    | `Quick -> (64, 16)
+    | `Standard -> (128, 24)
+    | `Full -> (256, 32)
+  in
+  let texts =
+    List.init nfiles (fun i ->
+        let rng = Rng.of_int (16000 + i) in
+        let adv =
+          match i mod 4 with
+          | 0 ->
+              Build.block_sources rng ~n ~k:(1 + (i mod 3)) ~prefix_len:4
+                ~noise:0.3 ()
+          | 1 -> Build.partitioned rng ~n ~blocks:(2 + (i mod 3)) ~prefix_len:4 ()
+          | 2 -> Build.single_root rng ~n ~prefix_len:4 ()
+          | _ -> Build.arbitrary rng ~n ~density:0.4 ~prefix_len:4 ()
+        in
+        Run_format.to_string adv)
+  in
+  let lint text =
+    Ssg_lint.Lint.summarize (Ssg_lint.Lint.check_text ~k:2 text)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let single, single_s = time (fun () -> List.map lint texts) in
+  let workers = Stdlib.max 1 (Parallel.default_domains ()) in
+  let pool = Ssg_engine.Pool.create ~workers () in
+  let fleet, fleet_s = time (fun () -> Ssg_engine.Pool.map pool lint texts) in
+  Ssg_engine.Pool.shutdown pool;
+  (* Same corpus, same diagnostics — the fleet is a scheduler, not an
+     approximation. *)
+  assert (single = fleet);
+  let speedup = single_s /. Stdlib.max fleet_s 1e-9 in
+  let fps s = float_of_int nfiles /. Stdlib.max s 1e-9 in
+  Printf.printf "== B16: fleet-scale lint (%d files, n=%d) ==\n\n" nfiles n;
+  let table = Table.create [ "lint path"; "wall-clock"; "files/s"; "scaling" ] in
+  Table.add_row table
+    [
+      "single domain (List.map)";
+      Printf.sprintf "%.1f ms" (1000. *. single_s);
+      Printf.sprintf "%.0f" (fps single_s);
+      "1.00x";
+    ];
+  Table.add_row table
+    [
+      Printf.sprintf "pool fan-out (%d workers)" workers;
+      Printf.sprintf "%.1f ms" (1000. *. fleet_s);
+      Printf.sprintf "%.0f" (fps fleet_s);
+      Printf.sprintf "%.2fx" speedup;
+    ];
+  Table.print table;
+  Printf.printf
+    "\n\
+    \  {\"bench\":\"B16\",\"files\":%d,\"n\":%d,\"single_s\":%.4f,\"fleet_s\":%.4f,\"workers\":%d,\"speedup\":%.3f}\n"
+    nfiles n single_s fleet_s workers speedup;
+  if Sys.getenv_opt "SSG_LINT_GATE" = Some "1" then
+    if workers >= 4 then
+      if speedup < 2. then begin
+        Printf.printf
+          "  GATE FAILED: pool lint %.2fx < 2x single-domain with %d workers\n"
+          speedup workers;
+        exit 1
+      end
+      else
+        Printf.printf "  gate: pool lint >= 2x single-domain (OK, %.2fx)\n"
+          speedup
+    else
+      Printf.printf
+        "  gate: skipped (%d worker domain(s); needs >= 4 cores to be a \
+         claim)\n"
+        workers;
+  print_newline ()
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -953,9 +1049,13 @@ let () =
   | Some "B15" ->
       run_sweep_bench scale;
       exit 0
+  | Some "B16" ->
+      run_lint_bench scale;
+      exit 0
   | Some other ->
       Printf.eprintf
-        "SSG_BENCH_ONLY=%s not recognized (B9 | B12 | B13 | B14 | B15)\n" other;
+        "SSG_BENCH_ONLY=%s not recognized (B9 | B12 | B13 | B14 | B15 | B16)\n"
+        other;
       exit 2
   | None -> ());
   Printf.printf
@@ -967,6 +1067,7 @@ let () =
   run_cluster_bench scale;
   run_net_bench scale;
   run_sweep_bench scale;
+  run_lint_bench scale;
   let csv_dir = Sys.getenv_opt "SSG_BENCH_CSV_DIR" in
   (match csv_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755

@@ -1169,43 +1169,127 @@ let lint_cmd =
     let doc = "Exit non-zero on warnings too, not only errors." in
     Arg.(value & flag & info [ "strict" ] ~doc)
   in
-  let action k json strict files =
-    let results =
-      List.map
-        (fun file ->
-          let text = In_channel.with_open_bin file In_channel.input_all in
-          (file, text, Ssg_lint.Lint.check_text ?k text))
-        files
+  let fix_arg =
+    let doc =
+      "Apply machine fixes in place (codes SSG101/103/105/203): delete dead \
+       and subsumed rounds, provably-safe empty rounds and redundant edge \
+       tokens, renumber the survivors, then lint the fixed text.  The fix \
+       preserves the stable skeleton and min_k."
     in
-    if json then
-      print_string
-        (Ssg_lint.Report.json (List.map (fun (f, _, d) -> (f, d)) results))
+    Arg.(value & flag & info [ "fix" ] ~doc)
+  in
+  let sarif_arg =
+    let doc =
+      "Write a SARIF 2.1.0 report to $(docv) (suppressed diagnostics and \
+       autofix plans included)."
+    in
+    Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"FILE" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Lint files on $(docv) worker domains (default: one per core, capped \
+       at the file count; 1 = serial)."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"J" ~doc)
+  in
+  let action k json strict fix sarif jobs files =
+    let lint_file file =
+      let text = In_channel.with_open_bin file In_channel.input_all in
+      let text, plan =
+        if not fix then (text, None)
+        else
+          match Ssg_lint.Fix.fix text with
+          | None -> (text, None) (* SSG000: nothing mechanical to do *)
+          | Some (_, plan) when Ssg_lint.Fix.is_empty plan -> (text, Some plan)
+          | Some (fixed, plan) ->
+              Out_channel.with_open_bin file (fun oc ->
+                  Out_channel.output_string oc fixed);
+              (fixed, Some plan)
+      in
+      (file, text, Ssg_lint.Lint.lint_text ?k text, plan)
+    in
+    let jobs =
+      match jobs with
+      | Some j -> max 1 j
+      | None -> max 1 (min (Parallel.default_domains ()) (List.length files))
+    in
+    let results =
+      if jobs = 1 || List.length files < 2 then List.map lint_file files
+      else begin
+        let pool = Ssg_engine.Pool.create ~workers:jobs () in
+        Fun.protect
+          ~finally:(fun () -> Ssg_engine.Pool.shutdown pool)
+          (fun () -> Ssg_engine.Pool.map pool lint_file files)
+      end
+    in
+    (* Notices go to stderr so --json / piped stdout stays machine-clean. *)
+    if fix then
+      List.iter
+        (fun (file, _, _, plan) ->
+          match plan with
+          | Some (p : Ssg_lint.Fix.plan) when not (Ssg_lint.Fix.is_empty p) ->
+              Printf.eprintf "%s: fixed — %d round(s) dropped, %d line(s) \
+                              cleaned\n"
+                file
+                (List.length p.dropped_rounds)
+                (List.length p.cleaned_lines)
+          | _ -> ())
+        results;
+    let triples =
+      List.map
+        (fun (f, _, (o : Ssg_lint.Lint.outcome), _) ->
+          (f, o.active, o.suppressed))
+        results
+    in
+    (match sarif with
+    | None -> ()
+    | Some path ->
+        let fixes =
+          List.filter_map
+            (fun (f, _, _, plan) -> Option.map (fun p -> (f, p)) plan)
+            results
+        in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc (Ssg_lint.Sarif.export ~fixes triples);
+            Out_channel.output_char oc '\n');
+        Printf.eprintf "wrote SARIF report to %s\n" path);
+    if json then print_string (Ssg_lint.Report.json triples)
     else begin
       List.iter
-        (fun (file, text, diags) ->
-          print_string (Ssg_lint.Report.human ~file ~src:text diags))
+        (fun (file, text, (o : Ssg_lint.Lint.outcome), _) ->
+          print_string (Ssg_lint.Report.human ~file ~src:text o.active))
         results;
-      let totals =
-        Ssg_lint.Lint.summarize (List.concat_map (fun (_, _, d) -> d) results)
+      let suppressed =
+        List.fold_left (fun acc (_, _, s) -> acc + List.length s) 0 triples
       in
-      Printf.printf "checked %d file(s): %d error(s), %d warning(s), %d \
-                     info(s)\n"
+      let totals =
+        Ssg_lint.Lint.summarize ~suppressed
+          (List.concat_map (fun (_, a, _) -> a) triples)
+      in
+      Printf.printf
+        "checked %d file(s): %d error(s), %d warning(s), %d info(s), %d \
+         suppressed\n"
         (List.length results) totals.Ssg_lint.Lint.errors
         totals.Ssg_lint.Lint.warnings totals.Ssg_lint.Lint.infos
+        totals.Ssg_lint.Lint.suppressed
     end;
     if
       List.exists
-        (fun (_, _, diags) -> not (Ssg_lint.Lint.ok ~strict diags))
-        results
+        (fun (_, active, _) -> not (Ssg_lint.Lint.ok ~strict active))
+        triples
     then Stdlib.exit 1
   in
   let doc =
     "Statically analyze run descriptions: Psrcs(k) satisfiability, skeleton \
-     structure, stabilization bounds (diagnostic codes SSG000-SSG105)."
+     structure, achievable-k certificates and stabilization windows \
+     (diagnostic codes SSG000-SSG203), with machine fixes ($(b,--fix)), \
+     inline suppressions, SARIF output and multi-core file fan-out."
   in
   Cmd.v
     (Cmd.info "lint" ~doc)
-    Term.(const action $ k_opt_arg $ json_arg $ strict_arg $ files_arg)
+    Term.(
+      const action $ k_opt_arg $ json_arg $ strict_arg $ fix_arg $ sarif_arg
+      $ jobs_arg $ files_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -1290,16 +1374,24 @@ let sweep_cmd =
                 Ssg_obs.Tracer.set_enabled true;
                 let engine = Ssg_engine.Engine.create ?workers () in
                 let t0 = Unix.gettimeofday () in
-                (* Submit everything first so the pool pipelines the whole
-                   grid; then await in cell order under per-cell spans. *)
-                let tickets =
+                (* Submit everything as one batch: the engine pre-gates
+                   (lints) the whole grid on the pool up front, then the
+                   pool pipelines execution; await in cell order under
+                   per-cell spans. *)
+                let prepared =
                   List.map
                     (fun cell ->
                       let adv = Sweep.adversary cell in
                       let k = Sweep.effective_k cell adv in
-                      let job = Ssg_engine.Job.make ~k ?rounds adv in
-                      (cell, k, Ssg_engine.Engine.submit engine job))
+                      (cell, k, Ssg_engine.Job.make ~k ?rounds adv))
                     cells
+                in
+                let tickets =
+                  Ssg_engine.Engine.submit_batch engine
+                    (List.map (fun (_, _, job) -> job) prepared)
+                  |> List.map2
+                       (fun (cell, k, _) ticket -> (cell, k, ticket))
+                       prepared
                 in
                 let results =
                   List.map

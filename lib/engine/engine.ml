@@ -49,15 +49,21 @@ let job_args (job : Job.t) =
 let trace_instant name job =
   if Tracer.enabled () then Tracer.instant ~args:(job_args job) name
 
-let rec submit t job =
+let run_gate job =
+  if Tracer.enabled () then
+    Tracer.with_span ~args:(job_args job) "engine.lint" (fun () ->
+        Ssg_lint.Lint.gate ~k:job.Job.k job.Job.run)
+  else Ssg_lint.Lint.gate ~k:job.Job.k job.Job.run
+
+let rec submit_with ?lookup t job =
   Telemetry.record_submitted t.telemetry;
   if Tracer.enabled () then Tracer.span_begin ~args:(job_args job) "engine.submit";
   Fun.protect
     ~finally:(fun () ->
       if Tracer.enabled () then Tracer.span_end "engine.submit")
-    (fun () -> submit_traced t job)
+    (fun () -> submit_traced ?lookup t job)
 
-and submit_traced t job =
+and submit_traced ?lookup t job =
   let key = Job.key job in
   let now = Unix.gettimeofday () in
   let decision =
@@ -93,10 +99,13 @@ and submit_traced t job =
          diagnostics are cheap to recompute and the LRU stays reserved
          for real results. *)
       let gate =
-        if Tracer.enabled () then
-          Tracer.with_span ~args:(job_args job) "engine.lint" (fun () ->
-              Ssg_lint.Lint.gate ~k:job.Job.k job.Job.run)
-        else Ssg_lint.Lint.gate ~k:job.Job.k job.Job.run
+        (* A batch pre-gate may have linted this key already (on the
+           pool, in parallel); fall back to the inline gate when the
+           lookup has nothing — the table is an optimization, never a
+           correctness dependency. *)
+        match Option.bind lookup (fun find -> find key) with
+        | Some gate -> gate
+        | None -> run_gate job
       in
       match gate with
       | Some diags ->
@@ -169,6 +178,8 @@ and fresh_execute t job ~key ~cell ~now =
       end;
       Waiting { cell; submitted = now; shared = false }
 
+let submit t job = submit_with t job
+
 let rejection = function
   | Rejected { message; _ } -> Some message
   | Immediate _ | Waiting _ -> None
@@ -192,9 +203,41 @@ let await _t ticket =
 
 let run t job = await t (submit t job)
 
-let run_batch t jobs =
-  let tickets = List.map (submit t) jobs in
-  List.map (await t) tickets
+(* Batch pre-gate: lint every distinct not-yet-resolved key of the batch
+   on the worker pool before any submission.  The cache/pending peek is
+   a racy optimization — a key that resolves concurrently is simply
+   gated again inline by [submit_with]'s fallback. *)
+let pregate t jobs =
+  let seen = Hashtbl.create 32 in
+  let fresh =
+    List.filter_map
+      (fun job ->
+        let key = Job.key job in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          let resolved =
+            locked t (fun () ->
+                Lru.mem t.cache key || Hashtbl.mem t.pending key)
+          in
+          if resolved then None else Some (key, job)
+        end)
+      jobs
+  in
+  let gates = Hashtbl.create 32 in
+  (match fresh with
+  | [] | [ _ ] -> () (* nothing worth fanning out; inline gating wins *)
+  | fresh ->
+      Pool.map t.pool (fun (key, job) -> (key, run_gate job)) fresh
+      |> List.iter (fun (key, gate) -> Hashtbl.add gates key gate));
+  gates
+
+let submit_batch t jobs =
+  let gates = pregate t jobs in
+  let lookup key = Hashtbl.find_opt gates key in
+  List.map (fun job -> submit_with ~lookup t job) jobs
+
+let run_batch t jobs = List.map (await t) (submit_batch t jobs)
 
 let stats t =
   let cache_entries = locked t (fun () -> Lru.length t.cache) in

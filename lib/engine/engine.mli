@@ -63,8 +63,19 @@ val await : t -> ticket -> Job.completion
 (** [run t job] is [await t (submit t job)]. *)
 val run : t -> Job.t -> Job.completion
 
-(** [run_batch t jobs] submits everything first (so the pool pipelines
-    the whole batch), then awaits in order. *)
+(** [submit_batch t jobs] is [List.map (submit t) jobs] with a parallel
+    front door: every distinct key of the batch that is neither cached
+    nor in flight is linted on the worker pool {e first} (the batch
+    pre-gate), then the jobs are submitted in order consulting those
+    precomputed verdicts.  Per-job semantics — rejection behavior,
+    dedup, telemetry counts, ticket order — are identical to submitting
+    serially; only the lint work is fanned out.  This is what makes
+    lint-bound batches (a sweep grid, [ssg lint] over many files) scale
+    with the pool. *)
+val submit_batch : t -> Job.t list -> ticket list
+
+(** [run_batch t jobs] is {!submit_batch} then [await] in order (so the
+    pool pipelines the whole batch). *)
 val run_batch : t -> Job.t list -> Job.completion list
 
 val stats : t -> Telemetry.snapshot

@@ -41,6 +41,39 @@ let queue_depth pool = Bqueue.length pool.queue
 let queue_capacity pool = Bqueue.capacity pool.queue
 let submit pool task = Bqueue.push pool.queue task
 
+let map pool f xs =
+  match xs with
+  | [] -> []
+  | xs ->
+      let items = Array.of_list xs in
+      let n = Array.length items in
+      let results = Array.make n None in
+      let mu = Mutex.create () and done_cv = Condition.create () in
+      let remaining = ref n in
+      let run i =
+        let r = try Ok (f items.(i)) with e -> Error e in
+        Mutex.lock mu;
+        results.(i) <- Some r;
+        decr remaining;
+        if !remaining = 0 then Condition.signal done_cv;
+        Mutex.unlock mu
+      in
+      for i = 0 to n - 1 do
+        (* A shut-down pool rejects the task; run it inline so map still
+           returns complete, ordered results. *)
+        if not (submit pool (fun () -> run i)) then run i
+      done;
+      Mutex.lock mu;
+      while !remaining > 0 do
+        Condition.wait done_cv mu
+      done;
+      Mutex.unlock mu;
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+
 let shutdown pool =
   Bqueue.close pool.queue;
   Mutex.lock pool.joined;

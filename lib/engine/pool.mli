@@ -33,6 +33,15 @@ val queue_capacity : t -> int
     which case the task was {e not} accepted. *)
 val submit : t -> (unit -> unit) -> bool
 
+(** [map pool f xs] fans [f] over [xs] on the worker domains and blocks
+    until every element is done, returning results in input order.  On a
+    shut-down pool the rejected tasks run inline on the caller, so the
+    result is always complete.  If some [f] raised, the first exception
+    in input order is re-raised after all tasks finish.  Do not call
+    from inside a pool task: the blocked caller occupies no worker, but
+    a worker calling [map] could deadlock a saturated pool. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
 (** [shutdown pool] closes the queue, waits for the workers to drain all
     accepted tasks, and joins them.  Idempotent; concurrent calls after
     the first return once the first completes. *)

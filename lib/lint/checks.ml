@@ -217,6 +217,108 @@ let redundant_tokens (ctx : Pass.ctx) =
             message)
         spans.Run_format.redundant_edges
 
+(* ---- SSG2xx: the fixpoint passes.  All three read [ctx.chain], so the
+   incremental traversal of [Semantic.analyze] runs at most once per
+   lint no matter how many of them fire. *)
+
+(* A chain round's anchor: its own line while it is in the prefix, the
+   stable line for the limit step. *)
+let chain_round_span (ctx : Pass.ctx) chain r =
+  if r <= chain.Semantic.prefix then round_span ctx r else stable_span ctx
+
+(* SSG201: the achievable-k certificate.  The chain gives min_k at every
+   prefix position, so a k below the final value is rejected with the
+   exact round where achievability is lost and the whole trajectory as a
+   proof trail — not just "unsatisfiable" (that is SSG001's one-liner). *)
+let achievable_k (ctx : Pass.ctx) =
+  let chain = Lazy.force ctx.chain in
+  let trail = Semantic.trajectory chain in
+  match ctx.k with
+  | Some k when k < chain.Semantic.final_min_k ->
+      let lost =
+        match Semantic.lost_at chain ~k with
+        | Some r -> r
+        | None -> chain.Semantic.prefix + 1 (* unreachable: final_min_k > k *)
+      in
+      let where =
+        if lost > chain.Semantic.prefix then "the stable graph"
+        else spf "round %d" lost
+      in
+      [
+        Diagnostic.error
+          ?span:(chain_round_span ctx chain lost)
+          ~code:"SSG201"
+          ~hint:(spf "raise k to %d or reconnect the components merged before %s"
+                   chain.Semantic.final_min_k where)
+          (spf
+             "k = %d becomes unachievable at %s: min_k trajectory %s (final \
+              min_k = %d)"
+             k where trail chain.Semantic.final_min_k);
+      ]
+  | _ ->
+      [
+        Diagnostic.info ?span:(stable_span ctx) ~code:"SSG201"
+          (spf "achievable-k certificate: min_k trajectory %s (final min_k = %d)"
+             trail chain.Semantic.final_min_k);
+      ]
+
+(* SSG202: the stabilization window.  Always states the run's r_ST and
+   both decision bounds (Lemma 11's r_ST + 2n and the paper's
+   conservative r_ST + 3n + 4); warns — with a multi-line span over the
+   offending rounds — when the declared prefix outlives stabilization. *)
+let stabilization_window (ctx : Pass.ctx) =
+  let chain = Lazy.force ctx.chain in
+  let rst = chain.Semantic.r_st and prefix = chain.Semantic.prefix in
+  let info =
+    Diagnostic.info ?span:(stable_span ctx) ~code:"SSG202"
+      (spf
+         "stabilization window: r_ST = %d, Algorithm 1 decides by round %d \
+          (Lemma 11), within the paper's bound of round %d (3n + 4 after \
+          stabilization)"
+         rst
+         (rst + (2 * chain.Semantic.n))
+         (Semantic.decision_bound chain))
+  in
+  if Adversary.is_recurrent ctx.adv || rst >= prefix then [ info ]
+  else
+    let span =
+      Option.map
+        (fun s ->
+          Diagnostic.range
+            s.Run_format.round_lines.(rst)
+            s.Run_format.round_lines.(prefix - 1))
+        ctx.spans
+    in
+    [
+      info;
+      Diagnostic.warning ?span ~code:"SSG202"
+        ~hint:"drop the trailing rounds or end the prefix at r_ST"
+        (spf
+           "rounds %d-%d leave the skeleton unchanged: the declared prefix \
+            overshoots stabilization (r_ST = %d)"
+           (rst + 1) prefix rst);
+    ]
+
+(* SSG203: dead rounds.  A prefix round whose absorb removed no skeleton
+   edge is subsumed by the intersection of the rounds before it —
+   deleting it provably changes no G^∩r, hence neither G^∩∞, min_k, nor
+   any decision of Algorithm 1.  Generalizes SSG101 (one-step
+   subsumption by the stable graph) through the whole chain: neither
+   implies the other. *)
+let dead_rounds (ctx : Pass.ctx) =
+  let chain = Lazy.force ctx.chain in
+  List.map
+    (fun r ->
+      Diagnostic.warning
+        ?span:(round_span ctx r)
+        ~code:"SSG203"
+        ~hint:"delete the round (ssg lint --fix does this mechanically)"
+        (spf
+           "round %d is dead: it removes no edge from the skeleton chain at \
+            its position"
+           r))
+    chain.Semantic.dead
+
 let all =
   [
     Pass.v ~code:"SSG001" ~title:"Psrcs(k) satisfiability" psrcs_unsat;
@@ -227,4 +329,7 @@ let all =
     Pass.v ~code:"SSG103" ~title:"empty rounds" empty_rounds;
     Pass.v ~code:"SSG104" ~title:"isolated processes" isolated_processes;
     Pass.v ~code:"SSG105" ~title:"redundant edge tokens" redundant_tokens;
+    Pass.v ~code:"SSG201" ~title:"achievable-k certificate" achievable_k;
+    Pass.v ~code:"SSG202" ~title:"stabilization window" stabilization_window;
+    Pass.v ~code:"SSG203" ~title:"dead rounds" dead_rounds;
   ]

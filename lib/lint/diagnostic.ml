@@ -10,6 +10,7 @@ type t = {
 }
 
 let line l = { line = l; end_line = l }
+let range l e = { line = l; end_line = max l e }
 let make severity ?span ?hint ~code message = { code; severity; span; message; hint }
 let error ?span ?hint ~code message = make Error ?span ?hint ~code message
 let warning ?span ?hint ~code message = make Warning ?span ?hint ~code message
@@ -31,6 +32,22 @@ let compare a b =
       | 0 -> String.compare a.code b.code
       | c -> c)
   | c -> c
+
+let registry =
+  [
+    ("SSG000", Error, "run description does not parse");
+    ("SSG001", Error, "Psrcs(k) is unsatisfiable (min_k > k)");
+    ("SSG002", Info, "Psrcs(k) satisfiability profile");
+    ("SSG003", Info, "stabilization round and decision horizon");
+    ("SSG101", Warning, "prefix round subsumed by the stable graph");
+    ("SSG102", Warning, "near-miss skeleton edge");
+    ("SSG103", Warning, "empty round (self-loops only)");
+    ("SSG104", Warning, "process isolated in the stable skeleton");
+    ("SSG105", Warning, "redundant edge token");
+    ("SSG201", Error, "achievable-k certificate violated (k below min_k)");
+    ("SSG202", Info, "stabilization window vs the paper's 3n+4 bound");
+    ("SSG203", Warning, "dead round: provably never changes the skeleton chain");
+  ]
 
 let pp fmt d =
   Format.fprintf fmt "%s %s: %s" (severity_label d.severity) d.code d.message;

@@ -18,7 +18,15 @@
     - [SSG103] warning — empty round (self-loops only)
     - [SSG104] warning — process isolated in the stable skeleton
     - [SSG105] warning — redundant edge token (duplicate / explicit
-      self-loop) *)
+      self-loop)
+    - [SSG201] error/info — achievable-k certificate: the [min_k]
+      trajectory along the skeleton chain; an error (with the round
+      where achievability is lost) when [k] is below it
+    - [SSG202] info/warning — stabilization window ([r_ST], Lemma 11
+      horizon, the paper's [3n+4] bound); a warning when the declared
+      prefix overshoots stabilization
+    - [SSG203] warning — dead round: removes no skeleton edge at its
+      chain position, so deleting it provably changes nothing *)
 
 type severity = Error | Warning | Info
 
@@ -36,6 +44,9 @@ type t = {
 (** [line l] is the single-line span [{line = l; end_line = l}]. *)
 val line : int -> span
 
+(** [range l e] is [{line = l; end_line = max l e}]. *)
+val range : int -> int -> span
+
 val error : ?span:span -> ?hint:string -> code:string -> string -> t
 val warning : ?span:span -> ?hint:string -> code:string -> string -> t
 val info : ?span:span -> ?hint:string -> code:string -> string -> t
@@ -48,6 +59,12 @@ val is_error : t -> bool
 (** Source order: by span line (span-less diagnostics sort last), then by
     severity (errors first), then by code. *)
 val compare : t -> t -> int
+
+(** The code registry as data — [(code, default severity, title)] in
+    code order.  Single source for the SARIF rule table and docs; the
+    default severity is the rule's usual level (SSG201/202 also emit at
+    other levels depending on context). *)
+val registry : (string * severity * string) list
 
 (** One-line rendering: [error SSG001: message (line 4)]. *)
 val pp : Format.formatter -> t -> unit

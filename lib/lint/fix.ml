@@ -1,0 +1,157 @@
+open Ssg_graph
+open Ssg_adversary
+
+type edit = Delete of int | Replace of int * string
+
+type plan = {
+  edits : edit list;
+  dropped_rounds : int list;
+  cleaned_lines : int list;
+}
+
+let fixed_codes = [ "SSG101"; "SSG103"; "SSG105"; "SSG203" ]
+let is_empty p = p.edits = []
+
+(* Rebuild a graph line as [label tok1 tok2 ...], dropping explicit
+   self-loops and duplicate edge tokens, preserving any comment suffix.
+   Deterministic, so rebuilding a rebuilt line is the identity — the
+   root of the fix-twice-is-a-no-op property. *)
+let rebuild ~label line =
+  let content, comment =
+    match String.index_opt line '#' with
+    | Some h ->
+        (String.sub line 0 h, String.sub line h (String.length line - h))
+    | None -> (line, "")
+  in
+  let tokens =
+    match String.index_opt content ':' with
+    | None -> []
+    | Some c ->
+        String.sub content (c + 1) (String.length content - c - 1)
+        |> String.split_on_char ' '
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun t -> t <> "")
+  in
+  let seen = Hashtbl.create 8 in
+  let keep tok =
+    match Scanf.sscanf_opt tok " %d>%d %!" (fun a b -> (a, b)) with
+    | Some (a, b) when a = b -> false
+    | Some e when Hashtbl.mem seen e -> false
+    | Some e ->
+        Hashtbl.add seen e ();
+        true
+    | None -> true
+  in
+  let kept = List.filter keep tokens in
+  let body = match kept with [] -> "" | _ -> " " ^ String.concat " " kept in
+  let comment = if comment = "" then "" else "  " ^ comment in
+  label ^ body ^ comment
+
+let plan text =
+  match Run_format.parse text with
+  | exception Failure _ -> None
+  | adv, spans ->
+      let n = Adversary.n adv in
+      let prefix = Adversary.prefix_length adv in
+      let stable = Adversary.graph adv (prefix + 1) in
+      let original_skel = Adversary.stable_skeleton adv in
+      let chain = Semantic.analyze adv in
+      let deleted = Array.make (prefix + 1) false in
+      (* SSG101 (subsumed by stable) and SSG203 (dead in the chain):
+         jointly safe to delete, see the .mli. *)
+      for r = 1 to prefix do
+        if Digraph.subgraph_of stable (Adversary.graph adv r) then
+          deleted.(r) <- true
+      done;
+      List.iter (fun r -> deleted.(r) <- true) chain.Semantic.dead;
+      (* SSG103: an empty round is deleted only when the skeleton of the
+         surviving rounds is provably unchanged.  Greedy, in round
+         order, each check against the current survivor set. *)
+      let skel_without excluded =
+        let g = Digraph.complete ~self_loops:true n in
+        for r = 1 to prefix do
+          if (not deleted.(r)) && r <> excluded then
+            Digraph.inter_into ~into:g (Adversary.graph adv r)
+        done;
+        Digraph.inter_into ~into:g stable;
+        g
+      in
+      for r = 1 to prefix do
+        if
+          (not deleted.(r))
+          && Digraph.edge_count (Adversary.graph adv r) = n
+          && Digraph.equal (skel_without r) original_skel
+        then deleted.(r) <- true
+      done;
+      let lines = Array.of_list (String.split_on_char '\n' text) in
+      let redundant_lines =
+        List.sort_uniq compare
+          (List.map fst spans.Run_format.redundant_edges)
+      in
+      let edits = ref [] and dropped = ref [] and cleaned = ref [] in
+      let emit lineno ~label =
+        let rebuilt = rebuild ~label lines.(lineno - 1) in
+        if rebuilt <> lines.(lineno - 1) then begin
+          edits := Replace (lineno, rebuilt) :: !edits;
+          if List.mem lineno redundant_lines then cleaned := lineno :: !cleaned
+        end
+      in
+      let survivors = ref 0 in
+      for r = 1 to prefix do
+        let lineno = spans.Run_format.round_lines.(r - 1) in
+        if deleted.(r) then begin
+          edits := Delete lineno :: !edits;
+          dropped := r :: !dropped
+        end
+        else begin
+          incr survivors;
+          emit lineno ~label:(Printf.sprintf "round %d:" !survivors)
+        end
+      done;
+      if List.mem spans.Run_format.stable_line redundant_lines then
+        emit spans.Run_format.stable_line ~label:"stable:";
+      let by_line a b =
+        let l = function Delete l | Replace (l, _) -> l in
+        Int.compare (l a) (l b)
+      in
+      Some
+        {
+          edits = List.sort by_line !edits;
+          dropped_rounds = List.rev !dropped;
+          cleaned_lines = List.sort_uniq compare !cleaned;
+        }
+
+let apply p text =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Delete l -> Hashtbl.replace tbl l None
+      | Replace (l, s) -> Hashtbl.replace tbl l (Some s))
+    p.edits;
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line ->
+         match Hashtbl.find_opt tbl (i + 1) with
+         | None -> Some line
+         | Some replacement -> replacement)
+  |> List.filter_map Fun.id
+  |> String.concat "\n"
+
+let fix text =
+  match plan text with
+  | None -> None
+  | Some p when is_empty p -> Some (text, p)
+  | Some p ->
+      let fixed = apply p text in
+      (match (Run_format.of_string text, Run_format.of_string fixed) with
+      | a, b ->
+          if
+            (not
+               (Digraph.equal
+                  (Adversary.stable_skeleton a)
+                  (Adversary.stable_skeleton b)))
+            || Adversary.min_k a <> Adversary.min_k b
+          then
+            invalid_arg "Fix.fix: skeleton or min_k changed by the fix (bug)"
+      | exception Failure msg ->
+          invalid_arg ("Fix.fix: fixed text does not parse (bug): " ^ msg));
+      Some (fixed, p)

@@ -1,0 +1,60 @@
+(** Machine-applicable autofixes: span-anchored text edits for the
+    mechanically repairable diagnostics.
+
+    Fixed codes and their edits:
+
+    - [SSG101] (round subsumed by the stable graph) — delete the round
+      line.  Sound because a supergraph of the stable graph intersects
+      to a no-op against {e any} chain position that already includes
+      the stable graph's limit.
+    - [SSG203] (dead round) — delete the round line.  Sound because a
+      zero-delta round is subsumed by the intersection of the rounds
+      before it; deleting any subset of subsumed/dead rounds leaves
+      every subsequent [G^∩r] — hence [G^∩∞] and [min_k] — unchanged
+      (induction over the chain: skeletons only {e grow} when rounds are
+      removed, and each deleted round was a no-op against a graph its
+      survivors still intersect below).
+    - [SSG103] (empty round) — delete {e only when provably safe}: the
+      plan recomputes the stable skeleton without the round and keeps
+      the round (warning intact) unless the result is bit-for-bit
+      identical.  A run whose skeleton the empty round genuinely
+      collapsed keeps exactly the rounds needed to stay faithful.
+    - [SSG105] (redundant edge token) — rewrite the line without
+      explicit self-loops and duplicate tokens.
+
+    Deleting rounds renumbers the survivors (the format requires
+    consecutive [round 1..P]); comment suffixes on rewritten lines are
+    preserved.
+
+    {b Soundness invariant} (checked by {!fix}, property-tested in the
+    suite): the fixed text parses, has the same stable skeleton and the
+    same [min_k] as the original, re-lints clean for the fixed codes
+    (except unfixable SSG103), and fixing it again is a no-op. *)
+
+type edit =
+  | Delete of int  (** remove this 1-based line *)
+  | Replace of int * string  (** replace this line's text *)
+
+type plan = {
+  edits : edit list;  (** in line order; at most one edit per line *)
+  dropped_rounds : int list;  (** original round numbers deleted *)
+  cleaned_lines : int list;  (** lines rewritten to drop redundant tokens *)
+}
+
+(** The codes [--fix] repairs, in code order. *)
+val fixed_codes : string list
+
+(** [plan text] computes the edit plan, or [None] when [text] does not
+    parse (nothing mechanical to do — fix the SSG000 first). *)
+val plan : string -> plan option
+
+val is_empty : plan -> bool
+
+(** [apply plan text] performs the edits. *)
+val apply : plan -> string -> string
+
+(** [plan] + [apply] + the soundness check: parses the fixed text and
+    verifies stable skeleton and [min_k] are preserved.
+    @raise Invalid_argument if the invariant is violated (a bug, not a
+    user error). *)
+val fix : string -> (string * plan) option

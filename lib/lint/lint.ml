@@ -8,27 +8,40 @@ let parse_error_span msg =
   | Some l -> Some (Diagnostic.line l)
   | None -> None
 
-let check_text ?k text =
-  match Run_format.parse text with
-  | adv, spans -> Pass.run_all Checks.all (Pass.ctx ?k ~spans adv)
-  | exception Failure msg ->
-      [
-        Diagnostic.error
-          ?span:(parse_error_span msg)
-          ~code:"SSG000"
-          (Printf.sprintf "run description does not parse: %s" msg);
-      ]
+type outcome = { active : Diagnostic.t list; suppressed : Diagnostic.t list }
 
-type summary = { errors : int; warnings : int; infos : int }
+let lint_text ?k text =
+  let diags =
+    match Run_format.parse text with
+    | adv, spans -> Pass.run_all Checks.all (Pass.ctx ?k ~spans adv)
+    | exception Failure msg ->
+        [
+          Diagnostic.error
+            ?span:(parse_error_span msg)
+            ~code:"SSG000"
+            (Printf.sprintf "run description does not parse: %s" msg);
+        ]
+  in
+  let active, suppressed = Suppress.partition (Suppress.parse text) diags in
+  { active; suppressed }
 
-let summarize diags =
+let check_text ?k text = (lint_text ?k text).active
+
+type summary = {
+  errors : int;
+  warnings : int;
+  infos : int;
+  suppressed : int;
+}
+
+let summarize ?(suppressed = 0) diags =
   List.fold_left
     (fun acc (d : Diagnostic.t) ->
       match d.severity with
       | Diagnostic.Error -> { acc with errors = acc.errors + 1 }
       | Diagnostic.Warning -> { acc with warnings = acc.warnings + 1 }
       | Diagnostic.Info -> { acc with infos = acc.infos + 1 })
-    { errors = 0; warnings = 0; infos = 0 }
+    { errors = 0; warnings = 0; infos = 0; suppressed }
     diags
 
 let has_errors diags = List.exists Diagnostic.is_error diags

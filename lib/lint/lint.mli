@@ -13,9 +13,19 @@ open Ssg_adversary
     without it, satisfiability is reported as info only. *)
 val check : ?k:int -> Adversary.t -> Diagnostic.t list
 
-(** [check_text ?k text] lints a run description, with line-span anchors
-    from the span-tracking parse.  Never raises: text rejected by
-    {!Run_format.parse} yields a single [SSG000] error diagnostic. *)
+(** Text-lint result, split by {!Suppress} directives.  [active] drives
+    exit codes and the engine gate; [suppressed] is retained so
+    reporters and summaries can still show (and count) what was muted. *)
+type outcome = { active : Diagnostic.t list; suppressed : Diagnostic.t list }
+
+(** [lint_text ?k text] lints a run description, with line-span anchors
+    from the span-tracking parse, honoring inline
+    [# ssg-lint: disable=...] directives.  Never raises: text rejected
+    by {!Run_format.parse} yields a single active [SSG000] error. *)
+val lint_text : ?k:int -> string -> outcome
+
+(** [check_text ?k text] is [(lint_text ?k text).active] — suppressed
+    diagnostics (an explicit in-source opt-out) are not reported. *)
 val check_text : ?k:int -> string -> Diagnostic.t list
 
 (** [gate ~k run] is the engine front door: [Some rendered] when [run]
@@ -24,9 +34,16 @@ val check_text : ?k:int -> string -> Diagnostic.t list
     job may execute. *)
 val gate : k:int -> string -> string option
 
-type summary = { errors : int; warnings : int; infos : int }
+type summary = {
+  errors : int;
+  warnings : int;
+  infos : int;
+  suppressed : int;  (** directive-muted diagnostics, any severity *)
+}
 
-val summarize : Diagnostic.t list -> summary
+(** [summarize ?suppressed diags] counts by severity; [suppressed]
+    (default 0) is carried through for display. *)
+val summarize : ?suppressed:int -> Diagnostic.t list -> summary
 val has_errors : Diagnostic.t list -> bool
 
 (** [ok ?strict diags] — no errors; with [strict], no warnings either. *)

@@ -10,6 +10,7 @@ type ctx = {
   analysis : Ssg_skeleton.Analysis.t;
   pts : Bitset.t array;
   min_k : int;
+  chain : Semantic.chain Lazy.t;
 }
 
 let ctx ?k ?spans adv =
@@ -22,6 +23,7 @@ let ctx ?k ?spans adv =
     analysis = Ssg_skeleton.Analysis.analyze skeleton;
     pts = Adversary.pts adv;
     min_k = Adversary.min_k adv;
+    chain = lazy (Semantic.analyze adv);
   }
 
 type t = { code : string; title : string; check : ctx -> Diagnostic.t list }

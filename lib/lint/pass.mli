@@ -19,6 +19,8 @@ type ctx = {
   analysis : Ssg_skeleton.Analysis.t;  (** SCCs / roots of the skeleton *)
   pts : Bitset.t array;  (** [pts.(q) = PT(q)] *)
   min_k : int;  (** α(H): least [k] with [Psrcs(k)] *)
+  chain : Semantic.chain Lazy.t;
+      (** per-round fixpoint facts; forced only by the SSG2xx passes *)
 }
 
 (** [ctx ?k ?spans adv] runs the shared analysis once. *)

@@ -1,7 +1,22 @@
+(* How many span lines a human excerpt shows before eliding the rest. *)
+let excerpt_max = 4
+
 let human ?file ?src diags =
   let buf = Buffer.create 256 in
-  let src_lines = Option.map (fun s -> String.split_on_char '\n' s) src in
+  (* Split once per render, not once per diagnostic: O(lines + diags)
+     instead of the old List.nth's O(lines × diags). *)
+  let src_lines =
+    Option.map (fun s -> Array.of_list (String.split_on_char '\n' s)) src
+  in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let excerpt lines (s : Diagnostic.span) =
+    let last = min s.end_line (Array.length lines) in
+    let shown = min last (s.line + excerpt_max - 1) in
+    for l = s.line to shown do
+      add "  %4d | %s\n" l lines.(l - 1)
+    done;
+    if last > shown then add "   ... | (%d more line(s))\n" (last - shown)
+  in
   List.iter
     (fun (d : Diagnostic.t) ->
       (match (file, d.span) with
@@ -11,8 +26,8 @@ let human ?file ?src diags =
       | None, None -> ());
       add "%s %s: %s\n" (Diagnostic.severity_label d.severity) d.code d.message;
       (match (src_lines, d.span) with
-      | Some lines, Some s when s.line >= 1 && s.line <= List.length lines ->
-          add "  %4d | %s\n" s.line (List.nth lines (s.line - 1))
+      | Some lines, Some s when s.line >= 1 && s.line <= Array.length lines ->
+          excerpt lines s
       | _ -> ());
       match d.hint with Some h -> add "  hint: %s\n" h | None -> ())
     (List.sort Diagnostic.compare diags);
@@ -35,7 +50,7 @@ let escape s =
     s;
   Buffer.contents buf
 
-let json_diagnostic (d : Diagnostic.t) =
+let json_diagnostic ~suppressed (d : Diagnostic.t) =
   let fields = Buffer.create 64 in
   let add fmt = Printf.ksprintf (Buffer.add_string fields) fmt in
   add "{ \"code\": \"%s\", \"severity\": \"%s\"" (escape d.code)
@@ -47,6 +62,7 @@ let json_diagnostic (d : Diagnostic.t) =
   (match d.hint with
   | Some h -> add ", \"hint\": \"%s\"" (escape h)
   | None -> ());
+  if suppressed then add ", \"suppressed\": true";
   add " }";
   Buffer.contents fields
 
@@ -54,26 +70,32 @@ let json results =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "[\n";
   List.iteri
-    (fun i (file, diags) ->
+    (fun i (file, active, suppressed) ->
       if i > 0 then Buffer.add_string buf ",\n";
-      let diags = List.sort Diagnostic.compare diags in
+      let active = List.sort Diagnostic.compare active in
+      let suppressed = List.sort Diagnostic.compare suppressed in
       let count sev =
         List.length
-          (List.filter (fun (d : Diagnostic.t) -> d.severity = sev) diags)
+          (List.filter (fun (d : Diagnostic.t) -> d.severity = sev) active)
       in
       Buffer.add_string buf
         (Printf.sprintf
            "  { \"file\": \"%s\",\n    \"errors\": %d, \"warnings\": %d, \
-            \"infos\": %d,\n    \"diagnostics\": ["
+            \"infos\": %d, \"suppressed\": %d,\n    \"diagnostics\": ["
            (escape file) (count Diagnostic.Error) (count Diagnostic.Warning)
-           (count Diagnostic.Info));
+           (count Diagnostic.Info)
+           (List.length suppressed));
+      let entries =
+        List.map (json_diagnostic ~suppressed:false) active
+        @ List.map (json_diagnostic ~suppressed:true) suppressed
+      in
       List.iteri
-        (fun j d ->
+        (fun j entry ->
           if j > 0 then Buffer.add_string buf ",";
           Buffer.add_string buf "\n      ";
-          Buffer.add_string buf (json_diagnostic d))
-        diags;
-      if diags <> [] then Buffer.add_string buf "\n    ";
+          Buffer.add_string buf entry)
+        entries;
+      if entries <> [] then Buffer.add_string buf "\n    ";
       Buffer.add_string buf "] }")
     results;
   Buffer.add_string buf "\n]\n";

@@ -10,24 +10,30 @@
     [
       {
         "file": "examples/foo.run",
-        "errors": 1, "warnings": 2, "infos": 1,
+        "errors": 1, "warnings": 2, "infos": 1, "suppressed": 1,
         "diagnostics": [
           { "code": "SSG001", "severity": "error",
             "line": 5, "end_line": 5,
-            "message": "...", "hint": "..." }
+            "message": "...", "hint": "..." },
+          { "code": "SSG104", "severity": "warning",
+            "message": "...", "suppressed": true }
         ]
       }
     ]
     v}
 
-    [line]/[end_line] are omitted for span-less diagnostics, [hint] when
-    there is none. *)
+    The per-file counts cover active diagnostics; suppressed ones follow
+    them in the array, marked [suppressed: true] and counted in the
+    [suppressed] field.  [line]/[end_line] are omitted for span-less
+    diagnostics, [hint] when there is none. *)
 
 (** [human ?file ?src diags] renders diagnostics in source order.  With
     [src] (the run-description text), each anchored diagnostic is
-    followed by an excerpt of its source line. *)
+    followed by an excerpt of its span — up to 4 lines, longer spans
+    elided with a [... | (N more line(s))] marker. *)
 val human : ?file:string -> ?src:string -> Diagnostic.t list -> string
 
 (** [json results] renders a JSON array with one object per
-    [(file, diagnostics)] pair. *)
-val json : (string * Diagnostic.t list) list -> string
+    [(file, active, suppressed)] triple. *)
+val json :
+  (string * Diagnostic.t list * Diagnostic.t list) list -> string

@@ -1,0 +1,148 @@
+module E = Ssg_obs.Export
+
+let level = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Info -> "note"
+
+let rule_index code =
+  let rec go i = function
+    | [] -> None
+    | (c, _, _) :: _ when c = code -> Some i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 Diagnostic.registry
+
+let rules =
+  E.Arr
+    (List.map
+       (fun (code, sev, title) ->
+         E.Obj
+           [
+             ("id", E.Str code);
+             ("shortDescription", E.Obj [ ("text", E.Str title) ]);
+             ("defaultConfiguration", E.Obj [ ("level", E.Str (level sev)) ]);
+           ])
+       Diagnostic.registry)
+
+let location file (d : Diagnostic.t) =
+  let physical =
+    ("artifactLocation", E.Obj [ ("uri", E.Str file) ])
+    ::
+    (match d.span with
+    | Some s ->
+        [
+          ( "region",
+            E.Obj
+              [ ("startLine", E.Int s.line); ("endLine", E.Int s.end_line) ] );
+        ]
+    | None -> [])
+  in
+  E.Obj [ ("physicalLocation", E.Obj physical) ]
+
+(* The file's whole autofix plan as one SARIF fix: applying it resolves
+   every fixable result at once, which is exactly what [--fix] does. *)
+let fix_json file (p : Fix.plan) =
+  let replacement = function
+    | Fix.Delete l ->
+        E.Obj
+          [
+            ( "deletedRegion",
+              E.Obj [ ("startLine", E.Int l); ("endLine", E.Int l) ] );
+          ]
+    | Fix.Replace (l, text) ->
+        E.Obj
+          [
+            ( "deletedRegion",
+              E.Obj [ ("startLine", E.Int l); ("endLine", E.Int l) ] );
+            ("insertedContent", E.Obj [ ("text", E.Str text) ]);
+          ]
+  in
+  E.Obj
+    [
+      ( "description",
+        E.Obj
+          [
+            ( "text",
+              E.Str
+                "delete dead/subsumed rounds and redundant tokens (ssg lint \
+                 --fix)" );
+          ] );
+      ( "artifactChanges",
+        E.Arr
+          [
+            E.Obj
+              [
+                ("artifactLocation", E.Obj [ ("uri", E.Str file) ]);
+                ("replacements", E.Arr (List.map replacement p.Fix.edits));
+              ];
+          ] );
+    ]
+
+let result ?fix ~file ~suppressed (d : Diagnostic.t) =
+  let message =
+    match d.hint with
+    | None -> d.message
+    | Some h -> d.message ^ " (hint: " ^ h ^ ")"
+  in
+  let fields =
+    ("ruleId", E.Str d.code)
+    ::
+    (match rule_index d.code with
+    | Some i -> [ ("ruleIndex", E.Int i) ]
+    | None -> [])
+    @ [
+        ("level", E.Str (level d.severity));
+        ("message", E.Obj [ ("text", E.Str message) ]);
+        ("locations", E.Arr [ location file d ]);
+      ]
+  in
+  let fields =
+    if suppressed then
+      fields
+      @ [ ("suppressions", E.Arr [ E.Obj [ ("kind", E.Str "inSource") ] ]) ]
+    else fields
+  in
+  let fields =
+    match fix with
+    | Some f when List.mem d.code Fix.fixed_codes ->
+        fields @ [ ("fixes", E.Arr [ f ]) ]
+    | _ -> fields
+  in
+  E.Obj fields
+
+let export ?(fixes = []) results =
+  let results_json =
+    List.concat_map
+      (fun (file, active, suppressed) ->
+        let fix =
+          match List.assoc_opt file fixes with
+          | Some p when not (Fix.is_empty p) -> Some (fix_json file p)
+          | _ -> None
+        in
+        List.map (result ?fix ~file ~suppressed:false) active
+        @ List.map (result ?fix ~file ~suppressed:true) suppressed)
+      results
+  in
+  E.json_to_string
+    (E.Obj
+       [
+         ("$schema", E.Str "https://json.schemastore.org/sarif-2.1.0.json");
+         ("version", E.Str "2.1.0");
+         ( "runs",
+           E.Arr
+             [
+               E.Obj
+                 [
+                   ( "tool",
+                     E.Obj
+                       [
+                         ( "driver",
+                           E.Obj
+                             [ ("name", E.Str "ssg-lint"); ("rules", rules) ]
+                         );
+                       ] );
+                   ("results", E.Arr results_json);
+                 ];
+             ] );
+       ])

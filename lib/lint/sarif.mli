@@ -1,0 +1,24 @@
+(** SARIF 2.1.0 exporter.
+
+    Renders lint results as one SARIF run — the interchange format that
+    code-scanning UIs (GitHub, VS Code SARIF viewers) ingest directly.
+    Built on {!Ssg_obs.Export.json} and emitted with its renderer, so
+    tests can validate the document with the same library's
+    well-formedness checker and navigate it with [json_of_string].
+
+    Mapping: every code in {!Diagnostic.registry} becomes a
+    [tool.driver.rules] entry; severities map [Error]→["error"],
+    [Warning]→["warning"], [Info]→["note"]; hints are appended to the
+    message text; suppressed diagnostics are exported with
+    [suppressions: [{kind: "inSource"}]] (SARIF consumers hide them but
+    keep the record); a file's {!Fix.plan} is attached to each of its
+    fixable results as a complete [fixes] entry (whole-line deleted
+    regions, replacements with [insertedContent]). *)
+
+(** [export ?fixes results] — [results] is one
+    [(file, active, suppressed)] triple per linted file; [fixes] maps
+    files to their autofix plans. *)
+val export :
+  ?fixes:(string * Fix.plan) list ->
+  (string * Diagnostic.t list * Diagnostic.t list) list ->
+  string

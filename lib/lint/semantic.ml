@@ -1,0 +1,137 @@
+open Ssg_util
+open Ssg_graph
+open Ssg_adversary
+module Incremental = Ssg_skeleton.Incremental
+module Analysis = Ssg_skeleton.Analysis
+module Min_k_tracker = Ssg_predicates.Min_k_tracker
+
+type obs = {
+  round : int;
+  is_limit : bool;
+  delta : int;
+  revision : int;
+  skeleton : Digraph.t;
+  analysis : Analysis.t;
+  pts : Bitset.t array;
+  min_k : int;
+}
+
+let fold adv ~init ~f =
+  let n = Adversary.n adv in
+  let prefix = Adversary.prefix_length adv in
+  let inc = Incremental.start ~n in
+  let tracker = Min_k_tracker.create () in
+  let observe acc ~round ~is_limit ~delta =
+    let revision = Incremental.revision inc in
+    let pts = Incremental.pts inc in
+    f acc
+      {
+        round;
+        is_limit;
+        delta;
+        revision;
+        skeleton = Incremental.view inc;
+        analysis = Incremental.analysis inc;
+        pts;
+        min_k = Min_k_tracker.min_k ~revision tracker pts;
+      }
+  in
+  let acc = ref init in
+  for r = 1 to prefix do
+    let delta = Incremental.absorb inc (Adversary.graph adv r) in
+    acc := observe !acc ~round:r ~is_limit:false ~delta
+  done;
+  (* The limit step.  [G^∩∞ = (∩ prefix) ∩ stable], and the accumulator
+     already holds [∩ prefix], so absorbing the exact [stable_skeleton]
+     lands on the true fixpoint in one step — for recurrent runs too,
+     where no single post-prefix round graph would. *)
+  let delta = Incremental.absorb inc (Adversary.stable_skeleton adv) in
+  observe !acc ~round:(prefix + 1) ~is_limit:true ~delta
+
+type fact = {
+  round : int;
+  delta : int;
+  revision : int;
+  edge_count : int;
+  root_count : int;
+  min_k : int;
+}
+
+type chain = {
+  n : int;
+  prefix : int;
+  facts : fact array;
+  r_st : int;
+  final_min_k : int;
+  final_root_count : int;
+  steps : (int * int * int) list;
+  dead : int list;
+}
+
+let analyze adv =
+  let rev_facts =
+    fold adv ~init:[] ~f:(fun acc o ->
+        {
+          round = o.round;
+          delta = o.delta;
+          revision = o.revision;
+          edge_count = Digraph.edge_count o.skeleton;
+          root_count = Analysis.root_count o.analysis;
+          min_k = o.min_k;
+        }
+        :: acc)
+  in
+  let facts = Array.of_list (List.rev rev_facts) in
+  let prefix = Array.length facts - 1 in
+  let r_st =
+    Array.fold_left (fun r f -> if f.delta > 0 then f.round else r) 1 facts
+  in
+  let final = facts.(prefix) in
+  let steps =
+    let prev = ref 1 (* the complete graph: one source component, α = 1 *) in
+    Array.fold_left
+      (fun acc f ->
+        if f.min_k <> !prev then (
+          let step = (f.round, !prev, f.min_k) in
+          prev := f.min_k;
+          step :: acc)
+        else acc)
+      [] facts
+    |> List.rev
+  in
+  let dead =
+    Array.fold_left
+      (fun acc f -> if f.round <= prefix && f.delta = 0 then f.round :: acc else acc)
+      [] facts
+    |> List.rev
+  in
+  {
+    n = Adversary.n adv;
+    prefix;
+    facts;
+    r_st;
+    final_min_k = final.min_k;
+    final_root_count = final.root_count;
+    steps;
+    dead;
+  }
+
+let lost_at chain ~k =
+  let found = ref None in
+  Array.iter
+    (fun f -> if f.min_k > k && !found = None then found := Some f.round)
+    chain.facts;
+  !found
+
+let trajectory chain =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "1 (complete)";
+  List.iter
+    (fun (round, _before, after) ->
+      if round > chain.prefix then
+        Buffer.add_string buf (Printf.sprintf " -> %d @ stable" after)
+      else Buffer.add_string buf (Printf.sprintf " -> %d @ round %d" after round))
+    chain.steps;
+  Buffer.contents buf
+
+let decision_bound chain = chain.r_st + (3 * chain.n) + 4

@@ -1,0 +1,95 @@
+(** Fixpoint analysis over the skeleton chain — the semantic layer of
+    lint v2.
+
+    The paper's central object is the antitone chain
+    [G^∩1 ⊇ G^∩2 ⊇ … ⊇ G^∩∞] (eq. (1)): a monotone descent through a
+    finite lattice of subgraphs that reaches its fixpoint — the stable
+    skeleton — after finitely many rounds.  That is exactly the shape an
+    abstract interpretation wants, so this module {e is} one: the
+    abstract state is the running skeleton plus its derivations (SCC
+    analysis, PT rows, [min_k]), the transfer function is one round's
+    graph intersected in, and termination is the chain's own
+    stabilization.  The traversal rides {!Ssg_skeleton.Incremental}, so
+    zero-delta rounds cost one O(n²/w) intersection and re-serve every
+    cached derivation; [min_k] is re-proved only on revisions, with the
+    MIS warm-started from the previous witness.
+
+    {!fold} is the extension point: a pass is a fold over per-round
+    {!obs}ervations.  {!analyze} is the built-in instance producing the
+    {!chain} summary that the SSG2xx checks consume — all of them from
+    {e one} traversal. *)
+
+open Ssg_util
+open Ssg_graph
+open Ssg_adversary
+
+(** What a pass observes after one transfer step (round absorbed into
+    the chain).  [skeleton], [analysis] and [pts] are borrowed from the
+    incremental accumulator: valid only until the next step, do not
+    mutate, equal across zero-delta steps. *)
+type obs = {
+  round : int;  (** 1-based; [prefix + 1] is the limit step *)
+  is_limit : bool;
+      (** the final step: the stable graph (or, for recurrent runs, the
+          exact [G^∩∞]) absorbed *)
+  delta : int;  (** skeleton edges this step removed *)
+  revision : int;  (** {!Ssg_skeleton.Incremental.revision} after it *)
+  skeleton : Digraph.t;  (** the running [G^∩r], borrowed *)
+  analysis : Ssg_skeleton.Analysis.t;  (** cached per revision *)
+  pts : Bitset.t array;  (** timely rows of [G^∩r], cached per revision *)
+  min_k : int;  (** α of [G^∩r]'s source-sharing graph, warm-started *)
+}
+
+(** [fold adv ~init ~f] runs the chain to its fixpoint: absorbs rounds
+    [1 .. prefix] and then the limit (the stable graph; for recurrent
+    runs the exact [G^∩∞], so the last observation is always the true
+    fixpoint), calling [f] after every step. *)
+val fold : Adversary.t -> init:'a -> f:('a -> obs -> 'a) -> 'a
+
+(** One chain step's facts, retained (plain data, no borrowing). *)
+type fact = {
+  round : int;
+  delta : int;
+  revision : int;
+  edge_count : int;  (** of [G^∩r], self-loops included *)
+  root_count : int;  (** source components of [G^∩r] *)
+  min_k : int;  (** α(H) of [G^∩r] *)
+}
+
+(** The whole chain, summarized — what the SSG2xx passes consume. *)
+type chain = {
+  n : int;
+  prefix : int;
+  facts : fact array;  (** [prefix + 1] entries; the last is the limit *)
+  r_st : int;
+      (** stabilization round: earliest [r] with [G^∩r = G^∩∞] within
+          the description ([1 <= r_st <= prefix + 1]) *)
+  final_min_k : int;
+  final_root_count : int;
+  steps : (int * int * int) list;
+      (** [min_k] changes as [(round, before, after)], in round order —
+          the proof trail of the achievable-k certificate *)
+  dead : int list;
+      (** prefix rounds with [delta = 0], ascending: rounds that
+          provably never change the skeleton chain (deleting one leaves
+          every subsequent [G^∩r] — and therefore [G^∩∞], [min_k],
+          every decision of Algorithm 1 on the limit — unchanged) *)
+}
+
+(** [analyze adv] — one traversal, every summary. *)
+val analyze : Adversary.t -> chain
+
+(** [lost_at chain ~k] is the earliest round [r] with
+    [min_k(G^∩r) > k] — the exact step where achievability of [k]-set
+    agreement is lost — or [None] when [Psrcs(k)] holds on the limit. *)
+val lost_at : chain -> k:int -> int option
+
+(** [trajectory chain] renders the certificate trail, e.g.
+    ["1 (complete) -> 2 @ round 3 -> 3 @ stable"]. *)
+val trajectory : chain -> string
+
+(** [decision_bound chain] is [r_st + 3n + 4]: the paper's conservative
+    Θ(n) decision window measured from the {e semantic} stabilization
+    round (the repo's Lemma 11 horizon [r_st + 2n] is sharper; both are
+    reported by SSG202). *)
+val decision_bound : chain -> int

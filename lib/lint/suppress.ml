@@ -1,0 +1,55 @@
+type scope = File | Line of int
+type directive = { scope : scope; codes : string list; at : int }
+
+let prefix = "ssg-lint:"
+
+(* "disable=SSG104, SSG105" -> ["SSG104"; "SSG105"]; anything else -> []. *)
+let parse_body body =
+  let body = String.trim body in
+  match String.index_opt body '=' with
+  | Some eq when String.trim (String.sub body 0 eq) = "disable" ->
+      String.sub body (eq + 1) (String.length body - eq - 1)
+      |> String.split_on_char ','
+      |> List.map String.trim
+      |> List.filter (fun c -> c <> "")
+  | _ -> []
+
+let parse text =
+  let directives = ref [] in
+  List.iteri
+    (fun i line ->
+      match String.index_opt line '#' with
+      | None -> ()
+      | Some hash -> (
+          let comment =
+            String.trim (String.sub line (hash + 1) (String.length line - hash - 1))
+          in
+          let plen = String.length prefix in
+          if String.length comment >= plen && String.sub comment 0 plen = prefix
+          then
+            match
+              parse_body (String.sub comment plen (String.length comment - plen))
+            with
+            | [] -> ()
+            | codes ->
+                let content_only =
+                  String.trim (String.sub line 0 hash) = ""
+                in
+                let at = i + 1 in
+                let scope = if content_only then File else Line at in
+                directives := { scope; codes; at } :: !directives))
+    (String.split_on_char '\n' text);
+  List.rev !directives
+
+let covers directive (d : Diagnostic.t) =
+  List.mem d.code directive.codes
+  &&
+  match (directive.scope, d.span) with
+  | File, _ -> true
+  | Line l, Some s -> s.line <= l && l <= s.end_line
+  | Line _, None -> false
+
+let partition directives diags =
+  List.partition
+    (fun d -> not (List.exists (fun dir -> covers dir d) directives))
+    diags

@@ -1,0 +1,34 @@
+(** Inline suppression directives.
+
+    A comment of the form [# ssg-lint: disable=SSG104] (codes
+    comma-separated) turns matching diagnostics from {e active} into
+    {e suppressed}.  Scope follows the comment's placement:
+
+    - trailing a content line — suppresses diagnostics anchored to that
+      line (any line of a multi-line span counts);
+    - on a comment-only line — suppresses matching diagnostics in the
+      whole file, span-less ones included.
+
+    Suppressed diagnostics are not dropped: every reporter still sees
+    them (the JSON and SARIF outputs mark them, summaries count them) —
+    only exit codes and the engine's front-door gate ignore them. *)
+
+type scope = File | Line of int
+
+type directive = {
+  scope : scope;
+  codes : string list;  (** e.g. [["SSG104"; "SSG105"]] *)
+  at : int;  (** 1-based line carrying the directive *)
+}
+
+(** [parse text] extracts directives in source order.  Comments that do
+    not match the [ssg-lint: disable=...] shape are ignored; so are
+    directives with an empty code list. *)
+val parse : string -> directive list
+
+(** [partition directives diags] splits into [(active, suppressed)],
+    both in the original order.  A diagnostic is suppressed when some
+    directive lists its code and its scope covers the diagnostic's
+    span. *)
+val partition :
+  directive list -> Diagnostic.t list -> Diagnostic.t list * Diagnostic.t list

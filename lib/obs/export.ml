@@ -199,6 +199,217 @@ let json_wellformed s =
   | () -> true
   | exception Malformed -> false
 
+(* ---------------- parser ---------------- *)
+
+(* Same grammar as [json_wellformed], but building the value.  Kept as a
+   separate pass so the checker — which tests treat as an independent
+   oracle for the renderer — stays byte-for-byte what it was. *)
+let json_of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance () else raise Malformed
+  in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let literal word =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then pos := !pos + l
+    else raise Malformed
+  in
+  let hex_value c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> raise Malformed
+  in
+  let add_utf8 buf u =
+    (* Encode one code unit.  Unpaired surrogates are encoded as-is —
+       good enough for the ASCII-dominated documents this layer emits. *)
+    if u < 0x80 then Buffer.add_char buf (Char.chr u)
+    else if u < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (u lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (u lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+    end
+  in
+  let string_body () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let closed = ref false in
+    while not !closed do
+      match peek () with
+      | None -> raise Malformed
+      | Some '"' ->
+          advance ();
+          closed := true
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some (('"' | '\\' | '/') as c) ->
+              Buffer.add_char buf c;
+              advance ()
+          | Some 'b' ->
+              Buffer.add_char buf '\b';
+              advance ()
+          | Some 'f' ->
+              Buffer.add_char buf '\012';
+              advance ()
+          | Some 'n' ->
+              Buffer.add_char buf '\n';
+              advance ()
+          | Some 'r' ->
+              Buffer.add_char buf '\r';
+              advance ()
+          | Some 't' ->
+              Buffer.add_char buf '\t';
+              advance ()
+          | Some 'u' ->
+              advance ();
+              let u = ref 0 in
+              for _ = 1 to 4 do
+                (match peek () with
+                | Some c -> u := (!u * 16) + hex_value c
+                | None -> raise Malformed);
+                advance ()
+              done;
+              add_utf8 buf !u
+          | _ -> raise Malformed)
+      | Some c when Char.code c < 0x20 -> raise Malformed
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ()
+    done;
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_float = ref false in
+    let digits () =
+      let saw = ref false in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        saw := true;
+        advance ()
+      done;
+      if not !saw then raise Malformed
+    in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    (match peek () with
+    | Some '0' -> (
+        advance ();
+        match peek () with Some '0' .. '9' -> raise Malformed | _ -> ())
+    | Some '1' .. '9' -> digits ()
+    | _ -> raise Malformed);
+    (match peek () with
+    | Some '.' ->
+        is_float := true;
+        advance ();
+        digits ()
+    | _ -> ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    let lit = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string lit)
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> Float (float_of_string lit)
+  in
+  let rec value () =
+    skip_ws ();
+    let v =
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let fields = ref [] in
+            let more = ref true in
+            while !more do
+              skip_ws ();
+              let key = string_body () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              fields := (key, v) :: !fields;
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance ()
+              | Some '}' ->
+                  advance ();
+                  more := false
+              | _ -> raise Malformed
+            done;
+            Obj (List.rev !fields)
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let items = ref [] in
+            let more = ref true in
+            while !more do
+              let v = value () in
+              items := v :: !items;
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance ()
+              | Some ']' ->
+                  advance ();
+                  more := false
+              | _ -> raise Malformed
+            done;
+            Arr (List.rev !items)
+          end
+      | Some '"' -> Str (string_body ())
+      | Some 't' ->
+          literal "true";
+          Bool true
+      | Some 'f' ->
+          literal "false";
+          Bool false
+      | Some 'n' ->
+          literal "null";
+          Null
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> raise Malformed
+    in
+    skip_ws ();
+    v
+  in
+  match
+    let v = value () in
+    if !pos <> n then raise Malformed else v
+  with
+  | v -> Some v
+  | exception Malformed -> None
+
 (* ---------------- Chrome trace-event format ---------------- *)
 
 let arg_json = function

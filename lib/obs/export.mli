@@ -30,6 +30,15 @@ val json_to_string : json -> string
     containers, legal literals, string escapes, number syntax. *)
 val json_wellformed : string -> bool
 
+(** [json_of_string s] — the parsed value, or [None] on input
+    {!json_wellformed} would reject.  Same grammar as the checker;
+    string escapes are decoded ([\uXXXX] as the UTF-8 encoding of the
+    code unit, surrogate pairs not combined), numbers become [Int] when
+    they are integral and fit, [Float] otherwise.  This is what lets
+    tests and tools {e navigate} emitted documents (the SARIF exporter's
+    round-trip tests) instead of merely validating them. *)
+val json_of_string : string -> json option
+
 (** [chrome_json ?pid events] — the trace as a Chrome trace-event JSON
     array.  [pid] defaults to 1. *)
 val chrome_json : ?pid:int -> Tracer.event list -> string

@@ -172,14 +172,15 @@ let test_human_report () =
 
 let test_json_report () =
   let diags = Lint.check_text ~k:1 two_islands in
-  let out = Report.json [ ("islands.run", diags) ] in
+  let out = Report.json [ ("islands.run", diags, []) ] in
   check "file field" true (contains out "\"file\": \"islands.run\"");
-  check "error count" true (contains out "\"errors\": 1");
+  (* Two errors: SSG001's verdict and SSG201's certificate trail. *)
+  check "error count" true (contains out "\"errors\": 2");
   check "code field" true (contains out "\"code\": \"SSG001\"");
   check "severity field" true (contains out "\"severity\": \"error\"");
   check "line field" true (contains out "\"line\": 3");
   (* Escaping: messages quote tokens like "0>2". *)
-  let out = Report.json [ ("noisy.run", Lint.check_text ~k:2 noisy) ] in
+  let out = Report.json [ ("noisy.run", Lint.check_text ~k:2 noisy, []) ] in
   check "quotes escaped" true (contains out "\\\"0>2\\\"");
   check "balanced array" true
     (String.length out > 2
