@@ -45,12 +45,18 @@
       Prints a JSON summary line (what bench/baselines/BENCH_B16.json
       stores).
 
-   8. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
+   8. B17 — context-propagation overhead: B14's pipelined-TCP batch
+      with and without a trace context on every request, tracing off,
+      plus a per-request envelope microcost whose overhead bound is
+      gated <= 2% when SSG_OBS_GATE=1.  Prints a JSON summary line
+      (what bench/baselines/BENCH_B17.json stores).
+
+   9. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
       paper (see DESIGN.md's index and EXPERIMENTS.md for discussion).
 
    Scale: set SSG_BENCH_SCALE=quick|standard|full (default standard).
-   Set SSG_BENCH_ONLY=B9|B12|B13|B14|B15|B16 to run a single wall-clock
-   section.
+   Set SSG_BENCH_ONLY=B9|B12|B13|B14|B15|B16|B17 to run a single
+   wall-clock section.
    Set SSG_BENCH_CSV_DIR=<dir> to additionally write each experiment's
    table as <dir>/<id>.csv for external plotting. *)
 
@@ -930,6 +936,174 @@ let run_sweep_bench scale =
   end;
   print_newline ()
 
+(* ---------------- B17: context-propagation overhead ---------------- *)
+
+(* PR 9's distributed-tracing claim: carrying a trace context on every
+   request is free while tracing is off.  Same daemon and all-distinct
+   cache-miss batch as B14's pipelined-TCP side, two timed passes on
+   fresh daemons: one plain, one attaching a root context to every
+   submit ([Pclient.submit ~ctx] — the loadgen's trace-sampling path),
+   tracing disabled on both ends throughout.
+
+   The wall-clock ratio is reported (min of [reps] repetitions per side
+   to shed scheduler noise), but the <= 2% gate (SSG_OBS_GATE=1) is
+   asserted analytically, as in B12: the measured per-request envelope
+   microcost (mint + encode on the client, strip + decode on the
+   server) against the measured per-job service time.  At bench scale a
+   2% wall-clock delta is inside run-to-run noise; the microcost is
+   not. *)
+let run_ctx_bench scale =
+  let n, total, reps =
+    match scale with
+    | `Quick -> (16, 60, 2)
+    | `Standard -> (20, 160, 3)
+    | `Full -> (24, 320, 3)
+  in
+  let job i =
+    Ssg_engine.Job.make
+      ~k:(max 1 (n / 4))
+      (Build.block_sources
+         (Rng.of_int (17000 + i))
+         ~n ~k:(max 1 (n / 4)) ~prefix_len:2 ())
+  in
+  let batch = List.init total job in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let workers = max 2 (Parallel.default_domains ()) in
+  Ssg_obs.Tracer.set_enabled false;
+  Ssg_obs.Tracer.reset ();
+  let fresh_tcp () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> failwith "no port"
+    in
+    Unix.close fd;
+    Printf.sprintf "tcp:127.0.0.1:%d" port
+  in
+  let wait_up socket =
+    let rec go tries =
+      if tries = 0 then failwith "bench service did not come up";
+      match Ssg_engine.Client.connect ~retries:0 ~socket ~deadline_s:60. () with
+      | c -> c
+      | exception Unix.Unix_error _ ->
+          Thread.delay 0.05;
+          go (tries - 1)
+    in
+    go 200
+  in
+  (* One timed pass: fresh daemon (cache off, so every rep re-executes
+     the whole batch), pipelined client, optional per-submit context. *)
+  let pass ~ctx () =
+    let socket = fresh_tcp () in
+    let thread =
+      Thread.create
+        (fun () ->
+          Ssg_engine.Server.serve ~workers ~queue_capacity:64 ~cache_capacity:0
+            ~socket ())
+        ()
+    in
+    let c = wait_up socket in
+    Ssg_engine.Client.close c;
+    let pc = Ssg_engine.Pclient.connect ~socket ~deadline_s:120. () in
+    let (), s =
+      Fun.protect
+        ~finally:(fun () -> Ssg_engine.Pclient.close pc)
+        (fun () ->
+          time (fun () ->
+              let tickets =
+                List.map
+                  (fun j ->
+                    if ctx then
+                      Ssg_engine.Pclient.submit
+                        ~ctx:(Ssg_obs.Context.root ()) pc j
+                    else Ssg_engine.Pclient.submit pc j)
+                  batch
+              in
+              List.iter
+                (fun t ->
+                  match Ssg_engine.Pclient.await t with
+                  | Ok completion ->
+                      assert (Result.is_ok completion.Ssg_engine.Job.result)
+                  | Error msg -> failwith msg)
+                tickets))
+    in
+    let c = wait_up socket in
+    Ssg_engine.Client.shutdown c;
+    Ssg_engine.Client.close c;
+    Thread.join thread;
+    s
+  in
+  let best f =
+    let rec go best left =
+      if left = 0 then best else go (Float.min best (f ())) (left - 1)
+    in
+    go (f ()) (reps - 1)
+  in
+  let plain_s = best (pass ~ctx:false) in
+  let ctx_s = best (pass ~ctx:true) in
+  (* Envelope microcost: everything the context path adds per request
+     when tracing is off — mint a root, encode it, wrap the payload,
+     strip the envelope, decode the wire form. *)
+  let payload =
+    Ssg_engine.Protocol.request_to_bytes (Ssg_engine.Protocol.Submit (job 0))
+  in
+  let micro_reqs = 200_000 in
+  let (), micro_s =
+    time (fun () ->
+        for _ = 1 to micro_reqs do
+          let ctx = Ssg_obs.Context.root () in
+          let framed =
+            Ssg_net.Frame.with_ctx ~ctx:(Ssg_obs.Context.to_wire ctx) payload
+          in
+          match Ssg_net.Frame.split_ctx framed with
+          | Some wire, _ -> ignore (Ssg_obs.Context.of_wire wire)
+          | None, _ -> assert false
+        done)
+  in
+  let envelope_ns = 1e9 *. micro_s /. float_of_int micro_reqs in
+  let per_job_s = plain_s /. float_of_int total in
+  let overhead_frac = envelope_ns *. 1e-9 /. Stdlib.max per_job_s 1e-9 in
+  let ratio = ctx_s /. Stdlib.max plain_s 1e-9 in
+  Printf.printf
+    "== B17: context-propagation overhead (tracing off, %d all-distinct jobs, \
+     n=%d, %d worker domain(s), best of %d) ==\n\n"
+    total n workers reps;
+  let table = Table.create [ "pipelined TCP submits"; "wall-clock"; "vs plain" ] in
+  let row label s =
+    Table.add_row table
+      [ label; Printf.sprintf "%.1f ms" (1000. *. s);
+        Printf.sprintf "%.2fx" (s /. Stdlib.max plain_s 1e-9) ]
+  in
+  row "plain (no context envelope)" plain_s;
+  row "context envelope on every request" ctx_s;
+  Table.print table;
+  Printf.printf
+    "\n\
+    \  envelope microcost: %.0f ns/request -> disabled-tracing propagation \
+     overhead bound %.4f%% of job time\n"
+    envelope_ns (100. *. overhead_frac);
+  Printf.printf
+    "  {\"bench\":\"B17\",\"jobs\":%d,\"n\":%d,\"workers\":%d,\"plain_s\":%.4f,\"ctx_s\":%.4f,\"ratio\":%.3f,\"envelope_ns\":%.0f,\"overhead_bound_frac\":%.6f}\n"
+    total n workers plain_s ctx_s ratio envelope_ns overhead_frac;
+  if Sys.getenv_opt "SSG_OBS_GATE" = Some "1" then
+    if overhead_frac > 0.02 then begin
+      Printf.printf
+        "  GATE FAILED: context-propagation overhead bound %.4f%% > 2%%\n"
+        (100. *. overhead_frac);
+      exit 1
+    end
+    else
+      Printf.printf
+        "  gate: disabled-tracing propagation overhead bound <= 2%% (OK)\n";
+  print_newline ()
+
 (* ---------------- B16: fleet-scale lint ---------------- *)
 
 (* Lint v2's per-file work is real analysis — a fixpoint traversal of the
@@ -1052,9 +1226,13 @@ let () =
   | Some "B16" ->
       run_lint_bench scale;
       exit 0
+  | Some "B17" ->
+      run_ctx_bench scale;
+      exit 0
   | Some other ->
       Printf.eprintf
-        "SSG_BENCH_ONLY=%s not recognized (B9 | B12 | B13 | B14 | B15 | B16)\n"
+        "SSG_BENCH_ONLY=%s not recognized (B9 | B12 | B13 | B14 | B15 | B16 | \
+         B17)\n"
         other;
       exit 2
   | None -> ());
@@ -1066,6 +1244,7 @@ let () =
   run_tracing_bench scale;
   run_cluster_bench scale;
   run_net_bench scale;
+  run_ctx_bench scale;
   run_sweep_bench scale;
   run_lint_bench scale;
   let csv_dir = Sys.getenv_opt "SSG_BENCH_CSV_DIR" in

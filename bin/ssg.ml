@@ -901,22 +901,162 @@ let trace_cmd =
     let doc = "Round budget (default: the run's decision horizon)." in
     Arg.(value & opt (some int) None & info [ "rounds" ] ~docv:"R" ~doc)
   in
-  let emit out events =
-    let json = Ssg_obs.Export.chrome_json events in
+  let fleet_arg =
+    let doc =
+      "Pull a stitched fleet trace: ask the service at $(b,--socket) for        per-process tracer reports (a router relays the pull to every        backend) and emit one Chrome trace with per-process tracks, clock        -aligned timestamps and cross-process flow arrows."
+    in
+    Arg.(value & flag & info [ "fleet" ] ~doc)
+  in
+  let gateway_arg =
+    let doc =
+      "With $(b,--fleet): also fetch the HTTP gateway's own report from        $(docv)/trace and stitch it in as the edge process."
+    in
+    Arg.(value & opt (some string) None & info [ "gateway" ] ~docv:"URL" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Validate the emitted document before writing it: JSON        well-formedness, balanced begin/end per track, and print the        cross-process link count."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  (* Minimal HTTP GET of the gateway's /trace endpoint; raises Failure
+     with a printable reason. *)
+  let fetch_gateway_report url =
+    let rest =
+      let p = "http://" in
+      if
+        String.length url >= String.length p
+        && String.lowercase_ascii (String.sub url 0 (String.length p)) = p
+      then String.sub url (String.length p) (String.length url - String.length p)
+      else url
+    in
+    let hostport =
+      match String.index_opt rest '/' with
+      | Some i -> String.sub rest 0 i
+      | None -> rest
+    in
+    let fd =
+      Ssg_net.Transport.connect
+        (Ssg_net.Transport.of_string_exn ("tcp:" ^ hostport))
+    in
+    let body =
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let req =
+            Printf.sprintf
+              "GET /trace HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+              hostport
+          in
+          ignore (Unix.write_substring fd req 0 (String.length req));
+          let buf = Buffer.create 8192 in
+          let chunk = Bytes.create 8192 in
+          let rec drain () =
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                drain ()
+          in
+          drain ();
+          let s = Buffer.contents buf in
+          let limit = String.length s - 3 in
+          let rec find i =
+            if i >= limit then None
+            else if String.sub s i 4 = "\r\n\r\n" then Some (i + 4)
+            else find (i + 1)
+          in
+          match find 0 with
+          | None -> failwith ("no HTTP reply from gateway " ^ url)
+          | Some off -> String.sub s off (String.length s - off))
+    in
+    match
+      Option.bind
+        (Ssg_obs.Export.json_of_string body)
+        Ssg_obs.Stitch.report_of_json
+    with
+    | Some report -> report
+    | None ->
+        failwith ("gateway " ^ url ^ " returned an unparsable trace report")
+  in
+  let emit_doc out count json =
     match out with
     | None -> print_endline json
     | Some path ->
-        Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc json);
-        Printf.printf "wrote %d trace events to %s\n" (List.length events) path
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc json);
+        Printf.printf "wrote %d trace events to %s\n" count path
   in
-  let action verbose socket file out remote k rounds =
+  let action verbose socket file out remote fleet gateway check k rounds =
     setup_logs verbose;
-    if remote then begin
+    let finish count json =
+      if check then
+        match Ssg_obs.Stitch.audit_string json with
+        | Error msg -> `Error (false, "trace check failed: " ^ msg)
+        | Ok { Ssg_obs.Stitch.events; processes; links; truncated_ends; open_spans }
+          ->
+            Printf.printf
+              "trace ok: %d event(s), %d process(es), %d cross-process \
+               link(s)\n"
+              events processes (List.length links);
+            if truncated_ends > 0 || open_spans > 0 then
+              Printf.printf
+                "  (%d end(s) truncated by the ring buffer, %d span(s) still \
+                 in flight)\n"
+                truncated_ends open_spans;
+            emit_doc out count json;
+            `Ok ()
+      else begin
+        emit_doc out count json;
+        `Ok ()
+      end
+    in
+    if fleet then begin
+      match
+        let edge =
+          match gateway with
+          | None -> []
+          | Some url -> [ fetch_gateway_report url ]
+        in
+        let c = Ssg_engine.Client.connect ~socket () in
+        let pulled =
+          Fun.protect
+            ~finally:(fun () -> Ssg_engine.Client.close c)
+            (fun () ->
+              try Ssg_engine.Client.trace_pull c
+              with Failure _ ->
+                (* A pre-Trace_pull peer: degrade to the plain drain,
+                   anchor-less (epoch 0 stays unshifted). *)
+                [
+                  {
+                    Ssg_obs.Tracer.role = "worker";
+                    pid = 0;
+                    epoch_s = 0.;
+                    dropped_events = 0;
+                    events = Ssg_engine.Client.trace c;
+                  };
+                ])
+        in
+        edge @ pulled
+      with
+      | exception Failure msg -> `Error (false, msg)
+      | reports ->
+          let count =
+            List.fold_left
+              (fun a r -> a + List.length r.Ssg_obs.Tracer.events)
+              0 reports
+          in
+          finish count (Ssg_obs.Stitch.chrome_of_reports reports)
+    end
+    else if remote then begin
       let c = Ssg_engine.Client.connect ~socket () in
-      Fun.protect
-        ~finally:(fun () -> Ssg_engine.Client.close c)
-        (fun () -> emit out (Ssg_engine.Client.trace c));
-      `Ok ()
+      let events =
+        Fun.protect
+          ~finally:(fun () -> Ssg_engine.Client.close c)
+          (fun () -> Ssg_engine.Client.trace c)
+      in
+      finish (List.length events)
+        (Ssg_obs.Export.chrome_json ~process:"ssgd" events)
     end
     else
       match file with
@@ -945,18 +1085,19 @@ let trace_cmd =
           (match completion.Ssg_engine.Job.result with
           | Error msg -> `Error (false, msg)
           | Ok _ ->
-              emit out events;
-              `Ok ())
+              finish (List.length events)
+                (Ssg_obs.Export.chrome_json ~process:"ssg" events))
   in
   let doc =
-    "Record a Chrome trace-event JSON file (chrome://tracing,      ui.perfetto.dev) of one run executed through the engine — engine      phase spans plus per-round simulation events — or pull the trace      buffers of a live ssgd with $(b,--remote)."
+    "Record a Chrome trace-event JSON file (chrome://tracing,      ui.perfetto.dev) of one run executed through the engine — engine      phase spans plus per-round simulation events — pull the trace      buffers of a live ssgd with $(b,--remote), or stitch a whole      fleet's buffers into one document with $(b,--fleet)."
   in
   Cmd.v
     (Cmd.info "trace" ~doc)
     Term.(
       ret
         (const action $ verbose_arg $ socket_arg $ file_arg $ out_arg
-        $ remote_arg $ k_opt_arg $ rounds_arg))
+        $ remote_arg $ fleet_arg $ gateway_arg $ check_arg $ k_opt_arg
+        $ rounds_arg))
 
 let shutdown_cmd =
   let action socket =
@@ -1014,20 +1155,26 @@ let gateway_cmd =
     in
     Arg.(value & opt float 5. & info [ "drain-timeout" ] ~docv:"SECONDS" ~doc)
   in
+  let trace_arg =
+    let doc =
+      "Enable in-process tracing: every request gets a        $(b,gateway.request) span whose context propagates to the backend        (traceparent in, traceparent out), pullable from $(b,GET /trace)        or stitched with $(b,ssg trace --fleet --gateway)."
+    in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
   let action verbose listen backend backend_deadline max_connections
-      read_timeout drain_timeout =
+      read_timeout drain_timeout trace =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.App));
     match
       Ssg_gateway.Gateway.serve ~backend_deadline_s:backend_deadline
         ~max_connections ~read_timeout_s:read_timeout
-        ~drain_timeout_s:drain_timeout ~listen ~backend ()
+        ~drain_timeout_s:drain_timeout ~trace ~listen ~backend ()
     with
     | () -> `Ok ()
     | exception Invalid_argument msg -> `Error (false, msg)
   in
   let doc =
-    "Serve an HTTP/JSON front door over a native ssgd or router backend:      POST /submit (run text body, k/algorithm/rounds/monitor query      parameters), GET /stats, GET /metrics (Prometheus), GET /healthz,      POST /shutdown.  All backend traffic shares one pipelined      connection."
+    "Serve an HTTP/JSON front door over a native ssgd or router backend:      POST /submit (run text body, k/algorithm/rounds/monitor query      parameters), GET /stats, GET /metrics (Prometheus), GET /trace,      GET /healthz, POST /shutdown.  All backend traffic shares one      pipelined connection."
   in
   Cmd.v
     (Cmd.info "gateway" ~doc)
@@ -1035,7 +1182,7 @@ let gateway_cmd =
       ret
         (const action $ verbose_arg $ listen_arg $ backend_arg
         $ backend_deadline_arg $ max_conn_arg $ read_timeout_arg
-        $ drain_timeout_arg))
+        $ drain_timeout_arg $ trace_arg))
 
 let loadgen_cmd =
   let target_arg =
@@ -1090,6 +1237,12 @@ let loadgen_cmd =
     let doc = "Emit the report as a JSON object instead of the table." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let trace_top_arg =
+    let doc =
+      "Originate a trace context on every request and report the trace        ids of the $(docv) slowest — grep for them in a stitched fleet        trace ($(b,ssg trace --fleet)) to see where a tail request spent        its time.  0 disables sampling."
+    in
+    Arg.(value & opt int 0 & info [ "trace-top" ] ~docv:"N" ~doc)
+  in
   let parse_mix s =
     match String.split_on_char ':' s with
     | [ c; u; l ] -> (
@@ -1113,7 +1266,7 @@ let loadgen_cmd =
       (Ok []) specs
   in
   let action verbose target connections duration threads pipeline rate mix
-      deadline slos json =
+      deadline slos json trace_top =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.App));
     match (parse_mix mix, parse_slos slos) with
@@ -1121,8 +1274,8 @@ let loadgen_cmd =
     | Ok mix, Ok slos -> (
         match
           Ssg_gateway.Loadgen.run ?threads ~pipeline ~rate ~mix
-            ~deadline_s:deadline ~slos ~connections ~duration_s:duration
-            ~target ()
+            ~deadline_s:deadline ~slos ~trace_top ~connections
+            ~duration_s:duration ~target ()
         with
         | exception Invalid_argument msg -> `Error (false, msg)
         | report ->
@@ -1142,7 +1295,7 @@ let loadgen_cmd =
       ret
         (const action $ verbose_arg $ target_arg $ connections_arg
         $ duration_arg $ threads_arg $ pipeline_arg $ rate_arg $ mix_arg
-        $ deadline_arg $ slo_arg $ json_arg))
+        $ deadline_arg $ slo_arg $ json_arg $ trace_top_arg))
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)

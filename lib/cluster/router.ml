@@ -20,6 +20,7 @@ type t = {
   shard_routed : Metrics.counter array;
   shard_up : Metrics.gauge array;
   shard_reporting : Metrics.gauge array;
+  hop_worker : Metrics.histogram;  (* router→worker exchange latency *)
 }
 
 let shard_index t addr =
@@ -34,12 +35,24 @@ let shard_index t addr =
    cheap and a per-request descriptor keeps failover semantics exact —
    no poisoned pooled connection can leak between jobs), no connect
    retries (the router does its own failover instead), reply deadline
-   armed so a mute backend costs [request_timeout_s], not forever. *)
-let forward t addr request =
+   armed so a mute backend costs [request_timeout_s], not forever.
+   Job-bearing exchanges feed the router→worker hop histogram; control
+   exchanges (stats, metrics, trace pulls) do not — the hop family
+   decomposes request latency, not management traffic. *)
+let forward ?ctx t addr request =
   let c =
     Client.connect ~retries:0 ~deadline_s:t.request_timeout_s ~socket:addr ()
   in
-  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> Client.rpc c request)
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      match request with
+      | Protocol.Submit _ | Protocol.Batch _ ->
+          let t0 = Unix.gettimeofday () in
+          let reply = Client.rpc ?ctx c request in
+          Metrics.observe t.hop_worker (1000. *. (Unix.gettimeofday () -. t0));
+          reply
+      | _ -> Client.rpc ?ctx c request)
 
 let record_routed t addr =
   Registry.mark_success t.registry addr;
@@ -50,17 +63,20 @@ let record_routed t addr =
 
 (* Route one job to its ring owner, failing over along the successor
    list.  A protocol [Error] reply is relayed without failover: it is
-   deterministic (the lint front door), not a shard failure. *)
-let route_job t job =
+   deterministic (the lint front door), not a shard failure.  [ctx]
+   parents the [router.route] span under the caller's (the gateway's)
+   span and hands the route span's own identity to the backend, making
+   the worker's spans grandchildren of the edge request. *)
+let route_job ?ctx t job =
   let key = Job.key job in
   let key_hex = Printf.sprintf "%Lx" (Ring.hash64 key) in
-  let rec go attempts = function
+  let rec go fwd_ctx attempts = function
     | [] ->
         Metrics.incr t.exhausted;
         Protocol.Error "cluster: no live backend could serve the job"
     | addr :: rest -> (
         let outcome =
-          match forward t addr (Protocol.Submit job) with
+          match forward ?ctx:fwd_ctx t addr (Protocol.Submit job) with
           | (Protocol.Completed _ | Protocol.Error _) as reply -> Ok reply
           | _unexpected -> Error "unexpected reply kind"
           | exception Unix.Unix_error (e, _, _) ->
@@ -86,14 +102,20 @@ let route_job t job =
                   ~args:
                     [ ("key", Tracer.Str key_hex); ("from", Tracer.Str addr) ]
             end;
-            go (attempts + 1) rest)
+            go fwd_ctx (attempts + 1) rest)
   in
-  let run () = go 0 (Registry.candidates t.registry key) in
+  let run fwd_ctx = go fwd_ctx 0 (Registry.candidates t.registry key) in
   if Tracer.enabled () then
-    Tracer.with_span "router.route"
-      ~args:[ ("key", Tracer.Str key_hex) ]
-      run
-  else run ()
+    let args = [ ("key", Tracer.Str key_hex) ] in
+    match ctx with
+    | Some c ->
+        Tracer.with_span_ctx ~args ~ctx:c "router.route" (fun child ->
+            run (Some child))
+    | None -> Tracer.with_span ~args "router.route" (fun () -> run None)
+  else
+    (* Tracing off here: pass the caller's context through untouched so
+       a tracing backend still parents under the edge span. *)
+    run ctx
 
 let error_completion msg =
   { Job.result = Error msg; cached = false; latency_ms = 0. }
@@ -108,7 +130,7 @@ let completion_of_reply = function
    comes from: one client connection's batch fans out over every
    shard's worker pool at once).  A sub-batch whose backend fails falls
    back to job-by-job routing, which brings failover with it. *)
-let route_batch t jobs =
+let route_batch ?ctx t jobs =
   let arr = Array.of_list jobs in
   let results = Array.map (fun _ -> error_completion "unrouted") arr in
   let groups = Hashtbl.create 8 in
@@ -127,12 +149,12 @@ let route_batch t jobs =
     let sub = List.map (fun i -> arr.(i)) indices in
     let fallback () =
       List.iter
-        (fun i -> results.(i) <- completion_of_reply (route_job t arr.(i)))
+        (fun i -> results.(i) <- completion_of_reply (route_job ?ctx t arr.(i)))
         indices
     in
     if owner = "" then fallback ()
     else
-      match forward t owner (Protocol.Batch sub) with
+      match forward ?ctx t owner (Protocol.Batch sub) with
       | Protocol.Batch_completed cs when List.length cs = List.length indices
         ->
           Registry.mark_success t.registry owner;
@@ -176,6 +198,37 @@ let merged_stats t =
   | [] -> Protocol.Error "cluster: no backend reachable for stats"
   | reports ->
       Protocol.Stats_snapshot (Telemetry.merge (List.map snd reports))
+
+(* Fleet trace pull: relay [Trace_pull] to every backend and prepend
+   the router's own report.  A pre-context backend answers the unknown
+   tag with a protocol [Error] (and drops the connection) — fall back
+   to the legacy [Trace] op for it, wrapped in an anchor-less report
+   ([epoch_s = 0]: the stitcher leaves it unshifted). *)
+let fleet_reports t =
+  let legacy addr =
+    match forward t addr Protocol.Trace with
+    | Protocol.Trace_events events ->
+        [
+          {
+            Tracer.role = "worker";
+            pid = 0;
+            epoch_s = 0.;
+            dropped_events = 0;
+            events;
+          };
+        ]
+    | _ -> []
+    | exception _ -> []
+  in
+  let backend_reports =
+    Array.to_list t.backends
+    |> List.concat_map (fun addr ->
+           match forward t addr Protocol.Trace_pull with
+           | Protocol.Trace_reports reports -> reports
+           | _ -> legacy addr
+           | exception _ -> legacy addr)
+  in
+  Tracer.report_here ~role:"router" () :: backend_reports
 
 (* The cluster exposition: router registry (global and per-shard
    counters), shard index -> address mapping as comments, then the
@@ -289,6 +342,7 @@ let create ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
             ~help:"1 when this shard answered the last stats fan-out"
             (Printf.sprintf "ssg_router_shard%d_reporting" i))
         addrs;
+    hop_worker = Telemetry.hop_router_worker metrics;
   }
 
 (* ---------------- the front-end socket server ---------------- *)
@@ -315,14 +369,14 @@ let handle_connection t ~stop ~wake ~active ~max_inflight fd =
     Log.warn (fun m -> m "dropping connection: %s" msg);
     try send ?id (Protocol.Error msg) with _ -> ()
   in
-  let serve_request ?id request =
+  let serve_request ?ctx ?id request =
     try
       match request with
       | Protocol.Submit job ->
-          send ?id (route_job t job);
+          send ?id (route_job ?ctx t job);
           true
       | Protocol.Batch jobs ->
-          send ?id (route_batch t jobs);
+          send ?id (route_batch ?ctx t jobs);
           true
       | Protocol.Stats ->
           send ?id (merged_stats t);
@@ -332,6 +386,9 @@ let handle_connection t ~stop ~wake ~active ~max_inflight fd =
           true
       | Protocol.Trace ->
           send ?id (Protocol.Trace_events (Tracer.events ()));
+          true
+      | Protocol.Trace_pull ->
+          send ?id (Protocol.Trace_reports (fleet_reports t));
           true
       | Protocol.Shutdown ->
           Log.info (fun m -> m "router shutdown requested");
@@ -360,34 +417,43 @@ let handle_connection t ~stop ~wake ~active ~max_inflight fd =
           match Frame.classify frame with
           | exception Failure msg -> reject msg
           | Frame.Plain frame -> (
-              match Protocol.request_of_bytes frame with
+              match Frame.split_ctx frame with
               | exception Failure msg -> reject msg
-              | request -> if serve_request request then loop ())
+              | ctx_wire, frame -> (
+                  let ctx = Option.bind ctx_wire Ssg_obs.Context.of_wire in
+                  match Protocol.request_of_bytes frame with
+                  | exception Failure msg -> reject msg
+                  | request -> if serve_request ?ctx request then loop ()))
           | Frame.Id (id, inner) -> (
-              match Protocol.request_of_bytes inner with
+              match Frame.split_ctx inner with
               | exception Failure msg -> reject ~id msg
-              | Protocol.Shutdown ->
-                  ignore (serve_request ~id Protocol.Shutdown)
-              | request ->
-                  if Atomic.get inflight >= max_inflight then begin
-                    if serve_request ~id request then loop ()
-                  end
-                  else begin
-                    Atomic.incr inflight;
-                    ignore
-                      (Thread.create
-                         (fun () ->
-                           Fun.protect
-                             ~finally:(fun () -> Atomic.decr inflight)
+              | ctx_wire, inner -> (
+                  let ctx = Option.bind ctx_wire Ssg_obs.Context.of_wire in
+                  match Protocol.request_of_bytes inner with
+                  | exception Failure msg -> reject ~id msg
+                  | Protocol.Shutdown ->
+                      ignore (serve_request ~id Protocol.Shutdown)
+                  | request ->
+                      if Atomic.get inflight >= max_inflight then begin
+                        if serve_request ?ctx ~id request then loop ()
+                      end
+                      else begin
+                        Atomic.incr inflight;
+                        ignore
+                          (Thread.create
                              (fun () ->
-                               if not (serve_request ~id request) then begin
-                                 Atomic.set broken true;
-                                 try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
-                                 with Unix.Unix_error _ -> ()
-                               end))
-                         ())
-                  end;
-                  loop ()))
+                               Fun.protect
+                                 ~finally:(fun () -> Atomic.decr inflight)
+                                 (fun () ->
+                                   if not (serve_request ?ctx ~id request)
+                                   then begin
+                                     Atomic.set broken true;
+                                     try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+                                     with Unix.Unix_error _ -> ()
+                                   end))
+                             ())
+                      end;
+                      loop ())))
   in
   Fun.protect
     ~finally:(fun () ->

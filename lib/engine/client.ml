@@ -92,8 +92,17 @@ let connect_any ?(retries = 3) ?(retry_backoff_s = 0.05) ?deadline_s ~sockets
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
-let rpc c request =
-  Protocol.write_request_fd c.fd request;
+let rpc ?ctx c request =
+  (match ctx with
+  | None -> Protocol.write_request_fd c.fd request
+  | Some context ->
+      (* The context envelope rides outside the plain request payload —
+         a pre-context server never receives one because pre-context
+         callers never pass [ctx]. *)
+      Protocol.write_frame_fd c.fd
+        (Ssg_net.Frame.with_ctx
+           ~ctx:(Ssg_obs.Context.to_wire context)
+           (Protocol.request_to_bytes request)));
   try Protocol.read_reply_fd c.fd
   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
     failwith
@@ -102,8 +111,8 @@ let rpc c request =
 
 let unexpected what = failwith ("Client: unexpected reply to " ^ what)
 
-let submit c job =
-  match rpc c (Protocol.Submit job) with
+let submit ?ctx c job =
+  match rpc ?ctx c (Protocol.Submit job) with
   | Protocol.Completed completion -> completion
   | Protocol.Error msg -> failwith ("server error: " ^ msg)
   | _ -> unexpected "submit"
@@ -125,6 +134,12 @@ let trace c =
   | Protocol.Trace_events events -> events
   | Protocol.Error msg -> failwith ("server error: " ^ msg)
   | _ -> unexpected "trace"
+
+let trace_pull c =
+  match rpc c Protocol.Trace_pull with
+  | Protocol.Trace_reports reports -> reports
+  | Protocol.Error msg -> failwith ("server error: " ^ msg)
+  | _ -> unexpected "trace_pull"
 
 let metrics_text c =
   match rpc c Protocol.Metrics with

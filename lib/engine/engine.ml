@@ -55,15 +55,27 @@ let run_gate job =
         Ssg_lint.Lint.gate ~k:job.Job.k job.Job.run)
   else Ssg_lint.Lint.gate ~k:job.Job.k job.Job.run
 
-let rec submit_with ?lookup t job =
+let rec submit_with ?lookup ?ctx t job =
   Telemetry.record_submitted t.telemetry;
-  if Tracer.enabled () then Tracer.span_begin ~args:(job_args job) "engine.submit";
+  (* A remote context makes the submit span a child of the sender's
+     span and hands its own identity down to [engine.execute]; without
+     one the spans are anonymous, exactly as before. *)
+  let span_ctx =
+    match ctx with
+    | Some c when Tracer.enabled () ->
+        Some (Tracer.span_begin_ctx ~args:(job_args job) ~ctx:c "engine.submit")
+    | Some _ -> None
+    | None ->
+        if Tracer.enabled () then
+          Tracer.span_begin ~args:(job_args job) "engine.submit";
+        None
+  in
   Fun.protect
     ~finally:(fun () ->
       if Tracer.enabled () then Tracer.span_end "engine.submit")
-    (fun () -> submit_traced ?lookup t job)
+    (fun () -> submit_traced ?lookup ?ctx:span_ctx t job)
 
-and submit_traced ?lookup t job =
+and submit_traced ?lookup ?ctx t job =
   let key = Job.key job in
   let now = Unix.gettimeofday () in
   let decision =
@@ -116,9 +128,9 @@ and submit_traced ?lookup t job =
           Log.info (fun m -> m "lint rejection: %s" message);
           Ivar.fill cell (Stdlib.Error message);
           Rejected { message; submitted = now }
-      | None -> fresh_execute t job ~key ~cell ~now)
+      | None -> fresh_execute ?ctx t job ~key ~cell ~now)
 
-and fresh_execute t job ~key ~cell ~now =
+and fresh_execute ?ctx t job ~key ~cell ~now =
   Telemetry.record_miss t.telemetry;
   let task () =
         (* Runs on a worker domain.  The span begins and ends here so
@@ -127,10 +139,12 @@ and fresh_execute t job ~key ~cell ~now =
            own. *)
         let exec_start = Unix.gettimeofday () in
         let queue_ms = 1000. *. (exec_start -. now) in
-        if Tracer.enabled () then
-          Tracer.span_begin
-            ~args:(("queue_ms", Tracer.Float queue_ms) :: job_args job)
-            "engine.execute";
+        if Tracer.enabled () then begin
+          let args = ("queue_ms", Tracer.Float queue_ms) :: job_args job in
+          match ctx with
+          | Some c -> ignore (Tracer.span_begin_ctx ~args ~ctx:c "engine.execute")
+          | None -> Tracer.span_begin ~args "engine.execute"
+        end;
         let result =
           try
             (match Faults.on_execute t.faults with
@@ -178,7 +192,7 @@ and fresh_execute t job ~key ~cell ~now =
       end;
       Waiting { cell; submitted = now; shared = false }
 
-let submit t job = submit_with t job
+let submit ?ctx t job = submit_with ?ctx t job
 
 let rejection = function
   | Rejected { message; _ } -> Some message
@@ -232,12 +246,12 @@ let pregate t jobs =
       |> List.iter (fun (key, gate) -> Hashtbl.add gates key gate));
   gates
 
-let submit_batch t jobs =
+let submit_batch ?ctx t jobs =
   let gates = pregate t jobs in
   let lookup key = Hashtbl.find_opt gates key in
-  List.map (fun job -> submit_with ~lookup t job) jobs
+  List.map (fun job -> submit_with ~lookup ?ctx t job) jobs
 
-let run_batch t jobs = List.map (await t) (submit_batch t jobs)
+let run_batch ?ctx t jobs = List.map (await t) (submit_batch ?ctx t jobs)
 
 let stats t =
   let cache_entries = locked t (fun () -> Lru.length t.cache) in

@@ -50,8 +50,14 @@ type ticket
     rejection surfaces as an [Error] completion from [await] (and via
     {!rejection} for callers that want to answer with a protocol-level
     error instead), is counted as [jobs_rejected_lint] in telemetry, and
-    is never cached. *)
-val submit : t -> Job.t -> ticket
+    is never cached.
+
+    [ctx], when given and tracing is enabled, makes the [engine.submit]
+    span a child of the remote context (the router's or gateway's span
+    that carried the job here) and [engine.execute] a grandchild — the
+    worker end of cross-process trace propagation.  Without tracing the
+    option costs one branch. *)
+val submit : ?ctx:Ssg_obs.Context.t -> t -> Job.t -> ticket
 
 (** [rejection ticket] is [Some rendered_diagnostics] iff the submission
     was refused at the lint front door. *)
@@ -71,12 +77,14 @@ val run : t -> Job.t -> Job.completion
     dedup, telemetry counts, ticket order — are identical to submitting
     serially; only the lint work is fanned out.  This is what makes
     lint-bound batches (a sweep grid, [ssg lint] over many files) scale
-    with the pool. *)
-val submit_batch : t -> Job.t list -> ticket list
+    with the pool.  [ctx] parents every job's spans under the same
+    remote context (a batch travels as one wire request, hence one
+    context). *)
+val submit_batch : ?ctx:Ssg_obs.Context.t -> t -> Job.t list -> ticket list
 
-(** [run_batch t jobs] is {!submit_batch} then [await] in order (so the
-    pool pipelines the whole batch). *)
-val run_batch : t -> Job.t list -> Job.completion list
+(** [run_batch ?ctx t jobs] is {!submit_batch} then [await] in order
+    (so the pool pipelines the whole batch). *)
+val run_batch : ?ctx:Ssg_obs.Context.t -> t -> Job.t list -> Job.completion list
 
 val stats : t -> Telemetry.snapshot
 

@@ -38,9 +38,10 @@ let connect ?(retries = 3) ?(retry_backoff_s = 0.05) ?deadline_s ~socket () =
   let fd = go retries retry_backoff_s in
   { mux = Mux.create ?deadline_s fd }
 
-let request t request decode =
+let request ?ctx t request decode =
   let payload = Protocol.request_to_bytes request in
-  { cell = Mux.send t.mux payload; decode }
+  let ctx = Option.map Ssg_obs.Context.to_wire ctx in
+  { cell = Mux.send ?ctx t.mux payload; decode }
 
 let await ticket =
   match Mux.await ticket.cell with
@@ -50,8 +51,8 @@ let await ticket =
       | exception Failure msg -> Error msg
       | reply -> ticket.decode reply)
 
-let submit t job =
-  request t (Protocol.Submit job) (function
+let submit ?ctx t job =
+  request ?ctx t (Protocol.Submit job) (function
     | Protocol.Completed completion -> Ok completion
     | Protocol.Error msg -> Error msg
     | _ -> Error "Pclient: unexpected reply to submit")

@@ -31,11 +31,12 @@ val connect :
   unit ->
   t
 
-(** [submit t job] — send, do not wait.  The ticket resolves to the
-    job's completion, or [Error diagnostics] if the server's lint gate
-    rejected it.
+(** [submit ?ctx t job] — send, do not wait.  The ticket resolves to
+    the job's completion, or [Error diagnostics] if the server's lint
+    gate rejected it.  [ctx] rides in the context envelope inside the
+    id envelope, parenting the server's spans for this request.
     @raise Failure when the connection is already dead. *)
-val submit : t -> Job.t -> Job.completion ticket
+val submit : ?ctx:Ssg_obs.Context.t -> t -> Job.t -> Job.completion ticket
 
 (** [stats t] — asynchronous telemetry snapshot request. *)
 val stats : t -> Telemetry.snapshot ticket

@@ -5,6 +5,7 @@ type request =
   | Batch of Job.t list
   | Stats
   | Trace
+  | Trace_pull
   | Metrics
   | Shutdown
 
@@ -13,6 +14,7 @@ type reply =
   | Batch_completed of Job.completion list
   | Stats_snapshot of Telemetry.snapshot
   | Trace_events of Ssg_obs.Tracer.event list
+  | Trace_reports of Ssg_obs.Tracer.report list
   | Metrics_text of string
   | Shutting_down
   | Error of string
@@ -367,6 +369,24 @@ let get_event r : Ssg_obs.Tracer.event =
   let args = get_list r get_arg in
   { Ssg_obs.Tracer.kind; name; domain; ts_us; args }
 
+(* One process's trace-pull report: role, pid, clock anchor, drop
+   counter, then the events it retained. *)
+
+let put_report buf (r : Ssg_obs.Tracer.report) =
+  put_string buf r.Ssg_obs.Tracer.role;
+  put_int buf r.Ssg_obs.Tracer.pid;
+  put_float buf r.Ssg_obs.Tracer.epoch_s;
+  put_int buf r.Ssg_obs.Tracer.dropped_events;
+  put_list buf put_event r.Ssg_obs.Tracer.events
+
+let get_report r : Ssg_obs.Tracer.report =
+  let role = get_string r in
+  let pid = get_int r in
+  let epoch_s = get_float r in
+  let dropped_events = get_int r in
+  let events = get_list r get_event in
+  { Ssg_obs.Tracer.role; pid; epoch_s; dropped_events; events }
+
 (* ---------------- top-level messages ---------------- *)
 
 let request_to_bytes req =
@@ -380,6 +400,7 @@ let request_to_bytes req =
       put_list buf put_job js
   | Stats -> Buffer.add_char buf 'T'
   | Trace -> Buffer.add_char buf 'C'
+  | Trace_pull -> Buffer.add_char buf 'P'
   | Metrics -> Buffer.add_char buf 'M'
   | Shutdown -> Buffer.add_char buf 'Q');
   Buffer.to_bytes buf
@@ -401,6 +422,7 @@ let request_of_bytes bytes =
   | 'B' -> Batch (get_list r get_job)
   | 'T' -> Stats
   | 'C' -> Trace
+  | 'P' -> Trace_pull
   | 'M' -> Metrics
   | 'Q' -> Shutdown
   | c -> failwith (Printf.sprintf "Protocol: unknown request tag %C" c)
@@ -420,6 +442,9 @@ let reply_to_bytes reply =
   | Trace_events es ->
       Buffer.add_char buf 'V';
       put_list buf put_event es
+  | Trace_reports rs ->
+      Buffer.add_char buf 'W';
+      put_list buf put_report rs
   | Metrics_text text ->
       Buffer.add_char buf 'M';
       put_string buf text
@@ -437,6 +462,7 @@ let reply_of_bytes bytes =
   | 'L' -> Batch_completed (get_list r get_completion)
   | 'T' -> Stats_snapshot (get_snapshot r)
   | 'V' -> Trace_events (get_list r get_event)
+  | 'W' -> Trace_reports (get_list r get_report)
   | 'M' -> Metrics_text (get_string r)
   | 'D' -> Shutting_down
   | 'E' -> Error (get_string r)

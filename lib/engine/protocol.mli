@@ -20,6 +20,12 @@ type request =
   | Trace
       (** drain the server's trace buffers — answered with
           {!Trace_events} (empty when tracing is disabled) *)
+  | Trace_pull
+      (** fleet trace pull — answered with {!Trace_reports}: like
+          {!Trace} but each buffer comes wrapped in a
+          {!Ssg_obs.Tracer.report} carrying role, pid and the clock
+          anchor stitching needs; a router answering it relays the pull
+          to every backend and prepends its own report *)
   | Metrics
       (** Prometheus text exposition of the server's stats — answered
           with {!Metrics_text} *)
@@ -31,6 +37,10 @@ type reply =
   | Stats_snapshot of Telemetry.snapshot
   | Trace_events of Ssg_obs.Tracer.event list
       (** the server-side trace, oldest first per domain *)
+  | Trace_reports of Ssg_obs.Tracer.report list
+      (** fleet pull reply: one report per process reached — a worker
+          answers with exactly its own, a router with its own plus one
+          per backend *)
   | Metrics_text of string
       (** Prometheus text rendered server-side, so any scraper that can
           speak the frame format gets a consistent exposition without

@@ -86,12 +86,14 @@ let handle_connection engine faults ~stop ~wake ~active ~max_inflight fd =
     try send ?id (Protocol.Error msg) with _ -> ()
   in
   (* Compute and send the reply for one decoded request; false means
-     the connection must carry no further requests. *)
-  let serve_request ?id request =
+     the connection must carry no further requests.  [ctx] is the trace
+     context stripped from the request's envelope, if any — it parents
+     the engine spans this request produces. *)
+  let serve_request ?ctx ?id request =
     try
       match request with
       | Protocol.Submit job -> (
-          let ticket = Engine.submit engine job in
+          let ticket = Engine.submit ?ctx engine job in
           match Engine.rejection ticket with
           | Some diags ->
               (* A lint rejection is the job's fault, not the
@@ -103,13 +105,18 @@ let handle_connection engine faults ~stop ~wake ~active ~max_inflight fd =
               send ?id (Protocol.Completed (Engine.await engine ticket));
               true)
       | Protocol.Batch jobs ->
-          send ?id (Protocol.Batch_completed (Engine.run_batch engine jobs));
+          send ?id (Protocol.Batch_completed (Engine.run_batch ?ctx engine jobs));
           true
       | Protocol.Stats ->
           send ?id (Protocol.Stats_snapshot (Engine.stats engine));
           true
       | Protocol.Trace ->
           send ?id (Protocol.Trace_events (Ssg_obs.Tracer.events ()));
+          true
+      | Protocol.Trace_pull ->
+          send ?id
+            (Protocol.Trace_reports
+               [ Ssg_obs.Tracer.report_here ~role:"worker" () ]);
           true
       | Protocol.Metrics ->
           send ?id (Protocol.Metrics_text (Engine.prometheus engine));
@@ -152,47 +159,60 @@ let handle_connection engine faults ~stop ~wake ~active ~max_inflight fd =
           match Frame.classify frame with
           | exception Failure msg -> reject msg
           | Frame.Plain frame -> (
-              match Protocol.request_of_bytes frame with
-              | exception Failure msg ->
-                  (* The frame was well-delimited but its payload is
-                     garbage (unknown tag, truncated fields, malformed
-                     job, k < 1 …): answer, then drop the connection — a
-                     peer speaking a broken dialect gets no further
-                     pipeline. *)
-                  reject msg
-              | request -> if serve_request request then loop ())
+              (* The context envelope (if any) sits where the plain
+                 payload would start; pre-context clients simply never
+                 send it and take the [(None, frame)] path. *)
+              match Frame.split_ctx frame with
+              | exception Failure msg -> reject msg
+              | ctx_wire, frame -> (
+                  let ctx = Option.bind ctx_wire Ssg_obs.Context.of_wire in
+                  match Protocol.request_of_bytes frame with
+                  | exception Failure msg ->
+                      (* The frame was well-delimited but its payload is
+                         garbage (unknown tag, truncated fields, malformed
+                         job, k < 1 …): answer, then drop the connection — a
+                         peer speaking a broken dialect gets no further
+                         pipeline. *)
+                      reject msg
+                  | request -> if serve_request ?ctx request then loop ()))
           | Frame.Id (id, inner) -> (
-              match Protocol.request_of_bytes inner with
+              match Frame.split_ctx inner with
               | exception Failure msg -> reject ~id msg
-              | Protocol.Shutdown ->
-                  (* Shutdown is never pipelined past: handle inline so
-                     the loop stops pulling frames. *)
-                  ignore (serve_request ~id Protocol.Shutdown)
-              | request ->
-                  if Atomic.get inflight >= max_inflight then begin
-                    (* At the cap the reader does the work itself: the
-                       socket is not read again until this request
-                       completes, so a flooding client is throttled by
-                       its own pipe. *)
-                    if serve_request ~id request then loop ()
-                  end
-                  else begin
-                    Atomic.incr inflight;
-                    ignore
-                      (Thread.create
-                         (fun () ->
-                           Fun.protect
-                             ~finally:(fun () -> Atomic.decr inflight)
+              | ctx_wire, inner -> (
+                  let ctx = Option.bind ctx_wire Ssg_obs.Context.of_wire in
+                  match Protocol.request_of_bytes inner with
+                  | exception Failure msg -> reject ~id msg
+                  | Protocol.Shutdown ->
+                      (* Shutdown is never pipelined past: handle inline so
+                         the loop stops pulling frames. *)
+                      ignore (serve_request ~id Protocol.Shutdown)
+                  | request ->
+                      if Atomic.get inflight >= max_inflight then begin
+                        (* At the cap the reader does the work itself: the
+                           socket is not read again until this request
+                           completes, so a flooding client is throttled by
+                           its own pipe. *)
+                        if serve_request ?ctx ~id request then loop ()
+                      end
+                      else begin
+                        Atomic.incr inflight;
+                        ignore
+                          (Thread.create
                              (fun () ->
-                               if not (serve_request ~id request) then begin
-                                 Atomic.set broken true;
-                                 (* Unstick the reader blocked in read. *)
-                                 try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
-                                 with Unix.Unix_error _ -> ()
-                               end))
-                         ())
-                  end;
-                  loop ()))
+                               Fun.protect
+                                 ~finally:(fun () -> Atomic.decr inflight)
+                                 (fun () ->
+                                   if not (serve_request ?ctx ~id request)
+                                   then begin
+                                     Atomic.set broken true;
+                                     (* Unstick the reader blocked in
+                                        read. *)
+                                     try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+                                     with Unix.Unix_error _ -> ()
+                                   end))
+                             ())
+                      end;
+                      loop ())))
   in
   Fun.protect
     ~finally:(fun () ->

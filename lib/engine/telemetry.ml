@@ -51,7 +51,39 @@ type t = {
   queue_hist : Metrics.histogram;
   exec_hist : Metrics.histogram;
   latency_hist : Metrics.histogram;
+  hop_queue_hist : Metrics.histogram;
+  hop_exec_hist : Metrics.histogram;
 }
+
+(* Per-hop latency decomposition.  The [ssg_hop_*] family shares one
+   namespace across the fleet so a scrape of gateway + router + worker
+   decomposes end-to-end latency hop by hop: the worker contributes
+   queue wait and execution (registered below, observed alongside the
+   legacy [ssgd_job_*] histograms), the router and gateway register
+   their forwarding hops into their own registries with these
+   helpers. *)
+
+let hop_gateway_router registry =
+  Metrics.histogram registry
+    ~help:
+      "Milliseconds the gateway waited on its backend (gateway\xe2\x86\x92router hop)"
+    "ssg_hop_gateway_router_ms"
+
+let hop_router_worker registry =
+  Metrics.histogram registry
+    ~help:
+      "Milliseconds the router waited on a backend exchange \
+       (router\xe2\x86\x92worker hop)"
+    "ssg_hop_router_worker_ms"
+
+(* The tracer's ring drop counter, rendered wherever a process exposes
+   Prometheus text — zero (the healthy steady state) is still exposed
+   so dashboards can alert on the first drop. *)
+let prom_trace_dropped buf =
+  Metrics.prom_scalar buf ~kind:`Counter
+    ~help:"Trace events lost to ring wrap-around since the last reset"
+    "ssg_trace_dropped_total"
+    (float_of_int (Ssg_obs.Tracer.dropped ()))
 
 let create ?(window = 4096) ?(recent_window_s = 10.) () =
   if window < 1 then invalid_arg "Telemetry.create: window must be >= 1";
@@ -107,6 +139,12 @@ let create ?(window = 4096) ?(recent_window_s = 10.) () =
     latency_hist =
       histogram "ssgd_job_latency_ms"
         "Submit-to-completion milliseconds (legacy end-to-end latency)";
+    hop_queue_hist =
+      histogram "ssg_hop_queue_wait_ms"
+        "Milliseconds a job waited in the worker queue (queue hop)";
+    hop_exec_hist =
+      histogram "ssg_hop_exec_ms"
+        "Milliseconds a worker spent executing a job (exec hop)";
   }
 
 let registry t = t.registry
@@ -119,6 +157,8 @@ let push_latency t ~latency_ms ~queue_ms ~exec_ms =
   Metrics.observe t.latency_hist latency_ms;
   Metrics.observe t.queue_hist queue_ms;
   Metrics.observe t.exec_hist exec_ms;
+  Metrics.observe t.hop_queue_hist queue_ms;
+  Metrics.observe t.hop_exec_hist exec_ms;
   locked t (fun () ->
       t.ring.(t.ring_pos) <- latency_ms;
       t.queue_ring.(t.ring_pos) <- queue_ms;
@@ -374,6 +414,7 @@ let prometheus t s =
        ~only:(fun name ->
          String.length name > 3 && String.sub name (String.length name - 3) 3 = "_ms")
        t.registry);
+  prom_trace_dropped buf;
   Buffer.contents buf
 
 let pp_snapshot fmt s =

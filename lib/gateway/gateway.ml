@@ -5,6 +5,7 @@ module Transport = Ssg_net.Transport
 module Http = Ssg_net.Http
 module Metrics = Ssg_obs.Metrics
 module Tracer = Ssg_obs.Tracer
+module Context = Ssg_obs.Context
 open Ssg_engine
 
 type t = {
@@ -17,6 +18,7 @@ type t = {
   submits : Metrics.counter;
   client_errors : Metrics.counter;  (* 4xx *)
   backend_errors : Metrics.counter;  (* 502 *)
+  hop_router : Metrics.histogram;  (* gateway -> backend round trip *)
 }
 
 (* The shared pipelined backend connection, re-dialed lazily after a
@@ -112,7 +114,18 @@ let parse_submit_params req =
     ->
       Error e
 
-let handle_submit t req =
+(* Await the backend reply, recording the full gateway->router round
+   trip (send to correlated reply) in the hop histogram.  The hop is
+   observed on every outcome — a 502's latency is exactly the number a
+   latency decomposition needs to see. *)
+let awaited_hop t ticket =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.observe t.hop_router (1000. *. (Unix.gettimeofday () -. t0)))
+    (fun () -> Pclient.await ticket)
+
+let handle_submit ?ctx t req =
   Metrics.incr t.submits;
   match parse_submit_params req with
   | Error msg -> (400, "application/json", json_error msg)
@@ -121,7 +134,7 @@ let handle_submit t req =
       | exception (Failure msg | Invalid_argument msg) ->
           (400, "application/json", json_error msg)
       | job -> (
-          match Pclient.await (Pclient.submit (backend_client t) job) with
+          match awaited_hop t (Pclient.submit ?ctx (backend_client t) job) with
           | exception Failure msg -> (502, "application/json", json_error msg)
           | exception Unix.Unix_error (e, _, _) ->
               (502, "application/json", json_error (Unix.error_message e))
@@ -171,19 +184,30 @@ let handle_metrics t =
         "text/plain; version=0.0.4",
         own ^ "# backend unreachable: " ^ Unix.error_message e ^ "\n" )
 
-let dispatch t ~stop ~wake req =
+(* The gateway's own tracer report, for the fleet stitcher: the CLI
+   fetches [GET /trace] and merges it with the reports pulled over the
+   native protocol. *)
+let handle_trace () =
+  let report = Tracer.report_here ~role:"gateway" () in
+  ( 200,
+    "application/json",
+    Ssg_obs.Export.json_to_string (Ssg_obs.Stitch.report_to_json report) )
+
+let dispatch ?ctx t ~stop ~wake req =
   match (req.Http.meth, req.Http.path) with
-  | "POST", "/submit" -> handle_submit t req
+  | "POST", "/submit" -> handle_submit ?ctx t req
   | "GET", "/stats" -> handle_stats t
   | "GET", "/metrics" -> handle_metrics t
+  | "GET", "/trace" -> handle_trace ()
   | "GET", "/healthz" -> (200, "application/json", "{\"status\":\"ok\"}")
   | "POST", "/shutdown" ->
       Log.info (fun m -> m "gateway shutdown requested");
       Atomic.set stop true;
       wake ();
       (200, "application/json", "{\"status\":\"shutting down\"}")
-  | meth, (("/submit" | "/stats" | "/metrics" | "/healthz" | "/shutdown") as path)
-    ->
+  | ( meth,
+      (( "/submit" | "/stats" | "/metrics" | "/trace" | "/healthz"
+       | "/shutdown" ) as path) ) ->
       ( 405,
         "application/json",
         json_error (Printf.sprintf "method %s not allowed for %s" meth path) )
@@ -210,27 +234,49 @@ let handle_connection t ~stop ~wake ~active fd =
          with _ -> ())
     | Some req ->
         Metrics.incr t.requests;
+        let span_ctx = ref None in
         let status, content_type, body =
-          let run () =
-            try dispatch t ~stop ~wake req
+          let run ctx () =
+            try dispatch ?ctx t ~stop ~wake req
             with e ->
               (500, "application/json", json_error (Printexc.to_string e))
           in
-          if Tracer.enabled () then
-            Tracer.with_span "gateway.request"
+          if Tracer.enabled () then begin
+            (* The caller's [traceparent] header makes this request's
+               span a child of the caller's; without one the gateway
+               originates a fresh trace. *)
+            let parent =
+              match
+                Option.bind (Http.header req "traceparent") Context.of_string
+              with
+              | Some remote -> remote
+              | None -> Context.root ()
+            in
+            Tracer.with_span_ctx "gateway.request" ~ctx:parent
               ~args:
                 [
                   ("method", Tracer.Str req.Http.meth);
                   ("path", Tracer.Str req.Http.path);
                 ]
-              run
-          else run ()
+              (fun child ->
+                span_ctx := Some child;
+                run (Some child) ())
+          end
+          else run None ()
         in
         if status >= 400 && status < 500 then Metrics.incr t.client_errors;
         if status = 502 then Metrics.incr t.backend_errors;
         let keep = Http.keep_alive req && not (Atomic.get stop) in
+        let extra_headers =
+          (* Echo the request span's context so HTTP callers can
+             correlate their side with the fleet trace. *)
+          match !span_ctx with
+          | Some c -> [ ("traceparent", Context.to_string c) ]
+          | None -> []
+        in
         (match
-           Http.write_response ~status ~content_type ~keep_alive:keep fd body
+           Http.write_response ~status ~content_type ~extra_headers
+             ~keep_alive:keep fd body
          with
         | () -> if keep then loop ()
         | exception (Sys_error _ | Unix.Unix_error _) ->
@@ -249,7 +295,8 @@ let handle_connection t ~stop ~wake ~active fd =
             m "gateway connection thread escaped: %s" (Printexc.to_string e)))
 
 let serve ?(backend_deadline_s = 30.) ?(max_connections = 1024)
-    ?(read_timeout_s = 30.) ?(drain_timeout_s = 5.) ~listen ~backend () =
+    ?(read_timeout_s = 30.) ?(drain_timeout_s = 5.) ?(trace = false) ~listen
+    ~backend () =
   if max_connections < 1 then
     invalid_arg "Gateway.serve: max_connections must be >= 1";
   if backend_deadline_s <= 0. then
@@ -258,6 +305,10 @@ let serve ?(backend_deadline_s = 30.) ?(max_connections = 1024)
   ignore (Transport.of_string_exn backend);
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
    with Invalid_argument _ | Sys_error _ -> ());
+  if trace then begin
+    Tracer.reset ();
+    Tracer.set_enabled true
+  end;
   let metrics = Metrics.create () in
   let counter name help = Metrics.counter metrics ~help name in
   let t =
@@ -274,6 +325,7 @@ let serve ?(backend_deadline_s = 30.) ?(max_connections = 1024)
       backend_errors =
         counter "ssg_gateway_backend_errors_total"
           "Responses with a 502 status (backend unreachable or failed)";
+      hop_router = Telemetry.hop_gateway_router metrics;
     }
   in
   let listen_fd = Transport.listen addr in

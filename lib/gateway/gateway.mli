@@ -18,9 +18,20 @@
       could not be reached.
     - [GET /stats] — the backend's merged telemetry snapshot as JSON.
     - [GET /metrics] — Prometheus text: the gateway's own series
-      ([ssg_gateway_*]) followed by the backend's exposition.
+      ([ssg_gateway_*], including the [ssg_hop_gateway_router_ms]
+      round-trip histogram) followed by the backend's exposition.
+    - [GET /trace] — the gateway's own tracer report as JSON
+      ({!Ssg_obs.Stitch.report_to_json}), for the fleet stitcher.
     - [GET /healthz] — liveness (does not touch the backend).
     - [POST /shutdown] — stops the {e gateway} (never the backend).
+
+    {b Tracing.}  With [trace], every request runs under a
+    [gateway.request] span.  An incoming [traceparent] header makes
+    that span a child of the caller's; otherwise the gateway
+    originates the trace.  The span's context is forwarded to the
+    backend in the frame context envelope (so router and worker spans
+    nest under it) and echoed back in a [traceparent] response
+    header.
 
     Supervision mirrors {!Ssg_engine.Server}: SIGPIPE is ignored, a
     client vanishing between request and reply ([EPIPE]/[ECONNRESET])
@@ -38,6 +49,9 @@
     - [max_connections] (default 1024), [read_timeout_s] (default 30),
       [drain_timeout_s] (default 5): front-socket guards, as in
       {!Ssg_engine.Server.serve}.
+    - [trace] (default [false]): resets and enables the process-wide
+      tracer; requests get [gateway.request] spans with propagated
+      context, and [GET /trace] returns the buffered report.
     @raise Invalid_argument on malformed addresses or non-positive
     limits, [Unix.Unix_error] when [listen] cannot be bound. *)
 val serve :
@@ -45,6 +59,7 @@ val serve :
   ?max_connections:int ->
   ?read_timeout_s:float ->
   ?drain_timeout_s:float ->
+  ?trace:bool ->
   listen:string ->
   backend:string ->
   unit ->

@@ -1,5 +1,6 @@
 module Transport = Ssg_net.Transport
 module Frame = Ssg_net.Frame
+module Context = Ssg_obs.Context
 open Ssg_engine
 
 type mix = { cached : int; uncached : int; lint_error : int }
@@ -43,6 +44,7 @@ type report = {
   p99_ms : float;
   max_ms : float;
   slo_violations : string list;
+  slow_traces : (float * string) list;
 }
 
 let percentile sorted q =
@@ -100,6 +102,7 @@ type tally = {
   mutable errors : int;
   mutable latencies : float array;  (* ms *)
   mutable n_latencies : int;
+  mutable slow : (float * string) list;  (* (ms, trace id hex), desc *)
 }
 
 let new_tally () =
@@ -110,6 +113,7 @@ let new_tally () =
     errors = 0;
     latencies = Array.make 4096 0.;
     n_latencies = 0;
+    slow = [];
   }
 
 let record_latency tally ms =
@@ -120,6 +124,16 @@ let record_latency tally ms =
   end;
   tally.latencies.(tally.n_latencies) <- ms;
   tally.n_latencies <- tally.n_latencies + 1
+
+(* Keep the [top] slowest (latency, trace id) samples, descending.
+   [top] is small (a report-sized handful), so a sorted list is fine. *)
+let merge_slow top lists =
+  List.concat lists
+  |> List.sort (fun (a, _) (b, _) -> compare (b : float) a)
+  |> List.filteri (fun i _ -> i < top)
+
+let record_slow tally top ms trace_hex =
+  if top > 0 then tally.slow <- merge_slow top [ (ms, trace_hex) :: tally.slow ]
 
 (* ---------------- connections ---------------- *)
 
@@ -190,7 +204,19 @@ let classify tally kind reply_payload =
    correlate them).  All of a driver's connections send before any of
    them reads, so the whole slice has work in flight at once. *)
 
-let send_batch conn tally next_kind pipeline =
+(* When sampling is on ([trace_top > 0]) each request originates a root
+   trace context, carried in the context envelope inside the id
+   envelope — the loadgen is the edge of those traces, exactly like a
+   traceparent-bearing HTTP caller. *)
+let encode_request kind trace_top =
+  if trace_top > 0 then begin
+    let ctx = Context.root () in
+    ( Some (Context.trace_id_hex ctx),
+      Frame.with_ctx ~ctx:(Context.to_wire ctx) (encode_job kind) )
+  end
+  else (None, encode_job kind)
+
+let send_batch conn tally next_kind pipeline trace_top =
   let fd = Option.get conn.fd in
   let batch = Array.init pipeline (fun _ -> next_kind ()) in
   let sends =
@@ -198,21 +224,24 @@ let send_batch conn tally next_kind pipeline =
       (fun kind ->
         let id = conn.next_id in
         conn.next_id <- id + 1;
-        let payload = Frame.with_id ~id (encode_job kind) in
-        (id, kind, payload))
+        let trace_hex, payload = encode_request kind trace_top in
+        (id, kind, trace_hex, Frame.with_id ~id payload))
       batch
   in
   Array.iter
-    (fun (_, _, payload) -> Frame.write_fd fd payload)
+    (fun (_, _, _, payload) -> Frame.write_fd fd payload)
     sends;
   let t0 = Unix.gettimeofday () in
   tally.sent <- tally.sent + pipeline;
   (t0, sends)
 
-let read_batch conn tally (t0, sends) =
+let read_batch conn tally trace_top (t0, sends) =
   let fd = Option.get conn.fd in
   let outstanding = Hashtbl.create 8 in
-  Array.iter (fun (id, kind, _) -> Hashtbl.replace outstanding id kind) sends;
+  Array.iter
+    (fun (id, kind, trace_hex, _) ->
+      Hashtbl.replace outstanding id (kind, trace_hex))
+    sends;
   while Hashtbl.length outstanding > 0 do
     let frame = Frame.read_fd fd in
     match Frame.classify frame with
@@ -220,14 +249,18 @@ let read_batch conn tally (t0, sends) =
     | Frame.Id (id, inner) -> (
         match Hashtbl.find_opt outstanding id with
         | None -> ()  (* stale reply from a previous batch: ignore *)
-        | Some kind ->
+        | Some (kind, trace_hex) ->
             Hashtbl.remove outstanding id;
-            record_latency tally
-              ((Unix.gettimeofday () -. t0) *. 1000.);
+            let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+            record_latency tally ms;
+            (match trace_hex with
+            | Some hex -> record_slow tally trace_top ms hex
+            | None -> ());
             classify tally kind inner)
   done
 
-let closed_loop addr deadline_s pipeline next_kind t_end tally conns =
+let closed_loop addr deadline_s pipeline next_kind trace_top t_end tally conns
+    =
   (* Connect the whole slice up front. *)
   Array.iter
     (fun conn ->
@@ -243,7 +276,7 @@ let closed_loop addr deadline_s pipeline next_kind t_end tally conns =
           match conn.fd with
           | None -> None
           | Some _ -> (
-              match send_batch conn tally next_kind pipeline with
+              match send_batch conn tally next_kind pipeline trace_top with
               | batch -> Some (conn, batch)
               | exception _ ->
                   tally.errors <- tally.errors + pipeline;
@@ -256,7 +289,7 @@ let closed_loop addr deadline_s pipeline next_kind t_end tally conns =
       (function
         | None -> ()
         | Some (conn, ((_, sends) as batch)) -> (
-            match read_batch conn tally batch with
+            match read_batch conn tally trace_top batch with
             | () -> ()
             | exception _ ->
                 (* Deadline, hangup, or garbage: every unanswered
@@ -279,7 +312,8 @@ let closed_loop addr deadline_s pipeline next_kind t_end tally conns =
    aggregate rate split evenly), one request in flight each, and the
    latency clock starts at the {e scheduled} time — a service that
    falls behind pays for its queue. *)
-let open_loop addr deadline_s rate next_kind t_start t_end tally conns =
+let open_loop addr deadline_s rate next_kind trace_top t_start t_end tally
+    conns =
   let n = Array.length conns in
   let interval = float_of_int n /. rate in
   Array.iter
@@ -314,7 +348,8 @@ let open_loop addr deadline_s rate next_kind t_start t_end tally conns =
               let id = conn.next_id in
               conn.next_id <- id + 1;
               match
-                Frame.write_fd fd (Frame.with_id ~id (encode_job kind));
+                let trace_hex, payload = encode_request kind trace_top in
+                Frame.write_fd fd (Frame.with_id ~id payload);
                 tally.sent <- tally.sent + 1;
                 let rec read_mine () =
                   match Frame.classify (Frame.read_fd fd) with
@@ -324,7 +359,11 @@ let open_loop addr deadline_s rate next_kind t_start t_end tally conns =
                   | Frame.Id _ -> read_mine ()
                 in
                 let inner = read_mine () in
-                record_latency tally ((Unix.gettimeofday () -. sched) *. 1000.);
+                let ms = (Unix.gettimeofday () -. sched) *. 1000. in
+                record_latency tally ms;
+                (match trace_hex with
+                | Some hex -> record_slow tally trace_top ms hex
+                | None -> ());
                 classify tally kind inner
               with
               | () -> ()
@@ -343,12 +382,14 @@ let open_loop addr deadline_s rate next_kind t_start t_end tally conns =
 let default_mix = { cached = 8; uncached = 1; lint_error = 1 }
 
 let run ?threads ?(pipeline = 1) ?(rate = 0.) ?(mix = default_mix)
-    ?(deadline_s = 30.) ?(slos = []) ~connections ~duration_s ~target () =
+    ?(deadline_s = 30.) ?(slos = []) ?(trace_top = 0) ~connections ~duration_s
+    ~target () =
   if connections < 1 then
     invalid_arg "Loadgen.run: connections must be >= 1";
   if pipeline < 1 then invalid_arg "Loadgen.run: pipeline must be >= 1";
   if duration_s <= 0. then invalid_arg "Loadgen.run: duration_s must be > 0";
   if rate < 0. then invalid_arg "Loadgen.run: rate must be >= 0";
+  if trace_top < 0 then invalid_arg "Loadgen.run: trace_top must be >= 0";
   if mix.cached < 0 || mix.uncached < 0 || mix.lint_error < 0
      || mix.cached + mix.uncached + mix.lint_error = 0
   then invalid_arg "Loadgen.run: the mix needs a positive total";
@@ -379,10 +420,10 @@ let run ?threads ?(pipeline = 1) ?(rate = 0.) ?(mix = default_mix)
                if rate > 0. then
                  open_loop addr deadline_s
                    (rate /. float_of_int threads)
-                   next_kind t_start t_end tally conns
+                   next_kind trace_top t_start t_end tally conns
                else
-                 closed_loop addr deadline_s pipeline next_kind t_end tally
-                   conns
+                 closed_loop addr deadline_s pipeline next_kind trace_top
+                   t_end tally conns
              with e ->
                Logs.err (fun m ->
                    m "loadgen driver died: %s" (Printexc.to_string e));
@@ -447,6 +488,8 @@ let run ?threads ?(pipeline = 1) ?(rate = 0.) ?(mix = default_mix)
     p99_ms = p99;
     max_ms = maxl;
     slo_violations = violations;
+    slow_traces =
+      merge_slow trace_top (Array.to_list (Array.map (fun t -> t.slow) tallies));
   }
 
 (* ---------------- rendering ---------------- *)
@@ -473,6 +516,14 @@ let to_json r =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf (Printf.sprintf "\"%s\"" (Ssg_net.Http.json_escape v)))
     r.slo_violations;
+  Buffer.add_string buf "],\"slow_traces\":[";
+  List.iteri
+    (fun i (ms, trace) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"latency_ms\":%.3f,\"trace_id\":\"%s\"}" ms
+           (Ssg_net.Http.json_escape trace)))
+    r.slow_traces;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
@@ -485,6 +536,13 @@ let pp fmt r =
      latency max : %.2f ms@]" r.connections r.sent r.completed r.rejected
     r.errors r.duration_s r.throughput_rps r.mean_ms r.p50_ms r.p95_ms
     r.p99_ms r.max_ms;
+  (match r.slow_traces with
+  | [] -> ()
+  | slow ->
+      Format.fprintf fmt "@.slowest traces (trace id, latency):";
+      List.iter
+        (fun (ms, trace) -> Format.fprintf fmt "@.  %s  %8.2f ms" trace ms)
+        slow);
   match r.slo_violations with
   | [] -> Format.fprintf fmt "@.slo         : ok@."
   | vs ->

@@ -47,6 +47,9 @@ type report = {
   p99_ms : float;
   max_ms : float;
   slo_violations : string list;  (** empty iff every SLO held *)
+  slow_traces : (float * string) list;
+      (** the [trace_top] slowest requests as [(latency_ms, trace id
+          hex)], slowest first; empty unless trace sampling was on *)
 }
 
 (** [percentile sorted q] — linear-interpolated [q]-quantile of a
@@ -66,6 +69,11 @@ val percentile : float array -> float -> float
     - [deadline_s] (default 30): per-connection reply deadline; a miss
       is an error and the connection is re-dialed.
     - [slos] (default none): gates evaluated into [slo_violations].
+    - [trace_top] (default 0 = off): originate a root trace context on
+      {e every} request (carried in the frame context envelope, so a
+      tracing fleet records each request's spans under it) and report
+      the trace ids of the [trace_top] slowest — the ids to grep for
+      in a stitched fleet trace when chasing a latency tail.
     @raise Invalid_argument on nonsensical parameters. *)
 val run :
   ?threads:int ->
@@ -74,6 +82,7 @@ val run :
   ?mix:mix ->
   ?deadline_s:float ->
   ?slos:slo list ->
+  ?trace_top:int ->
   connections:int ->
   duration_s:float ->
   target:string ->

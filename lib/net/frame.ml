@@ -25,6 +25,33 @@ let classify payload =
     if id < 0 then failwith "Frame: negative request id"
     else Id (id, Bytes.sub payload 9 (n - 9))
 
+(* Trace-context envelope: same additive trick as the id envelope.
+   'X' is likewise not a first byte of any protocol payload, so peers
+   that never send it are untouched and servers that do not understand
+   it would reject it like any unknown tag.  The context rides {e
+   inside} the id envelope ([with_id ~id (with_ctx ~ctx p)]): the mux
+   correlates replies without caring whether a context is present. *)
+let ctx_magic = 'X'
+let ctx_len = 24
+
+let with_ctx ~ctx payload =
+  if String.length ctx <> ctx_len then
+    invalid_arg "Frame.with_ctx: context must be 24 bytes";
+  let n = Bytes.length payload in
+  let out = Bytes.create (1 + ctx_len + n) in
+  Bytes.set out 0 ctx_magic;
+  Bytes.blit_string ctx 0 out 1 ctx_len;
+  Bytes.blit payload 0 out (1 + ctx_len) n;
+  out
+
+let split_ctx payload =
+  let n = Bytes.length payload in
+  if n = 0 || Bytes.get payload 0 <> ctx_magic then (None, payload)
+  else if n < 1 + ctx_len then failwith "Frame: truncated context envelope"
+  else
+    ( Some (Bytes.sub_string payload 1 ctx_len),
+      Bytes.sub payload (1 + ctx_len) (n - 1 - ctx_len) )
+
 (* ---------------- descriptor framing ---------------- *)
 
 (* Same discipline as the engine protocol: frame directly over the

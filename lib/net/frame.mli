@@ -34,6 +34,35 @@ type classified =
     payload. *)
 val classify : Bytes.t -> classified
 
+(** {1 Trace-context envelope}
+
+    Same additive-compatibility trick as the id envelope, one layer
+    further in: a payload whose first byte is {!ctx_magic} carries a
+    fixed {!ctx_len}-byte trace context
+    ({!Ssg_obs.Context.to_wire}) before the inner payload.  Pre-context
+    peers never send it and are classified exactly as before; when both
+    envelopes are present the id envelope is outermost
+    ([with_id ~id (with_ctx ~ctx p)]) so reply correlation never
+    depends on context awareness.  Replies never carry a context.  The
+    blob is opaque to this module — [ssg_net] does not depend on the
+    tracer. *)
+
+(** First byte of a context-framed payload. *)
+val ctx_magic : char
+
+(** Byte length of the context blob (24). *)
+val ctx_len : int
+
+(** [with_ctx ~ctx payload] wraps [payload] in the context envelope.
+    @raise Invalid_argument unless [String.length ctx = ctx_len]. *)
+val with_ctx : ctx:string -> Bytes.t -> Bytes.t
+
+(** [split_ctx payload] — [(Some ctx, inner)] when the payload starts
+    with {!ctx_magic}, [(None, payload)] otherwise.
+    @raise Failure on a payload that starts with the magic byte but is
+    too short to carry the context. *)
+val split_ctx : Bytes.t -> string option * Bytes.t
+
 (** Descriptor framing, shared by every transport (Unix or TCP).
     Readers
     @raise End_of_file on a peer closed at a frame boundary,

@@ -93,7 +93,7 @@ let create ?deadline_s fd =
   t.reader <- Some (Thread.create reader_loop t);
   t
 
-let send t payload =
+let send ?ctx t payload =
   let ticket =
     { cmutex = Mutex.create (); ccond = Condition.create (); state = None }
   in
@@ -106,6 +106,11 @@ let send t payload =
         t.next_id <- id + 1;
         Hashtbl.add t.table id ticket;
         id)
+  in
+  (* Context envelope innermost, id envelope outermost: the server
+     correlates first, then strips the context. *)
+  let payload =
+    match ctx with None -> payload | Some c -> Frame.with_ctx ~ctx:c payload
   in
   (try
      Mutex.lock t.wlock;
@@ -133,7 +138,7 @@ let await ticket =
   in
   Fun.protect ~finally:(fun () -> Mutex.unlock ticket.cmutex) wait
 
-let call t payload = await (send t payload)
+let call ?ctx t payload = await (send ?ctx t payload)
 let inflight t = locked t (fun () -> Hashtbl.length t.table)
 let alive t = locked t (fun () -> t.dead = None && not t.closed)
 

@@ -26,16 +26,18 @@ type ticket
     outstanding), not each request individually. *)
 val create : ?deadline_s:float -> Unix.file_descr -> t
 
-(** [send t payload] — write one id-framed request.
+(** [send ?ctx t payload] — write one id-framed request.  [ctx], when
+    given, is a {!Frame.ctx_len}-byte trace context carried in the
+    context envelope inside the id envelope (replies never carry one).
     @raise Failure when the connection is already dead or closed. *)
-val send : t -> Bytes.t -> ticket
+val send : ?ctx:string -> t -> Bytes.t -> ticket
 
 (** [await ticket] blocks until the reply correlates back (or the
     connection dies); repeated awaits return the same result. *)
 val await : ticket -> (Bytes.t, string) result
 
-(** [call t payload] = [await (send t payload)]. *)
-val call : t -> Bytes.t -> (Bytes.t, string) result
+(** [call ?ctx t payload] = [await (send ?ctx t payload)]. *)
+val call : ?ctx:string -> t -> Bytes.t -> (Bytes.t, string) result
 
 (** [inflight t] — requests sent and not yet answered. *)
 val inflight : t -> int

@@ -1,0 +1,128 @@
+(* Trace context: a 128-bit trace id plus 64-bit span ids, the identity
+   a request carries across process boundaries.  Kept dependency-free
+   (no Tracer) so lower layers can use it without pulling the rings in.
+
+   Id generation is a SplitMix64 stream off a global atomic counter:
+   one [fetch_and_add] plus a few multiplies per id, lock-free across
+   domains, and — the property the sweep harness needs — fully
+   deterministic after [seed].  Self-seeds lazily from wall clock + pid
+   when nobody called [seed]. *)
+
+type t = {
+  trace_hi : int64;
+  trace_lo : int64;
+  span_id : int64;
+  parent_span_id : int64;  (* 0L = root span of its trace *)
+}
+
+let equal a b =
+  Int64.equal a.trace_hi b.trace_hi
+  && Int64.equal a.trace_lo b.trace_lo
+  && Int64.equal a.span_id b.span_id
+  && Int64.equal a.parent_span_id b.parent_span_id
+
+(* SplitMix64 (Steele et al.): increment a gamma-spaced counter, then
+   mix.  OCaml's [Atomic.fetch_and_add] works on [int] (63-bit), so we
+   keep the counter as an int and fold the wraparound into the mix —
+   uniqueness only needs distinct counter values, which a 63-bit
+   counter gives us for any realistic run. *)
+let state = Atomic.make 0
+let seeded = Atomic.make false
+
+let seed s =
+  Atomic.set state s;
+  Atomic.set seeded true
+
+let self_seed () =
+  if not (Atomic.get seeded) then begin
+    let s =
+      (int_of_float (Unix.gettimeofday () *. 1e6) lxor (Unix.getpid () lsl 24))
+      land max_int
+    in
+    (* First caller wins; a racing second seed just perturbs the
+       stream, never repeats it. *)
+    if not (Atomic.exchange seeded true) then Atomic.set state s
+  end
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_id () =
+  self_seed ();
+  let n = Atomic.fetch_and_add state 1 in
+  let z = Int64.mul (Int64.of_int n) 0x9E3779B97F4A7C15L in
+  let id = mix64 z in
+  if Int64.equal id 0L then 1L else id
+
+let root () =
+  let hi = next_id () and lo = next_id () and span = next_id () in
+  { trace_hi = hi; trace_lo = lo; span_id = span; parent_span_id = 0L }
+
+let child t = { t with span_id = next_id (); parent_span_id = t.span_id }
+
+(* --- hex helpers ------------------------------------------------- *)
+
+let hex16 v = Printf.sprintf "%016Lx" v
+let trace_id_hex t = Printf.sprintf "%016Lx%016Lx" t.trace_hi t.trace_lo
+let span_id_hex t = hex16 t.span_id
+let parent_span_id_hex t = hex16 t.parent_span_id
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> raise Exit
+
+let parse_hex64 s off =
+  let v = ref 0L in
+  for i = off to off + 15 do
+    v := Int64.logor (Int64.shift_left !v 4) (Int64.of_int (hex_val s.[i]))
+  done;
+  !v
+
+(* --- text codec: traceparent ------------------------------------- *)
+
+(* W3C traceparent shape: version "00", 32-hex trace id, 16-hex span
+   id, flags "01" (sampled).  [of_string] accepts any version byte and
+   ignores flags — we only ever act on the ids. *)
+let to_string t = Printf.sprintf "00-%s-%s-01" (trace_id_hex t) (span_id_hex t)
+
+let of_string s =
+  if
+    String.length s = 55
+    && s.[2] = '-' && s.[35] = '-' && s.[52] = '-'
+  then
+    try
+      let hi = parse_hex64 s 3 in
+      let lo = parse_hex64 s 19 in
+      let span = parse_hex64 s 36 in
+      ignore (hex_val s.[0]); ignore (hex_val s.[1]);
+      ignore (hex_val s.[53]); ignore (hex_val s.[54]);
+      if Int64.equal hi 0L && Int64.equal lo 0L then None
+      else Some { trace_hi = hi; trace_lo = lo; span_id = span; parent_span_id = 0L }
+    with Exit -> None
+  else None
+
+(* --- wire codec: fixed 24-byte blob ------------------------------ *)
+
+let wire_len = 24
+
+let to_wire t =
+  let b = Bytes.create wire_len in
+  Bytes.set_int64_be b 0 t.trace_hi;
+  Bytes.set_int64_be b 8 t.trace_lo;
+  Bytes.set_int64_be b 16 t.span_id;
+  Bytes.unsafe_to_string b
+
+let of_wire s =
+  if String.length s <> wire_len then None
+  else
+    let b = Bytes.unsafe_of_string s in
+    let hi = Bytes.get_int64_be b 0 in
+    let lo = Bytes.get_int64_be b 8 in
+    let span = Bytes.get_int64_be b 16 in
+    if Int64.equal hi 0L && Int64.equal lo 0L then None
+    else Some { trace_hi = hi; trace_lo = lo; span_id = span; parent_span_id = 0L }

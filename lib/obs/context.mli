@@ -1,0 +1,65 @@
+(** Trace context: the identity a request carries across process
+    boundaries — a 128-bit trace id shared by every span of one
+    request, plus the 64-bit span id of the hop that sent it.
+
+    A process receiving a context calls {!child} to mint its own span
+    under the remote parent; the result's [parent_span_id] is the
+    sender's span, which is how the stitcher ({!Stitch}) reconstructs
+    the cross-process tree.
+
+    Two codecs: {!to_string}/{!of_string} is the [traceparent]-shaped
+    text form for HTTP edges, {!to_wire}/{!of_wire} a fixed
+    {!wire_len}-byte binary blob for the frame envelope
+    ([Frame.with_ctx]).  Both carry trace id + span id only — the
+    parent of the {e sender's} span never crosses the wire (the
+    receiver doesn't need it), so decoded contexts have
+    [parent_span_id = 0]. *)
+
+type t = {
+  trace_hi : int64;
+  trace_lo : int64;
+  span_id : int64;
+  parent_span_id : int64;  (** [0L] for the root span of its trace *)
+}
+
+val equal : t -> t -> bool
+
+(** [seed s] — make the id stream deterministic: ids are a pure
+    function of [s] and the number of ids drawn since.  Without it the
+    generator self-seeds from wall clock and pid on first use. *)
+val seed : int -> unit
+
+(** [root ()] — fresh trace: new 128-bit trace id, new span id, no
+    parent.  Originated at the edge (gateway on a request without a
+    [traceparent] header, loadgen when sampling). *)
+val root : unit -> t
+
+(** [child t] — a new span in [t]'s trace whose parent is [t]'s span.
+    Used both for same-process nesting of propagated spans and to
+    adopt a remote parent after {!of_wire}/{!of_string}. *)
+val child : t -> t
+
+val trace_id_hex : t -> string  (** 32 lowercase hex chars *)
+
+val span_id_hex : t -> string  (** 16 lowercase hex chars *)
+
+val parent_span_id_hex : t -> string  (** 16 lowercase hex chars *)
+
+(** [to_string t] — ["00-<trace 32hex>-<span 16hex>-01"], the W3C
+    [traceparent] shape. *)
+val to_string : t -> string
+
+(** [of_string s] — parse the [traceparent] shape; [None] on anything
+    malformed or an all-zero trace id.  Version and flag bytes are
+    validated as hex but otherwise ignored. *)
+val of_string : string -> t option
+
+(** Length in bytes of the {!to_wire} encoding (24). *)
+val wire_len : int
+
+(** [to_wire t] — trace id + span id as {!wire_len} big-endian bytes. *)
+val to_wire : t -> string
+
+(** [of_wire s] — inverse of {!to_wire}; [None] unless [s] is exactly
+    {!wire_len} bytes with a nonzero trace id. *)
+val of_wire : string -> t option

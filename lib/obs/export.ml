@@ -445,5 +445,30 @@ let event_json pid (e : Tracer.event) =
   in
   Obj (base @ scope @ args)
 
-let chrome_json ?(pid = 1) events =
-  json_to_string (Arr (List.map (event_json pid) events))
+let metadata_json ~pid ?tid ~meta value =
+  Obj
+    ([ ("name", Str meta); ("ph", Str "M"); ("pid", Int pid) ]
+    @ (match tid with Some t -> [ ("tid", Int t) ] | None -> [])
+    @ [ ("args", Obj [ ("name", Str value) ]) ])
+
+(* Metadata events naming the process and its threads (domains) — what
+   makes the export Perfetto-readable as labelled tracks rather than
+   bare pid/tid numbers. *)
+let metadata_jsons ~pid ~process events =
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.Tracer.domain) events)
+  in
+  metadata_json ~pid ~meta:"process_name" process
+  :: List.map
+       (fun tid ->
+         metadata_json ~pid ~tid ~meta:"thread_name"
+           (Printf.sprintf "domain %d" tid))
+       tids
+
+let chrome_json ?(pid = 1) ?process events =
+  let meta =
+    match process with
+    | None -> []
+    | Some p -> metadata_jsons ~pid ~process:p events
+  in
+  json_to_string (Arr (meta @ List.map (event_json pid) events))

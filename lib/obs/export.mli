@@ -39,6 +39,24 @@ val json_wellformed : string -> bool
     round-trip tests) instead of merely validating them. *)
 val json_of_string : string -> json option
 
-(** [chrome_json ?pid events] — the trace as a Chrome trace-event JSON
-    array.  [pid] defaults to 1. *)
-val chrome_json : ?pid:int -> Tracer.event list -> string
+(** [event_json pid e] — one tracer event as a Chrome trace-event
+    object (phases ["B"]/["E"]/["i"], [tid] = tracer domain).  Exposed
+    for {!Ssg_obs.Stitch}, which assembles multi-process documents
+    event by event. *)
+val event_json : int -> Tracer.event -> json
+
+(** [metadata_json ~pid ?tid ~meta value] — a Chrome metadata event
+    (phase ["M"]).  [meta] is the metadata name ([process_name],
+    [thread_name], …), [value] its value. *)
+val metadata_json : pid:int -> ?tid:int -> meta:string -> string -> json
+
+(** [metadata_jsons ~pid ~process events] — a [process_name] event plus
+    one [thread_name] event per distinct domain appearing in [events],
+    labelling the tracks Perfetto will draw for them. *)
+val metadata_jsons : pid:int -> process:string -> Tracer.event list -> json list
+
+(** [chrome_json ?pid ?process events] — the trace as a Chrome
+    trace-event JSON array.  [pid] defaults to 1.  When [process] is
+    given the array is prefixed with {!metadata_jsons} naming the
+    process and its threads. *)
+val chrome_json : ?pid:int -> ?process:string -> Tracer.event list -> string

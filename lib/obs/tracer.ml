@@ -99,3 +99,45 @@ let dropped () =
       | None -> acc
       | Some r -> acc + max 0 (Atomic.get r.cursor - ring_capacity))
     0 rings
+
+let epoch_s () = Atomic.get epoch
+
+(* --- remote parents ---------------------------------------------- *)
+
+let ctx_args (c : Context.t) =
+  [
+    ("trace_id", Str (Context.trace_id_hex c));
+    ("span_id", Str (Context.span_id_hex c));
+    ("parent_span_id", Str (Context.parent_span_id_hex c));
+  ]
+
+let span_begin_ctx ?(args = []) ~ctx name =
+  let c = Context.child ctx in
+  emit Begin name (ctx_args c @ args);
+  c
+
+let with_span_ctx ?args ~ctx name f =
+  if not (Atomic.get enabled_flag) then f (Context.child ctx)
+  else begin
+    let c = span_begin_ctx ?args ~ctx name in
+    Fun.protect ~finally:(fun () -> span_end name) (fun () -> f c)
+  end
+
+(* --- pull reports ------------------------------------------------- *)
+
+type report = {
+  role : string;
+  pid : int;
+  epoch_s : float;
+  dropped_events : int;
+  events : event list;
+}
+
+let report_here ~role () =
+  {
+    role;
+    pid = Unix.getpid ();
+    epoch_s = epoch_s ();
+    dropped_events = dropped ();
+    events = events ();
+  }

@@ -74,3 +74,52 @@ val events : unit -> event list
 (** [dropped ()] — events lost to ring wrap-around since the last
     {!reset}. *)
 val dropped : unit -> int
+
+(** [epoch_s ()] — the tracer epoch as absolute Unix seconds: the
+    instant that event timestamp 0 µs refers to.  Exchanged in fleet
+    trace pulls so {!Ssg_obs.Stitch} can place every process's events
+    on one clock. *)
+val epoch_s : unit -> float
+
+(** {1 Remote parents}
+
+    Cross-process spans carry their identity in ordinary span args
+    (["trace_id"], ["span_id"], ["parent_span_id"] as hex strings) —
+    the event record itself is unchanged, which is what keeps the
+    trace wire codec and existing exporters compatible. *)
+
+(** [ctx_args c] — the three identity args for a span running as
+    context [c]. *)
+val ctx_args : Context.t -> (string * arg) list
+
+(** [span_begin_ctx ?args ~ctx name] — begin a span that adopts [ctx]
+    as its (possibly remote) parent: mints [Context.child ctx], emits
+    the begin event with identity args prepended, and returns the
+    child context to propagate further.  Balance with {!span_end}.
+    Emits nothing when disabled (the child is still minted so callers
+    can propagate unconditionally). *)
+val span_begin_ctx :
+  ?args:(string * arg) list -> ctx:Context.t -> string -> Context.t
+
+(** [with_span_ctx ?args ~ctx name f] — like {!with_span}, but the
+    span adopts [ctx] as parent and [f] receives the minted child
+    context. *)
+val with_span_ctx :
+  ?args:(string * arg) list -> ctx:Context.t -> string -> (Context.t -> 'a) -> 'a
+
+(** {1 Pull reports}
+
+    What one process hands over when its buffers are pulled: its role
+    and pid (for [process_name] metadata), its epoch (for clock
+    alignment), its drop counter, and the retained events. *)
+
+type report = {
+  role : string;
+  pid : int;
+  epoch_s : float;
+  dropped_events : int;
+  events : event list;
+}
+
+(** [report_here ~role ()] — snapshot this process's tracer state. *)
+val report_here : role:string -> unit -> report

@@ -219,6 +219,112 @@ let test_gateway_backend_down_is_502 () =
   check_int "shutdown" 200 status;
   Thread.join gt
 
+(* ---------------- tracing: end to end ---------------- *)
+
+(* The full hop chain in one process: gateway → router → worker, all
+   sharing the process-global tracer, so one [Tracer.events ()] pull
+   sees every hop's spans.  A fixed traceparent goes in over HTTP; the
+   identity args on each begin event must chain back to it. *)
+let test_gateway_trace_propagation () =
+  let module T = Ssg_obs.Tracer in
+  let backend, wt = start_worker () in
+  let router = fresh_tcp () in
+  let rt =
+    Thread.create
+      (fun () ->
+        Ssg_cluster.Router.serve ~down_after:2 ~probe_interval_s:0.5
+          ~probe_timeout_s:2. ~request_timeout_s:10. ~drain_timeout_s:5.
+          ~backends:[ backend ] ~socket:router ())
+      ()
+  in
+  (let c = wait_connect router in
+   Client.close c);
+  let listen = fresh_tcp () in
+  let gt =
+    Thread.create
+      (fun () ->
+        Gateway.serve ~trace:true ~drain_timeout_s:5. ~listen ~backend:router ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_enabled false;
+      T.reset ())
+    (fun () ->
+      let trace_id = "0123456789abcdef0123456789abcdef" in
+      let caller_span = "00000000000000aa" in
+      let status, text =
+        http_request listen
+          (Printf.sprintf
+             "POST /submit?k=2 HTTP/1.1\r\n\
+              Host: t\r\n\
+              Content-Length: %d\r\n\
+              traceparent: 00-%s-%s-01\r\n\
+              Connection: close\r\n\
+              \r\n\
+              %s"
+             (String.length two_islands) trace_id caller_span two_islands)
+      in
+      check_int "traced submit ok" 200 status;
+      check "traceparent echoed with the caller's trace id" true
+        (contains text ("traceparent: 00-" ^ trace_id));
+      let arg (e : T.event) key =
+        List.find_map
+          (fun (k, v) ->
+            if String.equal k key then
+              match v with T.Str s -> Some s | _ -> None
+            else None)
+          e.T.args
+      in
+      let begins =
+        List.filter
+          (fun (e : T.event) ->
+            e.T.kind = T.Begin && arg e "trace_id" = Some trace_id)
+          (T.events ())
+      in
+      let find name =
+        match
+          List.find_opt (fun (e : T.event) -> String.equal e.T.name name) begins
+        with
+        | Some e -> e
+        | None -> Alcotest.fail ("no span " ^ name ^ " on the caller's trace")
+      in
+      let gw = find "gateway.request" in
+      let route = find "router.route" in
+      let submit = find "engine.submit" in
+      let exec = find "engine.execute" in
+      check "gateway adopted the remote parent" true
+        (arg gw "parent_span_id" = Some caller_span);
+      check "router.route is a child of gateway.request" true
+        (arg route "parent_span_id" = arg gw "span_id");
+      check "engine.submit is a child of router.route" true
+        (arg submit "parent_span_id" = arg route "span_id");
+      check "engine.execute is a child of engine.submit" true
+        (arg exec "parent_span_id" = arg submit "span_id");
+      (* The fleet pull through the router: its own report plus the
+         relayed worker report, roles labelled. *)
+      let c = wait_connect router in
+      let reports = Client.trace_pull c in
+      Client.close c;
+      check "fleet pull yields router and worker reports" true
+        (List.length reports >= 2);
+      check "router report present" true
+        (List.exists (fun (r : T.report) -> String.equal r.T.role "router") reports);
+      check "worker report present" true
+        (List.exists (fun (r : T.report) -> String.equal r.T.role "worker") reports);
+      List.iter
+        (fun (r : T.report) ->
+          check "pull reply carries a clock anchor" true (r.T.epoch_s > 0.))
+        reports);
+  let status, _ = post listen "/shutdown" "" in
+  check_int "gateway shutdown" 200 status;
+  Thread.join gt;
+  let c = wait_connect router in
+  Client.shutdown c;
+  Client.close c;
+  Thread.join rt;
+  stop_worker backend wt
+
 (* ---------------- loadgen: smoke ---------------- *)
 
 let test_loadgen_closed_loop_smoke () =
@@ -274,6 +380,31 @@ let test_loadgen_open_loop_smoke () =
   check "rate respected" true (report.Loadgen.sent <= 140);
   stop_worker socket wt
 
+let test_loadgen_trace_top () =
+  let socket, wt = start_worker () in
+  let report =
+    Loadgen.run ~threads:1 ~pipeline:2 ~connections:2 ~duration_s:0.3
+      ~target:socket ~trace_top:3 ()
+  in
+  check "traffic flowed" true (report.Loadgen.sent > 0);
+  check "slowest requests sampled" true (report.Loadgen.slow_traces <> []);
+  check "at most top-N sampled" true
+    (List.length report.Loadgen.slow_traces <= 3);
+  let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
+  List.iter
+    (fun (ms, id) ->
+      check "sampled latency positive" true (ms > 0.);
+      check "sampled trace id is 32 hex chars" true
+        (String.length id = 32 && String.for_all is_hex id))
+    report.Loadgen.slow_traces;
+  (* Slowest first. *)
+  (match report.Loadgen.slow_traces with
+  | (a, _) :: (b, _) :: _ -> check "sorted descending" true (a >= b)
+  | _ -> ());
+  check "json carries the samples" true
+    (contains (Loadgen.to_json report) "\"slow_traces\"");
+  stop_worker socket wt
+
 let test_loadgen_rejects_nonsense () =
   (match Loadgen.run ~connections:0 ~duration_s:1. ~target:"unix:/none" () with
   | _ -> Alcotest.fail "connections=0 must be rejected"
@@ -291,6 +422,10 @@ let tests =
     Alcotest.test_case "gateway: end to end" `Quick test_gateway_end_to_end;
     Alcotest.test_case "gateway: backend down" `Quick
       test_gateway_backend_down_is_502;
+    Alcotest.test_case "gateway: trace propagation end to end" `Quick
+      test_gateway_trace_propagation;
+    Alcotest.test_case "loadgen: slow-request trace sampling" `Quick
+      test_loadgen_trace_top;
     Alcotest.test_case "loadgen: closed-loop smoke" `Quick
       test_loadgen_closed_loop_smoke;
     Alcotest.test_case "loadgen: open-loop smoke" `Quick

@@ -223,6 +223,43 @@ let test_frame_eof_semantics () =
   | exception Failure msg -> check "names mid-frame" true (contains msg "mid-frame"));
   Unix.close b
 
+let test_frame_ctx_envelope () =
+  let payload = Bytes.of_string "Shello" in
+  let ctx = String.init Frame.ctx_len (fun i -> Char.chr (i + 1)) in
+  (* Round-trip: the envelope is transparent to its payload. *)
+  (match Frame.split_ctx (Frame.with_ctx ~ctx payload) with
+  | Some got, inner ->
+      check_string "ctx intact" ctx got;
+      check "payload intact" true (Bytes.equal inner payload)
+  | None, _ -> Alcotest.fail "wrapped payload must yield its context");
+  (* A pre-context payload passes through untouched — this is the
+     compatibility contract old clients rely on. *)
+  (match Frame.split_ctx payload with
+  | None, p -> check "plain passthrough" true (p == payload)
+  | Some _, _ -> Alcotest.fail "unwrapped payload must carry no context");
+  (match Frame.split_ctx Bytes.empty with
+  | None, p -> check "empty passthrough" true (Bytes.length p = 0)
+  | Some _, _ -> Alcotest.fail "empty payload must carry no context");
+  (* Contexts are fixed-width; anything else is a caller bug. *)
+  (match Frame.with_ctx ~ctx:"short" payload with
+  | _ -> Alcotest.fail "short context must be rejected"
+  | exception Invalid_argument _ -> ());
+  (* The magic byte with too few bytes behind it is a truncated
+     envelope, not a plain payload. *)
+  (match Frame.split_ctx (Bytes.of_string (String.make 1 Frame.ctx_magic ^ "abc")) with
+  | _ -> Alcotest.fail "truncated context envelope must be refused"
+  | exception Failure msg -> check "names truncation" true (contains msg "truncated"));
+  (* Nesting order: id outermost, context inside — the mux can
+     correlate replies without knowing the context shape. *)
+  match Frame.classify (Frame.with_id ~id:9 (Frame.with_ctx ~ctx payload)) with
+  | Frame.Id (9, inner) -> (
+      match Frame.split_ctx inner with
+      | Some got, p ->
+          check_string "nested ctx" ctx got;
+          check "nested payload" true (Bytes.equal p payload)
+      | None, _ -> Alcotest.fail "context lost inside the id envelope")
+  | _ -> Alcotest.fail "Id expected"
+
 (* ---------------- mux: scripted peer ---------------- *)
 
 (* A peer that reads [n] id-framed requests, then answers them in the
@@ -555,6 +592,61 @@ let test_client_vanishes_before_reply () =
   Client.close c;
   stop_server socket thread
 
+(* Context-envelope compatibility: the server serves all four request
+   shapes on one socket — pre-context and ctx-framed, in both the plain
+   and the pipelined dialect. *)
+let test_ctx_compat_both_dialects () =
+  let socket, thread = start_server () in
+  let addr = Transport.of_string_exn socket in
+  let expect_completed fd label =
+    match Protocol.read_reply_fd fd with
+    | Protocol.Completed completion ->
+        check label true (Result.is_ok completion.Job.result)
+    | _ -> Alcotest.fail (label ^ ": Completed expected")
+  in
+  (* Plain dialect, pre-context client: the request bytes carry no
+     envelope at all. *)
+  let fd = Transport.connect addr in
+  Protocol.write_request_fd fd
+    (Protocol.Submit (good_job ~inputs:(Array.init 6 (fun j -> 9000 + j)) ()));
+  expect_completed fd "plain pre-context served";
+  (* Plain dialect, ctx-framed: the envelope spliced in by hand, the
+     same framing the server's reader sees from [Client.rpc ?ctx]. *)
+  let ctx = Ssg_obs.Context.root () in
+  Frame.write_fd fd
+    (Frame.with_ctx
+       ~ctx:(Ssg_obs.Context.to_wire ctx)
+       (Protocol.request_to_bytes
+          (Protocol.Submit (good_job ~inputs:(Array.init 6 (fun j -> 9100 + j)) ()))));
+  expect_completed fd "plain ctx-framed served";
+  (* The reply is never ctx-framed: a pre-context client reading this
+     connection parses it without ever seeing the magic byte. *)
+  Unix.close fd;
+  (* Pipelined dialect, both shapes interleaved on one connection. *)
+  let pc = Pclient.connect ~socket ~deadline_s:30. () in
+  let bare =
+    Pclient.submit pc (good_job ~inputs:(Array.init 6 (fun j -> 9200 + j)) ())
+  in
+  let framed =
+    Pclient.submit
+      ~ctx:(Ssg_obs.Context.root ())
+      pc
+      (good_job ~inputs:(Array.init 6 (fun j -> 9300 + j)) ())
+  in
+  List.iter
+    (fun (label, t) ->
+      match Pclient.await t with
+      | Ok completion -> check label true (Result.is_ok completion.Job.result)
+      | Error e -> Alcotest.fail (label ^ ": " ^ e))
+    [ ("pipelined pre-context served", bare); ("pipelined ctx-framed served", framed) ];
+  Pclient.close pc;
+  (* And the synchronous client's ctx path end to end. *)
+  let c = Client.connect ~socket ~deadline_s:10. () in
+  let completion = Client.submit ~ctx:(Ssg_obs.Context.root ()) c (good_job ()) in
+  check "client ctx submit served" true (Result.is_ok completion.Job.result);
+  Client.close c;
+  stop_server socket thread
+
 (* ---------------- router over TCP ---------------- *)
 
 let test_router_over_tcp () =
@@ -670,6 +762,7 @@ let tests =
     Alcotest.test_case "frame: fd round-trip and size caps" `Quick
       test_frame_fd_roundtrip;
     Alcotest.test_case "frame: eof semantics" `Quick test_frame_eof_semantics;
+    Alcotest.test_case "frame: context envelope" `Quick test_frame_ctx_envelope;
     Alcotest.test_case "mux: out-of-order replies" `Quick test_mux_out_of_order;
     Alcotest.test_case "mux: dead connection fails all" `Quick
       test_mux_dead_connection_fails_all;
@@ -691,6 +784,8 @@ let tests =
       test_backpressure_at_inflight_cap;
     Alcotest.test_case "server: client vanishes before reply" `Quick
       test_client_vanishes_before_reply;
+    Alcotest.test_case "server: context compat in both dialects" `Quick
+      test_ctx_compat_both_dialects;
     Alcotest.test_case "router: over tcp" `Quick test_router_over_tcp;
     Alcotest.test_case "signals: submits survive EINTR fire" `Quick
       test_signals_during_submits;

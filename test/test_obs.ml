@@ -320,6 +320,307 @@ let prop_disabled_tracing_emits_zero =
       record_random_tree seed;
       Tracer.events () = [] && Tracer.dropped () = 0)
 
+(* --- trace context --- *)
+
+module Context = Ssg_obs.Context
+module Stitch = Ssg_obs.Stitch
+
+let gen_ctx =
+  QCheck2.Gen.(
+    map3
+      (fun hi lo sp ->
+        (* An all-zero trace id is invalid by construction. *)
+        let hi, lo = if Int64.logor hi lo = 0L then (1L, 0L) else (hi, lo) in
+        { Context.trace_hi = hi; trace_lo = lo; span_id = sp;
+          parent_span_id = 77L })
+      int64 int64 int64)
+
+let same_identity (c : Context.t) (d : Context.t) =
+  d.Context.trace_hi = c.Context.trace_hi
+  && d.Context.trace_lo = c.Context.trace_lo
+  && d.Context.span_id = c.Context.span_id
+  && d.Context.parent_span_id = 0L
+
+let prop_context_text_roundtrip =
+  QCheck2.Test.make ~count:200
+    ~name:"context traceparent codec round-trips" gen_ctx (fun c ->
+      let s = Context.to_string c in
+      String.length s = 55
+      && s.[2] = '-' && s.[35] = '-' && s.[52] = '-'
+      && match Context.of_string s with
+         | None -> false
+         | Some d -> same_identity c d)
+
+let prop_context_wire_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"context wire codec round-trips" gen_ctx
+    (fun c ->
+      let w = Context.to_wire c in
+      String.length w = Context.wire_len
+      && match Context.of_wire w with
+         | None -> false
+         | Some d -> same_identity c d)
+
+let test_context_ids_and_rejects () =
+  Context.seed 42;
+  let a = Context.root () in
+  let b = Context.child a in
+  check "child keeps the trace id" true
+    (a.Context.trace_hi = b.Context.trace_hi
+    && a.Context.trace_lo = b.Context.trace_lo);
+  check "child's parent is the minting span" true
+    (b.Context.parent_span_id = a.Context.span_id);
+  check "child mints a fresh span id" false
+    (b.Context.span_id = a.Context.span_id);
+  check "root has no parent" true (a.Context.parent_span_id = 0L);
+  Context.seed 42;
+  check "seeded id stream is deterministic" true
+    (Context.equal a (Context.root ()));
+  List.iter
+    (fun s ->
+      check (Printf.sprintf "of_string rejects %S" s) true
+        (Context.of_string s = None))
+    [
+      "";
+      "not a traceparent";
+      String.make 55 'x';
+      (* all-zero trace id *)
+      "00-00000000000000000000000000000000-00000000000000ab-01";
+      (* wrong separators *)
+      "00_0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331_01";
+      (* truncated *)
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333";
+    ];
+  check "of_wire rejects wrong length" true
+    (Context.of_wire "short" = None);
+  check "of_wire rejects a zero trace id" true
+    (Context.of_wire (String.make Context.wire_len '\000') = None)
+
+(* --- fleet stitching --- *)
+
+let ev ?(domain = 0) ?(args = []) kind name ts_us =
+  { Tracer.kind; name; domain; ts_us; args }
+
+let ids ~span ~parent =
+  [
+    ("trace_id", Tracer.Str (String.make 32 'a'));
+    ("span_id", Tracer.Str span);
+    ("parent_span_id", Tracer.Str parent);
+  ]
+
+let test_stitch_links_metadata_and_clock () =
+  let r_gw =
+    {
+      Tracer.role = "gateway";
+      pid = 1111;
+      epoch_s = 500.;
+      dropped_events = 0;
+      events =
+        [
+          ev Tracer.Begin "gateway.request" 0.
+            ~args:(ids ~span:"00000000000000aa" ~parent:"0000000000000000");
+          ev Tracer.End "gateway.request" 100.;
+        ];
+    }
+  in
+  let r_wk =
+    {
+      Tracer.role = "worker";
+      pid = 2222;
+      epoch_s = 502.;
+      dropped_events = 0;
+      events =
+        [
+          ev Tracer.Begin "engine.execute" 10.
+            ~args:(ids ~span:"00000000000000bb" ~parent:"00000000000000aa");
+          ev Tracer.End "engine.execute" 60.;
+        ];
+    }
+  in
+  let json = Stitch.chrome_of_reports [ r_gw; r_wk ] in
+  check "stitched doc is well-formed JSON" true (Export.json_wellformed json);
+  check "gateway process metadata present" true
+    (is_infix ~affix:"gateway (pid 1111)" json);
+  check "worker process metadata present" true
+    (is_infix ~affix:"worker (pid 2222)" json);
+  (* The worker's epoch is 2 s after the fleet zero: its 10 µs event
+     must land at 2000010 µs on the stitched clock. *)
+  check "clock-aligned worker timestamp" true (is_infix ~affix:"2000010" json);
+  match Stitch.audit_string json with
+  | Error msg -> Alcotest.failf "audit rejected the stitched doc: %s" msg
+  | Ok { Stitch.events; processes; links; truncated_ends; open_spans } ->
+      (* 4 span events + the cross-process flow pair (s/f). *)
+      check_int "span + flow events audited" 6 events;
+      check_int "two processes" 2 processes;
+      check_int "no truncated ends on a clean doc" 0 truncated_ends;
+      check_int "no in-flight spans on a clean doc" 0 open_spans;
+      (match links with
+      | [ l ] ->
+          check "link parent is the gateway span" true
+            (l.Stitch.parent_name = "gateway.request"
+            && l.Stitch.child_name = "engine.execute"
+            && l.Stitch.parent_pid <> l.Stitch.child_pid)
+      | ls -> Alcotest.failf "expected 1 cross-process link, got %d"
+                (List.length ls))
+
+let test_stitch_legacy_report_unshifted () =
+  (* epoch_s = 0 marks a pre-context peer's anchor-less report: its
+     timestamps must pass through unshifted, and a same-process parent
+     link must NOT become a flow event. *)
+  let legacy =
+    {
+      Tracer.role = "worker";
+      pid = 0;
+      epoch_s = 0.;
+      dropped_events = 0;
+      events =
+        [
+          ev Tracer.Begin "a" 5.
+            ~args:(ids ~span:"00000000000000aa" ~parent:"0000000000000000");
+          ev Tracer.Begin "b" 6.
+            ~args:(ids ~span:"00000000000000bb" ~parent:"00000000000000aa");
+          ev Tracer.End "b" 7.;
+          ev Tracer.End "a" 8.;
+        ];
+    }
+  in
+  let anchored =
+    {
+      Tracer.role = "router";
+      pid = 9;
+      epoch_s = 400.;
+      dropped_events = 0;
+      events = [ ev Tracer.Begin "r" 1.; ev Tracer.End "r" 2. ];
+    }
+  in
+  let json = Stitch.chrome_of_reports [ anchored; legacy ] in
+  (match Stitch.audit_string json with
+  | Error msg -> Alcotest.failf "audit rejected: %s" msg
+  | Ok { Stitch.links; _ } ->
+      check_int "same-process parents produce no cross-process links" 0
+        (List.length links);
+      check "legacy timestamps unshifted" true (is_infix ~affix:"\"ts\":5" json));
+  (* A busy-fleet shape: an end whose begin was evicted by the ring
+     buffer, and a span still open at pull time.  Counted, not
+     rejected. *)
+  let busy =
+    {
+      Tracer.role = "worker";
+      pid = 1;
+      epoch_s = 0.;
+      dropped_events = 3;
+      events = [ ev Tracer.End "evicted" 1.; ev Tracer.Begin "inflight" 2. ];
+    }
+  in
+  match Stitch.audit_string (Stitch.chrome_of_reports [ busy ]) with
+  | Error msg -> Alcotest.failf "audit rejected the busy doc: %s" msg
+  | Ok a ->
+      check_int "truncated end counted" 1 a.Stitch.truncated_ends;
+      check_int "in-flight span counted" 1 a.Stitch.open_spans
+
+let test_report_json_roundtrip () =
+  let r =
+    {
+      Tracer.role = "worker";
+      pid = 7;
+      epoch_s = 123.5;
+      dropped_events = 3;
+      events =
+        [
+          ev Tracer.Begin "s" 1.5
+            ~args:
+              [ ("a", Tracer.Int 1); ("b", Tracer.Str "x\"y");
+                ("c", Tracer.Float 2.5) ];
+          ev Tracer.End "s" 2.;
+          ev Tracer.Instant "i" 3. ~domain:2;
+        ];
+    }
+  in
+  let rendered = Export.json_to_string (Stitch.report_to_json r) in
+  check "report JSON well-formed" true (Export.json_wellformed rendered);
+  match
+    Option.bind (Export.json_of_string rendered) Stitch.report_of_json
+  with
+  | None -> Alcotest.fail "report did not round-trip"
+  | Some r' ->
+      check "role survives" true (r'.Tracer.role = "worker");
+      check_int "pid survives" 7 r'.Tracer.pid;
+      check "epoch survives" true (r'.Tracer.epoch_s = 123.5);
+      check_int "drop counter survives" 3 r'.Tracer.dropped_events;
+      check_int "events survive" 3 (List.length r'.Tracer.events);
+      let b = List.hd r'.Tracer.events in
+      check "kind survives" true (b.Tracer.kind = Tracer.Begin);
+      check "args survive" true
+        (List.assoc "b" b.Tracer.args = Tracer.Str "x\"y"
+        && List.assoc "c" b.Tracer.args = Tracer.Float 2.5)
+
+(* --- remote-parent spans --- *)
+
+let test_span_ctx_identity_args () =
+  with_tracing (fun () ->
+      Context.seed 7;
+      let remote = Context.root () in
+      let child =
+        Tracer.with_span_ctx ~ctx:remote "hop" (fun c ->
+            Tracer.instant "inside";
+            c)
+      in
+      check "returned child parents under the remote span" true
+        (child.Context.parent_span_id = remote.Context.span_id);
+      match Tracer.events () with
+      | [ b; _inside; e ] ->
+          check "begin carries the trace id" true
+            (List.assoc "trace_id" b.Tracer.args
+            = Tracer.Str (Context.trace_id_hex remote));
+          check "begin carries the child span id" true
+            (List.assoc "span_id" b.Tracer.args
+            = Tracer.Str (Context.span_id_hex child));
+          check "begin carries the remote parent" true
+            (List.assoc "parent_span_id" b.Tracer.args
+            = Tracer.Str (Context.span_id_hex remote));
+          check "balanced" true
+            (b.Tracer.kind = Tracer.Begin && e.Tracer.kind = Tracer.End)
+      | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs))
+
+(* --- hop histograms + trace drop counter exposition --- *)
+
+let test_hop_histograms_and_dropped_counter () =
+  Tracer.reset ();
+  let t = Ssg_engine.Telemetry.create () in
+  Ssg_engine.Telemetry.record_submitted t;
+  Ssg_engine.Telemetry.record_completed t ~latency_ms:5. ~queue_ms:2.
+    ~exec_ms:3.;
+  let s =
+    Ssg_engine.Telemetry.snapshot t ~workers:1 ~queue_depth:0
+      ~queue_capacity:4 ~cache_entries:0
+  in
+  let prom = Ssg_engine.Telemetry.prometheus t s in
+  check "queue hop histogram conformant" true
+    (is_infix ~affix:"# TYPE ssg_hop_queue_wait_ms histogram" prom
+    && is_infix ~affix:"ssg_hop_queue_wait_ms_bucket{le=" prom
+    && is_infix ~affix:"ssg_hop_queue_wait_ms_bucket{le=\"+Inf\"} 1" prom
+    && is_infix ~affix:"ssg_hop_queue_wait_ms_sum 2" prom
+    && is_infix ~affix:"ssg_hop_queue_wait_ms_count 1" prom);
+  check "exec hop histogram conformant" true
+    (is_infix ~affix:"ssg_hop_exec_ms_bucket{le=\"+Inf\"} 1" prom
+    && is_infix ~affix:"ssg_hop_exec_ms_sum 3" prom
+    && is_infix ~affix:"ssg_hop_exec_ms_count 1" prom);
+  check "trace drop counter exposed (at zero)" true
+    (is_infix ~affix:"# TYPE ssg_trace_dropped_total counter" prom
+    && is_infix ~affix:"ssg_trace_dropped_total 0" prom);
+  (* The forwarding processes' hops register into their own
+     registries. *)
+  let reg = Metrics.create () in
+  let gw = Ssg_engine.Telemetry.hop_gateway_router reg in
+  let rt = Ssg_engine.Telemetry.hop_router_worker reg in
+  Metrics.observe gw 1.5;
+  Metrics.observe rt 0.5;
+  let text = Metrics.to_prometheus reg in
+  check "gateway hop series" true
+    (is_infix ~affix:"ssg_hop_gateway_router_ms_bucket{le=" text
+    && is_infix ~affix:"ssg_hop_gateway_router_ms_count 1" text);
+  check "router hop series" true
+    (is_infix ~affix:"ssg_hop_router_worker_ms_count 1" text)
+
 (* --- end to end: pull a trace and metrics from a live ssgd --- *)
 
 let test_trace_pull_from_live_daemon () =
@@ -401,6 +702,20 @@ let tests =
       test_json_wellformed_rejects_garbage;
     QCheck_alcotest.to_alcotest prop_chrome_export_wellformed_and_balanced;
     QCheck_alcotest.to_alcotest prop_disabled_tracing_emits_zero;
+    QCheck_alcotest.to_alcotest prop_context_text_roundtrip;
+    QCheck_alcotest.to_alcotest prop_context_wire_roundtrip;
+    Alcotest.test_case "context ids, children and rejects" `Quick
+      test_context_ids_and_rejects;
+    Alcotest.test_case "stitch: links, metadata, clock alignment" `Quick
+      test_stitch_links_metadata_and_clock;
+    Alcotest.test_case "stitch: legacy reports stay unshifted" `Quick
+      test_stitch_legacy_report_unshifted;
+    Alcotest.test_case "tracer report JSON round-trips" `Quick
+      test_report_json_roundtrip;
+    Alcotest.test_case "remote-parent spans carry identity args" `Quick
+      test_span_ctx_identity_args;
+    Alcotest.test_case "hop histograms + trace drop counter" `Quick
+      test_hop_histograms_and_dropped_counter;
     Alcotest.test_case "trace + metrics pull from live ssgd" `Quick
       test_trace_pull_from_live_daemon;
   ]
