@@ -51,11 +51,20 @@
       gated <= 2% when SSG_OBS_GATE=1.  Prints a JSON summary line
       (what bench/baselines/BENCH_B17.json stores).
 
-   9. The experiment tables F1, E1..E11, A1 — one per figure/claim of the
-      paper (see DESIGN.md's index and EXPERIMENTS.md for discussion).
+   9. B18 — warm boot vs cold boot: a working set computed once into a
+      lib/store journal, then the wall-clock from boot to serving 90%
+      of that set measured for a cold engine (empty cache, recomputes)
+      versus a warm one (Store.open_ + replay folded into the timed
+      region, serves hits immediately); gated warm <= half of cold when
+      SSG_STORE_GATE=1.  Prints a JSON summary line (what
+      bench/baselines/BENCH_B18.json stores).
+
+   10. The experiment tables F1, E1..E11, A1 — one per figure/claim of
+      the paper (see DESIGN.md's index and EXPERIMENTS.md for
+      discussion).
 
    Scale: set SSG_BENCH_SCALE=quick|standard|full (default standard).
-   Set SSG_BENCH_ONLY=B9|B12|B13|B14|B15|B16|B17 to run a single
+   Set SSG_BENCH_ONLY=B9|B12|B13|B14|B15|B16|B17|B18 to run a single
    wall-clock section.
    Set SSG_BENCH_CSV_DIR=<dir> to additionally write each experiment's
    table as <dir>/<id>.csv for external plotting. *)
@@ -1194,6 +1203,129 @@ let run_lint_bench scale =
         workers;
   print_newline ()
 
+(* ---------------- B18: warm boot vs cold boot ---------------- *)
+
+(* The store's claim: restarting over a persisted journal returns a
+   worker to its cache hit rate in the time it takes to re-read the
+   journal, not to re-run the simulations.  A seeding life computes a
+   working set of all-distinct jobs with a store attached; the timed
+   legs then measure the wall-clock from boot to the moment 90% of the
+   working set has been served — the cold engine (empty cache, no
+   store) recomputes its way there, the warm one (Store.open_ + LRU
+   replay folded into the timed region) serves hits from the first
+   request.
+
+   Gate (SSG_STORE_GATE=1): warm time-to-90% <= half the cold one.
+   Cold work is simulation on worker domains and warm work is a journal
+   read plus cache lookups, so the gate holds on any host. *)
+let run_store_bench scale =
+  let total, n =
+    match scale with
+    | `Quick -> (48, 10)
+    | `Standard -> (96, 12)
+    | `Full -> (192, 14)
+  in
+  let job i =
+    Ssg_engine.Job.make ~k:2
+      (Build.block_sources (Rng.of_int (18000 + i)) ~n ~k:2 ~prefix_len:2 ())
+  in
+  let batch = List.init total job in
+  let workers = max 2 (Parallel.default_domains ()) in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ssg-bench-b18-%d" (Unix.getpid ()))
+  in
+  let clean () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  clean ();
+  (* Seeding life: compute the working set once, journaled. *)
+  let store = Ssg_store.Store.open_ ~dir () in
+  let engine = Ssg_engine.Engine.create ~workers ~store () in
+  let seeded = Ssg_engine.Engine.run_batch engine batch in
+  assert (
+    List.for_all (fun c -> Result.is_ok c.Ssg_engine.Job.result) seeded);
+  Ssg_engine.Engine.shutdown engine;
+  let target = (total * 9 + 9) / 10 in
+  (* Boot under the clock, stream the working set, stop the clock when
+     [target] jobs have been answered. *)
+  let time_to_target boot =
+    let t0 = Unix.gettimeofday () in
+    let engine = boot () in
+    let tickets = Ssg_engine.Engine.submit_batch engine batch in
+    let served = ref 0 and t_target = ref Float.nan and hits = ref 0 in
+    List.iter
+      (fun ticket ->
+        let c = Ssg_engine.Engine.await engine ticket in
+        assert (Result.is_ok c.Ssg_engine.Job.result);
+        if c.Ssg_engine.Job.cached then incr hits;
+        incr served;
+        if !served = target then t_target := Unix.gettimeofday () -. t0)
+      tickets;
+    Ssg_engine.Engine.shutdown engine;
+    (!t_target, float_of_int !hits /. float_of_int total)
+  in
+  let cold_s, cold_hit_rate =
+    time_to_target (fun () -> Ssg_engine.Engine.create ~workers ())
+  in
+  let replayed = ref 0 in
+  let warm_s, warm_hit_rate =
+    time_to_target (fun () ->
+        let store = Ssg_store.Store.open_ ~dir () in
+        replayed := Ssg_store.Store.replayed_records store;
+        Ssg_engine.Engine.create ~workers ~store ())
+  in
+  (* The warm boot must actually have been warm, or the comparison is
+     meaningless. *)
+  assert (!replayed >= total);
+  assert (warm_hit_rate >= 0.9);
+  let speedup = cold_s /. Stdlib.max warm_s 1e-9 in
+  Printf.printf
+    "== B18: warm boot vs cold boot (%d-job working set, n=%d, %d worker \
+     domain(s), %d journaled record(s)) ==\n\n"
+    total n workers !replayed;
+  let table =
+    Table.create [ "boot"; "time to 90% served"; "hit rate"; "scaling" ]
+  in
+  Table.add_row table
+    [
+      "cold (empty cache, recompute)";
+      Printf.sprintf "%.1f ms" (1000. *. cold_s);
+      Printf.sprintf "%.0f%%" (100. *. cold_hit_rate);
+      "1.00x";
+    ];
+  Table.add_row table
+    [
+      "warm (journal replay)";
+      Printf.sprintf "%.1f ms" (1000. *. warm_s);
+      Printf.sprintf "%.0f%%" (100. *. warm_hit_rate);
+      Printf.sprintf "%.2fx" speedup;
+    ];
+  Table.print table;
+  Printf.printf
+    "\n\
+    \  {\"bench\":\"B18\",\"jobs\":%d,\"n\":%d,\"workers\":%d,\"replayed\":%d,\"cold_s\":%.4f,\"warm_s\":%.4f,\"cold_hit_rate\":%.3f,\"warm_hit_rate\":%.3f,\"speedup\":%.3f}\n"
+    total n workers !replayed cold_s warm_s cold_hit_rate warm_hit_rate
+    speedup;
+  if Sys.getenv_opt "SSG_STORE_GATE" = Some "1" then
+    if speedup < 2. then begin
+      Printf.printf
+        "  GATE FAILED: warm boot %.2fx < 2x faster than cold to 90%% served\n"
+        speedup;
+      exit 1
+    end
+    else
+      Printf.printf "  gate: warm boot >= 2x faster to 90%% served (OK, %.2fx)\n"
+        speedup;
+  clean ();
+  print_newline ()
+
 (* ---------------- main ---------------- *)
 
 let () =
@@ -1229,10 +1361,13 @@ let () =
   | Some "B17" ->
       run_ctx_bench scale;
       exit 0
+  | Some "B18" ->
+      run_store_bench scale;
+      exit 0
   | Some other ->
       Printf.eprintf
         "SSG_BENCH_ONLY=%s not recognized (B9 | B12 | B13 | B14 | B15 | B16 | \
-         B17)\n"
+         B17 | B18)\n"
         other;
       exit 2
   | None -> ());
@@ -1247,6 +1382,7 @@ let () =
   run_ctx_bench scale;
   run_sweep_bench scale;
   run_lint_bench scale;
+  run_store_bench scale;
   let csv_dir = Sys.getenv_opt "SSG_BENCH_CSV_DIR" in
   (match csv_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755

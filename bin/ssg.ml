@@ -559,7 +559,7 @@ let serve_cmd =
   in
   let chaos_arg =
     let doc =
-      "Fault-injection plan (chaos mode): comma-separated        crash:N | slow:N | slow:N@MS | corrupt:N | truncate:N |        blackhole:N — every N-th job execution crashes / sleeps MS        milliseconds, every N-th reply frame is corrupted / truncated /        silently swallowed (a simulated partition).  'off' disables."
+      "Fault-injection plan (chaos mode): comma-separated        crash:N | slow:N | slow:N@MS | corrupt:N | truncate:N |        blackhole:N | torn-write:N — every N-th job execution crashes /        sleeps MS milliseconds, every N-th reply frame is corrupted /        truncated / silently swallowed (a simulated partition), every        N-th journal append is torn mid-record.  'off' disables."
     in
     Arg.(value & opt string "off" & info [ "chaos" ] ~docv:"PLAN" ~doc)
   in
@@ -569,21 +569,54 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "trace" ] ~doc)
   in
+  let persist_arg =
+    let doc =
+      "Directory of the durable result store.  The cache is pre-warmed        from it at boot (warm boot) and every fresh outcome is journaled;        a torn tail from a crashed writer is recovered to the longest        valid prefix and truncated."
+    in
+    Arg.(value & opt (some string) None & info [ "persist" ] ~docv:"DIR" ~doc)
+  in
+  let fsync_arg =
+    let doc =
+      "Journal fsync policy: $(b,always), $(b,never), or $(b,group:N)        (group commit — one fsync per N records)."
+    in
+    Arg.(value & opt string "group:8" & info [ "fsync" ] ~docv:"POLICY" ~doc)
+  in
+  let compact_bytes_arg =
+    let doc =
+      "Journal size in bytes beyond which the store compacts (snapshots        the live cache and truncates the journal)."
+    in
+    Arg.(
+      value
+      & opt int (4 * 1024 * 1024)
+      & info [ "compact-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let announce_arg =
+    let doc =
+      "Router address ($(b,ssg route)'s socket) to announce this worker        to once it is listening: the router admits it into the hash ring        and streams it the hot keys it now owns (warm handoff).  A        best-effort Leave is sent at shutdown."
+    in
+    Arg.(
+      value & opt (some addr_conv) None & info [ "announce" ] ~docv:"ADDR" ~doc)
+  in
   let action verbose socket workers queue_cap cache_cap max_connections
-      max_inflight read_timeout drain_timeout chaos trace =
+      max_inflight read_timeout drain_timeout chaos trace persist fsync
+      compact_bytes announce =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.App));
     match Ssg_engine.Faults.of_spec chaos with
     | Error msg -> `Error (false, "--chaos: " ^ msg)
-    | Ok faults ->
-        Ssg_engine.Server.serve ?workers ~queue_capacity:queue_cap
-          ~cache_capacity:cache_cap ~max_connections ~max_inflight
-          ~read_timeout_s:read_timeout ~drain_timeout_s:drain_timeout ~faults
-          ~trace ~socket ();
-        `Ok ()
+    | Ok faults -> (
+        match Ssg_store.Store.sync_of_string fsync with
+        | Error msg -> `Error (false, "--fsync: " ^ msg)
+        | Ok persist_sync ->
+            Ssg_engine.Server.serve ?workers ~queue_capacity:queue_cap
+              ~cache_capacity:cache_cap ~max_connections ~max_inflight
+              ~read_timeout_s:read_timeout ~drain_timeout_s:drain_timeout
+              ~faults ~trace ?persist ~persist_sync
+              ~persist_compact_bytes:compact_bytes ?announce ~socket ();
+            `Ok ())
   in
   let doc =
-    "Run the ssgd simulation service: a persistent engine with a domain      worker pool, job dedup and an LRU result cache, served over a      Unix-domain or TCP socket.  Blocks until a client sends shutdown."
+    "Run the ssgd simulation service: a persistent engine with a domain      worker pool, job dedup and an LRU result cache, served over a      Unix-domain or TCP socket.  Blocks until a client sends shutdown.      With $(b,--persist) the cache survives restarts (journal +      snapshot, crash-safe); with $(b,--announce) the worker joins a      router's hash ring at boot instead of being pre-listed."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
@@ -591,17 +624,15 @@ let serve_cmd =
       ret
         (const action $ verbose_arg $ socket_arg $ workers_arg $ queue_arg
         $ cache_arg $ max_conn_arg $ max_inflight_arg $ read_timeout_arg
-        $ drain_timeout_arg $ chaos_arg $ trace_arg))
+        $ drain_timeout_arg $ chaos_arg $ trace_arg $ persist_arg $ fsync_arg
+        $ compact_bytes_arg $ announce_arg))
 
 let route_cmd =
   let backend_arg =
     let doc =
-      "Address of one backend ssgd worker — $(b,unix:PATH),        $(b,tcp:HOST:PORT), or a bare path (repeatable).  Jobs are        placed on backends by consistent hashing of their cache key, so        each worker keeps its cache hit rate."
+      "Address of one backend ssgd worker — $(b,unix:PATH),        $(b,tcp:HOST:PORT), or a bare path (repeatable).  Jobs are        placed on backends by consistent hashing of their cache key, so        each worker keeps its cache hit rate.  May be omitted entirely:        workers started with $(b,--announce) join the ring at runtime."
     in
-    Arg.(
-      non_empty
-      & opt_all addr_conv []
-      & info [ "backend"; "b" ] ~docv:"ADDR" ~doc)
+    Arg.(value & opt_all addr_conv [] & info [ "backend"; "b" ] ~docv:"ADDR" ~doc)
   in
   let vnodes_arg =
     let doc = "Virtual nodes per backend on the hash ring." in
@@ -1111,6 +1142,20 @@ let shutdown_cmd =
   let doc = "Gracefully stop a running ssgd service." in
   Cmd.v (Cmd.info "shutdown" ~doc) Term.(const action $ socket_arg)
 
+let compact_cmd =
+  let action socket =
+    let c = Ssg_engine.Client.connect ~socket () in
+    Fun.protect
+      ~finally:(fun () -> Ssg_engine.Client.close c)
+      (fun () ->
+        let n = Ssg_engine.Client.compact c in
+        Printf.printf "compacted: %d record(s) in the new snapshot\n" n)
+  in
+  let doc =
+    "Roll the durable store's generation: snapshot the live cache,      truncate the journal.  Against a router, fans out to every up      worker and prints the summed snapshot size; against a worker      without $(b,--persist), prints 0."
+  in
+  Cmd.v (Cmd.info "compact" ~doc) Term.(const action $ socket_arg)
+
 (* ------------------------------------------------------------------ *)
 (* gateway / loadgen                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -1619,6 +1664,6 @@ let () =
           [
             run_cmd; figure1_cmd; experiment_cmd; check_cmd; dot_cmd;
             timing_cmd; shrink_cmd; lint_cmd; serve_cmd; route_cmd;
-            submit_cmd; stats_cmd; trace_cmd; shutdown_cmd; gateway_cmd;
-            loadgen_cmd; sweep_cmd;
+            submit_cmd; stats_cmd; trace_cmd; shutdown_cmd; compact_cmd;
+            gateway_cmd; loadgen_cmd; sweep_cmd;
           ]))

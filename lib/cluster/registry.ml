@@ -11,8 +11,8 @@ type t = {
   probe_interval_s : float;
   probe_timeout_s : float;
   on_transition : string -> bool -> unit;
-  addrs : string array;  (* sorted, distinct *)
-  states : health array;
+  mutable addrs : string array;  (* sorted, distinct *)
+  mutable states : health array;  (* parallel to [addrs] *)
   mutable ring : Ring.t;
   mutable generation : int;
   stop_flag : bool Atomic.t;
@@ -22,7 +22,8 @@ type t = {
 let create ?(vnodes = Ring.default_vnodes) ?(down_after = 3)
     ?(probe_interval_s = 1.0) ?(probe_timeout_s = 1.0)
     ?(on_transition = fun _ _ -> ()) backends =
-  if backends = [] then invalid_arg "Registry.create: no backends";
+  (* An empty backend list is legal since elastic membership: the
+     router starts with nobody and waits for [Join] announcements. *)
   if down_after < 1 then
     invalid_arg "Registry.create: down_after must be >= 1";
   if probe_interval_s <= 0. then
@@ -67,8 +68,11 @@ let rebuild_unlocked t =
   t.ring <- Ring.create ~vnodes:t.vnodes (up_unlocked t);
   t.generation <- t.generation + 1
 
-let backends t = Array.to_list t.addrs
-let health t = locked t (fun () -> Array.to_list t.states) |> List.combine (backends t)
+let backends t = locked t (fun () -> Array.to_list t.addrs)
+
+let health t =
+  locked t (fun () ->
+      List.combine (Array.to_list t.addrs) (Array.to_list t.states))
 
 let up t = locked t (fun () -> up_unlocked t)
 
@@ -133,6 +137,62 @@ let record t addr ok =
 let mark_failure t addr = record t addr false
 let mark_success t addr = record t addr true
 
+(* Elastic membership: admit or retire a member at runtime.  Both
+   return whether the up-set changed (and hence the ring was rebuilt),
+   so the router knows when a warm handoff is due. *)
+
+let add_member t addr =
+  let changed =
+    locked t (fun () ->
+        match index t addr with
+        | Some i ->
+            (* Re-joining a known member is a health report: a down
+               backend announcing itself is back. *)
+            if is_up_state t.states.(i) then false
+            else begin
+              t.states.(i) <- Up;
+              rebuild_unlocked t;
+              true
+            end
+        | None ->
+            (* Splice the newcomer in while keeping every existing
+               member's health untouched. *)
+            let old =
+              List.combine (Array.to_list t.addrs) (Array.to_list t.states)
+            in
+            let merged =
+              List.sort
+                (fun (a, _) (b, _) -> String.compare a b)
+                ((addr, Up) :: old)
+            in
+            t.addrs <- Array.of_list (List.map fst merged);
+            t.states <- Array.of_list (List.map snd merged);
+            rebuild_unlocked t;
+            true)
+  in
+  if changed then Log.info (fun m -> m "member %s joined" addr);
+  changed
+
+let remove_member t addr =
+  let changed =
+    locked t (fun () ->
+        match index t addr with
+        | None -> false
+        | Some i ->
+            let was_up = is_up_state t.states.(i) in
+            let n = Array.length t.addrs in
+            t.addrs <-
+              Array.init (n - 1) (fun j ->
+                  if j < i then t.addrs.(j) else t.addrs.(j + 1));
+            t.states <-
+              Array.init (n - 1) (fun j ->
+                  if j < i then t.states.(j) else t.states.(j + 1));
+            rebuild_unlocked t;
+            was_up)
+  in
+  if changed then Log.info (fun m -> m "member %s left" addr);
+  changed
+
 let probe t addr =
   let ok =
     match
@@ -160,11 +220,14 @@ let start t =
             (Thread.create
                (fun () ->
                  while not (Atomic.get t.stop_flag) do
+                   (* Snapshot the member list: Join/Leave may replace
+                      the arrays mid-round. *)
+                   let addrs = locked t (fun () -> Array.copy t.addrs) in
                    Array.iter
                      (fun addr ->
                        if not (Atomic.get t.stop_flag) then
                          ignore (probe t addr))
-                     t.addrs;
+                     addrs;
                    (* Sleep in short slices so [stop] is prompt. *)
                    let slept = ref 0. in
                    while

@@ -27,12 +27,14 @@ type health =
 type t
 
 (** [create backends] — [backends] are socket addresses, deduplicated;
-    all start [Up].  [on_transition addr up] (default: nothing) fires
-    under no lock whenever a backend crosses the up/down edge — the
-    router hangs its mark-down/re-admission counters and log lines on
-    it.
-    @raise Invalid_argument on an empty backend list, [vnodes < 1],
-    [down_after < 1], or non-positive intervals. *)
+    all start [Up].  An {e empty} list is legal since elastic
+    membership: the router starts memberless and admits workers as
+    their [Join] announcements arrive ({!add_member}).
+    [on_transition addr up] (default: nothing) fires under no lock
+    whenever a backend crosses the up/down edge — the router hangs its
+    mark-down/re-admission counters and log lines on it.
+    @raise Invalid_argument on [vnodes < 1], [down_after < 1], or
+    non-positive intervals. *)
 val create :
   ?vnodes:int ->
   ?down_after:int ->
@@ -65,6 +67,21 @@ val generation : t -> int
 
 val mark_failure : t -> string -> unit
 val mark_success : t -> string -> unit
+
+(** Elastic membership.  Both return whether the up-set changed (the
+    ring was rebuilt and the generation bumped) — the router's cue to
+    run a warm handoff. *)
+
+(** [add_member t addr] admits a new member as [Up] (keeping every
+    existing member's health), or re-admits a known-down one; [false]
+    when [addr] was already an up member. *)
+val add_member : t -> string -> bool
+
+(** [remove_member t addr] retires a member entirely — out of the ring
+    {e and} out of the probe rotation (unlike mark-down, which keeps
+    probing for recovery).  [false] if unknown; also [false] when the
+    member was already down (the up-set did not change). *)
+val remove_member : t -> string -> bool
 
 (** [probe t addr] — one synchronous health probe: connect (no
     retries), exchange [Stats], feed the verdict into

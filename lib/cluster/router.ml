@@ -7,29 +7,68 @@ module Transport = Ssg_net.Transport
 module Frame = Ssg_net.Frame
 open Ssg_engine
 
+(* Per-shard metric slot.  Members come and go at runtime (Join/Leave),
+   so slots live in a table keyed by canonical address; each gets a
+   stable, monotonically assigned index for its metric names.  A slot
+   is never unregistered — a departed member's counters keep their last
+   value in the exposition, which is how Prometheus expects counters to
+   behave across membership churn. *)
+type shard = {
+  idx : int;
+  s_routed : Metrics.counter;
+  s_up : Metrics.gauge;
+  s_reporting : Metrics.gauge;
+}
+
 type t = {
   registry : Registry.t;
   request_timeout_s : float;
-  backends : string array;  (* Registry.backends order: sorted *)
   metrics : Metrics.t;
   routed : Metrics.counter;
   failovers : Metrics.counter;
   exhausted : Metrics.counter;
   markdowns : Metrics.counter;
   readmissions : Metrics.counter;
-  shard_routed : Metrics.counter array;
-  shard_up : Metrics.gauge array;
-  shard_reporting : Metrics.gauge array;
+  joins : Metrics.counter;
+  leaves : Metrics.counter;
+  handoff_keys : Metrics.counter;
+  shard_lock : Mutex.t;
+  shards : (string, shard) Hashtbl.t;
+  mutable next_shard : int;
+  mutable self_addr : string option;  (* set once serving, for Join guard *)
   hop_worker : Metrics.histogram;  (* router→worker exchange latency *)
 }
 
-let shard_index t addr =
-  let rec go i =
-    if i >= Array.length t.backends then None
-    else if String.equal t.backends.(i) addr then Some i
-    else go (i + 1)
-  in
-  go 0
+let shard_for t addr =
+  Mutex.lock t.shard_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.shard_lock)
+    (fun () ->
+      match Hashtbl.find_opt t.shards addr with
+      | Some s -> s
+      | None ->
+          let i = t.next_shard in
+          t.next_shard <- i + 1;
+          let s =
+            {
+              idx = i;
+              s_routed =
+                Metrics.counter t.metrics ~help:"Jobs routed to this shard"
+                  (Printf.sprintf "ssg_router_shard%d_routed_total" i);
+              s_up =
+                Metrics.gauge t.metrics
+                  ~help:"1 when this shard is in the ring"
+                  (Printf.sprintf "ssg_router_shard%d_up" i);
+              s_reporting =
+                Metrics.gauge t.metrics
+                  ~help:"1 when this shard answered the last stats fan-out"
+                  (Printf.sprintf "ssg_router_shard%d_reporting" i);
+            }
+          in
+          Hashtbl.add t.shards addr s;
+          s)
+
+let backends t = Registry.backends t.registry
 
 (* One forwarded exchange: fresh connection (Unix-domain connects are
    cheap and a per-request descriptor keeps failover semantics exact —
@@ -57,9 +96,7 @@ let forward ?ctx t addr request =
 let record_routed t addr =
   Registry.mark_success t.registry addr;
   Metrics.incr t.routed;
-  match shard_index t addr with
-  | Some i -> Metrics.incr t.shard_routed.(i)
-  | None -> ()
+  Metrics.incr (shard_for t addr).s_routed
 
 (* Route one job to its ring owner, failing over along the successor
    list.  A protocol [Error] reply is relayed without failover: it is
@@ -159,9 +196,7 @@ let route_batch ?ctx t jobs =
         ->
           Registry.mark_success t.registry owner;
           Metrics.add t.routed (List.length indices);
-          (match shard_index t owner with
-          | Some s -> Metrics.add t.shard_routed.(s) (List.length indices)
-          | None -> ());
+          Metrics.add (shard_for t owner).s_routed (List.length indices);
           List.iter2 (fun i c -> results.(i) <- c) indices cs
       | _ | (exception _) ->
           Registry.mark_failure t.registry owner;
@@ -180,7 +215,7 @@ let route_batch ?ctx t jobs =
    healed backend that the prober has not revisited yet still reports,
    and the success re-admits it). *)
 let fan_stats t =
-  Array.to_list t.backends
+  backends t
   |> List.filter_map (fun addr ->
          match forward t addr Protocol.Stats with
          | Protocol.Stats_snapshot s ->
@@ -221,7 +256,7 @@ let fleet_reports t =
     | exception _ -> []
   in
   let backend_reports =
-    Array.to_list t.backends
+    backends t
     |> List.concat_map (fun addr ->
            match forward t addr Protocol.Trace_pull with
            | Protocol.Trace_reports reports -> reports
@@ -234,23 +269,27 @@ let fleet_reports t =
    counters), shard index -> address mapping as comments, then the
    merged backend snapshot under ssg_cluster_*. *)
 let metrics_text t =
+  let members = backends t in
   let reports = fan_stats t in
   let reported addr = List.mem_assoc addr reports in
-  Array.iteri
-    (fun i addr ->
-      Metrics.set_gauge t.shard_up.(i)
+  List.iter
+    (fun addr ->
+      let shard = shard_for t addr in
+      Metrics.set_gauge shard.s_up
         (if Registry.is_up t.registry addr then 1. else 0.);
-      Metrics.set_gauge t.shard_reporting.(i) (if reported addr then 1. else 0.))
-    t.backends;
+      Metrics.set_gauge shard.s_reporting (if reported addr then 1. else 0.))
+    members;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "# ssg cluster: %d backend(s), %d up, %d reporting\n"
-       (Array.length t.backends)
+       (List.length members)
        (List.length (Registry.up t.registry))
        (List.length reports));
-  Array.iteri
-    (fun i addr -> Buffer.add_string buf (Printf.sprintf "# shard %d = %s\n" i addr))
-    t.backends;
+  List.iter
+    (fun addr ->
+      Buffer.add_string buf
+        (Printf.sprintf "# shard %d = %s\n" (shard_for t addr).idx addr))
+    members;
   Buffer.add_string buf (Metrics.to_prometheus t.metrics);
   (match reports with
   | [] -> ()
@@ -304,46 +343,149 @@ let create ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
     Registry.create ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
       ~on_transition backends
   in
-  let addrs = Array.of_list (Registry.backends registry) in
-  {
-    registry;
-    request_timeout_s;
-    backends = addrs;
-    metrics;
-    routed =
-      counter "ssg_router_jobs_routed_total"
-        "Jobs forwarded to a backend and answered";
-    failovers =
-      counter "ssg_router_failovers_total"
-        "Jobs retried on a successor shard after their owner failed";
-    exhausted =
-      counter "ssg_router_jobs_failed_total"
-        "Jobs answered with an error after every candidate shard failed";
-    markdowns;
-    readmissions;
-    shard_routed =
-      Array.mapi
-        (fun i _ ->
-          counter
-            (Printf.sprintf "ssg_router_shard%d_routed_total" i)
-            "Jobs routed to this shard")
-        addrs;
-    shard_up =
-      Array.mapi
-        (fun i _ ->
-          Metrics.gauge metrics
-            ~help:"1 when this shard is in the ring"
-            (Printf.sprintf "ssg_router_shard%d_up" i))
-        addrs;
-    shard_reporting =
-      Array.mapi
-        (fun i _ ->
-          Metrics.gauge metrics
-            ~help:"1 when this shard answered the last stats fan-out"
-            (Printf.sprintf "ssg_router_shard%d_reporting" i))
-        addrs;
-    hop_worker = Telemetry.hop_router_worker metrics;
-  }
+  let t =
+    {
+      registry;
+      request_timeout_s;
+      metrics;
+      routed =
+        counter "ssg_router_jobs_routed_total"
+          "Jobs forwarded to a backend and answered";
+      failovers =
+        counter "ssg_router_failovers_total"
+          "Jobs retried on a successor shard after their owner failed";
+      exhausted =
+        counter "ssg_router_jobs_failed_total"
+          "Jobs answered with an error after every candidate shard failed";
+      markdowns;
+      readmissions;
+      joins =
+        counter "ssg_router_joins_total"
+          "Members admitted via a Join announcement";
+      leaves =
+        counter "ssg_router_leaves_total" "Members retired via a Leave";
+      handoff_keys =
+        counter "ssg_router_handoff_keys_total"
+          "Cache entries streamed to their new owner on ring changes";
+      shard_lock = Mutex.create ();
+      shards = Hashtbl.create 8;
+      next_shard = 0;
+      self_addr = None;
+      hop_worker = Telemetry.hop_router_worker metrics;
+    }
+  in
+  (* Pre-assign shard indices in sorted order so a statically configured
+     fleet numbers its shards exactly as before elastic membership. *)
+  List.iter (fun addr -> ignore (shard_for t addr)) (Registry.backends registry);
+  t
+
+(* ---------------- elastic membership & warm handoff ---------------- *)
+
+(* Bounds for one handoff: how many hot entries a donor is asked for,
+   and how many ride in one Transfer frame. *)
+let handoff_export_limit = 1024
+let handoff_batch = 64
+
+let rec chunks n = function
+  | [] -> []
+  | l ->
+      let rec take k acc rest =
+        match rest with
+        | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+        | _ -> (List.rev acc, rest)
+      in
+      let batch, rest = take n [] l in
+      batch :: chunks n rest
+
+(* Push entries to their (new) owners, batched; returns keys landed. *)
+let push_entries t entries =
+  let by_owner = Hashtbl.create 4 in
+  let ring = Registry.ring t.registry in
+  List.iter
+    (fun ((key, _) as entry) ->
+      match Ring.owner ring key with
+      | Some owner ->
+          Hashtbl.replace by_owner owner
+            (entry :: (try Hashtbl.find by_owner owner with Not_found -> []))
+      | None -> ())
+    entries;
+  Hashtbl.fold
+    (fun owner entries landed ->
+      List.fold_left
+        (fun landed batch ->
+          match forward t owner (Protocol.Transfer batch) with
+          | Protocol.Transferred n ->
+              Registry.mark_success t.registry owner;
+              landed + n
+          | _ -> landed
+          | exception _ ->
+              Registry.mark_failure t.registry owner;
+              landed)
+        landed
+        (chunks handoff_batch (List.rev entries)))
+    by_owner 0
+
+let export_from t donor =
+  match forward t donor (Protocol.Export handoff_export_limit) with
+  | Protocol.Entries entries -> entries
+  | _ -> []
+  | exception _ ->
+      Registry.mark_failure t.registry donor;
+      []
+
+(* A new member owns ring ranges that existing members served until
+   now: ask each donor for its hottest entries and stream the ones the
+   new ring assigns to the joiner.  Best-effort by design — a failed
+   handoff costs cache misses, never correctness. *)
+let handoff_to t joiner =
+  let ring = Registry.ring t.registry in
+  let donors =
+    List.filter (fun a -> not (String.equal a joiner)) (Registry.up t.registry)
+  in
+  let moved =
+    List.concat_map
+      (fun donor ->
+        export_from t donor
+        |> List.filter (fun (key, _) ->
+               match Ring.owner ring key with
+               | Some owner -> String.equal owner joiner
+               | None -> false))
+      donors
+  in
+  let landed = push_entries t moved in
+  if landed > 0 then begin
+    Metrics.add t.handoff_keys landed;
+    Log.info (fun m ->
+        m "warm handoff: %d hot key(s) streamed to joiner %s" landed joiner)
+  end
+
+let admit t addr =
+  Metrics.incr t.joins;
+  if Registry.add_member t.registry addr then handoff_to t addr
+
+(* Retirement pulls the leaver's hot entries while it is still
+   reachable, drops it from the ring, then pushes what it held to the
+   ranges' new owners. *)
+let retire t addr =
+  let rescued = export_from t addr in
+  if Registry.remove_member t.registry addr then begin
+    Metrics.incr t.leaves;
+    let landed = push_entries t rescued in
+    if landed > 0 then begin
+      Metrics.add t.handoff_keys landed;
+      Log.info (fun m ->
+          m "warm handoff: %d hot key(s) rescued from leaver %s" landed addr)
+    end
+  end
+
+let fan_compact t =
+  List.fold_left
+    (fun total addr ->
+      match forward t addr Protocol.Compact with
+      | Protocol.Compacted n -> total + n
+      | _ -> total
+      | exception _ -> total)
+    0 (Registry.up t.registry)
 
 (* ---------------- the front-end socket server ---------------- *)
 
@@ -389,6 +531,41 @@ let handle_connection t ~stop ~wake ~active ~max_inflight fd =
           true
       | Protocol.Trace_pull ->
           send ?id (Protocol.Trace_reports (fleet_reports t));
+          true
+      | Protocol.Join addr -> (
+          match Transport.of_string_exn addr with
+          | exception (Invalid_argument msg | Failure msg) ->
+              send ?id (Protocol.Error ("join: bad address: " ^ msg));
+              true
+          | a ->
+              let canonical = Transport.to_string a in
+              if t.self_addr = Some canonical then begin
+                send ?id (Protocol.Error "join: the router cannot be its own backend");
+                true
+              end
+              else begin
+                (* The Ack is sent only after any warm handoff ran, so a
+                   joiner knows its cache is seeded once admitted. *)
+                admit t canonical;
+                send ?id Protocol.Ack;
+                true
+              end)
+      | Protocol.Leave addr -> (
+          match Transport.of_string_exn addr with
+          | exception (Invalid_argument msg | Failure msg) ->
+              send ?id (Protocol.Error ("leave: bad address: " ^ msg));
+              true
+          | a ->
+              retire t (Transport.to_string a);
+              send ?id Protocol.Ack;
+              true)
+      | Protocol.Compact ->
+          send ?id (Protocol.Compacted (fan_compact t));
+          true
+      | Protocol.Export _ | Protocol.Transfer _ ->
+          (* Handoff ops terminate at workers; the router only issues
+             them. *)
+          send ?id (Protocol.Error "handoff ops are worker-facing");
           true
       | Protocol.Shutdown ->
           Log.info (fun m -> m "router shutdown requested");
@@ -494,14 +671,16 @@ let serve ?vnodes ?down_after ?probe_interval_s ?probe_timeout_s
   in
   let listen_fd = Transport.listen addr in
   let addr = Transport.bound_addr listen_fd addr in
+  t.self_addr <- Some (Transport.to_string addr);
   Registry.start t.registry;
   let stop = Atomic.make false in
   let active = Atomic.make 0 in
   let wake () = Transport.poke addr in
+  let members = Registry.backends t.registry in
   Log.app (fun m ->
-      m "ssg router listening on %s, fronting %d backend(s)"
-        (Transport.to_string addr)
-        (Array.length t.backends));
+      m "ssg router listening on %s, fronting %d backend(s)%s"
+        (Transport.to_string addr) (List.length members)
+        (if members = [] then " (waiting for Join announcements)" else ""));
   let rec accept_loop () =
     if not (Atomic.get stop) then begin
       (match Unix.accept listen_fd with

@@ -26,7 +26,25 @@
     [ssg_router_shard<i>_*] series) followed by the merged snapshot
     under [ssg_cluster_*]; [Trace] drains the router's own tracer
     rings ([router.route] spans, [router.failover] instants);
-    [Shutdown] stops the router (never the workers).
+    [Compact] is relayed to every up backend and answered with the sum
+    of their snapshot sizes; [Shutdown] stops the router (never the
+    workers).
+
+    {b Elastic membership.}  Workers need not be pre-listed in
+    [backends]: a worker started with [--announce ROUTER] sends [Join]
+    with its canonical address; the router admits it into the
+    {!Registry}, rebuilds the ring, and — before acknowledging — runs a
+    {e warm handoff}: each existing member is asked to [Export] its
+    hottest cache entries and those whose ring ranges moved to the
+    joiner are streamed to it in bounded [Transfer] batches, so the
+    newcomer starts serving hits, not misses.  [Leave] is the reverse:
+    the leaver's hot entries are pulled while it is still reachable,
+    it drops out of the ring {e and the probe rotation}, and the
+    rescued entries are pushed to the ranges' new owners.  Handoff is
+    best-effort by design — a failed transfer costs cache misses,
+    never correctness.  Membership churn moves the
+    [ssg_router_joins_total] / [ssg_router_leaves_total] /
+    [ssg_router_handoff_keys_total] counters.
 
     Chaos contract (tested): with 3 workers and one being killed and
     healed mid-burst, a 200-job burst completes with zero
@@ -34,7 +52,9 @@
 
 (** [serve ~backends ~socket ()] binds [socket], starts the
     {!Registry} prober over [backends], and blocks until a client
-    sends [Shutdown].  The socket file is removed on exit.
+    sends [Shutdown].  The socket file is removed on exit.  An empty
+    [backends] list starts a memberless router that waits for [Join]
+    announcements.
 
     [socket] and every backend are {!Ssg_net.Transport} address strings
     ([unix:PATH], [tcp:HOST:PORT], or a bare path); the front socket
@@ -51,9 +71,9 @@
       [drain_timeout_s] guard the front socket exactly like
       {!Ssg_engine.Server.serve};
     - [trace] enables the process tracer and resets it first.
-    @raise Invalid_argument on an empty backend list, a malformed
-    address, or non-positive limits, [Unix.Unix_error EADDRINUSE] when
-    a live router already owns [socket]. *)
+    @raise Invalid_argument on a malformed address or non-positive
+    limits, [Unix.Unix_error EADDRINUSE] when a live router already
+    owns [socket]. *)
 val serve :
   ?vnodes:int ->
   ?down_after:int ->

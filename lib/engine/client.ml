@@ -152,3 +152,33 @@ let shutdown c =
   | Protocol.Shutting_down -> ()
   | Protocol.Error msg -> failwith ("server error: " ^ msg)
   | _ -> unexpected "shutdown"
+
+let join c addr =
+  match rpc c (Protocol.Join addr) with
+  | Protocol.Ack -> ()
+  | Protocol.Error msg -> failwith ("server error: " ^ msg)
+  | _ -> unexpected "join"
+
+let leave c addr =
+  match rpc c (Protocol.Leave addr) with
+  | Protocol.Ack -> ()
+  | Protocol.Error msg -> failwith ("server error: " ^ msg)
+  | _ -> unexpected "leave"
+
+let export c n =
+  match rpc c (Protocol.Export n) with
+  | Protocol.Entries entries -> entries
+  | Protocol.Error msg -> failwith ("server error: " ^ msg)
+  | _ -> unexpected "export"
+
+let transfer c entries =
+  match rpc c (Protocol.Transfer entries) with
+  | Protocol.Transferred n -> n
+  | Protocol.Error msg -> failwith ("server error: " ^ msg)
+  | _ -> unexpected "transfer"
+
+let compact c =
+  match rpc c Protocol.Compact with
+  | Protocol.Compacted n -> n
+  | Protocol.Error msg -> failwith ("server error: " ^ msg)
+  | _ -> unexpected "compact"

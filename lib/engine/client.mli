@@ -94,3 +94,27 @@ val metrics_text : t -> string
 (** [shutdown c] asks the server to drain and exit; returns once the
     server acknowledged. *)
 val shutdown : t -> unit
+
+(** Elastic membership and warm handoff (router-facing unless noted). *)
+
+(** [join c addr] announces [addr] as a new cluster member to the
+    router behind [c]; returns once it is admitted (and any warm
+    handoff toward it has run). *)
+val join : t -> string -> unit
+
+(** [leave c addr] retires member [addr]; the router pulls its hot
+    keys first. *)
+val leave : t -> string -> unit
+
+(** [export c n] — up to [n] of the peer worker's hottest cache
+    entries, most-recently-used first. *)
+val export : t -> int -> (string * string) list
+
+(** [transfer c entries] seeds entries into the peer worker's cache;
+    returns the count imported. *)
+val transfer : t -> (string * string) list -> int
+
+(** [compact c] rolls the peer's store generation (snapshot + journal
+    truncate); a router fans it out and answers with the sum.  0 when
+    no store is attached. *)
+val compact : t -> int

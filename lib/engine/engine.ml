@@ -13,20 +13,48 @@ type t = {
   lock : Mutex.t;  (* guards [cache] and [pending] together *)
   telemetry : Telemetry.t;
   faults : Faults.t;
+  store : Ssg_store.Store.t option;
 }
 
 let create ?workers ?(queue_capacity = 64) ?(cache_capacity = 1024)
-    ?(faults = Faults.off) () =
-  {
-    pool = Pool.create ?workers ~queue_capacity ();
-    cache = Lru.create ~capacity:cache_capacity;
-    pending = Hashtbl.create 64;
-    lock = Mutex.create ();
-    telemetry = Telemetry.create ();
-    faults;
-  }
+    ?(faults = Faults.off) ?store () =
+  let t =
+    {
+      pool = Pool.create ?workers ~queue_capacity ();
+      cache = Lru.create ~capacity:cache_capacity;
+      pending = Hashtbl.create 64;
+      lock = Mutex.create ();
+      telemetry = Telemetry.create ();
+      faults;
+      store;
+    }
+  in
+  (* Warm boot: replay the store's recovered records into the LRU, in
+     file order — the snapshot is written LRU-first, so the last replay
+     lands most-recent and the cache's recency survives the restart.
+     Records that no longer decode (a protocol bump) are skipped, not
+     fatal: the journal is a cache, losing an entry costs a recompute. *)
+  (match store with
+  | None -> ()
+  | Some s ->
+      let skipped = ref 0 in
+      let n =
+        Ssg_store.Store.replay s (fun ~key ~value ->
+            match Protocol.outcome_of_string value with
+            | outcome -> Lru.add t.cache key outcome
+            | exception Failure _ -> incr skipped)
+      in
+      if n > 0 || !skipped > 0 then
+        Log.info (fun m ->
+            m "warm boot: %d cache entr%s replayed%s" (n - !skipped)
+              (if n - !skipped = 1 then "y" else "ies")
+              (if !skipped > 0 then
+                 Printf.sprintf " (%d undecodable record(s) skipped)" !skipped
+               else "")));
+  t
 
 let telemetry t = t.telemetry
+let store t = t.store
 
 type ticket =
   | Immediate of Job.completion
@@ -54,6 +82,39 @@ let run_gate job =
     Tracer.with_span ~args:(job_args job) "engine.lint" (fun () ->
         Ssg_lint.Lint.gate ~k:job.Job.k job.Job.run)
   else Ssg_lint.Lint.gate ~k:job.Job.k job.Job.run
+
+(* ---------------- durability ---------------- *)
+
+(* The live cache as journal entries, LRU-first so a replay that
+   inserts in order reconstructs recency along with contents. *)
+let snapshot_entries t =
+  locked t (fun () -> List.rev (Lru.to_list t.cache))
+  |> List.map (fun (key, outcome) -> (key, Protocol.outcome_to_string outcome))
+
+let compact t =
+  match t.store with
+  | None -> 0
+  | Some s -> Ssg_store.Store.compact s ~entries:(snapshot_entries t)
+
+(* Tee a freshly computed outcome to the journal (runs on the worker
+   domain, after the cache insert, outside the engine lock).  A torn
+   write injected by the fault plan is counted like every other
+   injected fault; it never fails the job — only durability is lost. *)
+let persist_outcome t ~key outcome =
+  match t.store with
+  | None -> ()
+  | Some s ->
+      let torn =
+        match Faults.on_append t.faults with
+        | Faults.Write -> false
+        | Faults.Torn ->
+            Telemetry.record_injected t.telemetry;
+            true
+      in
+      ignore
+        (Ssg_store.Store.append ~torn s ~key
+           ~value:(Protocol.outcome_to_string outcome));
+      if Ssg_store.Store.should_compact s then ignore (compact t)
 
 let rec submit_with ?lookup ?ctx t job =
   Telemetry.record_submitted t.telemetry;
@@ -175,6 +236,9 @@ and fresh_execute ?ctx t job ~key ~cell ~now =
             | Ok outcome -> Lru.add t.cache key outcome
             | Error _ -> ());
         (match result with
+        | Ok outcome -> persist_outcome t ~key outcome
+        | Error _ -> ());
+        (match result with
         | Ok _ ->
             Telemetry.record_completed t.telemetry ~latency_ms ~queue_ms
               ~exec_ms
@@ -260,5 +324,51 @@ let stats t =
     ~queue_capacity:(Pool.queue_capacity t.pool)
     ~cache_entries
 
-let prometheus t = Telemetry.prometheus t.telemetry (stats t)
-let shutdown t = Pool.shutdown t.pool
+(* ---------------- warm handoff ---------------- *)
+
+(* Keep an export bounded in bytes as well as entries so a Transfer
+   built from it always fits a wire frame with room to spare. *)
+let export_byte_budget = 4 * 1024 * 1024
+
+let export t n =
+  let entries = locked t (fun () -> Lru.to_list t.cache) in
+  let rec take budget k = function
+    | [] -> []
+    | _ when k <= 0 || budget <= 0 -> []
+    | (key, outcome) :: rest ->
+        let value = Protocol.outcome_to_string outcome in
+        let cost = String.length key + String.length value in
+        if cost > budget then take budget k rest
+        else (key, value) :: take (budget - cost) (k - 1) rest
+  in
+  take export_byte_budget n entries
+
+let import t entries =
+  (* Reverse so the hottest entry (exported MRU-first) is inserted
+     last and lands most-recent in the receiving cache.  Imports are
+     seeds, not fresh results: they are persisted (a handed-off key
+     must survive the joiner's next restart) but never counted as
+     completions. *)
+  List.fold_left
+    (fun n (key, value) ->
+      match Protocol.outcome_of_string value with
+      | outcome ->
+          locked t (fun () ->
+              if not (Hashtbl.mem t.pending key) then
+                Lru.add t.cache key outcome);
+          persist_outcome t ~key outcome;
+          n + 1
+      | exception Failure msg ->
+          Log.warn (fun m -> m "import: skipping undecodable entry: %s" msg);
+          n)
+    0 (List.rev entries)
+
+let prometheus t =
+  let text = Telemetry.prometheus t.telemetry (stats t) in
+  match t.store with
+  | None -> text
+  | Some s -> text ^ Ssg_obs.Metrics.to_prometheus (Ssg_store.Store.metrics s)
+
+let shutdown t =
+  Pool.shutdown t.pool;
+  match t.store with None -> () | Some s -> Ssg_store.Store.close s

@@ -24,14 +24,25 @@ type t
     still works for in-flight twins), fault plan {!Faults.off}.  A
     non-[off] [faults] plan is consulted before every job execution
     (chaos mode); injected crashes surface as [Error] completions and
-    are counted in telemetry. *)
+    are counted in telemetry.
+
+    [store], when given, makes the cache durable: the store's recovered
+    records are replayed into the LRU here (warm boot — records that no
+    longer decode are skipped with a warning), every freshly computed
+    outcome is journaled after its cache insert, and the journal is
+    compacted automatically once it outgrows the store's threshold.
+    The engine owns the store from here on: {!shutdown} closes it. *)
 val create :
   ?workers:int ->
   ?queue_capacity:int ->
   ?cache_capacity:int ->
   ?faults:Faults.t ->
+  ?store:Ssg_store.Store.t ->
   unit ->
   t
+
+(** The attached store, if any. *)
+val store : t -> Ssg_store.Store.t option
 
 (** The engine's metrics sink — shared with the server so connection
     supervision (rejected frames, reaped connections) lands in the same
@@ -89,8 +100,30 @@ val run_batch : ?ctx:Ssg_obs.Context.t -> t -> Job.t list -> Job.completion list
 val stats : t -> Telemetry.snapshot
 
 (** [prometheus t] — the current stats as Prometheus text exposition
-    (see {!Telemetry.prometheus}); what the [Metrics] wire op serves. *)
+    (see {!Telemetry.prometheus}), with the attached store's
+    [ssg_store_*] series appended when one is wired in; what the
+    [Metrics] wire op serves. *)
 val prometheus : t -> string
+
+(** Warm handoff (what the [Export] / [Transfer] / [Compact] wire ops
+    call into). *)
+
+(** [export t n] — up to [n] of the hottest cache entries as
+    [(key, encoded outcome)] pairs, most-recently-used first, bounded to
+    ~4 MiB of payload so the result always frames. *)
+val export : t -> int -> (string * string) list
+
+(** [import t entries] seeds exported entries into the cache (and the
+    journal, when a store is attached), hottest landing most-recent.
+    Entries whose outcome no longer decodes are skipped with a warning;
+    entries whose key is currently in flight are left to the running
+    computation.  Returns the number imported. *)
+val import : t -> (string * string) list -> int
+
+(** [compact t] — snapshot the live cache into the store and truncate
+    the journal (see {!Ssg_store.Store.compact}); [0] without a store or
+    on a wedged one. *)
+val compact : t -> int
 
 (** Tracing: when {!Ssg_obs.Tracer} is enabled, the engine emits
     [engine.submit] / [engine.lint] / [engine.execute] spans and
@@ -102,6 +135,6 @@ val prometheus : t -> string
     load per probe. *)
 
 (** [shutdown t] — graceful: accepted jobs run to completion, workers
-    join.  Jobs submitted afterwards complete with an [Error].
-    Idempotent. *)
+    join, the attached store (if any) is synced and closed.  Jobs
+    submitted afterwards complete with an [Error].  Idempotent. *)
 val shutdown : t -> unit

@@ -16,6 +16,7 @@ type t = {
   corrupt : rule option;
   truncate : rule option;
   blackhole : rule option;
+  torn_write : rule option;
 }
 
 let off =
@@ -26,14 +27,15 @@ let off =
     corrupt = None;
     truncate = None;
     blackhole = None;
+    torn_write = None;
   }
 
 let is_off t =
   t.crash = None && t.slow = None && t.corrupt = None && t.truncate = None
-  && t.blackhole = None
+  && t.blackhole = None && t.torn_write = None
 
 let create ?crash_every ?slow_every ?(slow_s = 0.05) ?corrupt_every
-    ?truncate_every ?blackhole_every () =
+    ?truncate_every ?blackhole_every ?torn_write_every () =
   let period what = function
     | None -> None
     | Some n when n < 1 ->
@@ -48,6 +50,7 @@ let create ?crash_every ?slow_every ?(slow_s = 0.05) ?corrupt_every
     corrupt = period "corrupt_every" corrupt_every;
     truncate = period "truncate_every" truncate_every;
     blackhole = period "blackhole_every" blackhole_every;
+    torn_write = period "torn_write_every" torn_write_every;
   }
 
 let of_spec s =
@@ -57,7 +60,7 @@ let of_spec s =
     let parse_item acc item =
       match acc with
       | Error _ as e -> e
-      | Ok (crash, slow, slow_s, corrupt, truncate, blackhole) -> (
+      | Ok (crash, slow, slow_s, corrupt, truncate, blackhole, torn) -> (
           let bad () = Error (Printf.sprintf "bad fault item %S" item) in
           match String.split_on_char ':' (String.trim item) with
           | [ kind; arg ] -> (
@@ -70,7 +73,7 @@ let of_spec s =
               | "crash" -> (
                   match period arg with
                   | Some n ->
-                      Ok (Some n, slow, slow_s, corrupt, truncate, blackhole)
+                      Ok (Some n, slow, slow_s, corrupt, truncate, blackhole, torn)
                   | None -> bad ())
               | "slow" -> (
                   match String.split_on_char '@' arg with
@@ -78,7 +81,13 @@ let of_spec s =
                       match period p with
                       | Some n ->
                           Ok
-                            (crash, Some n, slow_s, corrupt, truncate, blackhole)
+                            ( crash,
+                              Some n,
+                              slow_s,
+                              corrupt,
+                              truncate,
+                              blackhole,
+                              torn )
                       | None -> bad ())
                   | [ p; ms ] -> (
                       match (period p, float_of_string_opt (String.trim ms)) with
@@ -89,30 +98,37 @@ let of_spec s =
                               ms /. 1000.,
                               corrupt,
                               truncate,
-                              blackhole )
+                              blackhole,
+                              torn )
                       | _ -> bad ())
                   | _ -> bad ())
               | "corrupt" -> (
                   match period arg with
                   | Some n ->
-                      Ok (crash, slow, slow_s, Some n, truncate, blackhole)
+                      Ok (crash, slow, slow_s, Some n, truncate, blackhole, torn)
                   | None -> bad ())
               | "truncate" -> (
                   match period arg with
                   | Some n ->
-                      Ok (crash, slow, slow_s, corrupt, Some n, blackhole)
+                      Ok (crash, slow, slow_s, corrupt, Some n, blackhole, torn)
                   | None -> bad ())
               | "blackhole" | "partition" -> (
                   match period arg with
                   | Some n ->
-                      Ok (crash, slow, slow_s, corrupt, truncate, Some n)
+                      Ok (crash, slow, slow_s, corrupt, truncate, Some n, torn)
+                  | None -> bad ())
+              | "torn-write" -> (
+                  match period arg with
+                  | Some n ->
+                      Ok
+                        (crash, slow, slow_s, corrupt, truncate, blackhole, Some n)
                   | None -> bad ())
               | _ -> bad ())
           | _ -> bad ())
     in
     match
       List.fold_left parse_item
-        (Ok (None, None, 0.05, None, None, None))
+        (Ok (None, None, 0.05, None, None, None, None))
         (String.split_on_char ',' s)
     with
     | Error _ as e -> e
@@ -122,10 +138,11 @@ let of_spec s =
           slow_s,
           corrupt_every,
           truncate_every,
-          blackhole_every ) ->
+          blackhole_every,
+          torn_write_every ) ->
         Ok
           (create ?crash_every ?slow_every ~slow_s ?corrupt_every
-             ?truncate_every ?blackhole_every ())
+             ?truncate_every ?blackhole_every ?torn_write_every ())
 
 let spec t =
   if is_off t then "off"
@@ -142,10 +159,12 @@ let spec t =
     String.concat ","
       (item "crash" t.crash @ slow @ item "corrupt" t.corrupt
       @ item "truncate" t.truncate
-      @ item "blackhole" t.blackhole)
+      @ item "blackhole" t.blackhole
+      @ item "torn-write" t.torn_write)
 
 type execute_fate = Run | Delay of float | Crash
 type reply_fate = Deliver | Corrupt | Truncate | Blackhole
+type append_fate = Write | Torn
 
 let on_execute t =
   if is_off t then Run
@@ -159,3 +178,5 @@ let on_reply t =
   else if fires t.corrupt then Corrupt
   else if fires t.blackhole then Blackhole
   else Deliver
+
+let on_append t = if fires t.torn_write then Torn else Write

@@ -40,6 +40,10 @@ val is_off : t -> bool
       mute, so it exercises the client's reply deadline and the cluster
       router's over-deadline failover rather than its connect-failure
       path.
+    - [torn_write_every]: every n-th journal append is torn — half the
+      record reaches the platter and the journal wedges, simulating a
+      writer that died mid-append (the job itself still completes; only
+      durability is lost, to be recovered as a torn tail at next boot).
     @raise Invalid_argument if any period is [< 1] or [slow_s < 0.]. *)
 val create :
   ?crash_every:int ->
@@ -48,13 +52,14 @@ val create :
   ?corrupt_every:int ->
   ?truncate_every:int ->
   ?blackhole_every:int ->
+  ?torn_write_every:int ->
   unit ->
   t
 
 (** [of_spec s] parses the CLI syntax: a comma-separated list of
     [crash:N], [slow:N] or [slow:N@MS] (MS milliseconds), [corrupt:N],
-    [truncate:N], [blackhole:N] (alias [partition:N]); ["off"] or the
-    empty string is {!off}.
+    [truncate:N], [blackhole:N] (alias [partition:N]), [torn-write:N];
+    ["off"] or the empty string is {!off}.
     Example: ["crash:10,slow:5@20,truncate:13"]. *)
 val of_spec : string -> (t, string) result
 
@@ -69,6 +74,8 @@ type execute_fate = Run | Delay of float  (** seconds *) | Crash
 
 type reply_fate = Deliver | Corrupt | Truncate | Blackhole
 
+type append_fate = Write | Torn
+
 (** [on_execute t] — consulted by the engine immediately before
     [Job.execute]. *)
 val on_execute : t -> execute_fate
@@ -76,3 +83,7 @@ val on_execute : t -> execute_fate
 (** [on_reply t] — consulted by the server immediately before writing a
     reply frame. *)
 val on_reply : t -> reply_fate
+
+(** [on_append t] — consulted by the engine immediately before
+    journaling a freshly computed outcome. *)
+val on_append : t -> append_fate

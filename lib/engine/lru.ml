@@ -77,6 +77,13 @@ let add c key v =
         push_front c node;
         if Hashtbl.length c.table > c.cap then evict_lru c
 
+let to_list c =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk ((node.key, node.value) :: acc) node.next
+  in
+  walk [] c.head
+
 let mem c key = Hashtbl.mem c.table key
 let length c = Hashtbl.length c.table
 let capacity c = c.cap

@@ -23,6 +23,10 @@ val find : 'a t -> string -> 'a option
     capacity 0. *)
 val add : 'a t -> string -> 'a -> unit
 
+(** [to_list c] — every live entry, most-recently-used first.  Does not
+    touch recency or the counters. *)
+val to_list : 'a t -> (string * 'a) list
+
 val mem : 'a t -> string -> bool
 val length : 'a t -> int
 val capacity : 'a t -> int

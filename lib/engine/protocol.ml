@@ -8,6 +8,11 @@ type request =
   | Trace_pull
   | Metrics
   | Shutdown
+  | Join of string
+  | Leave of string
+  | Export of int
+  | Transfer of (string * string) list
+  | Compact
 
 type reply =
   | Completed of Job.completion
@@ -17,6 +22,10 @@ type reply =
   | Trace_reports of Ssg_obs.Tracer.report list
   | Metrics_text of string
   | Shutting_down
+  | Ack
+  | Entries of (string * string) list
+  | Transferred of int
+  | Compacted of int
   | Error of string
 
 let max_frame_bytes = 16 * 1024 * 1024
@@ -387,6 +396,18 @@ let get_report r : Ssg_obs.Tracer.report =
   let events = get_list r get_event in
   { Ssg_obs.Tracer.role; pid; epoch_s; dropped_events; events }
 
+(* Cache entries travel as (key, encoded outcome) pairs — the payload
+   of warm-handoff [Export] / [Transfer] and of the store journal. *)
+
+let put_entry buf (key, value) =
+  put_string buf key;
+  put_string buf value
+
+let get_entry r =
+  let key = get_string r in
+  let value = get_string r in
+  (key, value)
+
 (* ---------------- top-level messages ---------------- *)
 
 let request_to_bytes req =
@@ -402,7 +423,24 @@ let request_to_bytes req =
   | Trace -> Buffer.add_char buf 'C'
   | Trace_pull -> Buffer.add_char buf 'P'
   | Metrics -> Buffer.add_char buf 'M'
-  | Shutdown -> Buffer.add_char buf 'Q');
+  | Shutdown -> Buffer.add_char buf 'Q'
+  | Join addr ->
+      Buffer.add_char buf 'J';
+      put_string buf addr
+  | Leave addr ->
+      Buffer.add_char buf 'L';
+      put_string buf addr
+  | Export n ->
+      Buffer.add_char buf 'H';
+      put_int buf n
+  (* Request tags must avoid the additive envelope magics on the
+     server's classify path: 'I' (Frame.id_magic) and 'X'
+     (Frame.ctx_magic) — a request payload starting with either would
+     be eaten as an envelope, not dispatched. *)
+  | Transfer entries ->
+      Buffer.add_char buf 'F';
+      put_list buf put_entry entries
+  | Compact -> Buffer.add_char buf 'K');
   Buffer.to_bytes buf
 
 (* Decoders promise exactly [Failure] on any malformed payload — the
@@ -425,6 +463,14 @@ let request_of_bytes bytes =
   | 'P' -> Trace_pull
   | 'M' -> Metrics
   | 'Q' -> Shutdown
+  | 'J' -> Join (get_string r)
+  | 'L' -> Leave (get_string r)
+  | 'H' ->
+      let n = get_int r in
+      if n < 0 then failwith "Protocol: negative export limit";
+      Export n
+  | 'F' -> Transfer (get_list r get_entry)
+  | 'K' -> Compact
   | c -> failwith (Printf.sprintf "Protocol: unknown request tag %C" c)
 
 let reply_to_bytes reply =
@@ -449,6 +495,16 @@ let reply_to_bytes reply =
       Buffer.add_char buf 'M';
       put_string buf text
   | Shutting_down -> Buffer.add_char buf 'D'
+  | Ack -> Buffer.add_char buf 'A'
+  | Entries entries ->
+      Buffer.add_char buf 'N';
+      put_list buf put_entry entries
+  | Transferred n ->
+      Buffer.add_char buf 'X';
+      put_int buf n
+  | Compacted n ->
+      Buffer.add_char buf 'K';
+      put_int buf n
   | Error msg ->
       Buffer.add_char buf 'E';
       put_string buf msg);
@@ -465,6 +521,16 @@ let reply_of_bytes bytes =
   | 'W' -> Trace_reports (get_list r get_report)
   | 'M' -> Metrics_text (get_string r)
   | 'D' -> Shutting_down
+  | 'A' -> Ack
+  | 'N' -> Entries (get_list r get_entry)
+  | 'X' ->
+      let n = get_int r in
+      if n < 0 then failwith "Protocol: negative transfer count";
+      Transferred n
+  | 'K' ->
+      let n = get_int r in
+      if n < 0 then failwith "Protocol: negative compaction count";
+      Compacted n
   | 'E' -> Error (get_string r)
   | c -> failwith (Printf.sprintf "Protocol: unknown reply tag %C" c)
 
@@ -489,6 +555,25 @@ let read_frame ic =
   (try really_input ic payload 0 len
    with End_of_file -> failwith "Protocol: connection died mid-frame");
   payload
+
+(* ---------------- standalone outcome codec ---------------- *)
+
+(* The store journals outcomes as opaque strings; this is the same
+   encoding the wire uses, reused so the on-disk and wire forms can
+   never drift apart. *)
+
+let outcome_to_string o =
+  let buf = Buffer.create 256 in
+  put_outcome buf o;
+  Buffer.contents buf
+
+let outcome_of_string s =
+  decoding @@ fun () ->
+  let r = { data = s; pos = 0 } in
+  let o = get_outcome r in
+  if r.pos <> String.length s then
+    failwith "Protocol: trailing bytes after outcome";
+  o
 
 let write_request oc req = write_frame oc (request_to_bytes req)
 let read_request ic = request_of_bytes (read_frame ic)

@@ -30,6 +30,26 @@ type request =
       (** Prometheus text exposition of the server's stats — answered
           with {!Metrics_text} *)
   | Shutdown  (** graceful: drains the queue, then the server exits *)
+  | Join of string
+      (** elastic membership: a worker announcing itself to the router
+          by the address clients should reach it at — answered with
+          {!Ack} once admitted (and once any warm handoff toward it has
+          run); a worker receiving it answers {!Error} *)
+  | Leave of string
+      (** graceful retirement of a member; the router pulls its hot
+          keys before dropping it from the ring — answered with {!Ack} *)
+  | Export of int
+      (** warm handoff: hand me up to n of your hottest cache entries
+          (most-recently-used first) — answered with {!Entries} *)
+  | Transfer of (string * string) list
+      (** warm handoff: seed these (cache key, encoded outcome) entries
+          into your cache — answered with {!Transferred} (the count
+          actually imported; undecodable entries are skipped) *)
+  | Compact
+      (** roll the store generation: snapshot the live cache, truncate
+          the journal — answered with {!Compacted} (snapshot size; 0
+          when no store is attached); a router relays it to every
+          backend and answers with the sum *)
 
 type reply =
   | Completed of Job.completion
@@ -46,6 +66,12 @@ type reply =
           speak the frame format gets a consistent exposition without
           reimplementing the snapshot maths *)
   | Shutting_down
+  | Ack  (** {!Join} / {!Leave} accepted *)
+  | Entries of (string * string) list
+      (** {!Export} reply: (cache key, encoded outcome) pairs,
+          most-recently-used first *)
+  | Transferred of int  (** {!Transfer} reply: entries imported *)
+  | Compacted of int  (** {!Compact} reply: snapshot size in records *)
   | Error of string  (** protocol-level failure (not a job failure) *)
 
 (** {b Wire compatibility note (latency split).}  The stats snapshot
@@ -75,6 +101,17 @@ val request_to_bytes : request -> Bytes.t
 val request_of_bytes : Bytes.t -> request
 val reply_to_bytes : reply -> Bytes.t
 val reply_of_bytes : Bytes.t -> reply
+
+(** Standalone outcome codec — the exact encoding outcomes use inside
+    wire frames, exposed so the durable store journals them in the same
+    form.  [outcome_of_string]
+    @raise Failure — and only [Failure] — on malformed or trailing
+    bytes (same contract as the frame decoders; fuzz-tested the same
+    way). *)
+
+val outcome_to_string : Job.outcome -> string
+
+val outcome_of_string : string -> Job.outcome
 
 (** Channel framing.  Writers flush.  Readers
     @raise End_of_file on a cleanly closed peer,

@@ -121,6 +121,21 @@ let handle_connection engine faults ~stop ~wake ~active ~max_inflight fd =
       | Protocol.Metrics ->
           send ?id (Protocol.Metrics_text (Engine.prometheus engine));
           true
+      | Protocol.Join _ | Protocol.Leave _ ->
+          (* Membership ops terminate at the router; a worker receiving
+             one answers with an Error but keeps the connection — it is
+             a misdirected request, not a hostile frame. *)
+          send ?id (Protocol.Error "not a router: membership ops go to ssg route");
+          true
+      | Protocol.Export n ->
+          send ?id (Protocol.Entries (Engine.export engine n));
+          true
+      | Protocol.Transfer entries ->
+          send ?id (Protocol.Transferred (Engine.import engine entries));
+          true
+      | Protocol.Compact ->
+          send ?id (Protocol.Compacted (Engine.compact engine));
+          true
       | Protocol.Shutdown ->
           Log.info (fun m -> m "shutdown requested");
           (* Arm the stop flag before acknowledging: if the reply send
@@ -230,7 +245,8 @@ let handle_connection engine faults ~stop ~wake ~active ~max_inflight fd =
 
 let serve ?workers ?queue_capacity ?cache_capacity ?(max_connections = 256)
     ?(max_inflight = 32) ?(read_timeout_s = 30.) ?(drain_timeout_s = 5.)
-    ?(faults = Faults.off) ?(trace = false) ~socket () =
+    ?(faults = Faults.off) ?(trace = false) ?persist ?persist_sync
+    ?persist_compact_bytes ?announce ~socket () =
   if max_connections < 1 then
     invalid_arg "Server.serve: max_connections must be >= 1";
   if max_inflight < 1 then
@@ -244,16 +260,70 @@ let serve ?workers ?queue_capacity ?cache_capacity ?(max_connections = 256)
      daemon. *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
    with Invalid_argument _ | Sys_error _ -> ());
+  (* The store opens after the tracer is armed so the boot replay's
+     [store.replay] span lands in the trace. *)
+  let store =
+    Option.map
+      (fun dir ->
+        Ssg_store.Store.open_ ?sync:persist_sync
+          ?compact_bytes:persist_compact_bytes ~dir ())
+      persist
+  in
   let listen_fd = Transport.listen addr in
   let addr = Transport.bound_addr listen_fd addr in
-  let engine = Engine.create ?workers ?queue_capacity ?cache_capacity ~faults () in
+  let engine =
+    Engine.create ?workers ?queue_capacity ?cache_capacity ~faults ?store ()
+  in
   let telemetry = Engine.telemetry engine in
   let stop = Atomic.make false in
   let active = Atomic.make 0 in
   let wake () = Transport.poke addr in
   Log.app (fun m -> m "ssgd listening on %s" (Transport.to_string addr));
+  (match store with
+  | Some s ->
+      Log.app (fun m ->
+          m "persisting to %s (generation %d, %d record(s) replayed)"
+            (Ssg_store.Store.dir s)
+            (Ssg_store.Store.generation s)
+            (Ssg_store.Store.replayed_records s))
+  | None -> ());
   if not (Faults.is_off faults) then
     Log.app (fun m -> m "chaos mode: injecting %s" (Faults.spec faults));
+  (* Elastic membership: announce the canonical bound address to the
+     router on a background thread (the router may still be binding, so
+     Client.connect's backoff does the waiting), and retire on the way
+     out, best-effort — a dead router must never block either path. *)
+  let self_addr = Transport.to_string addr in
+  (match announce with
+  | None -> ()
+  | Some router ->
+      ignore
+        (Thread.create
+           (fun () ->
+             try
+               let c =
+                 Client.connect ~retries:6 ~deadline_s:30. ~socket:router ()
+               in
+               Fun.protect
+                 ~finally:(fun () -> Client.close c)
+                 (fun () -> Client.join c self_addr);
+               Log.app (fun m -> m "joined cluster via %s" router)
+             with e ->
+               Log.warn (fun m ->
+                   m "join announcement to %s failed: %s" router
+                     (Printexc.to_string e)))
+           ()));
+  let retire () =
+    match announce with
+    | None -> ()
+    | Some router -> (
+        try
+          let c = Client.connect ~retries:0 ~deadline_s:5. ~socket:router () in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () -> Client.leave c self_addr)
+        with _ -> ())
+  in
   let rec accept_loop () =
     if not (Atomic.get stop) then begin
       (match Unix.accept listen_fd with
@@ -300,6 +370,7 @@ let serve ?workers ?queue_capacity ?cache_capacity ?(max_connections = 256)
   if Atomic.get active > 0 then
     Log.warn (fun m ->
         m "drain timeout: abandoning %d connection(s)" (Atomic.get active));
+  retire ();
   Engine.shutdown engine;
   Transport.cleanup addr;
   Log.app (fun m -> m "ssgd stopped")

@@ -54,6 +54,19 @@
       {!Ssg_obs.Tracer} before serving, so engine phases and reply
       writes are recorded; clients pull the buffers with the [Trace]
       request ([ssg trace --remote]).
+    - [persist]: a directory for the durable result store
+      ({!Ssg_store.Store}) — the cache is pre-warmed from it at boot
+      (warm boot) and every fresh outcome is journaled; [persist_sync]
+      (default group commit of 8) and [persist_compact_bytes] (default
+      4 MiB) are the store's policy knobs.  Without [persist] the
+      server is exactly as before: in-memory only.
+    - [announce]: a router address ([ssg route]'s socket) to send a
+      [Join] carrying this server's canonical bound address once it is
+      listening (on a background thread, with connect backoff — the
+      router may still be starting), and a best-effort [Leave] at
+      shutdown.  This replaces pre-listing the worker in the router's
+      [-b] flags; the router admits it, rebuilds the ring, and streams
+      hot keys for the ranges it now owns (warm handoff).
     @raise Unix.Unix_error if the address is unusable (e.g. a live
     server already listening).
     @raise Invalid_argument if the address string does not parse, or
@@ -68,6 +81,10 @@ val serve :
   ?drain_timeout_s:float ->
   ?faults:Faults.t ->
   ?trace:bool ->
+  ?persist:string ->
+  ?persist_sync:Ssg_store.Store.sync_policy ->
+  ?persist_compact_bytes:int ->
+  ?announce:string ->
   socket:string ->
   unit ->
   unit

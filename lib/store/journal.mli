@@ -1,0 +1,59 @@
+(** The append-only result log: one {!Record}-framed [(key, value)] per
+    completed job, written by exactly one process (the owning worker).
+
+    Appends go straight to the descriptor with [O_APPEND]; durability
+    is governed by [fsync_every] — the group-commit knob:
+    - [1] — fsync after every record (safest, slowest);
+    - [n > 1] — group commit: fsync once per [n] records;
+    - [0] — never fsync (the OS decides; a host crash may lose the
+      page-cache tail, which replay then recovers as a torn tail).
+
+    {b Torn writes.}  [append ~torn:true] deliberately writes only a
+    prefix of the framed record and {e wedges} the journal — every
+    later append is silently dropped — simulating a process killed
+    mid-write at a deterministic point.  Replay of the resulting file
+    exercises the longest-valid-prefix recovery for real. *)
+
+type t
+
+(** [open_append ~fsync_every path] opens (creating if missing) for
+    append-only writes.
+    @raise Invalid_argument if [fsync_every < 0].
+    @raise Unix.Unix_error if the path is unusable. *)
+val open_append : fsync_every:int -> string -> t
+
+val path : t -> string
+
+(** Current file size in bytes (including any torn tail written through
+    this handle). *)
+val bytes : t -> int
+
+(** fsync calls issued so far through this handle. *)
+val fsyncs : t -> int
+
+(** True once a torn write wedged the handle; later appends are
+    dropped. *)
+val wedged : t -> bool
+
+(** [append t ~key ~value] writes one framed record; returns [false]
+    when the record was dropped (wedged handle) or deliberately torn.
+    [~torn:true] writes half the record, fsyncs, and wedges the
+    handle. *)
+val append : ?torn:bool -> t -> key:string -> value:string -> bool
+
+(** Force an fsync now (no-op on a wedged handle). *)
+val sync : t -> unit
+
+(** Sync (unless wedged) and close.  Idempotent. *)
+val close : t -> unit
+
+(** [recover ?truncate path ~f] replays the log at [path]: every
+    leading valid record is delivered to [f] in append order; a torn
+    tail ends the walk and — with [truncate] (the default) — is cut off
+    the file, so the next boot sees a clean log.  A missing file is an
+    empty log, not an error. *)
+val recover :
+  ?truncate:bool ->
+  string ->
+  f:(key:string -> value:string -> unit) ->
+  Record.recovery

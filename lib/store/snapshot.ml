@@ -1,0 +1,25 @@
+let write path entries =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  let n =
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        let n =
+          List.fold_left
+            (fun n (key, value) ->
+              output_string oc (Record.frame ~key ~value);
+              n + 1)
+            0 entries
+        in
+        flush oc;
+        (* Flush reaches the kernel; fsync reaches the platter — only
+           then may the rename publish the new generation. *)
+        (try Unix.fsync (Unix.descr_of_out_channel oc)
+         with Unix.Unix_error _ -> ());
+        n)
+  in
+  Unix.rename tmp path;
+  n
+
+let read path ~f = Journal.recover ~truncate:false path ~f

@@ -1,0 +1,23 @@
+(** Compaction snapshots: one generation's full cache image, written
+    atomically.
+
+    A snapshot is the same {!Record} framing as the journal — just
+    every live entry at compaction time, in LRU-to-MRU order so a
+    replay that inserts in file order reconstructs the cache's recency
+    as well as its contents.  {!write} goes through a temp file,
+    fsyncs, then renames into place: a crash mid-compaction leaves the
+    previous generation untouched, never a half snapshot under the
+    final name. *)
+
+(** [write path entries] — entries are written in list order; returns
+    the count.  Atomic: [path] either keeps its old content or carries
+    the complete new image.
+    @raise Unix.Unix_error if the directory is unusable. *)
+val write : string -> (string * string) list -> int
+
+(** [read path ~f] delivers every leading valid record in file order.
+    A torn tail (possible only if the host died mid-rename dance on a
+    filesystem without atomic rename) ends the walk; the file is left
+    untouched — the next compaction replaces it wholesale.  A missing
+    file is an empty snapshot. *)
+val read : string -> f:(key:string -> value:string -> unit) -> Record.recovery

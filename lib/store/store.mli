@@ -1,0 +1,105 @@
+(** The durability facade the engine wires in: one directory holding
+    one {e generation} — a {!Snapshot} image plus the {!Journal} of
+    appends since it — and the bookkeeping to roll generations forward.
+
+    Directory layout (generation [g]):
+    {v
+    DIR/CURRENT            "g\n" — the live generation, updated by rename
+    DIR/snapshot-<g>.ssg   full cache image at the last compaction
+    DIR/journal-<g>.log    appends since that snapshot
+    v}
+
+    {b Boot.}  [open_] reads [CURRENT] (falling back to a directory
+    scan when it is missing or garbled), replays snapshot then journal
+    — tolerating a torn tail in each: the longest valid prefix is
+    recovered, a warning logged, and the journal's tail truncated — and
+    opens the journal for appending.  The recovered records are handed
+    out once via {!replay}, which the engine uses to pre-warm its LRU.
+
+    {b Compaction.}  [compact] writes the caller's current entries as
+    generation [g+1]'s snapshot (atomically), starts a fresh empty
+    journal, publishes [CURRENT = g+1] by rename, then deletes
+    generation [g]'s files.  A crash between any two steps leaves at
+    least one complete generation recoverable.
+
+    {b Observability.}  Every store owns an {!Ssg_obs.Metrics} registry
+    ([ssg_store_*]: replayed records, appended records, journal bytes,
+    fsyncs, compactions, torn-tail recoveries, generation) that the
+    engine splices into its Prometheus exposition, and emits
+    [store.append] / [store.replay] / [store.compact] spans on the
+    process tracer when enabled.
+
+    Single-writer: one store per directory per process.  Appends and
+    compactions are serialized by an internal lock and are safe to call
+    from worker domains and connection threads concurrently. *)
+
+type t
+
+(** When appends reach the platter:
+    - [Always] — fsync after every record;
+    - [Group n] — group commit, one fsync per [n] records;
+    - [Never] — leave it to the OS (a host crash may cost the tail,
+      recovered at next boot as torn). *)
+type sync_policy = Always | Group of int | Never
+
+(** CLI syntax: ["always"], ["never"], ["group:N"]. *)
+val sync_of_string : string -> (sync_policy, string) result
+
+val sync_to_string : sync_policy -> string
+
+(** [open_ ~dir ()] — creates [dir] (and parents) if missing, recovers
+    the current generation, opens the journal.  [sync] defaults to
+    [Group 8]; [compact_bytes] (default 4 MiB) is the journal size at
+    which {!should_compact} turns true.
+    @raise Invalid_argument on [Group n] with [n < 1] or
+    [compact_bytes < 1].
+    @raise Unix.Unix_error if the directory is unusable. *)
+val open_ : ?sync:sync_policy -> ?compact_bytes:int -> dir:string -> unit -> t
+
+val dir : t -> string
+val generation : t -> int
+
+(** Records recovered at [open_] (snapshot + journal). *)
+val replayed_records : t -> int
+
+(** Torn tails found at [open_] (0, 1 or 2 — snapshot and journal each
+    count at most once). *)
+val torn_recoveries : t -> int
+
+(** Current journal size in bytes. *)
+val journal_bytes : t -> int
+
+(** True once a torn write wedged the journal (appends are dropped and
+    compaction refuses to run — the store is simulating a crashed
+    writer). *)
+val wedged : t -> bool
+
+(** [replay t f] delivers the records recovered at [open_], file order
+    (snapshot first, then journal — later records overwrite earlier
+    ones on replay into a cache), then drops the in-memory copy.
+    Returns the count.  Second call: 0. *)
+val replay : t -> (key:string -> value:string -> unit) -> int
+
+(** [append t ~key ~value] journals one record, honoring the sync
+    policy; returns [false] when dropped (wedged journal) or torn.
+    [~torn:true] injects a deterministic torn write (see
+    {!Journal.append}). *)
+val append : ?torn:bool -> t -> key:string -> value:string -> bool
+
+(** True when the journal has outgrown [compact_bytes] (and the store
+    is not wedged). *)
+val should_compact : t -> bool
+
+(** [compact t ~entries] rolls the generation forward with [entries] as
+    the new snapshot (callers pass the live cache, LRU-first so replay
+    reconstructs recency).  Returns the snapshot size in records; 0 on
+    a wedged store (nothing is changed). *)
+val compact : t -> entries:(string * string) list -> int
+
+(** The store's metric registry ([ssg_store_*]), for splicing into a
+    larger exposition. *)
+val metrics : t -> Ssg_obs.Metrics.t
+
+(** Sync and close the journal.  Idempotent; later appends are
+    dropped. *)
+val close : t -> unit

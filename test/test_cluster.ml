@@ -40,14 +40,14 @@ let wait_connect ?(deadline_s = 10.) socket =
   go 100
 
 (* One backend worker on a fresh socket; returns (socket, thread). *)
-let start_worker ?(workers = 1) ?faults ?socket () =
+let start_worker ?(workers = 1) ?faults ?persist ?announce ?socket () =
   let socket = match socket with Some s -> s | None -> fresh_socket () in
   if Sys.file_exists socket then Sys.remove socket;
   let thread =
     Thread.create
       (fun () ->
         Server.serve ~workers ~queue_capacity:32 ~cache_capacity:64
-          ~drain_timeout_s:5. ?faults ~socket ())
+          ~drain_timeout_s:5. ?faults ?persist ?announce ~socket ())
       ()
   in
   let c = wait_connect socket in
@@ -263,6 +263,64 @@ let test_registry_prober_thread () =
   wait 100;
   Registry.stop r;
   stop_worker socket thread
+
+(* Regression: [stop] must return promptly even when called in the
+   middle of a long probe sleep — the prober sleeps in short slices and
+   re-checks the stop flag, so shutdown never waits out the interval. *)
+let test_registry_prober_stop_is_prompt () =
+  let socket, thread = start_worker () in
+  let r =
+    Registry.create ~down_after:1 ~probe_interval_s:30. ~probe_timeout_s:2.
+      [ socket ]
+  in
+  Registry.start r;
+  (* Let the prober finish its first round and settle into the sleep. *)
+  Thread.delay 0.2;
+  let t0 = Unix.gettimeofday () in
+  Registry.stop r;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check "stop returned well within the probe interval" true (elapsed < 2.);
+  (* Idempotent, and restartable after a stop. *)
+  Registry.stop r;
+  Registry.start r;
+  Registry.stop r;
+  stop_worker socket thread
+
+let test_registry_elastic_membership () =
+  let r = Registry.create ~down_after:1 [ "/a.sock"; "/b.sock" ] in
+  Registry.mark_failure r "/b.sock";
+  check "b is down" false (Registry.is_up r "/b.sock");
+  let gen = Registry.generation r in
+  (* A genuinely new member joins without disturbing existing health. *)
+  check "new member changes the up-set" true (Registry.add_member r "/c.sock");
+  check "membership sorted with the joiner" true
+    (Registry.backends r = [ "/a.sock"; "/b.sock"; "/c.sock" ]);
+  check "joiner is up" true (Registry.is_up r "/c.sock");
+  check "b's mark-down survived the join" false (Registry.is_up r "/b.sock");
+  check "ring rebuilt" true (Registry.generation r > gen);
+  check "ring holds exactly the up members" true
+    (Ring.members (Registry.ring r) = [ "/a.sock"; "/c.sock" ]);
+  (* Joining an already-up member is a no-op. *)
+  check "duplicate join is a no-op" false (Registry.add_member r "/a.sock");
+  (* Joining a known-down member re-admits it. *)
+  check "down member re-admitted by join" true (Registry.add_member r "/b.sock");
+  check "b is back" true (Registry.is_up r "/b.sock");
+  (* Leave removes from membership and the ring both. *)
+  check "leave changes the up-set" true (Registry.remove_member r "/c.sock");
+  check "gone from membership" true
+    (Registry.backends r = [ "/a.sock"; "/b.sock" ]);
+  check "unknown member cannot leave" false (Registry.remove_member r "/zzz");
+  (* Leaving while already down does not change the up-set. *)
+  Registry.mark_failure r "/b.sock";
+  check "down member's leave leaves the up-set alone" false
+    (Registry.remove_member r "/b.sock");
+  check "but it is still retired" true (Registry.backends r = [ "/a.sock" ]);
+  (* Memberless registries are legal: the elastic router starts empty. *)
+  let empty = Registry.create [] in
+  check "empty membership" true (Registry.backends empty = []);
+  check "nobody up" true (Registry.up empty = []);
+  check "first join seeds the ring" true (Registry.add_member empty "/w.sock");
+  check "ring of one" true (Ring.members (Registry.ring empty) = [ "/w.sock" ])
 
 (* ---------------- telemetry merge ---------------- *)
 
@@ -517,6 +575,95 @@ let test_router_chaos_kill_heal () =
   stop_worker w2 healed_thread;
   stop_worker w3 t3
 
+(* ---------------- elastic membership: end to end ---------------- *)
+
+(* Poll the router's exposition until a counter satisfies [pred]. *)
+let wait_prom router name pred =
+  let rec go tries =
+    if tries = 0 then Alcotest.fail (name ^ ": condition never reached");
+    let c = Client.connect ~socket:router ~deadline_s:10. () in
+    let v = prom_counter (Client.metrics_text c) name in
+    Client.close c;
+    match v with
+    | Some v when pred v -> ()
+    | _ ->
+        Thread.delay 0.05;
+        go (tries - 1)
+  in
+  go 200
+
+(* A worker started with [--announce] joins a live ring at runtime; the
+   warm handoff streams the hot keys for its new ranges, so resubmitting
+   the original burst stays all-hits even though a third of the keys
+   changed owner. *)
+let test_router_elastic_join_warm_handoff () =
+  let w1, t1 = start_worker () in
+  let w2, t2 = start_worker () in
+  let router, rt = start_router ~backends:[ w1; w2 ] () in
+  let jobs = List.init 60 (fun i -> sample_job ~seed:(5000 + i) ()) in
+  let c = Client.connect ~socket:router ~deadline_s:30. () in
+  let first = Client.submit_batch c jobs in
+  check "burst succeeded" true
+    (List.for_all (fun x -> Result.is_ok x.Job.result) first);
+  (* A third worker walks up and announces itself to the router. *)
+  let w3, t3 = start_worker ~announce:router () in
+  wait_prom router "ssg_router_joins_total" (fun v -> v >= 1);
+  wait_prom router "ssg_router_handoff_keys_total" (fun v -> v > 0);
+  let s = Client.stats c in
+  check_int "fleet grew to three" 3 s.Telemetry.workers;
+  (* The whole burst again: keys that moved to the joiner must be served
+     from its handed-off cache, not recomputed. *)
+  let again = Client.submit_batch c jobs in
+  check "no errors across the join" true
+    (List.for_all (fun x -> Result.is_ok x.Job.result) again);
+  check "every key still a cache hit" true
+    (List.for_all (fun x -> x.Job.cached) again);
+  let w3c = wait_connect w3 in
+  let w3s = Client.stats w3c in
+  Client.close w3c;
+  check "the joiner served hits from handed-off keys" true
+    (w3s.Telemetry.cache_hits > 0);
+  Client.close c;
+  stop_router router rt;
+  stop_worker w1 t1;
+  stop_worker w2 t2;
+  stop_worker w3 t3
+
+(* Leave is the reverse: the leaver's hot keys are rescued to the
+   ranges' new owners before it drops out, so the burst stays all-hits
+   with one fewer worker. *)
+let test_router_elastic_leave_rescues_keys () =
+  let w1, t1 = start_worker () in
+  let w2, t2 = start_worker () in
+  let w3, t3 = start_worker () in
+  let router, rt = start_router ~backends:[ w1; w2; w3 ] () in
+  let jobs = List.init 45 (fun i -> sample_job ~seed:(7000 + i) ()) in
+  let c = Client.connect ~socket:router ~deadline_s:30. () in
+  let first = Client.submit_batch c jobs in
+  check "burst succeeded" true
+    (List.for_all (fun x -> Result.is_ok x.Job.result) first);
+  Client.leave c w3;
+  let s = Client.stats c in
+  check_int "fleet shrank to two" 2 s.Telemetry.workers;
+  let text = Client.metrics_text c in
+  check "leave counted" true
+    (prom_counter text "ssg_router_leaves_total" = Some 1);
+  check "rescued keys counted" true
+    (match prom_counter text "ssg_router_handoff_keys_total" with
+    | Some v -> v > 0
+    | None -> false);
+  let again = Client.submit_batch c jobs in
+  check "no errors across the leave" true
+    (List.for_all (fun x -> Result.is_ok x.Job.result) again);
+  check "every key still a cache hit" true
+    (List.for_all (fun x -> x.Job.cached) again);
+  Client.close c;
+  stop_router router rt;
+  stop_worker w1 t1;
+  stop_worker w2 t2;
+  (* The leaver itself keeps running; it just left the ring. *)
+  stop_worker w3 t3
+
 (* ---------------- suite ---------------- *)
 
 let tests =
@@ -535,6 +682,10 @@ let tests =
       test_registry_probe_live_and_dead;
     Alcotest.test_case "registry: prober re-admits" `Quick
       test_registry_prober_thread;
+    Alcotest.test_case "registry: prober stop is prompt" `Quick
+      test_registry_prober_stop_is_prompt;
+    Alcotest.test_case "registry: elastic membership" `Quick
+      test_registry_elastic_membership;
     Alcotest.test_case "telemetry: merge" `Quick test_telemetry_merge;
     Alcotest.test_case "client: connect_any failover" `Quick
       test_connect_any_failover;
@@ -552,4 +703,8 @@ let tests =
       test_router_exhaustion_is_an_error_reply;
     Alcotest.test_case "router: chaos kill/heal 200-job burst" `Slow
       test_router_chaos_kill_heal;
+    Alcotest.test_case "router: elastic join + warm handoff" `Quick
+      test_router_elastic_join_warm_handoff;
+    Alcotest.test_case "router: elastic leave rescues keys" `Quick
+      test_router_elastic_leave_rescues_keys;
   ]

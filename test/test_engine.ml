@@ -267,17 +267,27 @@ let gen_trace_event rng : Ssg_obs.Tracer.event =
             | _ -> Str "value" ));
   }
 
+let gen_entries rng =
+  List.init (Rng.int rng 4) (fun i ->
+      ( Printf.sprintf "key-%d" i,
+        Protocol.outcome_to_string (gen_outcome rng) ))
+
 let gen_request rng =
-  match Rng.int rng 6 with
+  match Rng.int rng 11 with
   | 0 -> Protocol.Submit (gen_job rng)
   | 1 -> Protocol.Batch (List.init (Rng.int rng 4) (fun _ -> gen_job rng))
   | 2 -> Protocol.Stats
   | 3 -> Protocol.Trace
   | 4 -> Protocol.Metrics
+  | 5 -> Protocol.Join "unix:/tmp/w1.sock"
+  | 6 -> Protocol.Leave "tcp:127.0.0.1:7001"
+  | 7 -> Protocol.Export (Rng.int rng 2048)
+  | 8 -> Protocol.Transfer (gen_entries rng)
+  | 9 -> Protocol.Compact
   | _ -> Protocol.Shutdown
 
 let gen_reply rng =
-  match Rng.int rng 7 with
+  match Rng.int rng 11 with
   | 0 -> Protocol.Completed (gen_completion rng)
   | 1 ->
       Protocol.Batch_completed
@@ -286,6 +296,10 @@ let gen_reply rng =
   | 3 -> Protocol.Trace_events (List.init (Rng.int rng 5) (fun _ -> gen_trace_event rng))
   | 4 -> Protocol.Metrics_text "# TYPE ssgd_jobs_submitted counter\nssgd_jobs_submitted 3\n"
   | 5 -> Protocol.Shutting_down
+  | 6 -> Protocol.Ack
+  | 7 -> Protocol.Entries (gen_entries rng)
+  | 8 -> Protocol.Transferred (Rng.int rng 2048)
+  | 9 -> Protocol.Compacted (Rng.int rng 2048)
   | _ -> Protocol.Error "nope"
 
 let prop_request_roundtrip =
